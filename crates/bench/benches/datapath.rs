@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks of the datapath building blocks: simulator
+//! cost per cycle/packet of the arbiter, stage shell, queues, schedulers
+//! and LPM — the hot loops of every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netfpga_core::packetio::{PacketSink, PacketSource};
+use netfpga_core::sim::Simulator;
+use netfpga_core::stream::{Meta, PortMask, Stream};
+use netfpga_core::time::Frequency;
+use netfpga_datapath::lpm::{LpmTable, RouteEntry};
+use netfpga_datapath::sched::{DeficitRoundRobin, QueueView, Scheduler, WeightedFair};
+use netfpga_datapath::stage::{PacketStage, StageAction};
+use netfpga_datapath::InputArbiter;
+use netfpga_packet::{Ipv4Address, Ipv4Cidr};
+use std::hint::black_box;
+
+/// Simulate `npackets` 512-byte packets through arbiter -> stage -> sink;
+/// returns simulated packet count (for throughput accounting).
+fn pipeline_run(npackets: u64) -> u64 {
+    let mut sim = Simulator::new();
+    let clk = sim.add_clock("core", Frequency::mhz(200));
+    let (a_tx, a_rx) = Stream::new(32, 32);
+    let (s_tx, s_rx) = Stream::new(32, 32);
+    let (src, inject) = PacketSource::new("src", a_tx);
+    let arb = InputArbiter::new("arb", vec![a_rx], s_tx);
+    let (o_tx, o_rx) = Stream::new(32, 32);
+    let stage = PacketStage::new("stage", s_rx, o_tx, 4, |_p: &mut Vec<u8>, m: &mut Meta, _t| {
+        m.dst_ports = PortMask::single(0);
+        StageAction::Forward
+    });
+    let (sink, cap) = PacketSink::new("sink", o_rx);
+    sim.add_module(clk, src);
+    sim.add_module(clk, arb);
+    sim.add_module(clk, stage);
+    sim.add_module(clk, sink);
+    for _ in 0..npackets {
+        inject.push(vec![0u8; 512], 0);
+    }
+    while cap.total_packets() < npackets {
+        sim.run_cycles(clk, 256);
+    }
+    cap.total_packets()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datapath/pipeline");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("arbiter_stage_sink_64pkt_512B", |b| {
+        b.iter(|| black_box(pipeline_run(64)))
+    });
+    g.finish();
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datapath/lpm");
+    for routes in [64usize, 4096] {
+        let mut t = LpmTable::new();
+        let mut x = 0x12345678u32;
+        for i in 0..routes {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            t.insert(
+                Ipv4Cidr::new(Ipv4Address::from_u32(x), 8 + (i % 25) as u8),
+                RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: (i % 4) as u8 },
+            );
+        }
+        let mut probe = 0u32;
+        g.bench_function(format!("lookup_{routes}_routes"), |b| {
+            b.iter(|| {
+                probe = probe.wrapping_add(0x01010101);
+                black_box(t.lookup(Ipv4Address::from_u32(probe)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datapath/sched");
+    let views = [
+        QueueView { packets: 10, head_bytes: Some(1500) },
+        QueueView { packets: 5, head_bytes: Some(64) },
+        QueueView { packets: 0, head_bytes: None },
+        QueueView { packets: 2, head_bytes: Some(512) },
+    ];
+    let mut drr = DeficitRoundRobin::new(4, 1500);
+    g.bench_function("drr_select", |b| {
+        b.iter(|| {
+            let i = drr.select(black_box(&views)).unwrap();
+            drr.on_dequeue(i, 64);
+            i
+        })
+    });
+    let mut wfq = WeightedFair::equal(4);
+    for q in 0..4 {
+        for _ in 0..16 {
+            wfq.on_enqueue(q, 512);
+        }
+    }
+    g.bench_function("wfq_select", |b| {
+        b.iter(|| {
+            let i = wfq.select(black_box(&views)).unwrap();
+            wfq.on_dequeue(i, 512);
+            wfq.on_enqueue(i, 512);
+            i
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline, bench_lpm, bench_schedulers
+}
+criterion_main!(benches);

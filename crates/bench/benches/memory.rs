@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks of the memory substrates: cost of simulating
+//! one cycle/access of each model (simulator performance, not device
+//! performance — device timing is measured by experiment E3).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netfpga_core::rng::SimRng;
+use netfpga_core::time::Time;
+use netfpga_mem::{
+    AgingTable, Bram, ByteFifo, Cam, Dram, DramConfig, DramRequest, Sram, SramConfig, Tcam,
+    TcamEntry, TernaryKey,
+};
+use std::hint::black_box;
+
+fn bench_sram(c: &mut Criterion) {
+    c.bench_function("mem/sram_issue_tick_collect", |b| {
+        let mut s: Sram<u64> = Sram::new(SramConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            s.issue_read(i, (i % 65536) as usize);
+            s.tick();
+            i += 1;
+            black_box(s.collect_read())
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem/dram");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("sequential_line", |b| {
+        let mut d = Dram::new(DramConfig::default());
+        let mut addr = 0u64;
+        let mut done = 0u64;
+        b.iter(|| {
+            if d.submit(DramRequest { tag: addr, addr: addr * 64, write: None }) {
+                addr += 1;
+            }
+            d.tick();
+            while d.collect().is_some() {
+                done += 1;
+            }
+            black_box(done)
+        })
+    });
+    g.finish();
+}
+
+fn bench_bram(c: &mut Criterion) {
+    c.bench_function("mem/bram_read_cycle", |b| {
+        let mut m: Bram<u64> = Bram::new(4096);
+        let mut i = 0usize;
+        b.iter(|| {
+            m.issue_read(i % 4096);
+            m.tick();
+            i += 1;
+            black_box(m.read_data().copied())
+        })
+    });
+}
+
+fn bench_fifo(c: &mut Criterion) {
+    c.bench_function("mem/byte_fifo_push_pop", |b| {
+        let mut f: ByteFifo<u64> = ByteFifo::new(1 << 20);
+        let mut i = 0u64;
+        b.iter(|| {
+            f.push(1500, i);
+            i += 1;
+            black_box(f.pop())
+        })
+    });
+}
+
+fn bench_cam_tcam(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem/match");
+    let mut cam: Cam<u64, u8> = Cam::new(1024);
+    for i in 0..1024u64 {
+        cam.insert(i, i as u8);
+    }
+    g.bench_function("cam_1024_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 1024;
+            black_box(cam.lookup(&i))
+        })
+    });
+    for rules in [64usize, 1024] {
+        let mut tcam: Tcam<u8> = Tcam::new(rules, 28);
+        for i in 0..rules {
+            let mut v = [0u8; 28];
+            v[26..28].copy_from_slice(&(i as u16).to_be_bytes());
+            tcam.insert(TcamEntry { key: TernaryKey::exact(&v), priority: i as u32, value: 0 });
+        }
+        let mut probe = [0u8; 28];
+        probe[26..28].copy_from_slice(&7u16.to_be_bytes());
+        g.bench_function(format!("tcam_{rules}_lookup"), |b| {
+            b.iter(|| black_box(tcam.lookup(&probe).copied()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_aging(c: &mut Criterion) {
+    c.bench_function("mem/aging_table_lookup", |b| {
+        let mut t: AgingTable<u64, u8> = AgingTable::new(4096, Time::from_ms(100));
+        let mut rng = SimRng::new(1);
+        for i in 0..2048u64 {
+            t.insert(i, 0, Time::ZERO);
+        }
+        b.iter(|| {
+            let k = rng.below(2048);
+            black_box(t.lookup(&k, Time::from_us(1)))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_sram, bench_dram, bench_bram, bench_fifo, bench_cam_tcam, bench_aging
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks: wire-format parse/emit and checksums —
+//! the per-packet work every lookup stage performs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use netfpga_datapath::ParsedHeaders;
+use netfpga_packet::checksum;
+use netfpga_packet::ipv4::Ipv4Packet;
+use netfpga_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
+use std::hint::black_box;
+
+fn frame(len: usize) -> Vec<u8> {
+    PacketBuilder::new()
+        .eth(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 2),
+        )
+        .ipv4(Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(10, 0, 1, 1))
+        .udp(4000, 5000, &[])
+        .pad_to(len)
+        .build()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet/parse");
+    for len in [60usize, 512, 1514] {
+        let f = frame(len);
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_function(format!("headers_{len}B"), |b| {
+            b.iter(|| ParsedHeaders::parse(black_box(&f)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("packet/build_udp_1514B", |b| b.iter(|| frame(black_box(1514))));
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet/checksum");
+    let data = vec![0xa5u8; 1500];
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("full_1500B", |b| b.iter(|| checksum::checksum(black_box(&data))));
+    g.bench_function("incremental_ttl", |b| {
+        b.iter(|| {
+            checksum::ttl_decrement_update(
+                black_box(0x1234),
+                64,
+                netfpga_packet::IpProtocol::Udp,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_ttl_decrement(c: &mut Criterion) {
+    let f = frame(1514);
+    c.bench_function("packet/router_rewrite_ttl", |b| {
+        b.iter_batched(
+            || f.clone(),
+            |mut frame| {
+                let mut ip = Ipv4Packet::new_unchecked(&mut frame[14..]);
+                ip.decrement_ttl();
+                frame
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_parse, bench_build, bench_checksum, bench_ttl_decrement
+}
+criterion_main!(benches);

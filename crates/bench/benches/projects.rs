@@ -1,0 +1,114 @@
+//! Criterion benchmarks of whole projects: simulator cost of pushing a
+//! burst of frames end-to-end through each reference design (wall-clock
+//! cost per simulated packet — the number that bounds experiment scale).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netfpga_bench::workloads::{mac, udp_frame};
+use netfpga_core::board::BoardSpec;
+use netfpga_core::time::Time;
+use netfpga_datapath::lpm::RouteEntry;
+use netfpga_packet::Ipv4Address;
+use netfpga_projects::{AcceptanceTest, BlueSwitch, ReferenceRouter, ReferenceSwitch};
+use std::hint::black_box;
+
+const BURST: usize = 32;
+
+fn bench_acceptance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("projects");
+    g.throughput(Throughput::Elements(BURST as u64));
+    g.bench_function("acceptance_burst", |b| {
+        b.iter(|| {
+            let mut a = AcceptanceTest::new(&BoardSpec::sume(), 2);
+            let f = udp_frame(512, 1, 0);
+            for _ in 0..BURST {
+                a.chassis.send(0, f.clone());
+            }
+            a.chassis.run_for(Time::from_us(40));
+            black_box(a.chassis.recv(0).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("projects");
+    g.throughput(Throughput::Elements(BURST as u64));
+    g.bench_function("reference_switch_burst", |b| {
+        b.iter(|| {
+            let mut sw = ReferenceSwitch::new(&BoardSpec::sume(), 4, 1024, Time::from_ms(10));
+            let f = udp_frame(512, 1, 0);
+            for _ in 0..BURST {
+                sw.chassis.send(0, f.clone());
+            }
+            sw.chassis.run_for(Time::from_us(60));
+            black_box(sw.chassis.recv(1).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut g = c.benchmark_group("projects");
+    g.throughput(Throughput::Elements(BURST as u64));
+    g.bench_function("reference_router_burst", |b| {
+        b.iter(|| {
+            let r = ReferenceRouter::new(&BoardSpec::sume(), 4);
+            {
+                let mut t = r.tables.borrow_mut();
+                t.port_macs = (0..4).map(|i| mac(0xe0 + i)).collect();
+                t.lpm.insert(
+                    "10.0.100.0/24".parse().unwrap(),
+                    RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: 1 },
+                );
+                t.arp.insert(Ipv4Address::new(10, 0, 100, 2), mac(0xb0));
+            }
+            let mut r = r;
+            let f = udp_frame(512, 0, 0);
+            for _ in 0..BURST {
+                r.chassis.send(0, f.clone());
+            }
+            r.chassis.run_for(Time::from_us(60));
+            black_box(r.chassis.recv(1).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_blueswitch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("projects");
+    g.throughput(Throughput::Elements(BURST as u64));
+    g.bench_function("blueswitch_burst", |b| {
+        b.iter(|| {
+            let mut sw = BlueSwitch::new(&BoardSpec::sume(), 4, 2, 64);
+            sw.pipeline.borrow_mut().write_direct(
+                0,
+                netfpga_mem::TcamEntry {
+                    key: netfpga_mem::TernaryKey::wildcard(
+                        netfpga_projects::blueswitch::KEY_WIDTH,
+                    ),
+                    priority: 0,
+                    value: netfpga_projects::blueswitch::FlowAction {
+                        kind: netfpga_projects::blueswitch::ActionKind::Output(
+                            netfpga_core::stream::PortMask::single(1),
+                        ),
+                        tag: 1,
+                    },
+                },
+            );
+            let f = udp_frame(512, 1, 0);
+            for _ in 0..BURST {
+                sw.chassis.send(0, f.clone());
+            }
+            sw.chassis.run_for(Time::from_us(60));
+            black_box(sw.chassis.recv(1).len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_acceptance, bench_switch, bench_router, bench_blueswitch
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the soft core: instructions per second of
+//! the interpreter (which bounds how much firmware a simulation can carry)
+//! and assembler throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netfpga_soc::{assemble, SoftCore};
+use std::hint::black_box;
+
+fn busy_loop_program() -> Vec<netfpga_soc::Instr> {
+    assemble(
+        r"
+        loop:
+            addi r1, r1, 1
+            xor  r2, r2, r1
+            slli r3, r1, 3
+            srli r4, r3, 2
+            bne  r1, r5, loop
+            halt
+        ",
+    )
+    .unwrap()
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("soc");
+    let program = busy_loop_program();
+    let iters = 10_000u32;
+    g.throughput(Throughput::Elements(u64::from(iters) * 5));
+    g.bench_function("execute_50k_instructions", |b| {
+        b.iter(|| {
+            let mut cpu = SoftCore::new("bench", program.clone(), 64, None, 1);
+            cpu.set_reg(5, iters);
+            cpu.run_to_halt(u64::from(iters) * 5 + 10);
+            black_box(cpu.reg(2))
+        })
+    });
+    g.finish();
+}
+
+fn bench_assemble(c: &mut Criterion) {
+    // A long-ish program: the watchdog repeated many times.
+    let unit = r"
+        li r1, 0x40001004
+        lw r5, (r1)
+        sw r5, 4(r1)
+        bne r5, r0, l{i}
+    l{i}:
+        addi r6, r6, 1
+    ";
+    let source: String = (0..100)
+        .map(|i| unit.replace("{i}", &i.to_string()))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\nhalt\n";
+    c.bench_function("soc/assemble_600_lines", |b| {
+        b.iter(|| assemble(black_box(&source)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_execute, bench_assemble
+}
+criterion_main!(benches);

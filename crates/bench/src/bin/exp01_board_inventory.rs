@@ -1,0 +1,84 @@
+//! E1 — Board inventory and capability table (paper Fig. 1 + §2).
+//!
+//! Regenerates, from the board models, the capability claims of §2: the
+//! SUME component list, aggregate serial capacity (30 × 13.1 Gb/s), memory
+//! subsystem bandwidths (QDRII+ at 500 MHz, DDR3 at 1866 MT/s), PCIe Gen3
+//! x8 host bandwidth, and interface feasibility (10/40/100 GbE) — across
+//! all three supported platforms.
+
+use netfpga_bench::Table;
+use netfpga_core::board::BoardSpec;
+use netfpga_core::time::BitRate;
+use netfpga_phy::serdes::PortBond;
+
+fn main() {
+    println!("E1: board inventory and I/O capability (paper Fig. 1 / §2)\n");
+
+    let boards = [BoardSpec::sume(), BoardSpec::netfpga_10g(), BoardSpec::netfpga_1g_cml()];
+
+    let mut t = Table::new(
+        "platform inventory",
+        &[
+            "platform", "fpga", "lanes", "aggregate_serial_gbps", "eth_ports",
+            "sram_rd_gbps", "dram_gbps", "pcie_eff_gbps", "sata", "microsd",
+        ],
+    );
+    for b in &boards {
+        t.row(&[
+            b.platform.name().to_string(),
+            b.fpga.to_string(),
+            b.serial_lanes.len().to_string(),
+            format!("{:.1}", b.aggregate_serial_capacity().as_gbps_f64()),
+            b.ethernet_ports().to_string(),
+            b.sram
+                .map(|s| format!("{:.1}", s.peak_read_bandwidth().as_gbps_f64()))
+                .unwrap_or_else(|| "-".into()),
+            b.dram
+                .map(|d| format!("{:.1}", d.peak_bandwidth().as_gbps_f64()))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.1}", b.pcie.effective_bandwidth().as_gbps_f64()),
+            b.storage.sata_ports.to_string(),
+            b.storage.microsd.to_string(),
+        ]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "interface feasibility (lanes available vs required)",
+        &["platform", "10GbE", "40GbE", "100GbE"],
+    );
+    for b in &boards {
+        let max = b
+            .serial_lanes
+            .iter()
+            .map(|l| l.max_rate)
+            .max()
+            .unwrap_or(BitRate::bps(1));
+        let lanes = b.serial_lanes.len();
+        let feas = |bonds: &[PortBond]| {
+            if bonds.iter().any(|bond| bond.feasible_on(lanes, max)) { "yes" } else { "no" }
+        };
+        t.row(&[
+            b.platform.name().to_string(),
+            // 10GbE counts either serial 10GBASE-R or 4-lane XAUI to an
+            // external PHY (the NetFPGA-10G configuration).
+            feas(&[PortBond::ethernet_10g(), PortBond::xaui()]).to_string(),
+            feas(&[PortBond::ethernet_40g()]).to_string(),
+            feas(&[PortBond::ethernet_100g()]).to_string(),
+        ]);
+    }
+    t.print();
+
+    // The headline check of the paper's abstract.
+    let sume = BoardSpec::sume();
+    let agg = sume.aggregate_serial_capacity();
+    println!(
+        "claim check: \"I/O capabilities up to 100 Gbps\" — SUME aggregate {} ({} lanes), \
+         100GbE (10 bonded lanes) feasible: {}",
+        agg,
+        sume.serial_lanes.len(),
+        sume.supports_interface(BitRate::gbps(100), 10),
+    );
+    assert!(sume.supports_interface(BitRate::gbps(100), 10));
+    assert_eq!(agg, BitRate::mbps(393_000));
+}

@@ -1,0 +1,83 @@
+//! E7 — Block reuse and design-utilization comparison (paper §1: "By
+//! reusing building blocks across projects users can compare design
+//! utilization and performance").
+//!
+//! Prints the block-reuse matrix across the six projects and each
+//! design's resource cost as utilization of the SUME device.
+
+use netfpga_bench::Table;
+use netfpga_core::board::BoardSpec;
+use netfpga_projects::inventory::{all_blocks, blocks_of, cost_of, reuse_counts, PROJECTS};
+
+fn main() {
+    println!("E7: block reuse across projects and design utilization (paper §1/§3)\n");
+
+    // Reuse matrix.
+    let blocks = all_blocks();
+    let mut headers: Vec<&str> = vec!["block"];
+    headers.extend(PROJECTS.iter().copied());
+    headers.push("reused_by");
+    let mut t = Table::new("block reuse matrix", &headers);
+    let counts = reuse_counts();
+    for block in &blocks {
+        let mut row = vec![block.to_string()];
+        for p in PROJECTS {
+            row.push(if blocks_of(p).contains(block) { "x".into() } else { ".".into() });
+        }
+        let n = counts.iter().find(|(b, _)| b == block).map(|(_, n)| *n).unwrap_or(0);
+        row.push(n.to_string());
+        t.row(&row);
+    }
+    t.print();
+
+    // Utilization comparison.
+    let sume = BoardSpec::sume();
+    let mut t = Table::new(
+        "design utilization on NetFPGA SUME (4-port configurations)",
+        &["project", "luts", "ffs", "bram_kbits", "lut_pct", "bram_pct"],
+    );
+    for p in PROJECTS {
+        let c = cost_of(p);
+        let u = c.utilization(&sume.resources);
+        t.row(&[
+            p.to_string(),
+            c.luts.to_string(),
+            c.ffs.to_string(),
+            c.bram_kbits.to_string(),
+            format!("{:.1}", u[0] * 100.0),
+            format!("{:.1}", u[2] * 100.0),
+        ]);
+    }
+    t.print();
+
+    // Quantify the reuse claim: fraction of each project's cost that comes
+    // from shared platform blocks (used by every project).
+    let shared: Vec<&str> = counts
+        .iter()
+        .filter(|(_, n)| *n == PROJECTS.len())
+        .map(|(b, _)| *b)
+        .collect();
+    println!(
+        "platform blocks reused by all {} projects: {}",
+        PROJECTS.len(),
+        shared.join(", ")
+    );
+    let avg_reuse: f64 =
+        counts.iter().map(|(_, n)| *n as f64).sum::<f64>() / counts.len() as f64;
+    println!(
+        "average reuse factor: {:.2} projects per block ({} blocks, {} instantiations)",
+        avg_reuse,
+        counts.len(),
+        counts.iter().map(|(_, n)| n).sum::<usize>(),
+    );
+    println!(
+        "\nshape checks: every design fits the 690T with headroom; the router is the\n\
+         largest reference design; BlueSwitch's double-banked tables dominate its cost."
+    );
+    assert!(shared.len() >= 2, "platform blocks must be universally reused");
+    assert!(cost_of("reference_router").luts > cost_of("reference_switch").luts);
+    assert!(cost_of("reference_switch").luts > cost_of("reference_nic").luts);
+    for p in PROJECTS {
+        assert!(cost_of(p).fits(&sume.resources), "{p} must fit");
+    }
+}

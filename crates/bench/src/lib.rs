@@ -1,0 +1,16 @@
+//! # netfpga-bench
+//!
+//! The experiment harness reproducing the paper's evaluation (see
+//! `EXPERIMENTS.md` at the workspace root). One binary per experiment
+//! lives in `src/bin/expNN_*.rs`; each prints the table/series it
+//! regenerates, plus a machine-readable JSON line per row so the
+//! documentation tables can be rebuilt mechanically. Criterion
+//! micro-benchmarks of the hot paths live in `benches/`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod workloads;
+
+pub use report::Table;

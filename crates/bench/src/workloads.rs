@@ -1,0 +1,114 @@
+//! Workload generation shared by the experiments: frame-size sweeps,
+//! IMIX mixes, flow sets and custom board specs for 40/100G ports.
+
+use netfpga_core::board::{BoardSpec, PortKind, PortSpec};
+use netfpga_core::rng::SimRng;
+use netfpga_core::time::BitRate;
+use netfpga_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
+
+/// The canonical frame-size sweep (FCS-less datapath lengths; 60 is the
+/// classic "64-byte frame").
+pub const FRAME_SIZES: [usize; 6] = [60, 124, 252, 508, 1020, 1514];
+
+/// The classic simple IMIX: (frame length, relative weight).
+pub const IMIX: [(usize, u32); 3] = [(60, 7), (570, 4), (1514, 1)];
+
+/// Draw an IMIX frame length.
+pub fn imix_len(rng: &mut SimRng) -> usize {
+    let total: u32 = IMIX.iter().map(|&(_, w)| w).sum();
+    let mut pick = rng.below(u64::from(total)) as u32;
+    for &(len, w) in &IMIX {
+        if pick < w {
+            return len;
+        }
+        pick -= w;
+    }
+    IMIX[IMIX.len() - 1].0
+}
+
+/// A deterministic test MAC address.
+pub fn mac(x: u8) -> EthernetAddress {
+    EthernetAddress::new(2, 0, 0, 0, 0, x)
+}
+
+/// A UDP frame of exactly `len` bytes between two synthetic hosts, with a
+/// flow id folded into addresses and ports so classifiers can separate
+/// flows.
+pub fn udp_frame(len: usize, flow: u8, dscp: u8) -> Vec<u8> {
+    assert!(len >= 60, "below minimum frame size");
+    PacketBuilder::new()
+        .eth(mac(0xa0 + (flow & 0x0f)), mac(0xe0))
+        .ipv4(
+            Ipv4Address::new(10, 0, flow, 2),
+            Ipv4Address::new(10, 0, 100u8.wrapping_add(flow), 2),
+        )
+        .dscp(dscp)
+        .udp(1000 + u16::from(flow), 2000 + u16::from(flow), &[])
+        .pad_to(len)
+        .build()
+}
+
+/// A SUME-like board whose SFP+ cages run at `rate` and whose datapath is
+/// wide enough to sustain it — how the experiments model 40G/100G port
+/// configurations on the same platform (the SUME expansion lanes bonded).
+pub fn board_at_rate(rate: BitRate) -> BoardSpec {
+    let mut spec = BoardSpec::sume();
+    for p in spec.ports.iter_mut() {
+        if matches!(p.kind, PortKind::Sfpp) {
+            *p = PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: rate };
+        }
+    }
+    // Scale the datapath: bus width (bytes/cycle) x 200 MHz must exceed
+    // the port rate, as the real designs scale from 256-bit to 512-bit.
+    let needed_bytes = (rate.as_bps() / 8).div_ceil(spec.core_clock.as_hz()) as usize;
+    spec.bus_width = needed_bytes.next_power_of_two().clamp(32, 64);
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_sizes_cover_range() {
+        assert_eq!(FRAME_SIZES[0], 60);
+        assert_eq!(*FRAME_SIZES.last().unwrap(), 1514);
+    }
+
+    #[test]
+    fn imix_distribution_roughly_right() {
+        let mut rng = SimRng::new(1);
+        let mut counts = [0u32; 3];
+        for _ in 0..12_000 {
+            let len = imix_len(&mut rng);
+            let idx = IMIX.iter().position(|&(l, _)| l == len).unwrap();
+            counts[idx] += 1;
+        }
+        // Weights 7:4:1 over 12k draws -> ~7000/4000/1000.
+        assert!((6500..7500).contains(&counts[0]), "{counts:?}");
+        assert!((3500..4500).contains(&counts[1]), "{counts:?}");
+        assert!((700..1300).contains(&counts[2]), "{counts:?}");
+    }
+
+    #[test]
+    fn udp_frame_exact_length_and_valid() {
+        for len in FRAME_SIZES {
+            let f = udp_frame(len, 3, 46);
+            assert_eq!(f.len(), len);
+            let h = netfpga_datapath::ParsedHeaders::parse(&f);
+            let ip = h.ipv4.unwrap();
+            assert!(ip.checksum_ok);
+            assert_eq!(ip.dscp, 46);
+        }
+    }
+
+    #[test]
+    fn board_at_rate_scales_bus() {
+        let b10 = board_at_rate(BitRate::gbps(10));
+        assert_eq!(b10.bus_width, 32);
+        assert!(b10.datapath_capacity().as_bps() >= 10_000_000_000);
+        let b100 = board_at_rate(BitRate::gbps(100));
+        assert_eq!(b100.bus_width, 64);
+        assert!(b100.datapath_capacity().as_bps() >= 100_000_000_000);
+    }
+}

@@ -1,0 +1,436 @@
+//! Board models: the component inventory of each NetFPGA platform.
+//!
+//! [`BoardSpec`] records what the paper's §2 describes for NetFPGA SUME —
+//! the Virtex-7 690T, the 30-lane high-speed serial subsystem, the QDRII+
+//! and DDR3 memory subsystem, PCIe and storage — plus equivalents for the
+//! NetFPGA-10G and NetFPGA-1G-CML platforms. Experiment E1 regenerates the
+//! board-capability table from these models, and projects consult the spec
+//! when wiring their datapaths (port counts, memory sizes, bus widths).
+
+use crate::resources::ResourceBudget;
+use crate::time::{BitRate, Frequency};
+
+/// Which physical platform a spec describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// NetFPGA SUME (Virtex-7 690T): 100 Gb/s-class, introduced 2014.
+    Sume,
+    /// NetFPGA-10G (Virtex-5 TX240T): 4×10 Gb/s, introduced 2010.
+    NetFpga10G,
+    /// NetFPGA-1G-CML (Kintex-7 325T): gigabit-class, security applications.
+    NetFpga1GCml,
+}
+
+impl Platform {
+    /// Human-readable platform name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Sume => "NetFPGA SUME",
+            Platform::NetFpga10G => "NetFPGA-10G",
+            Platform::NetFpga1GCml => "NetFPGA-1G-CML",
+        }
+    }
+}
+
+/// A high-speed serial lane (GTH/GTX transceiver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneSpec {
+    /// Maximum line rate of the transceiver.
+    pub max_rate: BitRate,
+}
+
+/// How a group of lanes is presented at the panel/connector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortKind {
+    /// SFP+ cage: one lane, 10 Gb/s Ethernet.
+    Sfpp,
+    /// QSFP+-style expansion: four bonded lanes (40 Gb/s, or 4×10 Gb/s).
+    Qsfp,
+    /// FMC/expansion connector lanes available for user designs (e.g. CXP
+    /// for 100 Gb/s as 10 bonded lanes).
+    Expansion,
+    /// PCI Express edge connector lanes.
+    Pcie,
+    /// SATA connector.
+    Sata,
+}
+
+/// A group of serial lanes presented as one interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortSpec {
+    /// Interface kind.
+    pub kind: PortKind,
+    /// Number of lanes bonded into this interface.
+    pub lanes: u8,
+    /// Per-lane rate as configured for this interface.
+    pub lane_rate: BitRate,
+}
+
+impl PortSpec {
+    /// Aggregate raw bit rate of the interface (lanes × lane rate).
+    pub fn aggregate_rate(&self) -> BitRate {
+        BitRate::bps(self.lane_rate.as_bps() * u64::from(self.lanes))
+    }
+}
+
+/// SRAM subsystem parameters (QDRII+).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramSpec {
+    /// Number of discrete devices.
+    pub devices: u8,
+    /// Capacity per device in bytes.
+    pub bytes_per_device: u64,
+    /// Interface clock.
+    pub clock: Frequency,
+    /// Data bus width per device in bits.
+    pub data_bits: u16,
+    /// Read latency in interface clock cycles.
+    pub read_latency_cycles: u8,
+}
+
+impl SramSpec {
+    /// Peak bandwidth across all devices. QDRII+ transfers on both edges of
+    /// the clock on independent read and write ports; this reports one
+    /// direction (read) — double it for aggregate R+W.
+    pub fn peak_read_bandwidth(&self) -> BitRate {
+        // DDR on the read port: 2 transfers per clock.
+        BitRate::bps(
+            self.clock.as_hz() * 2 * u64::from(self.data_bits) * u64::from(self.devices),
+        )
+    }
+
+    /// Total capacity in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_device * u64::from(self.devices)
+    }
+}
+
+/// DRAM subsystem parameters (DDR3 SoDIMM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramSpec {
+    /// Number of SoDIMM sockets.
+    pub modules: u8,
+    /// Capacity per module in bytes.
+    pub bytes_per_module: u64,
+    /// Transfer rate in mega-transfers per second (e.g. 1866 MT/s).
+    pub mega_transfers: u32,
+    /// Data bus width per module in bits.
+    pub data_bits: u16,
+}
+
+impl DramSpec {
+    /// Peak transfer bandwidth across all modules.
+    pub fn peak_bandwidth(&self) -> BitRate {
+        BitRate::bps(
+            u64::from(self.mega_transfers)
+                * 1_000_000
+                * u64::from(self.data_bits)
+                * u64::from(self.modules),
+        )
+    }
+
+    /// Total capacity in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_module * u64::from(self.modules)
+    }
+}
+
+/// PCI Express host interface parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcieSpec {
+    /// Generation (1, 2 or 3).
+    pub generation: u8,
+    /// Lane count.
+    pub lanes: u8,
+}
+
+impl PcieSpec {
+    /// Raw per-lane line rate for the generation.
+    pub fn lane_rate(&self) -> BitRate {
+        match self.generation {
+            1 => BitRate::mbps(2_500),
+            2 => BitRate::mbps(5_000),
+            _ => BitRate::mbps(8_000),
+        }
+    }
+
+    /// Encoding efficiency (8b/10b for Gen1/2, 128b/130b for Gen3).
+    pub fn encoding_efficiency(&self) -> f64 {
+        if self.generation >= 3 {
+            128.0 / 130.0
+        } else {
+            0.8
+        }
+    }
+
+    /// Effective payload bandwidth after encoding, before TLP overhead.
+    pub fn effective_bandwidth(&self) -> BitRate {
+        let raw = self.lane_rate().as_bps() * u64::from(self.lanes);
+        BitRate::bps((raw as f64 * self.encoding_efficiency()) as u64)
+    }
+}
+
+/// Storage subsystem (enables standalone operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageSpec {
+    /// MicroSD card slot present.
+    pub microsd: bool,
+    /// Number of SATA interfaces.
+    pub sata_ports: u8,
+}
+
+/// The full component inventory of a platform.
+#[derive(Debug, Clone)]
+pub struct BoardSpec {
+    /// Which platform this is.
+    pub platform: Platform,
+    /// FPGA device name.
+    pub fpga: &'static str,
+    /// Synthesizable resource budget of the FPGA (LUT/FF/BRAM/DSP).
+    pub resources: ResourceBudget,
+    /// All high-speed serial lanes on the board.
+    pub serial_lanes: Vec<LaneSpec>,
+    /// Front-panel / connector interfaces, including PCIe and SATA.
+    pub ports: Vec<PortSpec>,
+    /// SRAM subsystem, if populated.
+    pub sram: Option<SramSpec>,
+    /// DRAM subsystem, if populated.
+    pub dram: Option<DramSpec>,
+    /// PCIe host interface.
+    pub pcie: PcieSpec,
+    /// Storage subsystem.
+    pub storage: StorageSpec,
+    /// Default datapath bus width in bytes for reference projects.
+    pub bus_width: usize,
+    /// Default datapath core clock for reference projects.
+    pub core_clock: Frequency,
+}
+
+impl BoardSpec {
+    /// The NetFPGA SUME board (paper §2): Virtex-7 690T, 30 serial links at
+    /// up to 13.1 Gb/s, QDRII+ at 500 MHz, DDR3 at 1866 MT/s, PCIe Gen3 x8,
+    /// MicroSD + 2×SATA.
+    pub fn sume() -> BoardSpec {
+        let lane = LaneSpec { max_rate: BitRate::mbps(13_100) };
+        BoardSpec {
+            platform: Platform::Sume,
+            fpga: "Xilinx Virtex-7 XC7VX690T",
+            resources: ResourceBudget {
+                luts: 433_200,
+                ffs: 866_400,
+                bram_kbits: 52_920,
+                dsps: 3_600,
+            },
+            serial_lanes: vec![lane; 30],
+            ports: vec![
+                // Four SFP+ cages at 10.3125 Gb/s line rate.
+                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
+                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
+                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
+                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
+                // Expansion lanes (FMC/QTH) usable for 100G (10×10G or CAUI-4).
+                PortSpec { kind: PortKind::Expansion, lanes: 10, lane_rate: BitRate::mbps(13_100) },
+                // PCIe Gen3 x8 edge.
+                PortSpec { kind: PortKind::Pcie, lanes: 8, lane_rate: BitRate::mbps(8_000) },
+                // Two SATA-III.
+                PortSpec { kind: PortKind::Sata, lanes: 1, lane_rate: BitRate::mbps(6_000) },
+                PortSpec { kind: PortKind::Sata, lanes: 1, lane_rate: BitRate::mbps(6_000) },
+            ],
+            sram: Some(SramSpec {
+                devices: 3,
+                bytes_per_device: 9 * 1024 * 1024 / 2, // 36 Mbit + parity -> 4.5 MB
+                clock: Frequency::mhz(500),
+                data_bits: 36,
+                read_latency_cycles: 5,
+            }),
+            dram: Some(DramSpec {
+                modules: 2,
+                bytes_per_module: 4 * 1024 * 1024 * 1024,
+                mega_transfers: 1_866,
+                data_bits: 64,
+            }),
+            pcie: PcieSpec { generation: 3, lanes: 8 },
+            storage: StorageSpec { microsd: true, sata_ports: 2 },
+            bus_width: 32, // 256-bit reference datapath
+            core_clock: Frequency::mhz(200),
+        }
+    }
+
+    /// The NetFPGA-10G board: Virtex-5, 4×SFP+, QDRII and RLDRAM-II
+    /// (modelled with the same SRAM/DRAM abstractions), PCIe Gen1 x8.
+    pub fn netfpga_10g() -> BoardSpec {
+        let lane = LaneSpec { max_rate: BitRate::bps(6_500_000_000) };
+        BoardSpec {
+            platform: Platform::NetFpga10G,
+            fpga: "Xilinx Virtex-5 XC5VTX240T",
+            resources: ResourceBudget {
+                luts: 149_760,
+                ffs: 149_760,
+                bram_kbits: 11_664,
+                dsps: 96,
+            },
+            serial_lanes: vec![lane; 20],
+            ports: vec![
+                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
+                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
+                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
+                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
+                PortSpec { kind: PortKind::Pcie, lanes: 8, lane_rate: BitRate::mbps(2_500) },
+            ],
+            sram: Some(SramSpec {
+                devices: 3,
+                bytes_per_device: 9 * 1024 * 1024 / 2,
+                clock: Frequency::mhz(300),
+                data_bits: 36,
+                read_latency_cycles: 4,
+            }),
+            dram: Some(DramSpec {
+                modules: 2,
+                bytes_per_module: 288 * 1024 * 1024 / 8,
+                mega_transfers: 800,
+                data_bits: 64,
+            }),
+            pcie: PcieSpec { generation: 1, lanes: 8 },
+            storage: StorageSpec { microsd: false, sata_ports: 0 },
+            bus_width: 32,
+            core_clock: Frequency::mhz(160),
+        }
+    }
+
+    /// The NetFPGA-1G-CML board: Kintex-7 325T, 4×1G RGMII, DDR3, PCIe
+    /// Gen2 x4; suited to network-security applications.
+    pub fn netfpga_1g_cml() -> BoardSpec {
+        let lane = LaneSpec { max_rate: BitRate::bps(6_600_000_000) };
+        BoardSpec {
+            platform: Platform::NetFpga1GCml,
+            fpga: "Xilinx Kintex-7 XC7K325T",
+            resources: ResourceBudget {
+                luts: 203_800,
+                ffs: 407_600,
+                bram_kbits: 16_020,
+                dsps: 840,
+            },
+            serial_lanes: vec![lane; 8],
+            ports: vec![
+                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::gbps(1) },
+                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::gbps(1) },
+                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::gbps(1) },
+                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::gbps(1) },
+                PortSpec { kind: PortKind::Pcie, lanes: 4, lane_rate: BitRate::mbps(5_000) },
+                PortSpec { kind: PortKind::Sata, lanes: 1, lane_rate: BitRate::mbps(3_000) },
+            ],
+            sram: None,
+            dram: Some(DramSpec {
+                modules: 1,
+                bytes_per_module: 512 * 1024 * 1024,
+                mega_transfers: 800,
+                data_bits: 64,
+            }),
+            pcie: PcieSpec { generation: 2, lanes: 4 },
+            storage: StorageSpec { microsd: true, sata_ports: 1 },
+            bus_width: 8,
+            core_clock: Frequency::mhz(125),
+        }
+    }
+
+    /// Number of Ethernet-capable front-panel ports.
+    pub fn ethernet_ports(&self) -> usize {
+        self.ports
+            .iter()
+            .filter(|p| matches!(p.kind, PortKind::Sfpp | PortKind::Qsfp))
+            .count()
+    }
+
+    /// Aggregate capacity of all serial lanes (the headline "30 × 13.1 Gb/s"
+    /// figure for SUME).
+    pub fn aggregate_serial_capacity(&self) -> BitRate {
+        BitRate::bps(self.serial_lanes.iter().map(|l| l.max_rate.as_bps()).sum())
+    }
+
+    /// Whether the board can realize a single `rate` interface from its
+    /// expansion lanes (e.g. 100 Gb/s on SUME = 10 lanes × ≥10.3125 G).
+    pub fn supports_interface(&self, rate: BitRate, lanes_needed: u8) -> bool {
+        let per_lane = rate.as_bps().div_ceil(u64::from(lanes_needed));
+        let usable = self
+            .serial_lanes
+            .iter()
+            .filter(|l| l.max_rate.as_bps() >= per_lane)
+            .count();
+        usable >= usize::from(lanes_needed)
+    }
+
+    /// Datapath capacity (bus width × core clock) — must exceed the port
+    /// aggregate for line-rate operation.
+    pub fn datapath_capacity(&self) -> BitRate {
+        BitRate::bps(self.core_clock.as_hz() * self.bus_width as u64 * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sume_headline_numbers() {
+        let b = BoardSpec::sume();
+        assert_eq!(b.serial_lanes.len(), 30);
+        // 30 lanes x 13.1 Gb/s = 393 Gb/s aggregate.
+        assert_eq!(b.aggregate_serial_capacity(), BitRate::mbps(393_000));
+        // The paper's headline: I/O capabilities up to 100 Gb/s.
+        assert!(b.supports_interface(BitRate::gbps(100), 10));
+        assert!(b.supports_interface(BitRate::gbps(40), 4));
+        assert_eq!(b.ethernet_ports(), 4);
+        assert_eq!(b.pcie.generation, 3);
+        assert!(b.storage.microsd);
+        assert_eq!(b.storage.sata_ports, 2);
+    }
+
+    #[test]
+    fn sume_memory_subsystem() {
+        let b = BoardSpec::sume();
+        let sram = b.sram.unwrap();
+        assert_eq!(sram.clock, Frequency::mhz(500));
+        // 500 MHz x 2 (DDR) x 36 bits x 3 devices = 108 Gb/s read.
+        assert_eq!(sram.peak_read_bandwidth(), BitRate::bps(108_000_000_000));
+        let dram = b.dram.unwrap();
+        assert_eq!(dram.mega_transfers, 1_866);
+        // 1866 MT/s x 64 bit x 2 modules = 238.848 Gb/s.
+        assert_eq!(dram.peak_bandwidth(), BitRate::bps(238_848_000_000));
+        assert_eq!(dram.total_bytes(), 8 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn pcie_effective_bandwidth() {
+        let gen3x8 = PcieSpec { generation: 3, lanes: 8 };
+        // 8 GT/s x 8 lanes x 128/130 ≈ 63 Gb/s.
+        let bw = gen3x8.effective_bandwidth().as_gbps_f64();
+        assert!((bw - 63.0).abs() < 0.1, "got {bw}");
+        let gen1x8 = PcieSpec { generation: 1, lanes: 8 };
+        assert!((gen1x8.effective_bandwidth().as_gbps_f64() - 16.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn datapath_covers_ports_sume() {
+        let b = BoardSpec::sume();
+        // 32 B x 200 MHz = 51.2 Gb/s > 4x10.3125 = 41.25 Gb/s front panel.
+        assert!(b.datapath_capacity().as_bps() > 4 * 10_312_500_000);
+    }
+
+    #[test]
+    fn other_platforms_construct() {
+        let b10 = BoardSpec::netfpga_10g();
+        assert_eq!(b10.ethernet_ports(), 4);
+        assert!(b10.sram.is_some());
+        assert!(!b10.supports_interface(BitRate::gbps(100), 10));
+        let b1 = BoardSpec::netfpga_1g_cml();
+        assert_eq!(b1.ethernet_ports(), 4);
+        assert!(b1.sram.is_none());
+        assert_eq!(b1.platform.name(), "NetFPGA-1G-CML");
+    }
+
+    #[test]
+    fn qsfp_aggregate() {
+        let p = PortSpec { kind: PortKind::Qsfp, lanes: 4, lane_rate: BitRate::mbps(10_312) };
+        assert_eq!(p.aggregate_rate().as_bps(), 4 * 10_312_000_000);
+    }
+}

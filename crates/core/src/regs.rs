@@ -1,0 +1,225 @@
+//! The register bus: the AXI4-Lite control-plane interface.
+//!
+//! Every NetFPGA module exposes a block of 32-bit registers; the host
+//! driver reads and writes them over PCIe. Here a module publishes a
+//! [`RegisterSpace`] and the project mounts it on an [`AddressMap`] at a
+//! base address. Host software (in `netfpga-host`) issues accesses through
+//! the PCIe model, which lands them on the map.
+//!
+//! Register state is shared between a module and its register space with
+//! `Rc<RefCell<…>>` — the same pattern the hardware uses, where the AXI-Lite
+//! slave and the datapath both touch one set of flops.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A block of 32-bit registers, addressed by byte offset within the block.
+pub trait RegisterSpace {
+    /// Read the register at `offset` (byte offset, 4-aligned by convention).
+    /// Unmapped offsets return `0xdead_beef`, like reads of unmapped AXI
+    /// space on the real boards return garbage rather than erroring.
+    fn read(&mut self, offset: u32) -> u32;
+
+    /// Write the register at `offset`. Writes to read-only or unmapped
+    /// offsets are ignored.
+    fn write(&mut self, offset: u32, value: u32);
+}
+
+/// Value returned for reads of unmapped addresses.
+pub const UNMAPPED_READ: u32 = 0xdead_beef;
+
+/// A simple RAM-backed register space for modules whose registers are plain
+/// storage (scratch registers, table staging areas).
+#[derive(Debug, Default)]
+pub struct RamRegisters {
+    regs: BTreeMap<u32, u32>,
+    size: u32,
+}
+
+impl RamRegisters {
+    /// A RAM block of `size` bytes.
+    pub fn new(size: u32) -> RamRegisters {
+        RamRegisters { regs: BTreeMap::new(), size }
+    }
+}
+
+impl RegisterSpace for RamRegisters {
+    fn read(&mut self, offset: u32) -> u32 {
+        if offset >= self.size {
+            return UNMAPPED_READ;
+        }
+        *self.regs.get(&(offset & !3)).unwrap_or(&0)
+    }
+
+    fn write(&mut self, offset: u32, value: u32) {
+        if offset < self.size {
+            self.regs.insert(offset & !3, value);
+        }
+    }
+}
+
+/// A shared handle to a register space (module side and bus side).
+pub type SharedRegs = Rc<RefCell<dyn RegisterSpace>>;
+
+/// Wrap a register space for mounting.
+pub fn shared<R: RegisterSpace + 'static>(space: R) -> SharedRegs {
+    Rc::new(RefCell::new(space))
+}
+
+struct Mount {
+    base: u32,
+    size: u32,
+    name: String,
+    space: SharedRegs,
+}
+
+/// The project-level address decoder: maps global addresses to module
+/// register blocks.
+///
+/// Mount entries live behind a `RefCell` so that projects can mount blocks
+/// after the map has been shared with the MMIO bridge (single-threaded
+/// simulation; mounting during an access would panic, which cannot happen
+/// since host software and construction never interleave).
+#[derive(Default)]
+pub struct AddressMap {
+    mounts: RefCell<Vec<Mount>>,
+}
+
+impl AddressMap {
+    /// An empty map.
+    pub fn new() -> AddressMap {
+        AddressMap::default()
+    }
+
+    /// Mount `space` at `[base, base+size)`. Panics on overlap — overlapping
+    /// decoders are a build-time error on the real platform too.
+    pub fn mount(&self, name: &str, base: u32, size: u32, space: SharedRegs) {
+        assert!(size > 0, "empty mount");
+        let end = base.checked_add(size).expect("mount wraps address space");
+        let mut mounts = self.mounts.borrow_mut();
+        for m in mounts.iter() {
+            let m_end = m.base + m.size;
+            assert!(
+                end <= m.base || base >= m_end,
+                "register mount '{}' [{base:#x},{end:#x}) overlaps '{}' [{:#x},{:#x})",
+                name,
+                m.name,
+                m.base,
+                m_end,
+            );
+        }
+        mounts.push(Mount { base, size, name: name.to_string(), space });
+        mounts.sort_by_key(|m| m.base);
+    }
+
+    fn with_mount<R>(&self, addr: u32, f: impl FnOnce(&Mount) -> R) -> Option<R> {
+        let mounts = self.mounts.borrow();
+        mounts
+            .iter()
+            .find(|m| addr >= m.base && addr - m.base < m.size)
+            .map(f)
+    }
+
+    /// Read a 32-bit register at a global address.
+    pub fn read(&self, addr: u32) -> u32 {
+        self.with_mount(addr, |m| m.space.borrow_mut().read(addr - m.base))
+            .unwrap_or(UNMAPPED_READ)
+    }
+
+    /// Write a 32-bit register at a global address. Unmapped writes are
+    /// dropped.
+    pub fn write(&self, addr: u32, value: u32) {
+        self.with_mount(addr, |m| m.space.borrow_mut().write(addr - m.base, value));
+    }
+
+    /// Names and ranges of all mounts, for documentation dumps.
+    pub fn mounts(&self) -> Vec<(String, u32, u32)> {
+        self.mounts
+            .borrow()
+            .iter()
+            .map(|m| (m.name.clone(), m.base, m.size))
+            .collect()
+    }
+}
+
+impl core::fmt::Debug for AddressMap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let mut d = f.debug_map();
+        for m in self.mounts.borrow().iter() {
+            d.entry(&format_args!("{:#010x}+{:#x}", m.base, m.size), &m.name);
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Probe {
+        last_write: Option<(u32, u32)>,
+    }
+
+    impl RegisterSpace for Probe {
+        fn read(&mut self, offset: u32) -> u32 {
+            offset.wrapping_mul(3)
+        }
+        fn write(&mut self, offset: u32, value: u32) {
+            self.last_write = Some((offset, value));
+        }
+    }
+
+    #[test]
+    fn ram_registers_roundtrip() {
+        let mut r = RamRegisters::new(0x100);
+        r.write(0x10, 0xabcd);
+        assert_eq!(r.read(0x10), 0xabcd);
+        assert_eq!(r.read(0x14), 0);
+        // Sub-word addresses alias the containing word.
+        assert_eq!(r.read(0x12), 0xabcd);
+        r.write(0x200, 1); // out of range: dropped
+        assert_eq!(r.read(0x200), UNMAPPED_READ);
+    }
+
+    #[test]
+    fn map_dispatches_by_base() {
+        let map = AddressMap::new();
+        let a = Rc::new(RefCell::new(Probe { last_write: None }));
+        let b = Rc::new(RefCell::new(Probe { last_write: None }));
+        map.mount("a", 0x0000, 0x100, a.clone());
+        map.mount("b", 0x1000, 0x100, b.clone());
+        assert_eq!(map.read(0x0008), 24);
+        assert_eq!(map.read(0x1008), 24);
+        map.write(0x1010, 55);
+        assert_eq!(b.borrow().last_write, Some((0x10, 55)));
+        assert_eq!(a.borrow().last_write, None);
+    }
+
+    #[test]
+    fn unmapped_access() {
+        let map = AddressMap::new();
+        assert_eq!(map.read(0x42), UNMAPPED_READ);
+        map.write(0x42, 1); // no panic
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlap_panics() {
+        let map = AddressMap::new();
+        map.mount("a", 0x0, 0x200, shared(RamRegisters::new(0x200)));
+        map.mount("b", 0x100, 0x100, shared(RamRegisters::new(0x100)));
+    }
+
+    #[test]
+    fn adjacent_mounts_allowed() {
+        let map = AddressMap::new();
+        map.mount("a", 0x0, 0x100, shared(RamRegisters::new(0x100)));
+        map.mount("b", 0x100, 0x100, shared(RamRegisters::new(0x100)));
+        map.write(0xfc, 7);
+        map.write(0x100, 9);
+        assert_eq!(map.read(0xfc), 7);
+        assert_eq!(map.read(0x100), 9);
+        assert_eq!(map.mounts().len(), 2);
+    }
+}

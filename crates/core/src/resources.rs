@@ -1,0 +1,160 @@
+//! A coarse FPGA resource-cost model.
+//!
+//! The paper notes that "by reusing building blocks across projects users
+//! can compare design utilization and performance". Real utilization comes
+//! from synthesis; here every building block declares an approximate cost
+//! (calibrated against published NetFPGA reference-design reports) so that
+//! experiment E7 can compare *relative* utilization across projects and
+//! check designs against the device budget.
+
+use core::fmt;
+use core::ops::{Add, AddAssign};
+
+/// Resource usage (or capacity) in FPGA primitive counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceCost {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// Block RAM, in kilobits.
+    pub bram_kbits: u64,
+    /// DSP slices.
+    pub dsps: u64,
+}
+
+impl ResourceCost {
+    /// The zero cost.
+    pub const ZERO: ResourceCost = ResourceCost { luts: 0, ffs: 0, bram_kbits: 0, dsps: 0 };
+
+    /// Scale every component by `n` (n instances of a block).
+    pub fn times(self, n: u64) -> ResourceCost {
+        ResourceCost {
+            luts: self.luts * n,
+            ffs: self.ffs * n,
+            bram_kbits: self.bram_kbits * n,
+            dsps: self.dsps * n,
+        }
+    }
+}
+
+impl Add for ResourceCost {
+    type Output = ResourceCost;
+    fn add(self, rhs: ResourceCost) -> ResourceCost {
+        ResourceCost {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            bram_kbits: self.bram_kbits + rhs.bram_kbits,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl AddAssign for ResourceCost {
+    fn add_assign(&mut self, rhs: ResourceCost) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for ResourceCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUT / {} FF / {} kb BRAM / {} DSP",
+            self.luts, self.ffs, self.bram_kbits, self.dsps
+        )
+    }
+}
+
+/// Device capacity, for utilization percentages.
+pub type ResourceBudget = ResourceCost;
+
+impl ResourceCost {
+    /// Utilization of `self` against a device `budget`, as fractions per
+    /// component (LUT, FF, BRAM, DSP). Components with zero budget report 0.
+    pub fn utilization(&self, budget: &ResourceBudget) -> [f64; 4] {
+        let frac = |used: u64, avail: u64| {
+            if avail == 0 {
+                0.0
+            } else {
+                used as f64 / avail as f64
+            }
+        };
+        [
+            frac(self.luts, budget.luts),
+            frac(self.ffs, budget.ffs),
+            frac(self.bram_kbits, budget.bram_kbits),
+            frac(self.dsps, budget.dsps),
+        ]
+    }
+
+    /// True if every component fits in `budget`.
+    pub fn fits(&self, budget: &ResourceBudget) -> bool {
+        self.luts <= budget.luts
+            && self.ffs <= budget.ffs
+            && self.bram_kbits <= budget.bram_kbits
+            && self.dsps <= budget.dsps
+    }
+}
+
+/// A named block with a resource cost — the unit of the E7 reuse matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockCost {
+    /// Stable block name (e.g. "input_arbiter").
+    pub name: &'static str,
+    /// Instances of the block in a design.
+    pub instances: u64,
+    /// Cost per instance.
+    pub per_instance: ResourceCost,
+}
+
+impl BlockCost {
+    /// Total cost of all instances.
+    pub fn total(&self) -> ResourceCost {
+        self.per_instance.times(self.instances)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_scale() {
+        let a = ResourceCost { luts: 100, ffs: 200, bram_kbits: 36, dsps: 1 };
+        let b = ResourceCost { luts: 50, ffs: 50, bram_kbits: 0, dsps: 0 };
+        let sum = a + b;
+        assert_eq!(sum.luts, 150);
+        assert_eq!(sum.ffs, 250);
+        assert_eq!(a.times(3).bram_kbits, 108);
+        let mut c = ResourceCost::ZERO;
+        c += a;
+        c += b;
+        assert_eq!(c, sum);
+    }
+
+    #[test]
+    fn utilization_and_fit() {
+        let budget = ResourceBudget { luts: 1000, ffs: 2000, bram_kbits: 100, dsps: 10 };
+        let use_half = ResourceCost { luts: 500, ffs: 1000, bram_kbits: 50, dsps: 5 };
+        let u = use_half.utilization(&budget);
+        assert!(u.iter().all(|&f| (f - 0.5).abs() < 1e-12));
+        assert!(use_half.fits(&budget));
+        let too_big = ResourceCost { luts: 1001, ..use_half };
+        assert!(!too_big.fits(&budget));
+        // Zero-budget component reports zero utilization, not NaN.
+        let no_dsp = ResourceBudget { dsps: 0, ..budget };
+        assert_eq!(use_half.utilization(&no_dsp)[3], 0.0);
+    }
+
+    #[test]
+    fn block_cost_total() {
+        let b = BlockCost {
+            name: "output_queue",
+            instances: 4,
+            per_instance: ResourceCost { luts: 700, ffs: 900, bram_kbits: 72, dsps: 0 },
+        };
+        assert_eq!(b.total().luts, 2800);
+        assert_eq!(b.total().bram_kbits, 288);
+    }
+}

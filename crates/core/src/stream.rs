@@ -1,0 +1,462 @@
+//! AXI4-Stream-style channels: the standard interface between NetFPGA
+//! building blocks.
+//!
+//! A [`Stream`] is a bounded FIFO of [`Word`]s shared between exactly one
+//! producer ([`StreamTx`]) and one consumer ([`StreamRx`]). It models the
+//! AXI4-Stream handshake: the producer may push when the FIFO has space
+//! (`tready`), the consumer may pop when a word is present (`tvalid`).
+//! Capacity back-pressure is how congestion propagates through a design,
+//! exactly as it does through the real NetFPGA reference pipelines.
+//!
+//! Each word carries up to [`MAX_BUS_BYTES`] bytes plus `sop`/`eop` packet
+//! delimiters; the first word of every packet carries the NetFPGA `tuser`
+//! sideband metadata ([`Meta`]): packet length, source port, destination
+//! port one-hot, and an ingress timestamp.
+
+use crate::time::Time;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Maximum bus width in bytes (512-bit, the widest bus in the SUME designs).
+pub const MAX_BUS_BYTES: usize = 64;
+
+/// One-hot set of board ports (up to 16), as carried in `tuser`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PortMask(pub u16);
+
+impl PortMask {
+    /// The empty mask.
+    pub const EMPTY: PortMask = PortMask(0);
+
+    /// A mask with a single port set.
+    pub fn single(port: u8) -> PortMask {
+        assert!(port < 16, "port index out of range");
+        PortMask(1 << port)
+    }
+
+    /// A mask with every port in `0..n` set.
+    pub fn first_n(n: u8) -> PortMask {
+        assert!(n <= 16);
+        if n == 16 {
+            PortMask(u16::MAX)
+        } else {
+            PortMask((1u16 << n) - 1)
+        }
+    }
+
+    /// Whether `port` is in the set.
+    pub fn contains(self, port: u8) -> bool {
+        port < 16 && self.0 & (1 << port) != 0
+    }
+
+    /// Add a port to the set.
+    pub fn insert(&mut self, port: u8) {
+        assert!(port < 16);
+        self.0 |= 1 << port;
+    }
+
+    /// Remove a port from the set.
+    pub fn remove(&mut self, port: u8) {
+        if port < 16 {
+            self.0 &= !(1 << port);
+        }
+    }
+
+    /// True if no port is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of ports set.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterate over set port indices in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = u8> {
+        (0u8..16).filter(move |&p| self.contains(p))
+    }
+
+    /// The lowest set port, if any.
+    pub fn first(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as u8)
+        }
+    }
+}
+
+/// The `tuser` sideband metadata attached to the first word of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Meta {
+    /// Total packet length in bytes.
+    pub len: u16,
+    /// Ingress port index.
+    pub src_port: u8,
+    /// Destination ports, one-hot. Empty until a lookup stage fills it in.
+    pub dst_ports: PortMask,
+    /// Ingress timestamp (picoseconds), stamped by the receiving MAC or
+    /// packet source. Used by OSNT for latency measurement.
+    pub ingress_time: Time,
+    /// Opaque per-project flags (e.g. "send to CPU exception path").
+    pub flags: u16,
+}
+
+/// One bus beat: up to [`MAX_BUS_BYTES`] bytes of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Word {
+    data: [u8; MAX_BUS_BYTES],
+    nbytes: u8,
+    /// Start-of-packet marker.
+    pub sop: bool,
+    /// End-of-packet marker.
+    pub eop: bool,
+    /// Metadata; present only on the `sop` word.
+    pub meta: Option<Meta>,
+}
+
+impl Word {
+    /// Build a word from a byte slice (`data.len() <= MAX_BUS_BYTES`).
+    pub fn new(data: &[u8], sop: bool, eop: bool, meta: Option<Meta>) -> Word {
+        assert!(data.len() <= MAX_BUS_BYTES, "word wider than bus");
+        assert!(!data.is_empty(), "empty word");
+        let mut buf = [0u8; MAX_BUS_BYTES];
+        buf[..data.len()].copy_from_slice(data);
+        Word { data: buf, nbytes: data.len() as u8, sop, eop, meta }
+    }
+
+    /// The valid bytes of this beat.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data[..usize::from(self.nbytes)]
+    }
+
+    /// Number of valid bytes.
+    pub fn len(&self) -> usize {
+        usize::from(self.nbytes)
+    }
+
+    /// Always false; a word carries at least one byte.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    queue: VecDeque<Word>,
+    capacity: usize,
+    width: usize,
+    /// Cumulative counters for occupancy statistics.
+    pushed_words: u64,
+    popped_words: u64,
+    pushed_packets: u64,
+}
+
+/// A stream channel; create with [`Stream::new`], then split into handles.
+#[derive(Debug)]
+pub struct Stream;
+
+impl Stream {
+    /// Create a channel holding at most `capacity` words of `width` bytes.
+    /// Returns the producer and consumer handles.
+    #[allow(clippy::new_ret_no_self)] // factory for the handle pair, like mpsc::channel
+    pub fn new(capacity: usize, width: usize) -> (StreamTx, StreamRx) {
+        assert!(capacity >= 1, "capacity must be at least one word");
+        assert!(
+            (1..=MAX_BUS_BYTES).contains(&width),
+            "bus width must be 1..={MAX_BUS_BYTES}"
+        );
+        let shared = Rc::new(RefCell::new(Shared {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            width,
+            pushed_words: 0,
+            popped_words: 0,
+            pushed_packets: 0,
+        }));
+        (StreamTx { shared: shared.clone() }, StreamRx { shared })
+    }
+}
+
+/// Producer handle: the `tready`-checking side.
+#[derive(Debug, Clone)]
+pub struct StreamTx {
+    shared: Rc<RefCell<Shared>>,
+}
+
+impl StreamTx {
+    /// True if the channel can accept a word this cycle (`tready`).
+    pub fn can_push(&self) -> bool {
+        let s = self.shared.borrow();
+        s.queue.len() < s.capacity
+    }
+
+    /// Free space in words.
+    pub fn space(&self) -> usize {
+        let s = self.shared.borrow();
+        s.capacity - s.queue.len()
+    }
+
+    /// Push a word. Panics if full (callers must check `can_push`; pushing
+    /// into a full FIFO is a design bug, as it would be in hardware).
+    pub fn push(&self, word: Word) {
+        let mut s = self.shared.borrow_mut();
+        assert!(s.queue.len() < s.capacity, "push into full stream");
+        assert!(word.len() <= s.width, "word wider than stream bus");
+        s.pushed_words += 1;
+        if word.sop {
+            s.pushed_packets += 1;
+        }
+        s.queue.push_back(word);
+    }
+
+    /// The configured bus width in bytes.
+    pub fn width(&self) -> usize {
+        self.shared.borrow().width
+    }
+
+    /// The configured capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.shared.borrow().capacity
+    }
+}
+
+/// Consumer handle: the `tvalid`-checking side.
+#[derive(Debug, Clone)]
+pub struct StreamRx {
+    shared: Rc<RefCell<Shared>>,
+}
+
+impl StreamRx {
+    /// True if a word is available this cycle (`tvalid`).
+    pub fn can_pop(&self) -> bool {
+        !self.shared.borrow().queue.is_empty()
+    }
+
+    /// Look at the head word without consuming it.
+    pub fn peek(&self) -> Option<Word> {
+        self.shared.borrow().queue.front().copied()
+    }
+
+    /// Consume the head word.
+    pub fn pop(&self) -> Option<Word> {
+        let mut s = self.shared.borrow_mut();
+        let w = s.queue.pop_front();
+        if w.is_some() {
+            s.popped_words += 1;
+        }
+        w
+    }
+
+    /// Current occupancy in words.
+    pub fn occupancy(&self) -> usize {
+        self.shared.borrow().queue.len()
+    }
+
+    /// The configured bus width in bytes.
+    pub fn width(&self) -> usize {
+        self.shared.borrow().width
+    }
+
+    /// Total words ever pushed (for utilization accounting).
+    pub fn total_pushed(&self) -> u64 {
+        self.shared.borrow().pushed_words
+    }
+
+    /// Total packets ever pushed.
+    pub fn total_packets(&self) -> u64 {
+        self.shared.borrow().pushed_packets
+    }
+}
+
+/// Segment a packet into bus words of `width` bytes, attaching `meta` to the
+/// first word. The inverse of [`Reassembler`].
+pub fn segment(packet: &[u8], width: usize, meta: Meta) -> Vec<Word> {
+    assert!(!packet.is_empty(), "empty packet");
+    assert!((1..=MAX_BUS_BYTES).contains(&width));
+    let nwords = packet.len().div_ceil(width);
+    packet
+        .chunks(width)
+        .enumerate()
+        .map(|(i, chunk)| {
+            Word::new(
+                chunk,
+                i == 0,
+                i == nwords - 1,
+                if i == 0 { Some(meta) } else { None },
+            )
+        })
+        .collect()
+}
+
+/// Incrementally rebuild packets from a word stream.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    buf: Vec<u8>,
+    meta: Option<Meta>,
+    in_packet: bool,
+}
+
+impl Reassembler {
+    /// A fresh reassembler.
+    pub fn new() -> Reassembler {
+        Reassembler::default()
+    }
+
+    /// Feed one word; returns the completed packet on `eop`.
+    ///
+    /// Panics on framing violations (word outside a packet, or `sop` inside
+    /// one) — those indicate a module bug, mirroring how malformed AXIS
+    /// framing wedges real hardware.
+    pub fn push(&mut self, word: Word) -> Option<(Vec<u8>, Meta)> {
+        if word.sop {
+            assert!(!self.in_packet, "sop inside packet");
+            self.in_packet = true;
+            self.buf.clear();
+            self.meta = word.meta;
+        } else {
+            assert!(self.in_packet, "data word outside packet");
+        }
+        self.buf.extend_from_slice(word.bytes());
+        if word.eop {
+            self.in_packet = false;
+            let meta = self.meta.take().unwrap_or_default();
+            return Some((std::mem::take(&mut self.buf), meta));
+        }
+        None
+    }
+
+    /// True while a packet is partially received.
+    pub fn mid_packet(&self) -> bool {
+        self.in_packet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn portmask_ops() {
+        let mut m = PortMask::single(3);
+        assert!(m.contains(3));
+        assert!(!m.contains(2));
+        m.insert(0);
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(m.first(), Some(0));
+        m.remove(0);
+        assert_eq!(m.first(), Some(3));
+        assert_eq!(PortMask::first_n(4), PortMask(0b1111));
+        assert_eq!(PortMask::first_n(16).count(), 16);
+        assert!(PortMask::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn stream_handshake() {
+        let (tx, rx) = Stream::new(2, 32);
+        assert!(tx.can_push());
+        assert!(!rx.can_pop());
+        tx.push(Word::new(&[1, 2, 3], true, false, Some(Meta::default())));
+        tx.push(Word::new(&[4], false, true, None));
+        assert!(!tx.can_push());
+        assert_eq!(tx.space(), 0);
+        assert_eq!(rx.occupancy(), 2);
+        let w = rx.pop().unwrap();
+        assert_eq!(w.bytes(), &[1, 2, 3]);
+        assert!(w.sop && !w.eop);
+        assert!(tx.can_push());
+        assert_eq!(rx.pop().unwrap().bytes(), &[4]);
+        assert!(rx.pop().is_none());
+        assert_eq!(rx.total_pushed(), 2);
+        assert_eq!(rx.total_packets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "push into full stream")]
+    fn push_overflow_panics() {
+        let (tx, _rx) = Stream::new(1, 8);
+        tx.push(Word::new(&[0], true, true, None));
+        tx.push(Word::new(&[0], true, true, None));
+    }
+
+    #[test]
+    #[should_panic(expected = "word wider than stream bus")]
+    fn wide_word_panics() {
+        let (tx, _rx) = Stream::new(4, 4);
+        tx.push(Word::new(&[0; 8], true, true, None));
+    }
+
+    #[test]
+    fn segment_reassemble_exact_multiple() {
+        let pkt: Vec<u8> = (0..64u8).collect();
+        let meta = Meta { len: 64, src_port: 2, ..Default::default() };
+        let words = segment(&pkt, 32, meta);
+        assert_eq!(words.len(), 2);
+        assert!(words[0].sop && !words[0].eop);
+        assert!(!words[1].sop && words[1].eop);
+        assert_eq!(words[0].meta.unwrap().src_port, 2);
+        let mut r = Reassembler::new();
+        assert!(r.push(words[0]).is_none());
+        assert!(r.mid_packet());
+        let (out, m) = r.push(words[1]).unwrap();
+        assert_eq!(out, pkt);
+        assert_eq!(m.len, 64);
+        assert!(!r.mid_packet());
+    }
+
+    #[test]
+    fn segment_single_word_packet() {
+        let words = segment(&[9; 10], 32, Meta::default());
+        assert_eq!(words.len(), 1);
+        assert!(words[0].sop && words[0].eop);
+    }
+
+    #[test]
+    #[should_panic(expected = "data word outside packet")]
+    fn reassembler_rejects_orphan_word() {
+        Reassembler::new().push(Word::new(&[1], false, true, None));
+    }
+
+    proptest! {
+        /// segment/reassemble round-trips any packet at any width.
+        #[test]
+        fn prop_segment_roundtrip(
+            pkt in proptest::collection::vec(any::<u8>(), 1..4096),
+            width in 1usize..=MAX_BUS_BYTES,
+        ) {
+            let meta = Meta { len: pkt.len() as u16, ..Default::default() };
+            let words = segment(&pkt, width, meta);
+            prop_assert_eq!(words.len(), pkt.len().div_ceil(width));
+            let mut r = Reassembler::new();
+            let mut result = None;
+            for (i, w) in words.iter().enumerate() {
+                prop_assert_eq!(w.sop, i == 0);
+                prop_assert_eq!(w.eop, i == words.len() - 1);
+                if let Some(done) = r.push(*w) {
+                    prop_assert_eq!(i, words.len() - 1);
+                    result = Some(done);
+                }
+            }
+            let (out, _) = result.expect("packet completed");
+            prop_assert_eq!(out, pkt);
+        }
+
+        /// FIFO order is preserved through a stream.
+        #[test]
+        fn prop_fifo_order(data in proptest::collection::vec(any::<u8>(), 1..64)) {
+            let (tx, rx) = Stream::new(64, 1);
+            for &b in &data {
+                tx.push(Word::new(&[b], true, true, None));
+            }
+            let mut out = Vec::new();
+            while let Some(w) = rx.pop() {
+                out.push(w.bytes()[0]);
+            }
+            prop_assert_eq!(out, data);
+        }
+    }
+}

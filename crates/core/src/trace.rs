@@ -1,0 +1,229 @@
+//! Waveform tracing: record signal histories and export VCD.
+//!
+//! The real platform's simulation flow produces waveforms the developer
+//! inspects in a viewer; this module is the equivalent for netfpga-rs.
+//! A [`Probe`] records a named `u64` signal whenever its value changes;
+//! [`OccupancyProbe`] is a ready-made module that samples a stream's FIFO
+//! occupancy every cycle. [`write_vcd`] renders any set of probes as a
+//! standard Value Change Dump viewable in GTKWave.
+
+use crate::sim::{Module, TickContext};
+use crate::stream::StreamRx;
+use crate::time::Time;
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+#[derive(Debug, Default)]
+struct ProbeInner {
+    name: String,
+    /// (time, value) at every change, in time order.
+    changes: Vec<(Time, u64)>,
+}
+
+/// A recorded signal: shared handle, written by modules, read by the
+/// exporter.
+#[derive(Debug, Clone, Default)]
+pub struct Probe {
+    inner: Rc<RefCell<ProbeInner>>,
+}
+
+impl Probe {
+    /// A probe with a VCD signal name.
+    pub fn new(name: &str) -> Probe {
+        Probe {
+            inner: Rc::new(RefCell::new(ProbeInner {
+                name: name.to_string(),
+                changes: Vec::new(),
+            })),
+        }
+    }
+
+    /// Record `value` at `now` if it differs from the last recorded value.
+    pub fn record(&self, now: Time, value: u64) {
+        let mut p = self.inner.borrow_mut();
+        if p.changes.last().map(|&(_, v)| v) != Some(value) {
+            p.changes.push((now, value));
+        }
+    }
+
+    /// The signal name.
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Number of recorded changes.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().changes.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().changes.is_empty()
+    }
+
+    /// Snapshot of the change list.
+    pub fn changes(&self) -> Vec<(Time, u64)> {
+        self.inner.borrow().changes.clone()
+    }
+
+    /// Last recorded value.
+    pub fn last(&self) -> Option<u64> {
+        self.inner.borrow().changes.last().map(|&(_, v)| v)
+    }
+}
+
+/// A module that samples a stream's occupancy (words queued) every cycle.
+pub struct OccupancyProbe {
+    name: String,
+    rx: StreamRx,
+    probe: Probe,
+}
+
+impl OccupancyProbe {
+    /// Create a probe watching `rx`; returns the module and the signal.
+    pub fn new(name: &str, rx: StreamRx) -> (OccupancyProbe, Probe) {
+        let probe = Probe::new(name);
+        (
+            OccupancyProbe { name: name.to_string(), rx, probe: probe.clone() },
+            probe,
+        )
+    }
+}
+
+impl Module for OccupancyProbe {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &TickContext) {
+        self.probe.record(ctx.now, self.rx.occupancy() as u64);
+    }
+}
+
+/// Write probes as a VCD file (1 ps timescale, 64-bit vector signals).
+pub fn write_vcd<W: Write>(mut w: W, module: &str, probes: &[Probe]) -> io::Result<()> {
+    writeln!(w, "$timescale 1ps $end")?;
+    writeln!(w, "$scope module {module} $end")?;
+    // VCD identifier characters: printable ASCII from '!'.
+    let ident = |i: usize| -> String {
+        let mut s = String::new();
+        let mut n = i;
+        loop {
+            s.push((b'!' + (n % 94) as u8) as char);
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+        }
+        s
+    };
+    for (i, p) in probes.iter().enumerate() {
+        writeln!(w, "$var wire 64 {} {} $end", ident(i), p.name())?;
+    }
+    writeln!(w, "$upscope $end")?;
+    writeln!(w, "$enddefinitions $end")?;
+
+    // Merge all change lists by time.
+    let mut events: Vec<(Time, usize, u64)> = Vec::new();
+    for (i, p) in probes.iter().enumerate() {
+        for (t, v) in p.changes() {
+            events.push((t, i, v));
+        }
+    }
+    events.sort_by_key(|&(t, i, _)| (t, i));
+    let mut current: Option<Time> = None;
+    for (t, i, v) in events {
+        if current != Some(t) {
+            writeln!(w, "#{}", t.as_ps())?;
+            current = Some(t);
+        }
+        writeln!(w, "b{v:b} {}", ident(i))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packetio::PacketSource;
+    use crate::sim::Simulator;
+    use crate::stream::Stream;
+    use crate::time::Frequency;
+
+    #[test]
+    fn probe_records_only_changes() {
+        let p = Probe::new("sig");
+        p.record(Time::from_ns(1), 0);
+        p.record(Time::from_ns(2), 0); // duplicate value: skipped
+        p.record(Time::from_ns(3), 5);
+        p.record(Time::from_ns(4), 5);
+        p.record(Time::from_ns(5), 0);
+        assert_eq!(
+            p.changes(),
+            vec![
+                (Time::from_ns(1), 0),
+                (Time::from_ns(3), 5),
+                (Time::from_ns(5), 0)
+            ]
+        );
+        assert_eq!(p.last(), Some(0));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn occupancy_probe_sees_fifo_fill_and_drain() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("c", Frequency::mhz(100));
+        let (tx, rx) = Stream::new(8, 32);
+        let (source, inject) = PacketSource::new("src", tx);
+        let (probe_mod, probe) = OccupancyProbe::new("fifo_occ", rx.clone());
+        sim.add_module(clk, source);
+        sim.add_module(clk, probe_mod);
+        inject.push(vec![0u8; 96], 0); // 3 words, nothing drains them
+        sim.run_cycles(clk, 10);
+        assert_eq!(probe.last(), Some(3), "all three words queued");
+        // The probe ticks after the source each cycle, so it sees the fill
+        // one word at a time (1, 2, 3) with no skips.
+        let vals: Vec<u64> = probe.changes().iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn vcd_output_well_formed() {
+        let a = Probe::new("alpha");
+        let b = Probe::new("beta");
+        a.record(Time::from_ps(10), 1);
+        b.record(Time::from_ps(10), 2);
+        a.record(Time::from_ps(20), 3);
+        let mut buf = Vec::new();
+        write_vcd(&mut buf, "testbench", &[a, b]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("$timescale 1ps $end"));
+        assert!(text.contains("$var wire 64 ! alpha $end"));
+        assert!(text.contains("$var wire 64 \" beta $end"));
+        assert!(text.contains("#10"));
+        assert!(text.contains("#20"));
+        assert!(text.contains("b1 !"));
+        assert!(text.contains("b10 \""));
+        assert!(text.contains("b11 !"));
+        // Time markers appear once each.
+        assert_eq!(text.matches("#10").count(), 1);
+    }
+
+    #[test]
+    fn vcd_many_signals_unique_idents() {
+        let probes: Vec<Probe> = (0..200)
+            .map(|i| {
+                let p = Probe::new(&format!("s{i}"));
+                p.record(Time::from_ps(1), i as u64);
+                p
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_vcd(&mut buf, "wide", &probes).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Every signal declared.
+        assert_eq!(text.matches("$var wire 64 ").count(), 200);
+    }
+}

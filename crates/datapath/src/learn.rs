@@ -1,0 +1,199 @@
+//! The MAC-learning core of the reference switch: learn source addresses,
+//! forward to the learned port, flood unknowns — 802.1D behaviour over the
+//! [`AgingTable`] substrate.
+
+use crate::parser::ParsedHeaders;
+use netfpga_core::stream::{Meta, PortMask};
+use netfpga_core::time::Time;
+use netfpga_mem::AgingTable;
+use netfpga_packet::EthernetAddress;
+
+/// Learning/forwarding statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LearnStats {
+    /// Lookups that found the destination (unicast forward).
+    pub hits: u64,
+    /// Lookups that flooded (unknown destination or broadcast/multicast).
+    pub floods: u64,
+    /// Source addresses learned or refreshed.
+    pub learned: u64,
+    /// Learning failures (table pressure).
+    pub learn_failures: u64,
+}
+
+/// The learning switch decision core. Not a stream module itself — the
+/// reference switch wraps it in a [`PacketStage`](crate::stage::PacketStage).
+pub struct LearningSwitchCore {
+    table: AgingTable<u64, u8>,
+    nports: u8,
+    stats: LearnStats,
+}
+
+impl LearningSwitchCore {
+    /// A core for `nports` ports with `capacity` table slots and the given
+    /// aging interval.
+    pub fn new(nports: u8, capacity: usize, age_limit: Time) -> LearningSwitchCore {
+        assert!(nports >= 1);
+        LearningSwitchCore {
+            table: AgingTable::new(capacity, age_limit),
+            nports,
+            stats: LearnStats::default(),
+        }
+    }
+
+    /// Process one packet: learn the source, decide the output mask.
+    /// Returns the destination port mask (never includes the ingress port).
+    pub fn forward(&mut self, frame: &[u8], meta: &Meta, now: Time) -> PortMask {
+        let headers = ParsedHeaders::parse(frame);
+        self.decide(headers.eth_src, headers.eth_dst, meta.src_port, now)
+    }
+
+    /// The decision on already-parsed addresses.
+    pub fn decide(
+        &mut self,
+        src: EthernetAddress,
+        dst: EthernetAddress,
+        in_port: u8,
+        now: Time,
+    ) -> PortMask {
+        // Learn/refresh the source (unicast sources only, per 802.1D).
+        if src.is_unicast() {
+            if self.table.insert(src.to_u64(), in_port, now) {
+                self.stats.learned += 1;
+            } else {
+                self.stats.learn_failures += 1;
+            }
+        }
+        // Forward decision.
+        let mut mask = if dst.is_unicast() {
+            match self.table.lookup(&dst.to_u64(), now) {
+                Some(port) => {
+                    self.stats.hits += 1;
+                    PortMask::single(port)
+                }
+                None => {
+                    self.stats.floods += 1;
+                    PortMask::first_n(self.nports)
+                }
+            }
+        } else {
+            self.stats.floods += 1;
+            PortMask::first_n(self.nports)
+        };
+        // Never reflect back out the ingress port.
+        mask.remove(in_port);
+        mask
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> LearnStats {
+        self.stats
+    }
+
+    /// Live table entries at `now`.
+    pub fn table_size(&self, now: Time) -> usize {
+        self.table.live_entries(now)
+    }
+
+    /// Flush the table (management operation).
+    pub fn flush(&mut self) {
+        self.table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(x: u8) -> EthernetAddress {
+        EthernetAddress::new(2, 0, 0, 0, 0, x)
+    }
+
+    fn core() -> LearningSwitchCore {
+        LearningSwitchCore::new(4, 1024, Time::from_ms(100))
+    }
+
+    #[test]
+    fn unknown_floods_except_ingress() {
+        let mut c = core();
+        let mask = c.decide(mac(1), mac(2), 0, Time::ZERO);
+        assert!(!mask.contains(0), "no reflection");
+        assert!(mask.contains(1) && mask.contains(2) && mask.contains(3));
+        assert_eq!(c.stats().floods, 1);
+    }
+
+    #[test]
+    fn learned_destination_unicasts() {
+        let mut c = core();
+        // A talks from port 0; B replies from port 2.
+        c.decide(mac(1), mac(2), 0, Time::ZERO);
+        let mask = c.decide(mac(2), mac(1), 2, Time::from_us(1));
+        assert_eq!(mask, PortMask::single(0), "B->A goes straight to port 0");
+        let mask = c.decide(mac(1), mac(2), 0, Time::from_us(2));
+        assert_eq!(mask, PortMask::single(2), "A->B now unicast too");
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn station_move_relearns() {
+        let mut c = core();
+        c.decide(mac(1), mac(9), 0, Time::ZERO);
+        // Station 1 moves to port 3.
+        c.decide(mac(1), mac(9), 3, Time::from_us(5));
+        let mask = c.decide(mac(2), mac(1), 1, Time::from_us(6));
+        assert_eq!(mask, PortMask::single(3));
+    }
+
+    #[test]
+    fn broadcast_always_floods() {
+        let mut c = core();
+        c.decide(mac(1), mac(2), 0, Time::ZERO);
+        let mask = c.decide(mac(1), EthernetAddress::BROADCAST, 0, Time::from_us(1));
+        assert_eq!(mask, {
+            let mut m = PortMask::first_n(4);
+            m.remove(0);
+            m
+        });
+    }
+
+    #[test]
+    fn entries_age_out() {
+        let mut c = LearningSwitchCore::new(4, 64, Time::from_us(10));
+        c.decide(mac(1), mac(9), 0, Time::ZERO);
+        assert_eq!(c.table_size(Time::from_us(5)), 1);
+        // Well past aging: unknown again -> flood.
+        let mask = c.decide(mac(2), mac(1), 1, Time::from_ms(1));
+        assert!(mask.contains(0) && mask.contains(2) && mask.contains(3));
+    }
+
+    #[test]
+    fn flush_forgets() {
+        let mut c = core();
+        c.decide(mac(1), mac(9), 0, Time::ZERO);
+        c.flush();
+        assert_eq!(c.table_size(Time::ZERO), 0);
+        let mask = c.decide(mac(2), mac(1), 1, Time::from_us(1));
+        assert!(mask.count() > 1, "flooded after flush");
+    }
+
+    #[test]
+    fn multicast_source_not_learned() {
+        let mut c = core();
+        let mcast = EthernetAddress::new(0x01, 0, 0x5e, 0, 0, 5);
+        c.decide(mcast, mac(1), 0, Time::ZERO);
+        assert_eq!(c.table_size(Time::ZERO), 0);
+    }
+
+    #[test]
+    fn forward_parses_real_frames() {
+        let mut c = core();
+        let frame = netfpga_packet::PacketBuilder::new()
+            .eth(mac(1), mac(2))
+            .raw(netfpga_packet::EtherType::Ipv4, &[0u8; 30])
+            .build();
+        let meta = Meta { src_port: 1, ..Meta::default() };
+        let mask = c.forward(&frame, &meta, Time::ZERO);
+        assert!(!mask.contains(1));
+        assert_eq!(c.table_size(Time::ZERO), 1);
+    }
+}

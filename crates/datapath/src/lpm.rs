@@ -1,0 +1,249 @@
+//! Longest-prefix-match route table: a binary trie, as the reference
+//! router's lookup core implements in BRAM.
+
+use netfpga_packet::addr::{Ipv4Address, Ipv4Cidr};
+
+/// One routing-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// Gateway to forward to; `UNSPECIFIED` means directly connected (the
+    /// destination itself is the next hop).
+    pub next_hop: Ipv4Address,
+    /// Egress port index.
+    pub port: u8,
+}
+
+#[derive(Debug, Default)]
+struct Node {
+    children: [Option<Box<Node>>; 2],
+    entry: Option<RouteEntry>,
+}
+
+/// A binary-trie LPM table mapping IPv4 prefixes to [`RouteEntry`]s.
+///
+/// ```
+/// use netfpga_datapath::lpm::{LpmTable, RouteEntry};
+/// use netfpga_packet::Ipv4Address;
+///
+/// let mut table = LpmTable::new();
+/// table.insert(
+///     "10.0.0.0/8".parse().unwrap(),
+///     RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: 0 },
+/// );
+/// table.insert(
+///     "10.1.0.0/16".parse().unwrap(),
+///     RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: 1 },
+/// );
+/// // Longest prefix wins.
+/// assert_eq!(table.lookup("10.1.2.3".parse().unwrap()).unwrap().port, 1);
+/// assert_eq!(table.lookup("10.9.9.9".parse().unwrap()).unwrap().port, 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct LpmTable {
+    root: Node,
+    routes: usize,
+}
+
+impl LpmTable {
+    /// An empty table.
+    pub fn new() -> LpmTable {
+        LpmTable::default()
+    }
+
+    /// Number of installed routes.
+    pub fn len(&self) -> usize {
+        self.routes
+    }
+
+    /// True if no route is installed.
+    pub fn is_empty(&self) -> bool {
+        self.routes == 0
+    }
+
+    /// Insert (or replace) a route for `prefix`. Returns the previous entry
+    /// for the exact prefix, if any.
+    pub fn insert(&mut self, prefix: Ipv4Cidr, entry: RouteEntry) -> Option<RouteEntry> {
+        let bits = prefix.network().to_u32();
+        let mut node = &mut self.root;
+        for i in 0..prefix.prefix_len() {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            node = node.children[bit].get_or_insert_with(Box::default);
+        }
+        let old = node.entry.replace(entry);
+        if old.is_none() {
+            self.routes += 1;
+        }
+        old
+    }
+
+    /// Remove the route for the exact `prefix`. Returns the removed entry.
+    pub fn remove(&mut self, prefix: Ipv4Cidr) -> Option<RouteEntry> {
+        let bits = prefix.network().to_u32();
+        let mut node = &mut self.root;
+        for i in 0..prefix.prefix_len() {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            node = node.children[bit].as_deref_mut()?;
+        }
+        let old = node.entry.take();
+        if old.is_some() {
+            self.routes -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix lookup.
+    pub fn lookup(&self, addr: Ipv4Address) -> Option<RouteEntry> {
+        let bits = addr.to_u32();
+        let mut node = &self.root;
+        let mut best = node.entry;
+        for i in 0..32 {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            match &node.children[bit] {
+                Some(child) => {
+                    node = child;
+                    if node.entry.is_some() {
+                        best = node.entry;
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Resolve the next-hop IP for `dst`: the gateway, or `dst` itself on a
+    /// directly connected route. `None` if no route matches.
+    pub fn next_hop(&self, dst: Ipv4Address) -> Option<(Ipv4Address, u8)> {
+        let e = self.lookup(dst)?;
+        let nh = if e.next_hop.is_unspecified() { dst } else { e.next_hop };
+        Some((nh, e.port))
+    }
+
+    /// Remove every route.
+    pub fn clear(&mut self) {
+        self.root = Node::default();
+        self.routes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Address {
+        s.parse().unwrap()
+    }
+
+    fn entry(port: u8) -> RouteEntry {
+        RouteEntry { next_hop: ip("192.168.0.1"), port }
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = LpmTable::new();
+        t.insert(cidr("10.0.0.0/8"), entry(0));
+        t.insert(cidr("10.1.0.0/16"), entry(1));
+        t.insert(cidr("10.1.2.0/24"), entry(2));
+        assert_eq!(t.lookup(ip("10.1.2.3")).unwrap().port, 2);
+        assert_eq!(t.lookup(ip("10.1.9.9")).unwrap().port, 1);
+        assert_eq!(t.lookup(ip("10.9.9.9")).unwrap().port, 0);
+        assert_eq!(t.lookup(ip("11.0.0.1")), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn default_route() {
+        let mut t = LpmTable::new();
+        t.insert(cidr("0.0.0.0/0"), entry(7));
+        t.insert(cidr("10.0.0.0/8"), entry(1));
+        assert_eq!(t.lookup(ip("8.8.8.8")).unwrap().port, 7);
+        assert_eq!(t.lookup(ip("10.0.0.1")).unwrap().port, 1);
+    }
+
+    #[test]
+    fn host_route() {
+        let mut t = LpmTable::new();
+        t.insert(cidr("10.0.0.0/8"), entry(0));
+        t.insert(cidr("10.0.0.5/32"), entry(9));
+        assert_eq!(t.lookup(ip("10.0.0.5")).unwrap().port, 9);
+        assert_eq!(t.lookup(ip("10.0.0.6")).unwrap().port, 0);
+    }
+
+    #[test]
+    fn replace_and_remove() {
+        let mut t = LpmTable::new();
+        assert_eq!(t.insert(cidr("10.0.0.0/24"), entry(1)), None);
+        assert_eq!(t.insert(cidr("10.0.0.0/24"), entry(2)), Some(entry(1)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(cidr("10.0.0.0/24")), Some(entry(2)));
+        assert_eq!(t.remove(cidr("10.0.0.0/24")), None);
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(ip("10.0.0.1")), None);
+    }
+
+    #[test]
+    fn next_hop_resolution() {
+        let mut t = LpmTable::new();
+        // Directly connected: next hop is the destination.
+        t.insert(
+            cidr("10.0.1.0/24"),
+            RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: 1 },
+        );
+        // Via gateway.
+        t.insert(cidr("0.0.0.0/0"), RouteEntry { next_hop: ip("10.0.1.254"), port: 1 });
+        assert_eq!(t.next_hop(ip("10.0.1.9")), Some((ip("10.0.1.9"), 1)));
+        assert_eq!(t.next_hop(ip("99.0.0.1")), Some((ip("10.0.1.254"), 1)));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = LpmTable::new();
+        t.insert(cidr("10.0.0.0/8"), entry(0));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(ip("10.0.0.1")), None);
+    }
+
+    proptest! {
+        /// Trie agrees with a brute-force reference over random prefixes.
+        #[test]
+        fn prop_matches_reference(
+            routes in proptest::collection::btree_map((any::<u32>(), 0u8..=32), 0u8..16, 1..32),
+            probes in proptest::collection::vec(any::<u32>(), 16),
+        ) {
+            let mut t = LpmTable::new();
+            let rules: Vec<(u32, u8, u8)> = routes
+                .iter()
+                .map(|(&(addr, len), &port)| (addr, len, port))
+                .collect();
+            // Dedup by network: later inserts replace earlier ones for the
+            // same effective prefix, mirror that in the reference.
+            let mut effective: std::collections::BTreeMap<(u32, u8), u8> = Default::default();
+            for &(addr, len, port) in &rules {
+                let c = Ipv4Cidr::new(Ipv4Address::from_u32(addr), len);
+                t.insert(c, RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port });
+                effective.insert((c.network().to_u32(), len), port);
+            }
+            prop_assert_eq!(t.len(), effective.len());
+            for probe in probes {
+                let expect = effective
+                    .iter()
+                    .filter(|(&(net, len), _)| {
+                        let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+                        probe & mask == net
+                    })
+                    .max_by_key(|(&(_, len), _)| len)
+                    .map(|(_, &port)| port);
+                prop_assert_eq!(
+                    t.lookup(Ipv4Address::from_u32(probe)).map(|e| e.port),
+                    expect
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! A token-bucket rate limiter stage: pass-through that paces packets to a
+//! configured rate — used by OSNT's generator for sub-line-rate streams and
+//! available as a building block for traffic shaping research.
+
+use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::stream::{StreamRx, StreamTx, Word};
+use netfpga_core::time::{BitRate, Time};
+
+/// Token-bucket pacing stage. Tokens are bytes; a packet may start only
+/// when the bucket holds its full length (strict conformance), and the
+/// whole packet debits at start.
+pub struct RateLimiter {
+    name: String,
+    input: StreamRx,
+    output: StreamTx,
+    rate: BitRate,
+    burst_bytes: f64,
+    tokens: f64,
+    last_refill: Time,
+    /// Words of the admitted packet still to copy through.
+    in_packet: bool,
+    packets: u64,
+}
+
+impl RateLimiter {
+    /// Pace to `rate`, allowing bursts of `burst_bytes` (at least one MTU).
+    pub fn new(
+        name: &str,
+        input: StreamRx,
+        output: StreamTx,
+        rate: BitRate,
+        burst_bytes: usize,
+    ) -> RateLimiter {
+        assert!(burst_bytes >= 1514, "burst must cover at least one MTU frame");
+        RateLimiter {
+            name: name.to_string(),
+            input,
+            output,
+            rate,
+            burst_bytes: burst_bytes as f64,
+            tokens: burst_bytes as f64,
+            last_refill: Time::ZERO,
+            in_packet: false,
+            packets: 0,
+        }
+    }
+
+    /// Packets admitted so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    fn refill(&mut self, now: Time) {
+        let dt = now.saturating_sub(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + dt * self.rate.as_bps() as f64 / 8.0).min(self.burst_bytes);
+    }
+
+    fn head_packet_len(&self) -> Option<usize> {
+        // Packet length travels in the sop word's metadata.
+        let word = self.input.peek()?;
+        if !word.sop {
+            return Some(0); // mid-packet words always pass
+        }
+        Some(usize::from(word.meta.map(|m| m.len).unwrap_or(0)))
+    }
+
+    fn forward_one(&mut self) -> Option<Word> {
+        if !self.output.can_push() {
+            return None;
+        }
+        let word = self.input.pop()?;
+        self.in_packet = !word.eop;
+        self.output.push(word);
+        Some(word)
+    }
+}
+
+impl Module for RateLimiter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &TickContext) {
+        self.refill(ctx.now);
+        if self.in_packet {
+            // Finish the admitted packet regardless of tokens.
+            self.forward_one();
+            return;
+        }
+        let Some(len) = self.head_packet_len() else { return };
+        if len == 0 {
+            // Defensive: a framing anomaly; pass it through.
+            self.forward_one();
+            return;
+        }
+        if self.tokens >= len as f64 {
+            if let Some(word) = self.forward_one() {
+                if word.sop {
+                    self.tokens -= len as f64;
+                    self.packets += 1;
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.tokens = self.burst_bytes;
+        self.last_refill = Time::ZERO;
+        self.in_packet = false;
+        self.packets = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfpga_core::packetio::{PacketSink, PacketSource};
+    use netfpga_core::sim::Simulator;
+    use netfpga_core::stream::Stream;
+    use netfpga_core::time::Frequency;
+
+    fn rig(rate: BitRate) -> (
+        Simulator,
+        netfpga_core::packetio::InjectQueue,
+        netfpga_core::packetio::CaptureBuffer,
+    ) {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("core", Frequency::mhz(200));
+        let (in_tx, in_rx) = Stream::new(8, 32);
+        let (out_tx, out_rx) = Stream::new(8, 32);
+        let (src, inject) = PacketSource::new("src", in_tx);
+        let rl = RateLimiter::new("rl", in_rx, out_tx, rate, 2048);
+        let (sink, cap) = PacketSink::new("sink", out_rx);
+        sim.add_module(clk, src);
+        sim.add_module(clk, rl);
+        sim.add_module(clk, sink);
+        (sim, inject, cap)
+    }
+
+    #[test]
+    fn rate_is_enforced() {
+        // 1 Gb/s, 1000-byte packets -> 125 kpps -> 8 us per packet.
+        let (mut sim, inject, cap) = rig(BitRate::gbps(1));
+        let n = 50;
+        for _ in 0..n {
+            inject.push(vec![0u8; 1000], 0);
+        }
+        sim.run_until(Time::from_us(1000));
+        assert_eq!(cap.total_packets(), n);
+        let arrivals: Vec<Time> = cap.drain().iter().map(|c| c.arrival).collect();
+        let span = (*arrivals.last().unwrap() - arrivals[0]).as_secs_f64();
+        let rate_bps = ((n - 1) as f64 * 1000.0 * 8.0) / span;
+        assert!(
+            (rate_bps - 1e9).abs() / 1e9 < 0.05,
+            "measured {:.3} Gb/s",
+            rate_bps / 1e9
+        );
+    }
+
+    #[test]
+    fn bursts_up_to_bucket_pass_immediately() {
+        let (mut sim, inject, cap) = rig(BitRate::mbps(10));
+        // Bucket is 2048 bytes: two 1000-byte packets go out back-to-back.
+        inject.push(vec![0u8; 1000], 0);
+        inject.push(vec![0u8; 1000], 0);
+        sim.run_until(Time::from_us(5));
+        assert_eq!(cap.total_packets(), 2, "burst admitted without pacing");
+    }
+
+    #[test]
+    fn packets_arrive_intact_and_in_order() {
+        let (mut sim, inject, cap) = rig(BitRate::gbps(5));
+        for i in 0..10u8 {
+            inject.push(vec![i; 300], 0);
+        }
+        sim.run_until(Time::from_us(100));
+        let seq: Vec<u8> = cap.drain().iter().map(|c| c.data[0]).collect();
+        assert_eq!(seq, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "MTU")]
+    fn tiny_burst_rejected() {
+        let (tx, rx) = Stream::new(1, 32);
+        let (tx2, _rx2) = Stream::new(1, 32);
+        let _ = RateLimiter::new("rl", rx, tx2, BitRate::gbps(1), 100);
+        drop(tx);
+    }
+}

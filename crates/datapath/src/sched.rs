@@ -1,0 +1,376 @@
+//! Packet schedulers for the output-queue stage — the E4 ablation set.
+//!
+//! The paper's §3 example researcher "adds a new scheduling module to the
+//! existing reference router design"; this module is where they would add
+//! it. A [`Scheduler`] picks which class queue of an output port sends
+//! next; implementations provided: [`Fifo`], [`RoundRobin`],
+//! [`DeficitRoundRobin`], [`StrictPriority`] and [`WeightedFair`].
+
+/// Read-only view of one class queue offered to the scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueView {
+    /// Packets waiting.
+    pub packets: usize,
+    /// Size of the head packet in bytes (`None` if empty).
+    pub head_bytes: Option<usize>,
+}
+
+/// A work-conserving packet scheduler over a fixed set of class queues.
+pub trait Scheduler {
+    /// Pick the queue to dequeue from, or `None` if all are empty. Must not
+    /// return an empty queue.
+    fn select(&mut self, queues: &[QueueView]) -> Option<usize>;
+
+    /// Informs the scheduler that `bytes` were enqueued to `queue` (needed
+    /// by virtual-time schedulers).
+    fn on_enqueue(&mut self, queue: usize, bytes: usize) {
+        let _ = (queue, bytes);
+    }
+
+    /// Informs the scheduler that the head of `queue` (of `bytes` bytes)
+    /// was dequeued.
+    fn on_dequeue(&mut self, queue: usize, bytes: usize) {
+        let _ = (queue, bytes);
+    }
+
+    /// Stable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn first_nonempty(queues: &[QueueView]) -> Option<usize> {
+    queues.iter().position(|q| q.packets > 0)
+}
+
+/// Single-queue FIFO semantics: always serves the lowest-indexed non-empty
+/// queue. With one class configured this is plain FIFO; with several it
+/// degenerates to strict order of class index (which is the point of the
+/// ablation baseline).
+#[derive(Debug, Default)]
+pub struct Fifo;
+
+impl Scheduler for Fifo {
+    fn select(&mut self, queues: &[QueueView]) -> Option<usize> {
+        first_nonempty(queues)
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Packet-granular round robin: one packet per non-empty queue per turn,
+/// regardless of packet size (large-packet flows get more bytes).
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Scheduler for RoundRobin {
+    fn select(&mut self, queues: &[QueueView]) -> Option<usize> {
+        let n = queues.len();
+        (0..n)
+            .map(|k| (self.next + k) % n)
+            .find(|&i| queues[i].packets > 0)
+    }
+
+    fn on_dequeue(&mut self, queue: usize, _bytes: usize) {
+        self.next = queue + 1;
+    }
+
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+}
+
+/// Deficit round robin (Shreedhar & Varghese): byte-fair regardless of
+/// packet size mix.
+#[derive(Debug)]
+pub struct DeficitRoundRobin {
+    quantum: usize,
+    deficit: Vec<usize>,
+    current: usize,
+    /// Whether the current queue still needs its quantum for this visit.
+    needs_quantum: bool,
+}
+
+impl DeficitRoundRobin {
+    /// Create with a per-round byte quantum (use at least the MTU so every
+    /// packet can eventually be served).
+    pub fn new(queues: usize, quantum: usize) -> DeficitRoundRobin {
+        assert!(queues > 0 && quantum > 0);
+        DeficitRoundRobin {
+            quantum,
+            deficit: vec![0; queues],
+            current: 0,
+            needs_quantum: true,
+        }
+    }
+}
+
+impl Scheduler for DeficitRoundRobin {
+    fn select(&mut self, queues: &[QueueView]) -> Option<usize> {
+        assert_eq!(queues.len(), self.deficit.len());
+        if queues.iter().all(|q| q.packets == 0) {
+            return None;
+        }
+        // At most 2N advances: each queue gets at most one quantum grant
+        // per select() round, which is enough because quantum >= 1 byte
+        // accrues every pass and some queue is non-empty.
+        for _ in 0..(2 * queues.len() * (1 + self.quantum)) {
+            let i = self.current;
+            if queues[i].packets == 0 {
+                // Empty queues lose their deficit (classic DRR).
+                self.deficit[i] = 0;
+                self.current = (i + 1) % queues.len();
+                self.needs_quantum = true;
+                continue;
+            }
+            if self.needs_quantum {
+                self.deficit[i] += self.quantum;
+                self.needs_quantum = false;
+            }
+            let head = queues[i].head_bytes.expect("non-empty queue has a head");
+            if self.deficit[i] >= head {
+                return Some(i);
+            }
+            self.current = (i + 1) % queues.len();
+            self.needs_quantum = true;
+        }
+        unreachable!("DRR failed to converge");
+    }
+
+    fn on_dequeue(&mut self, queue: usize, bytes: usize) {
+        self.deficit[queue] = self.deficit[queue].saturating_sub(bytes);
+    }
+
+    fn name(&self) -> &'static str {
+        "drr"
+    }
+}
+
+/// Strict priority: queue 0 is highest; lower classes starve under load.
+#[derive(Debug, Default)]
+pub struct StrictPriority;
+
+impl Scheduler for StrictPriority {
+    fn select(&mut self, queues: &[QueueView]) -> Option<usize> {
+        first_nonempty(queues)
+    }
+
+    fn name(&self) -> &'static str {
+        "strict"
+    }
+}
+
+/// Weighted fair queueing via per-packet virtual finish times (a start-time
+/// fair approximation: V advances with served bytes).
+#[derive(Debug)]
+pub struct WeightedFair {
+    weights: Vec<f64>,
+    /// Virtual finish time of each queued packet, per queue.
+    tags: Vec<std::collections::VecDeque<f64>>,
+    /// Last assigned finish tag per queue.
+    last_tag: Vec<f64>,
+    /// Virtual time: total weighted service so far.
+    vtime: f64,
+}
+
+impl WeightedFair {
+    /// Create with per-queue weights (must be positive).
+    pub fn new(weights: Vec<f64>) -> WeightedFair {
+        assert!(!weights.is_empty());
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        let n = weights.len();
+        WeightedFair {
+            weights,
+            tags: vec![std::collections::VecDeque::new(); n],
+            last_tag: vec![0.0; n],
+            vtime: 0.0,
+        }
+    }
+
+    /// Equal weights for `n` queues.
+    pub fn equal(n: usize) -> WeightedFair {
+        WeightedFair::new(vec![1.0; n])
+    }
+}
+
+impl Scheduler for WeightedFair {
+    fn select(&mut self, queues: &[QueueView]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, q) in queues.iter().enumerate() {
+            if q.packets == 0 {
+                continue;
+            }
+            let tag = self.tags[i].front().copied().unwrap_or(f64::INFINITY);
+            if best.is_none_or(|(_, b)| tag < b) {
+                best = Some((i, tag));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn on_enqueue(&mut self, queue: usize, bytes: usize) {
+        let start = self.vtime.max(self.last_tag[queue]);
+        let finish = start + bytes as f64 / self.weights[queue];
+        self.last_tag[queue] = finish;
+        self.tags[queue].push_back(finish);
+    }
+
+    fn on_dequeue(&mut self, queue: usize, bytes: usize) {
+        if let Some(tag) = self.tags[queue].pop_front() {
+            // Advance virtual time to the served packet's finish tag; this
+            // keeps V monotone and roughly tracking the fluid system.
+            self.vtime = self.vtime.max(tag);
+        }
+        let _ = bytes;
+    }
+
+    fn name(&self) -> &'static str {
+        "wfq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Drive a scheduler against in-memory queues; returns per-queue served
+    /// byte totals after `rounds` dequeues.
+    fn serve(
+        sched: &mut dyn Scheduler,
+        mut queues: Vec<VecDeque<usize>>,
+        rounds: usize,
+    ) -> Vec<usize> {
+        // Register pre-existing contents.
+        for (i, q) in queues.iter().enumerate() {
+            for &b in q {
+                sched.on_enqueue(i, b);
+            }
+        }
+        let mut served = vec![0usize; queues.len()];
+        for _ in 0..rounds {
+            let views: Vec<QueueView> = queues
+                .iter()
+                .map(|q| QueueView { packets: q.len(), head_bytes: q.front().copied() })
+                .collect();
+            let Some(i) = sched.select(&views) else { break };
+            let bytes = queues[i].pop_front().expect("scheduler picked empty queue");
+            sched.on_dequeue(i, bytes);
+            served[i] += bytes;
+        }
+        served
+    }
+
+    fn backlog(sizes: &[usize], count: usize) -> Vec<VecDeque<usize>> {
+        sizes
+            .iter()
+            .map(|&s| std::iter::repeat_n(s, count).collect())
+            .collect()
+    }
+
+    #[test]
+    fn fifo_serves_lowest_class_first() {
+        let mut s = Fifo;
+        let served = serve(&mut s, backlog(&[100, 100], 10), 10);
+        assert_eq!(served, vec![1000, 0]);
+    }
+
+    #[test]
+    fn rr_alternates_packets() {
+        let mut s = RoundRobin::default();
+        // Queue 0 has big packets, queue 1 small: RR is packet-fair, so
+        // byte totals diverge by the size ratio.
+        let served = serve(&mut s, backlog(&[1000, 100], 10), 20);
+        assert_eq!(served, vec![10_000, 1_000]);
+    }
+
+    #[test]
+    fn drr_is_byte_fair_with_mixed_sizes() {
+        let mut s = DeficitRoundRobin::new(2, 1500);
+        // 1500-byte packets vs 100-byte packets, heavy backlog.
+        let served = serve(&mut s, backlog(&[1500, 100], 200), 200);
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!((ratio - 1.0).abs() < 0.15, "byte ratio {ratio}");
+    }
+
+    #[test]
+    fn drr_skips_empty_queues_without_stall() {
+        let mut s = DeficitRoundRobin::new(3, 500);
+        let queues = vec![
+            VecDeque::from(vec![400usize; 5]),
+            VecDeque::new(),
+            VecDeque::from(vec![400usize; 5]),
+        ];
+        let served = serve(&mut s, queues, 10);
+        assert_eq!(served, vec![2000, 0, 2000]);
+    }
+
+    #[test]
+    fn strict_priority_starves_low_classes() {
+        let mut s = StrictPriority;
+        let served = serve(&mut s, backlog(&[100, 100, 100], 50), 50);
+        assert_eq!(served, vec![5000, 0, 0]);
+    }
+
+    #[test]
+    fn wfq_respects_weights() {
+        let mut s = WeightedFair::new(vec![3.0, 1.0]);
+        let served = serve(&mut s, backlog(&[100, 100], 400), 400);
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "weight ratio {ratio}");
+    }
+
+    #[test]
+    fn wfq_equal_weights_byte_fair_mixed_sizes() {
+        let mut s = WeightedFair::equal(2);
+        let served = serve(&mut s, backlog(&[1500, 100], 300), 300);
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!((ratio - 1.0).abs() < 0.2, "byte ratio {ratio}");
+    }
+
+    #[test]
+    fn all_schedulers_work_conserving_and_never_pick_empty() {
+        let scheds: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(Fifo),
+            Box::new(RoundRobin::default()),
+            Box::new(DeficitRoundRobin::new(3, 1500)),
+            Box::new(StrictPriority),
+            Box::new(WeightedFair::equal(3)),
+        ];
+        for mut s in scheds {
+            let queues = vec![
+                VecDeque::from(vec![64usize; 3]),
+                VecDeque::new(),
+                VecDeque::from(vec![1500usize; 2]),
+            ];
+            let total: usize = queues.iter().map(|q| q.len()).sum();
+            // serve() panics internally if an empty queue is picked.
+            let served = serve(&mut *s, queues, total + 5);
+            let served_total: usize = served.iter().sum();
+            assert_eq!(
+                served_total,
+                3 * 64 + 2 * 1500,
+                "{} did not drain all queues",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_system_returns_none() {
+        let views = [QueueView { packets: 0, head_bytes: None }; 2];
+        assert!(Fifo.select(&views).is_none());
+        assert!(RoundRobin::default().select(&views).is_none());
+        assert!(DeficitRoundRobin::new(2, 100).select(&views).is_none());
+        assert!(StrictPriority.select(&views).is_none());
+        assert!(WeightedFair::equal(2).select(&views).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn wfq_rejects_zero_weight() {
+        let _ = WeightedFair::new(vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # netfpga-host
+//!
+//! The software portion of the platform: what runs on the host CPU and
+//! talks to the card only through the PCIe models (MMIO registers, DMA
+//! rings) — "embedded code, a driver and relevant applications (e.g.
+//! router management)" in the paper's words.
+//!
+//! * [`nic`] — the reference NIC driver (TX/RX over DMA, stats registers).
+//! * [`router_manager`] — the router management application: table
+//!   configuration through the register protocol and the full exception
+//!   path (ARP resolution, ICMP generation, slow-path forwarding).
+//! * [`controller`] — the BlueSwitch controller: atomic (consistent) and
+//!   naive rule installation, version/violation readback.
+//! * [`osnt_tool`] — the OSNT configuration tool: probe runs configured and
+//!   read back purely through the register blocks.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod controller;
+pub mod nic;
+pub mod osnt_tool;
+pub mod router_manager;
+
+pub use controller::{BlueSwitchController, RuleSpec};
+pub use nic::NicDriver;
+pub use osnt_tool::{OsntTool, ProbeReport, ProbeRun};
+pub use router_manager::{Interface, RouterManager};

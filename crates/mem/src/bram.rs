@@ -1,0 +1,137 @@
+//! On-chip block RAM: synchronous, single-cycle, dual-port.
+
+/// A block RAM of `V` entries with synchronous read: a read issued this
+/// cycle produces data next cycle. Writes take effect immediately (write
+/// port is independent of the read port, as in true-dual-port BRAM).
+#[derive(Debug, Clone)]
+pub struct Bram<V: Clone + Default> {
+    storage: Vec<V>,
+    // The registered read output: (data, valid).
+    read_reg: Option<V>,
+    pending: Option<usize>,
+    reads: u64,
+    writes: u64,
+}
+
+impl<V: Clone + Default> Bram<V> {
+    /// A BRAM with `entries` default-initialized entries.
+    pub fn new(entries: usize) -> Bram<V> {
+        assert!(entries > 0, "empty BRAM");
+        Bram {
+            storage: vec![V::default(); entries],
+            read_reg: None,
+            pending: None,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Issue a synchronous read of `addr`; data appears at
+    /// [`Bram::read_data`] after the next [`Bram::tick`]. One read per
+    /// cycle; a second issue in the same cycle replaces the first (the
+    /// address register is overwritten, as in hardware).
+    pub fn issue_read(&mut self, addr: usize) {
+        assert!(addr < self.storage.len(), "BRAM read out of range");
+        self.pending = Some(addr);
+        self.reads += 1;
+    }
+
+    /// Write `addr` immediately (takes effect this cycle).
+    pub fn write(&mut self, addr: usize, value: V) {
+        assert!(addr < self.storage.len(), "BRAM write out of range");
+        self.storage[addr] = value;
+        self.writes += 1;
+    }
+
+    /// Combinational peek, for construction/debug only (hardware cannot do
+    /// this on a sync-read BRAM).
+    pub fn peek(&self, addr: usize) -> &V {
+        &self.storage[addr]
+    }
+
+    /// Advance one cycle: latch any pending read into the output register.
+    pub fn tick(&mut self) {
+        if let Some(addr) = self.pending.take() {
+            self.read_reg = Some(self.storage[addr].clone());
+        }
+    }
+
+    /// The registered read output from the most recent completed read.
+    /// `None` until the first read completes. Reading does not consume it.
+    pub fn read_data(&self) -> Option<&V> {
+        self.read_reg.as_ref()
+    }
+
+    /// (reads, writes) issued so far.
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_read_takes_one_cycle() {
+        let mut b: Bram<u32> = Bram::new(16);
+        b.write(3, 77);
+        b.issue_read(3);
+        assert!(b.read_data().is_none(), "data before tick");
+        b.tick();
+        assert_eq!(b.read_data(), Some(&77));
+        // Output register holds until the next read completes.
+        b.tick();
+        assert_eq!(b.read_data(), Some(&77));
+    }
+
+    #[test]
+    fn second_issue_overwrites_first() {
+        let mut b: Bram<u32> = Bram::new(8);
+        b.write(0, 1);
+        b.write(1, 2);
+        b.issue_read(0);
+        b.issue_read(1); // same cycle: wins
+        b.tick();
+        assert_eq!(b.read_data(), Some(&2));
+    }
+
+    #[test]
+    fn write_then_read_same_address() {
+        let mut b: Bram<u64> = Bram::new(4);
+        b.write(2, 9);
+        b.issue_read(2);
+        b.write(2, 10); // write-first behaviour: read sees new data at tick
+        b.tick();
+        assert_eq!(b.read_data(), Some(&10));
+    }
+
+    #[test]
+    fn counters() {
+        let mut b: Bram<u8> = Bram::new(4);
+        b.write(0, 1);
+        b.issue_read(0);
+        b.tick();
+        assert_eq!(b.access_counts(), (1, 1));
+        assert_eq!(b.entries(), 4);
+        assert_eq!(*b.peek(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_out_of_range() {
+        let mut b: Bram<u8> = Bram::new(4);
+        b.issue_read(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty BRAM")]
+    fn zero_entries_rejected() {
+        let _: Bram<u8> = Bram::new(0);
+    }
+}

@@ -1,0 +1,174 @@
+//! An exact-match content-addressable memory.
+//!
+//! Hardware CAMs compare every stored key against the search key in
+//! parallel, in one cycle. The model keeps a fixed number of slots (the
+//! synthesized capacity) and performs lookups combinationally; management
+//! writes come from software and may take multiple register accesses, so
+//! they are zero-time here.
+
+/// A fixed-capacity exact-match CAM mapping `K` to `V`.
+#[derive(Debug, Clone)]
+pub struct Cam<K: Eq + Clone, V: Clone> {
+    slots: Vec<Option<(K, V)>>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl<K: Eq + Clone, V: Clone> Cam<K, V> {
+    /// A CAM with `capacity` slots.
+    pub fn new(capacity: usize) -> Cam<K, V> {
+        assert!(capacity > 0, "zero-capacity CAM");
+        Cam { slots: vec![None; capacity], lookups: 0, hits: 0 }
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True if no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Single-cycle parallel lookup.
+    pub fn lookup(&mut self, key: &K) -> Option<V> {
+        self.lookups += 1;
+        let hit = self
+            .slots
+            .iter()
+            .find_map(|s| s.as_ref().filter(|(k, _)| k == key).map(|(_, v)| v.clone()));
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Insert or update a key. Returns `false` (and leaves the CAM
+    /// unchanged) if the key is new and no free slot exists.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        // Update in place if present.
+        for (k, v) in self.slots.iter_mut().flatten() {
+            if *k == key {
+                *v = value;
+                return true;
+            }
+        }
+        for s in self.slots.iter_mut() {
+            if s.is_none() {
+                *s = Some((key, value));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove a key. Returns whether it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        for s in self.slots.iter_mut() {
+            if matches!(s, Some((k, _)) if k == key) {
+                *s = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        for s in self.slots.iter_mut() {
+            *s = None;
+        }
+    }
+
+    /// (lookups, hits) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.hits)
+    }
+
+    /// Iterate over occupied entries (slot order).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|(k, v)| (k, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut cam: Cam<u64, u8> = Cam::new(4);
+        assert!(cam.insert(10, 1));
+        assert!(cam.insert(20, 2));
+        assert_eq!(cam.lookup(&10), Some(1));
+        assert_eq!(cam.lookup(&30), None);
+        assert!(cam.remove(&10));
+        assert!(!cam.remove(&10));
+        assert_eq!(cam.lookup(&10), None);
+        assert_eq!(cam.len(), 1);
+        assert_eq!(cam.stats(), (3, 1));
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut cam: Cam<u64, u8> = Cam::new(2);
+        cam.insert(1, 1);
+        cam.insert(1, 9);
+        assert_eq!(cam.len(), 1);
+        assert_eq!(cam.lookup(&1), Some(9));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut cam: Cam<u64, u8> = Cam::new(2);
+        assert!(cam.insert(1, 1));
+        assert!(cam.insert(2, 2));
+        assert!(!cam.insert(3, 3), "full CAM must reject");
+        assert_eq!(cam.lookup(&3), None);
+        // Freeing a slot admits the new key.
+        cam.remove(&1);
+        assert!(cam.insert(3, 3));
+        assert_eq!(cam.lookup(&3), Some(3));
+    }
+
+    #[test]
+    fn clear_and_iter() {
+        let mut cam: Cam<u32, u32> = Cam::new(8);
+        for i in 0..5 {
+            cam.insert(i, i * 2);
+        }
+        assert_eq!(cam.iter().count(), 5);
+        cam.clear();
+        assert!(cam.is_empty());
+    }
+
+    proptest! {
+        /// The CAM agrees with a reference map as long as capacity is not
+        /// exceeded.
+        #[test]
+        fn prop_matches_reference(ops in proptest::collection::vec((0u64..16, any::<Option<u16>>()), 1..100)) {
+            let mut cam: Cam<u64, u16> = Cam::new(16);
+            let mut reference = std::collections::BTreeMap::new();
+            for (key, op) in ops {
+                match op {
+                    Some(v) => {
+                        prop_assert!(cam.insert(key, v)); // 16 keys, 16 slots: never full
+                        reference.insert(key, v);
+                    }
+                    None => {
+                        prop_assert_eq!(cam.remove(&key), reference.remove(&key).is_some());
+                    }
+                }
+                prop_assert_eq!(cam.lookup(&key), reference.get(&key).copied());
+                prop_assert_eq!(cam.len(), reference.len());
+            }
+        }
+    }
+}

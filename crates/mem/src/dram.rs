@@ -1,0 +1,476 @@
+//! DDR3 SDRAM model: banks, open rows, FR-FCFS scheduling, refresh.
+//!
+//! The model captures the behaviour that separates DRAM from SRAM on the
+//! platform: *locality sensitivity*. A line in an open row costs `tCL`; a
+//! closed bank adds `tRCD`; a conflicting open row adds `tRP` as well; and
+//! every `tREFI` cycles the device spends `tRFC` refreshing. Streaming
+//! (sequential lines in one row) therefore approaches the pin bandwidth,
+//! while random single-line access collapses to a fraction of it —
+//! the crossover experiment E3 measures.
+//!
+//! Cycles here are memory-controller clock cycles (933 MHz for DDR3-1866;
+//! one burst of 8 transfers occupies 4 cycles of the data bus).
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Geometry and timing of a DDR3 device/controller pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of banks (DDR3: 8).
+    pub banks: usize,
+    /// Row size in bytes (page size × device width; typically 8 KiB).
+    pub row_bytes: usize,
+    /// Transfer granularity in bytes (one burst; 64 B for a 64-bit bus).
+    pub line_bytes: usize,
+    /// Activate-to-read delay (tRCD) in cycles.
+    pub t_rcd: u64,
+    /// CAS latency (tCL) in cycles.
+    pub t_cl: u64,
+    /// Precharge time (tRP) in cycles.
+    pub t_rp: u64,
+    /// Data-bus occupancy of one burst in cycles (burst 8 on DDR = 4).
+    pub burst_cycles: u64,
+    /// Average refresh interval (tREFI) in cycles; 0 disables refresh.
+    pub t_refi: u64,
+    /// Refresh duration (tRFC) in cycles.
+    pub t_rfc: u64,
+    /// Controller request-queue depth.
+    pub queue_depth: usize,
+    /// First-ready first-come-first-served scheduling (row hits served out
+    /// of order). `false` = strict FCFS, the ablation baseline.
+    pub fr_fcfs: bool,
+}
+
+impl Default for DramConfig {
+    /// DDR3-1866 with an 8 KiB row, 64 B lines and JEDEC-ish latencies
+    /// (tCL = tRCD = tRP = 13 cycles at 933 MHz).
+    fn default() -> DramConfig {
+        DramConfig {
+            banks: 8,
+            row_bytes: 8192,
+            line_bytes: 64,
+            t_rcd: 13,
+            t_cl: 13,
+            t_rp: 13,
+            burst_cycles: 4,
+            t_refi: 7280,
+            t_rfc: 150,
+            queue_depth: 32,
+            fr_fcfs: true,
+        }
+    }
+}
+
+/// A request handed to the controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramRequest {
+    /// Caller-chosen tag returned with the completion.
+    pub tag: u64,
+    /// Byte address (line-aligned internally).
+    pub addr: u64,
+    /// Write (with data) or read.
+    pub write: Option<Vec<u8>>,
+}
+
+/// Controller statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Bursts that hit an open row.
+    pub row_hits: u64,
+    /// Bursts that required an activate (closed bank).
+    pub row_misses: u64,
+    /// Bursts that required precharge + activate (conflicting open row).
+    pub row_conflicts: u64,
+    /// Refresh operations performed.
+    pub refreshes: u64,
+    /// Reads completed.
+    pub reads: u64,
+    /// Writes completed.
+    pub writes: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    ready_at: u64,
+}
+
+#[derive(Debug)]
+struct Queued {
+    req: DramRequest,
+    bank: usize,
+    row: u64,
+    line: u64,
+    arrived: u64,
+    /// True once this request paid an activate (so servicing it later is
+    /// not counted as a row hit).
+    activated: bool,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    done_at: u64,
+    tag: u64,
+    data: Option<Vec<u8>>, // Some for reads
+}
+
+/// The DDR3 controller + device model.
+#[derive(Debug)]
+pub struct Dram {
+    config: DramConfig,
+    cycle: u64,
+    banks: Vec<Bank>,
+    queue: VecDeque<Queued>,
+    in_flight: Vec<InFlight>,
+    completed: VecDeque<(u64, Option<Vec<u8>>)>,
+    bus_free_at: u64,
+    next_refresh: u64,
+    storage: BTreeMap<u64, Vec<u8>>,
+    stats: DramStats,
+    lines_per_row: u64,
+}
+
+impl Dram {
+    /// Construct with the given configuration.
+    pub fn new(config: DramConfig) -> Dram {
+        assert!(config.banks > 0 && config.row_bytes > 0 && config.line_bytes > 0);
+        assert_eq!(config.row_bytes % config.line_bytes, 0);
+        assert!(config.queue_depth > 0);
+        Dram {
+            banks: vec![Bank { open_row: None, ready_at: 0 }; config.banks],
+            queue: VecDeque::new(),
+            in_flight: Vec::new(),
+            completed: VecDeque::new(),
+            bus_free_at: 0,
+            next_refresh: if config.t_refi == 0 { u64::MAX } else { config.t_refi },
+            storage: BTreeMap::new(),
+            stats: DramStats::default(),
+            cycle: 0,
+            lines_per_row: (config.row_bytes / config.line_bytes) as u64,
+            config,
+        }
+    }
+
+    /// Map a line index to (bank, row): banks interleave on consecutive
+    /// rows' worth of lines, the usual row-bank-column layout.
+    fn map(&self, line: u64) -> (usize, u64) {
+        let bank = ((line / self.lines_per_row) % self.config.banks as u64) as usize;
+        let row = line / (self.lines_per_row * self.config.banks as u64);
+        (bank, row)
+    }
+
+    /// Submit a request. Returns `false` if the controller queue is full.
+    pub fn submit(&mut self, req: DramRequest) -> bool {
+        if self.queue.len() >= self.config.queue_depth {
+            return false;
+        }
+        if let Some(data) = &req.write {
+            assert_eq!(data.len(), self.config.line_bytes, "write must be one line");
+        }
+        let line = req.addr / self.config.line_bytes as u64;
+        let (bank, row) = self.map(line);
+        self.queue.push_back(Queued { req, bank, row, line, arrived: self.cycle, activated: false });
+        true
+    }
+
+    /// Free request-queue slots.
+    pub fn free_slots(&self) -> usize {
+        self.config.queue_depth - self.queue.len()
+    }
+
+    /// Advance one controller cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+
+        // Refresh: close every bank, stall the device for tRFC.
+        if self.cycle >= self.next_refresh {
+            for b in &mut self.banks {
+                b.open_row = None;
+                b.ready_at = self.cycle + self.config.t_rfc;
+            }
+            self.bus_free_at = self.bus_free_at.max(self.cycle + self.config.t_rfc);
+            self.next_refresh = self.cycle + self.config.t_refi;
+            self.stats.refreshes += 1;
+        }
+
+        // Retire finished bursts.
+        let cycle = self.cycle;
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].done_at <= cycle {
+                let f = self.in_flight.swap_remove(i);
+                self.completed.push_back((f.tag, f.data));
+            } else {
+                i += 1;
+            }
+        }
+
+        // FR-FCFS: issue at most one column command (if the bus is free)
+        // and at most one activate/precharge per cycle.
+        if self.bus_free_at <= self.cycle {
+            if let Some(pos) = self.first_row_hit() {
+                let q = self.queue.remove(pos).expect("index valid");
+                if !q.activated {
+                    self.stats.row_hits += 1;
+                }
+                self.service(q);
+                return;
+            }
+        }
+        // No serviceable hit: prepare the oldest request's bank.
+        if let Some(q) = self.queue.front_mut() {
+            let bank = &mut self.banks[q.bank];
+            if bank.ready_at <= self.cycle {
+                match bank.open_row {
+                    Some(r) if r == q.row => { /* hit pending bus */ }
+                    Some(_) => {
+                        // Conflict: precharge then activate.
+                        bank.ready_at = self.cycle + self.config.t_rp + self.config.t_rcd;
+                        bank.open_row = Some(q.row);
+                        self.stats.row_conflicts += 1;
+                        q.activated = true;
+                    }
+                    None => {
+                        bank.ready_at = self.cycle + self.config.t_rcd;
+                        bank.open_row = Some(q.row);
+                        self.stats.row_misses += 1;
+                        q.activated = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn first_row_hit(&self) -> Option<usize> {
+        let scan = if self.config.fr_fcfs { self.queue.len() } else { 1 };
+        self.queue.iter().take(scan).position(|q| {
+            let b = &self.banks[q.bank];
+            b.ready_at <= self.cycle && b.open_row == Some(q.row)
+        })
+    }
+
+    fn service(&mut self, q: Queued) {
+        self.bus_free_at = self.cycle + self.config.burst_cycles;
+        let line_addr = q.line * self.config.line_bytes as u64;
+        match q.req.write {
+            Some(data) => {
+                self.storage.insert(line_addr, data);
+                self.stats.writes += 1;
+                self.in_flight.push(InFlight {
+                    done_at: self.cycle + self.config.burst_cycles,
+                    tag: q.req.tag,
+                    data: None,
+                });
+            }
+            None => {
+                let data = self
+                    .storage
+                    .get(&line_addr)
+                    .cloned()
+                    .unwrap_or_else(|| vec![0u8; self.config.line_bytes]);
+                self.stats.reads += 1;
+                self.in_flight.push(InFlight {
+                    done_at: self.cycle + self.config.t_cl + self.config.burst_cycles,
+                    tag: q.req.tag,
+                    data: Some(data),
+                });
+            }
+        }
+        let _ = q.arrived;
+    }
+
+    /// Collect the oldest completion: `(tag, Some(line))` for reads,
+    /// `(tag, None)` for writes.
+    pub fn collect(&mut self) -> Option<(u64, Option<Vec<u8>>)> {
+        self.completed.pop_front()
+    }
+
+    /// Requests accepted but not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.queue.len() + self.in_flight.len() + self.completed.len()
+    }
+
+    /// Controller statistics so far.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_refresh() -> DramConfig {
+        DramConfig { t_refi: 0, ..DramConfig::default() }
+    }
+
+    fn run_until_complete(d: &mut Dram, n: usize, max_cycles: u64) -> Vec<(u64, Option<Vec<u8>>)> {
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while out.len() < n {
+            d.tick();
+            while let Some(c) = d.collect() {
+                out.push(c);
+            }
+            guard += 1;
+            assert!(guard < max_cycles, "requests did not complete");
+        }
+        out
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut d = Dram::new(no_refresh());
+        let line: Vec<u8> = (0..64).collect();
+        assert!(d.submit(DramRequest { tag: 1, addr: 0x1000, write: Some(line.clone()) }));
+        assert!(d.submit(DramRequest { tag: 2, addr: 0x1000, write: None }));
+        let done = run_until_complete(&mut d, 2, 1000);
+        assert_eq!(done[0].0, 1);
+        assert!(done[0].1.is_none());
+        assert_eq!(done[1].0, 2);
+        assert_eq!(done[1].1.as_deref(), Some(&line[..]));
+    }
+
+    #[test]
+    fn unwritten_reads_return_zeroes() {
+        let mut d = Dram::new(no_refresh());
+        d.submit(DramRequest { tag: 9, addr: 0x8000, write: None });
+        let done = run_until_complete(&mut d, 1, 1000);
+        assert_eq!(done[0].1.as_deref(), Some(&[0u8; 64][..]));
+    }
+
+    #[test]
+    fn row_hit_faster_than_miss() {
+        // First access to a row: activate (tRCD) + CAS (tCL) + burst.
+        let mut d = Dram::new(no_refresh());
+        d.submit(DramRequest { tag: 0, addr: 0, write: None });
+        let start = d.cycle();
+        run_until_complete(&mut d, 1, 1000);
+        let miss_latency = d.cycle() - start;
+
+        // Second access, same row: CAS + burst only.
+        d.submit(DramRequest { tag: 1, addr: 64, write: None });
+        let start = d.cycle();
+        run_until_complete(&mut d, 1, 1000);
+        let hit_latency = d.cycle() - start;
+
+        assert!(hit_latency < miss_latency, "hit {hit_latency} !< miss {miss_latency}");
+        assert_eq!(d.stats().row_hits, 1);
+        assert_eq!(d.stats().row_misses, 1);
+        assert_eq!(d.stats().row_conflicts, 0);
+    }
+
+    #[test]
+    fn row_conflict_detected() {
+        let cfg = no_refresh();
+        let row_span = (cfg.row_bytes * cfg.banks) as u64; // same bank, next row
+        let mut d = Dram::new(cfg);
+        d.submit(DramRequest { tag: 0, addr: 0, write: None });
+        run_until_complete(&mut d, 1, 1000);
+        d.submit(DramRequest { tag: 1, addr: row_span, write: None });
+        run_until_complete(&mut d, 1, 1000);
+        assert_eq!(d.stats().row_conflicts, 1);
+    }
+
+    #[test]
+    fn streaming_beats_random() {
+        // Sequential lines: mostly row hits. Random lines across rows of one
+        // bank: mostly conflicts. Compare cycles for the same request count.
+        let n = 64usize;
+        let mut seq = Dram::new(no_refresh());
+        let mut cycles_seq = 0u64;
+        let mut done = 0;
+        let mut next = 0usize;
+        while done < n {
+            while next < n
+                && seq.submit(DramRequest { tag: next as u64, addr: (next * 64) as u64, write: None })
+            {
+                next += 1;
+            }
+            seq.tick();
+            cycles_seq += 1;
+            while seq.collect().is_some() {
+                done += 1;
+            }
+            assert!(cycles_seq < 100_000);
+        }
+
+        let cfg = no_refresh();
+        let stride = (cfg.row_bytes * cfg.banks) as u64; // same bank, new row each time
+        let mut rnd = Dram::new(cfg);
+        let mut cycles_rnd = 0u64;
+        let mut done = 0;
+        let mut next = 0usize;
+        while done < n {
+            while next < n
+                && rnd.submit(DramRequest {
+                    tag: next as u64,
+                    addr: next as u64 * stride,
+                    write: None,
+                })
+            {
+                next += 1;
+            }
+            rnd.tick();
+            cycles_rnd += 1;
+            while rnd.collect().is_some() {
+                done += 1;
+            }
+            assert!(cycles_rnd < 100_000);
+        }
+        assert!(
+            cycles_rnd > cycles_seq * 3,
+            "random {cycles_rnd} not >> sequential {cycles_seq}"
+        );
+    }
+
+    #[test]
+    fn refresh_steals_cycles() {
+        let with = DramConfig { t_refi: 100, t_rfc: 50, ..DramConfig::default() };
+        let mut d = Dram::new(with);
+        for _ in 0..1000 {
+            d.tick();
+        }
+        assert_eq!(d.stats().refreshes, 10, "refresh at each of 100, 200, ..., 1000");
+    }
+
+    #[test]
+    fn queue_backpressure() {
+        let cfg = DramConfig { queue_depth: 2, ..no_refresh() };
+        let mut d = Dram::new(cfg);
+        assert!(d.submit(DramRequest { tag: 0, addr: 0, write: None }));
+        assert!(d.submit(DramRequest { tag: 1, addr: 64, write: None }));
+        assert!(!d.submit(DramRequest { tag: 2, addr: 128, write: None }));
+        assert_eq!(d.free_slots(), 0);
+        run_until_complete(&mut d, 2, 1000);
+        assert!(d.submit(DramRequest { tag: 2, addr: 128, write: None }));
+    }
+
+    #[test]
+    #[should_panic(expected = "one line")]
+    fn wrong_write_size_rejected() {
+        let mut d = Dram::new(no_refresh());
+        d.submit(DramRequest { tag: 0, addr: 0, write: Some(vec![0u8; 32]) });
+    }
+
+    #[test]
+    fn completions_in_fifo_order_for_same_row() {
+        let mut d = Dram::new(no_refresh());
+        for i in 0..8u64 {
+            d.submit(DramRequest { tag: i, addr: i * 64, write: None });
+        }
+        let done = run_until_complete(&mut d, 8, 10_000);
+        let tags: Vec<u64> = done.iter().map(|c| c.0).collect();
+        assert_eq!(tags, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,212 @@
+//! A byte-budgeted packet FIFO: the storage element inside output queues.
+//!
+//! Real output-queue modules size their buffering in bytes of BRAM (or DRAM
+//! lines), not packets. [`ByteFifo`] enforces a byte capacity, counts drops
+//! when admission fails, and tracks a high-water mark — the numbers the
+//! reference designs expose in their statistics registers.
+
+use std::collections::VecDeque;
+
+/// A FIFO of packets with a byte-capacity admission test.
+///
+/// ```
+/// use netfpga_mem::ByteFifo;
+///
+/// let mut q: ByteFifo<&str> = ByteFifo::new(100);
+/// assert!(q.push(60, "first"));
+/// assert!(!q.push(60, "too big"), "only 40 bytes left: tail-dropped");
+/// assert_eq!(q.pop(), Some("first"));
+/// assert_eq!(q.counts(), (1, 1, 1), "(enqueued, dequeued, dropped)");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ByteFifo<T> {
+    queue: VecDeque<(usize, T)>,
+    capacity_bytes: usize,
+    used_bytes: usize,
+    high_water: usize,
+    enqueued: u64,
+    dequeued: u64,
+    dropped: u64,
+    dropped_bytes: u64,
+}
+
+impl<T> ByteFifo<T> {
+    /// A FIFO with the given byte capacity.
+    pub fn new(capacity_bytes: usize) -> ByteFifo<T> {
+        assert!(capacity_bytes > 0, "zero-capacity FIFO");
+        ByteFifo {
+            queue: VecDeque::new(),
+            capacity_bytes,
+            used_bytes: 0,
+            high_water: 0,
+            enqueued: 0,
+            dequeued: 0,
+            dropped: 0,
+            dropped_bytes: 0,
+        }
+    }
+
+    /// Try to admit an item of `len` bytes. On overflow the item is dropped
+    /// (tail-drop) and `false` returned.
+    pub fn push(&mut self, len: usize, item: T) -> bool {
+        if self.used_bytes + len > self.capacity_bytes {
+            self.dropped += 1;
+            self.dropped_bytes += len as u64;
+            return false;
+        }
+        self.used_bytes += len;
+        self.high_water = self.high_water.max(self.used_bytes);
+        self.enqueued += 1;
+        self.queue.push_back((len, item));
+        true
+    }
+
+    /// Whether an item of `len` bytes would be admitted.
+    pub fn would_fit(&self, len: usize) -> bool {
+        self.used_bytes + len <= self.capacity_bytes
+    }
+
+    /// Remove the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        let (len, item) = self.queue.pop_front()?;
+        self.used_bytes -= len;
+        self.dequeued += 1;
+        Some(item)
+    }
+
+    /// Peek at the oldest item and its length.
+    pub fn front(&self) -> Option<(&T, usize)> {
+        self.queue.front().map(|(len, item)| (item, *len))
+    }
+
+    /// Items queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Bytes currently queued.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// The byte capacity.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Maximum occupancy ever reached, in bytes.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// (enqueued, dequeued, dropped) packet counts.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.enqueued, self.dequeued, self.dropped)
+    }
+
+    /// Bytes lost to tail drops.
+    pub fn dropped_bytes(&self) -> u64 {
+        self.dropped_bytes
+    }
+
+    /// Discard contents and statistics.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+        self.used_bytes = 0;
+        self.high_water = 0;
+        self.enqueued = 0;
+        self.dequeued = 0;
+        self.dropped = 0;
+        self.dropped_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn admission_by_bytes() {
+        let mut f: ByteFifo<u32> = ByteFifo::new(100);
+        assert!(f.push(60, 1));
+        assert!(f.would_fit(40));
+        assert!(!f.would_fit(41));
+        assert!(!f.push(41, 2)); // dropped
+        assert!(f.push(40, 3));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.used_bytes(), 100);
+        assert_eq!(f.counts(), (2, 0, 1));
+        assert_eq!(f.dropped_bytes(), 41);
+    }
+
+    #[test]
+    fn fifo_order_and_byte_release() {
+        let mut f: ByteFifo<&str> = ByteFifo::new(64);
+        f.push(30, "a");
+        f.push(30, "b");
+        assert_eq!(f.front(), Some((&"a", 30)));
+        assert_eq!(f.pop(), Some("a"));
+        assert_eq!(f.used_bytes(), 30);
+        assert!(f.push(30, "c"));
+        assert_eq!(f.pop(), Some("b"));
+        assert_eq!(f.pop(), Some("c"));
+        assert!(f.pop().is_none());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut f: ByteFifo<u8> = ByteFifo::new(100);
+        f.push(70, 0);
+        f.pop();
+        f.push(20, 1);
+        assert_eq!(f.high_water(), 70);
+        assert_eq!(f.used_bytes(), 20);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut f: ByteFifo<u8> = ByteFifo::new(10);
+        f.push(5, 0);
+        f.push(100, 1); // drop
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.counts(), (0, 0, 0));
+        assert_eq!(f.high_water(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        let _: ByteFifo<u8> = ByteFifo::new(0);
+    }
+
+    proptest! {
+        /// used_bytes always equals the sum of queued lengths and never
+        /// exceeds capacity; enqueued = dequeued + len().
+        #[test]
+        fn prop_byte_accounting(ops in proptest::collection::vec((1usize..200, any::<bool>()), 1..200)) {
+            let mut f: ByteFifo<usize> = ByteFifo::new(500);
+            let mut shadow: VecDeque<usize> = VecDeque::new();
+            for (len, is_push) in ops {
+                if is_push {
+                    if f.push(len, len) {
+                        shadow.push_back(len);
+                    }
+                } else {
+                    prop_assert_eq!(f.pop(), shadow.pop_front());
+                }
+                prop_assert_eq!(f.used_bytes(), shadow.iter().sum::<usize>());
+                prop_assert!(f.used_bytes() <= f.capacity_bytes());
+                let (enq, deq, _) = f.counts();
+                prop_assert_eq!(enq, deq + f.len() as u64);
+            }
+        }
+    }
+}

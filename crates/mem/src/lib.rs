@@ -1,0 +1,43 @@
+//! # netfpga-mem
+//!
+//! Models of the NetFPGA memory subsystem (paper §2): on-chip block RAM,
+//! off-chip QDRII+ SRAM and DDR3 SDRAM, plus the content-addressable
+//! structures (CAM/TCAM, aging hash table) that reference designs build on
+//! them for flow tables and MAC learning.
+//!
+//! Each model is a plain struct with an explicit `tick()`; datapath modules
+//! embed one and advance it on their own clock. The models capture the
+//! *timing behaviour* that drives design decisions on the platform —
+//! "flow tables in SRAM, packet buffers in DRAM" — via per-technology
+//! latency and bandwidth rules:
+//!
+//! * [`Bram`]: single-cycle synchronous read, dual port.
+//! * [`Sram`] (QDRII+): fixed pipeline latency, independent read and write
+//!   ports, one operation per port per cycle — no row structure, so random
+//!   access is as fast as sequential.
+//! * [`Dram`] (DDR3): banks with open rows; row hits are fast, misses pay
+//!   activate/precharge penalties, and periodic refresh steals cycles —
+//!   so random access is much slower than streaming.
+//! * [`ByteFifo`]: a byte-capacity queue with watermarks and drop
+//!   accounting (the substrate of output queues).
+//! * [`Cam`] / [`Tcam`]: exact-match and ternary match tables.
+//! * [`AgingTable`]: hash table with entry aging (MAC learning).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aging;
+pub mod bram;
+pub mod cam;
+pub mod dram;
+pub mod fifo;
+pub mod sram;
+pub mod tcam;
+
+pub use aging::AgingTable;
+pub use bram::Bram;
+pub use cam::Cam;
+pub use dram::{Dram, DramConfig, DramRequest, DramStats};
+pub use fifo::ByteFifo;
+pub use sram::{Sram, SramConfig};
+pub use tcam::{Tcam, TcamEntry, TernaryKey};

@@ -1,0 +1,262 @@
+//! QDRII+ SRAM model.
+//!
+//! QDRII+ devices have *independent* read and write ports, each accepting
+//! one operation per clock, and a fixed pipeline latency — there is no row
+//! or bank structure, so random access costs the same as streaming. This is
+//! exactly why the reference designs keep lookup tables (flow tables, route
+//! tables) in SRAM: experiment E3 quantifies the contrast with DRAM.
+
+use std::collections::VecDeque;
+
+/// Configuration of an SRAM device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramConfig {
+    /// Addressable entries.
+    pub entries: usize,
+    /// Read latency in cycles (issue to data-valid). SUME's QDRII+
+    /// controller presents ~5 cycles at 500 MHz.
+    pub read_latency: u32,
+}
+
+impl Default for SramConfig {
+    fn default() -> Self {
+        SramConfig { entries: 1 << 16, read_latency: 5 }
+    }
+}
+
+/// A QDRII+-style SRAM holding entries of type `V`.
+#[derive(Debug, Clone)]
+pub struct Sram<V: Clone + Default> {
+    config: SramConfig,
+    storage: Vec<V>,
+    cycle: u64,
+    // (ready_cycle, tag, data) in issue order; latency is fixed so the
+    // queue is naturally sorted. Data is captured at issue time: the array
+    // access happens when the command enters the device pipeline.
+    in_flight: VecDeque<(u64, u64, V)>,
+    completed: VecDeque<(u64, V)>,
+    read_issued_this_cycle: bool,
+    write_issued_this_cycle: bool,
+    reads: u64,
+    writes: u64,
+}
+
+impl<V: Clone + Default> Sram<V> {
+    /// Construct with the given geometry.
+    pub fn new(config: SramConfig) -> Sram<V> {
+        assert!(config.entries > 0);
+        assert!(config.read_latency >= 1, "latency must be at least 1");
+        Sram {
+            storage: vec![V::default(); config.entries],
+            config,
+            cycle: 0,
+            in_flight: VecDeque::new(),
+            completed: VecDeque::new(),
+            read_issued_this_cycle: false,
+            write_issued_this_cycle: false,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> usize {
+        self.config.entries
+    }
+
+    /// Issue a tagged read. Returns `false` if the read port was already
+    /// used this cycle (caller retries next cycle).
+    pub fn issue_read(&mut self, tag: u64, addr: usize) -> bool {
+        assert!(addr < self.storage.len(), "SRAM read out of range");
+        if self.read_issued_this_cycle {
+            return false;
+        }
+        self.read_issued_this_cycle = true;
+        self.reads += 1;
+        let data = self.storage[addr].clone();
+        self.in_flight
+            .push_back((self.cycle + u64::from(self.config.read_latency), tag, data));
+        true
+    }
+
+    /// Issue a write. Returns `false` if the write port was already used
+    /// this cycle. Writes complete immediately from the caller's
+    /// perspective (the device pipelines them internally).
+    pub fn issue_write(&mut self, addr: usize, value: V) -> bool {
+        assert!(addr < self.storage.len(), "SRAM write out of range");
+        if self.write_issued_this_cycle {
+            return false;
+        }
+        self.write_issued_this_cycle = true;
+        self.writes += 1;
+        self.storage[addr] = value;
+        true
+    }
+
+    /// Advance one cycle: retire reads whose latency elapsed, reopen ports.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        self.read_issued_this_cycle = false;
+        self.write_issued_this_cycle = false;
+        while matches!(self.in_flight.front(), Some(&(ready, _, _)) if ready <= self.cycle) {
+            let (_, tag, data) = self.in_flight.pop_front().expect("front checked");
+            self.completed.push_back((tag, data));
+        }
+    }
+
+    /// Collect the oldest completed read, if any.
+    pub fn collect_read(&mut self) -> Option<(u64, V)> {
+        self.completed.pop_front()
+    }
+
+    /// Reads still in the pipeline.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len() + self.completed.len()
+    }
+
+    /// (reads, writes) issued so far.
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+
+    /// Direct (zero-time) access for initialization from host software,
+    /// which happens over the register path while the datapath is idle.
+    pub fn init(&mut self, addr: usize, value: V) {
+        self.storage[addr] = value;
+    }
+
+    /// Direct peek for verification.
+    pub fn peek(&self, addr: usize) -> &V {
+        &self.storage[addr]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small() -> Sram<u32> {
+        Sram::new(SramConfig { entries: 64, read_latency: 5 })
+    }
+
+    #[test]
+    fn read_latency_is_exact() {
+        let mut s = small();
+        s.init(7, 42);
+        assert!(s.issue_read(100, 7));
+        for i in 0..5 {
+            assert!(s.collect_read().is_none(), "data early at cycle {i}");
+            s.tick();
+        }
+        assert_eq!(s.collect_read(), Some((100, 42)));
+        assert_eq!(s.collect_read(), None);
+    }
+
+    #[test]
+    fn one_read_per_cycle() {
+        let mut s = small();
+        assert!(s.issue_read(1, 0));
+        assert!(!s.issue_read(2, 1), "second read same cycle must fail");
+        s.tick();
+        assert!(s.issue_read(2, 1));
+    }
+
+    #[test]
+    fn independent_read_write_ports() {
+        let mut s = small();
+        // Same cycle: both ports usable.
+        assert!(s.issue_read(1, 3));
+        assert!(s.issue_write(3, 9));
+        assert!(!s.issue_write(4, 1), "write port busy");
+        // The read sampled the array at issue, before the same-cycle write
+        // landed: it returns the old value (read-old on collision).
+        for _ in 0..5 {
+            s.tick();
+        }
+        assert_eq!(s.collect_read(), Some((1, 0)));
+        // A read issued after the write sees the new value.
+        s.issue_read(2, 3);
+        for _ in 0..5 {
+            s.tick();
+        }
+        assert_eq!(s.collect_read(), Some((2, 9)));
+    }
+
+    #[test]
+    fn pipelined_reads_retire_in_order() {
+        let mut s = small();
+        for (i, addr) in [(0u64, 0usize), (1, 1), (2, 2)] {
+            s.init(addr, addr as u32 * 10);
+            let _ = i;
+            assert!(s.issue_read(i, addr));
+            s.tick();
+        }
+        // Reads issued on consecutive cycles retire on consecutive cycles.
+        for _ in 0..4 {
+            s.tick();
+        }
+        assert_eq!(s.collect_read(), Some((0, 0)));
+        assert_eq!(s.collect_read(), Some((1, 10)));
+        s.tick();
+        assert_eq!(s.collect_read(), Some((2, 20)));
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn throughput_one_per_cycle_sustained() {
+        // After the pipeline fills, one read completes per cycle: N reads
+        // in N + latency cycles.
+        let mut s = Sram::<u32>::new(SramConfig { entries: 1024, read_latency: 5 });
+        let n = 100u64;
+        let mut issued = 0u64;
+        let mut collected = 0u64;
+        let mut cycles = 0u64;
+        while collected < n {
+            if issued < n && s.issue_read(issued, (issued % 1024) as usize) {
+                issued += 1;
+            }
+            s.tick();
+            cycles += 1;
+            while s.collect_read().is_some() {
+                collected += 1;
+            }
+            assert!(cycles < 1000);
+        }
+        assert_eq!(cycles, n + 5 - 1, "pipeline fill then one retire per cycle");
+    }
+
+    #[test]
+    fn counters_and_entries() {
+        let mut s = small();
+        s.issue_read(0, 0);
+        s.issue_write(1, 5);
+        assert_eq!(s.access_counts(), (1, 1));
+        assert_eq!(s.entries(), 64);
+        assert_eq!(*s.peek(1), 5);
+    }
+
+    proptest! {
+        /// Every tagged read eventually returns the value most recently
+        /// written to its address before issue.
+        #[test]
+        fn prop_reads_see_writes(ops in proptest::collection::vec((0usize..32, any::<u32>()), 1..50)) {
+            let mut s = Sram::<u32>::new(SramConfig { entries: 32, read_latency: 3 });
+            let mut shadow = [0u32; 32];
+            let mut expected = Vec::new();
+            for (tag, (addr, val)) in ops.into_iter().enumerate() {
+                let tag = tag as u64;
+                s.issue_write(addr, val);
+                shadow[addr] = val;
+                s.tick();
+                prop_assert!(s.issue_read(tag, addr));
+                expected.push((tag, shadow[addr]));
+                s.tick();
+            }
+            for _ in 0..10 { s.tick(); }
+            let mut got = Vec::new();
+            while let Some(r) = s.collect_read() { got.push(r); }
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

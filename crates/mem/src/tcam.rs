@@ -1,0 +1,326 @@
+//! A ternary CAM: masked matching with priorities, the substrate of
+//! OpenFlow-style flow tables (BlueSwitch) and TCAM-backed route lookup.
+
+/// A ternary key: `value` bits compared only where `mask` bits are one.
+/// All keys in one TCAM share a width.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TernaryKey {
+    value: Vec<u8>,
+    mask: Vec<u8>,
+}
+
+impl TernaryKey {
+    /// Build from value and mask (must be equal length). Value bits outside
+    /// the mask are normalized to zero so equal rules compare equal.
+    pub fn new(value: &[u8], mask: &[u8]) -> TernaryKey {
+        assert_eq!(value.len(), mask.len(), "value/mask width mismatch");
+        let norm: Vec<u8> = value.iter().zip(mask).map(|(v, m)| v & m).collect();
+        TernaryKey { value: norm, mask: mask.to_vec() }
+    }
+
+    /// An exact-match key (all mask bits set).
+    pub fn exact(value: &[u8]) -> TernaryKey {
+        TernaryKey { value: value.to_vec(), mask: vec![0xff; value.len()] }
+    }
+
+    /// A fully wild key of `width` bytes (matches anything).
+    pub fn wildcard(width: usize) -> TernaryKey {
+        TernaryKey { value: vec![0; width], mask: vec![0; width] }
+    }
+
+    /// Key width in bytes.
+    pub fn width(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether `data` matches this key.
+    pub fn matches(&self, data: &[u8]) -> bool {
+        debug_assert_eq!(data.len(), self.value.len());
+        self.value
+            .iter()
+            .zip(&self.mask)
+            .zip(data)
+            .all(|((v, m), d)| d & m == *v)
+    }
+
+    /// Number of exact (care) bits — a specificity measure.
+    pub fn prefix_bits(&self) -> u32 {
+        self.mask.iter().map(|m| m.count_ones()).sum()
+    }
+}
+
+/// One TCAM rule.
+#[derive(Debug, Clone)]
+pub struct TcamEntry<V> {
+    /// The ternary key.
+    pub key: TernaryKey,
+    /// Higher priority wins; ties broken by lower slot index.
+    pub priority: u32,
+    /// Associated action/value.
+    pub value: V,
+}
+
+/// A fixed-capacity TCAM over values of type `V`.
+///
+/// ```
+/// use netfpga_mem::{Tcam, TcamEntry, TernaryKey};
+///
+/// let mut tcam: Tcam<&str> = Tcam::new(8, 2);
+/// tcam.insert(TcamEntry {
+///     key: TernaryKey::exact(&[0x08, 0x00]),
+///     priority: 10,
+///     value: "ipv4",
+/// });
+/// tcam.insert(TcamEntry {
+///     key: TernaryKey::wildcard(2),
+///     priority: 0,
+///     value: "anything",
+/// });
+/// assert_eq!(tcam.lookup(&[0x08, 0x00]), Some(&"ipv4"));
+/// assert_eq!(tcam.lookup(&[0x86, 0xdd]), Some(&"anything"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tcam<V: Clone> {
+    slots: Vec<Option<TcamEntry<V>>>,
+    width: usize,
+    lookups: u64,
+    hits: u64,
+}
+
+impl<V: Clone> Tcam<V> {
+    /// A TCAM with `capacity` slots of `width`-byte keys.
+    pub fn new(capacity: usize, width: usize) -> Tcam<V> {
+        assert!(capacity > 0 && width > 0);
+        Tcam { slots: vec![None; capacity], width, lookups: 0, hits: 0 }
+    }
+
+    /// Key width in bytes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True if nothing is installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Single-cycle parallel lookup: highest-priority matching entry
+    /// (ties: lowest slot index).
+    pub fn lookup(&mut self, data: &[u8]) -> Option<&V> {
+        self.lookup_slot(data).map(|(_, v)| v)
+    }
+
+    /// Like [`Tcam::lookup`], also returning the winning slot index — used
+    /// by designs that keep per-rule counters alongside the TCAM.
+    pub fn lookup_slot(&mut self, data: &[u8]) -> Option<(usize, &V)> {
+        assert_eq!(data.len(), self.width, "lookup key width mismatch");
+        self.lookups += 1;
+        let mut best: Option<(&TcamEntry<V>, usize)> = None;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(e) = slot {
+                if e.key.matches(data) {
+                    let better = match best {
+                        None => true,
+                        Some((b, bi)) => {
+                            e.priority > b.priority || (e.priority == b.priority && i < bi)
+                        }
+                    };
+                    if better {
+                        best = Some((e, i));
+                    }
+                }
+            }
+        }
+        if best.is_some() {
+            self.hits += 1;
+        }
+        best.map(|(e, i)| (i, &e.value))
+    }
+
+    /// Install a rule in the first free slot. An existing rule with an
+    /// identical key *and* priority is replaced instead. Returns the slot
+    /// index or `None` if full.
+    pub fn insert(&mut self, entry: TcamEntry<V>) -> Option<usize> {
+        assert_eq!(entry.key.width(), self.width, "entry width mismatch");
+        // Replace identical rule.
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(e) = slot {
+                if e.key == entry.key && e.priority == entry.priority {
+                    *slot = Some(entry);
+                    return Some(i);
+                }
+            }
+        }
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(entry);
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Write a specific slot directly (host software manages slot layout).
+    pub fn write_slot(&mut self, slot: usize, entry: Option<TcamEntry<V>>) {
+        if let Some(e) = &entry {
+            assert_eq!(e.key.width(), self.width, "entry width mismatch");
+        }
+        self.slots[slot] = entry;
+    }
+
+    /// Read back a slot.
+    pub fn read_slot(&self, slot: usize) -> Option<&TcamEntry<V>> {
+        self.slots[slot].as_ref()
+    }
+
+    /// Remove the rule with this exact key and priority.
+    pub fn remove(&mut self, key: &TernaryKey, priority: u32) -> bool {
+        for slot in self.slots.iter_mut() {
+            if matches!(slot, Some(e) if e.key == *key && e.priority == priority) {
+                *slot = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        for s in self.slots.iter_mut() {
+            *s = None;
+        }
+    }
+
+    /// (lookups, hits) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_and_wildcard() {
+        let mut t: Tcam<u32> = Tcam::new(8, 2);
+        t.insert(TcamEntry { key: TernaryKey::exact(&[0x12, 0x34]), priority: 10, value: 1 });
+        t.insert(TcamEntry { key: TernaryKey::wildcard(2), priority: 0, value: 99 });
+        assert_eq!(t.lookup(&[0x12, 0x34]), Some(&1));
+        assert_eq!(t.lookup(&[0x00, 0x00]), Some(&99));
+        assert_eq!(t.stats(), (2, 2));
+    }
+
+    #[test]
+    fn priority_wins_over_slot_order() {
+        let mut t: Tcam<&str> = Tcam::new(4, 1);
+        // Low priority installed first (lower slot).
+        t.insert(TcamEntry { key: TernaryKey::wildcard(1), priority: 1, value: "low" });
+        t.insert(TcamEntry { key: TernaryKey::exact(&[5]), priority: 7, value: "high" });
+        assert_eq!(t.lookup(&[5]), Some(&"high"));
+        assert_eq!(t.lookup(&[6]), Some(&"low"));
+    }
+
+    #[test]
+    fn tie_breaks_by_slot_index() {
+        let mut t: Tcam<u8> = Tcam::new(4, 1);
+        t.write_slot(2, Some(TcamEntry { key: TernaryKey::wildcard(1), priority: 5, value: 2 }));
+        t.write_slot(0, Some(TcamEntry { key: TernaryKey::wildcard(1), priority: 5, value: 0 }));
+        assert_eq!(t.lookup(&[0]), Some(&0));
+    }
+
+    #[test]
+    fn masked_match() {
+        let mut t: Tcam<u8> = Tcam::new(4, 2);
+        // Match high nibble of first byte == 0xa.
+        t.insert(TcamEntry {
+            key: TernaryKey::new(&[0xa0, 0x00], &[0xf0, 0x00]),
+            priority: 1,
+            value: 7,
+        });
+        assert_eq!(t.lookup(&[0xab, 0xff]), Some(&7));
+        assert_eq!(t.lookup(&[0xbb, 0x00]), None);
+    }
+
+    #[test]
+    fn normalization_of_dont_care_bits() {
+        let a = TernaryKey::new(&[0xff, 0xff], &[0xf0, 0x00]);
+        let b = TernaryKey::new(&[0xf0, 0x00], &[0xf0, 0x00]);
+        assert_eq!(a, b);
+        assert_eq!(a.prefix_bits(), 4);
+    }
+
+    #[test]
+    fn replace_and_remove() {
+        let mut t: Tcam<u8> = Tcam::new(2, 1);
+        let k = TernaryKey::exact(&[1]);
+        assert_eq!(t.insert(TcamEntry { key: k.clone(), priority: 1, value: 1 }), Some(0));
+        assert_eq!(t.insert(TcamEntry { key: k.clone(), priority: 1, value: 2 }), Some(0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(&[1]), Some(&2));
+        assert!(t.remove(&k, 1));
+        assert!(!t.remove(&k, 1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn capacity_full() {
+        let mut t: Tcam<u8> = Tcam::new(1, 1);
+        assert!(t.insert(TcamEntry { key: TernaryKey::exact(&[1]), priority: 0, value: 0 }).is_some());
+        assert!(t.insert(TcamEntry { key: TernaryKey::exact(&[2]), priority: 0, value: 0 }).is_none());
+        t.clear();
+        assert!(t.insert(TcamEntry { key: TernaryKey::exact(&[2]), priority: 0, value: 0 }).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_rejected() {
+        let mut t: Tcam<u8> = Tcam::new(1, 2);
+        t.insert(TcamEntry { key: TernaryKey::exact(&[1]), priority: 0, value: 0 });
+    }
+
+    proptest! {
+        /// A TCAM programmed with IPv4-prefix-style rules (prefix length =
+        /// priority) implements longest-prefix match.
+        #[test]
+        fn prop_lpm_emulation(
+            prefixes in proptest::collection::btree_set((any::<u32>(), 0u8..=32), 1..16),
+            probe in any::<u32>(),
+        ) {
+            let mut t: Tcam<u8> = Tcam::new(16, 4);
+            let rules: Vec<(u32, u8)> = prefixes.into_iter().collect();
+            for (i, (addr, len)) in rules.iter().enumerate() {
+                let mask = if *len == 0 { 0u32 } else { u32::MAX << (32 - *len as u32) };
+                // write_slot, not insert: two distinct addresses can
+                // normalize to the same rule, which insert() would replace.
+                t.write_slot(i, Some(TcamEntry {
+                    key: TernaryKey::new(&addr.to_be_bytes(), &mask.to_be_bytes()),
+                    priority: *len as u32,
+                    value: i as u8,
+                }));
+            }
+            // Reference LPM.
+            let expect = rules
+                .iter()
+                .enumerate()
+                .filter(|(_, (addr, len))| {
+                    let mask = if *len == 0 { 0u32 } else { u32::MAX << (32 - *len as u32) };
+                    probe & mask == addr & mask
+                })
+                .max_by_key(|(i, (_, len))| (*len, std::cmp::Reverse(*i)))
+                .map(|(i, _)| i as u8);
+            prop_assert_eq!(t.lookup(&probe.to_be_bytes()).copied(), expect);
+        }
+    }
+}

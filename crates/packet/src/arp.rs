@@ -1,0 +1,248 @@
+//! ARP for IPv4-over-Ethernet (RFC 826).
+
+use crate::addr::{EthernetAddress, Ipv4Address};
+use crate::{get_u16, set_u16, Error, Result};
+
+/// Length of an IPv4-over-Ethernet ARP packet.
+pub const PACKET_LEN: usize = 28;
+
+/// ARP operation code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operation {
+    /// Who-has request (1).
+    Request,
+    /// Is-at reply (2).
+    Reply,
+    /// Any other opcode.
+    Unknown(u16),
+}
+
+impl From<u16> for Operation {
+    fn from(v: u16) -> Self {
+        match v {
+            1 => Operation::Request,
+            2 => Operation::Reply,
+            other => Operation::Unknown(other),
+        }
+    }
+}
+
+impl From<Operation> for u16 {
+    fn from(v: Operation) -> Self {
+        match v {
+            Operation::Request => 1,
+            Operation::Reply => 2,
+            Operation::Unknown(other) => other,
+        }
+    }
+}
+
+/// A zero-copy view of an ARP packet.
+#[derive(Debug, Clone)]
+pub struct ArpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> ArpPacket<T> {
+    /// Wrap a buffer without validation.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        ArpPacket { buffer }
+    }
+
+    /// Wrap a buffer, checking length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < PACKET_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(ArpPacket { buffer })
+    }
+
+    /// Unwrap, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Hardware type field (1 = Ethernet).
+    pub fn hardware_type(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 0)
+    }
+
+    /// Protocol type field (0x0800 = IPv4).
+    pub fn protocol_type(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 2)
+    }
+
+    /// Hardware address length field.
+    pub fn hardware_len(&self) -> u8 {
+        self.buffer.as_ref()[4]
+    }
+
+    /// Protocol address length field.
+    pub fn protocol_len(&self) -> u8 {
+        self.buffer.as_ref()[5]
+    }
+
+    /// Operation code.
+    pub fn operation(&self) -> Operation {
+        Operation::from(get_u16(self.buffer.as_ref(), 6))
+    }
+
+    /// Sender hardware address.
+    pub fn source_hardware_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[8..14])
+    }
+
+    /// Sender protocol address.
+    pub fn source_protocol_addr(&self) -> Ipv4Address {
+        Ipv4Address::from_bytes(&self.buffer.as_ref()[14..18])
+    }
+
+    /// Target hardware address.
+    pub fn target_hardware_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[18..24])
+    }
+
+    /// Target protocol address.
+    pub fn target_protocol_addr(&self) -> Ipv4Address {
+        Ipv4Address::from_bytes(&self.buffer.as_ref()[24..28])
+    }
+}
+
+/// A parsed ARP packet (IPv4-over-Ethernet only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpRepr {
+    /// Request or reply.
+    pub operation: Operation,
+    /// Sender hardware address.
+    pub source_hardware_addr: EthernetAddress,
+    /// Sender protocol address.
+    pub source_protocol_addr: Ipv4Address,
+    /// Target hardware address (zero in requests).
+    pub target_hardware_addr: EthernetAddress,
+    /// Target protocol address.
+    pub target_protocol_addr: Ipv4Address,
+}
+
+impl ArpRepr {
+    /// Build a who-has request for `target` sent by (`src_mac`, `src_ip`).
+    pub fn request(
+        src_mac: EthernetAddress,
+        src_ip: Ipv4Address,
+        target: Ipv4Address,
+    ) -> ArpRepr {
+        ArpRepr {
+            operation: Operation::Request,
+            source_hardware_addr: src_mac,
+            source_protocol_addr: src_ip,
+            target_hardware_addr: EthernetAddress::default(),
+            target_protocol_addr: target,
+        }
+    }
+
+    /// Build the reply answering `request` on behalf of `my_mac`/`my_ip`.
+    pub fn reply_to(request: &ArpRepr, my_mac: EthernetAddress, my_ip: Ipv4Address) -> ArpRepr {
+        ArpRepr {
+            operation: Operation::Reply,
+            source_hardware_addr: my_mac,
+            source_protocol_addr: my_ip,
+            target_hardware_addr: request.source_hardware_addr,
+            target_protocol_addr: request.source_protocol_addr,
+        }
+    }
+
+    /// Parse from a packet view, rejecting non-Ethernet/IPv4 combinations.
+    pub fn parse<T: AsRef<[u8]>>(packet: &ArpPacket<T>) -> Result<ArpRepr> {
+        if packet.buffer.as_ref().len() < PACKET_LEN {
+            return Err(Error::Truncated);
+        }
+        if packet.hardware_type() != 1
+            || packet.protocol_type() != 0x0800
+            || packet.hardware_len() != 6
+            || packet.protocol_len() != 4
+        {
+            return Err(Error::Malformed);
+        }
+        Ok(ArpRepr {
+            operation: packet.operation(),
+            source_hardware_addr: packet.source_hardware_addr(),
+            source_protocol_addr: packet.source_protocol_addr(),
+            target_hardware_addr: packet.target_hardware_addr(),
+            target_protocol_addr: packet.target_protocol_addr(),
+        })
+    }
+
+    /// Length of the packet this representation emits.
+    pub const fn packet_len(&self) -> usize {
+        PACKET_LEN
+    }
+
+    /// Emit into the front of `buffer`.
+    pub fn emit(&self, buffer: &mut [u8]) -> Result<()> {
+        if buffer.len() < PACKET_LEN {
+            return Err(Error::Exhausted);
+        }
+        set_u16(buffer, 0, 1); // Ethernet
+        set_u16(buffer, 2, 0x0800); // IPv4
+        buffer[4] = 6;
+        buffer[5] = 4;
+        set_u16(buffer, 6, self.operation.into());
+        buffer[8..14].copy_from_slice(self.source_hardware_addr.as_bytes());
+        buffer[14..18].copy_from_slice(self.source_protocol_addr.as_bytes());
+        buffer[18..24].copy_from_slice(self.target_hardware_addr.as_bytes());
+        buffer[24..28].copy_from_slice(self.target_protocol_addr.as_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ArpRepr {
+        ArpRepr::request(
+            EthernetAddress::new(0, 1, 2, 3, 4, 5),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let repr = sample();
+        let mut buf = vec![0u8; PACKET_LEN];
+        repr.emit(&mut buf).unwrap();
+        let parsed = ArpRepr::parse(&ArpPacket::new_checked(&buf[..]).unwrap()).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(parsed.operation, Operation::Request);
+    }
+
+    #[test]
+    fn reply_swaps_roles() {
+        let req = sample();
+        let my_mac = EthernetAddress::new(9, 8, 7, 6, 5, 4);
+        let my_ip = Ipv4Address::new(10, 0, 0, 2);
+        let reply = ArpRepr::reply_to(&req, my_mac, my_ip);
+        assert_eq!(reply.operation, Operation::Reply);
+        assert_eq!(reply.source_hardware_addr, my_mac);
+        assert_eq!(reply.target_hardware_addr, req.source_hardware_addr);
+        assert_eq!(reply.target_protocol_addr, req.source_protocol_addr);
+    }
+
+    #[test]
+    fn rejects_non_ethernet_ipv4() {
+        let repr = sample();
+        let mut buf = vec![0u8; PACKET_LEN];
+        repr.emit(&mut buf).unwrap();
+        buf[0] = 0;
+        buf[1] = 6; // hardware type 6
+        assert_eq!(
+            ArpRepr::parse(&ArpPacket::new_unchecked(&buf[..])).unwrap_err(),
+            Error::Malformed
+        );
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(ArpPacket::new_checked(&[0u8; 27][..]).is_err());
+    }
+}

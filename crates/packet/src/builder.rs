@@ -1,0 +1,404 @@
+//! A fluent builder that assembles complete Ethernet frames.
+//!
+//! Used by the nftest harness, the OSNT traffic generator and the experiment
+//! workload generators. The builder always produces frames padded to the
+//! Ethernet minimum (60 bytes pre-FCS) unless padding is disabled.
+
+use crate::addr::{EthernetAddress, Ipv4Address};
+use crate::arp::{ArpPacket, ArpRepr};
+use crate::ethernet::{self, EtherType, EthernetRepr};
+use crate::icmpv4::Icmpv4Repr;
+use crate::ipv4::{IpProtocol, Ipv4Repr};
+use crate::tcp::TcpRepr;
+use crate::udp::UdpRepr;
+
+/// The L3+ content of a frame under construction.
+#[derive(Debug, Clone)]
+enum Content {
+    /// Raw bytes with an explicit EtherType.
+    Raw(EtherType, Vec<u8>),
+    /// An ARP packet.
+    Arp(ArpRepr),
+    /// An IPv4 packet with the given transport content.
+    Ipv4(Ipv4Meta, Transport),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ipv4Meta {
+    src: Ipv4Address,
+    dst: Ipv4Address,
+    ttl: u8,
+    dscp: u8,
+    ident: u16,
+}
+
+#[derive(Debug, Clone)]
+enum Transport {
+    Raw(IpProtocol, Vec<u8>),
+    Udp(UdpRepr, Vec<u8>),
+    Tcp(TcpRepr, Vec<u8>),
+    Icmp(Icmpv4Repr, Vec<u8>),
+}
+
+/// Fluent frame builder.
+///
+/// ```
+/// use netfpga_packet::{PacketBuilder, EthernetAddress, Ipv4Address};
+///
+/// let frame = PacketBuilder::new()
+///     .eth(
+///         "02:00:00:00:00:01".parse().unwrap(),
+///         "02:00:00:00:00:02".parse().unwrap(),
+///     )
+///     .ipv4("10.0.0.1".parse().unwrap(), "10.0.1.1".parse().unwrap())
+///     .udp(4000, 5000, b"payload")
+///     .build();
+/// assert!(frame.len() >= 60);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    src_mac: EthernetAddress,
+    dst_mac: EthernetAddress,
+    vlan: Option<(u16, u8)>,
+    content: Option<Content>,
+    pad: bool,
+    pad_to: usize,
+}
+
+impl Default for PacketBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PacketBuilder {
+    /// Start a new frame with zeroed addresses.
+    pub fn new() -> PacketBuilder {
+        PacketBuilder {
+            src_mac: EthernetAddress::default(),
+            dst_mac: EthernetAddress::default(),
+            vlan: None,
+            content: None,
+            pad: true,
+            pad_to: ethernet::MIN_FRAME_LEN,
+        }
+    }
+
+    /// Set source and destination MAC addresses.
+    pub fn eth(mut self, src: EthernetAddress, dst: EthernetAddress) -> Self {
+        self.src_mac = src;
+        self.dst_mac = dst;
+        self
+    }
+
+    /// Add an 802.1Q tag.
+    pub fn vlan(mut self, vid: u16, pcp: u8) -> Self {
+        self.vlan = Some((vid, pcp));
+        self
+    }
+
+    /// Disable padding to the Ethernet minimum.
+    pub fn no_pad(mut self) -> Self {
+        self.pad = false;
+        self
+    }
+
+    /// Pad (with zeros) to exactly `len` bytes if shorter. Useful for
+    /// building fixed-size workload frames.
+    pub fn pad_to(mut self, len: usize) -> Self {
+        self.pad = true;
+        self.pad_to = len;
+        self
+    }
+
+    /// Use a raw payload with an explicit EtherType.
+    pub fn raw(mut self, ethertype: EtherType, payload: &[u8]) -> Self {
+        self.content = Some(Content::Raw(ethertype, payload.to_vec()));
+        self
+    }
+
+    /// Use an ARP packet as the payload.
+    pub fn arp(mut self, repr: ArpRepr) -> Self {
+        self.content = Some(Content::Arp(repr));
+        self
+    }
+
+    /// Begin an IPv4 packet (TTL 64).
+    pub fn ipv4(mut self, src: Ipv4Address, dst: Ipv4Address) -> Self {
+        self.content = Some(Content::Ipv4(
+            Ipv4Meta { src, dst, ttl: 64, dscp: 0, ident: 0 },
+            Transport::Raw(IpProtocol::Unknown(253), Vec::new()),
+        ));
+        self
+    }
+
+    /// Override the IPv4 TTL (must follow [`PacketBuilder::ipv4`]).
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        if let Some(Content::Ipv4(meta, _)) = &mut self.content {
+            meta.ttl = ttl;
+        }
+        self
+    }
+
+    /// Override the IPv4 DSCP (must follow [`PacketBuilder::ipv4`]).
+    pub fn dscp(mut self, dscp: u8) -> Self {
+        if let Some(Content::Ipv4(meta, _)) = &mut self.content {
+            meta.dscp = dscp;
+        }
+        self
+    }
+
+    /// Override the IPv4 identification field.
+    pub fn ident(mut self, ident: u16) -> Self {
+        if let Some(Content::Ipv4(meta, _)) = &mut self.content {
+            meta.ident = ident;
+        }
+        self
+    }
+
+    /// Attach a raw IPv4 payload with an explicit protocol.
+    pub fn ip_payload(mut self, protocol: IpProtocol, payload: &[u8]) -> Self {
+        if let Some(Content::Ipv4(_, transport)) = &mut self.content {
+            *transport = Transport::Raw(protocol, payload.to_vec());
+        }
+        self
+    }
+
+    /// Attach a UDP datagram.
+    pub fn udp(mut self, src_port: u16, dst_port: u16, payload: &[u8]) -> Self {
+        if let Some(Content::Ipv4(_, transport)) = &mut self.content {
+            *transport = Transport::Udp(UdpRepr { src_port, dst_port }, payload.to_vec());
+        }
+        self
+    }
+
+    /// Attach a TCP segment.
+    pub fn tcp(mut self, repr: TcpRepr, payload: &[u8]) -> Self {
+        if let Some(Content::Ipv4(_, transport)) = &mut self.content {
+            *transport = Transport::Tcp(repr, payload.to_vec());
+        }
+        self
+    }
+
+    /// Attach an ICMPv4 message.
+    pub fn icmp(mut self, repr: Icmpv4Repr, payload: &[u8]) -> Self {
+        if let Some(Content::Ipv4(_, transport)) = &mut self.content {
+            *transport = Transport::Icmp(repr, payload.to_vec());
+        }
+        self
+    }
+
+    /// Assemble the frame.
+    ///
+    /// Panics only on internal logic errors (the builder sizes buffers to
+    /// fit); all user-facing validation happens in the typed `emit`s.
+    pub fn build(self) -> Vec<u8> {
+        let ethertype = match &self.content {
+            Some(Content::Raw(et, _)) => *et,
+            Some(Content::Arp(_)) => EtherType::Arp,
+            Some(Content::Ipv4(..)) => EtherType::Ipv4,
+            None => EtherType::Unknown(0xffff),
+        };
+        let eth = EthernetRepr {
+            src_addr: self.src_mac,
+            dst_addr: self.dst_mac,
+            ethertype,
+            vlan: self.vlan,
+        };
+
+        // Build the L3 payload first.
+        let l3: Vec<u8> = match self.content {
+            None => Vec::new(),
+            Some(Content::Raw(_, bytes)) => bytes,
+            Some(Content::Arp(repr)) => {
+                let mut buf = vec![0u8; repr.packet_len()];
+                repr.emit(&mut buf).expect("sized buffer");
+                buf
+            }
+            Some(Content::Ipv4(meta, transport)) => {
+                // Emit transport into a scratch buffer first.
+                let (protocol, l4): (IpProtocol, Vec<u8>) = match transport {
+                    Transport::Raw(proto, bytes) => (proto, bytes),
+                    Transport::Udp(repr, payload) => {
+                        let mut buf = vec![0u8; repr.header_len() + payload.len()];
+                        repr.emit(&mut buf, &payload, meta.src, meta.dst)
+                            .expect("sized buffer");
+                        (IpProtocol::Udp, buf)
+                    }
+                    Transport::Tcp(repr, payload) => {
+                        let mut buf = vec![0u8; repr.header_len() + payload.len()];
+                        repr.emit(&mut buf, &payload, meta.src, meta.dst)
+                            .expect("sized buffer");
+                        (IpProtocol::Tcp, buf)
+                    }
+                    Transport::Icmp(repr, payload) => {
+                        let mut buf = vec![0u8; crate::icmpv4::HEADER_LEN + payload.len()];
+                        let n = repr.emit(&mut buf, &payload).expect("sized buffer");
+                        buf.truncate(n);
+                        (IpProtocol::Icmp, buf)
+                    }
+                };
+                let ip = Ipv4Repr {
+                    src_addr: meta.src,
+                    dst_addr: meta.dst,
+                    protocol,
+                    payload_len: l4.len(),
+                    ttl: meta.ttl,
+                    dscp: meta.dscp,
+                    ident: meta.ident,
+                    dont_frag: true,
+                };
+                let mut buf = vec![0u8; ip.total_len()];
+                ip.emit(&mut buf).expect("sized buffer");
+                buf[ip.header_len()..].copy_from_slice(&l4);
+                buf
+            }
+        };
+
+        let mut frame = vec![0u8; eth.header_len() + l3.len()];
+        eth.emit(&mut frame).expect("sized buffer");
+        frame[eth.header_len()..].copy_from_slice(&l3);
+        if self.pad && frame.len() < self.pad_to {
+            frame.resize(self.pad_to, 0);
+        }
+        frame
+    }
+
+    /// Build an ARP who-has request frame (broadcast).
+    pub fn arp_request(
+        src_mac: EthernetAddress,
+        src_ip: Ipv4Address,
+        target: Ipv4Address,
+    ) -> Vec<u8> {
+        PacketBuilder::new()
+            .eth(src_mac, EthernetAddress::BROADCAST)
+            .arp(ArpRepr::request(src_mac, src_ip, target))
+            .build()
+    }
+
+    /// Build the ARP reply frame answering `request_frame`, or `None` if the
+    /// frame is not a valid ARP request.
+    pub fn arp_reply_to(
+        request_frame: &[u8],
+        my_mac: EthernetAddress,
+        my_ip: Ipv4Address,
+    ) -> Option<Vec<u8>> {
+        let eth = crate::ethernet::EthernetFrame::new_checked(request_frame).ok()?;
+        if eth.ethertype() != EtherType::Arp {
+            return None;
+        }
+        let req = ArpRepr::parse(&ArpPacket::new_checked(eth.payload()).ok()?).ok()?;
+        if req.target_protocol_addr != my_ip {
+            return None;
+        }
+        let reply = ArpRepr::reply_to(&req, my_mac, my_ip);
+        Some(
+            PacketBuilder::new()
+                .eth(my_mac, req.source_hardware_addr)
+                .arp(reply)
+                .build(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::EthernetFrame;
+    use crate::ipv4::Ipv4Packet;
+    use crate::udp::UdpPacket;
+
+    fn macs() -> (EthernetAddress, EthernetAddress) {
+        (
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 2),
+        )
+    }
+
+    #[test]
+    fn udp_frame_is_valid_and_padded() {
+        let (s, d) = macs();
+        let frame = PacketBuilder::new()
+            .eth(s, d)
+            .ipv4(Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(10, 0, 1, 1))
+            .udp(1234, 80, b"x")
+            .build();
+        assert_eq!(frame.len(), ethernet::MIN_FRAME_LEN);
+        let eth = EthernetFrame::new_checked(&frame[..]).unwrap();
+        assert_eq!(eth.ethertype(), EtherType::Ipv4);
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        let udp = UdpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(udp.dst_port(), 80);
+        assert_eq!(udp.payload(), b"x");
+        assert!(udp.verify_checksum(ip.src_addr(), ip.dst_addr()));
+    }
+
+    #[test]
+    fn pad_to_fixed_size() {
+        let (s, d) = macs();
+        let frame = PacketBuilder::new()
+            .eth(s, d)
+            .ipv4(Ipv4Address::new(1, 1, 1, 1), Ipv4Address::new(2, 2, 2, 2))
+            .udp(1, 2, &[0u8; 100])
+            .pad_to(512)
+            .build();
+        assert_eq!(frame.len(), 512);
+    }
+
+    #[test]
+    fn no_pad_keeps_exact_size() {
+        let (s, d) = macs();
+        let frame = PacketBuilder::new().eth(s, d).raw(EtherType::Ipv4, &[1, 2, 3]).no_pad().build();
+        assert_eq!(frame.len(), 17);
+    }
+
+    #[test]
+    fn arp_request_reply_exchange() {
+        let (s, d) = macs();
+        let sip = Ipv4Address::new(10, 0, 0, 1);
+        let dip = Ipv4Address::new(10, 0, 0, 2);
+        let req = PacketBuilder::arp_request(s, sip, dip);
+        let reply = PacketBuilder::arp_reply_to(&req, d, dip).unwrap();
+        let eth = EthernetFrame::new_checked(&reply[..]).unwrap();
+        assert_eq!(eth.dst_addr(), s);
+        assert_eq!(eth.src_addr(), d);
+        let arp =
+            ArpRepr::parse(&ArpPacket::new_checked(eth.payload()).unwrap()).unwrap();
+        assert_eq!(arp.operation, crate::arp::Operation::Reply);
+        assert_eq!(arp.source_hardware_addr, d);
+        // Not-for-me requests are ignored.
+        assert!(PacketBuilder::arp_reply_to(&req, d, Ipv4Address::new(9, 9, 9, 9)).is_none());
+    }
+
+    #[test]
+    fn vlan_tagged_frame() {
+        let (s, d) = macs();
+        let frame = PacketBuilder::new()
+            .eth(s, d)
+            .vlan(100, 5)
+            .ipv4(Ipv4Address::new(1, 0, 0, 1), Ipv4Address::new(1, 0, 0, 2))
+            .udp(1, 2, b"v")
+            .build();
+        let eth = EthernetFrame::new_checked(&frame[..]).unwrap();
+        assert_eq!(eth.vlan_id(), Some(100));
+        assert_eq!(eth.vlan_pcp(), Some(5));
+        assert_eq!(eth.ethertype(), EtherType::Ipv4);
+    }
+
+    #[test]
+    fn ttl_and_dscp_override() {
+        let (s, d) = macs();
+        let frame = PacketBuilder::new()
+            .eth(s, d)
+            .ipv4(Ipv4Address::new(1, 0, 0, 1), Ipv4Address::new(1, 0, 0, 2))
+            .ttl(3)
+            .dscp(46)
+            .udp(1, 2, b"")
+            .build();
+        let eth = EthernetFrame::new_checked(&frame[..]).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert_eq!(ip.ttl(), 3);
+        assert_eq!(ip.dscp(), 46);
+    }
+}

@@ -1,0 +1,339 @@
+//! Ethernet II frames, with optional single 802.1Q VLAN tag.
+
+use crate::addr::EthernetAddress;
+use crate::{get_u16, set_u16, Error, Result};
+use core::fmt;
+
+/// Minimum Ethernet frame length on the wire, excluding FCS (64 - 4).
+pub const MIN_FRAME_LEN: usize = 60;
+/// Canonical maximum frame length excluding FCS (1514 + VLAN handled extra).
+pub const MAX_FRAME_LEN: usize = 1514;
+/// Length of the untagged Ethernet header.
+pub const HEADER_LEN: usize = 14;
+/// Length of an 802.1Q tag.
+pub const VLAN_TAG_LEN: usize = 4;
+
+/// An EtherType value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4, `0x0800`.
+    Ipv4,
+    /// ARP, `0x0806`.
+    Arp,
+    /// 802.1Q VLAN tag, `0x8100`.
+    Vlan,
+    /// IPv6, `0x86dd` (recognized, not parsed further by this crate).
+    Ipv6,
+    /// Any other value.
+    Unknown(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x8100 => EtherType::Vlan,
+            0x86dd => EtherType::Ipv6,
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(v: EtherType) -> Self {
+        match v {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Vlan => 0x8100,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Unknown(other) => other,
+        }
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtherType::Ipv4 => write!(f, "IPv4"),
+            EtherType::Arp => write!(f, "ARP"),
+            EtherType::Vlan => write!(f, "VLAN"),
+            EtherType::Ipv6 => write!(f, "IPv6"),
+            EtherType::Unknown(v) => write!(f, "0x{v:04x}"),
+        }
+    }
+}
+
+/// A zero-copy view of an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wrap a buffer without validation.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        EthernetFrame { buffer }
+    }
+
+    /// Wrap a buffer, checking that a full header (and VLAN tag, if present)
+    /// fits.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let frame = Self::new_unchecked(buffer);
+        frame.check_len()?;
+        Ok(frame)
+    }
+
+    fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if get_u16(data, 12) == 0x8100 && data.len() < HEADER_LEN + VLAN_TAG_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Unwrap, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[0..6])
+    }
+
+    /// Source MAC address.
+    pub fn src_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[6..12])
+    }
+
+    /// The outer EtherType (may be [`EtherType::Vlan`]).
+    pub fn ethertype_raw(&self) -> EtherType {
+        EtherType::from(get_u16(self.buffer.as_ref(), 12))
+    }
+
+    /// True if an 802.1Q tag is present.
+    pub fn has_vlan(&self) -> bool {
+        self.ethertype_raw() == EtherType::Vlan
+    }
+
+    /// The VLAN ID, if tagged.
+    pub fn vlan_id(&self) -> Option<u16> {
+        if self.has_vlan() {
+            Some(get_u16(self.buffer.as_ref(), 14) & 0x0fff)
+        } else {
+            None
+        }
+    }
+
+    /// The 3-bit priority code point, if tagged.
+    pub fn vlan_pcp(&self) -> Option<u8> {
+        if self.has_vlan() {
+            Some((self.buffer.as_ref()[14] >> 5) & 0x7)
+        } else {
+            None
+        }
+    }
+
+    /// The effective EtherType: the inner one if VLAN-tagged.
+    pub fn ethertype(&self) -> EtherType {
+        if self.has_vlan() {
+            EtherType::from(get_u16(self.buffer.as_ref(), 16))
+        } else {
+            self.ethertype_raw()
+        }
+    }
+
+    /// Offset of the payload within the buffer.
+    pub fn header_len(&self) -> usize {
+        if self.has_vlan() {
+            HEADER_LEN + VLAN_TAG_LEN
+        } else {
+            HEADER_LEN
+        }
+    }
+
+    /// The payload following the (possibly tagged) header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Total frame length.
+    pub fn total_len(&self) -> usize {
+        self.buffer.as_ref().len()
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Set the destination MAC address.
+    pub fn set_dst_addr(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[0..6].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the source MAC address.
+    pub fn set_src_addr(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[6..12].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the outer EtherType.
+    pub fn set_ethertype(&mut self, ethertype: EtherType) {
+        set_u16(self.buffer.as_mut(), 12, ethertype.into());
+    }
+
+    /// Mutable access to the payload after the (possibly tagged) header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let off = self.header_len();
+        &mut self.buffer.as_mut()[off..]
+    }
+}
+
+/// A parsed high-level representation of an Ethernet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetRepr {
+    /// Source address.
+    pub src_addr: EthernetAddress,
+    /// Destination address.
+    pub dst_addr: EthernetAddress,
+    /// Effective (inner, if tagged) EtherType.
+    pub ethertype: EtherType,
+    /// VLAN ID and PCP if an 802.1Q tag is present.
+    pub vlan: Option<(u16, u8)>,
+}
+
+impl EthernetRepr {
+    /// Parse from a frame view.
+    pub fn parse<T: AsRef<[u8]>>(frame: &EthernetFrame<T>) -> Result<EthernetRepr> {
+        frame.check_len()?;
+        Ok(EthernetRepr {
+            src_addr: frame.src_addr(),
+            dst_addr: frame.dst_addr(),
+            ethertype: frame.ethertype(),
+            vlan: frame.vlan_id().map(|id| (id, frame.vlan_pcp().unwrap_or(0))),
+        })
+    }
+
+    /// Length of the header this representation emits.
+    pub fn header_len(&self) -> usize {
+        if self.vlan.is_some() {
+            HEADER_LEN + VLAN_TAG_LEN
+        } else {
+            HEADER_LEN
+        }
+    }
+
+    /// Emit into the front of `buffer`, which must be at least
+    /// [`EthernetRepr::header_len`] bytes.
+    pub fn emit(&self, buffer: &mut [u8]) -> Result<()> {
+        if buffer.len() < self.header_len() {
+            return Err(Error::Exhausted);
+        }
+        buffer[0..6].copy_from_slice(self.dst_addr.as_bytes());
+        buffer[6..12].copy_from_slice(self.src_addr.as_bytes());
+        match self.vlan {
+            Some((id, pcp)) => {
+                set_u16(buffer, 12, 0x8100);
+                set_u16(buffer, 14, (u16::from(pcp) << 13) | (id & 0x0fff));
+                set_u16(buffer, 16, self.ethertype.into());
+            }
+            None => set_u16(buffer, 12, self.ethertype.into()),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static FRAME: [u8; 18] = [
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, // dst
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, // src
+        0x08, 0x00, // IPv4
+        0xde, 0xad, 0xbe, 0xef, // payload
+    ];
+
+    #[test]
+    fn parse_untagged() {
+        let f = EthernetFrame::new_checked(&FRAME[..]).unwrap();
+        assert_eq!(f.dst_addr(), EthernetAddress::BROADCAST);
+        assert_eq!(
+            f.src_addr(),
+            EthernetAddress::new(0x00, 0x11, 0x22, 0x33, 0x44, 0x55)
+        );
+        assert_eq!(f.ethertype(), EtherType::Ipv4);
+        assert!(!f.has_vlan());
+        assert_eq!(f.payload(), &[0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn parse_tagged() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME[0..12]);
+        buf.extend_from_slice(&[0x81, 0x00, 0xa0, 0x64, 0x08, 0x06]); // pcp=5, vid=100, ARP
+        buf.extend_from_slice(&[1, 2, 3]);
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert!(f.has_vlan());
+        assert_eq!(f.vlan_id(), Some(100));
+        assert_eq!(f.vlan_pcp(), Some(5));
+        assert_eq!(f.ethertype(), EtherType::Arp);
+        assert_eq!(f.payload(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        assert_eq!(
+            EthernetFrame::new_checked(&FRAME[..10]).unwrap_err(),
+            Error::Truncated
+        );
+        // VLAN ethertype but no room for the tag
+        let mut buf = FRAME[..14].to_vec();
+        buf[12] = 0x81;
+        buf[13] = 0x00;
+        assert_eq!(
+            EthernetFrame::new_checked(&buf[..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn repr_roundtrip() {
+        let repr = EthernetRepr {
+            src_addr: EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            dst_addr: EthernetAddress::new(2, 0, 0, 0, 0, 2),
+            ethertype: EtherType::Ipv4,
+            vlan: Some((42, 3)),
+        };
+        let mut buf = vec![0u8; repr.header_len() + 4];
+        repr.emit(&mut buf).unwrap();
+        let parsed = EthernetRepr::parse(&EthernetFrame::new_checked(&buf[..]).unwrap()).unwrap();
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn repr_emit_exhausted() {
+        let repr = EthernetRepr {
+            src_addr: EthernetAddress::default(),
+            dst_addr: EthernetAddress::default(),
+            ethertype: EtherType::Arp,
+            vlan: None,
+        };
+        let mut buf = [0u8; 8];
+        assert_eq!(repr.emit(&mut buf).unwrap_err(), Error::Exhausted);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut buf = FRAME.to_vec();
+        let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+        f.set_src_addr(EthernetAddress::new(9, 9, 9, 9, 9, 9));
+        f.set_ethertype(EtherType::Arp);
+        f.payload_mut()[0] = 0x55;
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.src_addr(), EthernetAddress::new(9, 9, 9, 9, 9, 9));
+        assert_eq!(f.ethertype(), EtherType::Arp);
+        assert_eq!(f.payload()[0], 0x55);
+    }
+}

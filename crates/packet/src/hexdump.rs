@@ -1,0 +1,117 @@
+//! Human-readable packet dumps for test failure reports and tracing.
+
+use core::fmt::Write as _;
+
+/// Render `data` in classic 16-bytes-per-line hexdump format with an ASCII
+/// gutter, as the nftest harness prints on packet mismatches.
+pub fn hexdump(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 4);
+    for (i, chunk) in data.chunks(16).enumerate() {
+        let _ = write!(out, "{:04x}  ", i * 16);
+        for j in 0..16 {
+            match chunk.get(j) {
+                Some(b) => {
+                    let _ = write!(out, "{b:02x} ");
+                }
+                None => out.push_str("   "),
+            }
+            if j == 7 {
+                out.push(' ');
+            }
+        }
+        out.push(' ');
+        for &b in chunk {
+            out.push(if (0x20..0x7f).contains(&b) { b as char } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A one-line summary of a frame: addresses, EtherType, and for IPv4 the
+/// 5-tuple. Used by trace output.
+pub fn summarize(frame: &[u8]) -> String {
+    use crate::ethernet::{EtherType, EthernetFrame};
+    use crate::ipv4::{IpProtocol, Ipv4Packet};
+
+    let eth = match EthernetFrame::new_checked(frame) {
+        Ok(eth) => eth,
+        Err(_) => return format!("<short frame, {} bytes>", frame.len()),
+    };
+    let mut s = format!(
+        "{} > {} {} len={}",
+        eth.src_addr(),
+        eth.dst_addr(),
+        eth.ethertype(),
+        frame.len()
+    );
+    if eth.ethertype() == EtherType::Ipv4 {
+        if let Ok(ip) = Ipv4Packet::new_checked(eth.payload()) {
+            let _ = write!(
+                s,
+                " | {} > {} {} ttl={}",
+                ip.src_addr(),
+                ip.dst_addr(),
+                ip.protocol(),
+                ip.ttl()
+            );
+            match ip.protocol() {
+                IpProtocol::Udp => {
+                    if let Ok(udp) = crate::udp::UdpPacket::new_checked(ip.payload()) {
+                        let _ = write!(s, " {}->{}", udp.src_port(), udp.dst_port());
+                    }
+                }
+                IpProtocol::Tcp => {
+                    if let Ok(tcp) = crate::tcp::TcpPacket::new_checked(ip.payload()) {
+                        let _ = write!(s, " {}->{}", tcp.src_port(), tcp.dst_port());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{EthernetAddress, Ipv4Address};
+    use crate::PacketBuilder;
+
+    #[test]
+    fn hexdump_shape() {
+        let dump = hexdump(&[0x41u8; 20]);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("0000  41 41"));
+        assert!(lines[0].ends_with("AAAAAAAAAAAAAAAA"));
+        assert!(lines[1].starts_with("0010  41 41 41 41"));
+    }
+
+    #[test]
+    fn hexdump_empty() {
+        assert_eq!(hexdump(&[]), "");
+    }
+
+    #[test]
+    fn summarize_udp() {
+        let frame = PacketBuilder::new()
+            .eth(
+                EthernetAddress::new(2, 0, 0, 0, 0, 1),
+                EthernetAddress::new(2, 0, 0, 0, 0, 2),
+            )
+            .ipv4(Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(10, 0, 0, 2))
+            .udp(4000, 53, b"q")
+            .build();
+        let s = summarize(&frame);
+        assert!(s.contains("02:00:00:00:00:01"), "{s}");
+        assert!(s.contains("10.0.0.1 > 10.0.0.2"), "{s}");
+        assert!(s.contains("4000->53"), "{s}");
+    }
+
+    #[test]
+    fn summarize_short() {
+        assert!(summarize(&[0u8; 4]).contains("short frame"));
+    }
+}

@@ -1,0 +1,234 @@
+//! ICMPv4 (RFC 792): echo, time-exceeded and destination-unreachable, which
+//! are the messages the reference router's management software generates.
+
+use crate::checksum;
+use crate::{get_u16, set_u16, Error, Result};
+
+/// Minimum ICMP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// ICMP message kinds understood by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Message {
+    /// Echo request (type 8) with identifier and sequence number.
+    EchoRequest {
+        /// Identifier (usually the sender's PID).
+        ident: u16,
+        /// Sequence number.
+        seq: u16,
+    },
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Identifier copied from the request.
+        ident: u16,
+        /// Sequence number copied from the request.
+        seq: u16,
+    },
+    /// Destination unreachable (type 3) with code.
+    DstUnreachable {
+        /// Code: 0 net, 1 host, 3 port unreachable, ...
+        code: u8,
+    },
+    /// Time exceeded (type 11) with code (0 = TTL exceeded in transit).
+    TimeExceeded {
+        /// Code: 0 = TTL expired in transit.
+        code: u8,
+    },
+    /// Any other type/code pair.
+    Other {
+        /// ICMP type.
+        icmp_type: u8,
+        /// ICMP code.
+        code: u8,
+    },
+}
+
+impl Message {
+    /// The (type, code) pair on the wire.
+    pub fn type_code(&self) -> (u8, u8) {
+        match *self {
+            Message::EchoReply { .. } => (0, 0),
+            Message::EchoRequest { .. } => (8, 0),
+            Message::DstUnreachable { code } => (3, code),
+            Message::TimeExceeded { code } => (11, code),
+            Message::Other { icmp_type, code } => (icmp_type, code),
+        }
+    }
+}
+
+/// A zero-copy view of an ICMPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Icmpv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Icmpv4Packet<T> {
+    /// Wrap a buffer without validation.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        Icmpv4Packet { buffer }
+    }
+
+    /// Wrap a buffer, checking the minimum length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(Icmpv4Packet { buffer })
+    }
+
+    /// Unwrap, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// ICMP type.
+    pub fn icmp_type(&self) -> u8 {
+        self.buffer.as_ref()[0]
+    }
+
+    /// ICMP code.
+    pub fn code(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 2)
+    }
+
+    /// The rest-of-header word (meaning depends on type).
+    pub fn rest_of_header(&self) -> u32 {
+        crate::get_u32(self.buffer.as_ref(), 4)
+    }
+
+    /// Verify the checksum over the whole buffer.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.buffer.as_ref())
+    }
+
+    /// Payload after the 8-byte header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+/// A parsed ICMPv4 message (header only; payload handled by caller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Icmpv4Repr {
+    /// The message kind.
+    pub message: Message,
+}
+
+impl Icmpv4Repr {
+    /// Parse from a packet view, optionally verifying the checksum.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Icmpv4Packet<T>, verify_csum: bool) -> Result<Self> {
+        if packet.buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if verify_csum && !packet.verify_checksum() {
+            return Err(Error::Checksum);
+        }
+        let rest = packet.rest_of_header();
+        let ident = (rest >> 16) as u16;
+        let seq = rest as u16;
+        let message = match (packet.icmp_type(), packet.code()) {
+            (0, 0) => Message::EchoReply { ident, seq },
+            (8, 0) => Message::EchoRequest { ident, seq },
+            (3, code) => Message::DstUnreachable { code },
+            (11, code) => Message::TimeExceeded { code },
+            (icmp_type, code) => Message::Other { icmp_type, code },
+        };
+        Ok(Icmpv4Repr { message })
+    }
+
+    /// Emit header + `payload` into `buffer` and fill the checksum.
+    /// `buffer` must be at least `HEADER_LEN + payload.len()`.
+    pub fn emit(&self, buffer: &mut [u8], payload: &[u8]) -> Result<usize> {
+        let total = HEADER_LEN + payload.len();
+        if buffer.len() < total {
+            return Err(Error::Exhausted);
+        }
+        let (icmp_type, code) = self.message.type_code();
+        buffer[0] = icmp_type;
+        buffer[1] = code;
+        set_u16(buffer, 2, 0);
+        let rest: u32 = match self.message {
+            Message::EchoRequest { ident, seq } | Message::EchoReply { ident, seq } => {
+                (u32::from(ident) << 16) | u32::from(seq)
+            }
+            _ => 0,
+        };
+        crate::set_u32(buffer, 4, rest);
+        buffer[HEADER_LEN..total].copy_from_slice(payload);
+        let csum = checksum::checksum(&buffer[..total]);
+        set_u16(buffer, 2, csum);
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let repr = Icmpv4Repr {
+            message: Message::EchoRequest { ident: 0x1234, seq: 7 },
+        };
+        let payload = b"netfpga ping";
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        let n = repr.emit(&mut buf, payload).unwrap();
+        assert_eq!(n, buf.len());
+        let pkt = Icmpv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(pkt.verify_checksum());
+        assert_eq!(Icmpv4Repr::parse(&pkt, true).unwrap(), repr);
+        assert_eq!(pkt.payload(), payload);
+    }
+
+    #[test]
+    fn time_exceeded() {
+        let repr = Icmpv4Repr {
+            message: Message::TimeExceeded { code: 0 },
+        };
+        // Payload: original IP header + 8 bytes, per RFC 792. Use dummy.
+        let orig = [0u8; 28];
+        let mut buf = vec![0u8; HEADER_LEN + orig.len()];
+        repr.emit(&mut buf, &orig).unwrap();
+        let pkt = Icmpv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.icmp_type(), 11);
+        assert_eq!(pkt.code(), 0);
+        assert!(pkt.verify_checksum());
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let repr = Icmpv4Repr {
+            message: Message::EchoReply { ident: 1, seq: 1 },
+        };
+        let mut buf = vec![0u8; HEADER_LEN + 4];
+        repr.emit(&mut buf, &[1, 2, 3, 4]).unwrap();
+        buf[9] ^= 0x40;
+        let pkt = Icmpv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(
+            Icmpv4Repr::parse(&pkt, true).unwrap_err(),
+            Error::Checksum
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(Icmpv4Packet::new_checked(&[0u8; 7][..]).is_err());
+    }
+
+    #[test]
+    fn unknown_type_preserved() {
+        let repr = Icmpv4Repr {
+            message: Message::Other { icmp_type: 13, code: 0 },
+        };
+        let mut buf = vec![0u8; HEADER_LEN];
+        repr.emit(&mut buf, &[]).unwrap();
+        let parsed =
+            Icmpv4Repr::parse(&Icmpv4Packet::new_checked(&buf[..]).unwrap(), true).unwrap();
+        assert_eq!(parsed, repr);
+    }
+}

@@ -1,0 +1,505 @@
+//! IPv4 headers (RFC 791), options-tolerant, with checksum support.
+
+use crate::addr::Ipv4Address;
+use crate::checksum;
+use crate::{get_u16, set_u16, Error, Result};
+use core::fmt;
+
+/// Length of an IPv4 header without options.
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// An IP protocol number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProtocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else.
+    Unknown(u8),
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Unknown(other),
+        }
+    }
+}
+
+impl From<IpProtocol> for u8 {
+    fn from(v: IpProtocol) -> Self {
+        match v {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Unknown(other) => other,
+        }
+    }
+}
+
+impl fmt::Display for IpProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpProtocol::Icmp => write!(f, "ICMP"),
+            IpProtocol::Tcp => write!(f, "TCP"),
+            IpProtocol::Udp => write!(f, "UDP"),
+            IpProtocol::Unknown(v) => write!(f, "proto-{v}"),
+        }
+    }
+}
+
+/// A zero-copy view of an IPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wrap a buffer without validation.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        Ipv4Packet { buffer }
+    }
+
+    /// Wrap a buffer, validating version, header length and total length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let packet = Self::new_unchecked(buffer);
+        packet.check()?;
+        Ok(packet)
+    }
+
+    fn check(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < MIN_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if self.version() != 4 {
+            return Err(Error::Malformed);
+        }
+        let hlen = self.header_len();
+        if hlen < MIN_HEADER_LEN || hlen > data.len() {
+            return Err(Error::Malformed);
+        }
+        let tlen = usize::from(self.total_len());
+        if tlen < hlen || tlen > data.len() {
+            return Err(Error::Malformed);
+        }
+        Ok(())
+    }
+
+    /// Unwrap, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// IP version field.
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 4
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[0] & 0x0f) * 4
+    }
+
+    /// Differentiated services code point.
+    pub fn dscp(&self) -> u8 {
+        self.buffer.as_ref()[1] >> 2
+    }
+
+    /// ECN bits.
+    pub fn ecn(&self) -> u8 {
+        self.buffer.as_ref()[1] & 0x3
+    }
+
+    /// Total length field.
+    pub fn total_len(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 2)
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 4)
+    }
+
+    /// Don't-fragment flag.
+    pub fn dont_frag(&self) -> bool {
+        self.buffer.as_ref()[6] & 0x40 != 0
+    }
+
+    /// More-fragments flag.
+    pub fn more_frags(&self) -> bool {
+        self.buffer.as_ref()[6] & 0x20 != 0
+    }
+
+    /// Fragment offset in bytes.
+    pub fn frag_offset(&self) -> u16 {
+        (get_u16(self.buffer.as_ref(), 6) & 0x1fff) * 8
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Next-level protocol.
+    pub fn protocol(&self) -> IpProtocol {
+        IpProtocol::from(self.buffer.as_ref()[9])
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 10)
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv4Address {
+        Ipv4Address::from_bytes(&self.buffer.as_ref()[12..16])
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv4Address {
+        Ipv4Address::from_bytes(&self.buffer.as_ref()[16..20])
+    }
+
+    /// Verify the header checksum.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(&self.buffer.as_ref()[..self.header_len()])
+    }
+
+    /// The payload after the header, limited by `total_len`.
+    pub fn payload(&self) -> &[u8] {
+        let hlen = self.header_len();
+        let tlen = usize::from(self.total_len());
+        &self.buffer.as_ref()[hlen..tlen]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Set version and header length (bytes; must be a multiple of 4).
+    pub fn set_version_and_header_len(&mut self, header_len: usize) {
+        debug_assert_eq!(header_len % 4, 0);
+        self.buffer.as_mut()[0] = 0x40 | ((header_len / 4) as u8);
+    }
+
+    /// Set the DSCP/ECN byte.
+    pub fn set_tos(&mut self, tos: u8) {
+        self.buffer.as_mut()[1] = tos;
+    }
+
+    /// Set the total length field.
+    pub fn set_total_len(&mut self, len: u16) {
+        set_u16(self.buffer.as_mut(), 2, len);
+    }
+
+    /// Set the identification field.
+    pub fn set_ident(&mut self, ident: u16) {
+        set_u16(self.buffer.as_mut(), 4, ident);
+    }
+
+    /// Set flags and fragment offset: offset in bytes (multiple of 8).
+    pub fn set_flags_frag(&mut self, dont_frag: bool, more_frags: bool, offset: u16) {
+        let mut word = offset / 8;
+        if dont_frag {
+            word |= 0x4000;
+        }
+        if more_frags {
+            word |= 0x2000;
+        }
+        set_u16(self.buffer.as_mut(), 6, word);
+    }
+
+    /// Set the TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[8] = ttl;
+    }
+
+    /// Decrement the TTL and incrementally update the checksum, exactly as
+    /// the reference-router datapath does. Returns the new TTL.
+    pub fn decrement_ttl(&mut self) -> u8 {
+        let old_ttl = self.ttl();
+        let proto = self.protocol();
+        let new_csum = checksum::ttl_decrement_update(self.header_checksum(), old_ttl, proto);
+        let data = self.buffer.as_mut();
+        data[8] = old_ttl.wrapping_sub(1);
+        set_u16(data, 10, new_csum);
+        data[8]
+    }
+
+    /// Set the protocol field.
+    pub fn set_protocol(&mut self, protocol: IpProtocol) {
+        self.buffer.as_mut()[9] = protocol.into();
+    }
+
+    /// Set the checksum field directly.
+    pub fn set_header_checksum(&mut self, csum: u16) {
+        set_u16(self.buffer.as_mut(), 10, csum);
+    }
+
+    /// Set the source address.
+    pub fn set_src_addr(&mut self, addr: Ipv4Address) {
+        self.buffer.as_mut()[12..16].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the destination address.
+    pub fn set_dst_addr(&mut self, addr: Ipv4Address) {
+        self.buffer.as_mut()[16..20].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Recompute and store the header checksum.
+    pub fn fill_checksum(&mut self) {
+        self.set_header_checksum(0);
+        let hlen = self.header_len();
+        let csum = checksum::checksum(&self.buffer.as_ref()[..hlen]);
+        self.set_header_checksum(csum);
+    }
+
+    /// Mutable payload after the header, limited by `total_len`.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hlen = self.header_len();
+        let tlen = usize::from(self.total_len());
+        &mut self.buffer.as_mut()[hlen..tlen]
+    }
+}
+
+/// A parsed IPv4 header (options are preserved only as a length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Repr {
+    /// Source address.
+    pub src_addr: Ipv4Address,
+    /// Destination address.
+    pub dst_addr: Ipv4Address,
+    /// Next-level protocol.
+    pub protocol: IpProtocol,
+    /// Payload length in bytes (excludes header).
+    pub payload_len: usize,
+    /// Time to live.
+    pub ttl: u8,
+    /// DSCP (6 bits).
+    pub dscp: u8,
+    /// Identification field.
+    pub ident: u16,
+    /// Don't-fragment flag.
+    pub dont_frag: bool,
+}
+
+impl Ipv4Repr {
+    /// A representation with common defaults (TTL 64, DF set).
+    pub fn new(
+        src_addr: Ipv4Address,
+        dst_addr: Ipv4Address,
+        protocol: IpProtocol,
+        payload_len: usize,
+    ) -> Ipv4Repr {
+        Ipv4Repr {
+            src_addr,
+            dst_addr,
+            protocol,
+            payload_len,
+            ttl: 64,
+            dscp: 0,
+            ident: 0,
+            dont_frag: true,
+        }
+    }
+
+    /// Parse from a packet view, optionally verifying the checksum.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Ipv4Packet<T>, verify_csum: bool) -> Result<Ipv4Repr> {
+        packet.check()?;
+        if verify_csum && !packet.verify_checksum() {
+            return Err(Error::Checksum);
+        }
+        Ok(Ipv4Repr {
+            src_addr: packet.src_addr(),
+            dst_addr: packet.dst_addr(),
+            protocol: packet.protocol(),
+            payload_len: usize::from(packet.total_len()) - packet.header_len(),
+            ttl: packet.ttl(),
+            dscp: packet.dscp(),
+            ident: packet.ident(),
+            dont_frag: packet.dont_frag(),
+        })
+    }
+
+    /// The header length this representation emits (no options).
+    pub const fn header_len(&self) -> usize {
+        MIN_HEADER_LEN
+    }
+
+    /// Total packet length (header + payload).
+    pub fn total_len(&self) -> usize {
+        self.header_len() + self.payload_len
+    }
+
+    /// Emit the header into the front of `buffer` and fill the checksum.
+    pub fn emit(&self, buffer: &mut [u8]) -> Result<()> {
+        if buffer.len() < MIN_HEADER_LEN {
+            return Err(Error::Exhausted);
+        }
+        let total = self.total_len();
+        if total > usize::from(u16::MAX) {
+            return Err(Error::Malformed);
+        }
+        let mut packet = Ipv4Packet::new_unchecked(&mut buffer[..MIN_HEADER_LEN]);
+        packet.set_version_and_header_len(MIN_HEADER_LEN);
+        packet.set_tos(self.dscp << 2);
+        packet.set_total_len(total as u16);
+        packet.set_ident(self.ident);
+        packet.set_flags_frag(self.dont_frag, false, 0);
+        packet.set_ttl(self.ttl);
+        packet.set_protocol(self.protocol);
+        packet.set_src_addr(self.src_addr);
+        packet.set_dst_addr(self.dst_addr);
+        packet.set_header_checksum(0);
+        let csum = checksum::checksum(&buffer[..MIN_HEADER_LEN]);
+        set_u16(buffer, 10, csum);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_repr() -> Ipv4Repr {
+        Ipv4Repr::new(
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 1, 1),
+            IpProtocol::Udp,
+            16,
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut buf).unwrap();
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(pkt.verify_checksum());
+        let parsed = Ipv4Repr::parse(&pkt, true).unwrap();
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut buf).unwrap();
+        buf[0] = 0x65; // version 6
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
+    }
+
+    #[test]
+    fn rejects_short_total_len() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut buf).unwrap();
+        buf[2] = 0;
+        buf[3] = 10; // total_len 10 < header
+        assert!(Ipv4Packet::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn detects_corrupted_checksum() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut buf).unwrap();
+        buf[8] ^= 0xff; // corrupt TTL
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(Ipv4Repr::parse(&pkt, true).unwrap_err(), Error::Checksum);
+        assert!(Ipv4Repr::parse(&pkt, false).is_ok());
+    }
+
+    #[test]
+    fn ttl_decrement_preserves_checksum() {
+        let mut repr = sample_repr();
+        repr.ttl = 17;
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut buf).unwrap();
+        let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+        assert_eq!(pkt.decrement_ttl(), 16);
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.ttl(), 16);
+        assert!(pkt.verify_checksum());
+    }
+
+    #[test]
+    fn options_tolerated() {
+        // Build a header with 4 bytes of options (IHL = 6).
+        let mut buf = [0u8; 28];
+        {
+            let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+            pkt.set_version_and_header_len(24);
+            pkt.set_total_len(28);
+            pkt.set_ttl(5);
+            pkt.set_protocol(IpProtocol::Tcp);
+            pkt.set_src_addr(Ipv4Address::new(1, 1, 1, 1));
+            pkt.set_dst_addr(Ipv4Address::new(2, 2, 2, 2));
+            pkt.fill_checksum();
+        }
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.header_len(), 24);
+        assert_eq!(pkt.payload().len(), 4);
+        assert!(pkt.verify_checksum());
+        let repr = Ipv4Repr::parse(&pkt, true).unwrap();
+        assert_eq!(repr.payload_len, 4);
+    }
+
+    #[test]
+    fn frag_fields() {
+        let mut buf = [0u8; 20];
+        let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+        pkt.set_flags_frag(false, true, 1480);
+        assert!(pkt.more_frags());
+        assert!(!pkt.dont_frag());
+        assert_eq!(pkt.frag_offset(), 1480);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            src in any::<u32>(), dst in any::<u32>(),
+            ttl in 1u8..=255, dscp in 0u8..64,
+            ident in any::<u16>(), plen in 0usize..1480,
+            proto in any::<u8>(),
+        ) {
+            let repr = Ipv4Repr {
+                src_addr: Ipv4Address::from_u32(src),
+                dst_addr: Ipv4Address::from_u32(dst),
+                protocol: IpProtocol::from(proto),
+                payload_len: plen,
+                ttl, dscp, ident,
+                dont_frag: ident % 2 == 0,
+            };
+            let mut buf = vec![0u8; repr.total_len()];
+            repr.emit(&mut buf).unwrap();
+            let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+            prop_assert!(pkt.verify_checksum());
+            prop_assert_eq!(Ipv4Repr::parse(&pkt, true).unwrap(), repr);
+        }
+
+        /// Repeated TTL decrements always keep the checksum valid.
+        #[test]
+        fn prop_ttl_chain(ttl in 2u8..=255) {
+            let mut repr = sample_repr();
+            repr.ttl = ttl;
+            let mut buf = vec![0u8; repr.total_len()];
+            repr.emit(&mut buf).unwrap();
+            for expect in (1..ttl).rev() {
+                let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+                prop_assert_eq!(pkt.decrement_ttl(), expect);
+                prop_assert!(Ipv4Packet::new_checked(&buf[..]).unwrap().verify_checksum());
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! # netfpga-packet
+//!
+//! Typed wire formats for the netfpga-rs platform.
+//!
+//! This crate follows the *smoltcp* idiom for protocol handling: every
+//! protocol offers a zero-copy **view** type (`Frame`, `Packet`) wrapping a
+//! byte buffer plus a plain-old-data **representation** type (`Repr`) with
+//! `parse` / `emit` methods. Views validate lazily and never allocate;
+//! representations are convenient for constructing packets in tests,
+//! workload generators and host software.
+//!
+//! Supported protocols:
+//!
+//! * Ethernet II, with optional single 802.1Q VLAN tag ([`ethernet`])
+//! * ARP for IPv4-over-Ethernet ([`arp`])
+//! * IPv4 with header checksum and options-tolerant parsing ([`ipv4`])
+//! * ICMPv4 echo / time-exceeded / destination-unreachable ([`icmpv4`])
+//! * UDP ([`udp`]) and the TCP header ([`tcp`])
+//!
+//! The [`builder`] module offers a small fluent API that assembles complete
+//! frames (used heavily by the workload generators in `netfpga-bench` and by
+//! the OSNT traffic generator), and [`checksum`] provides both one-shot and
+//! RFC 1624 incremental Internet checksums (the incremental form is what the
+//! reference router datapath uses to update checksums after TTL decrement).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod addr;
+pub mod arp;
+pub mod builder;
+pub mod checksum;
+pub mod ethernet;
+pub mod hexdump;
+pub mod icmpv4;
+pub mod ipv4;
+pub mod tcp;
+pub mod udp;
+
+pub use addr::{EthernetAddress, Ipv4Address, Ipv4Cidr};
+pub use builder::PacketBuilder;
+pub use ethernet::{EtherType, EthernetFrame, EthernetRepr};
+pub use ipv4::{Ipv4Packet, Ipv4Repr, IpProtocol};
+
+/// Errors produced while parsing or emitting wire formats.
+///
+/// Parsing is strict about structural validity (lengths, versions) but, like
+/// real forwarding hardware, does not verify payload checksums unless asked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is too short to contain the protocol header.
+    Truncated,
+    /// A length, version or type field is inconsistent with the buffer.
+    Malformed,
+    /// A verified checksum did not match.
+    Checksum,
+    /// The buffer provided for `emit` is too small.
+    Exhausted,
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "buffer truncated"),
+            Error::Malformed => write!(f, "malformed header"),
+            Error::Checksum => write!(f, "checksum mismatch"),
+            Error::Exhausted => write!(f, "emit buffer exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Read a big-endian `u16` at `idx` (panics if out of range; views check
+/// bounds before calling).
+#[inline]
+pub(crate) fn get_u16(data: &[u8], idx: usize) -> u16 {
+    u16::from_be_bytes([data[idx], data[idx + 1]])
+}
+
+/// Read a big-endian `u32` at `idx`.
+#[inline]
+pub(crate) fn get_u32(data: &[u8], idx: usize) -> u32 {
+    u32::from_be_bytes([data[idx], data[idx + 1], data[idx + 2], data[idx + 3]])
+}
+
+/// Write a big-endian `u16` at `idx`.
+#[inline]
+pub(crate) fn set_u16(data: &mut [u8], idx: usize, value: u16) {
+    data[idx..idx + 2].copy_from_slice(&value.to_be_bytes());
+}
+
+/// Write a big-endian `u32` at `idx`.
+#[inline]
+pub(crate) fn set_u32(data: &mut [u8], idx: usize, value: u32) {
+    data[idx..idx + 4].copy_from_slice(&value.to_be_bytes());
+}

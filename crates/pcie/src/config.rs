@@ -1,0 +1,127 @@
+//! PCIe link arithmetic: generation, lanes, encoding, TLP overhead.
+
+use netfpga_core::time::{BitRate, Time};
+
+/// Parameters of the PCIe endpoint and the host root complex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcieConfig {
+    /// Generation (1, 2 or 3).
+    pub generation: u8,
+    /// Lane count (x1..x16).
+    pub lanes: u8,
+    /// Max payload size per TLP in bytes (128 or 256 on commodity hosts).
+    pub max_payload: usize,
+    /// One-way MMIO posted-write latency.
+    pub mmio_write_latency: Time,
+    /// Round-trip MMIO read latency (non-posted: request + completion).
+    pub mmio_read_latency: Time,
+}
+
+impl PcieConfig {
+    /// SUME's interface: Gen3 x8, 256 B payload, ~1 µs MMIO reads.
+    pub fn gen3_x8() -> PcieConfig {
+        PcieConfig {
+            generation: 3,
+            lanes: 8,
+            max_payload: 256,
+            mmio_write_latency: Time::from_ns(300),
+            mmio_read_latency: Time::from_ns(900),
+        }
+    }
+
+    /// NetFPGA-10G's interface: Gen1 x8.
+    pub fn gen1_x8() -> PcieConfig {
+        PcieConfig {
+            generation: 1,
+            lanes: 8,
+            max_payload: 128,
+            mmio_write_latency: Time::from_ns(400),
+            mmio_read_latency: Time::from_us(1),
+        }
+    }
+
+    /// Raw per-lane rate.
+    pub fn lane_rate(&self) -> BitRate {
+        match self.generation {
+            1 => BitRate::mbps(2_500),
+            2 => BitRate::mbps(5_000),
+            _ => BitRate::mbps(8_000),
+        }
+    }
+
+    /// Encoding efficiency (8b/10b below Gen3, 128b/130b at Gen3).
+    pub fn encoding_efficiency(&self) -> f64 {
+        if self.generation >= 3 {
+            128.0 / 130.0
+        } else {
+            0.8
+        }
+    }
+
+    /// Effective post-encoding bandwidth per direction.
+    pub fn effective_bandwidth(&self) -> BitRate {
+        let raw = self.lane_rate().as_bps() * u64::from(self.lanes);
+        BitRate::bps((raw as f64 * self.encoding_efficiency()) as u64)
+    }
+
+    /// Bytes on the link for a `len`-byte transfer: payload plus ~24 bytes
+    /// of TLP/DLLP framing per max-payload chunk.
+    pub fn tlp_bytes(&self, len: usize) -> u64 {
+        const TLP_OVERHEAD: u64 = 24;
+        let chunks = len.div_ceil(self.max_payload).max(1) as u64;
+        len as u64 + chunks * TLP_OVERHEAD
+    }
+
+    /// Link occupancy time for a `len`-byte DMA transfer.
+    pub fn transfer_time(&self, len: usize) -> Time {
+        self.effective_bandwidth().time_for_bytes(self.tlp_bytes(len))
+    }
+
+    /// Goodput fraction for `len`-byte transfers (payload / link bytes).
+    pub fn dma_efficiency(&self, len: usize) -> f64 {
+        len as f64 / self.tlp_bytes(len) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen3_x8_bandwidth() {
+        let c = PcieConfig::gen3_x8();
+        // 8 GT/s x 8 x 128/130 ≈ 63.0 Gb/s.
+        assert!((c.effective_bandwidth().as_gbps_f64() - 63.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn gen1_x8_bandwidth() {
+        let c = PcieConfig::gen1_x8();
+        assert!((c.effective_bandwidth().as_gbps_f64() - 16.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn tlp_overhead_chunks() {
+        let c = PcieConfig::gen3_x8();
+        assert_eq!(c.tlp_bytes(100), 124); // one chunk
+        assert_eq!(c.tlp_bytes(256), 280); // exactly one chunk
+        assert_eq!(c.tlp_bytes(257), 305); // two chunks
+        assert_eq!(c.tlp_bytes(0), 24); // header-only
+    }
+
+    #[test]
+    fn small_transfers_are_inefficient() {
+        let c = PcieConfig::gen3_x8();
+        assert!(c.dma_efficiency(64) < 0.75);
+        assert!(c.dma_efficiency(1500) > 0.9);
+    }
+
+    #[test]
+    fn transfer_time_scales() {
+        let c = PcieConfig::gen3_x8();
+        let t1 = c.transfer_time(1500);
+        let t2 = c.transfer_time(3000);
+        assert!(t2 > t1);
+        assert!(t2.as_ps() < 2 * t1.as_ps() + 10_000);
+    }
+}

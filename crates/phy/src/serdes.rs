@@ -1,0 +1,157 @@
+//! SerDes lane and lane-bonding arithmetic.
+//!
+//! The SUME board exposes 30 GTH transceivers at up to 13.1 Gb/s. What a
+//! *user* gets out of a lane depends on the line encoding; what an
+//! *interface* gets depends on how many lanes are bonded. This module does
+//! that arithmetic exactly — it is the basis of the board-capability rows
+//! in experiment E1 (e.g. "100 GbE = 10 bonded lanes of 10.3125 G at
+//! 64b/66b").
+
+use netfpga_core::time::BitRate;
+
+/// Physical-layer line encodings used on the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// 8b/10b (1G Ethernet, PCIe Gen1/2, SATA): 80% efficient.
+    E8b10b,
+    /// 64b/66b (10G/40G/100G Ethernet): 96.97% efficient.
+    E64b66b,
+    /// 128b/130b (PCIe Gen3): 98.46% efficient.
+    E128b130b,
+}
+
+impl Encoding {
+    /// Payload bits per line bit.
+    pub fn efficiency(self) -> f64 {
+        match self {
+            Encoding::E8b10b => 8.0 / 10.0,
+            Encoding::E64b66b => 64.0 / 66.0,
+            Encoding::E128b130b => 128.0 / 130.0,
+        }
+    }
+}
+
+/// One serial lane configured at a line rate with an encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lane {
+    /// Raw line rate (what the transceiver drives).
+    pub line_rate: BitRate,
+    /// Line encoding.
+    pub encoding: Encoding,
+}
+
+impl Lane {
+    /// The standard 10 GbE lane: 10.3125 Gb/s at 64b/66b = 10.0 Gb/s.
+    pub fn ten_gbe() -> Lane {
+        Lane { line_rate: BitRate::bps(10_312_500_000), encoding: Encoding::E64b66b }
+    }
+
+    /// The 1 GbE lane: 1.25 Gb/s at 8b/10b = 1.0 Gb/s.
+    pub fn one_gbe() -> Lane {
+        Lane { line_rate: BitRate::bps(1_250_000_000), encoding: Encoding::E8b10b }
+    }
+
+    /// Effective payload rate after encoding.
+    pub fn effective_rate(&self) -> BitRate {
+        BitRate::bps((self.line_rate.as_bps() as f64 * self.encoding.efficiency()).round() as u64)
+    }
+}
+
+/// Several identical lanes bonded into one logical interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortBond {
+    /// The lane configuration.
+    pub lane: Lane,
+    /// Number of bonded lanes.
+    pub lanes: u8,
+}
+
+impl PortBond {
+    /// 10GBASE-R: one lane.
+    pub fn ethernet_10g() -> PortBond {
+        PortBond { lane: Lane::ten_gbe(), lanes: 1 }
+    }
+
+    /// XAUI: four 3.125 Gb/s lanes at 8b/10b = 10 Gb/s — how platforms
+    /// with slower transceivers (NetFPGA-10G's Virtex-5) reach 10GbE
+    /// through an external PHY.
+    pub fn xaui() -> PortBond {
+        PortBond {
+            lane: Lane { line_rate: BitRate::bps(3_125_000_000), encoding: Encoding::E8b10b },
+            lanes: 4,
+        }
+    }
+
+    /// 40GBASE-R4: four bonded 10.3125 G lanes.
+    pub fn ethernet_40g() -> PortBond {
+        PortBond { lane: Lane::ten_gbe(), lanes: 4 }
+    }
+
+    /// 100GBASE-R10 (CAUI-10): ten bonded 10.3125 G lanes, the configuration
+    /// the SUME expansion interface supports for 100 Gb/s operation.
+    pub fn ethernet_100g() -> PortBond {
+        PortBond { lane: Lane::ten_gbe(), lanes: 10 }
+    }
+
+    /// Aggregate effective (post-encoding) rate.
+    pub fn effective_rate(&self) -> BitRate {
+        BitRate::bps(self.lane.effective_rate().as_bps() * u64::from(self.lanes))
+    }
+
+    /// Aggregate raw line rate.
+    pub fn raw_rate(&self) -> BitRate {
+        BitRate::bps(self.lane.line_rate.as_bps() * u64::from(self.lanes))
+    }
+
+    /// Whether `available` lanes at `max_lane_rate` can realize this bond.
+    pub fn feasible_on(&self, available: usize, max_lane_rate: BitRate) -> bool {
+        usize::from(self.lanes) <= available && self.lane.line_rate <= max_lane_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_gbe_lane_is_exactly_10g() {
+        assert_eq!(Lane::ten_gbe().effective_rate(), BitRate::gbps(10));
+    }
+
+    #[test]
+    fn one_gbe_lane_is_exactly_1g() {
+        assert_eq!(Lane::one_gbe().effective_rate(), BitRate::gbps(1));
+    }
+
+    #[test]
+    fn standard_bonds() {
+        assert_eq!(PortBond::ethernet_10g().effective_rate(), BitRate::gbps(10));
+        assert_eq!(PortBond::xaui().effective_rate(), BitRate::gbps(10));
+        assert_eq!(PortBond::ethernet_40g().effective_rate(), BitRate::gbps(40));
+        assert_eq!(PortBond::ethernet_100g().effective_rate(), BitRate::gbps(100));
+        assert_eq!(
+            PortBond::ethernet_100g().raw_rate(),
+            BitRate::bps(103_125_000_000)
+        );
+    }
+
+    #[test]
+    fn feasibility_on_sume_lanes() {
+        // SUME: 30 lanes at up to 13.1 Gb/s.
+        let max = BitRate::mbps(13_100);
+        assert!(PortBond::ethernet_100g().feasible_on(30, max));
+        assert!(PortBond::ethernet_40g().feasible_on(30, max));
+        // Not enough lanes:
+        assert!(!PortBond::ethernet_100g().feasible_on(9, max));
+        // Lane too slow for the rate:
+        let slow = BitRate::gbps(6);
+        assert!(!PortBond::ethernet_10g().feasible_on(30, slow));
+    }
+
+    #[test]
+    fn encoding_efficiencies() {
+        assert!((Encoding::E8b10b.efficiency() - 0.8).abs() < 1e-12);
+        assert!((Encoding::E64b66b.efficiency() - 0.9697).abs() < 1e-4);
+        assert!((Encoding::E128b130b.efficiency() - 0.9846).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,776 @@
+//! BlueSwitch: the contributed multi-table OpenFlow switch with
+//! **provably consistent configuration** (Han et al., ANCS 2015 — cited by
+//! the paper as a flagship community project).
+//!
+//! The data plane is a pipeline of TCAM match-action tables. Its defining
+//! feature is the *atomic update*: every table is double-banked; the
+//! controller writes a complete new configuration into the shadow banks
+//! and then issues one commit that flips all tables to the new banks
+//! simultaneously. Every packet is therefore classified against exactly
+//! one configuration version — never a mixture — which is the property
+//! experiment E5 measures against a naive write-in-place baseline.
+
+use crate::harness::{Chassis, ChassisIo};
+use netfpga_core::board::BoardSpec;
+use netfpga_core::regs::{shared, AddressMap, RegisterSpace};
+use netfpga_core::resources::ResourceCost;
+use netfpga_core::stream::{Meta, PortMask, Stream};
+use netfpga_core::time::Time;
+use netfpga_datapath::blocks;
+use netfpga_datapath::queues::{OutputQueues, QueueConfig};
+use netfpga_datapath::sched::Fifo;
+use netfpga_datapath::stage::{PacketLogic, StageAction};
+use netfpga_datapath::{InputArbiter, PacketStage, ParsedHeaders};
+use netfpga_mem::{Tcam, TcamEntry, TernaryKey};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Width of the packed flow key in bytes:
+/// `in_port(1) ‖ eth_dst(6) ‖ eth_src(6) ‖ ethertype(2) ‖ ip_src(4) ‖
+/// ip_dst(4) ‖ ip_proto(1) ‖ l4_src(2) ‖ l4_dst(2)`.
+pub const KEY_WIDTH: usize = 28;
+
+/// Pack the match key of a packet.
+pub fn flow_key(packet: &[u8], meta: &Meta) -> [u8; KEY_WIDTH] {
+    let h = ParsedHeaders::parse(packet);
+    let mut k = [0u8; KEY_WIDTH];
+    k[0] = meta.src_port;
+    k[1..7].copy_from_slice(h.eth_dst.as_bytes());
+    k[7..13].copy_from_slice(h.eth_src.as_bytes());
+    k[13..15].copy_from_slice(&h.ethertype.to_be_bytes());
+    if let Some(ip) = h.ipv4 {
+        k[15..19].copy_from_slice(ip.src.as_bytes());
+        k[19..23].copy_from_slice(ip.dst.as_bytes());
+        k[23] = ip.protocol.into();
+        if let Some((sp, dp)) = ip.l4 {
+            k[24..26].copy_from_slice(&sp.to_be_bytes());
+            k[26..28].copy_from_slice(&dp.to_be_bytes());
+        }
+    }
+    k
+}
+
+/// Builder for ternary flow-rule keys over the packed layout.
+#[derive(Debug, Clone)]
+pub struct FlowKeyBuilder {
+    value: [u8; KEY_WIDTH],
+    mask: [u8; KEY_WIDTH],
+}
+
+impl Default for FlowKeyBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowKeyBuilder {
+    /// Start from an all-wildcard key.
+    pub fn new() -> FlowKeyBuilder {
+        FlowKeyBuilder { value: [0; KEY_WIDTH], mask: [0; KEY_WIDTH] }
+    }
+
+    fn set(mut self, range: core::ops::Range<usize>, bytes: &[u8]) -> Self {
+        self.value[range.clone()].copy_from_slice(bytes);
+        for m in &mut self.mask[range] {
+            *m = 0xff;
+        }
+        self
+    }
+
+    /// Match the ingress port.
+    pub fn in_port(self, port: u8) -> Self {
+        self.set(0..1, &[port])
+    }
+
+    /// Match the destination MAC.
+    pub fn eth_dst(self, mac: netfpga_packet::EthernetAddress) -> Self {
+        self.set(1..7, mac.as_bytes())
+    }
+
+    /// Match the source MAC.
+    pub fn eth_src(self, mac: netfpga_packet::EthernetAddress) -> Self {
+        self.set(7..13, mac.as_bytes())
+    }
+
+    /// Match the EtherType.
+    pub fn ethertype(self, et: u16) -> Self {
+        self.set(13..15, &et.to_be_bytes())
+    }
+
+    /// Match the IPv4 source.
+    pub fn ip_src(self, ip: netfpga_packet::Ipv4Address) -> Self {
+        self.set(15..19, ip.as_bytes())
+    }
+
+    /// Match the IPv4 destination.
+    pub fn ip_dst(self, ip: netfpga_packet::Ipv4Address) -> Self {
+        self.set(19..23, ip.as_bytes())
+    }
+
+    /// Match the IP protocol.
+    pub fn ip_proto(self, proto: u8) -> Self {
+        self.set(23..24, &[proto])
+    }
+
+    /// Match the L4 destination port.
+    pub fn l4_dst(self, port: u16) -> Self {
+        self.set(26..28, &port.to_be_bytes())
+    }
+
+    /// Finish into a ternary key.
+    pub fn build(self) -> TernaryKey {
+        TernaryKey::new(&self.value, &self.mask)
+    }
+}
+
+/// What a matching rule does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionKind {
+    /// Emit on the given ports.
+    Output(PortMask),
+    /// Discard.
+    Drop,
+    /// Punt to the controller (CPU port).
+    Controller,
+}
+
+/// A rule's action, tagged with the configuration version that installed
+/// it — the tag is how the consistency experiment detects mixing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowAction {
+    /// The behaviour.
+    pub kind: ActionKind,
+    /// Configuration tag (controller-chosen; usually the config version).
+    pub tag: u64,
+}
+
+/// One rule: ternary key, priority, action.
+pub type FlowRule = TcamEntry<FlowAction>;
+
+/// Result of classifying one packet.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// Actions of every matching table, in table order.
+    pub matched: Vec<FlowAction>,
+    /// The effective action (last matching table wins; `Controller` on a
+    /// full miss, per OpenFlow table-miss behaviour).
+    pub action: ActionKind,
+    /// True if the matched rules carry differing tags — a consistency
+    /// violation when rules of one config share one tag.
+    pub mixed_tags: bool,
+}
+
+/// The double-banked multi-table pipeline.
+pub struct MatchActionPipeline {
+    tables: Vec<[Tcam<FlowAction>; 2]>,
+    /// Per-table, per-bank, per-slot packet hit counters (OpenFlow flow
+    /// statistics). Cleared with the slot's bank on `clear_*`.
+    hits: Vec<[Vec<u64>; 2]>,
+    active: usize,
+    version: u64,
+}
+
+impl MatchActionPipeline {
+    /// A pipeline of `ntables` tables of `capacity` rules each.
+    pub fn new(ntables: usize, capacity: usize) -> MatchActionPipeline {
+        assert!(ntables >= 1);
+        MatchActionPipeline {
+            tables: (0..ntables)
+                .map(|_| [Tcam::new(capacity, KEY_WIDTH), Tcam::new(capacity, KEY_WIDTH)])
+                .collect(),
+            hits: (0..ntables).map(|_| [vec![0; capacity], vec![0; capacity]]).collect(),
+            active: 0,
+            version: 0,
+        }
+    }
+
+    /// Number of tables.
+    pub fn ntables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The committed configuration version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Rules installed in the active bank of `table`.
+    pub fn active_len(&self, table: usize) -> usize {
+        self.tables[table][self.active].len()
+    }
+
+    /// Classify a key against the active configuration. The bank is
+    /// latched once for the whole pipeline walk, which is exactly the
+    /// hardware guarantee.
+    pub fn classify(&mut self, key: &[u8; KEY_WIDTH]) -> Classification {
+        let bank = self.active;
+        let mut matched = Vec::new();
+        for (t, hits) in self.tables.iter_mut().zip(self.hits.iter_mut()) {
+            if let Some((slot, action)) = t[bank].lookup_slot(key) {
+                hits[bank][slot] += 1;
+                matched.push(*action);
+            }
+        }
+        let action = matched
+            .last()
+            .map(|a| a.kind)
+            .unwrap_or(ActionKind::Controller);
+        let mixed_tags = matched.windows(2).any(|w| w[0].tag != w[1].tag);
+        Classification { matched, action, mixed_tags }
+    }
+
+    /// Consistent path: write a rule into the **shadow** bank of `table`.
+    /// Invisible to traffic until [`MatchActionPipeline::commit`].
+    pub fn write_shadow(&mut self, table: usize, rule: FlowRule) -> bool {
+        let shadow = 1 - self.active;
+        self.tables[table][shadow].insert(rule).is_some()
+    }
+
+    /// Per-rule packet count of the rule in `slot` of `table`'s active
+    /// bank — OpenFlow flow statistics.
+    pub fn rule_hits(&self, table: usize, slot: usize) -> u64 {
+        self.hits[table][self.active][slot]
+    }
+
+    /// Clear the shadow bank of every table (start of a new config push).
+    pub fn clear_shadow(&mut self) {
+        let shadow = 1 - self.active;
+        for (t, hits) in self.tables.iter_mut().zip(self.hits.iter_mut()) {
+            t[shadow].clear();
+            hits[shadow].iter_mut().for_each(|h| *h = 0);
+        }
+    }
+
+    /// Atomic commit: flip every table to its shadow bank in one step.
+    pub fn commit(&mut self) {
+        self.active = 1 - self.active;
+        self.version += 1;
+    }
+
+    /// Naive baseline: write a rule **directly into the active bank**,
+    /// visible to the very next packet — the unsound update style
+    /// BlueSwitch exists to eliminate.
+    pub fn write_direct(&mut self, table: usize, rule: FlowRule) -> bool {
+        let active = self.active;
+        self.tables[table][active].insert(rule).is_some()
+    }
+
+    /// Naive baseline: clear a table's active bank in place.
+    pub fn clear_direct(&mut self, table: usize) {
+        let active = self.active;
+        self.tables[table][active].clear();
+        self.hits[table][active].iter_mut().for_each(|h| *h = 0);
+    }
+}
+
+/// Datapath counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlueSwitchCounters {
+    /// Packets classified.
+    pub packets: u64,
+    /// Packets that matched at least one table.
+    pub matched: u64,
+    /// Packets whose matched rules carried mixed configuration tags.
+    pub mixed_tag_packets: u64,
+    /// Packets punted to the controller.
+    pub to_controller: u64,
+    /// Packets dropped by rule.
+    pub dropped: u64,
+}
+
+struct BlueSwitchLookup {
+    pipeline: Rc<RefCell<MatchActionPipeline>>,
+    counters: Rc<RefCell<BlueSwitchCounters>>,
+    cpu_port: u8,
+}
+
+impl PacketLogic for BlueSwitchLookup {
+    fn process(&mut self, packet: &mut Vec<u8>, meta: &mut Meta, _now: Time) -> StageAction {
+        let key = flow_key(packet, meta);
+        let result = self.pipeline.borrow_mut().classify(&key);
+        let mut c = self.counters.borrow_mut();
+        c.packets += 1;
+        if !result.matched.is_empty() {
+            c.matched += 1;
+        }
+        if result.mixed_tags {
+            c.mixed_tag_packets += 1;
+        }
+        match result.action {
+            ActionKind::Output(mask) => {
+                meta.dst_ports = mask;
+                meta.flags = 0;
+                StageAction::Forward
+            }
+            ActionKind::Drop => {
+                c.dropped += 1;
+                StageAction::Drop
+            }
+            ActionKind::Controller => {
+                c.to_controller += 1;
+                meta.dst_ports = PortMask::single(self.cpu_port);
+                meta.flags = ofl_flag();
+                StageAction::Forward
+            }
+        }
+    }
+}
+
+/// Flag value marking controller punts.
+fn ofl_flag() -> u16 {
+    0x0f10
+}
+
+/// Register base of the BlueSwitch control block.
+pub const BLUESWITCH_BASE: u32 = 0x3000;
+
+mod cmd {
+    pub const WRITE_SHADOW: u32 = 1;
+    pub const COMMIT: u32 = 2;
+    pub const CLEAR_SHADOW: u32 = 3;
+    pub const WRITE_DIRECT: u32 = 4;
+    pub const CLEAR_DIRECT: u32 = 5;
+}
+
+/// BlueSwitch register block (word offsets):
+///
+/// | word | register |
+/// |------|----------|
+/// | 0 | command (write executes) |
+/// | 1 | table index |
+/// | 2 | priority |
+/// | 3 | action kind (0 = output, 1 = drop, 2 = controller) |
+/// | 4 | action port mask |
+/// | 5 | config tag (low 32 bits) |
+/// | 8..14 | staged key value (28 bytes) |
+/// | 16..22 | staged key mask (28 bytes) |
+/// | 6 | slot selector for flow statistics |
+/// | 24 | committed version (RO) |
+/// | 25 | packets (RO) |
+/// | 26 | mixed-tag packets (RO) |
+/// | 27 | controller punts (RO) |
+/// | 28 | hit count of rule (table = word 1, slot = word 6) (RO) |
+pub struct BlueSwitchRegisters {
+    pipeline: Rc<RefCell<MatchActionPipeline>>,
+    counters: Rc<RefCell<BlueSwitchCounters>>,
+    stage: [u32; 24],
+}
+
+impl BlueSwitchRegisters {
+    fn staged_rule(&self) -> FlowRule {
+        let mut value = [0u8; KEY_WIDTH];
+        let mut mask = [0u8; KEY_WIDTH];
+        for i in 0..7 {
+            value[i * 4..i * 4 + 4].copy_from_slice(&self.stage[8 + i].to_be_bytes());
+            mask[i * 4..i * 4 + 4].copy_from_slice(&self.stage[16 + i].to_be_bytes());
+        }
+        let kind = match self.stage[3] {
+            0 => ActionKind::Output(PortMask(self.stage[4] as u16)),
+            1 => ActionKind::Drop,
+            _ => ActionKind::Controller,
+        };
+        TcamEntry {
+            key: TernaryKey::new(&value, &mask),
+            priority: self.stage[2],
+            value: FlowAction { kind, tag: u64::from(self.stage[5]) },
+        }
+    }
+}
+
+impl RegisterSpace for BlueSwitchRegisters {
+    fn read(&mut self, offset: u32) -> u32 {
+        match offset / 4 {
+            w @ 1..=23 => self.stage.get(w as usize).copied().unwrap_or(0),
+            24 => self.pipeline.borrow().version() as u32,
+            25 => self.counters.borrow().packets as u32,
+            26 => self.counters.borrow().mixed_tag_packets as u32,
+            27 => self.counters.borrow().to_controller as u32,
+            28 => {
+                let p = self.pipeline.borrow();
+                let table = (self.stage[1] as usize).min(p.ntables() - 1);
+                p.rule_hits(table, self.stage[6] as usize) as u32
+            }
+            _ => netfpga_core::regs::UNMAPPED_READ,
+        }
+    }
+
+    fn write(&mut self, offset: u32, value: u32) {
+        let word = offset / 4;
+        match word {
+            0 => {
+                let mut p = self.pipeline.borrow_mut();
+                let table = (self.stage[1] as usize).min(p.ntables() - 1);
+                match value {
+                    cmd::WRITE_SHADOW => {
+                        let rule = self.staged_rule();
+                        p.write_shadow(table, rule);
+                    }
+                    cmd::COMMIT => p.commit(),
+                    cmd::CLEAR_SHADOW => p.clear_shadow(),
+                    cmd::WRITE_DIRECT => {
+                        let rule = self.staged_rule();
+                        p.write_direct(table, rule);
+                    }
+                    cmd::CLEAR_DIRECT => p.clear_direct(table),
+                    _ => {}
+                }
+            }
+            w @ 1..=23 => {
+                if let Some(slot) = self.stage.get_mut(w as usize) {
+                    *slot = value;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The assembled BlueSwitch.
+pub struct BlueSwitch {
+    /// The board with this project loaded.
+    pub chassis: Chassis,
+    /// The match-action pipeline (tests drive updates directly; the
+    /// controller in `netfpga-host` goes through registers).
+    pub pipeline: Rc<RefCell<MatchActionPipeline>>,
+    /// Datapath counters.
+    pub counters: Rc<RefCell<BlueSwitchCounters>>,
+    /// CPU (controller) port index.
+    pub cpu_port: u8,
+}
+
+impl BlueSwitch {
+    /// Build on `spec` with `nports` ports, `ntables` match tables of
+    /// `capacity` rules.
+    pub fn new(spec: &BoardSpec, nports: usize, ntables: usize, capacity: usize) -> BlueSwitch {
+        let (mut chassis, io) = Chassis::new(spec, nports, AddressMap::new());
+        let ChassisIo { from_ports, to_ports } = io;
+        let w = chassis.bus_width();
+        let cpu_port = nports as u8;
+
+        let pipeline = Rc::new(RefCell::new(MatchActionPipeline::new(ntables, capacity)));
+        let counters = Rc::new(RefCell::new(BlueSwitchCounters::default()));
+
+        let (h2c_tx, h2c_rx) = Stream::new(64, w);
+        let mut inputs = from_ports;
+        inputs.push(h2c_rx);
+        let (arb_tx, arb_rx) = Stream::new(64, w);
+        let arbiter = InputArbiter::new("input_arbiter", inputs, arb_tx);
+        let (lookup_tx, lookup_rx) = Stream::new(64, w);
+        let lookup = PacketStage::new(
+            "match_action",
+            arb_rx,
+            lookup_tx,
+            // One cycle per table plus parse, like the RTL pipeline.
+            4 + ntables as u64,
+            BlueSwitchLookup {
+                pipeline: pipeline.clone(),
+                counters: counters.clone(),
+                cpu_port,
+            },
+        );
+        let (c2h_tx, c2h_rx) = Stream::new(64, w);
+        let mut outputs = to_ports;
+        outputs.push(c2h_tx);
+        let oq = OutputQueues::new(
+            "output_queues",
+            lookup_rx,
+            outputs,
+            QueueConfig::default(),
+            || Box::new(Fifo),
+        );
+
+        chassis.add_module(arbiter);
+        chassis.add_module(lookup);
+        chassis.add_module(oq);
+        chassis.attach_dma(h2c_tx, c2h_rx);
+        chassis.map.mount(
+            "blueswitch",
+            BLUESWITCH_BASE,
+            0x100,
+            shared(BlueSwitchRegisters {
+                pipeline: pipeline.clone(),
+                counters: counters.clone(),
+                stage: [0; 24],
+            }),
+        );
+        chassis.attach_mmio();
+
+        BlueSwitch { chassis, pipeline, counters, cpu_port }
+    }
+
+    /// Approximate FPGA cost (experiment E7).
+    pub fn resource_cost(nports: u64, ntables: u64) -> ResourceCost {
+        blocks::MAC_10G.times(nports)
+            + blocks::PCIE_DMA
+            + blocks::REG_INTERCONNECT
+            + blocks::INPUT_ARBITER
+            + blocks::MATCH_ACTION_TABLE.times(ntables * 2) // double-banked
+            + blocks::OUTPUT_QUEUES_PER_PORT.times(nports + 1)
+    }
+
+    /// Blocks this project instantiates (E7 reuse matrix row).
+    pub fn block_names() -> &'static [&'static str] {
+        &[
+            "mac_10g",
+            "pcie_dma",
+            "reg_interconnect",
+            "input_arbiter",
+            "match_action_table",
+            "output_queues",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfpga_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
+
+    fn mac(x: u8) -> EthernetAddress {
+        EthernetAddress::new(2, 0, 0, 0, 0, x)
+    }
+
+    fn udp_frame(dst_port: u16) -> Vec<u8> {
+        PacketBuilder::new()
+            .eth(mac(1), mac(2))
+            .ipv4(Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(10, 0, 0, 2))
+            .udp(5555, dst_port, b"x")
+            .build()
+    }
+
+    fn output(ports: PortMask, tag: u64) -> FlowAction {
+        FlowAction { kind: ActionKind::Output(ports), tag }
+    }
+
+    #[test]
+    fn key_packing_roundtrip() {
+        let frame = udp_frame(80);
+        let meta = Meta { src_port: 3, ..Default::default() };
+        let k = flow_key(&frame, &meta);
+        assert_eq!(k[0], 3);
+        assert_eq!(&k[1..7], mac(2).as_bytes());
+        assert_eq!(&k[7..13], mac(1).as_bytes());
+        assert_eq!(u16::from_be_bytes([k[13], k[14]]), 0x0800);
+        assert_eq!(k[23], 17);
+        assert_eq!(u16::from_be_bytes([k[26], k[27]]), 80);
+    }
+
+    #[test]
+    fn pipeline_match_and_default() {
+        let mut p = MatchActionPipeline::new(2, 16);
+        p.write_direct(0, TcamEntry {
+            key: FlowKeyBuilder::new().l4_dst(80).ethertype(0x0800).build(),
+            priority: 1,
+            value: output(PortMask::single(1), 7),
+        });
+        let frame = udp_frame(80);
+        let key = flow_key(&frame, &Meta::default());
+        let c = p.classify(&key);
+        assert_eq!(c.action, ActionKind::Output(PortMask::single(1)));
+        assert!(!c.mixed_tags);
+        // Unmatched -> controller.
+        let key2 = flow_key(&udp_frame(443), &Meta::default());
+        assert_eq!(p.classify(&key2).action, ActionKind::Controller);
+    }
+
+    #[test]
+    fn later_table_overrides() {
+        let mut p = MatchActionPipeline::new(2, 16);
+        p.write_direct(0, TcamEntry {
+            key: TernaryKey::wildcard(KEY_WIDTH),
+            priority: 0,
+            value: output(PortMask::single(1), 1),
+        });
+        p.write_direct(1, TcamEntry {
+            key: FlowKeyBuilder::new().l4_dst(80).build(),
+            priority: 0,
+            value: FlowAction { kind: ActionKind::Drop, tag: 1 },
+        });
+        let c = p.classify(&flow_key(&udp_frame(80), &Meta::default()));
+        assert_eq!(c.action, ActionKind::Drop);
+        assert_eq!(c.matched.len(), 2);
+        let c = p.classify(&flow_key(&udp_frame(22), &Meta::default()));
+        assert_eq!(c.action, ActionKind::Output(PortMask::single(1)));
+    }
+
+    #[test]
+    fn shadow_writes_invisible_until_commit() {
+        let mut p = MatchActionPipeline::new(1, 16);
+        p.write_shadow(0, TcamEntry {
+            key: TernaryKey::wildcard(KEY_WIDTH),
+            priority: 0,
+            value: output(PortMask::single(2), 1),
+        });
+        let key = flow_key(&udp_frame(80), &Meta::default());
+        assert_eq!(p.classify(&key).action, ActionKind::Controller, "not visible");
+        p.commit();
+        assert_eq!(
+            p.classify(&key).action,
+            ActionKind::Output(PortMask::single(2)),
+            "visible after commit"
+        );
+        assert_eq!(p.version(), 1);
+    }
+
+    /// The headline property: with consistent updates, no packet ever sees
+    /// rules from two configurations; with naive in-place updates between
+    /// classifications, packets do.
+    #[test]
+    fn atomic_commit_never_mixes_tags() {
+        // Config v1: both tables tag 1. Shadow-write config v2 (tag 2)
+        // rule-by-rule, classifying between every write.
+        let mut p = MatchActionPipeline::new(2, 16);
+        for t in 0..2 {
+            p.write_direct(t, TcamEntry {
+                key: TernaryKey::wildcard(KEY_WIDTH),
+                priority: 0,
+                value: output(PortMask::single(1), 1),
+            });
+        }
+        let key = flow_key(&udp_frame(80), &Meta::default());
+        let mut mixed = 0;
+        for t in 0..2 {
+            p.clear_shadow ();
+            // (clear_shadow only once; keep writing rules across steps)
+            p.write_shadow(t, TcamEntry {
+                key: TernaryKey::wildcard(KEY_WIDTH),
+                priority: 5,
+                value: output(PortMask::single(2), 2),
+            });
+            if p.classify(&key).mixed_tags {
+                mixed += 1;
+            }
+        }
+        assert_eq!(mixed, 0, "shadow writes never mix");
+        // Note: clear_shadow inside the loop wiped table 0's shadow; write
+        // both properly before commit.
+        p.clear_shadow();
+        for t in 0..2 {
+            p.write_shadow(t, TcamEntry {
+                key: TernaryKey::wildcard(KEY_WIDTH),
+                priority: 5,
+                value: output(PortMask::single(2), 2),
+            });
+        }
+        p.commit();
+        let c = p.classify(&key);
+        assert!(!c.mixed_tags);
+        assert_eq!(c.action, ActionKind::Output(PortMask::single(2)));
+    }
+
+    #[test]
+    fn naive_updates_do_mix_tags() {
+        let mut p = MatchActionPipeline::new(2, 16);
+        for t in 0..2 {
+            p.write_direct(t, TcamEntry {
+                key: TernaryKey::wildcard(KEY_WIDTH),
+                priority: 0,
+                value: output(PortMask::single(1), 1),
+            });
+        }
+        let key = flow_key(&udp_frame(80), &Meta::default());
+        // Update table 0 to config 2, classify before table 1 is updated.
+        p.clear_direct(0);
+        p.write_direct(0, TcamEntry {
+            key: TernaryKey::wildcard(KEY_WIDTH),
+            priority: 5,
+            value: output(PortMask::single(2), 2),
+        });
+        let c = p.classify(&key);
+        assert!(c.mixed_tags, "packet saw config 2 in table 0, config 1 in table 1");
+    }
+
+    #[test]
+    fn end_to_end_forwarding() {
+        let mut sw = BlueSwitch::new(&BoardSpec::sume(), 4, 2, 64);
+        sw.pipeline.borrow_mut().write_direct(0, TcamEntry {
+            key: FlowKeyBuilder::new().in_port(0).build(),
+            priority: 1,
+            value: output(PortMask::single(3), 1),
+        });
+        sw.chassis.send(0, udp_frame(80));
+        sw.chassis.run_for(Time::from_us(10));
+        assert_eq!(sw.chassis.recv(3).len(), 1);
+        assert_eq!(sw.counters.borrow().matched, 1);
+    }
+
+    #[test]
+    fn table_miss_goes_to_controller() {
+        let mut sw = BlueSwitch::new(&BoardSpec::sume(), 4, 2, 64);
+        sw.chassis.send(0, udp_frame(80));
+        sw.chassis.run_for(Time::from_us(10));
+        let dma = sw.chassis.dma.clone().unwrap();
+        let (_, meta) = dma.recv().expect("punted to controller");
+        assert_eq!(meta.src_port, 0);
+        assert_eq!(sw.counters.borrow().to_controller, 1);
+    }
+
+    #[test]
+    fn register_protocol_installs_rules() {
+        let mut sw = BlueSwitch::new(&BoardSpec::sume(), 4, 1, 64);
+        let b = BLUESWITCH_BASE;
+        // Stage a wildcard rule: output port 2, tag 9, priority 1.
+        sw.chassis.write32(b + 4, 0); // table 0
+        sw.chassis.write32(b + 8, 1); // priority
+        sw.chassis.write32(b + 12, 0); // action kind output
+        sw.chassis.write32(b + 16, u32::from(PortMask::single(2).0));
+        sw.chassis.write32(b + 20, 9); // tag
+        // key value/mask words left zero = full wildcard.
+        sw.chassis.write32(b, 1); // WRITE_SHADOW
+        sw.chassis.write32(b, 2); // COMMIT
+        assert_eq!(sw.chassis.read32(b + 24 * 4), 1, "version");
+        sw.chassis.send(1, udp_frame(80));
+        sw.chassis.run_for(Time::from_us(10));
+        assert_eq!(sw.chassis.recv(2).len(), 1);
+        assert_eq!(sw.chassis.read32(b + 25 * 4), 1, "packets");
+    }
+
+    #[test]
+    fn per_rule_hit_counters() {
+        let mut p = MatchActionPipeline::new(1, 8);
+        let web = p.write_direct(0, TcamEntry {
+            key: FlowKeyBuilder::new().l4_dst(80).build(),
+            priority: 5,
+            value: output(PortMask::single(1), 1),
+        });
+        assert!(web);
+        p.write_direct(0, TcamEntry {
+            key: TernaryKey::wildcard(KEY_WIDTH),
+            priority: 0,
+            value: output(PortMask::single(2), 1),
+        });
+        for _ in 0..3 {
+            p.classify(&flow_key(&udp_frame(80), &Meta::default()));
+        }
+        p.classify(&flow_key(&udp_frame(443), &Meta::default()));
+        assert_eq!(p.rule_hits(0, 0), 3, "web rule");
+        assert_eq!(p.rule_hits(0, 1), 1, "catch-all");
+        // Commit flips banks: shadow counters start clean.
+        p.clear_shadow();
+        p.commit();
+        assert_eq!(p.rule_hits(0, 0), 0);
+    }
+
+    #[test]
+    fn flow_stats_via_registers() {
+        let mut sw = BlueSwitch::new(&BoardSpec::sume(), 4, 1, 64);
+        sw.pipeline.borrow_mut().write_direct(0, TcamEntry {
+            key: TernaryKey::wildcard(KEY_WIDTH),
+            priority: 0,
+            value: output(PortMask::single(1), 1),
+        });
+        for _ in 0..4 {
+            sw.chassis.send(0, udp_frame(80));
+        }
+        sw.chassis.run_for(Time::from_us(20));
+        let b = BLUESWITCH_BASE;
+        sw.chassis.write32(b + 4, 0); // table 0
+        sw.chassis.write32(b + 24, 0); // slot 0 (word 6)
+        assert_eq!(sw.chassis.read32(b + 28 * 4), 4, "rule hit counter");
+    }
+
+    #[test]
+    fn resource_cost() {
+        assert!(BlueSwitch::resource_cost(4, 4).fits(&BoardSpec::sume().resources));
+    }
+}

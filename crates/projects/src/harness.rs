@@ -1,0 +1,342 @@
+//! The chassis: a simulated board-in-a-testbed.
+//!
+//! A [`Chassis`] owns the simulator and the board edge — Ethernet MACs on
+//! every front-panel port, and optionally a DMA engine and MMIO bridge for
+//! the host side. Projects wire their datapath between the edge streams
+//! ([`ChassisIo`]), exactly as a real project instantiates its pipeline
+//! between the platform-provided MAC wrappers and the PCIe core.
+//!
+//! The tester (nftest harness, experiments) interacts only at the edges:
+//! frames onto port wires (paced at line rate, as a peer device would
+//! send), frames off port wires, register reads/writes through the MMIO
+//! model, and packets through the DMA rings.
+
+use netfpga_core::board::BoardSpec;
+use netfpga_core::regs::AddressMap;
+use netfpga_core::sim::{ClockId, Module, Simulator};
+use netfpga_core::stream::{Stream, StreamRx, StreamTx};
+use netfpga_core::time::{BitRate, Time};
+use netfpga_pcie::{DmaEngine, DmaHandle, MmioBridge, MmioPort, PcieConfig};
+use netfpga_phy::mac::{wire_bytes, EthMacRx, EthMacTx, SharedMacStats, WireFrame};
+use netfpga_phy::Wire;
+use std::rc::Rc;
+
+/// Depth (in words) of the edge streams between MACs and the datapath.
+const EDGE_FIFO_WORDS: usize = 64;
+
+struct TesterPort {
+    to_board: Wire,
+    from_board: Wire,
+    rate: BitRate,
+    next_free: Time,
+}
+
+/// The project-facing edge streams created by [`Chassis::new`].
+pub struct ChassisIo {
+    /// Per-port word streams arriving from the RX MACs.
+    pub from_ports: Vec<StreamRx>,
+    /// Per-port word streams feeding the TX MACs.
+    pub to_ports: Vec<StreamTx>,
+}
+
+/// A simulated board with its tester-side attachments.
+pub struct Chassis {
+    /// The simulator owning every module.
+    pub sim: Simulator,
+    /// The core datapath clock.
+    pub clk: ClockId,
+    /// Host DMA handle, when a DMA engine is attached.
+    pub dma: Option<DmaHandle>,
+    /// Host MMIO port, when a bridge is attached.
+    pub mmio: Option<MmioPort>,
+    /// The board's register map (empty until a project mounts blocks).
+    pub map: Rc<AddressMap>,
+    ports: Vec<TesterPort>,
+    rx_stats: Vec<SharedMacStats>,
+    tx_stats: Vec<SharedMacStats>,
+    bus_width: usize,
+    pcie: PcieConfig,
+}
+
+impl Chassis {
+    /// Build a chassis for `nports` Ethernet ports of `spec`'s board: MACs
+    /// at each port, core clock and bus width from the spec.
+    pub fn new(spec: &BoardSpec, nports: usize, map: AddressMap) -> (Chassis, ChassisIo) {
+        assert!((1..=16).contains(&nports), "1..=16 ports");
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("core", spec.core_clock);
+        let rate = spec
+            .ports
+            .iter()
+            .find(|p| matches!(p.kind, netfpga_core::board::PortKind::Sfpp))
+            .map(|p| {
+                // Quote the post-encoding Ethernet rate (10.3125 G line ->
+                // 10 G payload) rather than the raw lane rate, and bond
+                // lanes into the port's aggregate rate.
+                let lane = if p.lane_rate == BitRate::bps(10_312_500_000) {
+                    BitRate::gbps(10)
+                } else {
+                    p.lane_rate
+                };
+                BitRate::bps(lane.as_bps() * u64::from(p.lanes))
+            })
+            .unwrap_or(BitRate::gbps(10));
+        let mut ports = Vec::new();
+        let mut from_ports = Vec::new();
+        let mut to_ports = Vec::new();
+        let mut rx_stats = Vec::new();
+        let mut tx_stats = Vec::new();
+        for i in 0..nports {
+            let to_board = Wire::new();
+            let from_board = Wire::new();
+            let (rx_tx, rx_rx) = Stream::new(EDGE_FIFO_WORDS, spec.bus_width);
+            let (tx_tx, tx_rx) = Stream::new(EDGE_FIFO_WORDS, spec.bus_width);
+            let (mac_rx, rstat) =
+                EthMacRx::new(&format!("mac{i}_rx"), to_board.clone(), rx_tx, i as u8);
+            let (mac_tx, tstat) =
+                EthMacTx::new(&format!("mac{i}_tx"), rate, tx_rx, from_board.clone());
+            sim.add_module(clk, mac_rx);
+            sim.add_module(clk, mac_tx);
+            ports.push(TesterPort { to_board, from_board, rate, next_free: Time::ZERO });
+            from_ports.push(rx_rx);
+            to_ports.push(tx_tx);
+            rx_stats.push(rstat);
+            tx_stats.push(tstat);
+        }
+        let pcie = PcieConfig {
+            generation: spec.pcie.generation,
+            lanes: spec.pcie.lanes,
+            ..PcieConfig::gen3_x8()
+        };
+        (
+            Chassis {
+                sim,
+                clk,
+                dma: None,
+                mmio: None,
+                map: Rc::new(map),
+                ports,
+                rx_stats,
+                tx_stats,
+                bus_width: spec.bus_width,
+                pcie,
+            },
+            ChassisIo { from_ports, to_ports },
+        )
+    }
+
+    /// Number of Ethernet ports.
+    pub fn nports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// The datapath bus width in bytes.
+    pub fn bus_width(&self) -> usize {
+        self.bus_width
+    }
+
+    /// Register a project module on the core clock.
+    pub fn add_module(&mut self, module: impl Module + 'static) {
+        self.sim.add_module(self.clk, module);
+    }
+
+    /// Attach a DMA engine between the host and the given datapath streams
+    /// (`to_card` feeds the datapath, `from_card` drains it).
+    pub fn attach_dma(&mut self, to_card: StreamTx, from_card: StreamRx) {
+        let (engine, handle) = DmaEngine::new("dma", self.pcie, to_card, from_card, 256, 256);
+        self.sim.add_module(self.clk, engine);
+        self.dma = Some(handle);
+    }
+
+    /// Attach the MMIO bridge onto the chassis register map. Call after all
+    /// blocks are mounted (the map is shared, so mounting first is only a
+    /// convention — the bridge reads it live).
+    pub fn attach_mmio(&mut self) {
+        let (bridge, port) = MmioBridge::new("mmio", self.pcie, self.map.clone());
+        self.sim.add_module(self.clk, bridge);
+        self.mmio = Some(port);
+    }
+
+    /// Send `frame` into `port` as a peer device would: serialized at the
+    /// port's line rate after the previous tester frame on that port.
+    pub fn send(&mut self, port: usize, frame: Vec<u8>) {
+        assert!(frame.len() >= 14, "runt frame");
+        let p = &mut self.ports[port];
+        let start = p.next_free.max(self.sim.now());
+        let occupancy = p.rate.time_for_bytes(wire_bytes(frame.len() as u64));
+        let ready_at = start + occupancy;
+        p.next_free = ready_at;
+        p.to_board.push(WireFrame { data: frame, ready_at });
+    }
+
+    /// Drain every frame the board has fully transmitted on `port`.
+    pub fn recv(&mut self, port: usize) -> Vec<Vec<u8>> {
+        self.recv_timed(port).into_iter().map(|(f, _)| f).collect()
+    }
+
+    /// Like [`Chassis::recv`], also returning each frame's wire-completion
+    /// time (used for latency measurements in the experiments).
+    pub fn recv_timed(&mut self, port: usize) -> Vec<(Vec<u8>, Time)> {
+        let now = self.sim.now();
+        let mut out = Vec::new();
+        while let Some(f) = self.ports[port].from_board.take_ready(now) {
+            out.push((f.data, f.ready_at));
+        }
+        out
+    }
+
+    /// Advance simulated time.
+    pub fn run_for(&mut self, d: Time) {
+        self.sim.run_for(d);
+    }
+
+    /// Run until `pred` is true (checked each edge) or `deadline` passes.
+    /// Returns whether the predicate fired.
+    pub fn run_while(&mut self, deadline: Time, pred: impl FnMut() -> bool) -> bool {
+        self.sim.run_while(deadline, pred)
+    }
+
+    /// Read a register over MMIO, advancing the simulation until the
+    /// completion returns. Panics if no MMIO bridge is attached.
+    pub fn read32(&mut self, addr: u32) -> u32 {
+        let port = self.mmio.clone().expect("MMIO not attached");
+        port.post_read(addr, self.sim.now());
+        let mut got = None;
+        let deadline = self.sim.now() + Time::from_ms(1);
+        let ok = self.sim.run_while(deadline, || {
+            got = port.try_complete();
+            got.is_none()
+        });
+        assert!(ok, "MMIO read timed out");
+        got.expect("completion present")
+    }
+
+    /// Post a register write over MMIO and advance the simulation until it
+    /// lands (posted writes are ordered; waiting keeps tests simple).
+    pub fn write32(&mut self, addr: u32, value: u32) {
+        let port = self.mmio.clone().expect("MMIO not attached");
+        port.post_write(addr, value, self.sim.now());
+        let deadline = self.sim.now() + Time::from_ms(1);
+        let ok = self.sim.run_while(deadline, || port.outstanding() > 0);
+        assert!(ok, "MMIO write timed out");
+    }
+
+    /// RX MAC statistics of a port.
+    pub fn rx_mac_stats(&self, port: usize) -> netfpga_phy::MacStats {
+        self.rx_stats[port].get()
+    }
+
+    /// TX MAC statistics of a port.
+    pub fn tx_mac_stats(&self, port: usize) -> netfpga_phy::MacStats {
+        self.tx_stats[port].get()
+    }
+
+    /// The line rate of a port (for line-rate math in experiments).
+    pub fn port_rate(&self, port: usize) -> BitRate {
+        self.ports[port].rate
+    }
+
+    /// The raw wires of a port: `(to_board, from_board)`. Wires share
+    /// state through `Rc`, so clones are live handles — used to splice
+    /// link models (delay/loss emulated devices-under-test) between ports.
+    pub fn port_wires(&self, port: usize) -> (Wire, Wire) {
+        (
+            self.ports[port].to_board.clone(),
+            self.ports[port].from_board.clone(),
+        )
+    }
+
+    /// Splice a [`Link`](netfpga_phy::Link) carrying frames from one wire
+    /// to another (e.g. loop a port's output back to its input through an
+    /// emulated device with delay and loss).
+    pub fn add_link(&mut self, name: &str, from: Wire, to: Wire, config: netfpga_phy::LinkConfig) {
+        let link = netfpga_phy::Link::new(name, from, to, config);
+        self.sim.add_module(self.clk, link);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfpga_core::sim::TickContext;
+
+    /// A trivial "project": loop each port's RX stream back to its own TX.
+    struct Loopback {
+        rx: StreamRx,
+        tx: StreamTx,
+    }
+
+    impl Module for Loopback {
+        fn name(&self) -> &str {
+            "loopback"
+        }
+        fn tick(&mut self, _ctx: &TickContext) {
+            if self.tx.can_push() {
+                if let Some(w) = self.rx.pop() {
+                    self.tx.push(w);
+                }
+            }
+        }
+    }
+
+    fn loopback_chassis() -> Chassis {
+        let spec = BoardSpec::sume();
+        let (mut chassis, io) = Chassis::new(&spec, 4, AddressMap::new());
+        for (rx, tx) in io.from_ports.into_iter().zip(io.to_ports) {
+            chassis.add_module(Loopback { rx, tx });
+        }
+        chassis
+    }
+
+    #[test]
+    fn frames_loop_back_on_each_port() {
+        let mut c = loopback_chassis();
+        c.send(0, vec![0xaa; 100]);
+        c.send(2, vec![0xbb; 200]);
+        c.run_for(Time::from_us(10));
+        assert_eq!(c.recv(0), vec![vec![0xaa; 100]]);
+        assert_eq!(c.recv(2), vec![vec![0xbb; 200]]);
+        assert!(c.recv(1).is_empty());
+        assert_eq!(c.rx_mac_stats(0).frames, 1);
+        assert_eq!(c.tx_mac_stats(0).frames, 1);
+    }
+
+    #[test]
+    fn tester_send_is_paced_at_line_rate() {
+        let mut c = loopback_chassis();
+        // 100 minimum frames: at 10G they occupy 100 x 84 B of wire time.
+        for _ in 0..100 {
+            c.send(0, vec![0u8; 60]);
+        }
+        c.run_for(Time::from_us(100));
+        let got = c.recv(0);
+        assert_eq!(got.len(), 100);
+        // Wire time for 100 x 84-byte slots at 10G = 6.72 us; the RX MAC
+        // cannot have seen them faster than that.
+        let stats = c.rx_mac_stats(0);
+        assert_eq!(stats.frames, 100);
+    }
+
+    #[test]
+    fn mmio_roundtrip_through_chassis() {
+        let spec = BoardSpec::sume();
+        let map = AddressMap::new();
+        map.mount(
+            "scratch",
+            0x0,
+            0x100,
+            netfpga_core::regs::shared(netfpga_core::regs::RamRegisters::new(0x100)),
+        );
+        let (mut chassis, _io) = Chassis::new(&spec, 1, map);
+        chassis.attach_mmio();
+        chassis.write32(0x10, 0xfeed);
+        assert_eq!(chassis.read32(0x10), 0xfeed);
+    }
+
+    #[test]
+    #[should_panic(expected = "runt frame")]
+    fn runt_send_rejected() {
+        let mut c = loopback_chassis();
+        c.send(0, vec![0u8; 8]);
+    }
+}

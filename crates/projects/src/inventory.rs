@@ -1,0 +1,122 @@
+//! The cross-project inventory: which building blocks each project reuses
+//! and what each design costs — the data behind experiment E7 ("by reusing
+//! building blocks across projects users can compare design utilization
+//! and performance", paper §1).
+
+use crate::{
+    acceptance::AcceptanceTest, blueswitch::BlueSwitch, osnt::OsntTester,
+    reference_nic::ReferenceNic, reference_router::ReferenceRouter,
+    reference_switch::ReferenceSwitch, switch_lite::SwitchLite,
+};
+use netfpga_core::resources::ResourceCost;
+use std::collections::BTreeSet;
+
+/// The canonical project list, in release order.
+pub const PROJECTS: [&str; 7] = [
+    "acceptance",
+    "reference_nic",
+    "reference_switch",
+    "switch_lite",
+    "reference_router",
+    "blueswitch",
+    "osnt",
+];
+
+/// Block list of a project by name.
+pub fn blocks_of(project: &str) -> &'static [&'static str] {
+    match project {
+        "acceptance" => AcceptanceTest::block_names(),
+        "reference_nic" => ReferenceNic::block_names(),
+        "reference_switch" => ReferenceSwitch::block_names(),
+        "switch_lite" => SwitchLite::block_names(),
+        "reference_router" => ReferenceRouter::block_names(),
+        "blueswitch" => BlueSwitch::block_names(),
+        "osnt" => OsntTester::block_names(),
+        other => panic!("unknown project '{other}'"),
+    }
+}
+
+/// Resource cost of a project (4-port configurations).
+pub fn cost_of(project: &str) -> ResourceCost {
+    match project {
+        "acceptance" => AcceptanceTest::resource_cost(4),
+        "reference_nic" => ReferenceNic::resource_cost(4),
+        "reference_switch" => ReferenceSwitch::resource_cost(4),
+        "switch_lite" => SwitchLite::resource_cost(4),
+        "reference_router" => ReferenceRouter::resource_cost(4),
+        "blueswitch" => BlueSwitch::resource_cost(4, 4),
+        "osnt" => OsntTester::resource_cost(4),
+        other => panic!("unknown project '{other}'"),
+    }
+}
+
+/// Every distinct block used by any project, sorted.
+pub fn all_blocks() -> Vec<&'static str> {
+    let mut set = BTreeSet::new();
+    for p in PROJECTS {
+        set.extend(blocks_of(p).iter().copied());
+    }
+    set.into_iter().collect()
+}
+
+/// For each block, how many projects instantiate it — the reuse measure.
+pub fn reuse_counts() -> Vec<(&'static str, usize)> {
+    all_blocks()
+        .into_iter()
+        .map(|b| {
+            let n = PROJECTS
+                .iter()
+                .filter(|p| blocks_of(p).contains(&b))
+                .count();
+            (b, n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfpga_core::board::BoardSpec;
+
+    #[test]
+    fn every_project_has_blocks_and_cost() {
+        for p in PROJECTS {
+            assert!(!blocks_of(p).is_empty(), "{p}");
+            let c = cost_of(p);
+            assert!(c.luts > 0, "{p}");
+            assert!(c.fits(&BoardSpec::sume().resources), "{p} must fit SUME");
+        }
+    }
+
+    /// The platform blocks (MAC, registers) are reused by every project,
+    /// and the PCIe/DMA core by everything that has a host path — the
+    /// reuse claim of §1.
+    #[test]
+    fn platform_blocks_fully_reused() {
+        let counts = reuse_counts();
+        let get = |block: &str| counts.iter().find(|(b, _)| *b == block).unwrap().1;
+        for block in ["mac_10g", "reg_interconnect"] {
+            assert_eq!(get(block), PROJECTS.len(), "{block} reused everywhere");
+        }
+        // switch_lite deliberately drops the host datapath.
+        assert_eq!(get("pcie_dma"), PROJECTS.len() - 1);
+    }
+
+    /// Lookup cores are shared only where designs genuinely share logic:
+    /// the learning lookup serves both switches; the rest are unique.
+    #[test]
+    fn lookups_are_project_specific() {
+        let counts = reuse_counts();
+        let get = |block: &str| counts.iter().find(|(b, _)| *b == block).unwrap().1;
+        assert_eq!(get("switch_lookup"), 2, "full switch + switch_lite");
+        for block in ["nic_lookup", "router_lookup", "match_action_table"] {
+            assert_eq!(get(block), 1, "{block}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown project")]
+    fn unknown_project_panics() {
+        let _ = blocks_of("nonexistent");
+    }
+}

@@ -1,0 +1,115 @@
+//! Minimal pcap (libpcap) file writing and reading — the format the real
+//! OSNT capture pipeline delivers to analysis tools. Nanosecond-resolution
+//! variant (magic `0xa1b23c4d`), LINKTYPE_ETHERNET.
+
+use netfpga_core::time::Time;
+use std::io::{self, Read, Write};
+
+/// Nanosecond-resolution pcap magic.
+const MAGIC_NS: u32 = 0xa1b2_3c4d;
+/// LINKTYPE_ETHERNET.
+const LINKTYPE_EN10MB: u32 = 1;
+/// Snap length written to the global header.
+const SNAPLEN: u32 = 65535;
+
+/// Write a pcap stream: global header plus one record per `(time, frame)`.
+/// Returns the number of records written.
+pub fn write_pcap<W: Write>(
+    mut w: W,
+    records: impl IntoIterator<Item = (Time, Vec<u8>)>,
+) -> io::Result<usize> {
+    w.write_all(&MAGIC_NS.to_le_bytes())?;
+    w.write_all(&2u16.to_le_bytes())?; // version major
+    w.write_all(&4u16.to_le_bytes())?; // version minor
+    w.write_all(&0i32.to_le_bytes())?; // thiszone
+    w.write_all(&0u32.to_le_bytes())?; // sigfigs
+    w.write_all(&SNAPLEN.to_le_bytes())?;
+    w.write_all(&LINKTYPE_EN10MB.to_le_bytes())?;
+    let mut n = 0;
+    for (ts, frame) in records {
+        let ps = ts.as_ps();
+        let sec = (ps / 1_000_000_000_000) as u32;
+        let nsec = ((ps % 1_000_000_000_000) / 1_000) as u32;
+        let len = frame.len() as u32;
+        w.write_all(&sec.to_le_bytes())?;
+        w.write_all(&nsec.to_le_bytes())?;
+        w.write_all(&len.min(SNAPLEN).to_le_bytes())?;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(&frame[..frame.len().min(SNAPLEN as usize)])?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Read a pcap stream written by [`write_pcap`] (nanosecond magic only).
+/// Returns `(time, frame)` records.
+pub fn read_pcap<R: Read>(mut r: R) -> io::Result<Vec<(Time, Vec<u8>)>> {
+    let mut header = [0u8; 24];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    if magic != MAGIC_NS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported pcap magic {magic:#010x}"),
+        ));
+    }
+    let mut records = Vec::new();
+    loop {
+        let mut rec = [0u8; 16];
+        match r.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let sec = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]) as u64;
+        let nsec = u32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]) as u64;
+        let incl = u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]) as usize;
+        let mut data = vec![0u8; incl];
+        r.read_exact(&mut data)?;
+        records.push((Time::from_ps(sec * 1_000_000_000_000 + nsec * 1_000), data));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![
+            (Time::from_ns(1_500), vec![0xaau8; 60]),
+            (Time::from_us(3), vec![0x55u8; 1514]),
+            (Time::from_ms(1_234), (0..100u8).collect()),
+        ];
+        let mut buf = Vec::new();
+        let n = write_pcap(&mut buf, records.clone()).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(buf.len(), 24 + 3 * 16 + 60 + 1514 + 100);
+        let back = read_pcap(&buf[..]).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn subnanosecond_truncates_to_ns() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, vec![(Time::from_ps(1_999), vec![1u8; 14])]).unwrap();
+        let back = read_pcap(&buf[..]).unwrap();
+        assert_eq!(back[0].0, Time::from_ns(1));
+    }
+
+    #[test]
+    fn rejects_foreign_magic() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, vec![]).unwrap();
+        buf[0] ^= 0xff;
+        assert!(read_pcap(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_capture_is_valid() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, vec![]).unwrap();
+        assert_eq!(read_pcap(&buf[..]).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,176 @@
+//! The reference NIC project: every NetFPGA release's first design.
+//!
+//! Received frames flow `rx MACs → input arbiter → stats → DMA → host`;
+//! host frames flow `DMA → output queues → tx MACs`, with the egress port
+//! taken from the destination mask the driver sets in the packet metadata
+//! (the real driver writes it into `tuser` through the DMA descriptor).
+
+use crate::harness::{Chassis, ChassisIo};
+use netfpga_core::board::BoardSpec;
+use netfpga_core::regs::AddressMap;
+use netfpga_core::resources::ResourceCost;
+use netfpga_core::stream::Stream;
+use netfpga_datapath::blocks;
+use netfpga_datapath::pktstats::{StatsHandles, StatsRegisters, StatsStage};
+use netfpga_datapath::queues::{OutputQueues, QueueConfig};
+use netfpga_datapath::sched::Fifo;
+use netfpga_datapath::InputArbiter;
+
+/// Register-map base of the RX statistics block.
+pub const STATS_BASE: u32 = 0x0000;
+
+/// The assembled reference NIC.
+pub struct ReferenceNic {
+    /// The board with this project loaded.
+    pub chassis: Chassis,
+    /// RX-path statistics handles (same counters the register block shows).
+    pub rx_stats: StatsHandles,
+}
+
+impl ReferenceNic {
+    /// Build the NIC on `spec` with `nports` ports.
+    pub fn new(spec: &BoardSpec, nports: usize) -> ReferenceNic {
+        let map = AddressMap::new();
+        let (mut chassis, io) = Chassis::new(spec, nports, map);
+        let ChassisIo { from_ports, to_ports } = io;
+        let w = chassis.bus_width();
+
+        // RX path: ports -> arbiter -> stats -> DMA(c2h).
+        let (arb_tx, arb_rx) = Stream::new(64, w);
+        let arbiter = InputArbiter::new("input_arbiter", from_ports, arb_tx);
+        let (stats_tx, stats_rx) = Stream::new(64, w);
+        let (stats_stage, rx_stats) = StatsStage::new("rx_stats", arb_rx, stats_tx, nports);
+
+        // TX path: DMA(h2c) -> output queues -> ports.
+        let (h2c_tx, h2c_rx) = Stream::new(64, w);
+        let oq = OutputQueues::new(
+            "output_queues",
+            h2c_rx,
+            to_ports,
+            QueueConfig::default(),
+            || Box::new(Fifo),
+        );
+
+        chassis.add_module(arbiter);
+        chassis.add_module(stats_stage);
+        chassis.add_module(oq);
+        chassis.attach_dma(h2c_tx, stats_rx);
+
+        // Registers: RX statistics at STATS_BASE.
+        chassis.map.mount(
+            "rx_stats",
+            STATS_BASE,
+            0x100,
+            netfpga_core::regs::shared(StatsRegisters::new(rx_stats.clone())),
+        );
+        chassis.attach_mmio();
+
+        ReferenceNic { chassis, rx_stats }
+    }
+
+    /// Approximate FPGA cost of this design (experiment E7).
+    pub fn resource_cost(nports: u64) -> ResourceCost {
+        blocks::MAC_10G.times(nports)
+            + blocks::PCIE_DMA
+            + blocks::REG_INTERCONNECT
+            + blocks::INPUT_ARBITER
+            + blocks::NIC_LOOKUP
+            + blocks::STATS_STAGE
+            + blocks::OUTPUT_QUEUES_PER_PORT.times(nports)
+    }
+
+    /// The blocks this project instantiates (E7 reuse matrix row).
+    pub fn block_names() -> &'static [&'static str] {
+        &[
+            "mac_10g",
+            "pcie_dma",
+            "reg_interconnect",
+            "input_arbiter",
+            "nic_lookup",
+            "stats_stage",
+            "output_queues",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfpga_core::time::Time;
+    use netfpga_packet::PacketBuilder;
+
+    fn nic() -> ReferenceNic {
+        ReferenceNic::new(&BoardSpec::sume(), 4)
+    }
+
+    fn frame(tag: u8) -> Vec<u8> {
+        PacketBuilder::new()
+            .eth(
+                netfpga_packet::EthernetAddress::new(2, 0, 0, 0, 0, tag),
+                netfpga_packet::EthernetAddress::new(2, 0, 0, 0, 0, 0xff),
+            )
+            .raw(netfpga_packet::EtherType::Ipv4, &[tag; 46])
+            .build()
+    }
+
+    #[test]
+    fn rx_frames_reach_host_with_port() {
+        let mut nic = nic();
+        nic.chassis.send(1, frame(0x11));
+        nic.chassis.send(3, frame(0x33));
+        nic.chassis.run_for(Time::from_us(10));
+        let dma = nic.chassis.dma.clone().unwrap();
+        let mut got = Vec::new();
+        while let Some((pkt, meta)) = dma.recv() {
+            got.push((meta.src_port, pkt));
+        }
+        got.sort_by_key(|(p, _)| *p);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 1);
+        assert_eq!(got[0].1, frame(0x11));
+        assert_eq!(got[1].0, 3);
+        assert_eq!(nic.rx_stats.total_packets.get(), 2);
+    }
+
+    #[test]
+    fn host_frames_exit_requested_port() {
+        let mut nic = nic();
+        let dma = nic.chassis.dma.clone().unwrap();
+        let meta = netfpga_core::stream::Meta {
+            dst_ports: netfpga_core::stream::PortMask::single(2),
+            ..Default::default()
+        };
+        assert!(dma.send_with_meta(frame(0x77), meta));
+        nic.chassis.run_for(Time::from_us(10));
+        assert_eq!(nic.chassis.recv(2), vec![frame(0x77)]);
+        assert!(nic.chassis.recv(0).is_empty());
+    }
+
+    #[test]
+    fn bidirectional_traffic() {
+        let mut nic = nic();
+        let dma = nic.chassis.dma.clone().unwrap();
+        for i in 0..10u8 {
+            nic.chassis.send(0, frame(i));
+            let meta = netfpga_core::stream::Meta {
+                dst_ports: netfpga_core::stream::PortMask::single(1),
+                ..Default::default()
+            };
+            dma.send_with_meta(frame(100 + i), meta);
+        }
+        nic.chassis.run_for(Time::from_us(50));
+        let mut host_rx = 0;
+        while dma.recv().is_some() {
+            host_rx += 1;
+        }
+        assert_eq!(host_rx, 10);
+        assert_eq!(nic.chassis.recv(1).len(), 10);
+    }
+
+    #[test]
+    fn resource_cost_fits_sume() {
+        let cost = ReferenceNic::resource_cost(4);
+        assert!(cost.fits(&BoardSpec::sume().resources));
+        assert!(!ReferenceNic::block_names().is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! The reference learning switch project.
+//!
+//! Pipeline: `rx MACs → input arbiter → learning lookup → output queues →
+//! tx MACs`. The lookup stage wraps
+//! [`netfpga_datapath::LearningSwitchCore`] in the standard
+//! [`PacketStage`] shell. Statistics and the learning table are
+//! exposed through register blocks.
+
+use crate::harness::{Chassis, ChassisIo};
+use netfpga_core::board::BoardSpec;
+use netfpga_core::regs::{shared, AddressMap, RegisterSpace};
+use netfpga_core::resources::ResourceCost;
+use netfpga_core::stream::{Meta, Stream};
+use netfpga_core::time::Time;
+use netfpga_datapath::blocks;
+use netfpga_datapath::pktstats::{StatsHandles, StatsRegisters, StatsStage};
+use netfpga_datapath::queues::{OutputQueues, QueueConfig};
+use netfpga_datapath::sched::Fifo;
+use netfpga_datapath::stage::{PacketLogic, StageAction};
+use netfpga_datapath::{InputArbiter, LearningSwitchCore, PacketStage};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Register base of the statistics block.
+pub const STATS_BASE: u32 = 0x0000;
+/// Register base of the lookup block (hit/flood/learned counters).
+pub const LOOKUP_BASE: u32 = 0x1000;
+
+/// Pipeline latency of the lookup stage in cycles (hash read + decision),
+/// matching the handful of pipeline stages the RTL core uses.
+const LOOKUP_LATENCY: u64 = 8;
+
+struct SwitchLookup {
+    core: Rc<RefCell<LearningSwitchCore>>,
+}
+
+impl PacketLogic for SwitchLookup {
+    fn process(&mut self, packet: &mut Vec<u8>, meta: &mut Meta, now: Time) -> StageAction {
+        let mask = self.core.borrow_mut().forward(packet, meta, now);
+        if mask.is_empty() {
+            // Destination is the ingress port only (hairpin): drop.
+            return StageAction::Drop;
+        }
+        meta.dst_ports = mask;
+        StageAction::Forward
+    }
+
+    fn reset(&mut self) {
+        self.core.borrow_mut().flush();
+    }
+}
+
+/// Register view of the lookup core: 0x0 hits, 0x4 floods, 0x8 learned,
+/// 0xc learn failures. Any write flushes the table.
+struct LookupRegisters {
+    core: Rc<RefCell<LearningSwitchCore>>,
+}
+
+impl RegisterSpace for LookupRegisters {
+    fn read(&mut self, offset: u32) -> u32 {
+        let s = self.core.borrow().stats();
+        match offset / 4 {
+            0 => s.hits as u32,
+            1 => s.floods as u32,
+            2 => s.learned as u32,
+            3 => s.learn_failures as u32,
+            _ => netfpga_core::regs::UNMAPPED_READ,
+        }
+    }
+
+    fn write(&mut self, _offset: u32, _value: u32) {
+        self.core.borrow_mut().flush();
+    }
+}
+
+/// The assembled reference switch.
+pub struct ReferenceSwitch {
+    /// The board with this project loaded.
+    pub chassis: Chassis,
+    /// Shared handle to the learning core (tests inspect the table).
+    pub core: Rc<RefCell<LearningSwitchCore>>,
+    /// RX statistics handles.
+    pub rx_stats: StatsHandles,
+}
+
+impl ReferenceSwitch {
+    /// Build the switch on `spec` with `nports` ports, a learning table of
+    /// `table_capacity` entries and the given aging interval.
+    pub fn new(
+        spec: &BoardSpec,
+        nports: usize,
+        table_capacity: usize,
+        age_limit: Time,
+    ) -> ReferenceSwitch {
+        let (mut chassis, io) = Chassis::new(spec, nports, AddressMap::new());
+        let ChassisIo { from_ports, to_ports } = io;
+        let w = chassis.bus_width();
+
+        let core = Rc::new(RefCell::new(LearningSwitchCore::new(
+            nports as u8,
+            table_capacity,
+            age_limit,
+        )));
+
+        let (arb_tx, arb_rx) = Stream::new(64, w);
+        let arbiter = InputArbiter::new("input_arbiter", from_ports, arb_tx);
+        let (stats_tx, stats_rx) = Stream::new(64, w);
+        let (stats_stage, rx_stats) = StatsStage::new("rx_stats", arb_rx, stats_tx, nports);
+        let (lookup_tx, lookup_rx) = Stream::new(64, w);
+        let lookup = PacketStage::new(
+            "switch_lookup",
+            stats_rx,
+            lookup_tx,
+            LOOKUP_LATENCY,
+            SwitchLookup { core: core.clone() },
+        );
+        let oq = OutputQueues::new(
+            "output_queues",
+            lookup_rx,
+            to_ports,
+            QueueConfig::default(),
+            || Box::new(Fifo),
+        );
+
+        chassis.add_module(arbiter);
+        chassis.add_module(stats_stage);
+        chassis.add_module(lookup);
+        chassis.add_module(oq);
+
+        chassis.map.mount(
+            "rx_stats",
+            STATS_BASE,
+            0x100,
+            shared(StatsRegisters::new(rx_stats.clone())),
+        );
+        chassis.map.mount(
+            "switch_lookup",
+            LOOKUP_BASE,
+            0x100,
+            shared(LookupRegisters { core: core.clone() }),
+        );
+        chassis.attach_mmio();
+
+        ReferenceSwitch { chassis, core, rx_stats }
+    }
+
+    /// Approximate FPGA cost (experiment E7).
+    pub fn resource_cost(nports: u64) -> ResourceCost {
+        blocks::MAC_10G.times(nports)
+            + blocks::PCIE_DMA
+            + blocks::REG_INTERCONNECT
+            + blocks::INPUT_ARBITER
+            + blocks::SWITCH_LOOKUP
+            + blocks::STATS_STAGE
+            + blocks::OUTPUT_QUEUES_PER_PORT.times(nports)
+    }
+
+    /// Blocks this project instantiates (E7 reuse matrix row).
+    pub fn block_names() -> &'static [&'static str] {
+        &[
+            "mac_10g",
+            "pcie_dma",
+            "reg_interconnect",
+            "input_arbiter",
+            "switch_lookup",
+            "stats_stage",
+            "output_queues",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfpga_packet::{EthernetAddress, PacketBuilder};
+
+    fn switch() -> ReferenceSwitch {
+        ReferenceSwitch::new(&BoardSpec::sume(), 4, 1024, Time::from_ms(100))
+    }
+
+    fn mac(x: u8) -> EthernetAddress {
+        EthernetAddress::new(2, 0, 0, 0, 0, x)
+    }
+
+    fn frame(src: u8, dst: u8) -> Vec<u8> {
+        PacketBuilder::new()
+            .eth(mac(src), mac(dst))
+            .raw(netfpga_packet::EtherType::Ipv4, &[src; 50])
+            .build()
+    }
+
+    #[test]
+    fn unknown_destination_floods_all_but_ingress() {
+        let mut sw = switch();
+        sw.chassis.send(0, frame(1, 2));
+        sw.chassis.run_for(Time::from_us(10));
+        assert!(sw.chassis.recv(0).is_empty(), "no reflection");
+        for p in 1..4 {
+            assert_eq!(sw.chassis.recv(p).len(), 1, "flooded to port {p}");
+        }
+    }
+
+    #[test]
+    fn learning_converges_to_unicast() {
+        let mut sw = switch();
+        // Station A (mac 1) on port 0; station B (mac 2) on port 2.
+        sw.chassis.send(0, frame(1, 2)); // flood, learn A@0
+        sw.chassis.run_for(Time::from_us(10));
+        for p in 0..4 {
+            sw.chassis.recv(p);
+        }
+        sw.chassis.send(2, frame(2, 1)); // unicast to port 0, learn B@2
+        sw.chassis.run_for(Time::from_us(10));
+        assert_eq!(sw.chassis.recv(0).len(), 1);
+        assert!(sw.chassis.recv(1).is_empty());
+        assert!(sw.chassis.recv(3).is_empty());
+        sw.chassis.send(0, frame(1, 2)); // now unicast to port 2
+        sw.chassis.run_for(Time::from_us(10));
+        assert_eq!(sw.chassis.recv(2).len(), 1);
+        assert!(sw.chassis.recv(1).is_empty());
+        assert!(sw.chassis.recv(3).is_empty());
+    }
+
+    #[test]
+    fn broadcast_floods() {
+        let mut sw = switch();
+        let bcast = PacketBuilder::new()
+            .eth(mac(1), EthernetAddress::BROADCAST)
+            .raw(netfpga_packet::EtherType::Arp, &[0; 46])
+            .build();
+        sw.chassis.send(3, bcast);
+        sw.chassis.run_for(Time::from_us(10));
+        for p in 0..3 {
+            assert_eq!(sw.chassis.recv(p).len(), 1, "port {p}");
+        }
+        assert!(sw.chassis.recv(3).is_empty());
+    }
+
+    #[test]
+    fn hairpin_to_ingress_is_dropped() {
+        let mut sw = switch();
+        // Learn A@0, then send a frame addressed to A in on port 0.
+        sw.chassis.send(0, frame(1, 9));
+        sw.chassis.run_for(Time::from_us(10));
+        for p in 0..4 {
+            sw.chassis.recv(p);
+        }
+        sw.chassis.send(0, frame(3, 1)); // dst = mac 1, learned on port 0
+        sw.chassis.run_for(Time::from_us(10));
+        for p in 0..4 {
+            assert!(sw.chassis.recv(p).is_empty(), "port {p}");
+        }
+    }
+
+    #[test]
+    fn registers_expose_lookup_stats() {
+        let mut sw = switch();
+        sw.chassis.send(0, frame(1, 2)); // flood
+        sw.chassis.run_for(Time::from_us(10));
+        sw.chassis.send(1, frame(2, 1)); // hit
+        sw.chassis.run_for(Time::from_us(10));
+        assert_eq!(sw.chassis.read32(LOOKUP_BASE), 1, "hits");
+        assert_eq!(sw.chassis.read32(LOOKUP_BASE + 4), 1, "floods");
+        assert_eq!(sw.chassis.read32(LOOKUP_BASE + 8), 2, "learned");
+        assert_eq!(sw.chassis.read32(STATS_BASE), 2, "rx packets");
+        // Write flushes the table: next frame floods again.
+        sw.chassis.write32(LOOKUP_BASE, 1);
+        sw.chassis.send(0, frame(1, 2));
+        sw.chassis.run_for(Time::from_us(10));
+        assert_eq!(sw.chassis.read32(LOOKUP_BASE + 4), 2, "flood after flush");
+    }
+
+    #[test]
+    fn resource_cost_fits() {
+        assert!(ReferenceSwitch::resource_cost(4).fits(&BoardSpec::sume().resources));
+        // Switch costs more than NIC (extra lookup logic).
+        assert!(
+            ReferenceSwitch::resource_cost(4).luts
+                > crate::reference_nic::ReferenceNic::resource_cost(4).luts
+        );
+    }
+}

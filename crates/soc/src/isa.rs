@@ -1,0 +1,498 @@
+//! The nfcpu instruction set and its assembler.
+//!
+//! A deliberately small load/store ISA: 16 general registers (`r0` is
+//! hard-wired to zero, as in MIPS/RISC-V), 32-bit words, word-addressed
+//! loads and stores with byte-address syntax. Programs are written as
+//! assembly text and assembled in two passes (labels then encoding).
+//!
+//! ```
+//! use netfpga_soc::isa::assemble;
+//!
+//! let program = assemble(r"
+//!     li   r1, 10
+//!     li   r2, 0
+//! loop:
+//!     add  r2, r2, r1
+//!     addi r1, r1, -1
+//!     bne  r1, r0, loop
+//!     halt
+//! ").unwrap();
+//! assert_eq!(program.len(), 6);
+//! ```
+
+use core::fmt;
+
+/// One decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `rd = ra + rb`
+    Add {
+        /// Destination register.
+        rd: u8,
+        /// First operand.
+        ra: u8,
+        /// Second operand.
+        rb: u8,
+    },
+    /// `rd = ra - rb`
+    Sub {
+        /// Destination register.
+        rd: u8,
+        /// First operand.
+        ra: u8,
+        /// Second operand.
+        rb: u8,
+    },
+    /// `rd = ra & rb`
+    And {
+        /// Destination register.
+        rd: u8,
+        /// First operand.
+        ra: u8,
+        /// Second operand.
+        rb: u8,
+    },
+    /// `rd = ra | rb`
+    Or {
+        /// Destination register.
+        rd: u8,
+        /// First operand.
+        ra: u8,
+        /// Second operand.
+        rb: u8,
+    },
+    /// `rd = ra ^ rb`
+    Xor {
+        /// Destination register.
+        rd: u8,
+        /// First operand.
+        ra: u8,
+        /// Second operand.
+        rb: u8,
+    },
+    /// `rd = if ra < rb { 1 } else { 0 }` (unsigned compare)
+    Sltu {
+        /// Destination register.
+        rd: u8,
+        /// First operand.
+        ra: u8,
+        /// Second operand.
+        rb: u8,
+    },
+    /// `rd = ra + imm` (also the `mv`/`li`-small encoding)
+    Addi {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        ra: u8,
+        /// Signed immediate.
+        imm: i32,
+    },
+    /// `rd = ra << sh`
+    Slli {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        ra: u8,
+        /// Shift amount (0..=31).
+        sh: u8,
+    },
+    /// `rd = ra >> sh` (logical)
+    Srli {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        ra: u8,
+        /// Shift amount (0..=31).
+        sh: u8,
+    },
+    /// `rd = imm` (full 32-bit load immediate)
+    Li {
+        /// Destination register.
+        rd: u8,
+        /// Immediate value.
+        imm: u32,
+    },
+    /// `rd = mem[ra + off]` (byte address, word access)
+    Lw {
+        /// Destination register.
+        rd: u8,
+        /// Base register.
+        ra: u8,
+        /// Signed byte offset.
+        off: i32,
+    },
+    /// `mem[ra + off] = rs`
+    Sw {
+        /// Source register.
+        rs: u8,
+        /// Base register.
+        ra: u8,
+        /// Signed byte offset.
+        off: i32,
+    },
+    /// Branch to `target` when `ra == rb`.
+    Beq {
+        /// First operand.
+        ra: u8,
+        /// Second operand.
+        rb: u8,
+        /// Absolute instruction index.
+        target: usize,
+    },
+    /// Branch to `target` when `ra != rb`.
+    Bne {
+        /// First operand.
+        ra: u8,
+        /// Second operand.
+        rb: u8,
+        /// Absolute instruction index.
+        target: usize,
+    },
+    /// Branch to `target` when `ra < rb` (unsigned).
+    Bltu {
+        /// First operand.
+        ra: u8,
+        /// Second operand.
+        rb: u8,
+        /// Absolute instruction index.
+        target: usize,
+    },
+    /// `rd = pc + 1; pc = target` (call)
+    Jal {
+        /// Link register.
+        rd: u8,
+        /// Absolute instruction index.
+        target: usize,
+    },
+    /// `pc = ra` (return / computed jump; register holds an instruction
+    /// index)
+    Jr {
+        /// Register holding the target instruction index.
+        ra: u8,
+    },
+    /// Stop execution.
+    Halt,
+    /// Do nothing for a cycle.
+    Nop,
+}
+
+/// Assembly error with line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<u8, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let n = t
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register, got '{t}'")))?;
+    let v: u8 = n
+        .parse()
+        .map_err(|_| err(line, format!("bad register '{t}'")))?;
+    if v > 15 {
+        return Err(err(line, format!("register out of range '{t}'")));
+    }
+    Ok(v)
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate '{t}'")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Parse `off(reg)` syntax.
+fn parse_mem(tok: &str, line: usize) -> Result<(i32, u8), AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let open = t
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected off(reg), got '{t}'")))?;
+    if !t.ends_with(')') {
+        return Err(err(line, format!("expected off(reg), got '{t}'")));
+    }
+    let off = if open == 0 { 0 } else { parse_imm(&t[..open], line)? };
+    let reg = parse_reg(&t[open + 1..t.len() - 1], line)?;
+    Ok((off as i32, reg))
+}
+
+/// Assemble `source` into a program. Two passes: labels (`name:`) may be
+/// referenced before definition. `;` and `#` start comments.
+pub fn assemble(source: &str) -> Result<Vec<Instr>, AsmError> {
+    // Pass 1: strip comments, collect labels and raw statements.
+    let mut stmts: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut labels = std::collections::BTreeMap::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(i) = text.find([';', '#']) {
+            text = &text[..i];
+        }
+        let mut text = text.trim();
+        // Possibly several labels then an instruction on one line.
+        while let Some(colon) = text.find(':') {
+            let label = text[..colon].trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line, format!("bad label '{label}'")));
+            }
+            if labels.insert(label.to_string(), stmts.len()).is_some() {
+                return Err(err(line, format!("duplicate label '{label}'")));
+            }
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let toks: Vec<String> = text
+            .split_whitespace()
+            .map(|t| t.trim_end_matches(',').to_string())
+            .filter(|t| !t.is_empty())
+            .collect();
+        if toks.is_empty() {
+            // e.g. a line of stray commas: nothing to encode.
+            return Err(err(line, format!("unparseable statement '{text}'")));
+        }
+        stmts.push((line, toks));
+    }
+
+    // Pass 2: encode.
+    let resolve = |tok: &str, line: usize| -> Result<usize, AsmError> {
+        if let Ok(v) = parse_imm(tok, line) {
+            return Ok(v as usize);
+        }
+        labels
+            .get(tok)
+            .copied()
+            .ok_or_else(|| err(line, format!("unknown label '{tok}'")))
+    };
+    let mut program = Vec::with_capacity(stmts.len());
+    for (line, toks) in &stmts {
+        let line = *line;
+        let op = toks[0].to_lowercase();
+        let arg = |i: usize| -> Result<&str, AsmError> {
+            toks.get(i)
+                .map(|s| s.as_str())
+                .ok_or_else(|| err(line, format!("'{op}' missing operand {i}")))
+        };
+        let instr = match op.as_str() {
+            "add" | "sub" | "and" | "or" | "xor" | "sltu" => {
+                let rd = parse_reg(arg(1)?, line)?;
+                let ra = parse_reg(arg(2)?, line)?;
+                let rb = parse_reg(arg(3)?, line)?;
+                match op.as_str() {
+                    "add" => Instr::Add { rd, ra, rb },
+                    "sub" => Instr::Sub { rd, ra, rb },
+                    "and" => Instr::And { rd, ra, rb },
+                    "or" => Instr::Or { rd, ra, rb },
+                    "xor" => Instr::Xor { rd, ra, rb },
+                    _ => Instr::Sltu { rd, ra, rb },
+                }
+            }
+            "addi" => Instr::Addi {
+                rd: parse_reg(arg(1)?, line)?,
+                ra: parse_reg(arg(2)?, line)?,
+                imm: parse_imm(arg(3)?, line)? as i32,
+            },
+            "slli" | "srli" => {
+                let rd = parse_reg(arg(1)?, line)?;
+                let ra = parse_reg(arg(2)?, line)?;
+                let sh = parse_imm(arg(3)?, line)?;
+                if !(0..32).contains(&sh) {
+                    return Err(err(line, "shift out of range"));
+                }
+                if op == "slli" {
+                    Instr::Slli { rd, ra, sh: sh as u8 }
+                } else {
+                    Instr::Srli { rd, ra, sh: sh as u8 }
+                }
+            }
+            "li" => Instr::Li {
+                rd: parse_reg(arg(1)?, line)?,
+                imm: parse_imm(arg(2)?, line)? as u32,
+            },
+            "mv" => Instr::Addi {
+                rd: parse_reg(arg(1)?, line)?,
+                ra: parse_reg(arg(2)?, line)?,
+                imm: 0,
+            },
+            "lw" => {
+                let rd = parse_reg(arg(1)?, line)?;
+                let (off, ra) = parse_mem(arg(2)?, line)?;
+                Instr::Lw { rd, ra, off }
+            }
+            "sw" => {
+                let rs = parse_reg(arg(1)?, line)?;
+                let (off, ra) = parse_mem(arg(2)?, line)?;
+                Instr::Sw { rs, ra, off }
+            }
+            "beq" | "bne" | "bltu" => {
+                let ra = parse_reg(arg(1)?, line)?;
+                let rb = parse_reg(arg(2)?, line)?;
+                let target = resolve(arg(3)?, line)?;
+                match op.as_str() {
+                    "beq" => Instr::Beq { ra, rb, target },
+                    "bne" => Instr::Bne { ra, rb, target },
+                    _ => Instr::Bltu { ra, rb, target },
+                }
+            }
+            "jal" => Instr::Jal {
+                rd: parse_reg(arg(1)?, line)?,
+                target: resolve(arg(2)?, line)?,
+            },
+            "j" => Instr::Jal { rd: 0, target: resolve(arg(1)?, line)? },
+            "jr" => Instr::Jr { ra: parse_reg(arg(1)?, line)? },
+            "halt" => Instr::Halt,
+            "nop" => Instr::Nop,
+            other => return Err(err(line, format!("unknown opcode '{other}'"))),
+        };
+        program.push(instr);
+    }
+    // Validate branch targets.
+    for (i, instr) in program.iter().enumerate() {
+        let target = match instr {
+            Instr::Beq { target, .. }
+            | Instr::Bne { target, .. }
+            | Instr::Bltu { target, .. }
+            | Instr::Jal { target, .. } => Some(*target),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if t > program.len() {
+                return Err(err(0, format!("instruction {i}: branch target {t} out of range")));
+            }
+        }
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            r"
+            li r1, 0x40    ; a comment
+            addi r2, r1, -4
+            add r3, r1, r2 # another
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0], Instr::Li { rd: 1, imm: 0x40 });
+        assert_eq!(p[1], Instr::Addi { rd: 2, ra: 1, imm: -4 });
+        assert_eq!(p[3], Instr::Halt);
+    }
+
+    #[test]
+    fn labels_forward_and_backward() {
+        let p = assemble(
+            r"
+        start:
+            bne r1, r0, end
+            j start
+        end:
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p[0], Instr::Bne { ra: 1, rb: 0, target: 2 });
+        assert_eq!(p[1], Instr::Jal { rd: 0, target: 0 });
+    }
+
+    #[test]
+    fn memory_syntax() {
+        let p = assemble("lw r2, 8(r1)\nsw r2, (r3)\nlw r4, -4(r5)").unwrap();
+        assert_eq!(p[0], Instr::Lw { rd: 2, ra: 1, off: 8 });
+        assert_eq!(p[1], Instr::Sw { rs: 2, ra: 3, off: 0 });
+        assert_eq!(p[2], Instr::Lw { rd: 4, ra: 5, off: -4 });
+    }
+
+    #[test]
+    fn label_and_instruction_on_one_line() {
+        let p = assemble("loop: addi r1, r1, 1\nj loop").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[1], Instr::Jal { rd: 0, target: 0 });
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let e = assemble("frobnicate r1").unwrap_err();
+        assert!(e.message.contains("unknown opcode"));
+        let e = assemble("add r1, r2").unwrap_err();
+        assert!(e.message.contains("missing operand"));
+        let e = assemble("li r99, 1").unwrap_err();
+        assert!(e.message.contains("bad register") || e.message.contains("out of range"));
+        let e = assemble("beq r1, r2, nowhere").unwrap_err();
+        assert!(e.message.contains("unknown label"));
+        let e = assemble("x:\nx:\nhalt").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+        assert_eq!(e.line, 2);
+    }
+
+    proptest! {
+        /// The assembler never panics: arbitrary text either assembles or
+        /// returns a structured error.
+        #[test]
+        fn prop_assembler_total(source in "[a-zA-Z0-9 ,():#;\n\t-]{0,400}") {
+            let _ = assemble(&source);
+        }
+
+        /// Any program built only from valid opcodes with in-range
+        /// registers assembles.
+        #[test]
+        fn prop_valid_programs_assemble(
+            ops in proptest::collection::vec((0usize..6, 0u8..16, 0u8..16, 0u8..16), 1..40),
+        ) {
+            let text: String = ops
+                .iter()
+                .map(|(op, a, b, c)| match op {
+                    0 => format!("add r{a}, r{b}, r{c}"),
+                    1 => format!("sub r{a}, r{b}, r{c}"),
+                    2 => format!("addi r{a}, r{b}, {c}"),
+                    3 => format!("li r{a}, {}", u32::from(*b) * 1000),
+                    4 => format!("sw r{a}, {}(r{b})", u32::from(*c) * 4),
+                    _ => format!("lw r{a}, {}(r{b})", u32::from(*c) * 4),
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let program = assemble(&text).unwrap();
+            prop_assert_eq!(program.len(), ops.len());
+        }
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("li r1, 0xdead\naddi r2, r0, -32768").unwrap();
+        assert_eq!(p[0], Instr::Li { rd: 1, imm: 0xdead });
+        assert_eq!(p[1], Instr::Addi { rd: 2, ra: 0, imm: -32768 });
+    }
+}

@@ -1,0 +1,28 @@
+//! # netfpga-soc
+//!
+//! The soft-core processor of the platform. The paper's §3 notes that each
+//! project's software portion "contains embedded code (for a soft-core
+//! processor), a driver and relevant applications"; on real boards that
+//! core is a MicroBlaze-class CPU synthesized next to the datapath, running
+//! housekeeping firmware with direct access to the design's register bus.
+//!
+//! This crate provides the equivalent:
+//!
+//! * [`isa`] — a small deterministic RISC instruction set (16 registers,
+//!   loads/stores, branches) with a two-pass [`isa::assemble`]r so embedded
+//!   programs are written as assembly text;
+//! * [`cpu`] — the [`cpu::SoftCore`] module: executes instructions on the
+//!   design's clock, with scratch RAM at low addresses and the project's
+//!   [`AddressMap`](netfpga_core::regs::AddressMap) mapped in at
+//!   [`cpu::MMIO_BASE`], so firmware reads the same statistics registers
+//!   and drives the same control registers as host software — but from
+//!   inside the card, with no PCIe round-trips.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cpu;
+pub mod isa;
+
+pub use cpu::{SoftCore, MMIO_BASE};
+pub use isa::{assemble, AsmError, Instr};

@@ -1,0 +1,103 @@
+//! SDN control-plane research on BlueSwitch (paper §3: "an SDN researcher
+//! interested in the control plane and lacking any hardware knowledge can
+//! use the BlueSwitch OpenFlow switch project as its data plane, and
+//! choose to write a control plane software application to run on top").
+//!
+//! This example is such an application: a tiny controller that (a) installs
+//! a two-table policy, (b) reroutes traffic with an atomic update while the
+//! switch is under load, and (c) demonstrates why the atomic commit matters
+//! by doing the same reroute naively and counting consistency violations.
+//!
+//! Run with: `cargo run -p netfpga-examples --bin sdn_controller`
+
+use netfpga_core::board::BoardSpec;
+use netfpga_core::stream::PortMask;
+use netfpga_core::time::Time;
+use netfpga_host::{BlueSwitchController, RuleSpec};
+use netfpga_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
+use netfpga_projects::blueswitch::{ActionKind, BlueSwitch, BLUESWITCH_BASE};
+
+fn traffic_frame(flow: u8) -> Vec<u8> {
+    PacketBuilder::new()
+        .eth(
+            EthernetAddress::new(2, 0, 0, 0, 0, flow),
+            EthernetAddress::new(2, 0, 0, 0, 0, 0xff),
+        )
+        .ipv4(Ipv4Address::new(10, 1, 0, flow), Ipv4Address::new(10, 2, 0, 1))
+        .udp(1000 + u16::from(flow), 80, b"payload")
+        .build()
+}
+
+fn reroute(atomic: bool) -> (u32, u32, usize, usize) {
+    let mut sw = BlueSwitch::new(&BoardSpec::sume(), 4, 2, 128);
+    let mut ctl = BlueSwitchController::new();
+
+    // Policy v1: table 0 admits, table 1 forwards to port 1.
+    let v1 = vec![
+        RuleSpec::wildcard_output(0, 1, PortMask::single(1)),
+        RuleSpec::wildcard_output(1, 1, PortMask::single(1)),
+    ];
+    // Policy v2: reroute everything to port 2.
+    let v2 = vec![
+        RuleSpec::wildcard_output(0, 2, PortMask::single(2)),
+        RuleSpec::wildcard_output(1, 2, PortMask::single(2)),
+    ];
+    ctl.install_atomic(&mut sw, &v1);
+
+    // Saturate ingress, then update mid-stream. Every MMIO write advances
+    // simulated time, so packets are classified during the update.
+    for i in 0..400 {
+        sw.chassis.send(0, traffic_frame(i as u8));
+    }
+    if atomic {
+        ctl.install_atomic(&mut sw, &v2);
+    } else {
+        ctl.install_naive(&mut sw, &v2);
+    }
+    sw.chassis.run_for(Time::from_us(200));
+
+    let mixed = ctl.mixed_tag_packets(&mut sw);
+    let classified = sw.chassis.read32(BLUESWITCH_BASE + 25 * 4);
+    let out1 = sw.chassis.recv(1).len();
+    let out2 = sw.chassis.recv(2).len();
+    (classified, mixed, out1, out2)
+}
+
+fn main() {
+    println!("BlueSwitch SDN controller demo\n==============================");
+
+    // Show basic policy control first: match on L4 port, different egress.
+    let mut sw = BlueSwitch::new(&BoardSpec::sume(), 4, 1, 128);
+    let mut ctl = BlueSwitchController::new();
+    let mut web_key = [0u8; netfpga_projects::blueswitch::KEY_WIDTH];
+    let mut web_mask = [0u8; netfpga_projects::blueswitch::KEY_WIDTH];
+    web_key[26..28].copy_from_slice(&80u16.to_be_bytes());
+    web_mask[26..28].copy_from_slice(&[0xff, 0xff]);
+    let rules = vec![
+        RuleSpec::from_parts(0, 10, web_key, web_mask, ActionKind::Output(PortMask::single(2))),
+        RuleSpec::wildcard_output(0, 1, PortMask::single(1)),
+    ];
+    ctl.install_atomic(&mut sw, &rules);
+    sw.chassis.send(0, traffic_frame(1)); // dst port 80 -> port 2
+    sw.chassis.run_for(Time::from_us(20));
+    println!(
+        "policy: web traffic -> port 2 ({} frame), rest -> port 1 ({} frames)",
+        sw.chassis.recv(2).len(),
+        sw.chassis.recv(1).len()
+    );
+
+    // The consistency contrast.
+    let (n_atomic, mixed_atomic, a1, a2) = reroute(true);
+    println!("\natomic reroute under load:");
+    println!("  classified={n_atomic}  mixed-config packets={mixed_atomic}  egress port1={a1} port2={a2}");
+
+    let (n_naive, mixed_naive, b1, b2) = reroute(false);
+    println!("naive reroute under load:");
+    println!("  classified={n_naive}  mixed-config packets={mixed_naive}  egress port1={b1} port2={b2}");
+
+    println!(
+        "\n=> BlueSwitch's atomic commit: {mixed_atomic} packets saw a mixed configuration; \
+         the naive baseline exposed {mixed_naive}."
+    );
+    assert_eq!(mixed_atomic, 0, "atomic update must never mix configurations");
+}

@@ -1,0 +1,1 @@
+//! Integration-test helpers; the actual tests live in tests/.
