@@ -1,0 +1,64 @@
+//! E10 (extension) — Simulation-kernel throughput: naive stepper vs the
+//! fast path (edge calendar / heap scheduling, quiescence fast-forward,
+//! burst stream transfers).
+//!
+//! Runs the two bracketing workloads from `netfpga_bench::kernel` on a
+//! 4-port reference switch and reports simulated core-clock edges per
+//! host second:
+//!
+//! * **idle-heavy** — 4 frames per 50 µs gap: the fast path must win by
+//!   at least 2× (acceptance bar; in practice far more, since idle
+//!   stretches fast-forward in O(domains)).
+//! * **saturated** — back-to-back line-rate frames: nothing to skip, the
+//!   fast path must not regress.
+//!
+//! Emits the standard table + `@json` rows, and writes the rows to
+//! `BENCH_kernel.json` for the documentation tables.
+
+use netfpga_bench::kernel::{idle_heavy, saturated, KernelConfig, KernelRun};
+use netfpga_bench::Table;
+
+fn push(t: &mut Table, workload: &str, config: KernelConfig, run: &KernelRun, speedup: f64) {
+    t.row(&[
+        workload.to_string(),
+        config.label().to_string(),
+        run.edges.to_string(),
+        run.frames.to_string(),
+        format!("{:.1}", run.wall.as_secs_f64() * 1e3),
+        format!("{:.0}", run.edges_per_sec()),
+        format!("{speedup:.2}"),
+    ]);
+}
+
+fn main() {
+    let mut t = Table::new(
+        "E10: simulation kernel throughput (reference switch, 4 ports)",
+        &["workload", "kernel", "edges", "frames", "wall_ms", "edges_per_sec", "speedup"],
+    );
+
+    let idle_naive = idle_heavy(KernelConfig::Naive, 200);
+    let idle_fast = idle_heavy(KernelConfig::Fast, 200);
+    assert_eq!(idle_naive.frames, idle_fast.frames, "same simulated work");
+    assert_eq!(idle_naive.edges, idle_fast.edges, "same simulated edges");
+    let idle_speedup = idle_fast.edges_per_sec() / idle_naive.edges_per_sec();
+    push(&mut t, "idle_heavy", KernelConfig::Naive, &idle_naive, 1.0);
+    push(&mut t, "idle_heavy", KernelConfig::Fast, &idle_fast, idle_speedup);
+
+    let sat_naive = saturated(KernelConfig::Naive, 2000);
+    let sat_fast = saturated(KernelConfig::Fast, 2000);
+    assert_eq!(sat_naive.frames, sat_fast.frames, "same simulated work");
+    let sat_speedup = sat_fast.edges_per_sec() / sat_naive.edges_per_sec();
+    push(&mut t, "saturated", KernelConfig::Naive, &sat_naive, 1.0);
+    push(&mut t, "saturated", KernelConfig::Fast, &sat_fast, sat_speedup);
+
+    t.print();
+    t.write_json("BENCH_kernel.json").expect("write BENCH_kernel.json");
+
+    // Acceptance bars: >= 2x on idle-heavy, no regression when saturated
+    // (5 % measurement-noise allowance).
+    assert!(idle_speedup >= 2.0, "idle-heavy speedup {idle_speedup:.2}x < 2x");
+    assert!(sat_speedup >= 0.95, "saturated regression: {sat_speedup:.2}x");
+    println!(
+        "ok: idle-heavy {idle_speedup:.1}x, saturated {sat_speedup:.2}x (floor 2.0x / 0.95x)"
+    );
+}

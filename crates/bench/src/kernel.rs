@@ -1,0 +1,188 @@
+//! Kernel-throughput workloads: how fast the simulation kernel burns
+//! through clock edges on a full reference-switch chassis, comparing the
+//! naive stepper (linear domain scan, every module ticked every edge, one
+//! word per cycle) against the fast path (edge calendar or heap, quiescence
+//! skipping, burst stream transfers).
+//!
+//! Two workloads bracket the design space:
+//!
+//! * **idle-heavy** — short traffic bursts separated by long silent gaps,
+//!   the shape of protocol tests and latency experiments. The fast path
+//!   should win big here: idle stretches fast-forward in O(domains).
+//! * **saturated** — back-to-back frames at line rate, the shape of
+//!   throughput experiments. There is nothing to skip, so the fast path
+//!   must at least not regress.
+//!
+//! Shared by the `kernel` Criterion bench (quick CI smoke) and the
+//! `exp10_kernel` experiment binary (full numbers + `BENCH_kernel.json`).
+
+use netfpga_core::board::BoardSpec;
+use netfpga_core::sim::SchedulerMode;
+use netfpga_core::time::Time;
+use netfpga_packet::{EthernetAddress, EtherType, PacketBuilder};
+use netfpga_projects::ReferenceSwitch;
+use std::time::{Duration, Instant};
+
+/// Which stepper configuration a run measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelConfig {
+    /// Linear scan, no quiescence skipping, word-at-a-time transfers —
+    /// the seed kernel, kept as the reference semantics.
+    Naive,
+    /// Auto scheduler (calendar with heap fallback), quiescence
+    /// fast-forward, burst transfers end to end.
+    Fast,
+}
+
+impl KernelConfig {
+    /// Short label for tables and bench ids.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelConfig::Naive => "naive",
+            KernelConfig::Fast => "fast",
+        }
+    }
+}
+
+/// One measured run: simulated edges, wall time, delivered frames.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelRun {
+    /// Core-clock edges the simulation advanced through.
+    pub edges: u64,
+    /// Host wall time spent inside the run loop.
+    pub wall: Duration,
+    /// Frames delivered at the tester edge (work sanity check: both
+    /// configs must deliver the same count).
+    pub frames: u64,
+}
+
+impl KernelRun {
+    /// Simulated edges per host second.
+    pub fn edges_per_sec(&self) -> f64 {
+        self.edges as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+fn mac(x: u8) -> EthernetAddress {
+    EthernetAddress::new(2, 0, 0, 0, 0, x)
+}
+
+fn frame(src: u8, dst: u8, len: usize) -> Vec<u8> {
+    PacketBuilder::new()
+        .eth(mac(src), mac(dst))
+        .raw(EtherType::Ipv4, &[src; 46])
+        .pad_to(len)
+        .build()
+}
+
+/// Build a 4-port reference switch pinned to the given kernel config and
+/// teach it one station per port (so the measured phase is pure unicast).
+fn learned_switch(config: KernelConfig) -> ReferenceSwitch {
+    let fast = matches!(config, KernelConfig::Fast);
+    let mut sw = ReferenceSwitch::with_fast_path(
+        &BoardSpec::sume(),
+        4,
+        1024,
+        Time::from_ms(100),
+        fast,
+    );
+    match config {
+        KernelConfig::Naive => {
+            sw.chassis.sim.set_scheduler_mode(SchedulerMode::Scan);
+            sw.chassis.sim.set_idle_skip(false);
+        }
+        KernelConfig::Fast => {
+            sw.chassis.sim.set_scheduler_mode(SchedulerMode::Auto);
+            sw.chassis.sim.set_idle_skip(true);
+        }
+    }
+    // Station `p + 1` lives on port `p`; one flood each teaches the table.
+    for p in 0..4u8 {
+        sw.chassis.send(usize::from(p), frame(p + 1, 0xee, 60));
+        sw.chassis.run_for(Time::from_us(5));
+    }
+    for p in 0..4 {
+        sw.chassis.recv(p);
+    }
+    sw
+}
+
+/// Idle-heavy workload: `rounds` rounds of 4 unicast frames (one per
+/// port) followed by a 50 µs silent gap — well over 90 % idle edges.
+pub fn idle_heavy(config: KernelConfig, rounds: u32) -> KernelRun {
+    let mut sw = learned_switch(config);
+    let start_cycles = sw.chassis.sim.cycles(sw.chassis.clk);
+    let mut frames = 0u64;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        for p in 0..4u8 {
+            // Port p's station sends to the station on the next port.
+            sw.chassis
+                .send(usize::from(p), frame(p + 1, (p + 1) % 4 + 1, 300));
+        }
+        sw.chassis.run_for(Time::from_us(50));
+        for p in 0..4 {
+            frames += sw.chassis.recv(p).len() as u64;
+        }
+    }
+    let wall = started.elapsed();
+    KernelRun {
+        edges: sw.chassis.sim.cycles(sw.chassis.clk) - start_cycles,
+        wall,
+        frames,
+    }
+}
+
+/// Saturated workload: `nframes` 300-byte frames per direction on two
+/// port pairs, injected back to back so the wires never go idle until the
+/// tail drains.
+pub fn saturated(config: KernelConfig, nframes: u32) -> KernelRun {
+    let mut sw = learned_switch(config);
+    let start_cycles = sw.chassis.sim.cycles(sw.chassis.clk);
+    let started = Instant::now();
+    for _ in 0..nframes {
+        sw.chassis.send(0, frame(1, 2, 300)); // port 0 -> port 1
+        sw.chassis.send(2, frame(3, 4, 300)); // port 2 -> port 3
+    }
+    let expect = 2 * u64::from(nframes);
+    let mut frames = 0u64;
+    // Drain in slices; the deadline is generous (wire time for the whole
+    // burst is ~nframes x 256 ns per pair).
+    for _ in 0..200 {
+        sw.chassis.run_for(Time::from_us(u64::from(nframes) / 2 + 20));
+        for p in 0..4 {
+            frames += sw.chassis.recv(p).len() as u64;
+        }
+        if frames >= expect {
+            break;
+        }
+    }
+    let wall = started.elapsed();
+    KernelRun {
+        edges: sw.chassis.sim.cycles(sw.chassis.clk) - start_cycles,
+        wall,
+        frames,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both kernels must do the same simulated work: identical frame
+    /// deliveries and identical edge counts (fast-forward advances cycle
+    /// counters exactly as if every edge had been stepped).
+    #[test]
+    fn workloads_deliver_identically_under_both_kernels() {
+        let naive = idle_heavy(KernelConfig::Naive, 3);
+        let fast = idle_heavy(KernelConfig::Fast, 3);
+        assert_eq!(naive.frames, fast.frames);
+        assert_eq!(naive.edges, fast.edges);
+        assert_eq!(naive.frames, 12);
+
+        let naive = saturated(KernelConfig::Naive, 40);
+        let fast = saturated(KernelConfig::Fast, 40);
+        assert_eq!(naive.frames, fast.frames);
+        assert_eq!(naive.frames, 80);
+    }
+}

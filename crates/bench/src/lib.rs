@@ -10,6 +10,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod json;
+pub mod kernel;
 pub mod report;
 pub mod workloads;
 

@@ -1,7 +1,7 @@
 //! Table rendering for experiment output: fixed-width text for humans
 //! plus one JSON object per row for machines.
 
-use serde_json::{Map, Value};
+use crate::json::Value;
 
 /// A simple column-aligned table that also emits JSON rows.
 #[derive(Debug, Clone)]
@@ -76,19 +76,19 @@ impl Table {
         self.rows
             .iter()
             .map(|row| {
-                let mut map = Map::new();
-                map.insert("table".into(), Value::String(self.title.clone()));
+                let mut map = Value::object();
+                map.insert("table", self.title.clone());
                 for (h, c) in self.headers.iter().zip(row) {
                     // Numbers stay numbers when they parse as such.
                     let v = c
                         .parse::<f64>()
                         .ok()
-                        .and_then(serde_json::Number::from_f64)
+                        .filter(|n| n.is_finite())
                         .map(Value::Number)
                         .unwrap_or_else(|| Value::String(c.clone()));
                     map.insert(h.clone(), v);
                 }
-                Value::Object(map)
+                map
             })
             .collect()
     }
@@ -101,6 +101,13 @@ impl Table {
             println!("@json {row}");
         }
         println!();
+    }
+
+    /// Write the table's rows to `path` as one JSON array — the
+    /// `BENCH_*.json` artifact format.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let v = Value::Array(self.json_rows());
+        std::fs::write(path, format!("{v}\n"))
     }
 }
 

@@ -127,6 +127,12 @@ impl Module for PacketSource {
         self.sent_packets = 0;
         self.sent_bytes = 0;
     }
+
+    /// With no queued packet and no in-flight words, a tick does nothing at
+    /// any future edge until a packet is injected.
+    fn is_quiescent(&self) -> bool {
+        self.idle()
+    }
 }
 
 /// A packet captured by a [`PacketSink`].
@@ -234,6 +240,12 @@ impl Module for PacketSink {
         self.buffer.inner.borrow_mut().clear();
         *self.buffer.bytes.borrow_mut() = 0;
         *self.buffer.packets.borrow_mut() = 0;
+    }
+
+    /// With nothing to pop, a tick does nothing until upstream pushes
+    /// (even mid-packet: reassembly only advances on a popped word).
+    fn is_quiescent(&self) -> bool {
+        !self.rx.can_pop()
     }
 }
 

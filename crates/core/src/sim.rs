@@ -14,8 +14,43 @@
 //! combinational (same-cycle) forwarding through a channel; reverse order
 //! gives one cycle of latency — either is a valid hardware interpretation,
 //! and either way results are exactly reproducible.
+//!
+//! # Edge dispatch
+//!
+//! Finding the next rising edge is the kernel's innermost loop. Three
+//! interchangeable dispatchers produce bit-identical edge sequences (see
+//! [`SchedulerMode`]):
+//!
+//! * **Calendar** — when every registered clock shares a phase origin (a
+//!   fresh simulator, or any simulator right after [`Simulator::reset`]),
+//!   the coincidence pattern of the clocks repeats every hyperperiod
+//!   (the least common multiple of the periods). The kernel precomputes
+//!   that pattern once — one slot per distinct edge instant, each holding
+//!   the list of domains that tick there in creation order — and then
+//!   dispatches edges by walking the slot table, with no searching at all.
+//! * **Heap** — when the phases are unaligned or the hyperperiod would
+//!   need more than [`MAX_CALENDAR_EDGES`] slots (e.g. co-prime periods),
+//!   a binary min-heap of `(next_edge, domain)` keys dispatches each edge
+//!   in `O(log n)` without rescanning every domain.
+//! * **Scan** — the original linear `min`-scan over all domains, kept as
+//!   the executable specification the other two are tested against.
+//!
+//! # Quiescence
+//!
+//! Modules may opt into the fast path by overriding
+//! [`Module::is_quiescent`]. The contract is strict but time-independent:
+//! a module may report quiescent only if `tick` would have no observable
+//! effect **now and at every future edge**, assuming none of its inputs
+//! change in the meantime. Because modules only influence one another
+//! through ticks, if every module is quiescent at once then no input can
+//! change and the whole simulation is provably idle: `run_until` and
+//! `run_cycles` then fast-forward — advancing `now` and every cycle
+//! counter arithmetically to exactly the state the naive loop would have
+//! reached, without executing the intervening edges.
 
 use crate::time::{Frequency, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Per-tick context handed to every module.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +74,19 @@ pub trait Module {
 
     /// Return to power-on state. Default: no-op.
     fn reset(&mut self) {}
+
+    /// Fast-path hint: `true` promises that `tick` would have no observable
+    /// effect now **or at any future edge**, as long as none of this
+    /// module's inputs change. The simulator may then skip the tick — and,
+    /// when every module is quiescent at once, fast-forward simulated time
+    /// without executing edges at all.
+    ///
+    /// The promise must not depend on the current time or cycle count: a
+    /// module waiting on a timer or a scheduled release cycle is *not*
+    /// quiescent. Default: `false` (always tick), which is always safe.
+    fn is_quiescent(&self) -> bool {
+        false
+    }
 }
 
 /// Identifies a clock domain within a [`Simulator`].
@@ -51,6 +99,103 @@ struct Domain {
     next_edge: Time,
     cycle: u64,
     modules: Vec<Box<dyn Module>>,
+}
+
+/// How the simulator finds the next clock edge. All modes produce exactly
+/// the same edge sequence, tick order and timestamps; they differ only in
+/// dispatch cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Use the edge calendar when the clock phases allow it, otherwise the
+    /// heap. The default.
+    #[default]
+    Auto,
+    /// The original linear scan over all domains (the reference
+    /// implementation the fast paths are verified against).
+    Scan,
+    /// Force the precomputed edge calendar; falls back to the heap when the
+    /// phases are unaligned or the hyperperiod is impractical.
+    Calendar,
+    /// Force the binary-heap dispatcher.
+    Heap,
+}
+
+/// Upper bound on the total number of per-domain edges in one hyperperiod
+/// before the calendar is abandoned for the heap. Co-prime periods (say
+/// 6.4 ns and 5.000001 ns) would otherwise explode the table.
+pub const MAX_CALENDAR_EDGES: usize = 4096;
+
+/// One distinct edge instant within the hyperperiod.
+struct Slot {
+    /// Offset from the phase origin, in `(0, hyperperiod]` picoseconds.
+    offset: u64,
+    /// Domains ticking at this instant, in creation order.
+    domains: Vec<u32>,
+}
+
+/// Precomputed hyperperiod coincidence pattern of all clocks.
+struct Calendar {
+    /// Phase origin: every domain has edges at `base + k * period`, k >= 1.
+    base: Time,
+    /// Least common multiple of all periods, in picoseconds.
+    hyper: u64,
+    /// Distinct edge instants within one hyperperiod, ascending.
+    slots: Vec<Slot>,
+    /// Which hyperperiod repetition the cursor is in.
+    epoch: u64,
+    /// Index of the next slot to dispatch.
+    cursor: usize,
+}
+
+impl Calendar {
+    /// Absolute time of the next edge.
+    fn next_edge(&self) -> Time {
+        Time::from_ps(
+            self.base.as_ps() + self.epoch * self.hyper + self.slots[self.cursor].offset,
+        )
+    }
+
+    /// Advance past the slot just dispatched.
+    fn advance(&mut self) {
+        self.cursor += 1;
+        if self.cursor == self.slots.len() {
+            self.cursor = 0;
+            self.epoch += 1;
+        }
+    }
+
+    /// Reposition the cursor at the first edge strictly after `now`.
+    /// `now` must be `>= base`.
+    fn seek(&mut self, now: Time) {
+        let elapsed = now.as_ps() - self.base.as_ps();
+        self.epoch = elapsed / self.hyper;
+        let off = elapsed % self.hyper;
+        // First slot with offset > off (offsets are in (0, hyper], so
+        // off == 0 lands on slot 0 of this epoch).
+        self.cursor = self.slots.partition_point(|s| s.offset <= off);
+        if self.cursor == self.slots.len() {
+            self.cursor = 0;
+            self.epoch += 1;
+        }
+    }
+}
+
+enum SchedState {
+    /// Clocks changed (or mode changed); rebuild before the next step.
+    Invalid,
+    /// Linear scan; no auxiliary state.
+    Scan,
+    Calendar(Calendar),
+    /// Min-heap of `(next_edge, domain index)`; index breaks ties so
+    /// coincident edges pop in creation order.
+    Heap(BinaryHeap<Reverse<(Time, usize)>>),
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
 }
 
 /// The discrete-time simulator owning all modules.
@@ -70,16 +215,72 @@ struct Domain {
 /// sim.add_module(clk, Counter(0));
 /// sim.run_cycles(clk, 100);
 /// ```
-#[derive(Default)]
 pub struct Simulator {
     domains: Vec<Domain>,
     now: Time,
+    mode: SchedulerMode,
+    sched: SchedState,
+    /// Master switch for quiescence skipping and fast-forward.
+    idle_skip: bool,
+}
+
+impl Default for Simulator {
+    fn default() -> Simulator {
+        Simulator {
+            domains: Vec::new(),
+            now: Time::ZERO,
+            mode: SchedulerMode::Auto,
+            sched: SchedState::Invalid,
+            idle_skip: true,
+        }
+    }
 }
 
 impl Simulator {
     /// An empty simulator at time zero.
     pub fn new() -> Simulator {
         Simulator::default()
+    }
+
+    /// An empty simulator using the given edge dispatcher.
+    pub fn with_scheduler(mode: SchedulerMode) -> Simulator {
+        Simulator { mode, ..Simulator::default() }
+    }
+
+    /// Select the edge dispatcher. Takes effect at the next step; the edge
+    /// sequence is identical in every mode.
+    pub fn set_scheduler_mode(&mut self, mode: SchedulerMode) {
+        self.mode = mode;
+        self.sched = SchedState::Invalid;
+    }
+
+    /// The configured edge dispatcher.
+    pub fn scheduler_mode(&self) -> SchedulerMode {
+        self.mode
+    }
+
+    /// Enable or disable quiescence skipping ([`Module::is_quiescent`]) and
+    /// idle fast-forward. On by default; disabling forces every tick to
+    /// execute, which is useful for differential testing.
+    pub fn set_idle_skip(&mut self, enabled: bool) {
+        self.idle_skip = enabled;
+    }
+
+    /// Whether quiescence skipping is enabled.
+    pub fn idle_skip(&self) -> bool {
+        self.idle_skip
+    }
+
+    /// The dispatcher actually in use after lazy rebuild: `"scan"`,
+    /// `"calendar"` or `"heap"`. Forces the rebuild if one is pending.
+    pub fn active_scheduler(&mut self) -> &'static str {
+        self.ensure_sched();
+        match &self.sched {
+            SchedState::Scan => "scan",
+            SchedState::Calendar(_) => "calendar",
+            SchedState::Heap(_) => "heap",
+            SchedState::Invalid => unreachable!("ensure_sched rebuilds"),
+        }
     }
 
     /// Create a clock domain. The first rising edge is at one period
@@ -93,6 +294,7 @@ impl Simulator {
             cycle: 0,
             modules: Vec::new(),
         });
+        self.sched = SchedState::Invalid;
         ClockId(self.domains.len() - 1)
     }
 
@@ -137,41 +339,206 @@ impl Simulator {
             d.cycle = 0;
             d.next_edge = self.now + d.period;
         }
+        self.sched = SchedState::Invalid;
+    }
+
+    /// True when every registered module reports quiescent (vacuously true
+    /// with no modules). While this holds, no tick can have an effect at any
+    /// future edge, so simulated time may be skipped wholesale.
+    pub fn all_quiescent(&self) -> bool {
+        self.domains.iter().all(|d| d.modules.iter().all(|m| m.is_quiescent()))
+    }
+
+    /// Build the dispatcher state for the current clocks and mode.
+    fn ensure_sched(&mut self) {
+        if !matches!(self.sched, SchedState::Invalid) {
+            return;
+        }
+        self.sched = match self.mode {
+            SchedulerMode::Scan => SchedState::Scan,
+            SchedulerMode::Heap => SchedState::Heap(self.build_heap()),
+            SchedulerMode::Auto | SchedulerMode::Calendar => match self.build_calendar() {
+                Some(c) => SchedState::Calendar(c),
+                None => SchedState::Heap(self.build_heap()),
+            },
+        };
+    }
+
+    fn build_heap(&self) -> BinaryHeap<Reverse<(Time, usize)>> {
+        self.domains
+            .iter()
+            .enumerate()
+            .map(|(i, d)| Reverse((d.next_edge, i)))
+            .collect()
+    }
+
+    /// Try to build the edge calendar. Succeeds only when every domain's
+    /// pending edge is a whole number of its own periods past a common
+    /// phase origin (`now`, or time zero) and the hyperperiod is small
+    /// enough; returns `None` otherwise.
+    fn build_calendar(&self) -> Option<Calendar> {
+        if self.domains.is_empty() {
+            return None;
+        }
+        let base = [self.now, Time::ZERO].into_iter().find(|&b| {
+            self.domains.iter().all(|d| {
+                d.next_edge > b && (d.next_edge.as_ps() - b.as_ps()) % d.period.as_ps() == 0
+            })
+        })?;
+        let mut hyper: u64 = 1;
+        for d in &self.domains {
+            let p = d.period.as_ps();
+            hyper = hyper.checked_mul(p / gcd(hyper, p))?;
+        }
+        let edges: u64 = self.domains.iter().map(|d| hyper / d.period.as_ps()).sum();
+        if edges as usize > MAX_CALENDAR_EDGES {
+            return None;
+        }
+        let mut by_offset: std::collections::BTreeMap<u64, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for (i, d) in self.domains.iter().enumerate() {
+            let p = d.period.as_ps();
+            for k in 1..=hyper / p {
+                by_offset.entry(k * p).or_default().push(i as u32);
+            }
+        }
+        let slots = by_offset
+            .into_iter()
+            .map(|(offset, domains)| Slot { offset, domains })
+            .collect();
+        let mut cal = Calendar { base, hyper, slots, epoch: 0, cursor: 0 };
+        cal.seek(self.now);
+        Some(cal)
+    }
+
+    /// Tick every module of domain `idx` at instant `edge` and schedule the
+    /// domain's next edge.
+    fn dispatch_domain(domains: &mut [Domain], idx: usize, edge: Time, idle_skip: bool) {
+        let d = &mut domains[idx];
+        let ctx = TickContext { now: edge, cycle: d.cycle };
+        for m in &mut d.modules {
+            if !idle_skip || !m.is_quiescent() {
+                m.tick(&ctx);
+            }
+        }
+        d.cycle += 1;
+        d.next_edge = edge + d.period;
     }
 
     /// Execute the single next clock edge (over all domains). Returns the
     /// time of that edge, or `None` if no clocks exist.
     pub fn step(&mut self) -> Option<Time> {
-        let idx = self
-            .domains
-            .iter()
-            .enumerate()
-            .min_by_key(|(i, d)| (d.next_edge, *i))
-            .map(|(i, _)| i)?;
-        let edge = self.domains[idx].next_edge;
-        self.now = edge;
-        // Tick every domain whose edge falls at this instant, in creation
-        // order, so co-incident edges are deterministic.
-        for d in &mut self.domains {
-            if d.next_edge == edge {
-                let ctx = TickContext { now: edge, cycle: d.cycle };
-                for m in &mut d.modules {
-                    m.tick(&ctx);
-                }
-                d.cycle += 1;
-                d.next_edge = edge + d.period;
-            }
+        if self.domains.is_empty() {
+            return None;
         }
+        self.ensure_sched();
+        let idle_skip = self.idle_skip;
+        let edge = match &mut self.sched {
+            SchedState::Scan => {
+                let edge = self.domains.iter().map(|d| d.next_edge).min()?;
+                // Tick every domain whose edge falls at this instant, in
+                // creation order, so co-incident edges are deterministic.
+                for i in 0..self.domains.len() {
+                    if self.domains[i].next_edge == edge {
+                        Self::dispatch_domain(&mut self.domains, i, edge, idle_skip);
+                    }
+                }
+                edge
+            }
+            SchedState::Calendar(cal) => {
+                let edge = cal.next_edge();
+                for j in 0..cal.slots[cal.cursor].domains.len() {
+                    let idx = cal.slots[cal.cursor].domains[j] as usize;
+                    Self::dispatch_domain(&mut self.domains, idx, edge, idle_skip);
+                }
+                cal.advance();
+                edge
+            }
+            SchedState::Heap(heap) => {
+                let Reverse((edge, _)) = *heap.peek()?;
+                // Coincident entries pop in ascending domain index — i.e.
+                // creation order — because the index is the tiebreaker.
+                while let Some(&Reverse((t, idx))) = heap.peek() {
+                    if t != edge {
+                        break;
+                    }
+                    heap.pop();
+                    Self::dispatch_domain(&mut self.domains, idx, edge, idle_skip);
+                    heap.push(Reverse((self.domains[idx].next_edge, idx)));
+                }
+                edge
+            }
+            SchedState::Invalid => unreachable!("ensure_sched rebuilds"),
+        };
+        self.now = edge;
         Some(edge)
     }
 
+    /// Bring the dispatcher back in sync with `domains[*].next_edge` after a
+    /// fast-forward advanced the clocks arithmetically.
+    fn resync_sched(&mut self) {
+        match &mut self.sched {
+            SchedState::Invalid | SchedState::Scan => {}
+            SchedState::Calendar(cal) => cal.seek(self.now),
+            SchedState::Heap(heap) => {
+                heap.clear();
+                heap.extend(
+                    self.domains.iter().enumerate().map(|(i, d)| Reverse((d.next_edge, i))),
+                );
+            }
+        }
+    }
+
+    /// Advance every clock past all edges up to and including instant `to`,
+    /// without ticking any module, leaving exactly the state the naive edge
+    /// loop would have produced. Callers must ensure `all_quiescent()`.
+    fn skip_edges_through(&mut self, to: Time) {
+        for d in &mut self.domains {
+            if d.next_edge <= to {
+                let k = (to.as_ps() - d.next_edge.as_ps()) / d.period.as_ps() + 1;
+                d.cycle += k;
+                d.next_edge += Time::from_ps(k * d.period.as_ps());
+            }
+        }
+        self.now = to;
+        self.resync_sched();
+    }
+
+    /// The first edge instant at or after `deadline` across all domains —
+    /// where the naive `run_until` loop stops. Requires at least one domain.
+    fn first_edge_at_or_after(&self, deadline: Time) -> Time {
+        self.domains
+            .iter()
+            .map(|d| {
+                if d.next_edge >= deadline {
+                    d.next_edge
+                } else {
+                    let p = d.period.as_ps();
+                    let k = (deadline.as_ps() - d.next_edge.as_ps()).div_ceil(p);
+                    Time::from_ps(d.next_edge.as_ps() + k * p)
+                }
+            })
+            .min()
+            .expect("at least one domain")
+    }
+
     /// Run until simulated time reaches at least `deadline`.
+    ///
+    /// Stops at the first edge at or after `deadline` (the edge overshoot is
+    /// observable via [`Simulator::now`] and is identical in every scheduler
+    /// mode, fast-forwarded or not).
     pub fn run_until(&mut self, deadline: Time) {
         while self.now < deadline {
-            if self.step().is_none() {
+            if self.domains.is_empty() {
                 self.now = deadline;
-                break;
+                return;
             }
+            if self.idle_skip && self.all_quiescent() {
+                let stop = self.first_edge_at_or_after(deadline);
+                self.skip_edges_through(stop);
+                return;
+            }
+            self.step();
         }
     }
 
@@ -185,6 +552,17 @@ impl Simulator {
     pub fn run_cycles(&mut self, clock: ClockId, n: u64) {
         let target = self.domains[clock.0].cycle + n;
         while self.domains[clock.0].cycle < target {
+            if self.idle_skip && self.all_quiescent() {
+                let d = &self.domains[clock.0];
+                let remaining = target - d.cycle;
+                // The instant of the target edge; every domain processes all
+                // of its edges up to and including it (coincident edges at
+                // the stop instant tick in the same step as the target).
+                let stop =
+                    d.next_edge + Time::from_ps((remaining - 1) * d.period.as_ps());
+                self.skip_edges_through(stop);
+                return;
+            }
             if self.step().is_none() {
                 break;
             }
@@ -193,6 +571,9 @@ impl Simulator {
 
     /// Run until `pred` returns true, checking after every edge; gives up
     /// after `deadline`. Returns whether the predicate fired.
+    ///
+    /// The predicate is executed between edges and may have side effects, so
+    /// this loop never fast-forwards: every edge is stepped individually.
     pub fn run_while(&mut self, deadline: Time, mut pred: impl FnMut() -> bool) -> bool {
         while pred() {
             if self.now >= deadline || self.step().is_none() {
@@ -207,6 +588,7 @@ impl core::fmt::Debug for Simulator {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Simulator")
             .field("now", &self.now)
+            .field("mode", &self.mode)
             .field(
                 "domains",
                 &self
@@ -367,5 +749,190 @@ mod tests {
             trace
         };
         assert_eq!(build(), build());
+    }
+
+    // ------------------------------------------------------------------
+    // Edge dispatcher equivalence and quiescence fast-forward.
+    // ------------------------------------------------------------------
+
+    /// Build one fixed three-clock topology, run it with the given
+    /// dispatcher and return (trace, now, cycles per domain).
+    fn trace_with(mode: SchedulerMode) -> (Vec<(String, u64, Time)>, Time, Vec<u64>) {
+        let log: TickLog = Rc::new(RefCell::new(Vec::new()));
+        let resets = Rc::new(RefCell::new(0));
+        let mut sim = Simulator::with_scheduler(mode);
+        let a = sim.add_clock("a", Frequency::mhz(200)); // 5 ns
+        let b = sim.add_clock("b", Frequency::mhz(100)); // 10 ns
+        let c = sim.add_clock("c", Frequency::mhz(125)); // 8 ns
+        sim.add_module(a, probe("a", &log, &resets));
+        sim.add_module(b, probe("b", &log, &resets));
+        sim.add_module(c, probe("c", &log, &resets));
+        sim.run_until(Time::from_ns(333));
+        sim.run_cycles(b, 7);
+        let cycles = vec![sim.cycles(a), sim.cycles(b), sim.cycles(c)];
+        let trace = log.borrow().clone();
+        (trace, sim.now(), cycles)
+    }
+
+    #[test]
+    fn dispatchers_produce_identical_traces() {
+        let scan = trace_with(SchedulerMode::Scan);
+        assert_eq!(scan, trace_with(SchedulerMode::Calendar));
+        assert_eq!(scan, trace_with(SchedulerMode::Heap));
+        assert_eq!(scan, trace_with(SchedulerMode::Auto));
+    }
+
+    #[test]
+    fn auto_uses_calendar_when_phases_align() {
+        let mut sim = Simulator::new();
+        sim.add_clock("a", Frequency::mhz(200));
+        sim.add_clock("b", Frequency::mhz(100));
+        assert_eq!(sim.active_scheduler(), "calendar");
+    }
+
+    #[test]
+    fn auto_falls_back_to_heap_for_wild_periods() {
+        let mut sim = Simulator::new();
+        // 1000017 ps and 1000000 ps are co-prime enough that the
+        // hyperperiod needs millions of slots: past MAX_CALENDAR_EDGES.
+        sim.add_clock("a", Frequency::hz(999_983));
+        sim.add_clock("b", Frequency::mhz(1));
+        assert_eq!(sim.active_scheduler(), "heap");
+    }
+
+    /// Build a phase-misaligned simulator: clocks a (5 ns) and b (7 ns)
+    /// run to b's edge at 14 ns, then clock c (11 ns) joins. No common
+    /// origin fits all three pending edges (15 ns, 21 ns, 25 ns).
+    fn misaligned(mode: SchedulerMode) -> (Simulator, ClockId) {
+        let mut sim = Simulator::with_scheduler(mode);
+        let a = sim.add_clock("a", Frequency::mhz(200)); // 5 ns
+        sim.add_clock("b", Frequency::hz(142_857_143)); // 7 ns
+        sim.run_until(Time::from_ns(14));
+        sim.add_clock("c", Frequency::hz(90_909_091)); // 11 ns
+        (sim, a)
+    }
+
+    #[test]
+    fn late_added_clock_falls_back_to_heap_and_stays_exact() {
+        let run = |mode: SchedulerMode| {
+            let log: TickLog = Rc::new(RefCell::new(Vec::new()));
+            let resets = Rc::new(RefCell::new(0));
+            let (mut sim, a) = misaligned(mode);
+            sim.add_module(a, probe("a", &log, &resets));
+            sim.run_until(Time::from_ns(200));
+            let trace = log.borrow().clone();
+            (trace, sim.now())
+        };
+        let scan = run(SchedulerMode::Scan);
+        assert_eq!(scan, run(SchedulerMode::Auto));
+        assert_eq!(scan, run(SchedulerMode::Heap));
+        let (mut sim, _) = misaligned(SchedulerMode::Auto);
+        assert_eq!(sim.active_scheduler(), "heap");
+    }
+
+    #[test]
+    fn reset_reenables_calendar() {
+        let (mut sim, _) = misaligned(SchedulerMode::Auto);
+        assert_eq!(sim.active_scheduler(), "heap");
+        sim.reset(); // all phases restart from `now`: aligned again
+        assert_eq!(sim.active_scheduler(), "calendar");
+    }
+
+    /// A module that is quiescent from the start; its ticks must be skipped
+    /// but cycle counting and time must be exactly as if it were ticked.
+    struct Idle {
+        ticks: Rc<RefCell<u64>>,
+        quiescent: Rc<RefCell<bool>>,
+    }
+
+    impl Module for Idle {
+        fn name(&self) -> &str {
+            "idle"
+        }
+        fn tick(&mut self, _ctx: &TickContext) {
+            *self.ticks.borrow_mut() += 1;
+        }
+        fn is_quiescent(&self) -> bool {
+            *self.quiescent.borrow()
+        }
+    }
+
+    #[test]
+    fn quiescent_modules_skip_ticks_but_keep_time() {
+        let ticks = Rc::new(RefCell::new(0));
+        let quiescent = Rc::new(RefCell::new(true));
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("c", Frequency::mhz(100));
+        sim.add_module(clk, Idle { ticks: ticks.clone(), quiescent: quiescent.clone() });
+        sim.run_cycles(clk, 1000);
+        assert_eq!(*ticks.borrow(), 0, "quiescent module must not tick");
+        assert_eq!(sim.cycles(clk), 1000);
+        assert_eq!(sim.now(), Time::from_ns(10 * 1000));
+        // Wake it up: ticks resume.
+        *quiescent.borrow_mut() = false;
+        sim.run_cycles(clk, 5);
+        assert_eq!(*ticks.borrow(), 5);
+        assert_eq!(sim.cycles(clk), 1005);
+    }
+
+    #[test]
+    fn fast_forward_matches_naive_run_until() {
+        let run = |idle_skip: bool| {
+            let ticks = Rc::new(RefCell::new(0));
+            let quiescent = Rc::new(RefCell::new(true));
+            let mut sim = Simulator::new();
+            let a = sim.add_clock("a", Frequency::mhz(156)); // 6410 ps
+            let b = sim.add_clock("b", Frequency::mhz(200));
+            sim.set_idle_skip(idle_skip);
+            sim.add_module(a, Idle { ticks: ticks.clone(), quiescent: quiescent.clone() });
+            sim.run_until(Time::from_us(3));
+            (sim.now(), sim.cycles(a), sim.cycles(b))
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn fast_forward_matches_naive_run_cycles() {
+        let run = |idle_skip: bool| {
+            let mut sim = Simulator::new();
+            let a = sim.add_clock("a", Frequency::mhz(156));
+            let b = sim.add_clock("b", Frequency::mhz(200));
+            sim.set_idle_skip(idle_skip);
+            sim.run_cycles(b, 1234);
+            (sim.now(), sim.cycles(a), sim.cycles(b))
+        };
+        assert_eq!(run(true), run(false));
+        // And stepping resumes correctly at the next edge afterwards.
+        let mut sim = Simulator::new();
+        let a = sim.add_clock("a", Frequency::mhz(100));
+        sim.run_cycles(a, 10);
+        assert_eq!(sim.step(), Some(Time::from_ns(110)));
+    }
+
+    #[test]
+    fn fast_forward_then_wake_interleaves_exactly() {
+        // Half the run idle, then wake a probe: the post-wake trace must be
+        // identical to the never-skipped run.
+        let run = |idle_skip: bool| {
+            let log: TickLog = Rc::new(RefCell::new(Vec::new()));
+            let resets = Rc::new(RefCell::new(0));
+            let quiescent = Rc::new(RefCell::new(true));
+            let ticks = Rc::new(RefCell::new(0));
+            let mut sim = Simulator::new();
+            sim.set_idle_skip(idle_skip);
+            let a = sim.add_clock("a", Frequency::mhz(200));
+            let b = sim.add_clock("b", Frequency::mhz(125));
+            sim.add_module(a, Idle { ticks: ticks.clone(), quiescent: quiescent.clone() });
+            sim.run_until(Time::from_ns(1000));
+            // Wake: add an always-active probe by flipping quiescence off.
+            *quiescent.borrow_mut() = false;
+            sim.add_module(b, probe("b", &log, &resets));
+            sim.run_until(Time::from_ns(2000));
+            let trace = log.borrow().clone();
+            // `ticks` itself differs (that is the point of skipping); all
+            // externally observable state must not.
+            (trace, sim.now(), sim.cycles(a), sim.cycles(b))
+        };
+        assert_eq!(run(true), run(false));
     }
 }

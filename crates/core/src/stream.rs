@@ -74,8 +74,8 @@ impl PortMask {
     }
 
     /// Iterate over set port indices in ascending order.
-    pub fn iter(self) -> impl Iterator<Item = u8> {
-        (0u8..16).filter(move |&p| self.contains(p))
+    pub fn iter(self) -> PortIter {
+        PortIter(self.0)
     }
 
     /// The lowest set port, if any.
@@ -87,6 +87,34 @@ impl PortMask {
         }
     }
 }
+
+/// Iterator over the set ports of a [`PortMask`], ascending. Strips one set
+/// bit per `next` (`trailing_zeros` + clear-lowest) instead of probing all
+/// 16 positions — this sits on the per-packet fan-out path.
+#[derive(Debug, Clone)]
+pub struct PortIter(u16);
+
+impl Iterator for PortIter {
+    type Item = u8;
+
+    fn next(&mut self) -> Option<u8> {
+        if self.0 == 0 {
+            return None;
+        }
+        let port = self.0.trailing_zeros() as u8;
+        self.0 &= self.0 - 1;
+        Some(port)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for PortIter {}
+
+impl std::iter::FusedIterator for PortIter {}
 
 /// The `tuser` sideband metadata attached to the first word of a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -221,6 +249,25 @@ impl StreamTx {
     pub fn capacity(&self) -> usize {
         self.shared.borrow().capacity
     }
+
+    /// Push as many words as fit from the front of `words`, consuming them.
+    /// Returns the number pushed (possibly zero). One borrow for the whole
+    /// burst instead of a `can_push`/`push` pair per word — the fast path
+    /// for modules allowed to move whole packets per cycle.
+    pub fn push_burst(&self, words: &mut VecDeque<Word>) -> usize {
+        let mut s = self.shared.borrow_mut();
+        let n = words.len().min(s.capacity - s.queue.len());
+        for _ in 0..n {
+            let word = words.pop_front().expect("counted above");
+            assert!(word.len() <= s.width, "word wider than stream bus");
+            s.pushed_words += 1;
+            if word.sop {
+                s.pushed_packets += 1;
+            }
+            s.queue.push_back(word);
+        }
+        n
+    }
 }
 
 /// Consumer handle: the `tvalid`-checking side.
@@ -268,6 +315,40 @@ impl StreamRx {
     /// Total packets ever pushed.
     pub fn total_packets(&self) -> u64 {
         self.shared.borrow().pushed_packets
+    }
+
+    /// Pop up to `max` words into `out`, one borrow for the whole burst.
+    /// Returns the number popped (possibly zero).
+    pub fn pop_burst(&self, max: usize, out: &mut Vec<Word>) -> usize {
+        let mut s = self.shared.borrow_mut();
+        let n = max.min(s.queue.len());
+        out.extend(s.queue.drain(..n));
+        s.popped_words += n as u64;
+        n
+    }
+
+    /// Move up to `max` words from this stream directly into `tx`, bounded
+    /// by both occupancy and downstream space. Returns the number moved.
+    /// The degenerate self-transfer (both handles on the same channel) is a
+    /// no-op, matching what a per-word pop/push loop would observe.
+    pub fn transfer_up_to(&self, tx: &StreamTx, max: usize) -> usize {
+        if Rc::ptr_eq(&self.shared, &tx.shared) {
+            return 0;
+        }
+        let mut src = self.shared.borrow_mut();
+        let mut dst = tx.shared.borrow_mut();
+        let n = max.min(src.queue.len()).min(dst.capacity - dst.queue.len());
+        for _ in 0..n {
+            let word = src.queue.pop_front().expect("counted above");
+            assert!(word.len() <= dst.width, "word wider than stream bus");
+            src.popped_words += 1;
+            dst.pushed_words += 1;
+            if word.sop {
+                dst.pushed_packets += 1;
+            }
+            dst.queue.push_back(word);
+        }
+        n
     }
 }
 
@@ -373,6 +454,53 @@ mod tests {
         assert!(rx.pop().is_none());
         assert_eq!(rx.total_pushed(), 2);
         assert_eq!(rx.total_packets(), 1);
+    }
+
+    #[test]
+    fn burst_push_pop_respect_bounds() {
+        let (tx, rx) = Stream::new(4, 8);
+        let mut words: VecDeque<Word> =
+            (0..6u8).map(|i| Word::new(&[i], i == 0, i == 5, None)).collect();
+        // Only 4 of 6 fit.
+        assert_eq!(tx.push_burst(&mut words), 4);
+        assert_eq!(words.len(), 2);
+        assert_eq!(rx.occupancy(), 4);
+        assert_eq!(rx.total_pushed(), 4);
+        assert_eq!(rx.total_packets(), 1);
+        assert_eq!(tx.push_burst(&mut words), 0);
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_burst(3, &mut out), 3);
+        assert_eq!(out.iter().map(|w| w.bytes()[0]).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(rx.occupancy(), 1);
+        // Freed space admits the stragglers.
+        assert_eq!(tx.push_burst(&mut words), 2);
+        assert_eq!(rx.pop_burst(10, &mut out), 3);
+        assert_eq!(out.len(), 6);
+        assert_eq!(rx.pop_burst(10, &mut out), 0);
+    }
+
+    #[test]
+    fn transfer_up_to_moves_words_and_counters() {
+        let (tx_a, rx_a) = Stream::new(8, 8);
+        let (tx_b, rx_b) = Stream::new(2, 8);
+        for i in 0..5u8 {
+            tx_a.push(Word::new(&[i], i == 0, i == 4, None));
+        }
+        // Destination space (2) binds first.
+        assert_eq!(rx_a.transfer_up_to(&tx_b, 4), 2);
+        assert_eq!(rx_a.occupancy(), 3);
+        assert_eq!(rx_b.occupancy(), 2);
+        assert_eq!(rx_b.total_pushed(), 2);
+        assert_eq!(rx_b.total_packets(), 1);
+        assert_eq!(rx_b.pop().unwrap().bytes(), &[0]);
+        assert_eq!(rx_b.pop().unwrap().bytes(), &[1]);
+        // Then the cap, then the source occupancy.
+        assert_eq!(rx_a.transfer_up_to(&tx_b, 1), 1);
+        assert_eq!(rx_b.pop().unwrap().bytes(), &[2]);
+        assert_eq!(rx_a.transfer_up_to(&tx_b, 10), 2);
+        assert_eq!(rx_a.occupancy(), 0);
+        // Self-transfer is a no-op, not a RefCell panic.
+        assert_eq!(rx_b.transfer_up_to(&tx_b, 10), 0);
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub struct InputArbiter {
     locked: Option<usize>,
     packets: u64,
     words: u64,
+    /// Burst fast path: move every available word per tick instead of one.
+    burst: bool,
 }
 
 impl InputArbiter {
@@ -35,7 +37,46 @@ impl InputArbiter {
             locked: None,
             packets: 0,
             words: 0,
+            burst: false,
         }
+    }
+
+    /// Enable the burst fast path: each tick forwards every word it can
+    /// (across multiple packets) instead of one word per cycle. Packet
+    /// integrity and round-robin fairness at packet granularity are
+    /// unchanged; only the cycle-level pacing is collapsed.
+    pub fn with_burst(mut self, enabled: bool) -> InputArbiter {
+        self.burst = enabled;
+        self
+    }
+
+    /// Forward words from the locked or round-robin-selected input until
+    /// output space, input data or the per-tick word budget runs out.
+    /// Returns false when no further progress is possible this tick.
+    fn forward_one(&mut self) -> bool {
+        if !self.output.can_push() {
+            return false;
+        }
+        // Choose the source: locked input, or next non-empty one.
+        let source = match self.locked {
+            Some(i) => Some(i),
+            None => {
+                let n = self.inputs.len();
+                (0..n).map(|k| (self.next + k) % n).find(|&i| self.inputs[i].can_pop())
+            }
+        };
+        let Some(i) = source else { return false };
+        let Some(word) = self.inputs[i].pop() else { return false };
+        self.words += 1;
+        if word.eop {
+            self.packets += 1;
+            self.locked = None;
+            self.next = (i + 1) % self.inputs.len();
+        } else {
+            self.locked = Some(i);
+        }
+        self.output.push(word);
+        true
     }
 
     /// Packets fully forwarded.
@@ -55,28 +96,11 @@ impl Module for InputArbiter {
     }
 
     fn tick(&mut self, _ctx: &TickContext) {
-        if !self.output.can_push() {
-            return;
-        }
-        // Choose the source: locked input, or next non-empty one.
-        let source = match self.locked {
-            Some(i) => Some(i),
-            None => {
-                let n = self.inputs.len();
-                (0..n).map(|k| (self.next + k) % n).find(|&i| self.inputs[i].can_pop())
+        while self.forward_one() {
+            if !self.burst {
+                break;
             }
-        };
-        let Some(i) = source else { return };
-        let Some(word) = self.inputs[i].pop() else { return };
-        self.words += 1;
-        if word.eop {
-            self.packets += 1;
-            self.locked = None;
-            self.next = (i + 1) % self.inputs.len();
-        } else {
-            self.locked = Some(i);
         }
-        self.output.push(word);
     }
 
     fn reset(&mut self) {
@@ -84,6 +108,12 @@ impl Module for InputArbiter {
         self.locked = None;
         self.packets = 0;
         self.words = 0;
+    }
+
+    /// Idle when every input is empty: with nothing to pop, a tick cannot
+    /// move a word regardless of lock or output state.
+    fn is_quiescent(&self) -> bool {
+        self.inputs.iter().all(|rx| !rx.can_pop())
     }
 }
 

@@ -54,6 +54,9 @@ struct PortState {
     queues: Vec<ByteFifo<(Vec<u8>, Meta)>>,
     scheduler: Box<dyn Scheduler>,
     emitting: VecDeque<Word>,
+    /// Scratch buffer for scheduler views, reused across ticks so the
+    /// egress path allocates nothing in steady state.
+    views: Vec<QueueView>,
 }
 
 /// The 1-to-N output-queue stage. See module docs.
@@ -65,6 +68,8 @@ pub struct OutputQueues {
     classifier: Classifier,
     reasm: Reassembler,
     stats: OutputQueueStats,
+    /// Burst fast path: move every available word per tick instead of one.
+    burst: bool,
 }
 
 impl OutputQueues {
@@ -86,6 +91,7 @@ impl OutputQueues {
                     .collect(),
                 scheduler: make_scheduler(),
                 emitting: VecDeque::new(),
+                views: Vec::with_capacity(config.classes),
             })
             .collect();
         OutputQueues {
@@ -96,7 +102,18 @@ impl OutputQueues {
             classifier: config.classifier,
             reasm: Reassembler::new(),
             stats: OutputQueueStats::default(),
+            burst: false,
         }
+    }
+
+    /// Enable the burst fast path: each tick ingests every buffered input
+    /// word and fills each egress stream to capacity, rather than moving
+    /// one word per cycle. Egress ordering, scheduling decisions and drops
+    /// are unchanged; only the cycle-level pacing is collapsed, so enable
+    /// it when throughput matters more than per-cycle timing fidelity.
+    pub fn with_burst(mut self, enabled: bool) -> OutputQueues {
+        self.burst = enabled;
+        self
     }
 
     /// Counters so far.
@@ -113,6 +130,54 @@ impl OutputQueues {
     pub fn drops(&self, port: usize, class: usize) -> u64 {
         self.ports[port].queues[class].counts().2
     }
+
+    /// Fan a completed packet out to its destination queues.
+    fn deliver(&mut self, packet: Vec<u8>, meta: Meta) {
+        if meta.dst_ports.is_empty() {
+            self.stats.no_destination += 1;
+            return;
+        }
+        let class = (self.classifier)(&packet, &meta);
+        for port in meta.dst_ports.iter() {
+            let Some(state) = self.ports.get_mut(usize::from(port)) else {
+                continue; // mask names a port this stage lacks
+            };
+            let class = class.min(state.queues.len() - 1);
+            let len = packet.len();
+            if state.queues[class].push(len, (packet.clone(), meta)) {
+                state.scheduler.on_enqueue(class, len);
+                self.stats.enqueued += 1;
+            } else {
+                self.stats.dropped += 1;
+            }
+        }
+    }
+
+    /// Ask port `i`'s scheduler for the next packet and stage its words for
+    /// emission. Returns false when every class queue is empty.
+    fn refill_emitting(&mut self, i: usize) -> bool {
+        let width = self.outputs[i].width();
+        let state = &mut self.ports[i];
+        if state.queues.iter().all(|q| q.is_empty()) {
+            return false;
+        }
+        state.views.clear();
+        state.views.extend(state.queues.iter().map(|q| QueueView {
+            packets: q.len(),
+            head_bytes: q.front().map(|(_, len)| len),
+        }));
+        let Some(class) = state.scheduler.select(&state.views) else {
+            return false;
+        };
+        let (packet, mut meta) =
+            state.queues[class].pop().expect("scheduler picked empty queue");
+        state.scheduler.on_dequeue(class, packet.len());
+        self.stats.dequeued += 1;
+        // Narrow the mask to this port for the egress copy.
+        meta.dst_ports = netfpga_core::stream::PortMask::single(i as u8);
+        self.ports[i].emitting = segment(&packet, width, meta).into();
+        true
+    }
 }
 
 impl Module for OutputQueues {
@@ -121,55 +186,36 @@ impl Module for OutputQueues {
     }
 
     fn tick(&mut self, _ctx: &TickContext) {
-        // Ingest one word per cycle; on packet completion, fan out.
-        if let Some(word) = self.input.pop() {
+        // Ingest one word per cycle (every buffered word in burst mode);
+        // on packet completion, fan out.
+        while let Some(word) = self.input.pop() {
             if let Some((packet, meta)) = self.reasm.push(word) {
-                if meta.dst_ports.is_empty() {
-                    self.stats.no_destination += 1;
-                } else {
-                    let class = (self.classifier)(&packet, &meta);
-                    for port in meta.dst_ports.iter() {
-                        let Some(state) = self.ports.get_mut(usize::from(port)) else {
-                            continue; // mask names a port this stage lacks
-                        };
-                        let class = class.min(state.queues.len() - 1);
-                        let len = packet.len();
-                        if state.queues[class].push(len, (packet.clone(), meta)) {
-                            state.scheduler.on_enqueue(class, len);
-                            self.stats.enqueued += 1;
-                        } else {
-                            self.stats.dropped += 1;
-                        }
-                    }
-                }
+                self.deliver(packet, meta);
+            }
+            if !self.burst {
+                break;
             }
         }
 
-        // Egress: each port independently emits one word per cycle.
-        for (i, state) in self.ports.iter_mut().enumerate() {
-            if state.emitting.is_empty() {
-                let views: Vec<QueueView> = state
-                    .queues
-                    .iter()
-                    .map(|q| QueueView {
-                        packets: q.len(),
-                        head_bytes: q.front().map(|(_, len)| len),
-                    })
-                    .collect();
-                if let Some(class) = state.scheduler.select(&views) {
-                    let (packet, mut meta) =
-                        state.queues[class].pop().expect("scheduler picked empty queue");
-                    state.scheduler.on_dequeue(class, packet.len());
-                    self.stats.dequeued += 1;
-                    // Narrow the mask to this port for the egress copy.
-                    meta.dst_ports = netfpga_core::stream::PortMask::single(i as u8);
-                    state.emitting = segment(&packet, self.outputs[i].width(), meta).into();
+        // Egress: each port independently emits one word per cycle, or
+        // drains packets until the egress stream fills in burst mode.
+        for i in 0..self.ports.len() {
+            loop {
+                if self.ports[i].emitting.is_empty() && !self.refill_emitting(i) {
+                    break;
                 }
-            }
-            if let Some(word) = state.emitting.front() {
-                if self.outputs[i].can_push() {
-                    self.outputs[i].push(*word);
-                    state.emitting.pop_front();
+                if self.burst {
+                    self.outputs[i].push_burst(&mut self.ports[i].emitting);
+                    if !self.ports[i].emitting.is_empty() {
+                        break; // downstream full: resume next tick
+                    }
+                } else {
+                    let word = *self.ports[i].emitting.front().expect("refilled above");
+                    if self.outputs[i].can_push() {
+                        self.outputs[i].push(word);
+                        self.ports[i].emitting.pop_front();
+                    }
+                    break;
                 }
             }
         }
@@ -184,6 +230,17 @@ impl Module for OutputQueues {
             }
             p.emitting.clear();
         }
+    }
+
+    /// Idle when nothing is buffered anywhere and every scheduler is
+    /// event-driven: the next effect can only come from new input.
+    fn is_quiescent(&self) -> bool {
+        !self.input.can_pop()
+            && self.ports.iter().all(|p| {
+                p.emitting.is_empty()
+                    && p.scheduler.event_driven()
+                    && p.queues.iter().all(|q| q.is_empty())
+            })
     }
 }
 

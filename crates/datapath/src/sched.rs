@@ -33,6 +33,15 @@ pub trait Scheduler {
         let _ = (queue, bytes);
     }
 
+    /// True if the scheduler's decisions depend only on enqueue/dequeue
+    /// events, never on wall-clock time. Event-driven schedulers (all the
+    /// ones here) let the owning stage report quiescent to the simulator
+    /// when its queues are empty, enabling idle fast-forward. A shaper that
+    /// releases packets on a timer must return `false`.
+    fn event_driven(&self) -> bool {
+        true
+    }
+
     /// Stable name for reports.
     fn name(&self) -> &'static str;
 }

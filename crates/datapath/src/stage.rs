@@ -73,6 +73,8 @@ pub struct PacketStage<L: PacketLogic> {
     /// Cap on buffered processed packets before input stalls.
     max_ready: usize,
     stats: StageStats,
+    /// Burst fast path: move every available word per tick instead of one.
+    burst: bool,
 }
 
 impl<L: PacketLogic> PacketStage<L> {
@@ -95,7 +97,18 @@ impl<L: PacketLogic> PacketStage<L> {
             emitting: VecDeque::new(),
             max_ready: 4,
             stats: StageStats::default(),
+            burst: false,
         }
+    }
+
+    /// Enable the burst fast path: each tick ingests every buffered input
+    /// word and emits released packets until the output fills, instead of
+    /// moving one word per cycle. Packet ordering, logic decisions and the
+    /// pipeline-latency release rule are unchanged; only the cycle-level
+    /// pacing is collapsed.
+    pub fn with_burst(mut self, enabled: bool) -> PacketStage<L> {
+        self.burst = enabled;
+        self
     }
 
     /// Counters so far.
@@ -121,40 +134,54 @@ impl<L: PacketLogic> Module for PacketStage<L> {
     }
 
     fn tick(&mut self, ctx: &TickContext) {
-        // Ingest one word per cycle unless too much is buffered.
-        if self.ready.len() < self.max_ready {
-            if let Some(word) = self.input.pop() {
-                if let Some((mut packet, mut meta)) = self.reasm.push(word) {
-                    self.stats.in_packets += 1;
-                    match self.logic.process(&mut packet, &mut meta, ctx.now) {
-                        StageAction::Forward => {
-                            assert!(!packet.is_empty(), "logic emptied packet");
-                            meta.len = packet.len() as u16;
-                            let words = segment(&packet, self.output.width(), meta);
-                            self.ready
-                                .push_back((ctx.cycle + self.latency_cycles, words.into()));
-                            self.stats.forwarded += 1;
-                        }
-                        StageAction::Drop => {
-                            self.stats.dropped += 1;
-                        }
+        // Ingest one word per cycle unless too much is buffered; in burst
+        // mode, keep ingesting while words are buffered upstream.
+        while self.ready.len() < self.max_ready {
+            let Some(word) = self.input.pop() else { break };
+            if let Some((mut packet, mut meta)) = self.reasm.push(word) {
+                self.stats.in_packets += 1;
+                match self.logic.process(&mut packet, &mut meta, ctx.now) {
+                    StageAction::Forward => {
+                        assert!(!packet.is_empty(), "logic emptied packet");
+                        meta.len = packet.len() as u16;
+                        let words = segment(&packet, self.output.width(), meta);
+                        self.ready
+                            .push_back((ctx.cycle + self.latency_cycles, words.into()));
+                        self.stats.forwarded += 1;
+                    }
+                    StageAction::Drop => {
+                        self.stats.dropped += 1;
                     }
                 }
             }
-        }
-
-        // Emit one word per cycle.
-        if self.emitting.is_empty() {
-            if let Some(&(release, _)) = self.ready.front() {
-                if release <= ctx.cycle {
-                    self.emitting = self.ready.pop_front().expect("front exists").1;
-                }
+            if !self.burst {
+                break;
             }
         }
-        if let Some(word) = self.emitting.front() {
-            if self.output.can_push() {
-                self.output.push(*word);
-                self.emitting.pop_front();
+
+        // Emit one word per cycle; in burst mode, emit released packets
+        // until the output fills or nothing releasable remains.
+        loop {
+            if self.emitting.is_empty() {
+                match self.ready.front() {
+                    Some(&(release, _)) if release <= ctx.cycle => {
+                        self.emitting = self.ready.pop_front().expect("front exists").1;
+                    }
+                    _ => break,
+                }
+            }
+            if self.burst {
+                self.output.push_burst(&mut self.emitting);
+                if !self.emitting.is_empty() {
+                    break; // downstream full: resume next tick
+                }
+            } else {
+                let word = *self.emitting.front().expect("non-empty");
+                if self.output.can_push() {
+                    self.output.push(word);
+                    self.emitting.pop_front();
+                }
+                break;
             }
         }
     }
@@ -165,6 +192,13 @@ impl<L: PacketLogic> Module for PacketStage<L> {
         self.emitting.clear();
         self.stats = StageStats::default();
         self.logic.reset();
+    }
+
+    /// Idle when there is nothing to ingest and nothing staged for
+    /// emission. `ready` must be empty too: packets there wait on a
+    /// release *cycle*, which is time-dependent work.
+    fn is_quiescent(&self) -> bool {
+        !self.input.can_pop() && self.ready.is_empty() && self.emitting.is_empty()
     }
 }
 

@@ -479,7 +479,7 @@ mod tests {
                 protocol: IpProtocol::from(proto),
                 payload_len: plen,
                 ttl, dscp, ident,
-                dont_frag: ident % 2 == 0,
+                dont_frag: ident.is_multiple_of(2),
             };
             let mut buf = vec![0u8; repr.total_len()];
             repr.emit(&mut buf).unwrap();

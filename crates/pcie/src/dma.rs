@@ -195,6 +195,16 @@ impl Module for DmaEngine {
         r.rx.clear();
         r.stats = DmaStats::default();
     }
+
+    /// Idle when both directions have nothing queued: no TX descriptors,
+    /// no partially injected packet, and no card words to absorb. The
+    /// `free_at` pacing marks are irrelevant then — with empty queues a
+    /// tick is a no-op at any future instant too.
+    fn is_quiescent(&self) -> bool {
+        self.inject.is_empty()
+            && !self.from_card.can_pop()
+            && self.rings.borrow().tx.is_empty()
+    }
 }
 
 #[cfg(test)]

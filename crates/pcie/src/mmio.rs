@@ -130,6 +130,14 @@ impl Module for MmioBridge {
         s.requests.clear();
         s.completions.clear();
     }
+
+    /// Idle when no request is outstanding. Hosts post requests between
+    /// simulation runs (and chassis-style harnesses wait for completions
+    /// with `run_while`, which never fast-forwards), so an empty queue
+    /// means every future tick is a no-op too.
+    fn is_quiescent(&self) -> bool {
+        self.port.shared.borrow().requests.is_empty()
+    }
 }
 
 #[cfg(test)]

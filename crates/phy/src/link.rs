@@ -110,6 +110,14 @@ impl Module for Link {
         self.rng = SimRng::new(self.config.seed);
         self.stats = LinkStats::default();
     }
+
+    /// Idle when the source wire holds no frames at all. A frame that has
+    /// not finished serializing yet still counts as work: it becomes ready
+    /// at a future instant, which a fast-forwarding simulator must not
+    /// skip past.
+    fn is_quiescent(&self) -> bool {
+        self.from.is_empty()
+    }
 }
 
 #[cfg(test)]

@@ -127,6 +127,8 @@ pub struct EthMacTx {
     /// IFG); the next frame cannot finish before this plus its own time.
     line_busy_until: Time,
     stats: SharedMacStats,
+    /// Burst fast path: ingest every available word per tick instead of one.
+    burst: bool,
 }
 
 impl EthMacTx {
@@ -142,6 +144,7 @@ impl EthMacTx {
                 reasm: Reassembler::new(),
                 line_busy_until: Time::ZERO,
                 stats: stats.clone(),
+                burst: false,
             },
             stats.clone(),
         )
@@ -151,6 +154,16 @@ impl EthMacTx {
     pub fn rate(&self) -> BitRate {
         self.rate
     }
+
+    /// Enable the burst fast path: each tick drains every datapath word the
+    /// back-pressure budget allows instead of one per cycle. Frame pacing on
+    /// the wire is still computed from the line rate and stays exact under
+    /// sustained load (`line_busy_until` dominates); only a cold first
+    /// frame's start may shift earlier by a few datapath cycles.
+    pub fn with_burst(mut self, enabled: bool) -> EthMacTx {
+        self.burst = enabled;
+        self
+    }
 }
 
 impl Module for EthMacTx {
@@ -159,17 +172,19 @@ impl Module for EthMacTx {
     }
 
     fn tick(&mut self, ctx: &TickContext) {
-        // Back-pressure: refuse new frames while more than TX_FIFO_BYTES of
-        // wire time is already committed. Mid-frame words always flow (a
-        // started frame must finish).
-        if !self.reasm.mid_packet() {
-            let backlog_limit = self.rate.time_for_bytes(TX_FIFO_BYTES);
-            if self.line_busy_until > ctx.now + backlog_limit {
-                return;
+        loop {
+            // Back-pressure: refuse new frames while more than
+            // TX_FIFO_BYTES of wire time is already committed. Mid-frame
+            // words always flow (a started frame must finish).
+            if !self.reasm.mid_packet() {
+                let backlog_limit = self.rate.time_for_bytes(TX_FIFO_BYTES);
+                if self.line_busy_until > ctx.now + backlog_limit {
+                    return;
+                }
             }
-        }
-        // One word per cycle from the datapath.
-        if let Some(word) = self.input.pop() {
+            // One word per cycle from the datapath (all of them in burst
+            // mode, re-checking the backlog at every frame boundary).
+            let Some(word) = self.input.pop() else { return };
             if let Some((data, _meta)) = self.reasm.push(word) {
                 let len = data.len() as u64;
                 let occupancy = self.rate.time_for_bytes(wire_bytes(len));
@@ -186,6 +201,9 @@ impl Module for EthMacTx {
                 s.bytes += len;
                 s.wire_bytes += wire_bytes(len);
             }
+            if !self.burst {
+                return;
+            }
         }
     }
 
@@ -193,6 +211,12 @@ impl Module for EthMacTx {
         self.reasm = Reassembler::new();
         self.line_busy_until = Time::ZERO;
         *self.stats.0.borrow_mut() = MacStats::default();
+    }
+
+    /// Idle when the datapath has no word for us: the backlog gate and wire
+    /// schedule only change when a word is consumed.
+    fn is_quiescent(&self) -> bool {
+        !self.input.can_pop()
     }
 }
 
@@ -204,6 +228,9 @@ pub struct EthMacRx {
     src_port: u8,
     pending: VecDeque<netfpga_core::stream::Word>,
     stats: SharedMacStats,
+    /// Burst fast path: deliver every arrived frame per tick instead of
+    /// one word per cycle.
+    burst: bool,
 }
 
 impl EthMacRx {
@@ -219,9 +246,19 @@ impl EthMacRx {
                 src_port,
                 pending: VecDeque::new(),
                 stats: stats.clone(),
+                burst: false,
             },
             stats.clone(),
         )
+    }
+
+    /// Enable the burst fast path: each tick segments every fully-arrived
+    /// frame and pushes words until the datapath stream fills, instead of
+    /// one word per cycle. Frame order and ingress timestamps (taken from
+    /// wire arrival) are unchanged.
+    pub fn with_burst(mut self, enabled: bool) -> EthMacRx {
+        self.burst = enabled;
+        self
     }
 }
 
@@ -231,9 +268,11 @@ impl Module for EthMacRx {
     }
 
     fn tick(&mut self, ctx: &TickContext) {
-        // Fetch the next fully-arrived frame once the previous is segmented.
-        if self.pending.is_empty() {
-            if let Some(frame) = self.wire.take_ready(ctx.now) {
+        loop {
+            // Fetch the next fully-arrived frame once the previous is
+            // segmented.
+            if self.pending.is_empty() {
+                let Some(frame) = self.wire.take_ready(ctx.now) else { break };
                 // A frame the datapath cannot absorb *at all* (wider than
                 // the whole FIFO) would wedge; the reference designs size
                 // FIFOs for max frames, so here we only need per-word
@@ -251,11 +290,20 @@ impl Module for EthMacRx {
                 s.wire_bytes += wire_bytes(frame.data.len() as u64);
                 self.pending = segment(&frame.data, self.output.width(), meta).into();
             }
-        }
-        if let Some(word) = self.pending.front() {
-            if self.output.can_push() {
-                self.output.push(*word);
-                self.pending.pop_front();
+            if self.burst {
+                self.output.push_burst(&mut self.pending);
+                if !self.pending.is_empty() {
+                    break; // datapath full: resume next tick
+                }
+            } else {
+                if let Some(word) = self.pending.front() {
+                    if self.output.can_push() {
+                        let w = *word;
+                        self.output.push(w);
+                        self.pending.pop_front();
+                    }
+                }
+                break;
             }
         }
     }
@@ -263,6 +311,13 @@ impl Module for EthMacRx {
     fn reset(&mut self) {
         self.pending.clear();
         *self.stats.0.borrow_mut() = MacStats::default();
+    }
+
+    /// Idle only when no words are staged *and* the wire is completely
+    /// empty: an in-flight frame with a future `ready_at` is scheduled
+    /// (time-dependent) work, so it blocks quiescence.
+    fn is_quiescent(&self) -> bool {
+        self.pending.is_empty() && self.wire.is_empty()
     }
 }
 

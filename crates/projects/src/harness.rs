@@ -62,6 +62,21 @@ impl Chassis {
     /// Build a chassis for `nports` Ethernet ports of `spec`'s board: MACs
     /// at each port, core clock and bus width from the spec.
     pub fn new(spec: &BoardSpec, nports: usize, map: AddressMap) -> (Chassis, ChassisIo) {
+        Chassis::with_fast_path(spec, nports, map, false)
+    }
+
+    /// Like [`Chassis::new`], with the kernel fast path optionally enabled:
+    /// the edge MACs run in burst mode (whole frames per tick instead of
+    /// one word per cycle). Frame contents, ordering and — under sustained
+    /// load — wire pacing are unchanged; word-level timing inside the
+    /// pipeline is not cycle-exact. Projects built on a fast-path chassis
+    /// should enable burst mode on their own stages too.
+    pub fn with_fast_path(
+        spec: &BoardSpec,
+        nports: usize,
+        map: AddressMap,
+        fast_path: bool,
+    ) -> (Chassis, ChassisIo) {
         assert!((1..=16).contains(&nports), "1..=16 ports");
         let mut sim = Simulator::new();
         let clk = sim.add_clock("core", spec.core_clock);
@@ -95,8 +110,8 @@ impl Chassis {
                 EthMacRx::new(&format!("mac{i}_rx"), to_board.clone(), rx_tx, i as u8);
             let (mac_tx, tstat) =
                 EthMacTx::new(&format!("mac{i}_tx"), rate, tx_rx, from_board.clone());
-            sim.add_module(clk, mac_rx);
-            sim.add_module(clk, mac_tx);
+            sim.add_module(clk, mac_rx.with_burst(fast_path));
+            sim.add_module(clk, mac_tx.with_burst(fast_path));
             ports.push(TesterPort { to_board, from_board, rate, next_free: Time::ZERO });
             from_ports.push(rx_rx);
             to_ports.push(tx_tx);

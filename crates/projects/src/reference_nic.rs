@@ -30,16 +30,26 @@ pub struct ReferenceNic {
 impl ReferenceNic {
     /// Build the NIC on `spec` with `nports` ports.
     pub fn new(spec: &BoardSpec, nports: usize) -> ReferenceNic {
+        ReferenceNic::with_fast_path(spec, nports, false)
+    }
+
+    /// Like [`ReferenceNic::new`], with the kernel fast path optionally
+    /// enabled: MACs, arbiter, stats and output queues run in burst mode
+    /// (whole packets per tick). Delivered packets, ports and counters are
+    /// identical; cycle-level pacing inside the pipeline is collapsed.
+    pub fn with_fast_path(spec: &BoardSpec, nports: usize, fast_path: bool) -> ReferenceNic {
         let map = AddressMap::new();
-        let (mut chassis, io) = Chassis::new(spec, nports, map);
+        let (mut chassis, io) = Chassis::with_fast_path(spec, nports, map, fast_path);
         let ChassisIo { from_ports, to_ports } = io;
         let w = chassis.bus_width();
 
         // RX path: ports -> arbiter -> stats -> DMA(c2h).
         let (arb_tx, arb_rx) = Stream::new(64, w);
-        let arbiter = InputArbiter::new("input_arbiter", from_ports, arb_tx);
+        let arbiter =
+            InputArbiter::new("input_arbiter", from_ports, arb_tx).with_burst(fast_path);
         let (stats_tx, stats_rx) = Stream::new(64, w);
         let (stats_stage, rx_stats) = StatsStage::new("rx_stats", arb_rx, stats_tx, nports);
+        let stats_stage = stats_stage.with_burst(fast_path);
 
         // TX path: DMA(h2c) -> output queues -> ports.
         let (h2c_tx, h2c_rx) = Stream::new(64, w);
@@ -49,7 +59,8 @@ impl ReferenceNic {
             to_ports,
             QueueConfig::default(),
             || Box::new(Fifo),
-        );
+        )
+        .with_burst(fast_path);
 
         chassis.add_module(arbiter);
         chassis.add_module(stats_stage);

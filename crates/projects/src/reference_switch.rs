@@ -92,7 +92,25 @@ impl ReferenceSwitch {
         table_capacity: usize,
         age_limit: Time,
     ) -> ReferenceSwitch {
-        let (mut chassis, io) = Chassis::new(spec, nports, AddressMap::new());
+        ReferenceSwitch::with_fast_path(spec, nports, table_capacity, age_limit, false)
+    }
+
+    /// Like [`ReferenceSwitch::new`], with the kernel fast path optionally
+    /// enabled: every pipeline stage and edge MAC runs in burst mode
+    /// (whole packets per tick). Forwarding behaviour — learning, flooding,
+    /// drops, per-port delivery — is identical; only cycle-level pacing
+    /// inside the pipeline is collapsed, so use the default build when
+    /// cycle-exact latency matters and this one for long functional or
+    /// throughput runs.
+    pub fn with_fast_path(
+        spec: &BoardSpec,
+        nports: usize,
+        table_capacity: usize,
+        age_limit: Time,
+        fast_path: bool,
+    ) -> ReferenceSwitch {
+        let (mut chassis, io) =
+            Chassis::with_fast_path(spec, nports, AddressMap::new(), fast_path);
         let ChassisIo { from_ports, to_ports } = io;
         let w = chassis.bus_width();
 
@@ -103,9 +121,11 @@ impl ReferenceSwitch {
         )));
 
         let (arb_tx, arb_rx) = Stream::new(64, w);
-        let arbiter = InputArbiter::new("input_arbiter", from_ports, arb_tx);
+        let arbiter =
+            InputArbiter::new("input_arbiter", from_ports, arb_tx).with_burst(fast_path);
         let (stats_tx, stats_rx) = Stream::new(64, w);
         let (stats_stage, rx_stats) = StatsStage::new("rx_stats", arb_rx, stats_tx, nports);
+        let stats_stage = stats_stage.with_burst(fast_path);
         let (lookup_tx, lookup_rx) = Stream::new(64, w);
         let lookup = PacketStage::new(
             "switch_lookup",
@@ -113,14 +133,16 @@ impl ReferenceSwitch {
             lookup_tx,
             LOOKUP_LATENCY,
             SwitchLookup { core: core.clone() },
-        );
+        )
+        .with_burst(fast_path);
         let oq = OutputQueues::new(
             "output_queues",
             lookup_rx,
             to_ports,
             QueueConfig::default(),
             || Box::new(Fifo),
-        );
+        )
+        .with_burst(fast_path);
 
         chassis.add_module(arbiter);
         chassis.add_module(stats_stage);
@@ -268,6 +290,42 @@ mod tests {
         sw.chassis.send(0, frame(1, 2));
         sw.chassis.run_for(Time::from_us(10));
         assert_eq!(sw.chassis.read32(LOOKUP_BASE + 4), 2, "flood after flush");
+    }
+
+    /// The burst fast path must be functionally invisible: the same
+    /// traffic pattern produces the same frames on the same ports, the
+    /// same learning-table evolution, and the same register counters as
+    /// the cycle-paced build.
+    #[test]
+    fn fast_path_is_functionally_identical() {
+        let run = |fast: bool| {
+            let mut sw = ReferenceSwitch::with_fast_path(
+                &BoardSpec::sume(),
+                4,
+                1024,
+                Time::from_ms(100),
+                fast,
+            );
+            // A mixed workload: floods, learned unicasts, a broadcast and
+            // a hairpin drop, phased so learning order is deterministic.
+            let flows = [(0, 1, 2), (2, 2, 1), (1, 3, 2), (0, 1, 3), (3, 4, 1)];
+            for &(port, src, dst) in &flows {
+                sw.chassis.send(port, frame(src, dst));
+                sw.chassis.run_for(Time::from_us(10));
+            }
+            sw.chassis.send(0, frame(3, 1)); // hairpin: dst learned on port 0
+            for _ in 0..20 {
+                sw.chassis.send(1, frame(3, 2)); // sustained unicast burst
+            }
+            sw.chassis.run_for(Time::from_us(50));
+            let per_port: Vec<Vec<Vec<u8>>> = (0..4).map(|p| sw.chassis.recv(p)).collect();
+            let hits = sw.chassis.read32(LOOKUP_BASE);
+            let floods = sw.chassis.read32(LOOKUP_BASE + 4);
+            let learned = sw.chassis.read32(LOOKUP_BASE + 8);
+            let rx_packets = sw.chassis.read32(STATS_BASE);
+            (per_port, hits, floods, learned, rx_packets)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -131,6 +131,149 @@ proptest! {
     }
 }
 
+/// Support for the kernel-equivalence property below: tiny modules and a
+/// frequency palette that mixes phase-aligned clocks (calendar-friendly),
+/// odd periods, and a near-coprime slow clock that blows the hyperperiod
+/// cap (forcing the heap fallback).
+mod kernel {
+    use netfpga_core::sim::{Module, TickContext};
+    use netfpga_core::time::Frequency;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Pick a clock frequency from the palette.
+    pub fn freq(i: usize) -> Frequency {
+        match i % 6 {
+            0 => Frequency::mhz(500),        // 2 ns
+            1 => Frequency::mhz(250),        // 4 ns
+            2 => Frequency::mhz(200),        // 5 ns
+            3 => Frequency::hz(142_857_143), // ~7 ns
+            4 => Frequency::hz(90_909_091),  // ~11 ns
+            _ => Frequency::hz(999_983),     // ~1.000017 us: wrecks the lcm
+        }
+    }
+
+    /// Records every edge of its clock domain: (domain id, instant).
+    /// Deliberately never quiescent, so traces taken with a probe pin the
+    /// exact edge schedule including coincident-edge ordering.
+    pub struct EdgeProbe {
+        pub id: u8,
+        pub trace: Rc<RefCell<Vec<(u8, u64)>>>,
+    }
+
+    impl Module for EdgeProbe {
+        fn name(&self) -> &str {
+            "probe"
+        }
+        fn tick(&mut self, ctx: &TickContext) {
+            self.trace.borrow_mut().push((self.id, ctx.now.as_ps()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The fast-path kernel is an optimization, not a semantics change:
+    /// for random clock sets, random source→stage→sink topologies (with
+    /// cross-domain streams and random burst flags) and a random schedule
+    /// of `run_for`/`run_cycles` calls with mid-run injection, the edge
+    /// calendar and the heap fallback produce the same edge trace, the
+    /// same captured packets (bytes, metadata and arrival instants) and
+    /// the same final clock state as the naive linear scan — and
+    /// quiescence fast-forwarding changes nothing observable either.
+    #[test]
+    fn prop_kernel_equivalence(
+        clock_sel in proptest::collection::vec(0usize..6, 1..4),
+        pipes in proptest::collection::vec((0usize..8, 0usize..8, 0u64..6, 0u8..2), 1..4),
+        phase1 in proptest::collection::vec((0usize..8, 46usize..220), 0..8),
+        phase2 in proptest::collection::vec((0usize..8, 46usize..220), 0..8),
+        segments in proptest::collection::vec((0u8..2, 1u64..300), 1..5),
+    ) {
+        use netfpga_core::packetio::{CapturedPacket, PacketSink, PacketSource};
+        use netfpga_core::sim::{SchedulerMode, Simulator};
+        use netfpga_core::stream::{Meta, Stream};
+        use netfpga_datapath::stage::StageAction;
+        use netfpga_datapath::PacketStage;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let run = |mode: SchedulerMode, idle_skip: bool, probe: bool| {
+            let mut sim = Simulator::with_scheduler(mode);
+            sim.set_idle_skip(idle_skip);
+            let clks: Vec<_> = clock_sel
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| sim.add_clock(&format!("clk{i}"), kernel::freq(f)))
+                .collect();
+            let trace = Rc::new(RefCell::new(Vec::new()));
+            if probe {
+                for (i, &c) in clks.iter().enumerate() {
+                    sim.add_module(c, kernel::EdgeProbe { id: i as u8, trace: trace.clone() });
+                }
+            }
+            let mut injects = Vec::new();
+            let mut caps = Vec::new();
+            for &(ca, cb, lat, burst) in &pipes {
+                let (in_tx, in_rx) = Stream::new(8, 32);
+                let (out_tx, out_rx) = Stream::new(8, 32);
+                let (src, q) = PacketSource::new("src", in_tx);
+                let stage = PacketStage::new(
+                    "stage",
+                    in_rx,
+                    out_tx,
+                    lat,
+                    |_p: &mut Vec<u8>, _m: &mut Meta, _t: Time| StageAction::Forward,
+                )
+                .with_burst(burst == 1);
+                let (sink, cap) = PacketSink::new("sink", out_rx);
+                sim.add_module(clks[ca % clks.len()], src);
+                sim.add_module(clks[cb % clks.len()], stage);
+                sim.add_module(clks[cb % clks.len()], sink);
+                injects.push(q);
+                caps.push(cap);
+            }
+            let inject = |batch: &[(usize, usize)]| {
+                for (i, &(p, len)) in batch.iter().enumerate() {
+                    injects[p % injects.len()]
+                        .push(vec![(i as u8).wrapping_mul(31); len], (p % 4) as u8);
+                }
+            };
+            inject(&phase1);
+            let mid = segments.len() / 2;
+            for (k, &(kind, amt)) in segments.iter().enumerate() {
+                if k == mid {
+                    inject(&phase2); // wake an idle (possibly fast-forwarded) sim
+                }
+                if kind == 0 {
+                    sim.run_for(Time::from_ps(amt * 3_500));
+                } else {
+                    sim.run_cycles(clks[(amt as usize) % clks.len()], amt);
+                }
+            }
+            sim.run_for(Time::from_us(3)); // settle: drain every pipeline
+            let caps: Vec<Vec<CapturedPacket>> = caps.iter().map(|c| c.drain()).collect();
+            let cycles: Vec<u64> = clks.iter().map(|&c| sim.cycles(c)).collect();
+            let trace = trace.borrow().clone();
+            (trace, caps, sim.now(), cycles)
+        };
+
+        // Scheduler equivalence, edge-by-edge: probes force every edge to
+        // tick, so the traces pin the full schedule.
+        let scan = run(SchedulerMode::Scan, false, true);
+        prop_assert_eq!(&run(SchedulerMode::Calendar, false, true), &scan);
+        prop_assert_eq!(&run(SchedulerMode::Heap, false, true), &scan);
+
+        // Quiescence fast-forward equivalence: no probes, so idle
+        // stretches really are skipped, and everything observable —
+        // packets, arrival times, final now, per-domain cycle counts —
+        // must still match the naive scan.
+        let naive = run(SchedulerMode::Scan, false, false);
+        prop_assert_eq!(&run(SchedulerMode::Auto, true, false), &naive);
+        prop_assert_eq!(&run(SchedulerMode::Heap, true, false), &naive);
+    }
+}
+
 /// Conservation under congestion: for any overload pattern, packets in =
 /// packets out + drops (no loss without accounting, no duplication).
 #[test]

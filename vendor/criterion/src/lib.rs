@@ -1,0 +1,305 @@
+//! A self-contained, dependency-free subset of the Criterion benchmarking
+//! API.
+//!
+//! The build environment has no network access, so the real crates-io
+//! `criterion` cannot be fetched. This shim implements the API surface the
+//! workspace's benches use — `Criterion`, `benchmark_group`, `throughput`,
+//! `bench_function`, the `criterion_group!`/`criterion_main!` macros and
+//! `black_box` — with a simple but serviceable measurement loop:
+//!
+//! * each benchmark is warmed up, then timed over `sample_size` samples of
+//!   an automatically scaled iteration count;
+//! * the median per-iteration time is reported, plus derived throughput
+//!   when the group declared one;
+//! * `--test` (as passed by `cargo bench -- --test` and our CI smoke step)
+//!   runs every benchmark exactly once and skips measurement;
+//! * a positional CLI argument filters benchmarks by substring, like real
+//!   Criterion.
+//!
+//! Results are printed as `bench: <id> ... <median> ns/iter (...)` lines —
+//! stable, grep-able output for CHANGES.md bookkeeping.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration plus CLI state; mirror of `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    /// Substring filter from the CLI.
+    filter: Option<String>,
+    /// `--test` mode: run once, don't measure.
+    test_mode: bool,
+    /// Target time per sample batch.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            filter: None,
+            test_mode: false,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the target measurement time per benchmark (builder style).
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Apply CLI arguments (`--test`, `--bench`, substring filter).
+    pub fn configure_from_args(mut self) -> Criterion {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags cargo-bench/criterion pass that we accept and ignore.
+                "--bench" | "--noplot" | "--quiet" | "--verbose" => {}
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start (or continue) a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self, &id, None, f);
+        self
+    }
+}
+
+/// Throughput declaration for a group; mirror of `criterion::Throughput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements (packets, edges, ...) processed per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput used to derive rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Benchmark one function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion, &id, self.throughput, f);
+        self
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; mirror of `criterion::Bencher`.
+pub struct Bencher {
+    /// Iterations to run in the current measurement batch.
+    iters: u64,
+    /// Measured wall time of the batch.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine `iters` times and record the elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Run the routine on a fresh input per iteration, timing only the
+    /// routine (setup cost is excluded from the recorded time).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Batch sizing hint; mirror of `criterion::BatchSize`. The shim times
+/// each routine call individually regardless, so the variants only
+/// document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchSize {
+    /// Setup output is small; batch many per allocation.
+    #[default]
+    SmallInput,
+    /// Setup output is large; batch few.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+fn run_benchmark<F>(c: &Criterion, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &c.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if c.test_mode {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("bench: {id} ... ok (test mode)");
+        return;
+    }
+
+    // Calibrate: grow the batch until one batch takes ~1/10 of the target
+    // measurement time (so sample_size batches fit in ~measurement_time).
+    let mut iters: u64 = 1;
+    let per_batch = c.measurement_time.as_nanos() as u64 / 10;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as u64;
+        if ns >= per_batch || iters >= 1 << 30 {
+            break;
+        }
+        // Aim directly at the target with headroom, at least doubling.
+        let scaled = (iters * per_batch)
+            .checked_div(ns)
+            .map_or(iters * 16, |s| s.max(iters * 2));
+        iters = scaled.min(1 << 30);
+    }
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    let min = samples_ns[0];
+    let max = samples_ns[samples_ns.len() - 1];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            let gbps = n as f64 * 8.0 / median; // bits / ns == Gb/s
+            format!(", {gbps:.3} Gb/s")
+        }
+        Throughput::Elements(n) => {
+            let meps = n as f64 * 1e3 / median; // elements/ns -> M elem/s
+            format!(", {meps:.3} Melem/s")
+        }
+    });
+    println!(
+        "bench: {id} ... {median:.1} ns/iter (min {min:.1}, max {max:.1}, {iters} iters x {} samples{})",
+        c.sample_size,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Define a benchmark group; both real-Criterion forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        b.iter(|| count += 1);
+        assert_eq!(count, 10);
+        assert!(b.elapsed >= Duration::ZERO);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        c.bench_function("top-level", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("nope".into()), ..Criterion::default() };
+        // Would spin for a long time if not filtered out.
+        c.bench_function("other", |b| b.iter(|| std::thread::sleep(Duration::from_millis(50))));
+    }
+}

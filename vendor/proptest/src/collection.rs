@@ -1,0 +1,156 @@
+//! Collection strategies: `vec`, `btree_map` and `btree_set`, mirroring
+//! `proptest::collection`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// A size specification: an exact count or a half-open range, mirroring
+/// `proptest::collection::SizeRange`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(self, rng: &mut TestRng) -> usize {
+        rng.range_u64(self.min as u64, self.max as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+/// Strategy for `Vec<T>` with a size drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate a vector of values from `element`, sized per `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>`.
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+/// Generate a map with `size` entries (duplicate generated keys permitting;
+/// like real proptest, collisions are retried a bounded number of times).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy { key, value, size: size.into() }
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        let mut out = BTreeMap::new();
+        let mut attempts = 0;
+        while out.len() < n && attempts < 10 * (n + 1) {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Strategy for `BTreeSet<T>`.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate a set with `size` elements (duplicates permitting, as above).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0;
+        while out.len() < n && attempts < 10 * (n + 1) {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("collection-tests", 0)
+    }
+
+    #[test]
+    fn vec_sizes_respected() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = vec(any::<u8>(), 2..6).generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+        }
+        let exact = vec(any::<u32>(), 16).generate(&mut r);
+        assert_eq!(exact.len(), 16);
+    }
+
+    #[test]
+    fn map_and_set_fill_to_requested_size() {
+        let mut r = rng();
+        // u32 keys virtually never collide, so sizes come out exact.
+        let m = btree_map((any::<u32>(), 0u8..=32), 0u8..16, 4..5).generate(&mut r);
+        assert_eq!(m.len(), 4);
+        let s = btree_set((any::<u32>(), 0u8..=32), 3..4).generate(&mut r);
+        assert_eq!(s.len(), 3);
+    }
+}

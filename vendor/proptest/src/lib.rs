@@ -1,0 +1,114 @@
+//! A self-contained, dependency-free subset of the `proptest` crate API.
+//!
+//! The netfpga-rs build environment has no network access, so the real
+//! crates-io `proptest` cannot be fetched. This vendored shim implements the
+//! slice of the API the workspace actually uses — integer-range strategies,
+//! `any::<T>()`, tuples, `collection::{vec, btree_map, btree_set}`, a tiny
+//! `[class]{m,n}` regex string strategy, and the `proptest!` /
+//! `prop_assert*!` macros — on top of a deterministic splitmix64 generator.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** On failure the macro reports the test name, case
+//!   index and the generated inputs; inputs are not minimized.
+//! * **Deterministic seeding.** Each `(test path, case index)` pair maps to
+//!   a fixed seed, so failures reproduce exactly on every run and machine.
+//! * **Default case count is 64** (override per-block with
+//!   `proptest_config` or globally with the `PROPTEST_CASES` env var).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+pub use test_runner::ProptestConfig;
+
+/// Define property tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///
+///     #[test]
+///     fn name(pat in strategy, mut other in strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each test item inside a `proptest!` block.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let path = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.effective_cases() {
+                    let mut runner = $crate::test_runner::TestRng::for_case(path, case);
+                    let mut guard = $crate::test_runner::CaseGuard::new(path, case);
+                    $(let $parm =
+                        $crate::strategy::Strategy::generate(&$strat, &mut runner);)+
+                    { $body }
+                    guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}

@@ -1,0 +1,157 @@
+//! Deterministic case runner support: configuration, per-case RNG seeding
+//! and failure reporting.
+
+/// Mirror of `proptest::test_runner::ProptestConfig` (the fields the
+/// workspace touches, plus enough to keep struct-update syntax working).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+impl ProptestConfig {
+    /// Cases to run, honouring a `PROPTEST_CASES` environment override.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// A splitmix64 generator seeded from `(test path, case index)`: the same
+/// case always sees the same inputs, on every machine and run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed for a specific case of a specific test.
+    pub fn for_case(path: &str, case: u32) -> TestRng {
+        // FNV-1a over the path, mixed with the case index.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9e3779b97f4a7c15)) }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "zero bound");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform in the inclusive range `[lo, hi]`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "inverted range");
+        if lo == 0 && hi == u64::MAX {
+            self.next_u64()
+        } else {
+            lo + self.below(hi - lo + 1)
+        }
+    }
+
+    /// Uniform in the inclusive signed range `[lo, hi]`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = (hi as i128 - lo as i128) as u128;
+        if span == u128::from(u64::MAX) {
+            self.next_u64() as i64
+        } else {
+            let off = ((u128::from(self.next_u64()) * (span + 1)) >> 64) as i128;
+            (lo as i128 + off) as i64
+        }
+    }
+}
+
+/// Prints the failing `(test, case)` pair if the case body panics, so a
+/// deterministic repro is one `PROPTEST_CASES` run away.
+#[derive(Debug)]
+pub struct CaseGuard {
+    path: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arm a guard for one case.
+    pub fn new(path: &'static str, case: u32) -> CaseGuard {
+        CaseGuard { path, case, armed: true }
+    }
+
+    /// The case finished cleanly; stand down.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest(shim): test {} failed on case {} (seeding is \
+                 deterministic; the same case reproduces on rerun)",
+                self.path, self.case
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_case_same_sequence() {
+        let mut a = TestRng::for_case("x::y", 3);
+        let mut b = TestRng::for_case("x::y", 3);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_cases_differ() {
+        let mut a = TestRng::for_case("x::y", 0);
+        let mut b = TestRng::for_case("x::y", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = TestRng::for_case("t", 0);
+        for _ in 0..1000 {
+            let v = r.range_u64(5, 9);
+            assert!((5..=9).contains(&v));
+            let s = r.range_i64(-3, 3);
+            assert!((-3..=3).contains(&s));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_supported() {
+        let mut r = TestRng::for_case("t", 1);
+        // Must not overflow internally.
+        let _ = r.range_u64(0, u64::MAX);
+        let _ = r.range_i64(i64::MIN, i64::MAX);
+    }
+}
