@@ -10,6 +10,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod faults;
 pub mod json;
 pub mod kernel;
 pub mod report;

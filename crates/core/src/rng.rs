@@ -65,6 +65,27 @@ impl SimRng {
         -mean * u.ln()
     }
 
+    /// Geometrically distributed trial count: the number of Bernoulli(`p`)
+    /// trials up to and including the first success, so the support is
+    /// `1..`. This is the draw behind bit-error schedules: with a per-bit
+    /// error rate `p`, `geometric(p)` is the index of the next errored bit.
+    /// Mean is `1/p`. Panics unless `0 < p <= 1`.
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "probability out of range: {p}");
+        if p >= 1.0 {
+            return 1;
+        }
+        // Inverse-CDF: ceil(ln(U) / ln(1-p)), clamped away from zero.
+        let u = self.f64().max(1e-18);
+        let draw = (u.ln() / (1.0 - p).ln()).ceil();
+        // Very small p can overflow the integer range; saturate.
+        if draw >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            (draw as u64).max(1)
+        }
+    }
+
     /// Fisher-Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
@@ -155,6 +176,40 @@ mod tests {
         let sum: f64 = (0..n).map(|_| r.exp(mean)).sum();
         let observed = sum / n as f64;
         assert!((observed - mean).abs() < mean * 0.05, "observed {observed}");
+    }
+
+    /// Distribution sanity: the sample mean of `geometric(p)` is close to
+    /// `1/p` and every draw is at least 1.
+    #[test]
+    fn geometric_mean_close() {
+        let mut r = SimRng::new(29);
+        for &p in &[0.5, 0.1, 0.01] {
+            let n = 20_000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let v = r.geometric(p);
+                assert!(v >= 1);
+                sum += v as f64;
+            }
+            let observed = sum / n as f64;
+            let expected = 1.0 / p;
+            assert!(
+                (observed - expected).abs() < expected * 0.1,
+                "p={p}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_certain_trial_is_one() {
+        let mut r = SimRng::new(31);
+        assert!((0..100).all(|_| r.geometric(1.0) == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn geometric_rejects_zero() {
+        SimRng::new(1).geometric(0.0);
     }
 
     #[test]

@@ -1,0 +1,727 @@
+//! The fault injector: a module that executes a [`FaultPlan`] against a
+//! running simulation.
+//!
+//! The injector sits at the board edge. For every tapped port it owns the
+//! gap between the tester-side wire and the MAC-side wire, forwarding
+//! frames while applying whatever the plan says: drop them (link down),
+//! flip their bits (BER — with the pristine CRC-32 recorded first, so the
+//! receiving MAC *detects* the corruption), re-pace them (lane loss in a
+//! bonded port), or hold them (stream stall / backpressure storm). DMA
+//! faults are delegated to the engine's
+//! [`DmaFaultGate`]; memory upsets go to
+//! memories registered on the [`FaultHandle`].
+//!
+//! Everything observable — which bits flip, when errors space out — is
+//! drawn from one `SimRng` seeded by the plan, and every applied fault is
+//! appended to a trace and counted, so a run is reproducible from its seed
+//! and auditable afterwards.
+
+use crate::memfault::{inject_flip, EccMode, FaultableMemory, FlipOutcome};
+use crate::plan::{FaultEvent, FaultKind, FaultPlan, TraceEntry};
+use netfpga_core::regs::RegisterSpace;
+use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::stats::Counter;
+use netfpga_core::time::{BitRate, Time};
+use netfpga_core::SimRng;
+use netfpga_packet::fcs::crc32;
+use netfpga_phy::mac::wire_bytes;
+use netfpga_phy::{PortBond, Wire};
+use netfpga_pcie::DmaFaultGate;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Suggested mount base for [`FaultRegisters`] on a chassis address map
+/// (clear of the project blocks at 0x0000/0x1000/0x2000).
+pub const FAULTS_BASE: u32 = 0xF000;
+
+/// Register offsets within [`FaultRegisters`].
+pub mod faultregs {
+    /// Total fault events applied (scheduled + runtime).
+    pub const EVENTS_APPLIED: u32 = 0x00;
+    /// Frames dropped while a link was down (or all lanes lost).
+    pub const LINK_DOWN_DROPS: u32 = 0x04;
+    /// Frames that took at least one bit error.
+    pub const FRAMES_CORRUPTED: u32 = 0x08;
+    /// Individual bit errors injected.
+    pub const BER_FLIPS: u32 = 0x0c;
+    /// Lane-loss / lane-restore events applied.
+    pub const LANE_EVENTS: u32 = 0x10;
+    /// Ticks a port spent stalled with frames pending.
+    pub const STREAM_STALL_TICKS: u32 = 0x14;
+    /// Ticks the DMA engine spent frozen with work pending.
+    pub const DMA_STALLED_TICKS: u32 = 0x18;
+    /// Packets discarded inside DMA drop windows.
+    pub const DMA_DROPPED: u32 = 0x1c;
+    /// Memory upsets injected (landed in real data).
+    pub const MEM_INJECTED: u32 = 0x20;
+    /// Memory upsets corrected by ECC.
+    pub const MEM_CORRECTED: u32 = 0x24;
+    /// Memory upsets detected (parity) but left corrupt.
+    pub const MEM_DETECTED: u32 = 0x28;
+    /// Memory upsets that landed with no protection.
+    pub const MEM_SILENT: u32 = 0x2c;
+    /// Upsets aimed at an unregistered memory or empty/invalid location.
+    pub const MEM_MISSED: u32 = 0x30;
+}
+
+/// Per-module fault counters, surfaced through the stats layer (shared
+/// [`Counter`]s — clone the struct, read anywhere) and over MMIO via
+/// [`FaultRegisters`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultCounters {
+    /// Fault events applied (scheduled + runtime).
+    pub events_applied: Counter,
+    /// Frames dropped while a link was down.
+    pub link_down_drops: Counter,
+    /// Frames that took at least one bit error.
+    pub frames_corrupted: Counter,
+    /// Individual bit errors injected.
+    pub ber_flips: Counter,
+    /// Lane-loss / lane-restore events applied.
+    pub lane_events: Counter,
+    /// Ticks a port spent stalled with frames pending.
+    pub stream_stall_ticks: Counter,
+    /// Memory upsets that landed in real data.
+    pub mem_injected: Counter,
+    /// Memory upsets corrected by ECC.
+    pub mem_corrected: Counter,
+    /// Memory upsets detected (parity) but left corrupt.
+    pub mem_detected: Counter,
+    /// Memory upsets that landed silently (no protection).
+    pub mem_silent: Counter,
+    /// Upsets aimed at an unregistered memory or an empty location.
+    pub mem_missed: Counter,
+}
+
+struct RegisteredMemory {
+    name: String,
+    mode: EccMode,
+    mem: Rc<RefCell<dyn FaultableMemory>>,
+}
+
+struct Shared {
+    runtime: RefCell<VecDeque<FaultKind>>,
+    trace: RefCell<Vec<TraceEntry>>,
+    mems: RefCell<Vec<RegisteredMemory>>,
+}
+
+/// Cloneable handle onto a live injector: runtime injection, counters,
+/// trace, memory registration, and the DMA gate.
+#[derive(Clone)]
+pub struct FaultHandle {
+    counters: FaultCounters,
+    gate: DmaFaultGate,
+    shared: Rc<Shared>,
+}
+
+impl FaultHandle {
+    /// Queue a fault for the injector's next tick (nftest `InjectFault`
+    /// lands here). On a chassis built from an inert plan no injector is
+    /// spliced and the queue is never drained.
+    pub fn inject(&self, kind: FaultKind) {
+        self.shared.runtime.borrow_mut().push_back(kind);
+    }
+
+    /// The shared fault counters.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// The DMA fault gate (attach to a [`DmaEngine`](netfpga_pcie::DmaEngine)
+    /// via `with_fault_gate`).
+    pub fn dma_gate(&self) -> DmaFaultGate {
+        self.gate.clone()
+    }
+
+    /// Snapshot of every fault applied so far, in application order.
+    pub fn trace(&self) -> Vec<TraceEntry> {
+        self.shared.trace.borrow().clone()
+    }
+
+    /// Register a shared memory as a target for
+    /// [`FaultKind::MemFlip`] events under `name`, protected by `mode`.
+    pub fn register_memory(
+        &self,
+        name: &str,
+        mode: EccMode,
+        mem: Rc<RefCell<dyn FaultableMemory>>,
+    ) {
+        self.shared.mems.borrow_mut().push(RegisteredMemory {
+            name: name.to_string(),
+            mode,
+            mem,
+        });
+    }
+}
+
+/// Fault-plane state of one tapped port.
+struct PortTap {
+    /// Tester-side ingress wire (tester pushes here).
+    outer_in: Wire,
+    /// MAC-side ingress wire (the RX MAC drains this).
+    inner_in: Wire,
+    /// MAC-side egress wire (the TX MAC pushes here).
+    inner_out: Wire,
+    /// Tester-side egress wire (the tester drains this).
+    outer_out: Wire,
+    /// Full-rate line speed of the port.
+    rate: BitRate,
+    /// Lane bonding, for degraded-rate math.
+    bond: PortBond,
+    lanes_lost: u8,
+    down_until: Time,
+    stall_until: Time,
+    ber: f64,
+    /// Data bits until the next error, per direction (geometric draws).
+    countdown_in: u64,
+    countdown_out: u64,
+    /// Degraded-mode serialization pacing, per direction.
+    busy_in: Time,
+    busy_out: Time,
+}
+
+impl PortTap {
+    fn down_at(&self, now: Time) -> bool {
+        now < self.down_until || (self.lanes_lost > 0 && self.lanes_lost >= self.bond.lanes)
+    }
+
+    fn degraded_rate(&self) -> Option<BitRate> {
+        if self.lanes_lost == 0 {
+            return None;
+        }
+        let left = self.bond.degrade(self.lanes_lost);
+        if left.lanes == 0 {
+            return None; // fully down; handled by down_at
+        }
+        Some(BitRate::bps(
+            self.rate.as_bps() * u64::from(left.lanes) / u64::from(self.bond.lanes),
+        ))
+    }
+}
+
+/// The fault injector module. Build with [`FaultInjector::new`], tap the
+/// port wire pairs, register it on the simulator's core clock, and keep
+/// the [`FaultHandle`] for runtime control.
+pub struct FaultInjector {
+    label: String,
+    events: Vec<FaultEvent>,
+    next_event: usize,
+    seed: u64,
+    rng: SimRng,
+    ports: Vec<PortTap>,
+    bonds: Vec<(u8, PortBond)>,
+    counters: FaultCounters,
+    gate: DmaFaultGate,
+    shared: Rc<Shared>,
+}
+
+impl FaultInjector {
+    /// Build an injector executing `plan`. Returns the module (give it to
+    /// the simulator) and the control handle (keep it).
+    pub fn new(name: &str, plan: &FaultPlan) -> (FaultInjector, FaultHandle) {
+        let counters = FaultCounters::default();
+        let gate = DmaFaultGate::new();
+        let shared = Rc::new(Shared {
+            runtime: RefCell::new(VecDeque::new()),
+            trace: RefCell::new(Vec::new()),
+            mems: RefCell::new(Vec::new()),
+        });
+        let handle = FaultHandle {
+            counters: counters.clone(),
+            gate: gate.clone(),
+            shared: shared.clone(),
+        };
+        (
+            FaultInjector {
+                label: name.to_string(),
+                events: plan.sorted_events(),
+                next_event: 0,
+                seed: plan.seed,
+                rng: SimRng::new(plan.seed),
+                ports: Vec::new(),
+                bonds: plan.bonds.clone(),
+                counters,
+                gate,
+                shared,
+            },
+            handle,
+        )
+    }
+
+    /// Interpose the injector on one port. Call once per port, in port
+    /// order: the tester feeds `outer_in` and drains `outer_out`; the RX
+    /// MAC drains `inner_in` and the TX MAC feeds `inner_out`. `rate` is
+    /// the port's full line rate.
+    pub fn tap_port(&mut self, rate: BitRate, outer_in: Wire, inner_in: Wire, inner_out: Wire, outer_out: Wire) {
+        let port = self.ports.len() as u8;
+        let bond = self
+            .bonds
+            .iter()
+            .find(|(p, _)| *p == port)
+            .map(|(_, b)| *b)
+            .unwrap_or(PortBond { lane: netfpga_phy::Lane::ten_gbe(), lanes: 1 });
+        self.ports.push(PortTap {
+            outer_in,
+            inner_in,
+            inner_out,
+            outer_out,
+            rate,
+            bond,
+            lanes_lost: 0,
+            down_until: Time::ZERO,
+            stall_until: Time::ZERO,
+            ber: 0.0,
+            countdown_in: 0,
+            countdown_out: 0,
+            busy_in: Time::ZERO,
+            busy_out: Time::ZERO,
+        });
+    }
+
+    fn apply(&mut self, now: Time, kind: FaultKind) {
+        match &kind {
+            FaultKind::LinkDown { port, duration } => {
+                if let Some(p) = self.ports.get_mut(usize::from(*port)) {
+                    p.down_until = p.down_until.max(now + *duration);
+                }
+            }
+            FaultKind::SetBer { port, ber } => {
+                if let Some(p) = self.ports.get_mut(usize::from(*port)) {
+                    p.ber = *ber;
+                    if *ber > 0.0 {
+                        p.countdown_in = self.rng.geometric(*ber);
+                        p.countdown_out = self.rng.geometric(*ber);
+                    }
+                }
+            }
+            FaultKind::LaneLoss { port, lanes_lost } => {
+                if let Some(p) = self.ports.get_mut(usize::from(*port)) {
+                    p.lanes_lost = *lanes_lost;
+                    self.counters.lane_events.incr();
+                }
+            }
+            FaultKind::LaneRestore { port } => {
+                if let Some(p) = self.ports.get_mut(usize::from(*port)) {
+                    p.lanes_lost = 0;
+                    self.counters.lane_events.incr();
+                }
+            }
+            FaultKind::StreamStall { port, duration } => {
+                if let Some(p) = self.ports.get_mut(usize::from(*port)) {
+                    p.stall_until = p.stall_until.max(now + *duration);
+                }
+            }
+            FaultKind::DmaStall { duration } => self.gate.stall_until(now + *duration),
+            FaultKind::DmaDrop { duration } => self.gate.drop_until(now + *duration),
+            FaultKind::MemFlip { memory, index, bit } => {
+                let mems = self.shared.mems.borrow();
+                let outcome = mems
+                    .iter()
+                    .find(|m| m.name == *memory)
+                    .map(|m| inject_flip(&mut *m.mem.borrow_mut(), m.mode, *index, *bit))
+                    .unwrap_or(FlipOutcome::Missed);
+                match outcome {
+                    FlipOutcome::Missed => self.counters.mem_missed.incr(),
+                    FlipOutcome::Silent => {
+                        self.counters.mem_injected.incr();
+                        self.counters.mem_silent.incr();
+                    }
+                    FlipOutcome::Detected => {
+                        self.counters.mem_injected.incr();
+                        self.counters.mem_detected.incr();
+                    }
+                    FlipOutcome::Corrected => {
+                        self.counters.mem_injected.incr();
+                        self.counters.mem_corrected.incr();
+                    }
+                }
+            }
+        }
+        self.counters.events_applied.incr();
+        self.shared.trace.borrow_mut().push(TraceEntry { at: now, kind });
+    }
+
+    /// Forward one direction of one port, applying the active faults.
+    fn forward(
+        rng: &mut SimRng,
+        counters: &FaultCounters,
+        port: &mut PortTap,
+        now: Time,
+        inbound: bool,
+    ) {
+        let (from, to) = if inbound {
+            (port.outer_in.clone(), port.inner_in.clone())
+        } else {
+            (port.inner_out.clone(), port.outer_out.clone())
+        };
+        while let Some(mut frame) = from.take_ready(now) {
+            if port.down_at(now) {
+                counters.link_down_drops.incr();
+                continue;
+            }
+            if port.ber > 0.0 {
+                let bits = (frame.data.len() * 8) as u64;
+                let countdown = if inbound { &mut port.countdown_in } else { &mut port.countdown_out };
+                let mut pos = 0u64;
+                let mut corrupted = false;
+                while *countdown <= bits - pos {
+                    let at = pos + *countdown - 1;
+                    if !corrupted {
+                        // Record the pristine FCS first so the corruption
+                        // is *detectable*: the receiving MAC recomputes
+                        // CRC-32 over the flipped data and mismatches.
+                        if frame.fcs.is_none() {
+                            frame.fcs = Some(crc32(&frame.data));
+                        }
+                        corrupted = true;
+                    }
+                    frame.data[(at / 8) as usize] ^= 1 << (at % 8);
+                    counters.ber_flips.incr();
+                    pos = at + 1;
+                    *countdown = rng.geometric(port.ber);
+                    if pos >= bits {
+                        break;
+                    }
+                }
+                if pos < bits {
+                    *countdown -= bits - pos;
+                }
+                if corrupted {
+                    counters.frames_corrupted.incr();
+                }
+            }
+            if let Some(degraded) = port.degraded_rate() {
+                // Re-serialize at the degraded bonded rate: the frame
+                // cannot finish before its original arrival, nor while the
+                // slower wire is still busy with the previous frame.
+                let occupancy = degraded.time_for_bytes(wire_bytes(frame.data.len() as u64));
+                let busy = if inbound { &mut port.busy_in } else { &mut port.busy_out };
+                let ready_at = frame.ready_at.max(*busy).max(now) + occupancy;
+                *busy = ready_at;
+                frame.ready_at = ready_at;
+            }
+            to.push(frame);
+        }
+    }
+}
+
+impl Module for FaultInjector {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn tick(&mut self, ctx: &TickContext) {
+        // 1. Scheduled events that have come due, then runtime injections.
+        while self
+            .events
+            .get(self.next_event)
+            .is_some_and(|e| e.at <= ctx.now)
+        {
+            let ev = self.events[self.next_event].clone();
+            self.next_event += 1;
+            self.apply(ctx.now, ev.kind);
+        }
+        loop {
+            let kind = self.shared.runtime.borrow_mut().pop_front();
+            match kind {
+                Some(kind) => self.apply(ctx.now, kind),
+                None => break,
+            }
+        }
+        // 2. Forward frames through every tapped port.
+        for i in 0..self.ports.len() {
+            let port = &mut self.ports[i];
+            if ctx.now < port.stall_until {
+                if !port.outer_in.is_empty() || !port.inner_out.is_empty() {
+                    self.counters.stream_stall_ticks.incr();
+                }
+                continue;
+            }
+            Self::forward(&mut self.rng, &self.counters, port, ctx.now, true);
+            Self::forward(&mut self.rng, &self.counters, port, ctx.now, false);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.next_event = 0;
+        self.rng = SimRng::new(self.seed);
+        self.shared.runtime.borrow_mut().clear();
+        self.shared.trace.borrow_mut().clear();
+        self.gate.clear();
+        for p in &mut self.ports {
+            p.lanes_lost = 0;
+            p.down_until = Time::ZERO;
+            p.stall_until = Time::ZERO;
+            p.ber = 0.0;
+            p.countdown_in = 0;
+            p.countdown_out = 0;
+            p.busy_in = Time::ZERO;
+            p.busy_out = Time::ZERO;
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        // A pending scheduled event is time-dependent work: the idle
+        // fast-forward must not skip over it.
+        self.next_event >= self.events.len()
+            && self.shared.runtime.borrow().is_empty()
+            && self
+                .ports
+                .iter()
+                .all(|p| p.outer_in.is_empty() && p.inner_out.is_empty())
+    }
+}
+
+/// MMIO view of the fault counters (mount at [`FAULTS_BASE`]). Writes to
+/// any offset clear every counter.
+pub struct FaultRegisters {
+    handle: FaultHandle,
+}
+
+impl FaultRegisters {
+    /// A register block over `handle`'s counters.
+    pub fn new(handle: FaultHandle) -> FaultRegisters {
+        FaultRegisters { handle }
+    }
+}
+
+impl RegisterSpace for FaultRegisters {
+    fn read(&mut self, offset: u32) -> u32 {
+        let c = &self.handle.counters;
+        let v = match offset {
+            faultregs::EVENTS_APPLIED => c.events_applied.get(),
+            faultregs::LINK_DOWN_DROPS => c.link_down_drops.get(),
+            faultregs::FRAMES_CORRUPTED => c.frames_corrupted.get(),
+            faultregs::BER_FLIPS => c.ber_flips.get(),
+            faultregs::LANE_EVENTS => c.lane_events.get(),
+            faultregs::STREAM_STALL_TICKS => c.stream_stall_ticks.get(),
+            faultregs::DMA_STALLED_TICKS => self.handle.gate.stalled_ticks(),
+            faultregs::DMA_DROPPED => self.handle.gate.dropped(),
+            faultregs::MEM_INJECTED => c.mem_injected.get(),
+            faultregs::MEM_CORRECTED => c.mem_corrected.get(),
+            faultregs::MEM_DETECTED => c.mem_detected.get(),
+            faultregs::MEM_SILENT => c.mem_silent.get(),
+            faultregs::MEM_MISSED => c.mem_missed.get(),
+            _ => return netfpga_core::regs::UNMAPPED_READ,
+        };
+        v as u32
+    }
+
+    fn write(&mut self, _offset: u32, _value: u32) {
+        let c = &self.handle.counters;
+        c.events_applied.clear();
+        c.link_down_drops.clear();
+        c.frames_corrupted.clear();
+        c.ber_flips.clear();
+        c.lane_events.clear();
+        c.stream_stall_ticks.clear();
+        c.mem_injected.clear();
+        c.mem_corrected.clear();
+        c.mem_detected.clear();
+        c.mem_silent.clear();
+        c.mem_missed.clear();
+        self.handle.gate.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfpga_core::sim::Simulator;
+    use netfpga_core::time::Frequency;
+    use netfpga_mem::Bram;
+    use netfpga_phy::mac::WireFrame;
+
+    fn harness(plan: FaultPlan) -> (Simulator, FaultHandle, Wire, Wire) {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("core", Frequency::mhz(200));
+        let (mut inj, handle) = FaultInjector::new("faults", &plan);
+        let outer_in = Wire::new();
+        let inner_in = Wire::new();
+        let inner_out = Wire::new();
+        let outer_out = Wire::new();
+        inj.tap_port(
+            BitRate::gbps(10),
+            outer_in.clone(),
+            inner_in.clone(),
+            inner_out,
+            outer_out,
+        );
+        sim.add_module(clk, inj);
+        (sim, handle, outer_in, inner_in)
+    }
+
+    fn frame_at(len: usize, ready_at: Time) -> WireFrame {
+        WireFrame { data: vec![0xA5; len], ready_at, fcs: None }
+    }
+
+    #[test]
+    fn clean_plan_forwards_untouched() {
+        let (mut sim, handle, outer, inner) = harness(FaultPlan::new(1));
+        outer.push(frame_at(100, Time::from_ns(50)));
+        sim.run_until(Time::from_us(1));
+        let got = inner.take_ready(Time::from_us(1)).expect("forwarded");
+        assert_eq!(got.data, vec![0xA5; 100]);
+        assert_eq!(got.fcs, None, "untouched frames keep their FCS state");
+        assert_eq!(handle.counters().frames_corrupted.get(), 0);
+    }
+
+    #[test]
+    fn link_down_window_drops_and_counts() {
+        let plan = FaultPlan::new(2).at(
+            Time::ZERO,
+            FaultKind::LinkDown { port: 0, duration: Time::from_us(2) },
+        );
+        let (mut sim, handle, outer, inner) = harness(plan);
+        outer.push(frame_at(100, Time::from_ns(100)));
+        sim.run_until(Time::from_us(1));
+        assert!(inner.take_ready(Time::from_us(1)).is_none());
+        assert_eq!(handle.counters().link_down_drops.get(), 1);
+        // After the window the link is back.
+        outer.push(frame_at(100, Time::from_us(3)));
+        sim.run_until(Time::from_us(4));
+        assert!(inner.take_ready(Time::from_us(4)).is_some());
+        assert_eq!(handle.counters().link_down_drops.get(), 1);
+    }
+
+    #[test]
+    fn ber_corrupts_detectably_and_deterministically() {
+        let run = |seed| {
+            let plan = FaultPlan {
+                seed,
+                ..FaultPlan::new(seed)
+            }
+            .at(Time::ZERO, FaultKind::SetBer { port: 0, ber: 0.01 });
+            let (mut sim, handle, outer, inner) = harness(plan);
+            for i in 0..20u64 {
+                outer.push(frame_at(100, Time::from_ns(100 * (i + 1))));
+            }
+            sim.run_until(Time::from_us(10));
+            let mut datas = Vec::new();
+            while let Some(f) = inner.take_ready(Time::from_us(10)) {
+                // Any corrupted frame carries a pristine-FCS stamp that no
+                // longer matches its data.
+                if f.data != vec![0xA5; 100] {
+                    let fcs = f.fcs.expect("corrupted frame must carry FCS");
+                    assert!(!netfpga_packet::fcs::verify(&f.data, fcs));
+                }
+                datas.push(f.data);
+            }
+            (datas, handle.counters().ber_flips.get(), handle.trace())
+        };
+        let (a_data, a_flips, a_trace) = run(42);
+        let (b_data, b_flips, b_trace) = run(42);
+        let (c_data, ..) = run(43);
+        assert!(a_flips > 0, "1% BER over 16k bits must flip something");
+        assert_eq!(a_data, b_data, "same seed, same corruption");
+        assert_eq!(a_flips, b_flips);
+        assert_eq!(a_trace, b_trace);
+        assert_ne!(a_data, c_data, "different seed, different corruption");
+    }
+
+    #[test]
+    fn lane_loss_repaces_and_full_loss_is_down() {
+        let plan = FaultPlan::new(3)
+            .bond(0, PortBond::ethernet_40g())
+            .at(Time::ZERO, FaultKind::LaneLoss { port: 0, lanes_lost: 2 });
+        let (mut sim, handle, outer, inner) = harness(plan);
+        // 1000 bytes at the tap at t=1ns: at the full 10G rate it has
+        // already been paced by the sender; the degraded 2-of-4-lane wire
+        // re-serializes it at 5G => +(1024B * 8 / 5G) = +1638.4ns.
+        outer.push(frame_at(1000, Time::from_ns(1)));
+        sim.run_until(Time::from_us(4));
+        let f = inner.take_ready(Time::from_us(4)).expect("degraded, not dropped");
+        assert!(
+            f.ready_at > Time::from_ns(1600),
+            "re-paced at the degraded rate, got {:?}",
+            f.ready_at
+        );
+        assert_eq!(handle.counters().lane_events.get(), 1);
+        // Now lose everything: the port is down and drops.
+        handle.inject(FaultKind::LaneLoss { port: 0, lanes_lost: 4 });
+        outer.push(frame_at(100, Time::from_us(5)));
+        sim.run_until(Time::from_us(6));
+        assert!(inner.take_ready(Time::from_us(6)).is_none());
+        assert_eq!(handle.counters().link_down_drops.get(), 1);
+        // Restore: traffic flows again at full rate.
+        handle.inject(FaultKind::LaneRestore { port: 0 });
+        outer.push(frame_at(100, Time::from_us(7)));
+        sim.run_until(Time::from_us(8));
+        let f = inner.take_ready(Time::from_us(8)).expect("restored");
+        assert_eq!(f.ready_at, Time::from_us(7), "full-rate pacing preserved");
+    }
+
+    #[test]
+    fn stream_stall_holds_then_releases_without_loss() {
+        let plan = FaultPlan::new(4).at(
+            Time::ZERO,
+            FaultKind::StreamStall { port: 0, duration: Time::from_us(2) },
+        );
+        let (mut sim, handle, outer, inner) = harness(plan);
+        outer.push(frame_at(100, Time::from_ns(100)));
+        sim.run_until(Time::from_us(1));
+        assert!(inner.take_ready(Time::from_us(1)).is_none(), "held by the stall");
+        assert!(handle.counters().stream_stall_ticks.get() > 0);
+        sim.run_until(Time::from_us(3));
+        assert!(inner.take_ready(Time::from_us(3)).is_some(), "released, not lost");
+        assert_eq!(handle.counters().link_down_drops.get(), 0);
+    }
+
+    #[test]
+    fn mem_flip_routes_through_registered_memory() {
+        let (mut sim, handle, _outer, _inner) = harness(FaultPlan::new(5));
+        let bram: Rc<RefCell<Bram<u64>>> = Rc::new(RefCell::new(Bram::new(8)));
+        bram.borrow_mut().write(2, 0xff);
+        handle.register_memory("lookup_bram", EccMode::Parity, bram.clone());
+        handle.inject(FaultKind::MemFlip { memory: "lookup_bram".into(), index: 2, bit: 0 });
+        handle.inject(FaultKind::MemFlip { memory: "nonexistent".into(), index: 0, bit: 0 });
+        sim.run_until(Time::from_ns(100));
+        assert_eq!(*bram.borrow().peek(2), 0xfe);
+        assert_eq!(handle.counters().mem_detected.get(), 1);
+        assert_eq!(handle.counters().mem_missed.get(), 1);
+        assert_eq!(handle.trace().len(), 2);
+    }
+
+    #[test]
+    fn pending_event_blocks_quiescence() {
+        let plan = FaultPlan::new(6).at(
+            Time::from_us(100),
+            FaultKind::LinkDown { port: 0, duration: Time::from_us(1) },
+        );
+        let (mut inj, _handle) = FaultInjector::new("faults", &plan);
+        inj.tap_port(BitRate::gbps(10), Wire::new(), Wire::new(), Wire::new(), Wire::new());
+        assert!(!inj.is_quiescent(), "scheduled fault is pending work");
+        inj.tick(&TickContext { now: Time::from_us(100), cycle: 0 });
+        assert!(inj.is_quiescent(), "applied and idle");
+    }
+
+    #[test]
+    fn reset_rearms_the_plan() {
+        let plan = FaultPlan::new(7).at(
+            Time::ZERO,
+            FaultKind::LinkDown { port: 0, duration: Time::from_ns(10) },
+        );
+        let (mut inj, handle) = FaultInjector::new("faults", &plan);
+        inj.tap_port(BitRate::gbps(10), Wire::new(), Wire::new(), Wire::new(), Wire::new());
+        inj.tick(&TickContext { now: Time::ZERO, cycle: 0 });
+        assert_eq!(handle.trace().len(), 1);
+        assert!(inj.is_quiescent());
+        inj.reset();
+        assert!(!inj.is_quiescent(), "plan re-armed after reset");
+        assert!(handle.trace().is_empty());
+    }
+
+    #[test]
+    fn registers_expose_and_clear_counters() {
+        let (_sim, handle, _outer, _inner) = harness(FaultPlan::new(8));
+        handle.counters().ber_flips.add(5);
+        handle.counters().link_down_drops.add(2);
+        let mut regs = FaultRegisters::new(handle.clone());
+        assert_eq!(regs.read(faultregs::BER_FLIPS), 5);
+        assert_eq!(regs.read(faultregs::LINK_DOWN_DROPS), 2);
+        assert_eq!(regs.read(0xffc), netfpga_core::regs::UNMAPPED_READ);
+        regs.write(0, 0);
+        assert_eq!(regs.read(faultregs::BER_FLIPS), 0);
+    }
+}

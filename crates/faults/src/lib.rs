@@ -1,0 +1,41 @@
+//! # netfpga-faults
+//!
+//! The deterministic fault-injection and degradation plane.
+//!
+//! The platform's other crates model the sunny day: clean serial lanes,
+//! perfect memories, a host bus that never hiccups. Real deployments live
+//! with bit errors, link flaps, SEUs and DMA stalls — and a prototyping
+//! platform is only credible if projects can be *validated* against those
+//! too. This crate turns every project into a robustness testbed:
+//!
+//! * [`FaultPlan`] — a declarative, seeded schedule of [`FaultEvent`]s:
+//!   link down/flap, per-port bit-error rate, lane loss in a bonded port,
+//!   stream stalls (backpressure storms), DMA stall/drop windows, and
+//!   memory bit flips.
+//! * [`FaultInjector`] — the module that executes a plan at the board
+//!   edge, with all randomness drawn from one `SimRng`: any failure
+//!   replays exactly from its seed.
+//! * [`FaultHandle`] — runtime injection (nftest's `InjectFault`), the
+//!   applied-fault trace, shared [`FaultCounters`], and the DMA gate.
+//! * [`EccMode`]/[`FaultableMemory`] — the parity/ECC detect-or-correct
+//!   model over BRAM, SRAM and TCAM storage.
+//! * [`FaultRegisters`] — the counters as an MMIO block, so host software
+//!   and nftest plans can assert on fault statistics like on any other
+//!   statistics register.
+//!
+//! Corrupted frames are not just flagged: the injector stamps the pristine
+//! CRC-32 before flipping bits, so the receiving MAC's real FCS check
+//! (`netfpga-packet::fcs`) detects the damage end to end.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod injector;
+pub mod memfault;
+pub mod plan;
+
+pub use injector::{
+    faultregs, FaultCounters, FaultHandle, FaultInjector, FaultRegisters, FAULTS_BASE,
+};
+pub use memfault::{inject_flip, EccMode, FaultableMemory, FlipOutcome};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, TraceEntry};

@@ -1,0 +1,188 @@
+//! Memory upsets and the parity/ECC detect-or-correct model.
+//!
+//! A [`FaultableMemory`] is anything whose stored bits can be flipped in
+//! place: BRAM and SRAM words, or TCAM key cells (value or mask plane).
+//! [`inject_flip`] applies one upset and resolves it through an
+//! [`EccMode`] — the protection the real memory macro would have — into a
+//! [`FlipOutcome`] the injector counts:
+//!
+//! * no protection → the flip lands silently (the scary case);
+//! * parity → the corruption is *detected* but the data stays wrong
+//!   (hardware raises an error and typically drops/flushes);
+//! * SECDED ECC → the single-bit error is *corrected* on the spot (the
+//!   model scrubs immediately; scrub-policy refinement is a ROADMAP item).
+
+use netfpga_mem::{Bram, Sram, Tcam};
+
+/// Error protection on a registered memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccMode {
+    /// No protection: upsets land silently.
+    None,
+    /// Parity per entry: upsets are detected but not corrected.
+    Parity,
+    /// SECDED ECC: single-bit upsets are corrected (and counted).
+    Secded,
+}
+
+/// What became of one injected upset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlipOutcome {
+    /// The target location holds no data (empty TCAM slot, out of range):
+    /// the upset was harmless and nothing changed.
+    Missed,
+    /// The flip landed and nothing will ever notice (no protection).
+    Silent,
+    /// The flip landed; parity flags the entry as corrupt but the stored
+    /// data remains wrong.
+    Detected,
+    /// ECC corrected the flip: the stored data is intact again.
+    Corrected,
+}
+
+/// Storage whose bits can be flipped in place by the fault plane.
+pub trait FaultableMemory {
+    /// Flip stored `bit` of entry `index`. Returns `false` if the location
+    /// holds no data to corrupt (empty slot or out of range) — the upset
+    /// is then harmless, mirroring an SEU in an invalid row.
+    fn flip_bit(&mut self, index: usize, bit: usize) -> bool;
+
+    /// Number of addressable entries.
+    fn entries(&self) -> usize;
+
+    /// Stored bits per entry (the valid `bit` address space).
+    fn bits_per_entry(&self) -> usize;
+}
+
+impl FaultableMemory for Bram<u64> {
+    fn flip_bit(&mut self, index: usize, bit: usize) -> bool {
+        if index >= self.entries() || bit >= 64 {
+            return false;
+        }
+        let v = *self.peek(index);
+        self.poke(index, v ^ (1u64 << bit));
+        true
+    }
+
+    fn entries(&self) -> usize {
+        Bram::entries(self)
+    }
+
+    fn bits_per_entry(&self) -> usize {
+        64
+    }
+}
+
+impl FaultableMemory for Sram<u64> {
+    fn flip_bit(&mut self, index: usize, bit: usize) -> bool {
+        if index >= self.entries() || bit >= 64 {
+            return false;
+        }
+        let v = *self.peek(index);
+        // `init` is the direct (zero-time, uncounted) store port.
+        self.init(index, v ^ (1u64 << bit));
+        true
+    }
+
+    fn entries(&self) -> usize {
+        Sram::entries(self)
+    }
+
+    fn bits_per_entry(&self) -> usize {
+        64
+    }
+}
+
+impl<V: Clone> FaultableMemory for Tcam<V> {
+    fn flip_bit(&mut self, index: usize, bit: usize) -> bool {
+        if index >= self.capacity() || bit >= self.key_bits_per_slot() {
+            return false;
+        }
+        self.corrupt_key_bit(index, bit)
+    }
+
+    fn entries(&self) -> usize {
+        self.capacity()
+    }
+
+    fn bits_per_entry(&self) -> usize {
+        self.key_bits_per_slot()
+    }
+}
+
+/// Apply one upset to `mem` and resolve it through `mode`.
+pub fn inject_flip(
+    mem: &mut dyn FaultableMemory,
+    mode: EccMode,
+    index: usize,
+    bit: usize,
+) -> FlipOutcome {
+    if !mem.flip_bit(index, bit) {
+        return FlipOutcome::Missed;
+    }
+    match mode {
+        EccMode::None => FlipOutcome::Silent,
+        EccMode::Parity => FlipOutcome::Detected,
+        EccMode::Secded => {
+            // Single-error correct: the model scrubs immediately.
+            mem.flip_bit(index, bit);
+            FlipOutcome::Corrected
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfpga_mem::{SramConfig, TcamEntry, TernaryKey};
+
+    #[test]
+    fn bram_flip_outcomes_by_mode() {
+        let mut b: Bram<u64> = Bram::new(8);
+        b.write(3, 0xff);
+        assert_eq!(inject_flip(&mut b, EccMode::None, 3, 0), FlipOutcome::Silent);
+        assert_eq!(*b.peek(3), 0xfe, "silent flip landed");
+        assert_eq!(inject_flip(&mut b, EccMode::Parity, 3, 8), FlipOutcome::Detected);
+        assert_eq!(*b.peek(3), 0x1fe, "parity detects but does not repair");
+        assert_eq!(inject_flip(&mut b, EccMode::Secded, 3, 16), FlipOutcome::Corrected);
+        assert_eq!(*b.peek(3), 0x1fe, "ECC corrected the upset");
+        // Fault injection is not a port access.
+        assert_eq!(b.access_counts(), (0, 1));
+    }
+
+    #[test]
+    fn out_of_range_upsets_are_missed() {
+        let mut b: Bram<u64> = Bram::new(4);
+        assert_eq!(inject_flip(&mut b, EccMode::None, 9, 0), FlipOutcome::Missed);
+        assert_eq!(inject_flip(&mut b, EccMode::None, 0, 64), FlipOutcome::Missed);
+    }
+
+    #[test]
+    fn sram_flip_lands_without_counting_an_access() {
+        let mut s: Sram<u64> = Sram::new(SramConfig::default());
+        s.init(5, 0b1010);
+        assert_eq!(inject_flip(&mut s, EccMode::None, 5, 0), FlipOutcome::Silent);
+        assert_eq!(*s.peek(5), 0b1011);
+        assert_eq!(s.access_counts(), (0, 0));
+    }
+
+    #[test]
+    fn tcam_key_upset_causes_mismatch_and_ecc_repairs_it() {
+        let mut t: Tcam<u32> = Tcam::new(4, 2);
+        t.insert(TcamEntry {
+            key: TernaryKey::exact(&[0x12, 0x34]),
+            priority: 1,
+            value: 7,
+        });
+        assert_eq!(t.lookup(&[0x12, 0x34]), Some(&7));
+        // Silent upset in the value plane: the entry no longer matches.
+        assert_eq!(inject_flip(&mut t, EccMode::None, 0, 0), FlipOutcome::Silent);
+        assert_eq!(t.lookup(&[0x12, 0x34]), None, "TCAM mismatch after upset");
+        // Repair by flipping back, then verify ECC leaves the entry intact.
+        t.corrupt_key_bit(0, 0);
+        assert_eq!(inject_flip(&mut t, EccMode::Secded, 0, 5), FlipOutcome::Corrected);
+        assert_eq!(t.lookup(&[0x12, 0x34]), Some(&7), "corrected entry still matches");
+        // Empty slot: harmless.
+        assert_eq!(inject_flip(&mut t, EccMode::Parity, 2, 0), FlipOutcome::Missed);
+    }
+}

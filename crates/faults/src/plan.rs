@@ -1,0 +1,190 @@
+//! Declarative, seeded fault schedules.
+//!
+//! A [`FaultPlan`] is data: a seed plus an ordered list of [`FaultEvent`]s
+//! saying *what* goes wrong *when*. The [`FaultInjector`](crate::FaultInjector)
+//! interprets it against a running simulation. Because the plan is plain
+//! data and all randomness (bit positions, error spacing) derives from the
+//! plan's seed through `SimRng`, any failing scenario replays exactly from
+//! `(plan, seed)` — the property every acceptance test of this subsystem
+//! leans on.
+
+use netfpga_core::time::Time;
+use netfpga_phy::PortBond;
+
+/// One kind of fault to inject.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Take `port`'s link down for `duration` (one half of a flap): frames
+    /// crossing the port in either direction during the window are dropped
+    /// and counted. The link comes back by itself when the window closes.
+    LinkDown {
+        /// Front-panel port index.
+        port: u8,
+        /// How long the link stays down.
+        duration: Time,
+    },
+    /// Set `port`'s bit-error rate (errors per frame data bit, applied in
+    /// both directions). `0.0` turns errors off. Error spacing is drawn
+    /// from the geometric distribution with the plan's seed; each error
+    /// flips one stored bit, so frames become detectable as corrupt by the
+    /// receiving MAC's CRC-32 FCS check.
+    SetBer {
+        /// Front-panel port index.
+        port: u8,
+        /// Errors per data bit (e.g. `1e-6`).
+        ber: f64,
+    },
+    /// Lose `lanes_lost` lanes of `port`'s bonded interface. Traffic is
+    /// re-paced at the degraded bonded rate ([`PortBond::degrade`]); losing
+    /// every lane takes the link down until [`FaultKind::LaneRestore`].
+    LaneLoss {
+        /// Front-panel port index.
+        port: u8,
+        /// Lanes removed from the bond (absolute, not cumulative).
+        lanes_lost: u8,
+    },
+    /// Restore all lanes of `port` (retraining complete).
+    LaneRestore {
+        /// Front-panel port index.
+        port: u8,
+    },
+    /// Pause frame forwarding through `port` for `duration` — a
+    /// backpressure storm. Unlike [`FaultKind::LinkDown`] nothing is lost:
+    /// frames queue at the port edge and burst out when the stall lifts.
+    StreamStall {
+        /// Front-panel port index.
+        port: u8,
+        /// How long forwarding is frozen.
+        duration: Time,
+    },
+    /// Freeze the DMA engine for `duration` (host bus stall): no
+    /// descriptors move, pending work waits.
+    DmaStall {
+        /// How long the engine is frozen.
+        duration: Time,
+    },
+    /// Silently discard every packet crossing the DMA engine for
+    /// `duration` (both directions), counting each loss.
+    DmaDrop {
+        /// How long packets are discarded.
+        duration: Time,
+    },
+    /// Flip stored bit `bit` of entry `index` in the registered memory
+    /// named `memory`. What happens next depends on the memory's
+    /// [`EccMode`](crate::EccMode): silent corruption, detect-only, or
+    /// correct-and-count.
+    MemFlip {
+        /// Name the memory was registered under.
+        memory: String,
+        /// Entry (word/slot) index.
+        index: usize,
+        /// Bit within the entry.
+        bit: usize,
+    },
+}
+
+/// One scheduled fault: a kind and the instant it fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated time at which the fault is applied.
+    pub at: Time,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// A record of one *applied* fault, kept by the injector. Comparing two
+/// runs' traces is how determinism is asserted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// When the fault was applied (injector tick time).
+    pub at: Time,
+    /// What was applied.
+    pub kind: FaultKind,
+}
+
+/// A declarative, seeded schedule of fault events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fault-plane randomness (bit positions, error spacing).
+    pub seed: u64,
+    /// The schedule. Order does not matter; the injector applies events in
+    /// time order (ties in insertion order).
+    pub events: Vec<FaultEvent>,
+    /// Splice the fault hooks even with no scheduled events, so faults can
+    /// be injected at runtime (nftest `InjectFault`). [`FaultPlan::none`]
+    /// leaves this false: a fully inert plan adds *nothing* to the
+    /// simulation, keeping the no-fault chassis bit-for-bit identical.
+    pub armed: bool,
+    /// Per-port lane bonding, for [`FaultKind::LaneLoss`] degraded-rate
+    /// math. Ports without an entry default to a single-lane bond (any
+    /// lane loss is a link-down).
+    pub bonds: Vec<(u8, PortBond)>,
+}
+
+impl FaultPlan {
+    /// The inert plan: no events, hooks not spliced. A chassis built with
+    /// this plan is bit-for-bit identical to one built without faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan { seed: 0, events: Vec::new(), armed: false, bonds: Vec::new() }
+    }
+
+    /// An armed, empty plan: fault hooks are spliced (so runtime injection
+    /// works) but nothing is scheduled.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, events: Vec::new(), armed: true, bonds: Vec::new() }
+    }
+
+    /// Builder: schedule `kind` at `at`.
+    pub fn at(mut self, at: Time, kind: FaultKind) -> FaultPlan {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Builder: declare `port` as a bonded interface for lane-loss math.
+    pub fn bond(mut self, port: u8, bond: PortBond) -> FaultPlan {
+        self.bonds.push((port, bond));
+        self
+    }
+
+    /// True if the plan injects nothing and is not armed for runtime
+    /// injection — the injector is not spliced at all.
+    pub fn is_inert(&self) -> bool {
+        !self.armed && self.events.is_empty()
+    }
+
+    /// The schedule in application order (stable sort by time).
+    pub fn sorted_events(&self) -> Vec<FaultEvent> {
+        let mut ev = self.events.clone();
+        ev.sort_by_key(|e| e.at);
+        ev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert_and_armed_is_not() {
+        assert!(FaultPlan::none().is_inert());
+        assert!(!FaultPlan::new(7).is_inert());
+        let scheduled = FaultPlan::none().at(
+            Time::from_us(1),
+            FaultKind::DmaStall { duration: Time::from_us(1) },
+        );
+        assert!(!scheduled.is_inert());
+    }
+
+    #[test]
+    fn sorted_events_is_stable_by_time() {
+        let plan = FaultPlan::new(1)
+            .at(Time::from_us(5), FaultKind::LaneRestore { port: 0 })
+            .at(Time::from_us(1), FaultKind::SetBer { port: 0, ber: 1e-6 })
+            .at(Time::from_us(5), FaultKind::LaneRestore { port: 1 });
+        let ev = plan.sorted_events();
+        assert_eq!(ev[0].at, Time::from_us(1));
+        // Ties keep insertion order: port 0 before port 1.
+        assert_eq!(ev[1].kind, FaultKind::LaneRestore { port: 0 });
+        assert_eq!(ev[2].kind, FaultKind::LaneRestore { port: 1 });
+    }
+}

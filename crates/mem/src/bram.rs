@@ -54,6 +54,14 @@ impl<V: Clone + Default> Bram<V> {
         &self.storage[addr]
     }
 
+    /// Overwrite `addr` without counting an access — models an upset of
+    /// the stored cells themselves (fault injection), not a port access,
+    /// so `access_counts` still reflects only real datapath traffic.
+    pub fn poke(&mut self, addr: usize, value: V) {
+        assert!(addr < self.storage.len(), "BRAM poke out of range");
+        self.storage[addr] = value;
+    }
+
     /// Advance one cycle: latch any pending read into the output register.
     pub fn tick(&mut self) {
         if let Some(addr) = self.pending.take() {

@@ -47,6 +47,24 @@ impl TernaryKey {
     pub fn prefix_bits(&self) -> u32 {
         self.mask.iter().map(|m| m.count_ones()).sum()
     }
+
+    /// Flip one stored key cell — the fault-injection model of a TCAM
+    /// upset. Bits `0..width*8` address the value plane, the next
+    /// `width*8` the mask plane (X/Y cell pairs in a real TCAM). A value
+    /// bit flipped where the mask is care makes the entry mismatch traffic
+    /// it used to match; flipped where the mask is don't-care it makes the
+    /// entry match *nothing* (`data & mask` can never equal a value bit
+    /// outside the mask) — both real failure modes.
+    pub fn flip_stored_bit(&mut self, bit: usize) {
+        let plane_bits = self.value.len() * 8;
+        assert!(bit < 2 * plane_bits, "key bit out of range");
+        if bit < plane_bits {
+            self.value[bit / 8] ^= 1 << (bit % 8);
+        } else {
+            let bit = bit - plane_bits;
+            self.mask[bit / 8] ^= 1 << (bit % 8);
+        }
+    }
 }
 
 /// One TCAM rule.
@@ -205,6 +223,25 @@ impl<V: Clone> Tcam<V> {
     pub fn stats(&self) -> (u64, u64) {
         (self.lookups, self.hits)
     }
+
+    /// Stored key bits per slot (value plane + mask plane) — the bit
+    /// address space [`Tcam::corrupt_key_bit`] injects into.
+    pub fn key_bits_per_slot(&self) -> usize {
+        2 * self.width * 8
+    }
+
+    /// Flip one stored key bit of an occupied slot (fault injection).
+    /// Returns `false` if the slot is empty (nothing to corrupt — a real
+    /// upset in an invalid row is harmless).
+    pub fn corrupt_key_bit(&mut self, slot: usize, bit: usize) -> bool {
+        match &mut self.slots[slot] {
+            Some(entry) => {
+                entry.key.flip_stored_bit(bit);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -322,5 +359,20 @@ mod tests {
                 .map(|(i, _)| i as u8);
             prop_assert_eq!(t.lookup(&probe.to_be_bytes()).copied(), expect);
         }
+    }
+
+    /// A corrupted key cell makes the entry stop matching traffic it used
+    /// to match — the TCAM-mismatch fault the fault plane injects.
+    #[test]
+    fn corrupt_key_bit_causes_mismatch() {
+        let mut t: Tcam<u8> = Tcam::new(4, 2);
+        t.insert(TcamEntry { key: TernaryKey::exact(&[0x12, 0x34]), priority: 1, value: 9 });
+        assert_eq!(t.lookup(&[0x12, 0x34]), Some(&9));
+        assert_eq!(t.key_bits_per_slot(), 32);
+        // Flip a care value bit: the stored key now disagrees with the wire.
+        assert!(t.corrupt_key_bit(0, 0));
+        assert_eq!(t.lookup(&[0x12, 0x34]), None, "upset entry mismatches");
+        // Empty slots are harmless to corrupt.
+        assert!(!t.corrupt_key_bit(3, 0));
     }
 }

@@ -16,6 +16,7 @@
 
 use netfpga_core::stream::Meta;
 use netfpga_core::time::Time;
+use netfpga_faults::FaultKind;
 use netfpga_packet::hexdump::{hexdump, summarize};
 use netfpga_projects::harness::Chassis;
 use std::collections::VecDeque;
@@ -83,6 +84,25 @@ pub enum Step {
     RunFor {
         /// Duration to run.
         duration: Time,
+    },
+    /// Inject a fault through the chassis fault plane. Fails the plan if
+    /// the chassis was built without one ([`Chassis::with_faults`] with a
+    /// non-inert plan).
+    InjectFault {
+        /// The fault to inject.
+        fault: FaultKind,
+    },
+    /// Read a register and require `lo <= value <= hi` — the assertion
+    /// shape for fault counters and other load-dependent statistics whose
+    /// exact value is timing-sensitive but whose range proves the
+    /// behaviour (e.g. "some frames dropped, but not all").
+    ExpectCounterInRange {
+        /// Global address.
+        addr: u32,
+        /// Lowest acceptable value (inclusive).
+        lo: u32,
+        /// Highest acceptable value (inclusive).
+        hi: u32,
     },
 }
 
@@ -156,6 +176,18 @@ impl TestPlan {
     /// Append: unconditional run.
     pub fn run_for(mut self, duration: Time) -> Self {
         self.steps.push(Step::RunFor { duration });
+        self
+    }
+
+    /// Append: inject a fault through the chassis fault plane.
+    pub fn inject_fault(mut self, fault: FaultKind) -> Self {
+        self.steps.push(Step::InjectFault { fault });
+        self
+    }
+
+    /// Append: expect a register (counter) value in `lo..=hi`.
+    pub fn expect_counter_in_range(mut self, addr: u32, lo: u32, hi: u32) -> Self {
+        self.steps.push(Step::ExpectCounterInRange { addr, lo, hi });
         self
     }
 
@@ -311,6 +343,22 @@ pub fn run(plan: &TestPlan, chassis: &mut Chassis) -> TestReport {
             Step::RunFor { duration } => {
                 chassis.run_for(*duration);
                 state.drain(chassis);
+            }
+            Step::InjectFault { fault } => match &chassis.faults {
+                Some(handle) => handle.inject(fault.clone()),
+                None => failures.push(format!(
+                    "step {i}: InjectFault on a chassis without a fault plane \
+                     (build it with a non-inert FaultPlan)"
+                )),
+            },
+            Step::ExpectCounterInRange { addr, lo, hi } => {
+                checks += 1;
+                let got = chassis.read32(*addr);
+                if got < *lo || got > *hi {
+                    failures.push(format!(
+                        "step {i}: counter {addr:#010x}: expected {lo}..={hi}, got {got}"
+                    ));
+                }
             }
         }
     }
@@ -514,6 +562,67 @@ mod tests {
         let report = run(&plan, &mut sw.chassis);
         assert!(!report.passed());
         assert!(report.failures[0].contains("unordered"));
+    }
+
+    #[test]
+    fn fault_steps_drive_link_flap_and_counters() {
+        use netfpga_faults::{faultregs, FaultPlan, FAULTS_BASE};
+        let mut sw = ReferenceSwitch::with_faults(
+            &BoardSpec::sume(),
+            4,
+            1024,
+            Time::from_ms(100),
+            false,
+            FaultPlan::new(11),
+        );
+        let f = frame(1, 2);
+        let plan = TestPlan::new("fault_flap")
+            // Take port 0's link down, send into it: the frame is dropped
+            // and counted, never forwarded.
+            .inject_fault(FaultKind::LinkDown { port: 0, duration: Time::from_us(20) })
+            .run_for(Time::from_us(1))
+            .send_phy(0, f.clone())
+            .run_for(Time::from_us(10))
+            .expect_counter_in_range(FAULTS_BASE + faultregs::LINK_DOWN_DROPS, 1, 1)
+            // After the flap the link recovers: traffic floods again.
+            .run_for(Time::from_us(20))
+            .send_phy(0, f.clone())
+            .expect_phy(1, f.clone())
+            .expect_phy(2, f.clone())
+            .expect_phy(3, f)
+            .barrier(Time::from_us(50))
+            .expect_counter_in_range(FAULTS_BASE + faultregs::LINK_DOWN_DROPS, 1, 1);
+        let report = run(&plan, &mut sw.chassis);
+        report.assert_passed();
+        assert_eq!(report.checks, 5);
+    }
+
+    #[test]
+    fn inject_fault_without_fault_plane_fails_the_plan() {
+        let mut sw = ReferenceSwitch::new(&BoardSpec::sume(), 4, 1024, Time::from_ms(100));
+        let plan = TestPlan::new("no_plane")
+            .inject_fault(FaultKind::LinkDown { port: 0, duration: Time::from_us(1) });
+        let report = run(&plan, &mut sw.chassis);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("without a fault plane"));
+    }
+
+    #[test]
+    fn counter_out_of_range_reported() {
+        use netfpga_faults::{faultregs, FaultPlan, FAULTS_BASE};
+        let mut sw = ReferenceSwitch::with_faults(
+            &BoardSpec::sume(),
+            4,
+            1024,
+            Time::from_ms(100),
+            false,
+            FaultPlan::new(12),
+        );
+        let plan = TestPlan::new("range")
+            .expect_counter_in_range(FAULTS_BASE + faultregs::LINK_DOWN_DROPS, 5, 9);
+        let report = run(&plan, &mut sw.chassis);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("expected 5..=9, got 0"));
     }
 
     #[test]

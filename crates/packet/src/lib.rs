@@ -31,6 +31,7 @@ pub mod arp;
 pub mod builder;
 pub mod checksum;
 pub mod ethernet;
+pub mod fcs;
 pub mod hexdump;
 pub mod icmpv4;
 pub mod ipv4;

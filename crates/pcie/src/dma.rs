@@ -40,6 +40,68 @@ struct Rings {
     stats: DmaStats,
 }
 
+#[derive(Debug, Default)]
+struct DmaFaultInner {
+    stall_until: Time,
+    drop_until: Time,
+    stalled_ticks: u64,
+    dropped: u64,
+}
+
+/// An externally driven fault gate for the DMA engine: the fault plane
+/// opens stall windows (the engine freezes, as under PCIe retraining or a
+/// wedged driver) and drop windows (packets crossing the engine are
+/// discarded and counted). With no window open the gate is completely
+/// inert — the engine behaves exactly as without one.
+#[derive(Debug, Clone, Default)]
+pub struct DmaFaultGate {
+    inner: Rc<RefCell<DmaFaultInner>>,
+}
+
+impl DmaFaultGate {
+    /// A gate with no windows open.
+    pub fn new() -> DmaFaultGate {
+        DmaFaultGate::default()
+    }
+
+    /// Open (or extend) a stall window through `until`.
+    pub fn stall_until(&self, until: Time) {
+        let mut i = self.inner.borrow_mut();
+        i.stall_until = i.stall_until.max(until);
+    }
+
+    /// Open (or extend) a drop window through `until`.
+    pub fn drop_until(&self, until: Time) {
+        let mut i = self.inner.borrow_mut();
+        i.drop_until = i.drop_until.max(until);
+    }
+
+    /// Whether a stall window is open at `now`.
+    pub fn stalled_at(&self, now: Time) -> bool {
+        now < self.inner.borrow().stall_until
+    }
+
+    /// Whether a drop window is open at `now`.
+    pub fn dropping_at(&self, now: Time) -> bool {
+        now < self.inner.borrow().drop_until
+    }
+
+    /// Ticks the engine spent frozen with work pending.
+    pub fn stalled_ticks(&self) -> u64 {
+        self.inner.borrow().stalled_ticks
+    }
+
+    /// Packets discarded inside drop windows (both directions).
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Clear windows and counters (fault-plane reset).
+    pub fn clear(&self) {
+        *self.inner.borrow_mut() = DmaFaultInner::default();
+    }
+}
+
 /// Host-side handle to the DMA rings.
 #[derive(Debug, Clone)]
 pub struct DmaHandle {
@@ -106,6 +168,7 @@ pub struct DmaEngine {
     h2c_free_at: Time,
     c2h_free_at: Time,
     reasm: Reassembler,
+    fault: Option<DmaFaultGate>,
 }
 
 impl DmaEngine {
@@ -133,9 +196,17 @@ impl DmaEngine {
                 h2c_free_at: Time::ZERO,
                 c2h_free_at: Time::ZERO,
                 reasm: Reassembler::new(),
+                fault: None,
             },
             DmaHandle { rings, tx_capacity },
         )
+    }
+
+    /// Attach a fault gate the fault plane drives. With no gate (or a gate
+    /// whose windows never open) the engine's behaviour is unchanged.
+    pub fn with_fault_gate(mut self, gate: DmaFaultGate) -> DmaEngine {
+        self.fault = Some(gate);
+        self
     }
 }
 
@@ -145,11 +216,29 @@ impl Module for DmaEngine {
     }
 
     fn tick(&mut self, ctx: &TickContext) {
+        // Fault gate: inside a stall window the engine freezes entirely
+        // (descriptor fetch, injection and absorption all stop); inside a
+        // drop window packets crossing the engine are discarded.
+        let mut dropping = false;
+        if let Some(gate) = &self.fault {
+            if gate.stalled_at(ctx.now) {
+                let has_work = !self.inject.is_empty()
+                    || self.from_card.can_pop()
+                    || !self.rings.borrow().tx.is_empty();
+                if has_work {
+                    gate.inner.borrow_mut().stalled_ticks += 1;
+                }
+                return;
+            }
+            dropping = gate.dropping_at(ctx.now);
+        }
         // Host → card: fetch the next TX descriptor once the link is free,
         // then stream it into the datapath a word per cycle.
         if self.inject.is_empty() && self.h2c_free_at <= ctx.now {
             let popped = self.rings.borrow_mut().tx.pop_front();
-            if let Some((packet, mut meta)) = popped {
+            if dropping && popped.is_some() {
+                self.fault.as_ref().expect("gate present").inner.borrow_mut().dropped += 1;
+            } else if let Some((packet, mut meta)) = popped {
                 self.h2c_free_at = ctx.now + self.config.transfer_time(packet.len());
                 meta.ingress_time = ctx.now;
                 let mut r = self.rings.borrow_mut();
@@ -172,6 +261,11 @@ impl Module for DmaEngine {
             if let Some(word) = self.from_card.pop() {
                 if let Some((packet, meta)) = self.reasm.push(word) {
                     self.c2h_free_at = ctx.now + self.config.transfer_time(packet.len());
+                    if dropping {
+                        self.fault.as_ref().expect("gate present").inner.borrow_mut().dropped +=
+                            1;
+                        return;
+                    }
                     let mut r = self.rings.borrow_mut();
                     if r.rx.len() >= self.rx_capacity {
                         r.stats.rx_drops += 1;
@@ -310,5 +404,76 @@ mod tests {
     fn empty_send_rejected() {
         let (_sim, handle, _i, _c) = setup(2, 2);
         handle.send(Vec::new(), 0);
+    }
+
+    fn setup_with_gate() -> (
+        Simulator,
+        DmaHandle,
+        netfpga_core::packetio::InjectQueue,
+        netfpga_core::packetio::CaptureBuffer,
+        DmaFaultGate,
+    ) {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("core", Frequency::mhz(200));
+        let (h2c_tx, h2c_rx) = Stream::new(8, 32);
+        let (c2h_tx, c2h_rx) = Stream::new(8, 32);
+        let gate = DmaFaultGate::new();
+        let (engine, handle) =
+            DmaEngine::new("dma", PcieConfig::gen3_x8(), h2c_tx, c2h_rx, 8, 8);
+        let engine = engine.with_fault_gate(gate.clone());
+        let (sink, captured) = PacketSink::new("to_card_sink", h2c_rx);
+        let (source, inject) = PacketSource::new("from_card_src", c2h_tx);
+        sim.add_module(clk, engine);
+        sim.add_module(clk, sink);
+        sim.add_module(clk, source);
+        (sim, handle, inject, captured, gate)
+    }
+
+    /// A stall window freezes the engine with work pending; once it closes
+    /// the queued packet crosses normally.
+    #[test]
+    fn stall_window_defers_injection() {
+        let (mut sim, handle, _inject, captured, gate) = setup_with_gate();
+        gate.stall_until(Time::from_us(3));
+        assert!(handle.send(vec![9u8; 128], 0));
+        sim.run_until(Time::from_us(2));
+        assert_eq!(captured.total_packets(), 0, "frozen inside the window");
+        assert!(gate.stalled_ticks() > 0);
+        sim.run_until(Time::from_us(6));
+        assert_eq!(captured.total_packets(), 1, "delivered after the window");
+    }
+
+    /// A drop window discards packets in both directions and counts them.
+    #[test]
+    fn drop_window_discards_and_counts() {
+        let (mut sim, handle, inject, captured, gate) = setup_with_gate();
+        gate.drop_until(Time::from_us(5));
+        assert!(handle.send(vec![1u8; 64], 0)); // h2c: dropped
+        inject.push(vec![2u8; 64], 1); // c2h: dropped
+        sim.run_until(Time::from_us(4));
+        assert_eq!(captured.total_packets(), 0);
+        assert!(handle.recv().is_none());
+        assert_eq!(gate.dropped(), 2);
+        // After the window, traffic flows again.
+        sim.run_until(Time::from_us(6));
+        assert!(handle.send(vec![3u8; 64], 0));
+        inject.push(vec![4u8; 64], 1);
+        sim.run_until(Time::from_us(10));
+        assert_eq!(captured.total_packets(), 1);
+        assert!(handle.recv().is_some());
+        assert_eq!(gate.dropped(), 2, "no drops outside the window");
+    }
+
+    /// An attached but never-opened gate leaves behaviour unchanged.
+    #[test]
+    fn inert_gate_is_invisible() {
+        let (mut sim, handle, inject, captured, gate) = setup_with_gate();
+        handle.send(vec![5u8; 256], 0);
+        inject.push(vec![6u8; 256], 2);
+        sim.run_until(Time::from_us(10));
+        assert_eq!(captured.total_packets(), 1);
+        assert!(handle.recv().is_some());
+        assert_eq!(gate.dropped(), 0);
+        assert_eq!(gate.stalled_ticks(), 0);
     }
 }

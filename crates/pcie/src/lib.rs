@@ -19,5 +19,5 @@ pub mod dma;
 pub mod mmio;
 
 pub use config::PcieConfig;
-pub use dma::{DmaEngine, DmaHandle, DmaStats};
+pub use dma::{DmaEngine, DmaFaultGate, DmaHandle, DmaStats};
 pub use mmio::{MmioBridge, MmioPort};

@@ -98,9 +98,13 @@ impl Module for Link {
                 frame.data[idx] ^= 0xff;
                 self.stats.corrupted += 1;
             }
+            // The recorded FCS rides along untouched: if the corruption
+            // branch above flipped a byte, the downstream RX MAC's
+            // recomputation will now fail — exactly the wire-error story.
             self.to.push(WireFrame {
                 data: frame.data,
                 ready_at: frame.ready_at + self.config.delay,
+                fcs: frame.fcs,
             });
             self.stats.forwarded += 1;
         }
@@ -135,6 +139,7 @@ mod tests {
             a.push(WireFrame {
                 data: vec![i as u8; 64],
                 ready_at: Time::from_ns(i as u64 * 100),
+                fcs: None,
             });
         }
         let link = Link::new("l", a, b.clone(), config);
@@ -188,7 +193,7 @@ mod tests {
         let a = Wire::new();
         let b = Wire::new();
         for i in 0..200 {
-            a.push(WireFrame { data: vec![0u8; 64], ready_at: Time::from_ns(i * 10) });
+            a.push(WireFrame { data: vec![0u8; 64], ready_at: Time::from_ns(i * 10), fcs: None });
         }
         let cfg = LinkConfig { corrupt_probability: 0.5, seed: 7, ..LinkConfig::default() };
         sim.add_module(clk, Link::new("l", a, b.clone(), cfg));

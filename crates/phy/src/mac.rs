@@ -41,10 +41,16 @@ pub fn line_rate_fps(rate: BitRate, len: u64) -> f64 {
 /// A frame in flight or delivered on a wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireFrame {
-    /// Frame bytes (no preamble/FCS; those are accounted as time).
+    /// Frame bytes (no preamble/FCS bytes; those are accounted as time).
     pub data: Vec<u8>,
     /// Instant the last bit arrives at the far end.
     pub ready_at: Time,
+    /// The CRC-32 FCS computed when the frame was serialized, when known.
+    /// A transmitting MAC records it; impairments in flight corrupt `data`
+    /// without updating it, so the receiving MAC's recomputation fails —
+    /// the real Ethernet error-detection story. `None` means "assume good"
+    /// (tester-injected frames), preserving the pre-fault-plane behaviour.
+    pub fcs: Option<u32>,
 }
 
 /// A unidirectional wire: an ordered queue of frames with arrival times.
@@ -97,6 +103,9 @@ pub struct MacStats {
     pub wire_bytes: u64,
     /// Frames dropped (RX: datapath back-pressure overflow).
     pub dropped: u64,
+    /// Frames dropped by the RX MAC because the recomputed CRC-32 did not
+    /// match the frame's FCS (corrupted in flight).
+    pub bad_fcs: u64,
 }
 
 /// Shared, externally readable MAC statistics.
@@ -194,7 +203,11 @@ impl Module for EthMacTx {
                 // the FCS lands; IFG only gates the *next* frame.
                 let ifg = self.rate.time_for_bytes(IFG_BYTES);
                 let ready_at = busy_until.saturating_sub(ifg);
-                self.wire.push(WireFrame { data, ready_at });
+                // A real FCS rides along for downstream verification; its
+                // four bytes stay accounted as wire time only, so pacing
+                // and line-rate math are untouched.
+                let fcs = Some(netfpga_packet::fcs::crc32(&data));
+                self.wire.push(WireFrame { data, ready_at, fcs });
                 self.line_busy_until = busy_until;
                 let mut s = self.stats.0.borrow_mut();
                 s.frames += 1;
@@ -273,6 +286,15 @@ impl Module for EthMacRx {
             // segmented.
             if self.pending.is_empty() {
                 let Some(frame) = self.wire.take_ready(ctx.now) else { break };
+                // FCS check: a frame whose recorded FCS no longer matches
+                // its bytes was corrupted in flight — drop it here, as the
+                // hardware MAC does, and count it.
+                if let Some(fcs) = frame.fcs {
+                    if !netfpga_packet::fcs::verify(&frame.data, fcs) {
+                        self.stats.0.borrow_mut().bad_fcs += 1;
+                        continue;
+                    }
+                }
                 // A frame the datapath cannot absorb *at all* (wider than
                 // the whole FIFO) would wedge; the reference designs size
                 // FIFOs for max frames, so here we only need per-word
@@ -428,13 +450,63 @@ mod tests {
     #[test]
     fn wire_ordering_and_readiness() {
         let w = Wire::new();
-        w.push(WireFrame { data: vec![1], ready_at: Time::from_ns(100) });
-        w.push(WireFrame { data: vec![2], ready_at: Time::from_ns(50) });
+        w.push(WireFrame { data: vec![1], ready_at: Time::from_ns(100), fcs: None });
+        w.push(WireFrame { data: vec![2], ready_at: Time::from_ns(50), fcs: None });
         // Head not ready: nothing, even though a later frame "is" (wires
         // are FIFO; reordering is impossible).
         assert!(w.take_ready(Time::from_ns(60)).is_none());
         assert_eq!(w.take_ready(Time::from_ns(100)).unwrap().data, vec![1]);
         assert_eq!(w.take_ready(Time::from_ns(100)).unwrap().data, vec![2]);
         assert!(w.is_empty());
+    }
+
+    /// A TX MAC records the real CRC-32; a frame corrupted in flight is
+    /// dropped by the RX MAC and counted, while untouched frames and
+    /// FCS-less (tester) frames pass.
+    #[test]
+    fn rx_mac_drops_bad_fcs() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("core", Frequency::mhz(200));
+        let (dst_tx, dst_rx) = Stream::new(8, 32);
+        let wire = Wire::new();
+        let (mac_rx, rx_stats) = EthMacRx::new("mac_rx", wire.clone(), dst_tx, 0);
+        let (sink, capture) = PacketSink::new("dst", dst_rx);
+        sim.add_module(clk, mac_rx);
+        sim.add_module(clk, sink);
+
+        let good = vec![0x11u8; 100];
+        let mut corrupted = good.clone();
+        let fcs = netfpga_packet::fcs::crc32(&good);
+        corrupted[40] ^= 0x04; // single bit flip after FCS was recorded
+        wire.push(WireFrame { data: good.clone(), ready_at: Time::ZERO, fcs: Some(fcs) });
+        wire.push(WireFrame { data: corrupted, ready_at: Time::ZERO, fcs: Some(fcs) });
+        wire.push(WireFrame { data: vec![0x22; 64], ready_at: Time::ZERO, fcs: None });
+        sim.run_until(Time::from_us(1));
+
+        assert_eq!(capture.total_packets(), 2, "good + unchecked delivered");
+        assert_eq!(capture.pop().unwrap().data, good);
+        assert_eq!(capture.pop().unwrap().data, vec![0x22; 64]);
+        let s = rx_stats.get();
+        assert_eq!(s.bad_fcs, 1);
+        assert_eq!(s.frames, 2);
+    }
+
+    /// The TX MAC attaches the frame's true CRC-32 to what it puts on the
+    /// wire (verified against an independent computation).
+    #[test]
+    fn tx_mac_records_real_fcs() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("core", Frequency::mhz(200));
+        let (src_tx, src_rx) = Stream::new(8, 32);
+        let wire = Wire::new();
+        let (source, inject) = PacketSource::new("src", src_tx);
+        let (mac_tx, _stats) = EthMacTx::new("mac", BitRate::gbps(10), src_rx, wire.clone());
+        sim.add_module(clk, source);
+        sim.add_module(clk, mac_tx);
+        let frame = vec![0x5au8; 200];
+        inject.push(frame.clone(), 0);
+        sim.run_until(Time::from_us(2));
+        let f = wire.take_ready(Time::from_ms(1)).expect("frame on wire");
+        assert_eq!(f.fcs, Some(netfpga_packet::fcs::crc32(&frame)));
     }
 }

@@ -104,8 +104,22 @@ impl PortBond {
     }
 
     /// Whether `available` lanes at `max_lane_rate` can realize this bond.
+    /// A zero-lane bond requests nothing and is vacuously feasible.
     pub fn feasible_on(&self, available: usize, max_lane_rate: BitRate) -> bool {
-        usize::from(self.lanes) <= available && self.lane.line_rate <= max_lane_rate
+        self.lanes == 0
+            || (usize::from(self.lanes) <= available && self.lane.line_rate <= max_lane_rate)
+    }
+
+    /// The bond after losing `lanes_lost` lanes — the degraded-mode
+    /// operating point the fault plane drives. Losing every lane (or more)
+    /// saturates at zero lanes: the interface is down. A zero-lane bond
+    /// carries no traffic; callers must check `lanes == 0` rather than ask
+    /// for its rate, since [`BitRate`] cannot represent zero.
+    pub fn degrade(&self, lanes_lost: u8) -> PortBond {
+        PortBond {
+            lane: self.lane,
+            lanes: self.lanes.saturating_sub(lanes_lost),
+        }
     }
 }
 
@@ -146,6 +160,46 @@ mod tests {
         // Lane too slow for the rate:
         let slow = BitRate::gbps(6);
         assert!(!PortBond::ethernet_10g().feasible_on(30, slow));
+    }
+
+    #[test]
+    fn degrade_reduces_effective_rate() {
+        let bond = PortBond::ethernet_100g();
+        // Lose 3 of 10 lanes: 70 Gb/s effective.
+        assert_eq!(bond.degrade(3).effective_rate(), BitRate::gbps(70));
+        assert_eq!(bond.degrade(3).lanes, 7);
+        // Lose them all (or more): zero lanes — link down.
+        assert_eq!(bond.degrade(10).lanes, 0);
+        assert_eq!(bond.degrade(200).lanes, 0, "saturating, not wrapping");
+        // Losing nothing is the identity.
+        assert_eq!(bond.degrade(0), bond);
+    }
+
+    #[test]
+    fn feasible_on_zero_lanes_edge_cases() {
+        let max = BitRate::mbps(13_100);
+        // No transceivers available: any real bond is infeasible.
+        assert!(!PortBond::ethernet_10g().feasible_on(0, max));
+        // A fully degraded (zero-lane) bond requests nothing, so it is
+        // vacuously feasible anywhere — it just carries no traffic.
+        let dead = PortBond::ethernet_10g().degrade(1);
+        assert_eq!(dead.lanes, 0);
+        assert!(dead.feasible_on(0, max));
+        assert!(dead.feasible_on(30, BitRate::bps(1)));
+    }
+
+    #[test]
+    fn feasible_on_lane_rate_boundary() {
+        // Lane rate strictly above the transceiver limit: infeasible even
+        // with plenty of lanes.
+        let just_below = BitRate::bps(10_312_499_999);
+        assert!(!PortBond::ethernet_10g().feasible_on(30, just_below));
+        // Exactly at the limit is feasible (<=, not <).
+        let exact = BitRate::bps(10_312_500_000);
+        assert!(PortBond::ethernet_10g().feasible_on(30, exact));
+        // Exactly enough lanes is feasible too.
+        assert!(PortBond::ethernet_100g().feasible_on(10, exact));
+        assert!(!PortBond::ethernet_100g().feasible_on(9, exact));
     }
 
     #[test]

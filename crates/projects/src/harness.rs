@@ -16,6 +16,7 @@ use netfpga_core::regs::AddressMap;
 use netfpga_core::sim::{ClockId, Module, Simulator};
 use netfpga_core::stream::{Stream, StreamRx, StreamTx};
 use netfpga_core::time::{BitRate, Time};
+use netfpga_faults::{FaultHandle, FaultInjector, FaultPlan, FaultRegisters, FAULTS_BASE};
 use netfpga_pcie::{DmaEngine, DmaHandle, MmioBridge, MmioPort, PcieConfig};
 use netfpga_phy::mac::{wire_bytes, EthMacRx, EthMacTx, SharedMacStats, WireFrame};
 use netfpga_phy::Wire;
@@ -49,6 +50,9 @@ pub struct Chassis {
     pub dma: Option<DmaHandle>,
     /// Host MMIO port, when a bridge is attached.
     pub mmio: Option<MmioPort>,
+    /// Fault-plane handle, when the chassis was built with a non-inert
+    /// [`FaultPlan`] (see [`Chassis::with_faults`]).
+    pub faults: Option<FaultHandle>,
     /// The board's register map (empty until a project mounts blocks).
     pub map: Rc<AddressMap>,
     ports: Vec<TesterPort>,
@@ -77,6 +81,23 @@ impl Chassis {
         map: AddressMap,
         fast_path: bool,
     ) -> (Chassis, ChassisIo) {
+        Chassis::with_faults(spec, nports, map, fast_path, FaultPlan::none())
+    }
+
+    /// Like [`Chassis::with_fast_path`], with the fault plane spliced in:
+    /// a [`FaultInjector`] executing `plan` is interposed between the
+    /// tester and the port MACs, its counters are mounted at
+    /// [`FAULTS_BASE`], and any DMA engine attached later gets the plan's
+    /// fault gate. With an inert plan ([`FaultPlan::none`]) *nothing* is
+    /// spliced and the chassis is bit-for-bit identical to
+    /// [`Chassis::with_fast_path`].
+    pub fn with_faults(
+        spec: &BoardSpec,
+        nports: usize,
+        map: AddressMap,
+        fast_path: bool,
+        plan: FaultPlan,
+    ) -> (Chassis, ChassisIo) {
         assert!((1..=16).contains(&nports), "1..=16 ports");
         let mut sim = Simulator::new();
         let clk = sim.add_clock("core", spec.core_clock);
@@ -96,6 +117,11 @@ impl Chassis {
                 BitRate::bps(lane.as_bps() * u64::from(p.lanes))
             })
             .unwrap_or(BitRate::gbps(10));
+        let mut injector = if plan.is_inert() {
+            None
+        } else {
+            Some(FaultInjector::new("fault_injector", &plan))
+        };
         let mut ports = Vec::new();
         let mut from_ports = Vec::new();
         let mut to_ports = Vec::new();
@@ -104,12 +130,28 @@ impl Chassis {
         for i in 0..nports {
             let to_board = Wire::new();
             let from_board = Wire::new();
+            // With a live fault plane the injector owns the gap between
+            // the tester wires and the MAC wires; without one the MACs sit
+            // directly on the tester wires, exactly as before.
+            let (mac_in, mac_out) = match &mut injector {
+                Some((inj, _)) => {
+                    let inner_in = Wire::new();
+                    let inner_out = Wire::new();
+                    inj.tap_port(
+                        rate,
+                        to_board.clone(),
+                        inner_in.clone(),
+                        inner_out.clone(),
+                        from_board.clone(),
+                    );
+                    (inner_in, inner_out)
+                }
+                None => (to_board.clone(), from_board.clone()),
+            };
             let (rx_tx, rx_rx) = Stream::new(EDGE_FIFO_WORDS, spec.bus_width);
             let (tx_tx, tx_rx) = Stream::new(EDGE_FIFO_WORDS, spec.bus_width);
-            let (mac_rx, rstat) =
-                EthMacRx::new(&format!("mac{i}_rx"), to_board.clone(), rx_tx, i as u8);
-            let (mac_tx, tstat) =
-                EthMacTx::new(&format!("mac{i}_tx"), rate, tx_rx, from_board.clone());
+            let (mac_rx, rstat) = EthMacRx::new(&format!("mac{i}_rx"), mac_in, rx_tx, i as u8);
+            let (mac_tx, tstat) = EthMacTx::new(&format!("mac{i}_tx"), rate, tx_rx, mac_out);
             sim.add_module(clk, mac_rx.with_burst(fast_path));
             sim.add_module(clk, mac_tx.with_burst(fast_path));
             ports.push(TesterPort { to_board, from_board, rate, next_free: Time::ZERO });
@@ -118,6 +160,16 @@ impl Chassis {
             rx_stats.push(rstat);
             tx_stats.push(tstat);
         }
+        let faults = injector.map(|(inj, handle)| {
+            sim.add_module(clk, inj);
+            map.mount(
+                "faults",
+                FAULTS_BASE,
+                0x100,
+                netfpga_core::regs::shared(FaultRegisters::new(handle.clone())),
+            );
+            handle
+        });
         let pcie = PcieConfig {
             generation: spec.pcie.generation,
             lanes: spec.pcie.lanes,
@@ -129,6 +181,7 @@ impl Chassis {
                 clk,
                 dma: None,
                 mmio: None,
+                faults,
                 map: Rc::new(map),
                 ports,
                 rx_stats,
@@ -158,7 +211,10 @@ impl Chassis {
     /// Attach a DMA engine between the host and the given datapath streams
     /// (`to_card` feeds the datapath, `from_card` drains it).
     pub fn attach_dma(&mut self, to_card: StreamTx, from_card: StreamRx) {
-        let (engine, handle) = DmaEngine::new("dma", self.pcie, to_card, from_card, 256, 256);
+        let (mut engine, handle) = DmaEngine::new("dma", self.pcie, to_card, from_card, 256, 256);
+        if let Some(faults) = &self.faults {
+            engine = engine.with_fault_gate(faults.dma_gate());
+        }
         self.sim.add_module(self.clk, engine);
         self.dma = Some(handle);
     }
@@ -181,7 +237,7 @@ impl Chassis {
         let occupancy = p.rate.time_for_bytes(wire_bytes(frame.len() as u64));
         let ready_at = start + occupancy;
         p.next_free = ready_at;
-        p.to_board.push(WireFrame { data: frame, ready_at });
+        p.to_board.push(WireFrame { data: frame, ready_at, fcs: None });
     }
 
     /// Drain every frame the board has fully transmitted on `port`.

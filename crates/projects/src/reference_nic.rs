@@ -38,8 +38,21 @@ impl ReferenceNic {
     /// (whole packets per tick). Delivered packets, ports and counters are
     /// identical; cycle-level pacing inside the pipeline is collapsed.
     pub fn with_fast_path(spec: &BoardSpec, nports: usize, fast_path: bool) -> ReferenceNic {
+        ReferenceNic::with_faults(spec, nports, fast_path, netfpga_faults::FaultPlan::none())
+    }
+
+    /// Like [`ReferenceNic::with_fast_path`], with the fault plane spliced
+    /// in executing `plan` (see [`Chassis::with_faults`]); the DMA engine
+    /// is gated by the plan's stall/drop windows. An inert plan yields a
+    /// NIC bit-for-bit identical to [`ReferenceNic::with_fast_path`].
+    pub fn with_faults(
+        spec: &BoardSpec,
+        nports: usize,
+        fast_path: bool,
+        plan: netfpga_faults::FaultPlan,
+    ) -> ReferenceNic {
         let map = AddressMap::new();
-        let (mut chassis, io) = Chassis::with_fast_path(spec, nports, map, fast_path);
+        let (mut chassis, io) = Chassis::with_faults(spec, nports, map, fast_path, plan);
         let ChassisIo { from_ports, to_ports } = io;
         let w = chassis.bus_width();
 

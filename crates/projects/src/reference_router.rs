@@ -295,7 +295,28 @@ impl ReferenceRouter {
         make_config: impl FnOnce() -> QueueConfig,
         make_scheduler: impl FnMut() -> Box<dyn Scheduler>,
     ) -> ReferenceRouter {
-        let (mut chassis, io) = Chassis::new(spec, nports, AddressMap::new());
+        Self::with_faults(
+            spec,
+            nports,
+            make_config,
+            make_scheduler,
+            netfpga_faults::FaultPlan::none(),
+        )
+    }
+
+    /// Like [`ReferenceRouter::with_scheduler`], with the fault plane
+    /// spliced in executing `plan` (see [`Chassis::with_faults`]); the DMA
+    /// engine is gated by the plan's stall/drop windows. An inert plan
+    /// yields a router bit-for-bit identical to
+    /// [`ReferenceRouter::with_scheduler`].
+    pub fn with_faults(
+        spec: &BoardSpec,
+        nports: usize,
+        make_config: impl FnOnce() -> QueueConfig,
+        make_scheduler: impl FnMut() -> Box<dyn Scheduler>,
+        plan: netfpga_faults::FaultPlan,
+    ) -> ReferenceRouter {
+        let (mut chassis, io) = Chassis::with_faults(spec, nports, AddressMap::new(), false, plan);
         let ChassisIo { from_ports, to_ports } = io;
         let w = chassis.bus_width();
         let cpu_port = nports as u8;

@@ -109,8 +109,30 @@ impl ReferenceSwitch {
         age_limit: Time,
         fast_path: bool,
     ) -> ReferenceSwitch {
+        ReferenceSwitch::with_faults(
+            spec,
+            nports,
+            table_capacity,
+            age_limit,
+            fast_path,
+            netfpga_faults::FaultPlan::none(),
+        )
+    }
+
+    /// Like [`ReferenceSwitch::with_fast_path`], with the fault plane
+    /// spliced in executing `plan` (see [`Chassis::with_faults`]). An
+    /// inert plan yields a switch bit-for-bit identical to
+    /// [`ReferenceSwitch::with_fast_path`].
+    pub fn with_faults(
+        spec: &BoardSpec,
+        nports: usize,
+        table_capacity: usize,
+        age_limit: Time,
+        fast_path: bool,
+        plan: netfpga_faults::FaultPlan,
+    ) -> ReferenceSwitch {
         let (mut chassis, io) =
-            Chassis::with_fast_path(spec, nports, AddressMap::new(), fast_path);
+            Chassis::with_faults(spec, nports, AddressMap::new(), fast_path, plan);
         let ChassisIo { from_ports, to_ports } = io;
         let w = chassis.bus_width();
 

@@ -1,0 +1,211 @@
+//! Fault-plane integration: the acceptance criteria of the subsystem.
+//!
+//! * An all-zero (inert) `FaultPlan` leaves every chassis bit-for-bit
+//!   identical to one built without faults — same frames, same wire
+//!   timestamps, same counters.
+//! * A seeded plan replays identically: same trace, counters, captures.
+//! * An nftest plan shows the reference switch degrading gracefully:
+//!   counted drops, no hang, recovered throughput after a link flap.
+//! * DMA stall/drop windows act on the reference NIC's host path.
+
+use netfpga_core::board::BoardSpec;
+use netfpga_core::stream::{Meta, PortMask};
+use netfpga_core::time::Time;
+use netfpga_faults::{faultregs, FaultKind, FaultPlan, FAULTS_BASE};
+use netfpga_nftest::{run, TestPlan};
+use netfpga_packet::{EtherType, EthernetAddress, PacketBuilder};
+use netfpga_projects::reference_switch::LOOKUP_BASE;
+use netfpga_projects::{Chassis, ReferenceNic, ReferenceSwitch};
+
+fn mac(x: u8) -> EthernetAddress {
+    EthernetAddress::new(2, 0, 0, 0, 0, x)
+}
+
+fn frame(src: u8, dst: u8, len: usize) -> Vec<u8> {
+    PacketBuilder::new()
+        .eth(mac(src), mac(dst))
+        .raw(EtherType::Ipv4, &vec![src; len.saturating_sub(18)])
+        .build()
+}
+
+/// Per-port captures with wire timestamps.
+type TimedCaptures = Vec<(usize, Vec<(Vec<u8>, Time)>)>;
+
+/// Drive a deterministic traffic mix and capture everything with wire
+/// timestamps.
+fn switch_traffic(sw: &mut ReferenceSwitch) -> TimedCaptures {
+    for i in 0..12u8 {
+        sw.chassis.send(usize::from(i % 4), frame(i % 4, (i + 1) % 4, 80 + usize::from(i) * 40));
+    }
+    sw.chassis.run_for(Time::from_us(200));
+    (0..4).map(|p| (p, sw.chassis.recv_timed(p))).collect()
+}
+
+#[test]
+fn inert_plan_is_bit_for_bit_identical_on_the_switch() {
+    let spec = BoardSpec::sume();
+    let mut plain = ReferenceSwitch::new(&spec, 4, 1024, Time::from_ms(100));
+    let mut faulted = ReferenceSwitch::with_faults(
+        &spec,
+        4,
+        1024,
+        Time::from_ms(100),
+        false,
+        FaultPlan::none(),
+    );
+    assert!(faulted.chassis.faults.is_none(), "inert plan splices nothing");
+
+    let a = switch_traffic(&mut plain);
+    let b = switch_traffic(&mut faulted);
+    assert_eq!(a, b, "frames, ports and wire timestamps must match exactly");
+    for p in 0..4 {
+        assert_eq!(plain.chassis.rx_mac_stats(p), faulted.chassis.rx_mac_stats(p));
+        assert_eq!(plain.chassis.tx_mac_stats(p), faulted.chassis.tx_mac_stats(p));
+    }
+    assert_eq!(
+        plain.chassis.read32(LOOKUP_BASE + 8),
+        faulted.chassis.read32(LOOKUP_BASE + 8),
+        "learned-entry counts must match"
+    );
+}
+
+#[test]
+fn inert_plan_is_bit_for_bit_identical_on_the_nic() {
+    let spec = BoardSpec::sume();
+    let run_nic = |mut nic: ReferenceNic| {
+        let dma = nic.chassis.dma.clone().expect("NIC has DMA");
+        nic.chassis.send(2, frame(5, 6, 200));
+        dma.send_with_meta(
+            frame(7, 8, 150),
+            Meta { dst_ports: PortMask::single(1), ..Default::default() },
+        );
+        nic.chassis.run_for(Time::from_us(100));
+        let up = dma.recv();
+        let down = nic.chassis.recv_timed(1);
+        (up, down, dma.stats())
+    };
+    let a = run_nic(ReferenceNic::new(&spec, 4));
+    let b = run_nic(ReferenceNic::with_faults(&spec, 4, false, FaultPlan::none()));
+    assert_eq!(a.0, b.0, "host-bound packet identical");
+    assert_eq!(a.1, b.1, "wire-bound frame and timestamp identical");
+    assert_eq!(a.2, b.2, "DMA statistics identical");
+}
+
+#[test]
+fn seeded_plan_replays_identically() {
+    let build = |seed| {
+        let plan = FaultPlan::new(seed)
+            .at(Time::ZERO, FaultKind::SetBer { port: 0, ber: 2e-5 })
+            .at(Time::from_us(30), FaultKind::LinkDown { port: 1, duration: Time::from_us(25) })
+            .at(Time::from_us(80), FaultKind::StreamStall { port: 2, duration: Time::from_us(10) });
+        ReferenceSwitch::with_faults(&BoardSpec::sume(), 4, 1024, Time::from_ms(100), false, plan)
+    };
+    let run_once = |seed: u64| {
+        let mut sw = build(seed);
+        let captures = switch_traffic(&mut sw);
+        let faults = sw.chassis.faults.clone().expect("armed");
+        let c = faults.counters();
+        (
+            captures,
+            faults.trace(),
+            (
+                c.ber_flips.get(),
+                c.frames_corrupted.get(),
+                c.link_down_drops.get(),
+                c.stream_stall_ticks.get(),
+            ),
+            (0..4).map(|p| sw.chassis.rx_mac_stats(p)).collect::<Vec<_>>(),
+        )
+    };
+    let a = run_once(2024);
+    let b = run_once(2024);
+    assert_eq!(a.0, b.0, "same seed: same captures and timestamps");
+    assert_eq!(a.1, b.1, "same seed: same fault trace");
+    assert_eq!(a.2, b.2, "same seed: same fault counters");
+    assert_eq!(a.3, b.3, "same seed: same MAC counters");
+
+    let c = run_once(2025);
+    assert!(a.1 == c.1, "trace holds only scheduled events, seed-independent");
+    assert_ne!(a.0, c.0, "different seed: different corruption pattern");
+}
+
+#[test]
+fn nftest_plan_shows_graceful_degradation_and_recovery() {
+    let mut sw = ReferenceSwitch::with_faults(
+        &BoardSpec::sume(),
+        4,
+        1024,
+        Time::from_ms(100),
+        false,
+        FaultPlan::new(77),
+    );
+    let learn = frame(9, 1, 100);
+    let f = frame(1, 9, 300);
+    let plan = TestPlan::new("graceful_degradation")
+        // Learn: dst mac(9) lives on port 1.
+        .send_phy(1, learn.clone())
+        .expect_phy_unordered(0, learn.clone())
+        .expect_phy_unordered(2, learn.clone())
+        .expect_phy_unordered(3, learn)
+        .barrier(Time::from_us(50))
+        // Flap the egress link and offer traffic: dropped, counted, no hang.
+        .inject_fault(FaultKind::LinkDown { port: 1, duration: Time::from_us(30) })
+        .run_for(Time::from_us(1))
+        .send_phy(0, f.clone())
+        .send_phy(0, f.clone())
+        .run_for(Time::from_us(20))
+        .expect_counter_in_range(FAULTS_BASE + faultregs::LINK_DOWN_DROPS, 2, 2)
+        // Let the flap end; throughput recovers on the same port.
+        .run_for(Time::from_us(30))
+        .send_phy(0, f.clone())
+        .expect_phy(1, f)
+        .barrier(Time::from_us(60))
+        .expect_counter_in_range(FAULTS_BASE + faultregs::LINK_DOWN_DROPS, 2, 2)
+        .expect_counter_in_range(FAULTS_BASE + faultregs::EVENTS_APPLIED, 1, 1);
+    let report = run(&plan, &mut sw.chassis);
+    report.assert_passed();
+}
+
+#[test]
+fn dma_windows_gate_the_nic_host_path() {
+    let plan = FaultPlan::new(5)
+        .at(Time::from_us(10), FaultKind::DmaDrop { duration: Time::from_us(40) });
+    let mut nic = ReferenceNic::with_faults(&BoardSpec::sume(), 4, false, plan);
+    let dma = nic.chassis.dma.clone().expect("NIC has DMA");
+    let faults = nic.chassis.faults.clone().expect("armed");
+
+    // Inside the drop window: the host-bound packet vanishes, counted.
+    nic.chassis.run_for(Time::from_us(15));
+    nic.chassis.send(0, frame(3, 4, 120));
+    nic.chassis.run_for(Time::from_us(20));
+    assert!(dma.recv().is_none(), "dropped in the window");
+    assert_eq!(faults.dma_gate().dropped(), 1);
+
+    // After the window: traffic flows again.
+    nic.chassis.run_for(Time::from_us(30));
+    nic.chassis.send(0, frame(3, 4, 120));
+    nic.chassis.run_for(Time::from_us(30));
+    assert!(dma.recv().is_some(), "recovered after the window");
+    assert_eq!(faults.dma_gate().dropped(), 1);
+}
+
+#[test]
+fn fault_registers_visible_over_mmio_on_plain_chassis() {
+    // The fault block mounts like any project register block, so host
+    // software sees fault statistics through the same MMIO path.
+    let (mut chassis, _io) = Chassis::with_faults(
+        &BoardSpec::sume(),
+        2,
+        netfpga_core::regs::AddressMap::new(),
+        false,
+        FaultPlan::new(1).at(
+            Time::ZERO,
+            FaultKind::LinkDown { port: 0, duration: Time::from_us(5) },
+        ),
+    );
+    chassis.attach_mmio();
+    chassis.send(0, frame(1, 2, 100));
+    chassis.run_for(Time::from_us(3));
+    assert_eq!(chassis.read32(FAULTS_BASE + faultregs::LINK_DOWN_DROPS), 1);
+    assert_eq!(chassis.read32(FAULTS_BASE + faultregs::EVENTS_APPLIED), 1);
+}

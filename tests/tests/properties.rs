@@ -274,6 +274,63 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Quiescence never skips a scheduled fault: a `FaultPlan` event deep
+    /// inside an idle stretch is exactly where fast-forwarding is tempted
+    /// to jump — the injector's `is_quiescent` must hold the kernel back so
+    /// the link-down window opens at its scheduled instant, not late. A
+    /// frame offered inside the window is dropped (and counted) and a
+    /// frame after it floods, identically with and without idle skipping.
+    #[test]
+    fn prop_fault_events_survive_idle_fast_forward(
+        gap_us in 10u64..400,
+        down_us in 10u64..60,
+        seed in 0u64..1000,
+    ) {
+        use netfpga_faults::{FaultKind, FaultPlan};
+
+        let gap = Time::from_us(gap_us);
+        let down = Time::from_us(down_us);
+        let run = |idle_skip: bool| {
+            let plan = FaultPlan::new(seed)
+                .at(gap, FaultKind::LinkDown { port: 0, duration: down });
+            let mut sw = ReferenceSwitch::with_faults(
+                &BoardSpec::sume(), 4, 256, Time::from_ms(100), false, plan,
+            );
+            sw.chassis.sim.set_idle_skip(idle_skip);
+            // Idle across the scheduled event: nothing in flight, so a
+            // kernel that trusts a stale quiescence promise would jump
+            // straight past `gap`.
+            sw.chassis.run_for(gap + Time::from_us(2));
+            // Offer a frame inside the down window: must be dropped.
+            let f = PacketBuilder::new()
+                .eth(mac(1), mac(2))
+                .raw(netfpga_packet::EtherType::Ipv4, &[7; 46])
+                .build();
+            sw.chassis.send(0, f.clone());
+            sw.chassis.run_for(down + Time::from_us(100));
+            // And one after the window: link is back, frame floods.
+            sw.chassis.send(0, f);
+            sw.chassis.run_for(Time::from_us(50));
+            let faults = sw.chassis.faults.clone().expect("armed plan");
+            let recv: Vec<usize> = (0..4).map(|p| sw.chassis.recv(p).len()).collect();
+            (
+                recv,
+                faults.counters().link_down_drops.get(),
+                faults.counters().events_applied.get(),
+                faults.trace(),
+            )
+        };
+
+        let skipped = run(true);
+        prop_assert_eq!(skipped.1, 1, "frame in the window must be dropped");
+        prop_assert_eq!(&skipped.0, &vec![0, 1, 1, 1], "frame after it must flood");
+        prop_assert_eq!(&skipped, &run(false), "idle skipping must change nothing");
+    }
+}
+
 /// Conservation under congestion: for any overload pattern, packets in =
 /// packets out + drops (no loss without accounting, no duplication).
 #[test]
