@@ -138,9 +138,12 @@ pub fn degraded_switch(point: FaultPoint) -> FaultRunResult {
     }
     sw.chassis.run_for(batch_time);
     let delivered = sw.chassis.recv(1).len() as u64;
-    let bad_fcs = sw.chassis.rx_mac_stats(0).bad_fcs;
-    let link_drops = faults.counters().link_down_drops.get();
-    let ber_flips = faults.counters().ber_flips.get();
+    // Counters come through the unified registry paths — the same cells
+    // the legacy handles read, resolved by name.
+    let stat = |path: &str| sw.chassis.telemetry.get(path).expect(path);
+    let bad_fcs = stat("port0.mac.rx.bad_fcs");
+    let link_drops = stat("faults.link_down_drops");
+    let ber_flips = stat("faults.ber_flips");
 
     // Recovery probe: clear the error processes, send a fresh batch, and
     // require it to flow — the graceful-degradation acceptance.

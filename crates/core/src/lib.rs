@@ -19,6 +19,9 @@
 //!   E7 (design-utilization comparison).
 //! * [`rng`] — the seeded simulation RNG (determinism guarantee).
 //! * [`stats`] — shared counters, histograms and fairness metrics.
+//! * [`telemetry`] — the unified telemetry plane: hierarchical stat
+//!   registry, self-describing MMIO stat blocks, and the link/fault event
+//!   ring.
 //! * [`trace`] — signal probes and VCD waveform export (the simulation
 //!   flow's debugging story).
 //!
@@ -37,6 +40,7 @@ pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod stream;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -47,4 +51,5 @@ pub use resources::{ResourceBudget, ResourceCost};
 pub use rng::SimRng;
 pub use sim::{ClockId, Module, Simulator, TickContext};
 pub use stream::{Meta, PortMask, Stream, StreamRx, StreamTx, Word};
+pub use telemetry::{Event, EventKind, EventRing, Stat, StatBlock, StatRegistry};
 pub use time::{BitRate, Frequency, Time};

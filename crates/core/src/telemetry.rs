@@ -1,0 +1,699 @@
+//! The unified telemetry plane: a hierarchical stat registry, a generic
+//! auto-offset stat register block, and an MMIO event ring.
+//!
+//! Every NetFPGA module exposes statistics registers the host driver reads
+//! over PCIe, and every evaluation in the paper (line rate, drop
+//! accounting, fault recovery) is read through them. Rather than one
+//! bespoke `*Stats` struct and hand-rolled `RegisterSpace` per module,
+//! modules register named counters and gauges under dotted paths
+//! (`port0.mac.rx.bad_fcs`, `dma.tx.packets`, `faults.flaps`) on a
+//! [`StatRegistry`]; a [`StatBlock`] then exposes any registered subtree
+//! over MMIO with auto-assigned offsets and a self-describing name table,
+//! so host software resolves names to offsets at runtime (the way
+//! `ethtool -S` walks a NIC's string set) instead of hardcoding layouts.
+//!
+//! Asynchronous conditions — link up/down, lane retrain — don't fit
+//! counters; those are published through an [`EventRing`], a bounded MMIO
+//! ring the host drains with a consumer-index write, mirroring how real
+//! drivers surface link events.
+//!
+//! The registry stays entirely off the simulation hot path: hot counters
+//! are the same shared [`Counter`] cells the modules already increment, and
+//! gauges are evaluated only when a register is actually read. Registration
+//! happens once, at build time.
+
+use crate::regs::{RegisterSpace, UNMAPPED_READ};
+use crate::stats::Counter;
+use crate::time::Time;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Conventional mount base for a project's unified [`StatBlock`]. Sits
+/// above every project-specific block (the highest is OSNT's per-port
+/// strip ending at `0x7000`) and below the event ring at [`EVENTS_BASE`].
+pub const TELEMETRY_BASE: u32 = 0xA000;
+/// Conventional mount size ceiling for the unified [`StatBlock`] — 16 KiB
+/// of name table + values, enough for a fully-populated 16-port chassis.
+pub const TELEMETRY_SIZE: u32 = 0x4000;
+/// Conventional mount base for a project's [`EventRing`] registers.
+pub const EVENTS_BASE: u32 = 0xE000;
+/// Conventional mount size for the event-ring registers.
+pub const EVENTS_SIZE: u32 = 0x400;
+
+/// Magic word in a [`StatBlock`] header: `"STAT"` in ASCII.
+pub const STAT_BLOCK_MAGIC: u32 = 0x5354_4154;
+/// Magic word in an [`EventRing`] register header: `"EVNT"` in ASCII.
+pub const EVENT_RING_MAGIC: u32 = 0x45564e54;
+
+/// One registered statistic.
+#[derive(Clone)]
+pub enum Stat {
+    /// A shared counter cell — incremented by a module on its hot path,
+    /// clearable over MMIO (write-to-clear).
+    Counter(Counter),
+    /// A derived, read-only value computed on demand (never on the hot
+    /// path — only when a host read or snapshot asks for it).
+    Gauge(Rc<dyn Fn() -> u64>),
+}
+
+impl Stat {
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        match self {
+            Stat::Counter(c) => c.get(),
+            Stat::Gauge(f) => f(),
+        }
+    }
+
+    /// True for write-to-clear counters, false for read-only gauges.
+    pub fn is_clearable(&self) -> bool {
+        matches!(self, Stat::Counter(_))
+    }
+}
+
+impl core::fmt::Debug for Stat {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Stat::Counter(c) => write!(f, "Counter({})", c.get()),
+            Stat::Gauge(g) => write!(f, "Gauge({})", g()),
+        }
+    }
+}
+
+/// The hierarchical stat registry: dotted paths to counters and gauges.
+///
+/// Cloning is cheap and shares the underlying tree, so a project can hand
+/// scoped handles to every module at build time and later carve MMIO
+/// blocks ([`StatBlock::from_registry`]) out of any subtree.
+#[derive(Debug, Clone, Default)]
+pub struct StatRegistry {
+    inner: Rc<RefCell<BTreeMap<String, Stat>>>,
+}
+
+impl StatRegistry {
+    /// An empty registry.
+    pub fn new() -> StatRegistry {
+        StatRegistry::default()
+    }
+
+    /// Create, register and return a fresh counter at `path`. Panics if
+    /// the path is already taken — duplicate stat names are a build-time
+    /// wiring error, like overlapping register decoders.
+    pub fn counter(&self, path: &str) -> Counter {
+        let c = Counter::new();
+        self.register(path, Stat::Counter(c.clone()));
+        c
+    }
+
+    /// Register an existing shared counter cell at `path` (the migration
+    /// path for modules that already own their `Counter`s).
+    pub fn register_counter(&self, path: &str, counter: &Counter) {
+        self.register(path, Stat::Counter(counter.clone()));
+    }
+
+    /// Register a read-only gauge at `path`; `f` is evaluated lazily on
+    /// each read.
+    pub fn gauge(&self, path: &str, f: impl Fn() -> u64 + 'static) {
+        self.register(path, Stat::Gauge(Rc::new(f)));
+    }
+
+    /// Register a pre-built [`Stat`] at `path`. Panics on duplicates.
+    pub fn register(&self, path: &str, stat: Stat) {
+        assert!(!path.is_empty(), "empty stat path");
+        let mut map = self.inner.borrow_mut();
+        assert!(
+            map.insert(path.to_string(), stat).is_none(),
+            "duplicate stat path '{path}'",
+        );
+    }
+
+    /// Current value of the stat at `path`, if registered.
+    pub fn get(&self, path: &str) -> Option<u64> {
+        self.inner.borrow().get(path).map(Stat::value)
+    }
+
+    /// Clear the counter at `path`. Returns false for gauges (read-only)
+    /// and unknown paths.
+    pub fn clear(&self, path: &str) -> bool {
+        match self.inner.borrow().get(path) {
+            Some(Stat::Counter(c)) => {
+                c.clear();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True if the stat at `path` is a clearable counter (false for
+    /// gauges, which are read-only, and for unknown paths).
+    pub fn clearable(&self, path: &str) -> bool {
+        self.inner.borrow().get(path).is_some_and(Stat::is_clearable)
+    }
+
+    /// Number of registered stats.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Sorted `(path, value)` snapshot of the whole tree — the structured
+    /// export the bench experiments serialize.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.inner
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.value()))
+            .collect()
+    }
+
+    /// Sorted `(path, stat)` entries whose path starts with `prefix`
+    /// (empty prefix: everything). Used to carve MMIO blocks out of a
+    /// subtree.
+    pub fn entries(&self, prefix: &str) -> Vec<(String, Stat)> {
+        self.inner
+            .borrow()
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+/// Byte offset of the value array inside a [`StatBlock`].
+const STAT_VALUES_OFF: u32 = 0x10;
+
+/// A generic, self-describing statistics register block.
+///
+/// Word layout (byte offsets):
+///
+/// | offset | register |
+/// |--------|----------|
+/// | `0x00` | magic [`STAT_BLOCK_MAGIC`] |
+/// | `0x04` | stat count `N` |
+/// | `0x08` | byte offset of the value array (`0x10`) |
+/// | `0x0C` | byte offset of the name table (`0x10 + 4·N`) |
+/// | values | `N` words: low 32 bits of each stat, in name-table order |
+/// | names  | packed NUL-terminated dotted paths, little-endian words |
+///
+/// A write to value word `i` clears stat `i` if it is a counter; writes to
+/// gauges, the header and the name table are ignored (read-only). Reads
+/// past the name table return [`UNMAPPED_READ`], like any unmapped AXI
+/// address.
+pub struct StatBlock {
+    stats: Vec<Stat>,
+    names: Vec<u8>,
+}
+
+impl StatBlock {
+    /// Build a block over every stat in `registry` whose path starts with
+    /// `prefix` (empty prefix: the whole tree), in sorted path order.
+    /// Offsets are assigned automatically; nothing is copied — counter
+    /// cells are shared and gauges are evaluated on read.
+    pub fn from_registry(registry: &StatRegistry, prefix: &str) -> StatBlock {
+        let entries = registry.entries(prefix);
+        let mut stats = Vec::with_capacity(entries.len());
+        let mut names = Vec::new();
+        for (path, stat) in entries {
+            names.extend_from_slice(path.as_bytes());
+            names.push(0);
+            stats.push(stat);
+        }
+        StatBlock { stats, names }
+    }
+
+    /// Number of stats exposed.
+    pub fn count(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Total bytes the block occupies (header + values + name table); the
+    /// minimum mount size.
+    pub fn size_bytes(&self) -> u32 {
+        self.names_off() + ((self.names.len() as u32 + 3) & !3)
+    }
+
+    fn names_off(&self) -> u32 {
+        STAT_VALUES_OFF + 4 * self.stats.len() as u32
+    }
+}
+
+impl RegisterSpace for StatBlock {
+    fn read(&mut self, offset: u32) -> u32 {
+        let offset = offset & !3;
+        let names_off = self.names_off();
+        match offset {
+            0x00 => STAT_BLOCK_MAGIC,
+            0x04 => self.stats.len() as u32,
+            0x08 => STAT_VALUES_OFF,
+            0x0C => names_off,
+            _ if offset >= STAT_VALUES_OFF && offset < names_off => {
+                let idx = ((offset - STAT_VALUES_OFF) / 4) as usize;
+                self.stats[idx].value() as u32
+            }
+            _ if offset >= names_off => {
+                let byte = (offset - names_off) as usize;
+                if byte >= self.names.len() {
+                    return UNMAPPED_READ;
+                }
+                let mut word = [0u8; 4];
+                for (i, b) in word.iter_mut().enumerate() {
+                    *b = self.names.get(byte + i).copied().unwrap_or(0);
+                }
+                u32::from_le_bytes(word)
+            }
+            _ => UNMAPPED_READ,
+        }
+    }
+
+    fn write(&mut self, offset: u32, _value: u32) {
+        let offset = offset & !3;
+        let names_off = self.names_off();
+        if offset >= STAT_VALUES_OFF && offset < names_off {
+            let idx = ((offset - STAT_VALUES_OFF) / 4) as usize;
+            if let Stat::Counter(c) = &self.stats[idx] {
+                c.clear();
+            }
+        }
+        // Header, name table and gauges: read-only, write ignored.
+    }
+}
+
+/// Decode a [`StatBlock`]'s name table through arbitrary 32-bit reads at
+/// `base` (an MMIO bridge, a raw [`crate::regs::AddressMap`], …). Returns
+/// `(path, absolute value address)` pairs in block order, or `None` if the
+/// magic doesn't match — the host-side resolver both `dump_stats()` and
+/// `nftest` build on, with no hardcoded offsets.
+pub fn decode_stat_block(
+    base: u32,
+    mut read: impl FnMut(u32) -> u32,
+) -> Option<Vec<(String, u32)>> {
+    if read(base) != STAT_BLOCK_MAGIC {
+        return None;
+    }
+    let count = read(base + 0x04);
+    let values_off = read(base + 0x08);
+    let names_off = read(base + 0x0C);
+    let name_bytes = count.checked_mul(64)?; // generous cap: avg path < 64 B
+    let mut blob = Vec::new();
+    let mut off = 0;
+    while (blob.len() as u32) < name_bytes {
+        let word = read(base + names_off + off);
+        blob.extend_from_slice(&word.to_le_bytes());
+        off += 4;
+        // The table is NUL-terminated strings; once we've seen `count`
+        // terminators the blob is complete.
+        if blob.iter().filter(|&&b| b == 0).count() >= count as usize {
+            break;
+        }
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for (i, chunk) in blob.split(|&b| b == 0).enumerate() {
+        if i as u32 >= count {
+            break;
+        }
+        let path = String::from_utf8(chunk.to_vec()).ok()?;
+        out.push((path, base + values_off + 4 * i as u32));
+    }
+    if out.len() == count as usize {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Kinds of asynchronous telemetry events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A link went down (fault-plane `LinkDown`, lane loss below bond
+    /// minimum, …).
+    LinkDown,
+    /// A link came (back) up.
+    LinkUp,
+    /// A link lost lanes but survives degraded — the PCS is retraining
+    /// onto the surviving bond.
+    Retrain,
+    /// Lost lanes were restored.
+    LaneRestore,
+    /// A generic fault-plane event not covered above.
+    Fault,
+}
+
+impl EventKind {
+    /// Wire encoding for the event-ring `kind` word.
+    pub fn code(self) -> u32 {
+        match self {
+            EventKind::LinkDown => 1,
+            EventKind::LinkUp => 2,
+            EventKind::Retrain => 3,
+            EventKind::LaneRestore => 4,
+            EventKind::Fault => 5,
+        }
+    }
+
+    /// Decode a `kind` word; `None` for unknown codes.
+    pub fn from_code(code: u32) -> Option<EventKind> {
+        Some(match code {
+            1 => EventKind::LinkDown,
+            2 => EventKind::LinkUp,
+            3 => EventKind::Retrain,
+            4 => EventKind::LaneRestore,
+            5 => EventKind::Fault,
+            _ => return None,
+        })
+    }
+}
+
+/// One telemetry event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// The port it happened on.
+    pub port: u8,
+    /// Kind-specific payload (e.g. surviving lanes for a retrain).
+    pub data: u32,
+    /// Simulation time of the transition.
+    pub at: Time,
+}
+
+#[derive(Debug, Default)]
+struct RingState {
+    slots: Vec<Option<Event>>,
+    /// Total events ever pushed (sequence number of the next push).
+    head: u64,
+    /// Total events the consumer has acknowledged.
+    tail: u64,
+    /// Events discarded because the ring was full.
+    dropped: u64,
+}
+
+/// A bounded ring of [`Event`]s shared between producers (the fault plane,
+/// link models) and the host-facing [`EventRingRegisters`]. Cloning shares
+/// the ring. When full, new events are dropped and counted — the hardware
+/// choice: never stall the datapath for telemetry.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    state: Rc<RefCell<RingState>>,
+    capacity: usize,
+}
+
+impl EventRing {
+    /// A ring holding up to `capacity` unconsumed events.
+    pub fn new(capacity: usize) -> EventRing {
+        assert!(capacity > 0, "empty event ring");
+        EventRing {
+            state: Rc::new(RefCell::new(RingState {
+                slots: vec![None; capacity],
+                ..RingState::default()
+            })),
+            capacity,
+        }
+    }
+
+    /// Publish an event. Returns false (and counts a drop) if the ring is
+    /// full.
+    pub fn push(&self, event: Event) -> bool {
+        let mut s = self.state.borrow_mut();
+        if (s.head - s.tail) as usize >= self.capacity {
+            s.dropped += 1;
+            return false;
+        }
+        let slot = (s.head as usize) % self.capacity;
+        s.slots[slot] = Some(event);
+        s.head += 1;
+        true
+    }
+
+    /// Unconsumed events, oldest first, without consuming them (the
+    /// direct, non-MMIO view for tests).
+    pub fn pending(&self) -> Vec<Event> {
+        let s = self.state.borrow();
+        (s.tail..s.head)
+            .filter_map(|seq| s.slots[(seq as usize) % self.capacity])
+            .collect()
+    }
+
+    /// Total events ever pushed.
+    pub fn total(&self) -> u64 {
+        self.state.borrow().head
+    }
+
+    /// Events dropped on overflow.
+    pub fn dropped(&self) -> u64 {
+        self.state.borrow().dropped
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The MMIO register view over this ring.
+    pub fn registers(&self) -> EventRingRegisters {
+        EventRingRegisters { ring: self.clone() }
+    }
+
+    /// Drop all state (used by chassis reset).
+    pub fn clear(&self) {
+        let mut s = self.state.borrow_mut();
+        s.head = 0;
+        s.tail = 0;
+        s.dropped = 0;
+        s.slots.iter_mut().for_each(|x| *x = None);
+    }
+}
+
+/// Byte offset of the first event slot in [`EventRingRegisters`].
+const EVENT_SLOTS_OFF: u32 = 0x20;
+/// Bytes per event slot (4 words).
+const EVENT_SLOT_BYTES: u32 = 0x10;
+
+/// The host-facing MMIO view of an [`EventRing`].
+///
+/// Word layout (byte offsets):
+///
+/// | offset | register |
+/// |--------|----------|
+/// | `0x00` | magic [`EVENT_RING_MAGIC`] |
+/// | `0x04` | head: total events produced (RO) |
+/// | `0x08` | tail: total events consumed (host writes to advance) |
+/// | `0x0C` | capacity in slots (RO) |
+/// | `0x10` | events dropped on overflow (RO) |
+/// | `0x20 + 16·(seq % capacity)` | slot for sequence `seq`: kind, port, data, time in ns |
+///
+/// The host reads `head`, walks slots `tail..head`, then writes the new
+/// tail to free them — the classic producer/consumer ring handshake.
+pub struct EventRingRegisters {
+    ring: EventRing,
+}
+
+impl RegisterSpace for EventRingRegisters {
+    fn read(&mut self, offset: u32) -> u32 {
+        let offset = offset & !3;
+        let s = self.ring.state.borrow();
+        match offset {
+            0x00 => EVENT_RING_MAGIC,
+            0x04 => s.head as u32,
+            0x08 => s.tail as u32,
+            0x0C => self.ring.capacity as u32,
+            0x10 => s.dropped as u32,
+            _ if offset >= EVENT_SLOTS_OFF => {
+                let rel = offset - EVENT_SLOTS_OFF;
+                let slot = (rel / EVENT_SLOT_BYTES) as usize;
+                if slot >= self.ring.capacity {
+                    return UNMAPPED_READ;
+                }
+                match s.slots[slot] {
+                    Some(e) => match rel % EVENT_SLOT_BYTES {
+                        0x0 => e.kind.code(),
+                        0x4 => u32::from(e.port),
+                        0x8 => e.data,
+                        _ => e.at.as_ns() as u32,
+                    },
+                    None => 0,
+                }
+            }
+            _ => UNMAPPED_READ,
+        }
+    }
+
+    fn write(&mut self, offset: u32, value: u32) {
+        if offset & !3 == 0x08 {
+            let mut s = self.ring.state.borrow_mut();
+            // The host hands back its consumer index (low 32 bits of the
+            // sequence). Clamp into [tail, head]: retreating or
+            // overrunning the producer is a driver bug the hardware
+            // ignores.
+            let base = s.tail & !0xffff_ffff;
+            let mut tail = base | u64::from(value);
+            if tail < s.tail {
+                tail += 1 << 32;
+            }
+            s.tail = tail.min(s.head);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::{shared, AddressMap};
+
+    #[test]
+    fn registry_counter_and_gauge() {
+        let reg = StatRegistry::new();
+        let c = reg.counter("port0.mac.rx.frames");
+        c.add(7);
+        let backing = Counter::new();
+        backing.add(40);
+        let b2 = backing.clone();
+        reg.gauge("queues.depth", move || b2.get() + 2);
+        assert_eq!(reg.get("port0.mac.rx.frames"), Some(7));
+        assert_eq!(reg.get("queues.depth"), Some(42));
+        assert_eq!(reg.get("nope"), None);
+        assert!(reg.clear("port0.mac.rx.frames"));
+        assert_eq!(reg.get("port0.mac.rx.frames"), Some(0));
+        assert!(!reg.clear("queues.depth"), "gauges are read-only");
+        assert_eq!(reg.get("queues.depth"), Some(42));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate stat path")]
+    fn duplicate_path_panics() {
+        let reg = StatRegistry::new();
+        reg.counter("a.b");
+        reg.counter("a.b");
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let reg = StatRegistry::new();
+        reg.counter("z.last").add(1);
+        reg.counter("a.first").add(2);
+        reg.counter("m.middle").add(3);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.first", "m.middle", "z.last"]);
+        assert_eq!(snap[0].1, 2);
+    }
+
+    #[test]
+    fn stat_block_layout_and_decode() {
+        let reg = StatRegistry::new();
+        reg.counter("dma.tx.packets").add(11);
+        reg.counter("port0.rx.frames").add(22);
+        let shared_val = Counter::new();
+        shared_val.add(33);
+        let sv = shared_val.clone();
+        reg.gauge("port0.rx.depth", move || sv.get());
+
+        let block = StatBlock::from_registry(&reg, "");
+        assert_eq!(block.count(), 3);
+        let size = block.size_bytes();
+        let map = AddressMap::new();
+        map.mount("telemetry", TELEMETRY_BASE, size.max(0x40), shared(block));
+
+        let decoded =
+            decode_stat_block(TELEMETRY_BASE, |a| map.read(a)).expect("valid block");
+        assert_eq!(decoded.len(), 3);
+        let by_name: BTreeMap<&str, u32> =
+            decoded.iter().map(|(n, a)| (n.as_str(), *a)).collect();
+        assert_eq!(map.read(by_name["dma.tx.packets"]), 11);
+        assert_eq!(map.read(by_name["port0.rx.frames"]), 22);
+        assert_eq!(map.read(by_name["port0.rx.depth"]), 33);
+
+        // Write-to-clear is per-offset and skips gauges.
+        map.write(by_name["port0.rx.frames"], 0);
+        assert_eq!(map.read(by_name["port0.rx.frames"]), 0);
+        assert_eq!(map.read(by_name["dma.tx.packets"]), 11, "untouched");
+        map.write(by_name["port0.rx.depth"], 0);
+        assert_eq!(map.read(by_name["port0.rx.depth"]), 33, "gauge is RO");
+    }
+
+    #[test]
+    fn stat_block_unmapped_reads() {
+        let reg = StatRegistry::new();
+        reg.counter("only.one");
+        let mut block = StatBlock::from_registry(&reg, "");
+        let size = block.size_bytes();
+        // Past the name table: unmapped.
+        assert_eq!(block.read(size + 0x40), UNMAPPED_READ);
+        // Header writes ignored.
+        block.write(0x00, 0xffff_ffff);
+        assert_eq!(block.read(0x00), STAT_BLOCK_MAGIC);
+    }
+
+    #[test]
+    fn stat_block_prefix_filter() {
+        let reg = StatRegistry::new();
+        reg.counter("port0.rx").add(1);
+        reg.counter("port1.rx").add(2);
+        reg.counter("dma.tx").add(3);
+        let block = StatBlock::from_registry(&reg, "port");
+        assert_eq!(block.count(), 2);
+    }
+
+    #[test]
+    fn event_ring_push_drain_overflow() {
+        let ring = EventRing::new(2);
+        let ev = |p: u8| Event {
+            kind: EventKind::LinkDown,
+            port: p,
+            data: 0,
+            at: Time::from_ns(5),
+        };
+        assert!(ring.push(ev(0)));
+        assert!(ring.push(ev(1)));
+        assert!(!ring.push(ev(2)), "full ring drops");
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.pending().len(), 2);
+
+        let mut regs = ring.registers();
+        assert_eq!(regs.read(0x00), EVENT_RING_MAGIC);
+        assert_eq!(regs.read(0x04), 2, "head");
+        assert_eq!(regs.read(0x08), 0, "tail");
+        assert_eq!(regs.read(0x0C), 2, "capacity");
+        assert_eq!(regs.read(0x10), 1, "dropped");
+        // Slot 0: kind/port/data/time.
+        assert_eq!(regs.read(0x20), EventKind::LinkDown.code());
+        assert_eq!(regs.read(0x24), 0);
+        assert_eq!(regs.read(0x2C), 5);
+        // Consume both; ring frees up.
+        regs.write(0x08, 2);
+        assert_eq!(ring.pending().len(), 0);
+        assert!(ring.push(ev(3)), "space after consume");
+        // Slot 0 now holds sequence 2 (port 3).
+        assert_eq!(regs.read(0x24), 3);
+        // Tail cannot overrun head.
+        regs.write(0x08, 99);
+        assert_eq!(regs.read(0x08), 3);
+    }
+
+    #[test]
+    fn event_kind_codes_roundtrip() {
+        for k in [
+            EventKind::LinkDown,
+            EventKind::LinkUp,
+            EventKind::Retrain,
+            EventKind::LaneRestore,
+            EventKind::Fault,
+        ] {
+            assert_eq!(EventKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(EventKind::from_code(0), None);
+        assert_eq!(EventKind::from_code(77), None);
+    }
+
+    #[test]
+    fn decode_rejects_non_stat_block() {
+        let map = AddressMap::new();
+        map.mount("ram", 0x0, 0x100, shared(crate::regs::RamRegisters::new(0x100)));
+        assert!(decode_stat_block(0x0, |a| map.read(a)).is_none());
+    }
+}

@@ -90,6 +90,31 @@ impl LearningSwitchCore {
         self.stats
     }
 
+    /// Register a shared core's counters on `registry` as gauges under
+    /// `prefix` (e.g. `lookup`): `hits`, `floods`, `learned`,
+    /// `learn_failures`. Takes the `Rc<RefCell<…>>` the reference designs
+    /// already share between the pipeline stage and their register blocks,
+    /// so registry reads equal [`LearningSwitchCore::stats`] bit for bit.
+    pub fn register_stats(
+        core: &std::rc::Rc<std::cell::RefCell<LearningSwitchCore>>,
+        registry: &netfpga_core::telemetry::StatRegistry,
+        prefix: &str,
+    ) {
+        type Field = fn(&LearnStats) -> u64;
+        let fields: [(&str, Field); 4] = [
+            ("hits", |s| s.hits),
+            ("floods", |s| s.floods),
+            ("learned", |s| s.learned),
+            ("learn_failures", |s| s.learn_failures),
+        ];
+        for (name, field) in fields {
+            let core = core.clone();
+            registry.gauge(&format!("{prefix}.{name}"), move || {
+                field(&core.borrow().stats)
+            });
+        }
+    }
+
     /// Live table entries at `now`.
     pub fn table_size(&self, now: Time) -> usize {
         self.table.live_entries(now)

@@ -33,6 +33,22 @@ pub struct StatsHandles {
     pub total_bytes: Counter,
 }
 
+impl StatsHandles {
+    /// Register these counters on `registry` under `prefix` (e.g.
+    /// `rx_stats`): `total_packets`, `total_bytes`, and per-port
+    /// `port{i}.packets` / `port{i}.bytes`. The *same* shared cells are
+    /// registered, so registry reads are bit-identical to the legacy
+    /// [`StatsRegisters`] view, and clears through either side agree.
+    pub fn register_stats(&self, registry: &netfpga_core::telemetry::StatRegistry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}.total_packets"), &self.total_packets);
+        registry.register_counter(&format!("{prefix}.total_bytes"), &self.total_bytes);
+        for (i, (p, b)) in self.packets.iter().zip(&self.bytes).enumerate() {
+            registry.register_counter(&format!("{prefix}.port{i}.packets"), p);
+            registry.register_counter(&format!("{prefix}.port{i}.bytes"), b);
+        }
+    }
+}
+
 impl StatsStage {
     /// Create a stage tracking up to `nports` source ports.
     pub fn new(name: &str, input: StreamRx, output: StreamTx, nports: usize) -> (StatsStage, StatsHandles) {
@@ -116,8 +132,9 @@ impl Module for StatsStage {
 }
 
 /// The register view of a [`StatsHandles`]: word 0 = total packets (low 32),
-/// word 4 = total bytes, then per-port packet/byte pairs. Writing any
-/// offset clears all counters (write-to-clear, as the reference designs do).
+/// word 1 = total bytes, then per-port packet/byte pairs. Writing an offset
+/// clears *that counter only* (per-offset write-to-clear, as the reference
+/// designs do; an earlier revision cleared every counter on any write).
 pub struct StatsRegisters {
     handles: StatsHandles,
 }
@@ -147,14 +164,20 @@ impl RegisterSpace for StatsRegisters {
         }
     }
 
-    fn write(&mut self, _offset: u32, _value: u32) {
-        self.handles.total_packets.clear();
-        self.handles.total_bytes.clear();
-        for c in &self.handles.packets {
-            c.clear();
-        }
-        for c in &self.handles.bytes {
-            c.clear();
+    fn write(&mut self, offset: u32, _value: u32) {
+        let idx = (offset / 4) as usize;
+        match idx {
+            0 => self.handles.total_packets.clear(),
+            1 => self.handles.total_bytes.clear(),
+            n => {
+                let port = (n - 2) / 2;
+                let is_bytes = (n - 2) % 2 == 1;
+                match (self.handles.packets.get(port), is_bytes) {
+                    (Some(_), true) => self.handles.bytes[port].clear(),
+                    (Some(c), false) => c.clear(),
+                    (None, _) => {} // unmapped: dropped
+                }
+            }
         }
     }
 }
@@ -200,8 +223,72 @@ mod tests {
         assert_eq!(regs.read(0x8), 1); // port 0 packets
         assert_eq!(regs.read(0x18), 2); // port 2 packets (word 2 + 2*2 = 6)
         assert_eq!(regs.read(0x1c), 500); // port 2 bytes (word 7)
+        // Write-to-clear is per-offset: clearing total packets leaves
+        // every other counter alone.
         regs.write(0, 0);
         assert_eq!(handles.total_packets.get(), 0);
-        assert_eq!(handles.packets[2].get(), 0);
+        assert_eq!(handles.total_bytes.get(), 600, "siblings untouched");
+        assert_eq!(handles.packets[2].get(), 2, "siblings untouched");
+    }
+
+    /// Regression pin for the write-to-clear semantics: an earlier
+    /// revision cleared *all* counters on any write; the reference designs
+    /// clear only the addressed register. This pins the per-offset
+    /// behaviour across the whole layout.
+    #[test]
+    fn write_to_clear_is_per_offset() {
+        let (_stage, handles) = {
+            let (in_tx, in_rx) = Stream::new(8, 32);
+            let (out_tx, _out_rx) = Stream::new(8, 32);
+            drop(in_tx);
+            StatsStage::new("stats", in_rx, out_tx, 2)
+        };
+        handles.total_packets.add(10);
+        handles.total_bytes.add(20);
+        handles.packets[0].add(1);
+        handles.bytes[0].add(2);
+        handles.packets[1].add(3);
+        handles.bytes[1].add(4);
+        let mut regs = StatsRegisters::new(handles.clone());
+
+        // Clear port 1 packets (word 2 + 2*1 = 4 -> offset 0x10) only.
+        regs.write(0x10, 0);
+        assert_eq!(handles.packets[1].get(), 0, "addressed counter cleared");
+        assert_eq!(handles.total_packets.get(), 10);
+        assert_eq!(handles.total_bytes.get(), 20);
+        assert_eq!(handles.packets[0].get(), 1);
+        assert_eq!(handles.bytes[0].get(), 2);
+        assert_eq!(handles.bytes[1].get(), 4);
+
+        // Clear total bytes (word 1) only.
+        regs.write(0x4, 0);
+        assert_eq!(handles.total_bytes.get(), 0);
+        assert_eq!(handles.total_packets.get(), 10);
+        assert_eq!(handles.bytes[1].get(), 4);
+
+        // Out-of-range offsets are ignored, like unmapped writes.
+        regs.write(0x100, 0);
+        assert_eq!(handles.total_packets.get(), 10);
+    }
+
+    /// The registry view shares the same cells as the register view:
+    /// values match bit for bit and clears are visible both ways.
+    #[test]
+    fn registry_shares_cells_with_registers() {
+        let (_stage, handles) = {
+            let (_in_tx, in_rx) = Stream::new(8, 32);
+            let (out_tx, _out_rx) = Stream::new(8, 32);
+            StatsStage::new("stats", in_rx, out_tx, 2)
+        };
+        let reg = netfpga_core::telemetry::StatRegistry::new();
+        handles.register_stats(&reg, "rx_stats");
+        handles.total_packets.add(5);
+        handles.packets[1].add(2);
+        assert_eq!(reg.get("rx_stats.total_packets"), Some(5));
+        assert_eq!(reg.get("rx_stats.port1.packets"), Some(2));
+        assert!(reg.clear("rx_stats.port1.packets"));
+        let mut regs = StatsRegisters::new(handles.clone());
+        assert_eq!(regs.read(0x10), 0, "cleared through the registry");
+        assert_eq!(regs.read(0x0), 5);
     }
 }

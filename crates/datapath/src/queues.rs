@@ -10,6 +10,7 @@
 
 use crate::sched::{QueueView, Scheduler};
 use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::stats::Counter;
 use netfpga_core::stream::{segment, Meta, Reassembler, StreamRx, StreamTx, Word};
 use netfpga_mem::ByteFifo;
 use std::collections::VecDeque;
@@ -37,7 +38,8 @@ impl Default for QueueConfig {
     }
 }
 
-/// Per-stage counters.
+/// Per-stage counters (a point-in-time snapshot; the live values are
+/// shared [`Counter`] cells the telemetry plane also reads).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OutputQueueStats {
     /// Packets admitted across all queues (multicast copies count).
@@ -48,6 +50,15 @@ pub struct OutputQueueStats {
     pub dropped: u64,
     /// Packets whose destination mask was empty (discarded).
     pub no_destination: u64,
+}
+
+/// The live shared cells behind [`OutputQueueStats`].
+#[derive(Debug, Clone, Default)]
+struct QueueCounters {
+    enqueued: Counter,
+    dequeued: Counter,
+    dropped: Counter,
+    no_destination: Counter,
 }
 
 struct PortState {
@@ -67,7 +78,7 @@ pub struct OutputQueues {
     ports: Vec<PortState>,
     classifier: Classifier,
     reasm: Reassembler,
-    stats: OutputQueueStats,
+    stats: QueueCounters,
     /// Burst fast path: move every available word per tick instead of one.
     burst: bool,
 }
@@ -101,7 +112,7 @@ impl OutputQueues {
             ports,
             classifier: config.classifier,
             reasm: Reassembler::new(),
-            stats: OutputQueueStats::default(),
+            stats: QueueCounters::default(),
             burst: false,
         }
     }
@@ -118,7 +129,24 @@ impl OutputQueues {
 
     /// Counters so far.
     pub fn stats(&self) -> OutputQueueStats {
-        self.stats
+        OutputQueueStats {
+            enqueued: self.stats.enqueued.get(),
+            dequeued: self.stats.dequeued.get(),
+            dropped: self.stats.dropped.get(),
+            no_destination: self.stats.no_destination.get(),
+        }
+    }
+
+    /// Register the stage's counters on `registry` under `prefix` (e.g.
+    /// `oq`): `enqueued`, `dequeued`, `dropped`, `no_destination`. The
+    /// shared cells themselves are registered, so registry reads equal
+    /// [`OutputQueues::stats`] bit for bit. Call before handing the stage
+    /// to the simulator.
+    pub fn register_stats(&self, registry: &netfpga_core::telemetry::StatRegistry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}.enqueued"), &self.stats.enqueued);
+        registry.register_counter(&format!("{prefix}.dequeued"), &self.stats.dequeued);
+        registry.register_counter(&format!("{prefix}.dropped"), &self.stats.dropped);
+        registry.register_counter(&format!("{prefix}.no_destination"), &self.stats.no_destination);
     }
 
     /// Queue occupancy (packets) of a (port, class) queue.
@@ -134,7 +162,7 @@ impl OutputQueues {
     /// Fan a completed packet out to its destination queues.
     fn deliver(&mut self, packet: Vec<u8>, meta: Meta) {
         if meta.dst_ports.is_empty() {
-            self.stats.no_destination += 1;
+            self.stats.no_destination.incr();
             return;
         }
         let class = (self.classifier)(&packet, &meta);
@@ -146,9 +174,9 @@ impl OutputQueues {
             let len = packet.len();
             if state.queues[class].push(len, (packet.clone(), meta)) {
                 state.scheduler.on_enqueue(class, len);
-                self.stats.enqueued += 1;
+                self.stats.enqueued.incr();
             } else {
-                self.stats.dropped += 1;
+                self.stats.dropped.incr();
             }
         }
     }
@@ -172,7 +200,7 @@ impl OutputQueues {
         let (packet, mut meta) =
             state.queues[class].pop().expect("scheduler picked empty queue");
         state.scheduler.on_dequeue(class, packet.len());
-        self.stats.dequeued += 1;
+        self.stats.dequeued.incr();
         // Narrow the mask to this port for the egress copy.
         meta.dst_ports = netfpga_core::stream::PortMask::single(i as u8);
         self.ports[i].emitting = segment(&packet, width, meta).into();
@@ -223,7 +251,10 @@ impl Module for OutputQueues {
 
     fn reset(&mut self) {
         self.reasm = Reassembler::new();
-        self.stats = OutputQueueStats::default();
+        self.stats.enqueued.clear();
+        self.stats.dequeued.clear();
+        self.stats.dropped.clear();
+        self.stats.no_destination.clear();
         for p in &mut self.ports {
             for q in &mut p.queues {
                 q.clear();

@@ -12,7 +12,9 @@
 //! of back-to-back packets flows at one word per cycle.
 
 use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::stats::Counter;
 use netfpga_core::stream::{segment, Meta, Reassembler, StreamRx, StreamTx, Word};
+use netfpga_core::telemetry::StatRegistry;
 use netfpga_core::time::Time;
 use std::collections::VecDeque;
 
@@ -45,7 +47,8 @@ where
     }
 }
 
-/// Stage counters.
+/// Stage counters (a point-in-time snapshot; the live values are shared
+/// [`Counter`] cells the stage increments and the telemetry plane reads).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageStats {
     /// Packets received in full.
@@ -54,6 +57,14 @@ pub struct StageStats {
     pub forwarded: u64,
     /// Packets dropped by the logic.
     pub dropped: u64,
+}
+
+/// The live shared cells behind [`StageStats`].
+#[derive(Debug, Clone, Default)]
+struct StageCounters {
+    in_packets: Counter,
+    forwarded: Counter,
+    dropped: Counter,
 }
 
 /// The store-and-forward stage shell. See module docs.
@@ -72,7 +83,7 @@ pub struct PacketStage<L: PacketLogic> {
     emitting: VecDeque<Word>,
     /// Cap on buffered processed packets before input stalls.
     max_ready: usize,
-    stats: StageStats,
+    stats: StageCounters,
     /// Burst fast path: move every available word per tick instead of one.
     burst: bool,
 }
@@ -96,7 +107,7 @@ impl<L: PacketLogic> PacketStage<L> {
             ready: VecDeque::new(),
             emitting: VecDeque::new(),
             max_ready: 4,
-            stats: StageStats::default(),
+            stats: StageCounters::default(),
             burst: false,
         }
     }
@@ -113,7 +124,22 @@ impl<L: PacketLogic> PacketStage<L> {
 
     /// Counters so far.
     pub fn stats(&self) -> StageStats {
-        self.stats
+        StageStats {
+            in_packets: self.stats.in_packets.get(),
+            forwarded: self.stats.forwarded.get(),
+            dropped: self.stats.dropped.get(),
+        }
+    }
+
+    /// Register the stage's counters on `registry` under `prefix` (e.g.
+    /// `lookup.stage`): `in_packets`, `forwarded`, `dropped`. The shared
+    /// cells themselves are registered, so registry reads equal
+    /// [`PacketStage::stats`] bit for bit. Call before handing the stage
+    /// to the simulator.
+    pub fn register_stats(&self, registry: &StatRegistry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}.in_packets"), &self.stats.in_packets);
+        registry.register_counter(&format!("{prefix}.forwarded"), &self.stats.forwarded);
+        registry.register_counter(&format!("{prefix}.dropped"), &self.stats.dropped);
     }
 
     /// Access the logic (e.g. to read tables out-of-band in tests).
@@ -139,7 +165,7 @@ impl<L: PacketLogic> Module for PacketStage<L> {
         while self.ready.len() < self.max_ready {
             let Some(word) = self.input.pop() else { break };
             if let Some((mut packet, mut meta)) = self.reasm.push(word) {
-                self.stats.in_packets += 1;
+                self.stats.in_packets.incr();
                 match self.logic.process(&mut packet, &mut meta, ctx.now) {
                     StageAction::Forward => {
                         assert!(!packet.is_empty(), "logic emptied packet");
@@ -147,10 +173,10 @@ impl<L: PacketLogic> Module for PacketStage<L> {
                         let words = segment(&packet, self.output.width(), meta);
                         self.ready
                             .push_back((ctx.cycle + self.latency_cycles, words.into()));
-                        self.stats.forwarded += 1;
+                        self.stats.forwarded.incr();
                     }
                     StageAction::Drop => {
-                        self.stats.dropped += 1;
+                        self.stats.dropped.incr();
                     }
                 }
             }
@@ -190,7 +216,9 @@ impl<L: PacketLogic> Module for PacketStage<L> {
         self.reasm = Reassembler::new();
         self.ready.clear();
         self.emitting.clear();
-        self.stats = StageStats::default();
+        self.stats.in_packets.clear();
+        self.stats.forwarded.clear();
+        self.stats.dropped.clear();
         self.logic.reset();
     }
 

@@ -21,6 +21,7 @@ use crate::plan::{FaultEvent, FaultKind, FaultPlan, TraceEntry};
 use netfpga_core::regs::RegisterSpace;
 use netfpga_core::sim::{Module, TickContext};
 use netfpga_core::stats::Counter;
+use netfpga_core::telemetry::{Event, EventKind, EventRing, StatRegistry};
 use netfpga_core::time::{BitRate, Time};
 use netfpga_core::SimRng;
 use netfpga_packet::fcs::crc32;
@@ -72,6 +73,8 @@ pub mod faultregs {
 pub struct FaultCounters {
     /// Fault events applied (scheduled + runtime).
     pub events_applied: Counter,
+    /// Link-down windows opened (flaps), scheduled or runtime.
+    pub flaps: Counter,
     /// Frames dropped while a link was down.
     pub link_down_drops: Counter,
     /// Frames that took at least one bit error.
@@ -92,6 +95,31 @@ pub struct FaultCounters {
     pub mem_silent: Counter,
     /// Upsets aimed at an unregistered memory or an empty location.
     pub mem_missed: Counter,
+}
+
+impl FaultCounters {
+    /// Register every counter on `registry` under `prefix` (e.g.
+    /// `faults`): the shared cells themselves are registered, so registry
+    /// reads equal the legacy [`FaultRegisters`] view bit for bit.
+    pub fn register_stats(&self, registry: &StatRegistry, prefix: &str) {
+        let fields: [(&str, &Counter); 12] = [
+            ("events_applied", &self.events_applied),
+            ("flaps", &self.flaps),
+            ("link_down_drops", &self.link_down_drops),
+            ("frames_corrupted", &self.frames_corrupted),
+            ("ber_flips", &self.ber_flips),
+            ("lane_events", &self.lane_events),
+            ("stream_stall_ticks", &self.stream_stall_ticks),
+            ("mem.injected", &self.mem_injected),
+            ("mem.corrected", &self.mem_corrected),
+            ("mem.detected", &self.mem_detected),
+            ("mem.silent", &self.mem_silent),
+            ("mem.missed", &self.mem_missed),
+        ];
+        for (name, counter) in fields {
+            registry.register_counter(&format!("{prefix}.{name}"), counter);
+        }
+    }
 }
 
 struct RegisteredMemory {
@@ -155,6 +183,25 @@ impl FaultHandle {
     }
 }
 
+/// Parameters of a Gilbert–Elliott burst-error channel.
+#[derive(Debug, Clone, Copy)]
+struct GeParams {
+    good_ber: f64,
+    bad_ber: f64,
+    p_gb: f64,
+    p_bg: f64,
+}
+
+/// Per-direction state of a Gilbert–Elliott channel: which state it is
+/// in, bits left in the current state sojourn, and bits until the next
+/// error within the state (both geometric draws).
+#[derive(Debug, Clone, Copy, Default)]
+struct GeState {
+    bad: bool,
+    sojourn: u64,
+    countdown: u64,
+}
+
 /// Fault-plane state of one tapped port.
 struct PortTap {
     /// Tester-side ingress wire (tester pushes here).
@@ -176,6 +223,12 @@ struct PortTap {
     /// Data bits until the next error, per direction (geometric draws).
     countdown_in: u64,
     countdown_out: u64,
+    /// Burst-error channel, overriding the i.i.d. process when set.
+    ge: Option<GeParams>,
+    ge_in: GeState,
+    ge_out: GeState,
+    /// Link state seen at the last tick, for edge-triggered events.
+    was_down: bool,
     /// Degraded-mode serialization pacing, per direction.
     busy_in: Time,
     busy_out: Time,
@@ -214,6 +267,8 @@ pub struct FaultInjector {
     counters: FaultCounters,
     gate: DmaFaultGate,
     shared: Rc<Shared>,
+    /// Optional telemetry event ring for link-state transitions.
+    ring: Option<EventRing>,
 }
 
 impl FaultInjector {
@@ -244,6 +299,7 @@ impl FaultInjector {
                 counters,
                 gate,
                 shared,
+                ring: None,
             },
             handle,
         )
@@ -274,9 +330,26 @@ impl FaultInjector {
             ber: 0.0,
             countdown_in: 0,
             countdown_out: 0,
+            ge: None,
+            ge_in: GeState::default(),
+            ge_out: GeState::default(),
+            was_down: false,
             busy_in: Time::ZERO,
             busy_out: Time::ZERO,
         });
+    }
+
+    /// Attach an event ring; link up/down and retrain transitions are
+    /// published to it from then on. Telemetry only — forwarding,
+    /// counters and the RNG sequence are untouched.
+    pub fn set_event_ring(&mut self, ring: EventRing) {
+        self.ring = Some(ring);
+    }
+
+    fn emit(&self, kind: EventKind, port: u8, data: u32, at: Time) {
+        if let Some(ring) = &self.ring {
+            ring.push(Event { kind, port, data, at });
+        }
     }
 
     fn apply(&mut self, now: Time, kind: FaultKind) {
@@ -284,10 +357,12 @@ impl FaultInjector {
             FaultKind::LinkDown { port, duration } => {
                 if let Some(p) = self.ports.get_mut(usize::from(*port)) {
                     p.down_until = p.down_until.max(now + *duration);
+                    self.counters.flaps.incr();
                 }
             }
             FaultKind::SetBer { port, ber } => {
                 if let Some(p) = self.ports.get_mut(usize::from(*port)) {
+                    p.ge = None;
                     p.ber = *ber;
                     if *ber > 0.0 {
                         p.countdown_in = self.rng.geometric(*ber);
@@ -295,16 +370,53 @@ impl FaultInjector {
                     }
                 }
             }
+            FaultKind::SetGilbertElliott {
+                port,
+                good_ber,
+                bad_ber,
+                p_good_to_bad,
+                p_bad_to_good,
+            } => {
+                assert!(
+                    *p_good_to_bad > 0.0
+                        && *p_good_to_bad < 1.0
+                        && *p_bad_to_good > 0.0
+                        && *p_bad_to_good < 1.0,
+                    "GE transition probabilities must be in (0, 1)"
+                );
+                if let Some(p) = self.ports.get_mut(usize::from(*port)) {
+                    let params = GeParams {
+                        good_ber: *good_ber,
+                        bad_ber: *bad_ber,
+                        p_gb: *p_good_to_bad,
+                        p_bg: *p_bad_to_good,
+                    };
+                    p.ber = 0.0;
+                    p.ge = Some(params);
+                    // Both directions start in the good state with fresh
+                    // sojourn and error draws.
+                    p.ge_in = Self::ge_enter(&mut self.rng, &params, false);
+                    p.ge_out = Self::ge_enter(&mut self.rng, &params, false);
+                }
+            }
             FaultKind::LaneLoss { port, lanes_lost } => {
                 if let Some(p) = self.ports.get_mut(usize::from(*port)) {
                     p.lanes_lost = *lanes_lost;
                     self.counters.lane_events.incr();
+                    // A partial loss retrains onto the surviving bond; a
+                    // full loss surfaces as the link-down edge instead.
+                    if *lanes_lost < p.bond.lanes {
+                        let surviving = u32::from(p.bond.lanes - *lanes_lost);
+                        self.emit(EventKind::Retrain, *port, surviving, now);
+                    }
                 }
             }
             FaultKind::LaneRestore { port } => {
                 if let Some(p) = self.ports.get_mut(usize::from(*port)) {
+                    let lanes = u32::from(p.bond.lanes);
                     p.lanes_lost = 0;
                     self.counters.lane_events.incr();
+                    self.emit(EventKind::LaneRestore, *port, lanes, now);
                 }
             }
             FaultKind::StreamStall { port, duration } => {
@@ -342,6 +454,52 @@ impl FaultInjector {
         self.shared.trace.borrow_mut().push(TraceEntry { at: now, kind });
     }
 
+    /// Enter a Gilbert–Elliott state: draw the sojourn length (bits until
+    /// the next transition) and the in-state error countdown.
+    fn ge_enter(rng: &mut SimRng, p: &GeParams, bad: bool) -> GeState {
+        let (leave_p, ber) = if bad { (p.p_bg, p.bad_ber) } else { (p.p_gb, p.good_ber) };
+        GeState {
+            bad,
+            sojourn: rng.geometric(leave_p),
+            countdown: if ber > 0.0 { rng.geometric(ber) } else { u64::MAX },
+        }
+    }
+
+    /// Run `bits` data bits of one frame through a Gilbert–Elliott
+    /// channel, flipping bits in place. Returns true if anything flipped.
+    fn ge_corrupt(
+        rng: &mut SimRng,
+        counters: &FaultCounters,
+        data: &mut [u8],
+        st: &mut GeState,
+        params: &GeParams,
+    ) -> bool {
+        let bits = (data.len() * 8) as u64;
+        let mut pos = 0u64;
+        let mut corrupted = false;
+        while pos < bits {
+            // Bits of this frame spent in the current state.
+            let span = st.sojourn.min(bits - pos);
+            let ber = if st.bad { params.bad_ber } else { params.good_ber };
+            let mut consumed = 0u64;
+            while ber > 0.0 && st.countdown <= span - consumed {
+                let at = pos + consumed + st.countdown - 1;
+                data[(at / 8) as usize] ^= 1 << (at % 8);
+                counters.ber_flips.incr();
+                corrupted = true;
+                consumed += st.countdown;
+                st.countdown = rng.geometric(ber);
+            }
+            st.countdown = st.countdown.saturating_sub(span - consumed);
+            st.sojourn -= span;
+            pos += span;
+            if st.sojourn == 0 {
+                *st = Self::ge_enter(rng, params, !st.bad);
+            }
+        }
+        corrupted
+    }
+
     /// Forward one direction of one port, applying the active faults.
     fn forward(
         rng: &mut SimRng,
@@ -360,7 +518,16 @@ impl FaultInjector {
                 counters.link_down_drops.incr();
                 continue;
             }
-            if port.ber > 0.0 {
+            if let Some(params) = port.ge {
+                let st = if inbound { &mut port.ge_in } else { &mut port.ge_out };
+                // Stamp the pristine FCS before flipping so corruption is
+                // detectable at the receiving MAC.
+                let pristine = frame.fcs.unwrap_or_else(|| crc32(&frame.data));
+                if Self::ge_corrupt(rng, counters, &mut frame.data, st, &params) {
+                    frame.fcs = Some(pristine);
+                    counters.frames_corrupted.incr();
+                }
+            } else if port.ber > 0.0 {
                 let bits = (frame.data.len() * 8) as u64;
                 let countdown = if inbound { &mut port.countdown_in } else { &mut port.countdown_out };
                 let mut pos = 0u64;
@@ -429,7 +596,20 @@ impl Module for FaultInjector {
                 None => break,
             }
         }
-        // 2. Forward frames through every tapped port.
+        // 2. Edge-triggered link telemetry: publish up/down transitions
+        // (fault windows opening, expiring, or lane loss crossing the
+        // bond threshold) to the event ring, if one is attached.
+        if self.ring.is_some() {
+            for i in 0..self.ports.len() {
+                let down = self.ports[i].down_at(ctx.now);
+                if down != self.ports[i].was_down {
+                    self.ports[i].was_down = down;
+                    let kind = if down { EventKind::LinkDown } else { EventKind::LinkUp };
+                    self.emit(kind, i as u8, 0, ctx.now);
+                }
+            }
+        }
+        // 3. Forward frames through every tapped port.
         for i in 0..self.ports.len() {
             let port = &mut self.ports[i];
             if ctx.now < port.stall_until {
@@ -456,6 +636,10 @@ impl Module for FaultInjector {
             p.ber = 0.0;
             p.countdown_in = 0;
             p.countdown_out = 0;
+            p.ge = None;
+            p.ge_in = GeState::default();
+            p.ge_out = GeState::default();
+            p.was_down = false;
             p.busy_in = Time::ZERO;
             p.busy_out = Time::ZERO;
         }
@@ -470,6 +654,10 @@ impl Module for FaultInjector {
                 .ports
                 .iter()
                 .all(|p| p.outer_in.is_empty() && p.inner_out.is_empty())
+            // With an event ring attached, a down link is pending work:
+            // the up-transition must be observed and published, so the
+            // idle fast-forward must not skip over it.
+            && (self.ring.is_none() || self.ports.iter().all(|p| !p.was_down))
     }
 }
 
@@ -511,6 +699,7 @@ impl RegisterSpace for FaultRegisters {
     fn write(&mut self, _offset: u32, _value: u32) {
         let c = &self.handle.counters;
         c.events_applied.clear();
+        c.flaps.clear();
         c.link_down_drops.clear();
         c.frames_corrupted.clear();
         c.ber_flips.clear();
@@ -710,6 +899,137 @@ mod tests {
         inj.reset();
         assert!(!inj.is_quiescent(), "plan re-armed after reset");
         assert!(handle.trace().is_empty());
+    }
+
+    /// Satellite: at a matched *average* BER, the Gilbert–Elliott burst
+    /// channel clusters errors into far fewer frames than the i.i.d.
+    /// geometric process — the FCS-failure clustering real optics show.
+    #[test]
+    fn gilbert_elliott_clusters_errors_vs_iid() {
+        // GE: quiet good state; bad bursts of mean 1/p_bg = 333 bits at
+        // 5% BER. Stationary bad fraction = p_gb/(p_gb+p_bg) ≈ 0.004, so
+        // the average BER ≈ 0.05 * 0.004 = 2e-4 — matched by the i.i.d.
+        // process below.
+        let (p_gb, p_bg, bad_ber) = (1.2e-5, 3e-3, 0.05);
+        let avg_ber = bad_ber * p_gb / (p_gb + p_bg);
+        let run = |kind: FaultKind| {
+            let plan = FaultPlan::new(0x6E11).at(Time::ZERO, kind);
+            let (mut sim, handle, outer, inner) = harness(plan);
+            for i in 0..200u64 {
+                outer.push(frame_at(1000, Time::from_ns(900 * (i + 1))));
+            }
+            sim.run_until(Time::from_us(400));
+            while inner.take_ready(Time::from_us(400)).is_some() {}
+            (
+                handle.counters().frames_corrupted.get(),
+                handle.counters().ber_flips.get(),
+            )
+        };
+        let (iid_frames, iid_flips) = run(FaultKind::SetBer { port: 0, ber: avg_ber });
+        let (ge_frames, ge_flips) = run(FaultKind::SetGilbertElliott {
+            port: 0,
+            good_ber: 0.0,
+            bad_ber,
+            p_good_to_bad: p_gb,
+            p_bad_to_good: p_bg,
+        });
+        // Comparable total error mass (both processes at ~2e-4 avg BER
+        // over 1.6M bits ⇒ ~320 flips each)…
+        assert!(iid_flips > 100 && ge_flips > 100, "iid {iid_flips} ge {ge_flips}");
+        assert!(
+            ge_flips * 3 > iid_flips && iid_flips * 3 > ge_flips,
+            "matched average: iid {iid_flips} vs ge {ge_flips}"
+        );
+        // …but concentrated in far fewer frames…
+        assert!(
+            ge_frames * 2 < iid_frames,
+            "bursts must cluster: ge {ge_frames} frames vs iid {iid_frames}"
+        );
+        // …at a much higher per-frame error density.
+        let iid_density = iid_flips as f64 / iid_frames as f64;
+        let ge_density = ge_flips as f64 / ge_frames as f64;
+        assert!(
+            ge_density > 3.0 * iid_density,
+            "ge {ge_density:.1} flips/frame vs iid {iid_density:.1}"
+        );
+    }
+
+    /// GE corruption is seed-deterministic and detectable (pristine FCS
+    /// rides along), and `SetBer` switches the port back to i.i.d.
+    #[test]
+    fn gilbert_elliott_is_deterministic_and_detectable() {
+        let run = || {
+            let plan = FaultPlan::new(99).at(
+                Time::ZERO,
+                FaultKind::SetGilbertElliott {
+                    port: 0,
+                    good_ber: 0.0,
+                    bad_ber: 0.05,
+                    p_good_to_bad: 1e-4,
+                    p_bad_to_good: 3e-3,
+                },
+            );
+            let (mut sim, handle, outer, inner) = harness(plan);
+            for i in 0..50u64 {
+                outer.push(frame_at(500, Time::from_ns(500 * (i + 1))));
+            }
+            sim.run_until(Time::from_us(100));
+            let mut datas = Vec::new();
+            while let Some(f) = inner.take_ready(Time::from_us(100)) {
+                if f.data != vec![0xA5; 500] {
+                    let fcs = f.fcs.expect("corrupted frame must carry FCS");
+                    assert!(!netfpga_packet::fcs::verify(&f.data, fcs));
+                }
+                datas.push(f.data);
+            }
+            (datas, handle.counters().ber_flips.get(), handle.clone())
+        };
+        let (a, a_flips, handle) = run();
+        let (b, b_flips, _) = run();
+        assert!(a_flips > 0, "bursts must land inside 50 frames");
+        assert_eq!(a, b, "same seed, same burst corruption");
+        assert_eq!(a_flips, b_flips);
+        // Back to i.i.d. off: clean forwarding again.
+        handle.inject(FaultKind::SetBer { port: 0, ber: 0.0 });
+    }
+
+    /// An attached event ring sees the link-down and link-up edges of a
+    /// flap, plus retrain/restore transitions for partial lane loss.
+    #[test]
+    fn event_ring_sees_link_transitions() {
+        use netfpga_core::telemetry::{EventKind, EventRing};
+        let plan = FaultPlan::new(11)
+            .bond(0, netfpga_phy::PortBond::ethernet_40g())
+            .at(Time::from_ns(100), FaultKind::LinkDown { port: 0, duration: Time::from_us(1) });
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("core", Frequency::mhz(200));
+        let (mut inj, handle) = FaultInjector::new("faults", &plan);
+        inj.tap_port(BitRate::gbps(10), Wire::new(), Wire::new(), Wire::new(), Wire::new());
+        let ring = EventRing::new(16);
+        inj.set_event_ring(ring.clone());
+        sim.add_module(clk, inj);
+
+        sim.run_until(Time::from_us(5));
+        let kinds: Vec<EventKind> = ring.pending().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, [EventKind::LinkDown, EventKind::LinkUp], "one full flap");
+        assert!(ring.pending()[0].at < ring.pending()[1].at);
+        assert_eq!(handle.counters().flaps.get(), 1);
+
+        // Partial lane loss retrains; restore is announced too.
+        handle.inject(FaultKind::LaneLoss { port: 0, lanes_lost: 2 });
+        handle.inject(FaultKind::LaneRestore { port: 0 });
+        sim.run_until(Time::from_us(6));
+        let kinds: Vec<EventKind> = ring.pending().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                EventKind::LinkDown,
+                EventKind::LinkUp,
+                EventKind::Retrain,
+                EventKind::LaneRestore
+            ]
+        );
+        assert_eq!(ring.pending()[2].data, 2, "surviving lanes");
     }
 
     #[test]

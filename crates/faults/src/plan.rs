@@ -34,6 +34,27 @@ pub enum FaultKind {
         /// Errors per data bit (e.g. `1e-6`).
         ber: f64,
     },
+    /// Switch `port`'s error process to a Gilbert–Elliott two-state burst
+    /// channel (both directions): a *good* state with `good_ber` and a
+    /// *bad* state with `bad_ber`, with per-bit transition probabilities
+    /// `p_good_to_bad` and `p_bad_to_good`. Optics degrade in bursts, not
+    /// i.i.d.; at a matched average BER this clusters errors into far
+    /// fewer frames than [`FaultKind::SetBer`]. State sojourns and
+    /// in-state error spacing are geometric draws from the plan's seed.
+    /// `SetBer` (including `ber: 0.0`) switches the port back to the
+    /// i.i.d. process.
+    SetGilbertElliott {
+        /// Front-panel port index.
+        port: u8,
+        /// Errors per data bit while in the good state (often `0.0`).
+        good_ber: f64,
+        /// Errors per data bit while in the bad state.
+        bad_ber: f64,
+        /// Per-bit probability of a good → bad transition, in `(0, 1)`.
+        p_good_to_bad: f64,
+        /// Per-bit probability of a bad → good transition, in `(0, 1)`.
+        p_bad_to_good: f64,
+    },
     /// Lose `lanes_lost` lanes of `port`'s bonded interface. Traffic is
     /// re-paced at the degraded bonded rate ([`PortBond::degrade`]); losing
     /// every lane takes the link down until [`FaultKind::LaneRestore`].

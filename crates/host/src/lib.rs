@@ -13,6 +13,9 @@
 //!   naive rule installation, version/violation readback.
 //! * [`osnt_tool`] — the OSNT configuration tool: probe runs configured and
 //!   read back purely through the register blocks.
+//! * [`telemetry`] — the unified telemetry plane's driver side:
+//!   [`dump_stats`] (full name → value map via the self-describing stat
+//!   block) and [`poll_events`] (link/fault event ring).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,8 +24,10 @@ pub mod controller;
 pub mod nic;
 pub mod osnt_tool;
 pub mod router_manager;
+pub mod telemetry;
 
 pub use controller::{BlueSwitchController, RuleSpec};
 pub use nic::NicDriver;
 pub use osnt_tool::{OsntTool, ProbeReport, ProbeRun};
 pub use router_manager::{Interface, RouterManager};
+pub use telemetry::{dump_stats, poll_events};

@@ -3,11 +3,15 @@
 //! both directions, egress port selection via metadata, statistics via the
 //! register block.
 
+use netfpga_core::stats::Counter;
 use netfpga_core::stream::{Meta, PortMask};
+use netfpga_core::telemetry::StatRegistry;
 use netfpga_pcie::DmaHandle;
 use netfpga_projects::reference_nic::{ReferenceNic, STATS_BASE};
 
-/// Driver statistics mirrored from software-side accounting.
+/// Driver statistics mirrored from software-side accounting (a snapshot;
+/// the live cells can be registered on a [`StatRegistry`] with
+/// [`NicDriver::register_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NicDriverStats {
     /// Frames handed to the hardware.
@@ -18,10 +22,17 @@ pub struct NicDriverStats {
     pub tx_busy: u64,
 }
 
+#[derive(Default)]
+struct NicDriverCounters {
+    tx: Counter,
+    rx: Counter,
+    tx_busy: Counter,
+}
+
 /// The NIC driver instance.
 pub struct NicDriver {
     dma: DmaHandle,
-    stats: NicDriverStats,
+    stats: NicDriverCounters,
 }
 
 impl NicDriver {
@@ -29,7 +40,7 @@ impl NicDriver {
     pub fn bind(nic: &ReferenceNic) -> NicDriver {
         NicDriver {
             dma: nic.chassis.dma.clone().expect("NIC has a DMA engine"),
-            stats: NicDriverStats::default(),
+            stats: NicDriverCounters::default(),
         }
     }
 
@@ -42,10 +53,10 @@ impl NicDriver {
             ..Default::default()
         };
         if self.dma.send_with_meta(frame, meta) {
-            self.stats.tx += 1;
+            self.stats.tx.incr();
             true
         } else {
-            self.stats.tx_busy += 1;
+            self.stats.tx_busy.incr();
             false
         }
     }
@@ -53,13 +64,27 @@ impl NicDriver {
     /// Receive the oldest frame, with its ingress port.
     pub fn receive(&mut self) -> Option<(u8, Vec<u8>)> {
         let (frame, meta) = self.dma.recv()?;
-        self.stats.rx += 1;
+        self.stats.rx.incr();
         Some((meta.src_port, frame))
     }
 
     /// Software-side counters.
     pub fn stats(&self) -> NicDriverStats {
-        self.stats
+        NicDriverStats {
+            tx: self.stats.tx.get(),
+            rx: self.stats.rx.get(),
+            tx_busy: self.stats.tx_busy.get(),
+        }
+    }
+
+    /// Register the driver's live counters on `registry` under `prefix`
+    /// (e.g. `driver`): `tx`, `rx`, `tx_busy`. The same shared cells keep
+    /// counting after registration, so registry reads always match
+    /// [`NicDriver::stats`].
+    pub fn register_stats(&self, registry: &StatRegistry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}.tx"), &self.stats.tx);
+        registry.register_counter(&format!("{prefix}.rx"), &self.stats.rx);
+        registry.register_counter(&format!("{prefix}.tx_busy"), &self.stats.tx_busy);
     }
 
     /// Read the hardware RX packet counter over MMIO.

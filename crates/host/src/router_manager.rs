@@ -16,7 +16,9 @@
 //! Table management talks to the hardware exclusively through the router's
 //! register block (staging + command protocol), like the real CLI does.
 
+use netfpga_core::stats::Counter;
 use netfpga_core::stream::{Meta, PortMask};
+use netfpga_core::telemetry::StatRegistry;
 use netfpga_core::time::Time;
 use netfpga_packet::icmpv4::{Icmpv4Packet, Icmpv4Repr, Message};
 use netfpga_packet::ipv4::Ipv4Packet;
@@ -39,7 +41,8 @@ pub struct Interface {
     pub subnet: Ipv4Cidr,
 }
 
-/// Management-plane counters.
+/// Management-plane counters (a snapshot; the live cells can be
+/// registered on a [`StatRegistry`] with [`RouterManager::register_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MgmtStats {
     /// ARP replies sent on the router's behalf.
@@ -62,6 +65,19 @@ pub struct MgmtStats {
     pub unhandled: u64,
 }
 
+#[derive(Default)]
+struct MgmtCounters {
+    arp_replies: Counter,
+    arp_requests: Counter,
+    arp_learned: Counter,
+    icmp_ttl: Counter,
+    icmp_unreachable: Counter,
+    echo_replies: Counter,
+    slow_path_forwards: Counter,
+    icmp_suppressed: Counter,
+    unhandled: Counter,
+}
+
 /// The management application.
 pub struct RouterManager {
     interfaces: Vec<Interface>,
@@ -77,8 +93,7 @@ pub struct RouterManager {
     icmp_bucket: f64,
     icmp_rate_per_sec: f64,
     icmp_last_refill: Time,
-    /// Counters.
-    pub stats: MgmtStats,
+    stats: MgmtCounters,
     cpu_port: u8,
 }
 
@@ -94,8 +109,43 @@ impl RouterManager {
             icmp_bucket: 8.0,
             icmp_rate_per_sec: 100_000.0,
             icmp_last_refill: Time::ZERO,
-            stats: MgmtStats::default(),
+            stats: MgmtCounters::default(),
             cpu_port,
+        }
+    }
+
+    /// Management-plane counters so far.
+    pub fn stats(&self) -> MgmtStats {
+        MgmtStats {
+            arp_replies: self.stats.arp_replies.get(),
+            arp_requests: self.stats.arp_requests.get(),
+            arp_learned: self.stats.arp_learned.get(),
+            icmp_ttl: self.stats.icmp_ttl.get(),
+            icmp_unreachable: self.stats.icmp_unreachable.get(),
+            echo_replies: self.stats.echo_replies.get(),
+            slow_path_forwards: self.stats.slow_path_forwards.get(),
+            icmp_suppressed: self.stats.icmp_suppressed.get(),
+            unhandled: self.stats.unhandled.get(),
+        }
+    }
+
+    /// Register the manager's live counters on `registry` under `prefix`
+    /// (e.g. `mgmt`). The same shared cells keep counting after
+    /// registration, so registry reads always match [`RouterManager::stats`].
+    pub fn register_stats(&self, registry: &StatRegistry, prefix: &str) {
+        let fields: [(&str, &Counter); 9] = [
+            ("arp_replies", &self.stats.arp_replies),
+            ("arp_requests", &self.stats.arp_requests),
+            ("arp_learned", &self.stats.arp_learned),
+            ("icmp_ttl", &self.stats.icmp_ttl),
+            ("icmp_unreachable", &self.stats.icmp_unreachable),
+            ("echo_replies", &self.stats.echo_replies),
+            ("slow_path_forwards", &self.stats.slow_path_forwards),
+            ("icmp_suppressed", &self.stats.icmp_suppressed),
+            ("unhandled", &self.stats.unhandled),
+        ];
+        for (name, counter) in fields {
+            registry.register_counter(&format!("{prefix}.{name}"), counter);
         }
     }
 
@@ -118,7 +168,7 @@ impl RouterManager {
             self.icmp_tokens -= 1.0;
             true
         } else {
-            self.stats.icmp_suppressed += 1;
+            self.stats.icmp_suppressed.incr();
             false
         }
     }
@@ -220,15 +270,15 @@ impl RouterManager {
         message: Message,
     ) {
         let Some(iface) = self.interface_on_port(ingress) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         let Ok(eth) = EthernetFrame::new_checked(original) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         let Ok(ip) = Ipv4Packet::new_checked(eth.payload()) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         // RFC 792: payload is the original IP header + 8 bytes.
@@ -244,17 +294,17 @@ impl RouterManager {
 
     fn handle_arp(&mut self, r: &mut ReferenceRouter, frame: &[u8], ingress: u8) {
         let Some(iface) = self.interface_on_port(ingress) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         let Ok(eth) = EthernetFrame::new_checked(frame) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         let Ok(arp) = netfpga_packet::arp::ArpRepr::parse(
             &netfpga_packet::arp::ArpPacket::new_unchecked(eth.payload()),
         ) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         match arp.operation {
@@ -263,7 +313,7 @@ impl RouterManager {
                     let reply = PacketBuilder::arp_reply_to(frame, iface.mac, iface.ip)
                         .expect("valid request");
                     self.inject(r, ingress, reply);
-                    self.stats.arp_replies += 1;
+                    self.stats.arp_replies.incr();
                 }
             }
             netfpga_packet::arp::Operation::Reply => {
@@ -271,7 +321,7 @@ impl RouterManager {
                 let mac = arp.source_hardware_addr;
                 self.arp.insert(ip, mac);
                 Self::push_arp_entry(r, ip, mac);
-                self.stats.arp_learned += 1;
+                self.stats.arp_learned.incr();
                 // Release parked packets: forward them in software.
                 if let Some(parked) = self.pending.remove(&ip) {
                     for (pkt, meta) in parked {
@@ -279,7 +329,7 @@ impl RouterManager {
                     }
                 }
             }
-            netfpga_packet::arp::Operation::Unknown(_) => self.stats.unhandled += 1,
+            netfpga_packet::arp::Operation::Unknown(_) => self.stats.unhandled.incr(),
         }
     }
 
@@ -294,18 +344,18 @@ impl RouterManager {
                     .map(|ip| (ip.dst_addr(), true))
             })
         }) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         let _ = ingress_ok;
         let Some((next_hop, port)) = self.route(dst) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         let (Some(&next_mac), Some(iface)) =
             (self.arp.get(&next_hop), self.interface_on_port(port))
         else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         {
@@ -317,33 +367,33 @@ impl RouterManager {
             ip.decrement_ttl();
         }
         self.inject(r, port, frame);
-        self.stats.slow_path_forwards += 1;
+        self.stats.slow_path_forwards.incr();
     }
 
     fn handle_local(&mut self, r: &mut ReferenceRouter, frame: &[u8], ingress: u8) {
         // Answer ICMP echo requests addressed to us.
         let Some(iface) = self.interface_on_port(ingress) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         let Ok(eth) = EthernetFrame::new_checked(frame) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         let Ok(ip) = Ipv4Packet::new_checked(eth.payload()) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         if ip.protocol() != netfpga_packet::IpProtocol::Icmp {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         }
         let Ok(icmp) = Icmpv4Packet::new_checked(ip.payload()) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         let Ok(repr) = Icmpv4Repr::parse(&icmp, true) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         if let Message::EchoRequest { ident, seq } = repr.message {
@@ -356,9 +406,9 @@ impl RouterManager {
                 )
                 .build();
             self.inject(r, ingress, reply);
-            self.stats.echo_replies += 1;
+            self.stats.echo_replies.incr();
         } else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
         }
     }
 
@@ -367,15 +417,15 @@ impl RouterManager {
             .ok()
             .and_then(|e| Ipv4Packet::new_checked(e.payload()).ok().map(|ip| ip.dst_addr()))
         else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         let Some((next_hop, port)) = self.route(dst) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         let Some(iface) = self.interface_on_port(port) else {
-            self.stats.unhandled += 1;
+            self.stats.unhandled.incr();
             return;
         };
         let first_for_hop = !self.pending.contains_key(&next_hop);
@@ -383,7 +433,7 @@ impl RouterManager {
         if first_for_hop {
             let request = PacketBuilder::arp_request(iface.mac, iface.ip, next_hop);
             self.inject(r, port, request);
-            self.stats.arp_requests += 1;
+            self.stats.arp_requests.incr();
         }
     }
 
@@ -399,7 +449,7 @@ impl RouterManager {
                 exception::TTL_EXPIRED => {
                     if self.take_icmp_token(now) {
                         self.icmp_error(r, &frame, meta.src_port, Message::TimeExceeded { code: 0 });
-                        self.stats.icmp_ttl += 1;
+                        self.stats.icmp_ttl.incr();
                     }
                 }
                 exception::NO_ROUTE => {
@@ -410,11 +460,11 @@ impl RouterManager {
                             meta.src_port,
                             Message::DstUnreachable { code: 0 },
                         );
-                        self.stats.icmp_unreachable += 1;
+                        self.stats.icmp_unreachable.incr();
                     }
                 }
                 exception::ARP_MISS => self.handle_arp_miss(r, frame, meta),
-                _ => self.stats.unhandled += 1,
+                _ => self.stats.unhandled.incr(),
             }
         }
     }
@@ -488,7 +538,7 @@ mod tests {
         assert_eq!(arp.sender_mac, mac(0xe0));
         assert_eq!(arp.sender_ip, ip("10.0.0.1"));
         assert_eq!(h.eth_dst, mac(0xa1));
-        assert_eq!(mgr.stats.arp_replies, 1);
+        assert_eq!(mgr.stats().arp_replies, 1);
     }
 
     #[test]
@@ -510,7 +560,7 @@ mod tests {
         let ipv4 = h.ipv4.unwrap();
         assert_eq!(ipv4.src, ip("10.0.0.1"));
         assert_eq!(ipv4.dst, ip("10.0.0.2"));
-        assert_eq!(mgr.stats.echo_replies, 1);
+        assert_eq!(mgr.stats().echo_replies, 1);
     }
 
     #[test]
@@ -530,7 +580,7 @@ mod tests {
         assert_eq!(out.len(), 1);
         let h = ParsedHeaders::parse(&out[0]);
         assert_eq!(h.ipv4.unwrap().src, ip("10.0.0.1"), "ICMP from router");
-        assert_eq!(mgr.stats.icmp_ttl, 1);
+        assert_eq!(mgr.stats().icmp_ttl, 1);
         // The ICMP body carries the original header.
         let eth = EthernetFrame::new_checked(&out[0][..]).unwrap();
         let ipp = Ipv4Packet::new_checked(eth.payload()).unwrap();
@@ -555,7 +605,7 @@ mod tests {
         let ipp = Ipv4Packet::new_checked(eth.payload()).unwrap();
         let icmp = Icmpv4Packet::new_checked(ipp.payload()).unwrap();
         assert_eq!(icmp.icmp_type(), 3);
-        assert_eq!(mgr.stats.icmp_unreachable, 1);
+        assert_eq!(mgr.stats().icmp_unreachable, 1);
     }
 
     /// The full ARP-resolution dance: first packet to an unresolved next
@@ -578,7 +628,7 @@ mod tests {
         let arp = h.arp.unwrap();
         assert!(arp.is_request);
         assert_eq!(arp.target_ip, ip("10.0.1.2"));
-        assert_eq!(mgr.stats.arp_requests, 1);
+        assert_eq!(mgr.stats().arp_requests, 1);
 
         // Host B answers.
         let reply = PacketBuilder::arp_reply_to(&out[0], mac(0xb2), ip("10.0.1.2")).unwrap();
@@ -590,8 +640,8 @@ mod tests {
         let h = ParsedHeaders::parse(&released[0]);
         assert_eq!(h.eth_dst, mac(0xb2));
         assert_eq!(h.ipv4.unwrap().ttl, 63);
-        assert_eq!(mgr.stats.slow_path_forwards, 1);
-        assert_eq!(mgr.stats.arp_learned, 1);
+        assert_eq!(mgr.stats().slow_path_forwards, 1);
+        assert_eq!(mgr.stats().arp_learned, 1);
 
         // Second packet: pure hardware path, no new exceptions.
         let before = r.counters.borrow().forwarded;
@@ -624,9 +674,9 @@ mod tests {
         mgr.run(&mut r, Time::from_us(200), Time::from_us(50));
         let responses = r.chassis.recv(0).len();
         assert!(responses <= 6, "burst-limited: got {responses}");
-        assert!(mgr.stats.icmp_suppressed >= 40, "{:?}", mgr.stats);
+        assert!(mgr.stats().icmp_suppressed >= 40, "{:?}", mgr.stats());
         assert_eq!(
-            mgr.stats.icmp_ttl + mgr.stats.icmp_suppressed,
+            mgr.stats().icmp_ttl + mgr.stats().icmp_suppressed,
             50,
             "every exception accounted"
         );

@@ -1,0 +1,108 @@
+//! Host-side access to the unified telemetry plane.
+//!
+//! Every chassis auto-mounts two self-describing register blocks when its
+//! MMIO bridge is attached: a [`StatBlock`](netfpga_core::telemetry::StatBlock)
+//! name-table at [`TELEMETRY_BASE`] and an event ring at [`EVENTS_BASE`].
+//! The functions here are the driver side of that contract:
+//!
+//! * [`dump_stats`] — the `ethtool -S` analogue: read the name table over
+//!   MMIO, resolve every stat's address from the block header (no
+//!   hardcoded offsets), and return the full `path → value` map.
+//! * [`poll_events`] — drain the link/fault event ring: read `head`, walk
+//!   the slots past our consumer index, write `tail` back to free them.
+//!
+//! Both go through [`Chassis::read32`]/[`Chassis::write32`], i.e. real
+//! simulated MMIO transactions — exactly what a driver on the host CPU
+//! would issue.
+
+use netfpga_core::telemetry::{
+    decode_stat_block, Event, EventKind, EVENTS_BASE, EVENT_RING_MAGIC, TELEMETRY_BASE,
+};
+use netfpga_core::time::Time;
+use netfpga_projects::harness::Chassis;
+use std::collections::BTreeMap;
+
+/// Read the full telemetry map over MMIO: every registered stat path and
+/// its current value, resolved through the self-describing
+/// [`StatBlock`](netfpga_core::telemetry::StatBlock) header and name
+/// table at [`TELEMETRY_BASE`] — no hardcoded offsets. Returns an empty
+/// map if no telemetry block is mounted (magic mismatch).
+pub fn dump_stats(chassis: &mut Chassis) -> BTreeMap<String, u64> {
+    let Some(entries) = decode_stat_block(TELEMETRY_BASE, |a| chassis.read32(a)) else {
+        return BTreeMap::new();
+    };
+    entries
+        .into_iter()
+        .map(|(path, addr)| {
+            let value = u64::from(chassis.read32(addr));
+            (path, value)
+        })
+        .collect()
+}
+
+/// Drain the event ring at [`EVENTS_BASE`]: read the producer head, walk
+/// every unconsumed slot, and hand the consumer index back so the ring
+/// frees them. Returns the drained events in production order (link
+/// up/down transitions, lane retrains, faults). Empty if no ring is
+/// mounted or nothing happened.
+pub fn poll_events(chassis: &mut Chassis) -> Vec<Event> {
+    if chassis.read32(EVENTS_BASE) != EVENT_RING_MAGIC {
+        return Vec::new();
+    }
+    let head = chassis.read32(EVENTS_BASE + 0x04);
+    let tail = chassis.read32(EVENTS_BASE + 0x08);
+    let capacity = chassis.read32(EVENTS_BASE + 0x0C);
+    if capacity == 0 {
+        return Vec::new();
+    }
+    let mut events = Vec::new();
+    let mut seq = tail;
+    while seq != head {
+        let slot = EVENTS_BASE + 0x20 + 0x10 * (seq % capacity);
+        let kind = chassis.read32(slot);
+        let port = chassis.read32(slot + 0x4);
+        let data = chassis.read32(slot + 0x8);
+        let at_ns = chassis.read32(slot + 0xC);
+        if let Some(kind) = EventKind::from_code(kind) {
+            events.push(Event {
+                kind,
+                port: port as u8,
+                data,
+                at: Time::from_ns(u64::from(at_ns)),
+            });
+        }
+        seq = seq.wrapping_add(1);
+    }
+    chassis.write32(EVENTS_BASE + 0x08, head);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfpga_core::board::BoardSpec;
+    use netfpga_projects::reference_nic::ReferenceNic;
+
+    #[test]
+    fn dump_stats_resolves_names_and_values() {
+        let mut nic = ReferenceNic::new(&BoardSpec::sume(), 4);
+        nic.chassis.send(1, vec![0xab; 100]);
+        nic.chassis.run_for(Time::from_us(10));
+        let map = dump_stats(&mut nic.chassis);
+        assert!(!map.is_empty());
+        assert_eq!(map["rx_stats.total_packets"], 1);
+        assert_eq!(map["rx_stats.port1.packets"], 1);
+        assert_eq!(map["port1.mac.rx.frames"], 1);
+        assert_eq!(map["port0.mac.rx.frames"], 0);
+        assert_eq!(map["dma.rx.packets"], 1, "frame crossed the DMA engine");
+    }
+
+    #[test]
+    fn poll_events_is_empty_without_faults() {
+        let mut nic = ReferenceNic::new(&BoardSpec::sume(), 4);
+        nic.chassis.run_for(Time::from_us(5));
+        assert!(poll_events(&mut nic.chassis).is_empty());
+        // Draining twice is idempotent.
+        assert!(poll_events(&mut nic.chassis).is_empty());
+    }
+}

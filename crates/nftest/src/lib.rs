@@ -104,6 +104,18 @@ pub enum Step {
         /// Highest acceptable value (inclusive).
         hi: u32,
     },
+    /// Look up a stat by its registry path in the auto-mounted telemetry
+    /// block (resolved over MMIO through the block's name table — no
+    /// hardcoded addresses) and require `lo <= value <= hi`. Fails the
+    /// plan if no telemetry block is mounted or the path is unknown.
+    ExpectStat {
+        /// Dotted registry path, e.g. `port0.mac.rx.bad_fcs`.
+        path: String,
+        /// Lowest acceptable value (inclusive).
+        lo: u64,
+        /// Highest acceptable value (inclusive).
+        hi: u64,
+    },
 }
 
 /// A named, ordered list of steps.
@@ -188,6 +200,14 @@ impl TestPlan {
     /// Append: expect a register (counter) value in `lo..=hi`.
     pub fn expect_counter_in_range(mut self, addr: u32, lo: u32, hi: u32) -> Self {
         self.steps.push(Step::ExpectCounterInRange { addr, lo, hi });
+        self
+    }
+
+    /// Append: expect the telemetry stat at `path` (e.g.
+    /// `port0.mac.rx.bad_fcs`) to read a value in `lo..=hi`, resolved by
+    /// name through the auto-mounted stat block.
+    pub fn expect_stat(mut self, path: &str, lo: u64, hi: u64) -> Self {
+        self.steps.push(Step::ExpectStat { path: path.to_string(), lo, hi });
         self
     }
 
@@ -358,6 +378,27 @@ pub fn run(plan: &TestPlan, chassis: &mut Chassis) -> TestReport {
                     failures.push(format!(
                         "step {i}: counter {addr:#010x}: expected {lo}..={hi}, got {got}"
                     ));
+                }
+            }
+            Step::ExpectStat { path, lo, hi } => {
+                checks += 1;
+                let table = netfpga_core::telemetry::decode_stat_block(
+                    netfpga_core::telemetry::TELEMETRY_BASE,
+                    |a| chassis.read32(a),
+                );
+                match table.and_then(|t| t.into_iter().find(|(p, _)| p == path)) {
+                    Some((_, addr)) => {
+                        let got = u64::from(chassis.read32(addr));
+                        if got < *lo || got > *hi {
+                            failures.push(format!(
+                                "step {i}: stat {path:?}: expected {lo}..={hi}, got {got}"
+                            ));
+                        }
+                    }
+                    None => failures.push(format!(
+                        "step {i}: stat {path:?} not present in the telemetry block \
+                         (is the chassis MMIO bridge attached?)"
+                    )),
                 }
             }
         }
@@ -623,6 +664,36 @@ mod tests {
         let report = run(&plan, &mut sw.chassis);
         assert!(!report.passed());
         assert!(report.failures[0].contains("expected 5..=9, got 0"));
+    }
+
+    #[test]
+    fn expect_stat_resolves_paths_by_name() {
+        let mut sw = ReferenceSwitch::new(&BoardSpec::sume(), 4, 1024, Time::from_ms(100));
+        let f = frame(1, 2);
+        let plan = TestPlan::new("stat_paths")
+            .send_phy(0, f.clone())
+            .expect_phy(1, f.clone())
+            .expect_phy(2, f.clone())
+            .expect_phy(3, f)
+            .barrier(Time::from_us(50))
+            .expect_stat("port0.mac.rx.frames", 1, 1)
+            .expect_stat("port0.mac.rx.bad_fcs", 0, 0)
+            .expect_stat("lookup.floods", 1, 1)
+            .expect_stat("rx_stats.total_packets", 1, 1)
+            // The flood leaves on three TX MACs.
+            .expect_stat("port1.mac.tx.frames", 1, 1)
+            .expect_stat("port3.mac.tx.frames", 1, 1);
+        let report = run(&plan, &mut sw.chassis);
+        report.assert_passed();
+        assert_eq!(report.checks, 9);
+
+        // Unknown paths fail the plan with a clear message.
+        let report = run(
+            &TestPlan::new("bad_path").expect_stat("no.such.stat", 0, 0),
+            &mut sw.chassis,
+        );
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("not present"));
     }
 
     #[test]

@@ -100,6 +100,17 @@ impl DmaFaultGate {
     pub fn clear(&self) {
         *self.inner.borrow_mut() = DmaFaultInner::default();
     }
+
+    /// Register the gate's counters on `registry` as gauges under
+    /// `prefix` (e.g. `dma.gate`): `stalled_ticks` and `dropped`.
+    pub fn register_stats(&self, registry: &netfpga_core::telemetry::StatRegistry, prefix: &str) {
+        let inner = self.inner.clone();
+        registry.gauge(&format!("{prefix}.stalled_ticks"), move || {
+            inner.borrow().stalled_ticks
+        });
+        let inner = self.inner.clone();
+        registry.gauge(&format!("{prefix}.dropped"), move || inner.borrow().dropped);
+    }
 }
 
 /// Host-side handle to the DMA rings.
@@ -150,6 +161,28 @@ impl DmaHandle {
     /// Engine counters.
     pub fn stats(&self) -> DmaStats {
         self.rings.borrow().stats
+    }
+
+    /// Register the engine's counters on `registry` as gauges under
+    /// `prefix` (e.g. `dma`): `tx.packets`, `tx.bytes`, `rx.packets`,
+    /// `rx.bytes`, `rx.drops`, plus the live ring depths `tx.pending` and
+    /// `rx.pending`. Gauges read the shared ring state, so telemetry values
+    /// match [`DmaHandle::stats`] bit for bit.
+    pub fn register_stats(&self, registry: &netfpga_core::telemetry::StatRegistry, prefix: &str) {
+        type Field = fn(&Rings) -> u64;
+        let fields: [(&str, Field); 7] = [
+            ("tx.packets", |r| r.stats.tx_packets),
+            ("tx.bytes", |r| r.stats.tx_bytes),
+            ("rx.packets", |r| r.stats.rx_packets),
+            ("rx.bytes", |r| r.stats.rx_bytes),
+            ("rx.drops", |r| r.stats.rx_drops),
+            ("tx.pending", |r| r.tx.len() as u64),
+            ("rx.pending", |r| r.rx.len() as u64),
+        ];
+        for (name, field) in fields {
+            let rings = self.rings.clone();
+            registry.gauge(&format!("{prefix}.{name}"), move || field(&rings.borrow()));
+        }
     }
 }
 

@@ -117,6 +117,25 @@ impl SharedMacStats {
     pub fn get(&self) -> MacStats {
         *self.0.borrow()
     }
+
+    /// Register this MAC's counters on `registry` as gauges under
+    /// `prefix` (e.g. `port0.mac.rx`): `frames`, `bytes`, `wire_bytes`,
+    /// `dropped`, `bad_fcs`. Gauges read the live shared cell, so values
+    /// over the telemetry plane are bit-identical to [`SharedMacStats::get`].
+    pub fn register_stats(&self, registry: &netfpga_core::telemetry::StatRegistry, prefix: &str) {
+        type Field = fn(&MacStats) -> u64;
+        let fields: [(&str, Field); 5] = [
+            ("frames", |s| s.frames),
+            ("bytes", |s| s.bytes),
+            ("wire_bytes", |s| s.wire_bytes),
+            ("dropped", |s| s.dropped),
+            ("bad_fcs", |s| s.bad_fcs),
+        ];
+        for (name, field) in fields {
+            let cell = self.0.clone();
+            registry.gauge(&format!("{prefix}.{name}"), move || field(&cell.borrow()));
+        }
+    }
 }
 
 /// Bytes of TX buffering inside the MAC (two MTU frames): once this much

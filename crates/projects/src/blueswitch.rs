@@ -479,6 +479,24 @@ impl BlueSwitch {
             || Box::new(Fifo),
         );
 
+        lookup.register_stats(&chassis.telemetry, "pipeline.lookup");
+        oq.register_stats(&chassis.telemetry, "oq");
+        {
+            type Field = fn(&BlueSwitchCounters) -> u64;
+            let fields: [(&str, Field); 5] = [
+                ("packets", |c| c.packets),
+                ("matched", |c| c.matched),
+                ("mixed_tag_packets", |c| c.mixed_tag_packets),
+                ("to_controller", |c| c.to_controller),
+                ("dropped", |c| c.dropped),
+            ];
+            for (name, field) in fields {
+                let counters = counters.clone();
+                chassis.telemetry.gauge(&format!("blueswitch.{name}"), move || {
+                    field(&counters.borrow())
+                });
+            }
+        }
         chassis.add_module(arbiter);
         chassis.add_module(lookup);
         chassis.add_module(oq);

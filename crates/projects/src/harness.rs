@@ -15,6 +15,9 @@ use netfpga_core::board::BoardSpec;
 use netfpga_core::regs::AddressMap;
 use netfpga_core::sim::{ClockId, Module, Simulator};
 use netfpga_core::stream::{Stream, StreamRx, StreamTx};
+use netfpga_core::telemetry::{
+    EventRing, StatBlock, StatRegistry, EVENTS_BASE, EVENTS_SIZE, TELEMETRY_BASE, TELEMETRY_SIZE,
+};
 use netfpga_core::time::{BitRate, Time};
 use netfpga_faults::{FaultHandle, FaultInjector, FaultPlan, FaultRegisters, FAULTS_BASE};
 use netfpga_pcie::{DmaEngine, DmaHandle, MmioBridge, MmioPort, PcieConfig};
@@ -55,6 +58,16 @@ pub struct Chassis {
     pub faults: Option<FaultHandle>,
     /// The board's register map (empty until a project mounts blocks).
     pub map: Rc<AddressMap>,
+    /// The unified telemetry plane. The chassis registers its own stats
+    /// (per-port MACs under `port{i}.mac.*`, DMA under `dma.*`, fault
+    /// counters under `faults.*`); projects add theirs at build time.
+    /// [`Chassis::attach_mmio`] mounts the whole tree as a [`StatBlock`]
+    /// at [`TELEMETRY_BASE`].
+    pub telemetry: StatRegistry,
+    /// Link/fault event ring, mounted at [`EVENTS_BASE`] by
+    /// [`Chassis::attach_mmio`]. Fed by the fault plane when one is
+    /// spliced; empty otherwise.
+    pub events: EventRing,
     ports: Vec<TesterPort>,
     rx_stats: Vec<SharedMacStats>,
     tx_stats: Vec<SharedMacStats>,
@@ -99,6 +112,8 @@ impl Chassis {
         plan: FaultPlan,
     ) -> (Chassis, ChassisIo) {
         assert!((1..=16).contains(&nports), "1..=16 ports");
+        let telemetry = StatRegistry::new();
+        let events = EventRing::new(64);
         let mut sim = Simulator::new();
         let clk = sim.add_clock("core", spec.core_clock);
         let rate = spec
@@ -154,13 +169,18 @@ impl Chassis {
             let (mac_tx, tstat) = EthMacTx::new(&format!("mac{i}_tx"), rate, tx_rx, mac_out);
             sim.add_module(clk, mac_rx.with_burst(fast_path));
             sim.add_module(clk, mac_tx.with_burst(fast_path));
+            rstat.register_stats(&telemetry, &format!("port{i}.mac.rx"));
+            tstat.register_stats(&telemetry, &format!("port{i}.mac.tx"));
             ports.push(TesterPort { to_board, from_board, rate, next_free: Time::ZERO });
             from_ports.push(rx_rx);
             to_ports.push(tx_tx);
             rx_stats.push(rstat);
             tx_stats.push(tstat);
         }
-        let faults = injector.map(|(inj, handle)| {
+        let faults = injector.map(|(mut inj, handle)| {
+            inj.set_event_ring(events.clone());
+            handle.counters().register_stats(&telemetry, "faults");
+            handle.dma_gate().register_stats(&telemetry, "faults.dma");
             sim.add_module(clk, inj);
             map.mount(
                 "faults",
@@ -183,6 +203,8 @@ impl Chassis {
                 mmio: None,
                 faults,
                 map: Rc::new(map),
+                telemetry,
+                events,
                 ports,
                 rx_stats,
                 tx_stats,
@@ -215,14 +237,35 @@ impl Chassis {
         if let Some(faults) = &self.faults {
             engine = engine.with_fault_gate(faults.dma_gate());
         }
+        handle.register_stats(&self.telemetry, "dma");
         self.sim.add_module(self.clk, engine);
         self.dma = Some(handle);
     }
 
-    /// Attach the MMIO bridge onto the chassis register map. Call after all
-    /// blocks are mounted (the map is shared, so mounting first is only a
-    /// convention — the bridge reads it live).
+    /// Attach the MMIO bridge onto the chassis register map, auto-mounting
+    /// the telemetry plane first: every stat registered so far (chassis +
+    /// project) becomes readable through the [`StatBlock`] at
+    /// [`TELEMETRY_BASE`], and the event ring at [`EVENTS_BASE`]. Call
+    /// after all project blocks are mounted and all stats registered —
+    /// the stat block snapshots the registry's *name set* (not its
+    /// values) when built.
     pub fn attach_mmio(&mut self) {
+        if !self.telemetry.is_empty() {
+            let block = StatBlock::from_registry(&self.telemetry, "");
+            let size = (block.size_bytes() + 0xff) & !0xff;
+            assert!(
+                size <= TELEMETRY_SIZE,
+                "telemetry block overflows its window: {size:#x} > {TELEMETRY_SIZE:#x}"
+            );
+            self.map
+                .mount("telemetry", TELEMETRY_BASE, size, netfpga_core::regs::shared(block));
+            self.map.mount(
+                "events",
+                EVENTS_BASE,
+                EVENTS_SIZE,
+                netfpga_core::regs::shared(self.events.registers()),
+            );
+        }
         let (bridge, port) = MmioBridge::new("mmio", self.pcie, self.map.clone());
         self.sim.add_module(self.clk, bridge);
         self.mmio = Some(port);

@@ -552,6 +552,12 @@ impl OsntTester {
                     stage: [0; 8],
                 }),
             );
+            let (g, c, c2) = (gh.clone(), ch.clone(), ch.clone());
+            chassis.telemetry.gauge(&format!("osnt.port{i}.gen.sent"), move || g.sent());
+            chassis.telemetry.gauge(&format!("osnt.port{i}.cap.probes"), move || c.count() as u64);
+            chassis
+                .telemetry
+                .gauge(&format!("osnt.port{i}.cap.non_probe"), move || c2.non_probe());
             generators.push(gh);
             captures.push(ch);
         }

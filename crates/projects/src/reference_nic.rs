@@ -75,6 +75,7 @@ impl ReferenceNic {
         )
         .with_burst(fast_path);
 
+        oq.register_stats(&chassis.telemetry, "oq");
         chassis.add_module(arbiter);
         chassis.add_module(stats_stage);
         chassis.add_module(oq);
@@ -87,6 +88,7 @@ impl ReferenceNic {
             0x100,
             netfpga_core::regs::shared(StatsRegisters::new(rx_stats.clone())),
         );
+        rx_stats.register_stats(&chassis.telemetry, "rx_stats");
         chassis.attach_mmio();
 
         ReferenceNic { chassis, rx_stats }

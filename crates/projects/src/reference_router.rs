@@ -350,6 +350,22 @@ impl ReferenceRouter {
         outputs.push(c2h_tx);
         let oq = OutputQueues::new("output_queues", lookup_rx, outputs, make_config(), make_scheduler);
 
+        lookup.register_stats(&chassis.telemetry, "pipeline.lookup");
+        oq.register_stats(&chassis.telemetry, "oq");
+        {
+            type Field = fn(&RouterCounters) -> u64;
+            let fields: [(&str, Field); 3] = [
+                ("forwarded", |c| c.forwarded),
+                ("to_cpu", |c| c.to_cpu),
+                ("dropped", |c| c.dropped),
+            ];
+            for (name, field) in fields {
+                let counters = counters.clone();
+                chassis.telemetry.gauge(&format!("router.{name}"), move || {
+                    field(&counters.borrow())
+                });
+            }
+        }
         chassis.add_module(arbiter);
         chassis.add_module(lookup);
         chassis.add_module(oq);

@@ -166,6 +166,8 @@ impl ReferenceSwitch {
         )
         .with_burst(fast_path);
 
+        lookup.register_stats(&chassis.telemetry, "pipeline.lookup");
+        oq.register_stats(&chassis.telemetry, "oq");
         chassis.add_module(arbiter);
         chassis.add_module(stats_stage);
         chassis.add_module(lookup);
@@ -183,6 +185,8 @@ impl ReferenceSwitch {
             0x100,
             shared(LookupRegisters { core: core.clone() }),
         );
+        rx_stats.register_stats(&chassis.telemetry, "rx_stats");
+        LearningSwitchCore::register_stats(&core, &chassis.telemetry, "lookup");
         chassis.attach_mmio();
 
         ReferenceSwitch { chassis, core, rx_stats }

@@ -147,6 +147,8 @@ impl SwitchLite {
         let lookup =
             PacketStage::new("lite_lookup", arb_rx, lk_tx, 4, LiteLookup { core: core.clone() });
         let splitter = LiteSplitter::new("lite_splitter", lk_rx, to_ports);
+        lookup.register_stats(&chassis.telemetry, "pipeline.lookup");
+        LearningSwitchCore::register_stats(&core, &chassis.telemetry, "lookup");
         chassis.add_module(arbiter);
         chassis.add_module(lookup);
         chassis.add_module(splitter);

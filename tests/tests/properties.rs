@@ -375,3 +375,75 @@ fn conservation_under_congestion() {
     // key invariant is no duplication:
     assert!(egressed + 10 < 3 * n_per_port, "congestion must drop (sanity)");
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The auto-mounted stat block honours the register-space contract for
+    /// ANY registry shape: reads outside its span (and in the padding past
+    /// the name blob) return `UNMAPPED_READ`; writes to read-only offsets
+    /// (header, name table, gauge values) change nothing; a write to a
+    /// counter slot clears that counter and only that counter.
+    #[test]
+    fn prop_stat_block_span_and_readonly(
+        name_ids in proptest::collection::btree_set(0u32..10_000, 1..12),
+        values in proptest::collection::vec(0u64..5_000, 12),
+        gauge_mask in proptest::collection::vec(any::<bool>(), 12),
+        probe_words in proptest::collection::vec(0u32..0x200, 1..16),
+        write_word in 0u32..0x200,
+    ) {
+        use netfpga_core::regs::{shared, AddressMap, UNMAPPED_READ};
+        use netfpga_core::telemetry::{StatBlock, StatRegistry};
+
+        let reg = StatRegistry::new();
+        // Injective id → dotted-path mapping (unique ids, unique paths).
+        let names: Vec<String> =
+            name_ids.iter().map(|v| format!("grp{}.stat{}", v / 100, v % 100)).collect();
+        for (i, name) in names.iter().enumerate() {
+            let value = values[i % values.len()];
+            if gauge_mask[i % gauge_mask.len()] {
+                reg.gauge(name, move || value);
+            } else {
+                reg.counter(name).add(value);
+            }
+        }
+        let block = StatBlock::from_registry(&reg, "");
+        let size = block.size_bytes();
+        let count = block.count() as u32;
+        let values_off = 0x10u32;
+        let names_off = values_off + 4 * count;
+
+        const BASE: u32 = 0x4000;
+        let map = AddressMap::new();
+        map.mount("telemetry", BASE, (size + 0xff) & !0xff, shared(block));
+        let read = |map: &AddressMap, off: u32| map.read(BASE + off);
+
+        // Everything at or past the blob (padding included) is unmapped.
+        for &w in &probe_words {
+            let off = size + w * 4;
+            prop_assert_eq!(read(&map, off), UNMAPPED_READ, "offset {:#x}", off);
+        }
+
+        let before = reg.snapshot();
+        // Writes to the header and the name table are ignored.
+        for off in [0x0, 0x4, 0x8, 0xC, names_off, size - 4] {
+            map.write(BASE + off, 0xffff_ffff);
+        }
+        // Writes to gauge slots are ignored too; sorted registry order
+        // matches block order, so slot i belongs to snapshot entry i.
+        for (i, (path, _)) in before.iter().enumerate() {
+            if !reg.clearable(path) {
+                map.write(BASE + values_off + 4 * i as u32, 0);
+            }
+        }
+        prop_assert_eq!(reg.snapshot(), before.clone(), "read-only offsets mutated state");
+
+        // A write to one counter slot clears exactly that counter.
+        let target = (write_word % count) as usize;
+        map.write(BASE + values_off + 4 * target as u32, 0);
+        for (i, (path, value)) in reg.snapshot().iter().enumerate() {
+            let expect = if i == target && reg.clearable(path) { 0 } else { before[i].1 };
+            prop_assert_eq!(*value, expect, "stat {:?} after clearing slot {}", path, target);
+        }
+    }
+}

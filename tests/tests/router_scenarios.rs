@@ -97,7 +97,7 @@ fn host_to_host_through_router() {
     mgr.run(&mut r, Time::from_us(80), Time::from_us(20));
     assert_eq!(r.chassis.recv(1).len(), 10);
     assert_eq!(r.counters.borrow().forwarded - before, 10);
-    assert_eq!(mgr.stats.slow_path_forwards, 1, "only the first was slow");
+    assert_eq!(mgr.stats().slow_path_forwards, 1, "only the first was slow");
 }
 
 /// A traceroute-style TTL sweep: TTL=1 elicits time-exceeded, higher TTLs
@@ -128,7 +128,7 @@ fn ttl_sweep() {
         assert!(ip4.checksum_ok, "checksum valid after TTL decrement");
         assert!((1..=3).contains(&ip4.ttl));
     }
-    assert_eq!(mgr.stats.icmp_ttl, 1);
+    assert_eq!(mgr.stats().icmp_ttl, 1);
 }
 
 /// Register counters agree with observed datapath behaviour.
@@ -157,7 +157,7 @@ fn hardware_counters_cross_check() {
     // from the CPU port count as forwarded too, as in the RTL counters.
     assert_eq!(r.chassis.read32(ROUTER_BASE + 16 * 4), 8, "forwarded");
     assert_eq!(r.chassis.read32(ROUTER_BASE + 17 * 4), 1, "to_cpu");
-    assert_eq!(mgr.stats.icmp_unreachable, 1);
+    assert_eq!(mgr.stats().icmp_unreachable, 1);
 }
 
 /// The router survives (and punts) garbage: truncated, non-IP, and
