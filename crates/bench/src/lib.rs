@@ -13,6 +13,7 @@
 pub mod faults;
 pub mod json;
 pub mod kernel;
+pub mod recovery;
 pub mod report;
 pub mod workloads;
 

@@ -26,9 +26,9 @@ use netfpga_core::time::{BitRate, Time};
 use netfpga_core::SimRng;
 use netfpga_packet::fcs::crc32;
 use netfpga_phy::mac::wire_bytes;
-use netfpga_phy::{PortBond, Wire};
+use netfpga_phy::{PcsHandle, PortBond, Wire};
 use netfpga_pcie::DmaFaultGate;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -64,6 +64,9 @@ pub mod faultregs {
     pub const MEM_SILENT: u32 = 0x2c;
     /// Upsets aimed at an unregistered memory or empty/invalid location.
     pub const MEM_MISSED: u32 = 0x30;
+    /// Double upsets: two flips in one word between scrub visits
+    /// (detected, not correctable).
+    pub const MEM_DOUBLE: u32 = 0x34;
 }
 
 /// Per-module fault counters, surfaced through the stats layer (shared
@@ -95,6 +98,9 @@ pub struct FaultCounters {
     pub mem_silent: Counter,
     /// Upsets aimed at an unregistered memory or an empty location.
     pub mem_missed: Counter,
+    /// Double upsets: a second flip landed in a word before the scrubber
+    /// visited it, so SECDED can only detect, not correct.
+    pub mem_double: Counter,
 }
 
 impl FaultCounters {
@@ -102,7 +108,7 @@ impl FaultCounters {
     /// `faults`): the shared cells themselves are registered, so registry
     /// reads equal the legacy [`FaultRegisters`] view bit for bit.
     pub fn register_stats(&self, registry: &StatRegistry, prefix: &str) {
-        let fields: [(&str, &Counter); 12] = [
+        let fields: [(&str, &Counter); 13] = [
             ("events_applied", &self.events_applied),
             ("flaps", &self.flaps),
             ("link_down_drops", &self.link_down_drops),
@@ -115,6 +121,7 @@ impl FaultCounters {
             ("mem.detected", &self.mem_detected),
             ("mem.silent", &self.mem_silent),
             ("mem.missed", &self.mem_missed),
+            ("mem.double_upsets", &self.mem_double),
         ];
         for (name, counter) in fields {
             registry.register_counter(&format!("{prefix}.{name}"), counter);
@@ -122,16 +129,37 @@ impl FaultCounters {
     }
 }
 
-struct RegisteredMemory {
-    name: String,
-    mode: EccMode,
-    mem: Rc<RefCell<dyn FaultableMemory>>,
+pub(crate) struct RegisteredMemory {
+    pub(crate) name: String,
+    pub(crate) mode: EccMode,
+    pub(crate) mem: Rc<RefCell<dyn FaultableMemory>>,
 }
 
-struct Shared {
-    runtime: RefCell<VecDeque<FaultKind>>,
-    trace: RefCell<Vec<TraceEntry>>,
-    mems: RefCell<Vec<RegisteredMemory>>,
+/// One SECDED upset waiting for the scrubber's next visit to its word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LatentFlip {
+    /// Index into the registered-memory list.
+    pub(crate) mem: usize,
+    /// Entry (word) index within that memory.
+    pub(crate) index: usize,
+    /// Flipped bit within the entry.
+    pub(crate) bit: usize,
+    /// When the upset landed.
+    pub(crate) at: Time,
+}
+
+pub(crate) struct Shared {
+    pub(crate) runtime: RefCell<VecDeque<FaultKind>>,
+    pub(crate) trace: RefCell<Vec<TraceEntry>>,
+    pub(crate) mems: RefCell<Vec<RegisteredMemory>>,
+    /// SECDED upsets still awaiting their scrub visit (only populated
+    /// while a scrubber is attached).
+    pub(crate) latent: RefCell<Vec<LatentFlip>>,
+    /// Time from upset to correction, one sample per scrubbed flip.
+    pub(crate) scrub_latencies: RefCell<Vec<Time>>,
+    /// Set once a scrubber is built: SECDED flips then stay latent until
+    /// their scrub visit instead of correcting at injection time.
+    pub(crate) scrub_active: Cell<bool>,
 }
 
 /// Cloneable handle onto a live injector: runtime injection, counters,
@@ -140,7 +168,7 @@ struct Shared {
 pub struct FaultHandle {
     counters: FaultCounters,
     gate: DmaFaultGate,
-    shared: Rc<Shared>,
+    pub(crate) shared: Rc<Shared>,
 }
 
 impl FaultHandle {
@@ -180,6 +208,36 @@ impl FaultHandle {
             mode,
             mem,
         });
+    }
+
+    /// Build a background ECC scrubber sweeping every registered memory at
+    /// `words_per_cycle`. From this call on, SECDED upsets stay *latent*
+    /// (the data really is corrupt) until the scrubber's sweep reaches
+    /// their word — correction latency becomes a measurable quantity, and
+    /// a second flip in the same word inside one scrub interval is a
+    /// double upset: detected, counted, not corrected. Register the
+    /// scrubber on the same clock as the injector, and register memories
+    /// before the run starts (the sweep order is registration order).
+    pub fn scrubber(&self, name: &str, words_per_cycle: u32) -> crate::EccScrubber {
+        assert!(words_per_cycle > 0, "scrub rate must be positive");
+        self.shared.scrub_active.set(true);
+        crate::EccScrubber::new(
+            name,
+            words_per_cycle,
+            self.counters.clone(),
+            self.shared.clone(),
+        )
+    }
+
+    /// Upset-to-correction latency samples recorded by the scrubber so
+    /// far, in application order.
+    pub fn scrub_latencies(&self) -> Vec<Time> {
+        self.shared.scrub_latencies.borrow().clone()
+    }
+
+    /// SECDED upsets still waiting for their scrub visit.
+    pub fn pending_upsets(&self) -> usize {
+        self.shared.latent.borrow().len()
     }
 }
 
@@ -232,14 +290,41 @@ struct PortTap {
     /// Degraded-mode serialization pacing, per direction.
     busy_in: Time,
     busy_out: Time,
+    /// Recovery plane: when attached, the PCS decides link state and bond
+    /// width; the injector only publishes raw signal into it.
+    pcs: Option<PcsHandle>,
 }
 
 impl PortTap {
+    /// Lanes currently carrying signal: none inside a down window,
+    /// otherwise whatever the lane-loss state leaves of the bond.
+    fn signal_lanes_at(&self, now: Time) -> u8 {
+        if now < self.down_until {
+            0
+        } else {
+            self.bond.lanes.saturating_sub(self.lanes_lost)
+        }
+    }
+
     fn down_at(&self, now: Time) -> bool {
+        if let Some(pcs) = &self.pcs {
+            // The PCS owns link state: traffic is dropped until it has
+            // retrained back to Up, not merely until signal returns.
+            return !pcs.is_up();
+        }
         now < self.down_until || (self.lanes_lost > 0 && self.lanes_lost >= self.bond.lanes)
     }
 
     fn degraded_rate(&self) -> Option<BitRate> {
+        if let Some(pcs) = &self.pcs {
+            let (bonded, total) = (pcs.bonded_lanes(), pcs.total_lanes());
+            if bonded == 0 || bonded >= total {
+                return None;
+            }
+            return Some(BitRate::bps(
+                self.rate.as_bps() * u64::from(bonded) / u64::from(total),
+            ));
+        }
         if self.lanes_lost == 0 {
             return None;
         }
@@ -281,6 +366,9 @@ impl FaultInjector {
             runtime: RefCell::new(VecDeque::new()),
             trace: RefCell::new(Vec::new()),
             mems: RefCell::new(Vec::new()),
+            latent: RefCell::new(Vec::new()),
+            scrub_latencies: RefCell::new(Vec::new()),
+            scrub_active: Cell::new(false),
         });
         let handle = FaultHandle {
             counters: counters.clone(),
@@ -336,6 +424,7 @@ impl FaultInjector {
             was_down: false,
             busy_in: Time::ZERO,
             busy_out: Time::ZERO,
+            pcs: None,
         });
     }
 
@@ -344,6 +433,20 @@ impl FaultInjector {
     /// counters and the RNG sequence are untouched.
     pub fn set_event_ring(&mut self, ring: EventRing) {
         self.ring = Some(ring);
+    }
+
+    /// Attach a PCS retrain state machine to `port` (the recovery plane).
+    /// From then on the injector publishes raw *signal* (down windows,
+    /// lane losses) into the PCS every tick and defers to its link state
+    /// for forwarding and pacing: a downed link re-acquires on its own
+    /// after hold-down + retrain, and lane losses re-bond by policy. The
+    /// PCS emits its own link transitions, so the injector stops emitting
+    /// edge telemetry for this port. Register the [`PcsPort`] module on
+    /// the same clock, *after* the injector.
+    ///
+    /// [`PcsPort`]: netfpga_phy::PcsPort
+    pub fn attach_pcs(&mut self, port: usize, pcs: PcsHandle) {
+        self.ports[port].pcs = Some(pcs);
     }
 
     fn emit(&self, kind: EventKind, port: u8, data: u32, at: Time) {
@@ -402,10 +505,13 @@ impl FaultInjector {
             FaultKind::LaneLoss { port, lanes_lost } => {
                 if let Some(p) = self.ports.get_mut(usize::from(*port)) {
                     p.lanes_lost = *lanes_lost;
+                    let has_pcs = p.pcs.is_some();
                     self.counters.lane_events.incr();
                     // A partial loss retrains onto the surviving bond; a
                     // full loss surfaces as the link-down edge instead.
-                    if *lanes_lost < p.bond.lanes {
+                    // With a PCS attached the state machine publishes its
+                    // own transitions once it sees the signal change.
+                    if !has_pcs && *lanes_lost < p.bond.lanes {
                         let surviving = u32::from(p.bond.lanes - *lanes_lost);
                         self.emit(EventKind::Retrain, *port, surviving, now);
                     }
@@ -414,9 +520,12 @@ impl FaultInjector {
             FaultKind::LaneRestore { port } => {
                 if let Some(p) = self.ports.get_mut(usize::from(*port)) {
                     let lanes = u32::from(p.bond.lanes);
+                    let has_pcs = p.pcs.is_some();
                     p.lanes_lost = 0;
                     self.counters.lane_events.incr();
-                    self.emit(EventKind::LaneRestore, *port, lanes, now);
+                    if !has_pcs {
+                        self.emit(EventKind::LaneRestore, *port, lanes, now);
+                    }
                 }
             }
             FaultKind::StreamStall { port, duration } => {
@@ -428,22 +537,44 @@ impl FaultInjector {
             FaultKind::DmaDrop { duration } => self.gate.drop_until(now + *duration),
             FaultKind::MemFlip { memory, index, bit } => {
                 let mems = self.shared.mems.borrow();
-                let outcome = mems
-                    .iter()
-                    .find(|m| m.name == *memory)
-                    .map(|m| inject_flip(&mut *m.mem.borrow_mut(), m.mode, *index, *bit))
-                    .unwrap_or(FlipOutcome::Missed);
+                let outcome = match mems.iter().position(|m| m.name == *memory) {
+                    Some(mi) => {
+                        let m = &mems[mi];
+                        if m.mode == EccMode::Secded && self.shared.scrub_active.get() {
+                            // With a scrubber attached the flip stays
+                            // latent — genuinely corrupt — until the sweep
+                            // reaches this word, which corrects it (or
+                            // finds a double upset).
+                            if m.mem.borrow_mut().flip_bit(*index, *bit) {
+                                self.shared.latent.borrow_mut().push(LatentFlip {
+                                    mem: mi,
+                                    index: *index,
+                                    bit: *bit,
+                                    at: now,
+                                });
+                                None
+                            } else {
+                                Some(FlipOutcome::Missed)
+                            }
+                        } else {
+                            Some(inject_flip(&mut *m.mem.borrow_mut(), m.mode, *index, *bit))
+                        }
+                    }
+                    None => Some(FlipOutcome::Missed),
+                };
                 match outcome {
-                    FlipOutcome::Missed => self.counters.mem_missed.incr(),
-                    FlipOutcome::Silent => {
+                    // Latent SECDED flip: injected now, resolved at scrub.
+                    None => self.counters.mem_injected.incr(),
+                    Some(FlipOutcome::Missed) => self.counters.mem_missed.incr(),
+                    Some(FlipOutcome::Silent) => {
                         self.counters.mem_injected.incr();
                         self.counters.mem_silent.incr();
                     }
-                    FlipOutcome::Detected => {
+                    Some(FlipOutcome::Detected) => {
                         self.counters.mem_injected.incr();
                         self.counters.mem_detected.incr();
                     }
-                    FlipOutcome::Corrected => {
+                    Some(FlipOutcome::Corrected) => {
                         self.counters.mem_injected.incr();
                         self.counters.mem_corrected.incr();
                     }
@@ -596,11 +727,23 @@ impl Module for FaultInjector {
                 None => break,
             }
         }
-        // 2. Edge-triggered link telemetry: publish up/down transitions
-        // (fault windows opening, expiring, or lane loss crossing the
-        // bond threshold) to the event ring, if one is attached.
-        if self.ring.is_some() {
-            for i in 0..self.ports.len() {
+        // 2. Publish medium state. Recovery-plane ports feed raw signal
+        // into their PCS (which decides link state and emits transitions
+        // itself); plain ports get edge-triggered link telemetry on the
+        // event ring, if one is attached.
+        for i in 0..self.ports.len() {
+            if let Some(pcs) = &self.ports[i].pcs {
+                pcs.set_signal_lanes(self.ports[i].signal_lanes_at(ctx.now));
+                // Track pending work for quiescence: an *open down window*
+                // counts as well as a down PCS. At the tick the window
+                // opens the PCS has not dropped yet (it samples the signal
+                // next tick), and while it sits converged-Down only this
+                // module can observe the window expiring — so the window
+                // itself must keep the injector ticking.
+                let down =
+                    self.ports[i].down_at(ctx.now) || ctx.now < self.ports[i].down_until;
+                self.ports[i].was_down = down;
+            } else if self.ring.is_some() {
                 let down = self.ports[i].down_at(ctx.now);
                 if down != self.ports[i].was_down {
                     self.ports[i].was_down = down;
@@ -628,6 +771,8 @@ impl Module for FaultInjector {
         self.rng = SimRng::new(self.seed);
         self.shared.runtime.borrow_mut().clear();
         self.shared.trace.borrow_mut().clear();
+        self.shared.latent.borrow_mut().clear();
+        self.shared.scrub_latencies.borrow_mut().clear();
         self.gate.clear();
         for p in &mut self.ports {
             p.lanes_lost = 0;
@@ -654,10 +799,19 @@ impl Module for FaultInjector {
                 .ports
                 .iter()
                 .all(|p| p.outer_in.is_empty() && p.inner_out.is_empty())
-            // With an event ring attached, a down link is pending work:
-            // the up-transition must be observed and published, so the
-            // idle fast-forward must not skip over it.
-            && (self.ring.is_none() || self.ports.iter().all(|p| !p.was_down))
+            && self.ports.iter().all(|p| match &p.pcs {
+                // A recovery-plane port is pending work from the moment
+                // it goes down until its PCS has converged back: the
+                // injector must keep publishing signal (the down window
+                // expiring is a timed change only it can observe), and
+                // recovery itself must complete at the exact same cycle
+                // with fast-forward on or off.
+                Some(pcs) => !p.was_down && pcs.converged(),
+                // With an event ring attached, a down link is pending
+                // work: the up-transition must be observed and published,
+                // so the idle fast-forward must not skip over it.
+                None => self.ring.is_none() || !p.was_down,
+            })
     }
 }
 
@@ -691,6 +845,7 @@ impl RegisterSpace for FaultRegisters {
             faultregs::MEM_DETECTED => c.mem_detected.get(),
             faultregs::MEM_SILENT => c.mem_silent.get(),
             faultregs::MEM_MISSED => c.mem_missed.get(),
+            faultregs::MEM_DOUBLE => c.mem_double.get(),
             _ => return netfpga_core::regs::UNMAPPED_READ,
         };
         v as u32
@@ -710,6 +865,7 @@ impl RegisterSpace for FaultRegisters {
         c.mem_detected.clear();
         c.mem_silent.clear();
         c.mem_missed.clear();
+        c.mem_double.clear();
         self.handle.gate.clear();
     }
 }

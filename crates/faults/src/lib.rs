@@ -22,6 +22,11 @@
 //! * [`FaultRegisters`] — the counters as an MMIO block, so host software
 //!   and nftest plans can assert on fault statistics like on any other
 //!   statistics register.
+//! * [`RecoveryPolicy`]/[`EccScrubber`] — the autonomic recovery plane:
+//!   attach a policy to a plan and the chassis wires per-port PCS retrain
+//!   state machines (links heal without restore events, lost lanes re-bond
+//!   by hold-down/hysteresis) plus a background ECC scrubber that makes
+//!   SECDED correction latency and the double-upset window measurable.
 //!
 //! Corrupted frames are not just flagged: the injector stamps the pristine
 //! CRC-32 before flipping bits, so the receiving MAC's real FCS check
@@ -33,9 +38,13 @@
 pub mod injector;
 pub mod memfault;
 pub mod plan;
+pub mod recovery;
+pub mod scrub;
 
 pub use injector::{
     faultregs, FaultCounters, FaultHandle, FaultInjector, FaultRegisters, FAULTS_BASE,
 };
 pub use memfault::{inject_flip, EccMode, FaultableMemory, FlipOutcome};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, TraceEntry};
+pub use recovery::RecoveryPolicy;
+pub use scrub::EccScrubber;

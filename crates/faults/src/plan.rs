@@ -8,6 +8,7 @@
 //! `(plan, seed)` — the property every acceptance test of this subsystem
 //! leans on.
 
+use crate::recovery::RecoveryPolicy;
 use netfpga_core::time::Time;
 use netfpga_phy::PortBond;
 
@@ -140,19 +141,36 @@ pub struct FaultPlan {
     /// math. Ports without an entry default to a single-lane bond (any
     /// lane loss is a link-down).
     pub bonds: Vec<(u8, PortBond)>,
+    /// Recovery-plane policy. When set, the chassis wires a per-port PCS
+    /// retrain state machine (and, if configured, a background ECC
+    /// scrubber) to the injector: downed links and lost lanes then heal
+    /// on their own instead of waiting for restore events.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl FaultPlan {
     /// The inert plan: no events, hooks not spliced. A chassis built with
     /// this plan is bit-for-bit identical to one built without faults.
     pub fn none() -> FaultPlan {
-        FaultPlan { seed: 0, events: Vec::new(), armed: false, bonds: Vec::new() }
+        FaultPlan {
+            seed: 0,
+            events: Vec::new(),
+            armed: false,
+            bonds: Vec::new(),
+            recovery: None,
+        }
     }
 
     /// An armed, empty plan: fault hooks are spliced (so runtime injection
     /// works) but nothing is scheduled.
     pub fn new(seed: u64) -> FaultPlan {
-        FaultPlan { seed, events: Vec::new(), armed: true, bonds: Vec::new() }
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+            armed: true,
+            bonds: Vec::new(),
+            recovery: None,
+        }
     }
 
     /// Builder: schedule `kind` at `at`.
@@ -167,10 +185,18 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: attach the autonomic recovery plane (per-port PCS retrain
+    /// state machines and, if the policy scrubs, a background ECC
+    /// scrubber).
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> FaultPlan {
+        self.recovery = Some(policy);
+        self
+    }
+
     /// True if the plan injects nothing and is not armed for runtime
     /// injection — the injector is not spliced at all.
     pub fn is_inert(&self) -> bool {
-        !self.armed && self.events.is_empty()
+        !self.armed && self.events.is_empty() && self.recovery.is_none()
     }
 
     /// The schedule in application order (stable sort by time).

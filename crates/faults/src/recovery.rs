@@ -1,0 +1,54 @@
+//! The recovery-plane policy: one knob block that turns a fault plan from
+//! "the schedule giveth and the schedule taketh away" into an autonomic
+//! loop.
+//!
+//! Attaching a [`RecoveryPolicy`] to a [`FaultPlan`](crate::FaultPlan)
+//! (via [`FaultPlan::with_recovery`](crate::FaultPlan::with_recovery))
+//! makes a chassis instantiate, per port, a
+//! [`PcsPort`](netfpga_phy::PcsPort) retrain state machine wired to the
+//! fault injector, plus one background [`EccScrubber`](crate::EccScrubber)
+//! when `scrub_words_per_cycle > 0`. The injector then stops deciding link
+//! state itself: it publishes raw *signal* (fault windows, lane losses)
+//! into each PCS and gates forwarding on what the PCS reports back — so a
+//! `LinkDown` heals through hold-down + retrain without any restore event,
+//! and `LaneLoss` re-bonds onto the survivors by policy.
+
+use netfpga_phy::PcsConfig;
+
+/// Recovery-plane configuration carried by a fault plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// PCS alignment time, in core-clock cycles.
+    pub retrain_cycles: u64,
+    /// Hold-down after signal returns before training starts, in cycles.
+    pub holddown_cycles: u64,
+    /// Hysteresis before restored lanes re-join a degraded bond, in cycles.
+    pub rejoin_cycles: u64,
+    /// Background ECC scrub bandwidth over every registered
+    /// [`FaultableMemory`](crate::FaultableMemory), in words per core
+    /// cycle. `0` disables the scrubber (SECDED then corrects at
+    /// injection time, as without a recovery plane).
+    pub scrub_words_per_cycle: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            retrain_cycles: 2000,
+            holddown_cycles: 400,
+            rejoin_cycles: 4000,
+            scrub_words_per_cycle: 4,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The PCS timing block of this policy.
+    pub fn pcs_config(&self) -> PcsConfig {
+        PcsConfig {
+            retrain_cycles: self.retrain_cycles,
+            holddown_cycles: self.holddown_cycles,
+            rejoin_cycles: self.rejoin_cycles,
+        }
+    }
+}

@@ -17,6 +17,7 @@
 use netfpga_core::stream::Meta;
 use netfpga_core::time::Time;
 use netfpga_faults::FaultKind;
+use netfpga_phy::LinkState;
 use netfpga_packet::hexdump::{hexdump, summarize};
 use netfpga_projects::harness::Chassis;
 use std::collections::VecDeque;
@@ -103,6 +104,24 @@ pub enum Step {
         lo: u32,
         /// Highest acceptable value (inclusive).
         hi: u32,
+    },
+    /// Require `port`'s PCS link state to be exactly `state` right now.
+    /// Fails the plan if the chassis carries no recovery plane
+    /// ([`FaultPlan::with_recovery`](netfpga_faults::FaultPlan::with_recovery)).
+    ExpectLinkState {
+        /// Port index.
+        port: usize,
+        /// Required state.
+        state: LinkState,
+    },
+    /// Run the simulation until `port`'s PCS is back `Up`, or fail if
+    /// that takes more than `max_cycles` core-clock cycles — the
+    /// time-to-recovery assertion for autonomic-recovery plans.
+    AwaitRecovery {
+        /// Port index.
+        port: usize,
+        /// Recovery deadline, in core-clock cycles from now.
+        max_cycles: u64,
     },
     /// Look up a stat by its registry path in the auto-mounted telemetry
     /// block (resolved over MMIO through the block's name table — no
@@ -200,6 +219,19 @@ impl TestPlan {
     /// Append: expect a register (counter) value in `lo..=hi`.
     pub fn expect_counter_in_range(mut self, addr: u32, lo: u32, hi: u32) -> Self {
         self.steps.push(Step::ExpectCounterInRange { addr, lo, hi });
+        self
+    }
+
+    /// Append: require `port`'s PCS link state to equal `state` now.
+    pub fn expect_link_state(mut self, port: usize, state: LinkState) -> Self {
+        self.steps.push(Step::ExpectLinkState { port, state });
+        self
+    }
+
+    /// Append: run until `port`'s PCS is `Up` again, failing after
+    /// `max_cycles` core-clock cycles.
+    pub fn await_recovery(mut self, port: usize, max_cycles: u64) -> Self {
+        self.steps.push(Step::AwaitRecovery { port, max_cycles });
         self
     }
 
@@ -378,6 +410,42 @@ pub fn run(plan: &TestPlan, chassis: &mut Chassis) -> TestReport {
                     failures.push(format!(
                         "step {i}: counter {addr:#010x}: expected {lo}..={hi}, got {got}"
                     ));
+                }
+            }
+            Step::ExpectLinkState { port, state } => {
+                checks += 1;
+                match chassis.link_state(*port) {
+                    Some(got) if got == *state => {}
+                    Some(got) => failures.push(format!(
+                        "step {i}: port {port} link state: expected {state:?}, got {got:?}"
+                    )),
+                    None => failures.push(format!(
+                        "step {i}: ExpectLinkState on a chassis without a recovery \
+                         plane (build the FaultPlan with_recovery)"
+                    )),
+                }
+            }
+            Step::AwaitRecovery { port, max_cycles } => {
+                checks += 1;
+                match chassis.pcs_handle(*port) {
+                    Some(pcs) => {
+                        let period = chassis.sim.period(chassis.clk);
+                        let deadline =
+                            chassis.sim.now() + Time::from_ps(period.as_ps() * max_cycles);
+                        let recovered =
+                            chassis.sim.run_while(deadline, move || !pcs.is_up());
+                        state.drain(chassis);
+                        if !recovered {
+                            failures.push(format!(
+                                "step {i}: port {port} did not recover within \
+                                 {max_cycles} cycles"
+                            ));
+                        }
+                    }
+                    None => failures.push(format!(
+                        "step {i}: AwaitRecovery on a chassis without a recovery \
+                         plane (build the FaultPlan with_recovery)"
+                    )),
                 }
             }
             Step::ExpectStat { path, lo, hi } => {
@@ -694,6 +762,83 @@ mod tests {
         );
         assert!(!report.passed());
         assert!(report.failures[0].contains("not present"));
+    }
+
+    #[test]
+    fn recovery_steps_drive_the_autonomic_plane() {
+        use netfpga_faults::{FaultPlan, RecoveryPolicy};
+        let policy = RecoveryPolicy {
+            retrain_cycles: 400,
+            holddown_cycles: 100,
+            rejoin_cycles: 800,
+            scrub_words_per_cycle: 0,
+        };
+        let mut sw = ReferenceSwitch::with_faults(
+            &BoardSpec::sume(),
+            4,
+            1024,
+            Time::from_ms(100),
+            false,
+            FaultPlan::new(21).with_recovery(policy),
+        );
+        let f = frame(1, 2);
+        // Graceful degradation with no restore event anywhere: flap the
+        // ingress port, watch the PCS walk Down → Up on its own, then
+        // prove forwarding works again.
+        let plan = TestPlan::new("autonomic_recovery")
+            .expect_link_state(0, LinkState::Up)
+            .inject_fault(FaultKind::LinkDown { port: 0, duration: Time::from_us(10) })
+            .run_for(Time::from_us(1))
+            .expect_link_state(0, LinkState::Down)
+            // 10 us window + 0.5 us hold-down + 2 us retrain ≈ 2400 cycles.
+            .await_recovery(0, 5000)
+            .expect_link_state(0, LinkState::Up)
+            .send_phy(0, f.clone())
+            .expect_phy(1, f.clone())
+            .expect_phy(2, f.clone())
+            .expect_phy(3, f)
+            .barrier(Time::from_us(50))
+            .expect_stat("port0.pcs.downs", 1, 1)
+            .expect_stat("port0.pcs.retrains", 1, 1);
+        let report = run(&plan, &mut sw.chassis);
+        report.assert_passed();
+        assert_eq!(report.checks, 9);
+    }
+
+    #[test]
+    fn await_recovery_fails_when_the_deadline_is_too_tight() {
+        use netfpga_faults::{FaultPlan, RecoveryPolicy};
+        let mut sw = ReferenceSwitch::with_faults(
+            &BoardSpec::sume(),
+            4,
+            1024,
+            Time::from_ms(100),
+            false,
+            FaultPlan::new(22).with_recovery(RecoveryPolicy::default()),
+        );
+        let plan = TestPlan::new("too_tight")
+            .inject_fault(FaultKind::LinkDown { port: 0, duration: Time::from_us(50) })
+            .run_for(Time::from_us(1))
+            // The down window alone is 10 000 cycles; 100 cannot suffice.
+            .await_recovery(0, 100);
+        let report = run(&plan, &mut sw.chassis);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("did not recover within 100 cycles"));
+    }
+
+    #[test]
+    fn recovery_steps_without_a_recovery_plane_fail_the_plan() {
+        let mut sw = ReferenceSwitch::new(&BoardSpec::sume(), 4, 1024, Time::from_ms(100));
+        let report = run(
+            &TestPlan::new("no_plane_state").expect_link_state(0, LinkState::Up),
+            &mut sw.chassis,
+        );
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("without a recovery plane"));
+        let report =
+            run(&TestPlan::new("no_plane_await").await_recovery(0, 100), &mut sw.chassis);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("without a recovery plane"));
     }
 
     #[test]

@@ -15,8 +15,10 @@
 
 pub mod link;
 pub mod mac;
+pub mod pcs;
 pub mod serdes;
 
 pub use link::{Link, LinkConfig};
 pub use mac::{line_rate_fps, wire_bytes, EthMacRx, EthMacTx, MacStats, Wire, WIRE_OVERHEAD_BYTES};
+pub use pcs::{LinkState, PcsConfig, PcsCounters, PcsHandle, PcsPort};
 pub use serdes::{Encoding, Lane, PortBond};

@@ -263,6 +263,40 @@ impl MatchActionPipeline {
     }
 }
 
+/// The flow tables as one upset target. The pipeline's TCAMs are
+/// flattened into a single index space, table-major then bank-major:
+/// `index = (table * 2 + bank) * capacity + slot`. Registering the
+/// pipeline with the fault plane
+/// ([`FaultHandle::register_memory`](netfpga_faults::FaultHandle::register_memory))
+/// exposes every key cell of every bank — active and shadow alike — to
+/// `MemFlip` upsets, which is how the TCAM-consistency scenario stresses
+/// the atomic-update guarantee: a corrupted key can only *miss* (the
+/// packet falls through to a lower table or the table-miss punt); it can
+/// never splice rules of two configuration versions into one walk,
+/// because the bank latch is per-walk and tags travel with the rules.
+impl netfpga_faults::FaultableMemory for MatchActionPipeline {
+    fn flip_bit(&mut self, index: usize, bit: usize) -> bool {
+        let cap = self.tables[0][0].capacity();
+        if cap == 0 {
+            return false;
+        }
+        let (word, slot) = (index / cap, index % cap);
+        let (table, bank) = (word / 2, word % 2);
+        match self.tables.get_mut(table) {
+            Some(banks) => netfpga_faults::FaultableMemory::flip_bit(&mut banks[bank], slot, bit),
+            None => false,
+        }
+    }
+
+    fn entries(&self) -> usize {
+        self.tables.len() * 2 * self.tables[0][0].capacity()
+    }
+
+    fn bits_per_entry(&self) -> usize {
+        self.tables[0][0].key_bits_per_slot()
+    }
+}
+
 /// Datapath counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BlueSwitchCounters {
@@ -442,13 +476,35 @@ impl BlueSwitch {
     /// Build on `spec` with `nports` ports, `ntables` match tables of
     /// `capacity` rules.
     pub fn new(spec: &BoardSpec, nports: usize, ntables: usize, capacity: usize) -> BlueSwitch {
-        let (mut chassis, io) = Chassis::new(spec, nports, AddressMap::new());
+        BlueSwitch::with_faults(spec, nports, ntables, capacity, netfpga_faults::FaultPlan::none())
+    }
+
+    /// Same, with the fault-injection plane spliced in executing `plan`
+    /// (see [`Chassis::with_faults`]). The whole match-action pipeline is
+    /// registered with the injector as memory `"flow_tcam"` under parity
+    /// protection — TCAM key cells carry no ECC, so upsets are detected
+    /// (the corrupted rule stops matching) but never silently repaired.
+    pub fn with_faults(
+        spec: &BoardSpec,
+        nports: usize,
+        ntables: usize,
+        capacity: usize,
+        plan: netfpga_faults::FaultPlan,
+    ) -> BlueSwitch {
+        let (mut chassis, io) = Chassis::with_faults(spec, nports, AddressMap::new(), false, plan);
         let ChassisIo { from_ports, to_ports } = io;
         let w = chassis.bus_width();
         let cpu_port = nports as u8;
 
         let pipeline = Rc::new(RefCell::new(MatchActionPipeline::new(ntables, capacity)));
         let counters = Rc::new(RefCell::new(BlueSwitchCounters::default()));
+        if let Some(handle) = &chassis.faults {
+            handle.register_memory(
+                "flow_tcam",
+                netfpga_faults::EccMode::Parity,
+                pipeline.clone(),
+            );
+        }
 
         let (h2c_tx, h2c_rx) = Stream::new(64, w);
         let mut inputs = from_ports;
@@ -790,5 +846,39 @@ mod tests {
     #[test]
     fn resource_cost() {
         assert!(BlueSwitch::resource_cost(4, 4).fits(&BoardSpec::sume().resources));
+    }
+
+    /// The flattened fault-injection index space addresses every bank of
+    /// every table: `(table * 2 + bank) * capacity + slot`.
+    #[test]
+    fn flattened_tcam_upset_space_covers_all_banks() {
+        use netfpga_faults::FaultableMemory;
+        let mut p = MatchActionPipeline::new(2, 16);
+        assert_eq!(FaultableMemory::entries(&p), 2 * 2 * 16);
+        assert_eq!(p.bits_per_entry(), 2 * KEY_WIDTH * 8);
+        // Empty slots and out-of-range indices are harmless upsets.
+        assert!(!p.flip_bit(0, 0));
+        assert!(!p.flip_bit(2 * 2 * 16, 0));
+        // Table 1, active bank (0), slot 0 is flat index (1*2 + 0)*16.
+        p.write_direct(1, TcamEntry {
+            key: FlowKeyBuilder::new().in_port(0).build(),
+            priority: 1,
+            value: output(PortMask::single(2), 1),
+        });
+        let key = flow_key(&udp_frame(80), &Meta::default());
+        assert_eq!(p.classify(&key).matched.len(), 1);
+        // Bit 0 is value-plane byte 0 — the in_port match byte: the rule
+        // now wants in_port 1 and the lookup misses.
+        assert!(p.flip_bit(32, 0));
+        assert!(p.classify(&key).matched.is_empty(), "corrupted key misses");
+        assert!(p.flip_bit(32, 0), "flip back repairs");
+        assert_eq!(p.classify(&key).matched.len(), 1);
+        // Shadow banks are reachable too: table 0 bank 1 is flat index 16.
+        p.write_shadow(0, TcamEntry {
+            key: TernaryKey::wildcard(KEY_WIDTH),
+            priority: 0,
+            value: output(PortMask::single(1), 2),
+        });
+        assert!(p.flip_bit(16, 0));
     }
 }

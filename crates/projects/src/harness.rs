@@ -22,7 +22,7 @@ use netfpga_core::time::{BitRate, Time};
 use netfpga_faults::{FaultHandle, FaultInjector, FaultPlan, FaultRegisters, FAULTS_BASE};
 use netfpga_pcie::{DmaEngine, DmaHandle, MmioBridge, MmioPort, PcieConfig};
 use netfpga_phy::mac::{wire_bytes, EthMacRx, EthMacTx, SharedMacStats, WireFrame};
-use netfpga_phy::Wire;
+use netfpga_phy::{LinkState, PcsHandle, PcsPort, Wire};
 use std::rc::Rc;
 
 /// Depth (in words) of the edge streams between MACs and the datapath.
@@ -68,6 +68,9 @@ pub struct Chassis {
     /// [`Chassis::attach_mmio`]. Fed by the fault plane when one is
     /// spliced; empty otherwise.
     pub events: EventRing,
+    /// Per-port PCS retrain state machines, present when the fault plan
+    /// carried a [`RecoveryPolicy`](netfpga_faults::RecoveryPolicy).
+    pcs: Vec<PcsHandle>,
     ports: Vec<TesterPort>,
     rx_stats: Vec<SharedMacStats>,
     tx_stats: Vec<SharedMacStats>,
@@ -114,6 +117,10 @@ impl Chassis {
         assert!((1..=16).contains(&nports), "1..=16 ports");
         let telemetry = StatRegistry::new();
         let events = EventRing::new(64);
+        // The ring drops on overflow by design; the drop count is a stat,
+        // so a consumer that fell behind can tell how much it missed.
+        let drop_src = events.clone();
+        telemetry.gauge("events.dropped", move || drop_src.dropped());
         let mut sim = Simulator::new();
         let clk = sim.add_clock("core", spec.core_clock);
         let rate = spec
@@ -177,11 +184,50 @@ impl Chassis {
             rx_stats.push(rstat);
             tx_stats.push(tstat);
         }
+        let mut pcs_handles: Vec<PcsHandle> = Vec::new();
         let faults = injector.map(|(mut inj, handle)| {
             inj.set_event_ring(events.clone());
             handle.counters().register_stats(&telemetry, "faults");
             handle.dma_gate().register_stats(&telemetry, "faults.dma");
+            // The recovery plane: one PCS retrain state machine per port,
+            // wired to the injector (which publishes raw signal into it and
+            // gates forwarding on its reported state), plus a background
+            // ECC scrubber when the policy calls for one. PCS modules tick
+            // after the injector on the same clock, exactly as a hardware
+            // PCS samples the medium of the previous cycle.
+            let mut pcs_modules = Vec::new();
+            if let Some(policy) = plan.recovery {
+                for i in 0..nports {
+                    let lanes = plan
+                        .bonds
+                        .iter()
+                        .find(|(p, _)| usize::from(*p) == i)
+                        .map(|(_, b)| b.lanes)
+                        .unwrap_or(1);
+                    let (mut port, ph) =
+                        PcsPort::new(&format!("pcs{i}"), i as u8, lanes, policy.pcs_config());
+                    port.set_event_ring(events.clone());
+                    ph.counters().register_stats(&telemetry, &format!("port{i}.pcs"));
+                    let state_src = ph.clone();
+                    telemetry
+                        .gauge(&format!("port{i}.pcs.state"), move || state_src.state().code());
+                    inj.attach_pcs(i, ph.clone());
+                    pcs_handles.push(ph);
+                    pcs_modules.push(port);
+                }
+            }
             sim.add_module(clk, inj);
+            for port in pcs_modules {
+                sim.add_module(clk, port);
+            }
+            if let Some(policy) = plan.recovery {
+                if policy.scrub_words_per_cycle > 0 {
+                    sim.add_module(
+                        clk,
+                        handle.scrubber("ecc_scrub", policy.scrub_words_per_cycle),
+                    );
+                }
+            }
             map.mount(
                 "faults",
                 FAULTS_BASE,
@@ -205,6 +251,7 @@ impl Chassis {
                 map: Rc::new(map),
                 telemetry,
                 events,
+                pcs: pcs_handles,
                 ports,
                 rx_stats,
                 tx_stats,
@@ -348,6 +395,18 @@ impl Chassis {
     /// The line rate of a port (for line-rate math in experiments).
     pub fn port_rate(&self, port: usize) -> BitRate {
         self.ports[port].rate
+    }
+
+    /// PCS link state of a port, when the chassis carries a recovery plane
+    /// ([`FaultPlan::with_recovery`]); `None` otherwise.
+    pub fn link_state(&self, port: usize) -> Option<LinkState> {
+        self.pcs.get(port).map(|p| p.state())
+    }
+
+    /// Handle onto a port's PCS (state, bond width, transition counters),
+    /// when the chassis carries a recovery plane.
+    pub fn pcs_handle(&self, port: usize) -> Option<PcsHandle> {
+        self.pcs.get(port).cloned()
     }
 
     /// The raw wires of a port: `(to_board, from_board)`. Wires share

@@ -533,7 +533,21 @@ pub struct OsntTester {
 impl OsntTester {
     /// Build on `spec` with `nports` ports.
     pub fn new(spec: &BoardSpec, nports: usize) -> OsntTester {
-        let (mut chassis, io) = Chassis::new(spec, nports, AddressMap::new());
+        OsntTester::with_faults(spec, nports, netfpga_faults::FaultPlan::none())
+    }
+
+    /// Same, with the fault-injection plane spliced in executing `plan`
+    /// (see [`Chassis::with_faults`]). Measurement integrity under
+    /// faults: a probe corrupted by injected bit errors arrives with a
+    /// failing FCS and is dropped by the receiving MAC *before* the
+    /// capture engine timestamps it — corruption shows up as honest
+    /// loss, never as a bogus latency sample.
+    pub fn with_faults(
+        spec: &BoardSpec,
+        nports: usize,
+        plan: netfpga_faults::FaultPlan,
+    ) -> OsntTester {
+        let (mut chassis, io) = Chassis::with_faults(spec, nports, AddressMap::new(), false, plan);
         let ChassisIo { from_ports, to_ports } = io;
         let mut generators = Vec::new();
         let mut captures = Vec::new();
@@ -765,6 +779,61 @@ mod tests {
         }
         // Timestamps are monotonically increasing.
         assert!(back.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    /// Satellite: timestamp integrity under bit errors. Probes corrupted
+    /// in flight fail the RX MAC's CRC-32 check and are dropped before
+    /// the capture engine ever timestamps them, so the latency
+    /// distribution stays pinned to ground truth no matter the BER —
+    /// corruption is reported as loss, never as a wild latency sample or
+    /// a garbled probe decode.
+    #[test]
+    fn bit_errors_never_produce_bogus_latency_samples() {
+        use netfpga_faults::{FaultKind, FaultPlan};
+        let delay = Time::from_us(5);
+        let plan =
+            FaultPlan::new(11).at(Time::ZERO, FaultKind::SetBer { port: 0, ber: 2e-5 });
+        let mut o = OsntTester::with_faults(&BoardSpec::sume(), 2, plan);
+        let (to_board, from_board) = o.chassis.port_wires(0);
+        o.chassis.add_link(
+            "dut",
+            from_board,
+            to_board,
+            LinkConfig { delay, ..LinkConfig::default() },
+        );
+        let n = 300;
+        o.generators[0].start(GeneratorConfig::probe(1, BitRate::gbps(2), 400, n));
+        let gen = o.generators[0].clone();
+        assert!(o.chassis.run_while(Time::from_ms(20), move || !gen.done()));
+        o.chassis.run_for(Time::from_us(200)); // drain in-flight probes
+
+        let faults = o.chassis.faults.clone().expect("armed");
+        let corrupted = faults.counters().frames_corrupted.get();
+        assert!(corrupted > 0, "BER high enough to hit some probes");
+        // Every corrupted probe died at the RX MAC's FCS check (a frame
+        // can be hit in both directions, hence at-most-equal) ...
+        let bad_fcs = o.chassis.rx_mac_stats(0).bad_fcs;
+        assert!(bad_fcs > 0 && bad_fcs <= corrupted, "bad_fcs {bad_fcs} of {corrupted}");
+        // ... so the capture ledger balances: every probe was either
+        // cleanly captured or honestly lost, and every loss is an FCS drop.
+        let lost = o.captures[0].losses(1, n);
+        assert_eq!(o.captures[0].count() as u64 + lost, n, "captured + lost = sent");
+        assert_eq!(lost, bad_fcs, "every loss is a pre-timestamp FCS drop");
+        assert_eq!(o.captures[0].non_probe(), 0, "no garbled probe decodes");
+        // The pinned property: no bogus samples. Every record is a valid
+        // probe of this stream and its latency sits at ground truth
+        // (link delay + serialization + pipeline), never wild.
+        let records = o.captures[0].records();
+        for r in &records {
+            assert_eq!(r.stream_id, 1);
+            assert!(r.seq < n, "seq {} out of range", r.seq);
+            assert!(r.latency() >= delay, "latency {} below ground truth", r.latency());
+            assert!(
+                r.latency() < delay + Time::from_us(2),
+                "bogus latency sample {} from a corrupted probe",
+                r.latency()
+            );
+        }
     }
 
     #[test]

@@ -329,6 +329,126 @@ proptest! {
         prop_assert_eq!(&skipped.0, &vec![0, 1, 1, 1], "frame after it must flood");
         prop_assert_eq!(&skipped, &run(false), "idle skipping must change nothing");
     }
+
+    /// The autonomic recovery plane is schedule-invariant: with the PCS
+    /// retrain state machine healing a link flap (no restore event), the
+    /// down edge and the recovery edge land on the *same simulated
+    /// instant* under every scheduler mode with idle skipping on or off —
+    /// the retrain FSM and the injector compose with idle fast-forward.
+    #[test]
+    fn prop_recovery_completes_at_the_same_cycle_under_every_scheduler(
+        gap_us in 5u64..100,
+        down_us in 5u64..40,
+        retrain in 50u64..1500,
+        holddown in 20u64..500,
+    ) {
+        use netfpga_core::sim::SchedulerMode;
+        use netfpga_faults::{FaultKind, FaultPlan, RecoveryPolicy};
+
+        let run = |mode: SchedulerMode, idle_skip: bool| {
+            let plan = FaultPlan::new(1)
+                .at(
+                    Time::from_us(gap_us),
+                    FaultKind::LinkDown { port: 1, duration: Time::from_us(down_us) },
+                )
+                .with_recovery(RecoveryPolicy {
+                    retrain_cycles: retrain,
+                    holddown_cycles: holddown,
+                    rejoin_cycles: 800,
+                    scrub_words_per_cycle: 0,
+                });
+            let mut sw = ReferenceSwitch::with_faults(
+                &BoardSpec::sume(), 4, 256, Time::from_ms(100), false, plan,
+            );
+            sw.chassis.sim.set_scheduler_mode(mode);
+            sw.chassis.sim.set_idle_skip(idle_skip);
+            let pcs = sw.chassis.pcs_handle(1).expect("recovery plane");
+            let deadline = Time::from_us(gap_us + down_us) + Time::from_ms(2);
+            let p = pcs.clone();
+            assert!(sw.chassis.run_while(deadline, move || p.is_up()), "must go down");
+            let down_at = sw.chassis.sim.now();
+            let p = pcs.clone();
+            assert!(sw.chassis.run_while(deadline, move || !p.is_up()), "must recover");
+            let up_at = sw.chassis.sim.now();
+            let events: Vec<_> = sw
+                .chassis
+                .events
+                .pending()
+                .iter()
+                .map(|e| (e.kind, e.port, e.data, e.at))
+                .collect();
+            (down_at, up_at, events, pcs.counters().retrains.get())
+        };
+
+        let base = run(SchedulerMode::Scan, false);
+        for mode in [SchedulerMode::Scan, SchedulerMode::Calendar, SchedulerMode::Heap] {
+            for idle_skip in [false, true] {
+                prop_assert_eq!(
+                    &run(mode, idle_skip), &base,
+                    "recovery diverged under {:?} idle_skip={}", mode, idle_skip
+                );
+            }
+        }
+    }
+
+    /// The background scrubber visits every word of every registered
+    /// region within one sweep period: for any memory size, scrub rate
+    /// and upset pattern (one flip per word, so no doubles), every flip
+    /// is corrected within `ceil(words / rate)` cycles of landing.
+    #[test]
+    fn prop_scrubber_visits_every_word_within_one_period(
+        words_sel in 64usize..2048,
+        wpc in 1u32..8,
+        flip_words in proptest::collection::btree_set(0usize..64, 1..24),
+        start_us in 1u64..40,
+    ) {
+        use netfpga_core::regs::AddressMap;
+        use netfpga_faults::{EccMode, FaultKind, FaultPlan, RecoveryPolicy};
+        use netfpga_mem::Bram;
+        use netfpga_projects::Chassis;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let policy = RecoveryPolicy {
+            scrub_words_per_cycle: wpc,
+            ..RecoveryPolicy::default()
+        };
+        let (mut chassis, _io) = Chassis::with_faults(
+            &BoardSpec::sume(), 1, AddressMap::new(), false,
+            FaultPlan::new(3).with_recovery(policy),
+        );
+        let faults = chassis.faults.clone().expect("armed");
+        faults.register_memory(
+            "m",
+            EccMode::Secded,
+            Rc::new(RefCell::new(Bram::<u64>::new(words_sel))),
+        );
+
+        chassis.run_for(Time::from_us(start_us));
+        // One flip per distinct word (scaled injectively into the region).
+        for (k, w) in flip_words.iter().enumerate() {
+            faults.inject(FaultKind::MemFlip {
+                memory: "m".into(),
+                index: w * words_sel / 64,
+                bit: k % 60,
+            });
+        }
+        let period_cycles = (words_sel as u64).div_ceil(u64::from(wpc));
+        let period = Time::from_ps(
+            chassis.sim.period(chassis.clk).as_ps() * period_cycles,
+        );
+        chassis.run_for(period + Time::from_us(1));
+
+        prop_assert_eq!(faults.pending_upsets(), 0, "latent flips after a full sweep");
+        let stat = |path: &str| chassis.telemetry.get(path).expect(path);
+        prop_assert_eq!(stat("faults.mem.corrected"), flip_words.len() as u64);
+        prop_assert_eq!(stat("faults.mem.double_upsets"), 0);
+        let latencies = faults.scrub_latencies();
+        prop_assert_eq!(latencies.len(), flip_words.len());
+        for lat in latencies {
+            prop_assert!(lat <= period, "correction latency {} beyond one period {}", lat, period);
+        }
+    }
 }
 
 /// Conservation under congestion: for any overload pattern, packets in =
