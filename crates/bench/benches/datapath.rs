@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use netfpga_core::packetio::{PacketSink, PacketSource};
 use netfpga_core::sim::Simulator;
+use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::stream::{Meta, PortMask, Stream};
 use netfpga_core::time::Frequency;
 use netfpga_datapath::lpm::{LpmTable, RouteEntry};
@@ -24,7 +25,7 @@ fn pipeline_run(npackets: u64) -> u64 {
     let (src, inject) = PacketSource::new("src", a_tx);
     let arb = InputArbiter::new("arb", vec![a_rx], s_tx);
     let (o_tx, o_rx) = Stream::new(32, 32);
-    let stage = PacketStage::new("stage", s_rx, o_tx, 4, |_p: &mut Vec<u8>, m: &mut Meta, _t| {
+    let stage = PacketStage::new("stage", s_rx, o_tx, 4, |_p: &mut PktBuf, m: &mut Meta, _t| {
         m.dst_ports = PortMask::single(0);
         StageAction::Forward
     });

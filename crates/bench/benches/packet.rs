@@ -53,6 +53,24 @@ fn bench_checksum(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fcs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet/fcs");
+    for len in [64usize, 512, 1514] {
+        let data = vec![0xa5u8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_function(format!("slice_by_8_{len}B"), |b| {
+            b.iter(|| netfpga_packet::fcs::crc32(black_box(&data)))
+        });
+        g.bench_function(format!("one_table_{len}B"), |b| {
+            b.iter(|| netfpga_packet::fcs::crc32_table(black_box(&data)))
+        });
+        g.bench_function(format!("bitwise_{len}B"), |b| {
+            b.iter(|| netfpga_packet::fcs::crc32_bitwise(black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
 fn bench_ttl_decrement(c: &mut Criterion) {
     let f = frame(1514);
     c.bench_function("packet/router_rewrite_ttl", |b| {
@@ -71,6 +89,6 @@ fn bench_ttl_decrement(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_parse, bench_build, bench_checksum, bench_ttl_decrement
+    targets = bench_parse, bench_build, bench_checksum, bench_fcs, bench_ttl_decrement
 }
 criterion_main!(benches);

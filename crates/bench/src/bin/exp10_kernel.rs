@@ -1,31 +1,47 @@
 //! E10 (extension) — Simulation-kernel throughput: naive stepper vs the
 //! fast path (edge calendar / heap scheduling, quiescence fast-forward,
-//! burst stream transfers).
+//! time-blocked activity bounds, burst stream transfers, zero-copy
+//! packet buffers).
 //!
-//! Runs the two bracketing workloads from `netfpga_bench::kernel` on a
+//! Runs the three bracketing workloads from `netfpga_bench::kernel` on a
 //! 4-port reference switch and reports simulated core-clock edges per
-//! host second:
+//! host second plus delivered frames per host second:
 //!
 //! * **idle-heavy** — 4 frames per 50 µs gap: the fast path must win by
 //!   at least 2× (acceptance bar; in practice far more, since idle
 //!   stretches fast-forward in O(domains)).
-//! * **saturated** — back-to-back line-rate frames: nothing to skip, the
-//!   fast path must not regress.
+//! * **saturated** — back-to-back line-rate frames: wire-serialisation
+//!   windows are fast-forwarded via `Module::next_activity` time bounds,
+//!   so the fast path must *win* here too (floor 2× the pre-zero-copy
+//!   fast kernel; tracked via the absolute edges/sec floor below).
+//! * **flood** — unlearned destinations fan every frame out to all other
+//!   ports as refcount bumps on one shared buffer (`pool_cow_copies`
+//!   stays 0). Nearly every edge is genuinely busy, so there is nothing
+//!   to skip: the fast path only has to stay close to naive (no floor;
+//!   both rows are recorded for the documentation tables).
 //!
 //! Emits the standard table + `@json` rows, and writes the rows to
 //! `BENCH_kernel.json` for the documentation tables.
 
-use netfpga_bench::kernel::{idle_heavy, saturated, KernelConfig, KernelRun};
+use netfpga_bench::kernel::{flood, idle_heavy, saturated, KernelConfig, KernelRun};
 use netfpga_bench::Table;
+
+/// PR 1's saturated fast-kernel edges/sec on the reference container
+/// (BENCH_kernel.json, commit 6ed9348). The zero-copy buffer plane plus
+/// time-blocked fast-forward must at least double it.
+const PR1_SAT_FAST_EDGES_PER_SEC: f64 = 10_477_022.0;
 
 fn push(t: &mut Table, workload: &str, config: KernelConfig, run: &KernelRun, speedup: f64) {
     t.row(&[
         workload.to_string(),
         config.label().to_string(),
         run.edges.to_string(),
+        run.steps.to_string(),
         run.frames.to_string(),
+        run.cow_copies.to_string(),
         format!("{:.1}", run.wall.as_secs_f64() * 1e3),
         format!("{:.0}", run.edges_per_sec()),
+        format!("{:.0}", run.frames_per_sec()),
         format!("{speedup:.2}"),
     ]);
 }
@@ -33,7 +49,18 @@ fn push(t: &mut Table, workload: &str, config: KernelConfig, run: &KernelRun, sp
 fn main() {
     let mut t = Table::new(
         "E10: simulation kernel throughput (reference switch, 4 ports)",
-        &["workload", "kernel", "edges", "frames", "wall_ms", "edges_per_sec", "speedup"],
+        &[
+            "workload",
+            "kernel",
+            "edges",
+            "steps",
+            "frames",
+            "pool_cow_copies",
+            "wall_ms",
+            "edges_per_sec",
+            "frames_per_sec",
+            "speedup",
+        ],
     );
 
     let idle_naive = idle_heavy(KernelConfig::Naive, 200);
@@ -44,21 +71,38 @@ fn main() {
     push(&mut t, "idle_heavy", KernelConfig::Naive, &idle_naive, 1.0);
     push(&mut t, "idle_heavy", KernelConfig::Fast, &idle_fast, idle_speedup);
 
-    let sat_naive = saturated(KernelConfig::Naive, 2000);
-    let sat_fast = saturated(KernelConfig::Fast, 2000);
+    let sat_naive = saturated(KernelConfig::Naive, 4000);
+    let sat_fast = saturated(KernelConfig::Fast, 4000);
     assert_eq!(sat_naive.frames, sat_fast.frames, "same simulated work");
     let sat_speedup = sat_fast.edges_per_sec() / sat_naive.edges_per_sec();
     push(&mut t, "saturated", KernelConfig::Naive, &sat_naive, 1.0);
     push(&mut t, "saturated", KernelConfig::Fast, &sat_fast, sat_speedup);
 
+    let flood_naive = flood(KernelConfig::Naive, 2000);
+    let flood_fast = flood(KernelConfig::Fast, 2000);
+    assert_eq!(flood_naive.frames, flood_fast.frames, "same simulated work");
+    let flood_speedup = flood_fast.edges_per_sec() / flood_naive.edges_per_sec();
+    push(&mut t, "flood", KernelConfig::Naive, &flood_naive, 1.0);
+    push(&mut t, "flood", KernelConfig::Fast, &flood_fast, flood_speedup);
+
     t.print();
     t.write_json("BENCH_kernel.json").expect("write BENCH_kernel.json");
 
-    // Acceptance bars: >= 2x on idle-heavy, no regression when saturated
-    // (5 % measurement-noise allowance).
+    // Acceptance bars: >= 2x on idle-heavy; saturated fast must at least
+    // double PR 1's fast kernel (zero-copy + time-blocked fast-forward);
+    // flooded fan-out must never fall back to deep copies.
     assert!(idle_speedup >= 2.0, "idle-heavy speedup {idle_speedup:.2}x < 2x");
     assert!(sat_speedup >= 0.95, "saturated regression: {sat_speedup:.2}x");
+    let sat_vs_pr1 = sat_fast.edges_per_sec() / PR1_SAT_FAST_EDGES_PER_SEC;
+    assert!(
+        sat_vs_pr1 >= 2.0,
+        "saturated fast {:.0} edges/s < 2x PR1 fast ({PR1_SAT_FAST_EDGES_PER_SEC:.0})",
+        sat_fast.edges_per_sec()
+    );
+    assert_eq!(flood_naive.cow_copies, 0, "flood fan-out must be clone-free");
+    assert_eq!(flood_fast.cow_copies, 0, "flood fan-out must be clone-free");
     println!(
-        "ok: idle-heavy {idle_speedup:.1}x, saturated {sat_speedup:.2}x (floor 2.0x / 0.95x)"
+        "ok: idle-heavy {idle_speedup:.1}x, saturated {sat_speedup:.2}x vs naive, \
+         {sat_vs_pr1:.2}x vs PR1 fast (floors 2.0x / 0.95x / 2.0x), flood cow=0"
     );
 }

@@ -1,0 +1,90 @@
+//! Profiling helper: run one kernel workload long enough for a sampling
+//! profiler to see it, and print the step/skip split. Not an experiment;
+//! produces no JSON.
+//!
+//! ```text
+//! prof_kernel [naive|fast] [idle|sat|flood] [n]
+//! ```
+
+use netfpga_bench::kernel::{flood, idle_heavy, saturated, KernelConfig};
+
+fn phases(nframes: u32) {
+    use netfpga_core::board::BoardSpec;
+    use netfpga_core::time::Time;
+    use netfpga_packet::{EthernetAddress, EtherType, PacketBuilder};
+    use netfpga_projects::ReferenceSwitch;
+    use std::time::Instant;
+    let mac = |x: u8| EthernetAddress::new(2, 0, 0, 0, 0, x);
+    let frame = |src: u8, dst: u8| {
+        PacketBuilder::new()
+            .eth(mac(src), mac(dst))
+            .raw(EtherType::Ipv4, &[src; 46])
+            .pad_to(300)
+            .build()
+    };
+    let mut sw =
+        ReferenceSwitch::with_fast_path(&BoardSpec::sume(), 4, 1024, Time::from_ms(100), true);
+    for p in 0..4u8 {
+        sw.chassis.send(usize::from(p), frame(p + 1, 0xee));
+        sw.chassis.run_for(Time::from_us(5));
+    }
+    for p in 0..4 {
+        sw.chassis.recv(p);
+    }
+    let f01: netfpga_core::pktbuf::PktBuf = frame(1, 2).into();
+    let f23: netfpga_core::pktbuf::PktBuf = frame(3, 4).into();
+    let t0 = Instant::now();
+    for _ in 0..nframes {
+        sw.chassis.send(0, f01.clone());
+        sw.chassis.send(2, f23.clone());
+    }
+    let t_send = t0.elapsed();
+    let t1 = Instant::now();
+    let mut frames = 0u64;
+    for _ in 0..200 {
+        sw.chassis.run_for(Time::from_us(u64::from(nframes) / 2 + 20));
+        for p in 0..4 {
+            frames += sw.chassis.recv(p).len() as u64;
+        }
+        if frames >= 2 * u64::from(nframes) {
+            break;
+        }
+    }
+    let t_drain = t1.elapsed();
+    println!(
+        "phases: send={t_send:?} drain={t_drain:?} frames={frames} steps={}",
+        sw.chassis.sim.steps_executed()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = match args.get(1).map(String::as_str) {
+        Some("naive") => KernelConfig::Naive,
+        _ => KernelConfig::Fast,
+    };
+    let workload = args.get(2).map(String::as_str).unwrap_or("sat").to_string();
+    if workload == "phases" {
+        phases(args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4000));
+        return;
+    }
+    let n: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let run = match workload.as_str() {
+        "idle" => idle_heavy(config, n),
+        "flood" => flood(config, n),
+        _ => saturated(config, n),
+    };
+    println!(
+        "{} {}: edges={} steps={} ({:.1}% stepped) frames={} cow={} wall={:?} edges/s={:.0} frames/s={:.0}",
+        config.label(),
+        workload,
+        run.edges,
+        run.steps,
+        100.0 * run.steps as f64 / run.edges.max(1) as f64,
+        run.frames,
+        run.cow_copies,
+        run.wall,
+        run.edges_per_sec(),
+        run.frames_per_sec()
+    );
+}

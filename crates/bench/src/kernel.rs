@@ -2,21 +2,29 @@
 //! through clock edges on a full reference-switch chassis, comparing the
 //! naive stepper (linear domain scan, every module ticked every edge, one
 //! word per cycle) against the fast path (edge calendar or heap, quiescence
-//! skipping, burst stream transfers).
+//! skipping, time-blocked fast-forward, burst stream transfers).
 //!
-//! Two workloads bracket the design space:
+//! Three workloads bracket the design space:
 //!
 //! * **idle-heavy** — short traffic bursts separated by long silent gaps,
 //!   the shape of protocol tests and latency experiments. The fast path
 //!   should win big here: idle stretches fast-forward in O(domains).
 //! * **saturated** — back-to-back frames at line rate, the shape of
-//!   throughput experiments. There is nothing to skip, so the fast path
-//!   must at least not regress.
+//!   throughput experiments. Nothing is ever fully idle, so the win comes
+//!   from time-blocked skipping (wire serialization and pipeline-latency
+//!   windows) and burst transfers.
+//! * **flood** — back-to-back unknown-unicast frames on an untaught
+//!   switch, so every frame floods to all other ports: the alloc-heavy
+//!   shape that stresses the packet-buffer plane. Flood copies are
+//!   refcount bumps on a shared [`netfpga_core::pktbuf::PktBuf`], so the
+//!   run's `cow_copies` stays at zero unless something actually rewrites
+//!   a shared buffer.
 //!
 //! Shared by the `kernel` Criterion bench (quick CI smoke) and the
 //! `exp10_kernel` experiment binary (full numbers + `BENCH_kernel.json`).
 
 use netfpga_core::board::BoardSpec;
+use netfpga_core::pktbuf;
 use netfpga_core::sim::SchedulerMode;
 use netfpga_core::time::Time;
 use netfpga_packet::{EthernetAddress, EtherType, PacketBuilder};
@@ -44,22 +52,34 @@ impl KernelConfig {
     }
 }
 
-/// One measured run: simulated edges, wall time, delivered frames.
+/// One measured run: simulated edges, wall time, delivered frames, and the
+/// packet-buffer-plane counters accumulated while it ran.
 #[derive(Debug, Clone, Copy)]
 pub struct KernelRun {
     /// Core-clock edges the simulation advanced through.
     pub edges: u64,
+    /// Edges the kernel actually executed (the rest were fast-forwarded).
+    pub steps: u64,
     /// Host wall time spent inside the run loop.
     pub wall: Duration,
     /// Frames delivered at the tester edge (work sanity check: both
     /// configs must deliver the same count).
     pub frames: u64,
+    /// Copy-on-write materializations in the packet-buffer pool during the
+    /// run: shared buffers that were actually rewritten. Pure forwarding
+    /// and flooding keep this at zero.
+    pub cow_copies: u64,
 }
 
 impl KernelRun {
     /// Simulated edges per host second.
     pub fn edges_per_sec(&self) -> f64 {
         self.edges as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Frames delivered per host second.
+    pub fn frames_per_sec(&self) -> f64 {
+        self.frames as f64 / self.wall.as_secs_f64().max(1e-12)
     }
 }
 
@@ -75,9 +95,8 @@ fn frame(src: u8, dst: u8, len: usize) -> Vec<u8> {
         .build()
 }
 
-/// Build a 4-port reference switch pinned to the given kernel config and
-/// teach it one station per port (so the measured phase is pure unicast).
-fn learned_switch(config: KernelConfig) -> ReferenceSwitch {
+/// Build a 4-port reference switch pinned to the given kernel config.
+fn switch(config: KernelConfig) -> ReferenceSwitch {
     let fast = matches!(config, KernelConfig::Fast);
     let mut sw = ReferenceSwitch::with_fast_path(
         &BoardSpec::sume(),
@@ -96,6 +115,13 @@ fn learned_switch(config: KernelConfig) -> ReferenceSwitch {
             sw.chassis.sim.set_idle_skip(true);
         }
     }
+    sw
+}
+
+/// Build a switch and teach it one station per port (so the measured
+/// phase is pure unicast).
+fn learned_switch(config: KernelConfig) -> ReferenceSwitch {
+    let mut sw = switch(config);
     // Station `p + 1` lives on port `p`; one flood each teaches the table.
     for p in 0..4u8 {
         sw.chassis.send(usize::from(p), frame(p + 1, 0xee, 60));
@@ -107,13 +133,41 @@ fn learned_switch(config: KernelConfig) -> ReferenceSwitch {
     sw
 }
 
+/// Snapshot of the chassis state a measurement is deltaed against.
+struct RunBase {
+    cycles: u64,
+    steps: u64,
+    cow: u64,
+    started: Instant,
+}
+
+impl RunBase {
+    fn begin(sw: &ReferenceSwitch) -> RunBase {
+        RunBase {
+            cycles: sw.chassis.sim.cycles(sw.chassis.clk),
+            steps: sw.chassis.sim.steps_executed(),
+            cow: pktbuf::pool_stats().cow_copies,
+            started: Instant::now(),
+        }
+    }
+
+    fn finish(self, sw: &ReferenceSwitch, frames: u64) -> KernelRun {
+        KernelRun {
+            edges: sw.chassis.sim.cycles(sw.chassis.clk) - self.cycles,
+            steps: sw.chassis.sim.steps_executed() - self.steps,
+            wall: self.started.elapsed(),
+            frames,
+            cow_copies: pktbuf::pool_stats().cow_copies - self.cow,
+        }
+    }
+}
+
 /// Idle-heavy workload: `rounds` rounds of 4 unicast frames (one per
 /// port) followed by a 50 µs silent gap — well over 90 % idle edges.
 pub fn idle_heavy(config: KernelConfig, rounds: u32) -> KernelRun {
     let mut sw = learned_switch(config);
-    let start_cycles = sw.chassis.sim.cycles(sw.chassis.clk);
+    let base = RunBase::begin(&sw);
     let mut frames = 0u64;
-    let started = Instant::now();
     for _ in 0..rounds {
         for p in 0..4u8 {
             // Port p's station sends to the station on the next port.
@@ -125,12 +179,7 @@ pub fn idle_heavy(config: KernelConfig, rounds: u32) -> KernelRun {
             frames += sw.chassis.recv(p).len() as u64;
         }
     }
-    let wall = started.elapsed();
-    KernelRun {
-        edges: sw.chassis.sim.cycles(sw.chassis.clk) - start_cycles,
-        wall,
-        frames,
-    }
+    base.finish(&sw, frames)
 }
 
 /// Saturated workload: `nframes` 300-byte frames per direction on two
@@ -138,11 +187,15 @@ pub fn idle_heavy(config: KernelConfig, rounds: u32) -> KernelRun {
 /// tail drains.
 pub fn saturated(config: KernelConfig, nframes: u32) -> KernelRun {
     let mut sw = learned_switch(config);
-    let start_cycles = sw.chassis.sim.cycles(sw.chassis.clk);
-    let started = Instant::now();
+    // One template frame per flow, cloned per injection: a tester feeding
+    // the same stimulus at line rate bumps a refcount instead of building
+    // and copying a fresh payload every time.
+    let f01: pktbuf::PktBuf = frame(1, 2, 300).into(); // port 0 -> port 1
+    let f23: pktbuf::PktBuf = frame(3, 4, 300).into(); // port 2 -> port 3
+    let base = RunBase::begin(&sw);
     for _ in 0..nframes {
-        sw.chassis.send(0, frame(1, 2, 300)); // port 0 -> port 1
-        sw.chassis.send(2, frame(3, 4, 300)); // port 2 -> port 3
+        sw.chassis.send(0, f01.clone());
+        sw.chassis.send(2, f23.clone());
     }
     let expect = 2 * u64::from(nframes);
     let mut frames = 0u64;
@@ -157,12 +210,42 @@ pub fn saturated(config: KernelConfig, nframes: u32) -> KernelRun {
             break;
         }
     }
-    let wall = started.elapsed();
-    KernelRun {
-        edges: sw.chassis.sim.cycles(sw.chassis.clk) - start_cycles,
-        wall,
-        frames,
+    base.finish(&sw, frames)
+}
+
+/// Flood workload: `nframes` back-to-back unknown-unicast frames into an
+/// untaught switch, each flooded to the 3 other ports — the alloc-heavy
+/// broadcast shape. One ingress frame becomes three egress frames whose
+/// payloads share one refcounted buffer.
+pub fn flood(config: KernelConfig, nframes: u32) -> KernelRun {
+    let mut sw = switch(config);
+    // Source MACs rotate over a reserved range never used as a
+    // destination, keeping every lookup a miss; the destination station
+    // 0xee does not exist anywhere. Template frames are cloned per
+    // injection (refcount bumps), and each flood copy inside the switch
+    // is another refcount bump on the same backing buffer.
+    let templates: Vec<pktbuf::PktBuf> =
+        (0..8u8).map(|s| frame(0x40 + s, 0xee, 300).into()).collect();
+    let base = RunBase::begin(&sw);
+    for i in 0..nframes {
+        sw.chassis
+            .send((i % 4) as usize, templates[(i % 8) as usize].clone());
     }
+    // Flooding oversubscribes the egress side 3:1, so the output queues
+    // legitimately tail-drop under sustained load; drain until deliveries
+    // stop growing rather than to an exact count.
+    let mut frames = 0u64;
+    loop {
+        sw.chassis.run_for(Time::from_us(50));
+        let before = frames;
+        for p in 0..4 {
+            frames += sw.chassis.recv(p).len() as u64;
+        }
+        if frames == before && sw.chassis.sim.all_quiescent() {
+            break;
+        }
+    }
+    base.finish(&sw, frames)
 }
 
 #[cfg(test)]
@@ -184,5 +267,32 @@ mod tests {
         let fast = saturated(KernelConfig::Fast, 40);
         assert_eq!(naive.frames, fast.frames);
         assert_eq!(naive.frames, 80);
+    }
+
+    /// Flooding triples every frame and, being pure fan-out over shared
+    /// refcounted buffers, performs no copy-on-write at all.
+    #[test]
+    fn flood_fans_out_without_cow() {
+        let naive = flood(KernelConfig::Naive, 20);
+        let fast = flood(KernelConfig::Fast, 20);
+        assert_eq!(naive.frames, 60, "each frame floods to 3 ports");
+        assert_eq!(naive.frames, fast.frames);
+        assert_eq!(naive.cow_copies, 0);
+        assert_eq!(fast.cow_copies, 0);
+    }
+
+    /// The naive kernel steps every edge; the fast kernel must skip a
+    /// strict majority even with the wires saturated.
+    #[test]
+    fn fast_kernel_skips_edges() {
+        let naive = saturated(KernelConfig::Naive, 40);
+        assert_eq!(naive.steps, naive.edges, "naive kernel steps everything");
+        let fast = saturated(KernelConfig::Fast, 40);
+        assert!(
+            fast.steps < fast.edges / 2,
+            "saturated fast path should skip most edges: {} of {}",
+            fast.steps,
+            fast.edges
+        );
     }
 }

@@ -12,6 +12,9 @@
 //!   timeline ([`time`]).
 //! * [`stream`] — AXI4-Stream-style channels: bounded word FIFOs with
 //!   ready/valid semantics and NetFPGA `tuser` metadata.
+//! * [`pktbuf`] — the zero-copy packet buffer plane: refcounted frame
+//!   payloads with a deterministic free-list pool and copy-on-write
+//!   mutation.
 //! * [`regs`] — the AXI4-Lite-style register bus and address map.
 //! * [`board`] — component inventories of the SUME, 10G and 1G-CML boards.
 //! * [`packetio`] — packet-level sources/sinks for tests and experiments.
@@ -30,10 +33,15 @@
 //! `netfpga-projects` (the reference designs).
 
 #![deny(missing_docs)]
+// Hot-path crate: a redundant clone here is a packet copy the zero-copy
+// buffer plane exists to avoid. CI runs clippy with `-D warnings`, so this
+// warn is an error there.
+#![warn(clippy::redundant_clone)]
 #![forbid(unsafe_code)]
 
 pub mod board;
 pub mod packetio;
+pub mod pktbuf;
 pub mod regs;
 pub mod resources;
 pub mod rng;
@@ -46,6 +54,7 @@ pub mod trace;
 
 pub use board::{BoardSpec, Platform};
 pub use packetio::{CaptureBuffer, CapturedPacket, InjectQueue, PacketSink, PacketSource};
+pub use pktbuf::{PktBuf, PoolStats};
 pub use regs::{AddressMap, RegisterSpace};
 pub use resources::{ResourceBudget, ResourceCost};
 pub use rng::SimRng;

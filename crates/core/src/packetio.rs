@@ -6,15 +6,16 @@
 //! stand-ins for "the rest of the world" in unit tests and experiments; the
 //! MAC models in `netfpga-phy` add wire-rate pacing on top.
 
+use crate::pktbuf::PktBuf;
 use crate::sim::{Module, TickContext};
-use crate::stream::{segment, Meta, PortMask, Reassembler, StreamRx, StreamTx};
+use crate::stream::{segment_buf, Meta, PortMask, Reassembler, StreamRx, StreamTx};
 use crate::time::Time;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// Queue storage shared between the handle and the source module.
-type SharedPacketQueue = Rc<RefCell<VecDeque<(Vec<u8>, Meta)>>>;
+type SharedPacketQueue = Rc<RefCell<VecDeque<(PktBuf, Meta)>>>;
 
 /// A queue of packets shared with a [`PacketSource`] so tests can inject
 /// packets while the simulation runs.
@@ -30,14 +31,16 @@ impl InjectQueue {
     }
 
     /// Queue a packet with explicit metadata.
-    pub fn push_with_meta(&self, packet: Vec<u8>, meta: Meta) {
+    pub fn push_with_meta(&self, packet: impl Into<PktBuf>, meta: Meta) {
+        let packet = packet.into();
         assert!(!packet.is_empty(), "empty packet");
         self.inner.borrow_mut().push_back((packet, meta));
     }
 
     /// Queue a packet arriving on `src_port`; length is filled in and the
     /// destination mask left empty (a lookup stage decides it).
-    pub fn push(&self, packet: Vec<u8>, src_port: u8) {
+    pub fn push(&self, packet: impl Into<PktBuf>, src_port: u8) {
+        let packet = packet.into();
         let meta = Meta {
             len: packet.len() as u16,
             src_port,
@@ -110,14 +113,12 @@ impl Module for PacketSource {
                 meta.len = packet.len() as u16;
                 self.sent_bytes += packet.len() as u64;
                 self.sent_packets += 1;
-                self.current = segment(&packet, self.tx.width(), meta).into();
+                self.current = segment_buf(&packet, self.tx.width(), meta).into();
             }
         }
-        if let Some(word) = self.current.front() {
-            if self.tx.can_push() {
-                self.tx.push(*word);
-                self.current.pop_front();
-            }
+        if !self.current.is_empty() && self.tx.can_push() {
+            let word = self.current.pop_front().expect("checked non-empty");
+            self.tx.push(word);
         }
     }
 
@@ -138,8 +139,9 @@ impl Module for PacketSource {
 /// A packet captured by a [`PacketSink`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CapturedPacket {
-    /// The packet bytes.
-    pub data: Vec<u8>,
+    /// The packet bytes (a refcounted view; compare or index it like a
+    /// slice, or call [`PktBuf::to_vec`] for an owned copy).
+    pub data: PktBuf,
     /// Metadata from the first word.
     pub meta: Meta,
     /// Time the last word was consumed (egress completion).

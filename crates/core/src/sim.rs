@@ -59,6 +59,10 @@ pub struct TickContext {
     pub now: Time,
     /// Index of this edge within the module's clock domain (0-based).
     pub cycle: u64,
+    /// Period of the module's clock domain. Lets a module convert a cycle
+    /// count into an absolute instant — e.g. to stamp the release time of a
+    /// fixed-latency pipeline for [`Module::next_activity`].
+    pub period: Time,
 }
 
 /// A hardware building block driven by a clock edge.
@@ -87,6 +91,35 @@ pub trait Module {
     fn is_quiescent(&self) -> bool {
         false
     }
+
+    /// Time-dependent sibling of [`Module::is_quiescent`]: `Some(t)`
+    /// promises that `tick` has no observable effect at any edge **strictly
+    /// before** instant `t`, as long as none of this module's inputs change
+    /// in the meantime. A MAC waiting for the head frame on a wire to
+    /// finish arriving, or for a transmit backlog gate to open, is exactly
+    /// this shape: not quiescent (scheduled work exists) but provably inert
+    /// until a known instant.
+    ///
+    /// When every non-quiescent module reports a bound, the simulator may
+    /// fast-forward through all edges before the earliest bound without
+    /// executing them — advancing time and cycle counters arithmetically to
+    /// exactly the state the naive loop would have reached. Returning a
+    /// bound at or before the current time is harmless (no edge precedes
+    /// it, so nothing is skipped). Default: `None` (no promise), which is
+    /// always safe.
+    fn next_activity(&self) -> Option<Time> {
+        None
+    }
+}
+
+/// Snapshot of the module population for fast-forward decisions.
+enum Activity {
+    /// Every module is quiescent: simulated time may be skipped wholesale.
+    AllQuiescent,
+    /// Every non-quiescent module promises no effect before this instant.
+    BlockedUntil(Time),
+    /// At least one module must tick at the very next edge.
+    Active,
 }
 
 /// Identifies a clock domain within a [`Simulator`].
@@ -222,6 +255,9 @@ pub struct Simulator {
     sched: SchedState,
     /// Master switch for quiescence skipping and fast-forward.
     idle_skip: bool,
+    /// Edges actually executed by [`Simulator::step`] (skipped edges are
+    /// not counted) — the kernel's own work metric.
+    steps_executed: u64,
 }
 
 impl Default for Simulator {
@@ -232,6 +268,7 @@ impl Default for Simulator {
             mode: SchedulerMode::Auto,
             sched: SchedState::Invalid,
             idle_skip: true,
+            steps_executed: 0,
         }
     }
 }
@@ -319,6 +356,14 @@ impl Simulator {
         self.domains[clock.0].cycle
     }
 
+    /// Edges the kernel actually executed via [`Simulator::step`]. Edges
+    /// fast-forwarded over (quiescent or time-blocked) advance cycle
+    /// counters without being counted here, so `cycles - steps_executed`
+    /// of a domain's edges were skipped — the fast path's skip ratio.
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
+    }
+
     /// The period of a domain.
     pub fn period(&self, clock: ClockId) -> Time {
         self.domains[clock.0].period
@@ -347,6 +392,41 @@ impl Simulator {
     /// future edge, so simulated time may be skipped wholesale.
     pub fn all_quiescent(&self) -> bool {
         self.domains.iter().all(|d| d.modules.iter().all(|m| m.is_quiescent()))
+    }
+
+    /// Classify the module population: fully quiescent, time-blocked until
+    /// the earliest [`Module::next_activity`] bound, or actively working.
+    fn activity(&self) -> Activity {
+        let mut bound: Option<Time> = None;
+        for d in &self.domains {
+            for m in &d.modules {
+                if m.is_quiescent() {
+                    continue;
+                }
+                match m.next_activity() {
+                    None => return Activity::Active,
+                    Some(t) => bound = Some(bound.map_or(t, |b| b.min(t))),
+                }
+            }
+        }
+        match bound {
+            None => Activity::AllQuiescent,
+            Some(t) => Activity::BlockedUntil(t),
+        }
+    }
+
+    /// The latest edge instant strictly before `t` across all domains, if
+    /// any domain has one pending.
+    fn last_edge_before(&self, t: Time) -> Option<Time> {
+        self.domains
+            .iter()
+            .filter(|d| d.next_edge < t)
+            .map(|d| {
+                let p = d.period.as_ps();
+                let k = (t.as_ps() - 1 - d.next_edge.as_ps()) / p;
+                Time::from_ps(d.next_edge.as_ps() + k * p)
+            })
+            .max()
     }
 
     /// Build the dispatcher state for the current clocks and mode.
@@ -415,7 +495,7 @@ impl Simulator {
     /// domain's next edge.
     fn dispatch_domain(domains: &mut [Domain], idx: usize, edge: Time, idle_skip: bool) {
         let d = &mut domains[idx];
-        let ctx = TickContext { now: edge, cycle: d.cycle };
+        let ctx = TickContext { now: edge, cycle: d.cycle, period: d.period };
         for m in &mut d.modules {
             if !idle_skip || !m.is_quiescent() {
                 m.tick(&ctx);
@@ -431,6 +511,7 @@ impl Simulator {
         if self.domains.is_empty() {
             return None;
         }
+        self.steps_executed += 1;
         self.ensure_sched();
         let idle_skip = self.idle_skip;
         let edge = match &mut self.sched {
@@ -528,15 +609,53 @@ impl Simulator {
     /// observable via [`Simulator::now`] and is identical in every scheduler
     /// mode, fast-forwarded or not).
     pub fn run_until(&mut self, deadline: Time) {
+        // While probes keep answering "active", step geometrically longer
+        // bursts of edges (capped) before probing again: the probe costs a
+        // full module scan, and stepping an edge that *would* have been
+        // skippable is always correct — it just executes no-op ticks the
+        // naive loop would have executed anyway.
+        let mut probe_burst: u32 = 1;
         while self.now < deadline {
             if self.domains.is_empty() {
                 self.now = deadline;
                 return;
             }
-            if self.idle_skip && self.all_quiescent() {
-                let stop = self.first_edge_at_or_after(deadline);
-                self.skip_edges_through(stop);
-                return;
+            if self.idle_skip {
+                match self.activity() {
+                    Activity::AllQuiescent => {
+                        let stop = self.first_edge_at_or_after(deadline);
+                        self.skip_edges_through(stop);
+                        return;
+                    }
+                    Activity::BlockedUntil(t) => {
+                        probe_burst = 1;
+                        // Every edge strictly before `t` is a proven no-op.
+                        // If the run would stop before any module wakes, the
+                        // whole remainder skips; otherwise skip to the last
+                        // inert edge and step the wake-up edge normally.
+                        let stop = self.first_edge_at_or_after(deadline);
+                        if stop < t {
+                            self.skip_edges_through(stop);
+                            return;
+                        }
+                        if let Some(last) = self.last_edge_before(t) {
+                            if last > self.now {
+                                self.skip_edges_through(last);
+                                continue;
+                            }
+                        }
+                    }
+                    Activity::Active => {
+                        for _ in 0..probe_burst {
+                            if self.now >= deadline {
+                                break;
+                            }
+                            self.step();
+                        }
+                        probe_burst = (probe_burst * 2).min(8);
+                        continue;
+                    }
+                }
             }
             self.step();
         }
@@ -551,17 +670,45 @@ impl Simulator {
     /// Run until the given domain has executed `n` more cycles.
     pub fn run_cycles(&mut self, clock: ClockId, n: u64) {
         let target = self.domains[clock.0].cycle + n;
+        // Same geometric probe backoff as `run_until`: while the sim keeps
+        // answering "active", step bursts of edges between probes.
+        let mut probe_burst: u32 = 1;
         while self.domains[clock.0].cycle < target {
-            if self.idle_skip && self.all_quiescent() {
-                let d = &self.domains[clock.0];
-                let remaining = target - d.cycle;
+            if self.idle_skip {
                 // The instant of the target edge; every domain processes all
                 // of its edges up to and including it (coincident edges at
                 // the stop instant tick in the same step as the target).
-                let stop =
-                    d.next_edge + Time::from_ps((remaining - 1) * d.period.as_ps());
-                self.skip_edges_through(stop);
-                return;
+                let d = &self.domains[clock.0];
+                let remaining = target - d.cycle;
+                let stop = d.next_edge + Time::from_ps((remaining - 1) * d.period.as_ps());
+                match self.activity() {
+                    Activity::AllQuiescent => {
+                        self.skip_edges_through(stop);
+                        return;
+                    }
+                    Activity::BlockedUntil(t) => {
+                        probe_burst = 1;
+                        if stop < t {
+                            self.skip_edges_through(stop);
+                            return;
+                        }
+                        if let Some(last) = self.last_edge_before(t) {
+                            if last > self.now {
+                                self.skip_edges_through(last);
+                                continue;
+                            }
+                        }
+                    }
+                    Activity::Active => {
+                        for _ in 0..probe_burst {
+                            if self.domains[clock.0].cycle >= target || self.step().is_none() {
+                                return;
+                            }
+                        }
+                        probe_burst = (probe_burst * 2).min(8);
+                        continue;
+                    }
+                }
             }
             if self.step().is_none() {
                 break;
@@ -884,7 +1031,7 @@ mod tests {
             let a = sim.add_clock("a", Frequency::mhz(156)); // 6410 ps
             let b = sim.add_clock("b", Frequency::mhz(200));
             sim.set_idle_skip(idle_skip);
-            sim.add_module(a, Idle { ticks: ticks.clone(), quiescent: quiescent.clone() });
+            sim.add_module(a, Idle { ticks, quiescent });
             sim.run_until(Time::from_us(3));
             (sim.now(), sim.cycles(a), sim.cycles(b))
         };
@@ -922,7 +1069,7 @@ mod tests {
             sim.set_idle_skip(idle_skip);
             let a = sim.add_clock("a", Frequency::mhz(200));
             let b = sim.add_clock("b", Frequency::mhz(125));
-            sim.add_module(a, Idle { ticks: ticks.clone(), quiescent: quiescent.clone() });
+            sim.add_module(a, Idle { ticks, quiescent: quiescent.clone() });
             sim.run_until(Time::from_ns(1000));
             // Wake: add an always-active probe by flipping quiescence off.
             *quiescent.borrow_mut() = false;

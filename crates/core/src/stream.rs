@@ -13,6 +13,7 @@
 //! sideband metadata ([`Meta`]): packet length, source port, destination
 //! port one-hot, and an ingress timestamp.
 
+use crate::pktbuf::PktBuf;
 use crate::time::Time;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -133,10 +134,14 @@ pub struct Meta {
 }
 
 /// One bus beat: up to [`MAX_BUS_BYTES`] bytes of a packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// A word is a cheap *view* into a refcounted [`PktBuf`]: cloning a word or
+/// moving it between streams bumps a refcount instead of copying payload
+/// bytes, so whole pipelines pass a frame around while its bytes sit in one
+/// allocation — the BRAM-pointer discipline of the real datapaths.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Word {
-    data: [u8; MAX_BUS_BYTES],
-    nbytes: u8,
+    buf: PktBuf,
     /// Start-of-packet marker.
     pub sop: bool,
     /// End-of-packet marker.
@@ -147,22 +152,32 @@ pub struct Word {
 
 impl Word {
     /// Build a word from a byte slice (`data.len() <= MAX_BUS_BYTES`).
+    /// Copies once into a fresh pooled buffer; prefer [`segment_buf`] with
+    /// an existing [`PktBuf`] to stay zero-copy.
     pub fn new(data: &[u8], sop: bool, eop: bool, meta: Option<Meta>) -> Word {
-        assert!(data.len() <= MAX_BUS_BYTES, "word wider than bus");
-        assert!(!data.is_empty(), "empty word");
-        let mut buf = [0u8; MAX_BUS_BYTES];
-        buf[..data.len()].copy_from_slice(data);
-        Word { data: buf, nbytes: data.len() as u8, sop, eop, meta }
+        Word::from_view(PktBuf::copy_from(data), sop, eop, meta)
+    }
+
+    /// Build a word as a view of `buf` without copying.
+    pub fn from_view(buf: PktBuf, sop: bool, eop: bool, meta: Option<Meta>) -> Word {
+        assert!(buf.len() <= MAX_BUS_BYTES, "word wider than bus");
+        assert!(!buf.is_empty(), "empty word");
+        Word { buf, sop, eop, meta }
     }
 
     /// The valid bytes of this beat.
     pub fn bytes(&self) -> &[u8] {
-        &self.data[..usize::from(self.nbytes)]
+        self.buf.bytes()
+    }
+
+    /// The underlying buffer view carrying this beat's bytes.
+    pub fn view(&self) -> &PktBuf {
+        &self.buf
     }
 
     /// Number of valid bytes.
     pub fn len(&self) -> usize {
-        usize::from(self.nbytes)
+        self.buf.len()
     }
 
     /// Always false; a word carries at least one byte.
@@ -284,7 +299,7 @@ impl StreamRx {
 
     /// Look at the head word without consuming it.
     pub fn peek(&self) -> Option<Word> {
-        self.shared.borrow().queue.front().copied()
+        self.shared.borrow().queue.front().cloned()
     }
 
     /// Consume the head word.
@@ -350,20 +365,88 @@ impl StreamRx {
         }
         n
     }
+
+    /// Move the words of at most one packet from this stream into `tx`:
+    /// stops after the word carrying `eop`, or earlier when data or space
+    /// runs out. Returns `(words_moved, packet_completed)`. One borrow pair
+    /// for the whole run instead of a `can_push`/`pop`/`push` triple per
+    /// word — the fast path for packet-granular forwarders (arbiters) that
+    /// must observe packet boundaries. Self-transfer is a no-op.
+    pub fn transfer_packet(&self, tx: &StreamTx) -> (usize, bool) {
+        if Rc::ptr_eq(&self.shared, &tx.shared) {
+            return (0, false);
+        }
+        let mut src = self.shared.borrow_mut();
+        let mut dst = tx.shared.borrow_mut();
+        let mut moved = 0;
+        let mut completed = false;
+        while !completed && !src.queue.is_empty() && dst.queue.len() < dst.capacity {
+            let word = src.queue.pop_front().expect("checked non-empty");
+            assert!(word.len() <= dst.width, "word wider than stream bus");
+            src.popped_words += 1;
+            dst.pushed_words += 1;
+            if word.sop {
+                dst.pushed_packets += 1;
+            }
+            completed = word.eop;
+            dst.queue.push_back(word);
+            moved += 1;
+        }
+        (moved, completed)
+    }
+
+    /// Like [`StreamRx::transfer_up_to`], but calls `inspect` on every word
+    /// as it moves — the fast path for pass-through stages that only read
+    /// words in flight (statistics, taps). Returns the number moved.
+    pub fn transfer_inspect(
+        &self,
+        tx: &StreamTx,
+        max: usize,
+        mut inspect: impl FnMut(&Word),
+    ) -> usize {
+        if Rc::ptr_eq(&self.shared, &tx.shared) {
+            return 0;
+        }
+        let mut src = self.shared.borrow_mut();
+        let mut dst = tx.shared.borrow_mut();
+        let n = max.min(src.queue.len()).min(dst.capacity - dst.queue.len());
+        for _ in 0..n {
+            let word = src.queue.pop_front().expect("counted above");
+            assert!(word.len() <= dst.width, "word wider than stream bus");
+            src.popped_words += 1;
+            dst.pushed_words += 1;
+            if word.sop {
+                dst.pushed_packets += 1;
+            }
+            inspect(&word);
+            dst.queue.push_back(word);
+        }
+        n
+    }
 }
 
 /// Segment a packet into bus words of `width` bytes, attaching `meta` to the
-/// first word. The inverse of [`Reassembler`].
+/// first word. The inverse of [`Reassembler`]. Copies the packet once into
+/// a fresh pooled buffer; prefer [`segment_buf`] when a [`PktBuf`] already
+/// exists.
 pub fn segment(packet: &[u8], width: usize, meta: Meta) -> Vec<Word> {
-    assert!(!packet.is_empty(), "empty packet");
+    segment_buf(&PktBuf::copy_from(packet), width, meta)
+}
+
+/// Segment an existing buffer into bus words of `width` bytes without
+/// copying: every word is an `(offset, len)` view sharing `buf`'s backing
+/// store, and [`Reassembler`] rejoins such views back into the original
+/// buffer for free.
+pub fn segment_buf(buf: &PktBuf, width: usize, meta: Meta) -> Vec<Word> {
+    assert!(!buf.is_empty(), "empty packet");
     assert!((1..=MAX_BUS_BYTES).contains(&width));
-    let nwords = packet.len().div_ceil(width);
-    packet
-        .chunks(width)
-        .enumerate()
-        .map(|(i, chunk)| {
-            Word::new(
-                chunk,
+    let nwords = buf.len().div_ceil(width);
+    (0..nwords)
+        .map(|i| {
+            let off = i * width;
+            let len = width.min(buf.len() - off);
+            Word::from_view(
+                buf.slice(off, len),
                 i == 0,
                 i == nwords - 1,
                 if i == 0 { Some(meta) } else { None },
@@ -372,10 +455,30 @@ pub fn segment(packet: &[u8], width: usize, meta: Meta) -> Vec<Word> {
         .collect()
 }
 
+/// Reassembly accumulator: contiguous same-buffer views join for free; the
+/// first discontinuity falls back to an owned copy.
+#[derive(Debug)]
+#[derive(Default)]
+enum Accum {
+    #[default]
+    Empty,
+    /// All words so far are adjacent views of one backing store.
+    View(PktBuf),
+    /// Mixed origins: bytes collected into an owned (pooled) vector.
+    Owned(Vec<u8>),
+}
+
+
 /// Incrementally rebuild packets from a word stream.
+///
+/// When the incoming words are views of a single buffer (the output of
+/// [`segment_buf`], i.e. any frame that crossed the pipeline untouched),
+/// reassembly is zero-copy: the completed packet *is* the original buffer,
+/// refcount-bumped. Only streams mixing words from different buffers pay a
+/// copy.
 #[derive(Debug, Default)]
 pub struct Reassembler {
-    buf: Vec<u8>,
+    acc: Accum,
     meta: Option<Meta>,
     in_packet: bool,
 }
@@ -391,20 +494,40 @@ impl Reassembler {
     /// Panics on framing violations (word outside a packet, or `sop` inside
     /// one) — those indicate a module bug, mirroring how malformed AXIS
     /// framing wedges real hardware.
-    pub fn push(&mut self, word: Word) -> Option<(Vec<u8>, Meta)> {
+    pub fn push(&mut self, word: Word) -> Option<(PktBuf, Meta)> {
         if word.sop {
             assert!(!self.in_packet, "sop inside packet");
             self.in_packet = true;
-            self.buf.clear();
             self.meta = word.meta;
+            self.acc = Accum::View(word.buf.clone());
         } else {
             assert!(self.in_packet, "data word outside packet");
+            self.acc = match std::mem::take(&mut self.acc) {
+                Accum::View(acc) => match acc.try_join(&word.buf) {
+                    Some(joined) => Accum::View(joined),
+                    None => {
+                        let mut v = Vec::with_capacity(acc.len() + word.len());
+                        v.extend_from_slice(acc.bytes());
+                        v.extend_from_slice(word.bytes());
+                        Accum::Owned(v)
+                    }
+                },
+                Accum::Owned(mut v) => {
+                    v.extend_from_slice(word.bytes());
+                    Accum::Owned(v)
+                }
+                Accum::Empty => unreachable!("in_packet implies accumulator"),
+            };
         }
-        self.buf.extend_from_slice(word.bytes());
         if word.eop {
             self.in_packet = false;
             let meta = self.meta.take().unwrap_or_default();
-            return Some((std::mem::take(&mut self.buf), meta));
+            let buf = match std::mem::take(&mut self.acc) {
+                Accum::View(acc) => acc,
+                Accum::Owned(v) => PktBuf::from_vec(v),
+                Accum::Empty => unreachable!("eop implies accumulator"),
+            };
+            return Some((buf, meta));
         }
         None
     }
@@ -528,9 +651,9 @@ mod tests {
         assert!(!words[1].sop && words[1].eop);
         assert_eq!(words[0].meta.unwrap().src_port, 2);
         let mut r = Reassembler::new();
-        assert!(r.push(words[0]).is_none());
+        assert!(r.push(words[0].clone()).is_none());
         assert!(r.mid_packet());
-        let (out, m) = r.push(words[1]).unwrap();
+        let (out, m) = r.push(words[1].clone()).unwrap();
         assert_eq!(out, pkt);
         assert_eq!(m.len, 64);
         assert!(!r.mid_packet());
@@ -541,6 +664,34 @@ mod tests {
         let words = segment(&[9; 10], 32, Meta::default());
         assert_eq!(words.len(), 1);
         assert!(words[0].sop && words[0].eop);
+    }
+
+    /// `segment_buf` words are views of the source buffer, and reassembling
+    /// them returns the original backing store: no byte is copied on the
+    /// segment → stream → reassemble path.
+    #[test]
+    fn segment_buf_reassembles_zero_copy() {
+        let buf = PktBuf::copy_from(&(0..200).map(|i| i as u8).collect::<Vec<_>>());
+        let words = segment_buf(&buf, 32, Meta { len: 200, ..Default::default() });
+        assert!(words.iter().all(|w| w.view().same_backing(&buf)));
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for w in words {
+            done = done.or(r.push(w));
+        }
+        let (out, _) = done.expect("completed");
+        assert_eq!(out, buf);
+        assert!(out.same_backing(&buf), "reassembly rejoined the views for free");
+    }
+
+    /// Words from different buffers still reassemble correctly (the copy
+    /// fallback), e.g. after a stage stitched packets together.
+    #[test]
+    fn reassembler_copy_fallback_on_mixed_buffers() {
+        let mut r = Reassembler::new();
+        assert!(r.push(Word::new(&[1, 2], true, false, Some(Meta::default()))).is_none());
+        let (out, _) = r.push(Word::new(&[3, 4], false, true, None)).unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4]);
     }
 
     #[test]
@@ -564,7 +715,7 @@ mod tests {
             for (i, w) in words.iter().enumerate() {
                 prop_assert_eq!(w.sop, i == 0);
                 prop_assert_eq!(w.eop, i == words.len() - 1);
-                if let Some(done) = r.push(*w) {
+                if let Some(done) = r.push(w.clone()) {
                     prop_assert_eq!(i, words.len() - 1);
                     result = Some(done);
                 }

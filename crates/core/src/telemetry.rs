@@ -551,7 +551,7 @@ mod tests {
         c.add(7);
         let backing = Counter::new();
         backing.add(40);
-        let b2 = backing.clone();
+        let b2 = backing;
         reg.gauge("queues.depth", move || b2.get() + 2);
         assert_eq!(reg.get("port0.mac.rx.frames"), Some(7));
         assert_eq!(reg.get("queues.depth"), Some(42));
@@ -590,7 +590,7 @@ mod tests {
         reg.counter("port0.rx.frames").add(22);
         let shared_val = Counter::new();
         shared_val.add(33);
-        let sv = shared_val.clone();
+        let sv = shared_val;
         reg.gauge("port0.rx.depth", move || sv.get());
 
         let block = StatBlock::from_registry(&reg, "");

@@ -177,7 +177,7 @@ mod tests {
         let clk = sim.add_clock("c", Frequency::mhz(100));
         let (tx, rx) = Stream::new(8, 32);
         let (source, inject) = PacketSource::new("src", tx);
-        let (probe_mod, probe) = OccupancyProbe::new("fifo_occ", rx.clone());
+        let (probe_mod, probe) = OccupancyProbe::new("fifo_occ", rx);
         sim.add_module(clk, source);
         sim.add_module(clk, probe_mod);
         inject.push(vec![0u8; 96], 0); // 3 words, nothing drains them

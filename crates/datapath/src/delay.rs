@@ -61,11 +61,9 @@ impl Module for DelayStage {
                 }
             }
         }
-        if let Some(word) = self.emitting.front() {
-            if self.output.can_push() {
-                self.output.push(*word);
-                self.emitting.pop_front();
-            }
+        if !self.emitting.is_empty() && self.output.can_push() {
+            let word = self.emitting.pop_front().expect("non-empty");
+            self.output.push(word);
         }
     }
 

@@ -92,26 +92,42 @@ impl Module for StatsStage {
     }
 
     fn tick(&mut self, _ctx: &TickContext) {
-        loop {
-            if !self.output.can_push() {
-                return;
-            }
-            let Some(word) = self.input.pop() else { return };
-            if word.sop {
-                let meta = word.meta.unwrap_or_default();
-                self.total_packets.incr();
-                self.total_bytes.add(u64::from(meta.len));
-                let p = usize::from(meta.src_port);
-                if p < self.per_port_packets.len() {
-                    self.per_port_packets[p].incr();
-                    self.per_port_bytes[p].add(u64::from(meta.len));
+        if self.burst {
+            // Bulk pass-through: one borrow pair for everything movable,
+            // counting packets as the words stream by.
+            let total_packets = &self.total_packets;
+            let total_bytes = &self.total_bytes;
+            let per_port_packets = &self.per_port_packets;
+            let per_port_bytes = &self.per_port_bytes;
+            self.input.transfer_inspect(&self.output, usize::MAX, |word| {
+                if word.sop {
+                    let meta = word.meta.unwrap_or_default();
+                    total_packets.incr();
+                    total_bytes.add(u64::from(meta.len));
+                    let p = usize::from(meta.src_port);
+                    if p < per_port_packets.len() {
+                        per_port_packets[p].incr();
+                        per_port_bytes[p].add(u64::from(meta.len));
+                    }
                 }
-            }
-            self.output.push(word);
-            if !self.burst {
-                return;
+            });
+            return;
+        }
+        if !self.output.can_push() {
+            return;
+        }
+        let Some(word) = self.input.pop() else { return };
+        if word.sop {
+            let meta = word.meta.unwrap_or_default();
+            self.total_packets.incr();
+            self.total_bytes.add(u64::from(meta.len));
+            let p = usize::from(meta.src_port);
+            if p < self.per_port_packets.len() {
+                self.per_port_packets[p].incr();
+                self.per_port_bytes[p].add(u64::from(meta.len));
             }
         }
+        self.output.push(word);
     }
 
     fn reset(&mut self) {
@@ -287,7 +303,7 @@ mod tests {
         assert_eq!(reg.get("rx_stats.total_packets"), Some(5));
         assert_eq!(reg.get("rx_stats.port1.packets"), Some(2));
         assert!(reg.clear("rx_stats.port1.packets"));
-        let mut regs = StatsRegisters::new(handles.clone());
+        let mut regs = StatsRegisters::new(handles);
         assert_eq!(regs.read(0x10), 0, "cleared through the registry");
         assert_eq!(regs.read(0x0), 5);
     }

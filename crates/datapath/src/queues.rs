@@ -9,9 +9,10 @@
 //! idle; the classifier maps (packet, meta) to a class index.
 
 use crate::sched::{QueueView, Scheduler};
+use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::sim::{Module, TickContext};
 use netfpga_core::stats::Counter;
-use netfpga_core::stream::{segment, Meta, Reassembler, StreamRx, StreamTx, Word};
+use netfpga_core::stream::{segment_buf, Meta, Reassembler, StreamRx, StreamTx, Word};
 use netfpga_mem::ByteFifo;
 use std::collections::VecDeque;
 
@@ -62,7 +63,7 @@ struct QueueCounters {
 }
 
 struct PortState {
-    queues: Vec<ByteFifo<(Vec<u8>, Meta)>>,
+    queues: Vec<ByteFifo<(PktBuf, Meta)>>,
     scheduler: Box<dyn Scheduler>,
     emitting: VecDeque<Word>,
     /// Scratch buffer for scheduler views, reused across ticks so the
@@ -159,8 +160,10 @@ impl OutputQueues {
         self.ports[port].queues[class].counts().2
     }
 
-    /// Fan a completed packet out to its destination queues.
-    fn deliver(&mut self, packet: Vec<u8>, meta: Meta) {
+    /// Fan a completed packet out to its destination queues. Multicast and
+    /// flood copies share one buffer: `packet.clone()` bumps a refcount, no
+    /// payload bytes are copied per port.
+    fn deliver(&mut self, packet: PktBuf, meta: Meta) {
         if meta.dst_ports.is_empty() {
             self.stats.no_destination.incr();
             return;
@@ -203,7 +206,7 @@ impl OutputQueues {
         self.stats.dequeued.incr();
         // Narrow the mask to this port for the egress copy.
         meta.dst_ports = netfpga_core::stream::PortMask::single(i as u8);
-        self.ports[i].emitting = segment(&packet, width, meta).into();
+        self.ports[i].emitting = segment_buf(&packet, width, meta).into();
         true
     }
 }
@@ -238,10 +241,9 @@ impl Module for OutputQueues {
                         break; // downstream full: resume next tick
                     }
                 } else {
-                    let word = *self.ports[i].emitting.front().expect("refilled above");
                     if self.outputs[i].can_push() {
+                        let word = self.ports[i].emitting.pop_front().expect("refilled above");
                         self.outputs[i].push(word);
-                        self.ports[i].emitting.pop_front();
                     }
                     break;
                 }

@@ -71,7 +71,7 @@ impl RateLimiter {
         }
         let word = self.input.pop()?;
         self.in_packet = !word.eop;
-        self.output.push(word);
+        self.output.push(word.clone());
         Some(word)
     }
 }

@@ -11,9 +11,10 @@
 //! words while earlier packets are still being emitted, so a full stream
 //! of back-to-back packets flows at one word per cycle.
 
+use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::sim::{Module, TickContext};
 use netfpga_core::stats::Counter;
-use netfpga_core::stream::{segment, Meta, Reassembler, StreamRx, StreamTx, Word};
+use netfpga_core::stream::{segment_buf, Meta, Reassembler, StreamRx, StreamTx, Word};
 use netfpga_core::telemetry::StatRegistry;
 use netfpga_core::time::Time;
 use std::collections::VecDeque;
@@ -31,7 +32,12 @@ pub enum StageAction {
 pub trait PacketLogic {
     /// Process one packet: may rewrite bytes and metadata. Returns whether
     /// to forward or drop. `now` is the instant the last word arrived.
-    fn process(&mut self, packet: &mut Vec<u8>, meta: &mut Meta, now: Time) -> StageAction;
+    ///
+    /// The packet is a refcounted [`PktBuf`]: read it like a slice (it
+    /// derefs to `[u8]`); rewrite fixed-size bytes through
+    /// [`PktBuf::make_mut`] and resize through [`PktBuf::edit`] — both
+    /// copy-on-write, so pass-through logic stays zero-copy end to end.
+    fn process(&mut self, packet: &mut PktBuf, meta: &mut Meta, now: Time) -> StageAction;
 
     /// Called on simulator reset. Default: nothing.
     fn reset(&mut self) {}
@@ -40,9 +46,9 @@ pub trait PacketLogic {
 /// Blanket impl so closures work as logic for simple stages and tests.
 impl<F> PacketLogic for F
 where
-    F: FnMut(&mut Vec<u8>, &mut Meta, Time) -> StageAction,
+    F: FnMut(&mut PktBuf, &mut Meta, Time) -> StageAction,
 {
-    fn process(&mut self, packet: &mut Vec<u8>, meta: &mut Meta, now: Time) -> StageAction {
+    fn process(&mut self, packet: &mut PktBuf, meta: &mut Meta, now: Time) -> StageAction {
         self(packet, meta, now)
     }
 }
@@ -77,8 +83,11 @@ pub struct PacketStage<L: PacketLogic> {
     /// emitted word (models the block's internal pipeline depth).
     latency_cycles: u64,
     reasm: Reassembler,
-    /// Processed packets awaiting emission: (release_cycle, words).
-    ready: VecDeque<(u64, VecDeque<Word>)>,
+    /// Processed packets awaiting emission: (release_cycle, release_time,
+    /// words). The absolute release instant mirrors the release cycle
+    /// (`ingest_now + latency * period`) so [`Module::next_activity`] can
+    /// report how long the stage is provably inert.
+    ready: VecDeque<(u64, Time, VecDeque<Word>)>,
     /// Words of the packet currently being emitted.
     emitting: VecDeque<Word>,
     /// Cap on buffered processed packets before input stalls.
@@ -170,9 +179,14 @@ impl<L: PacketLogic> Module for PacketStage<L> {
                     StageAction::Forward => {
                         assert!(!packet.is_empty(), "logic emptied packet");
                         meta.len = packet.len() as u16;
-                        let words = segment(&packet, self.output.width(), meta);
-                        self.ready
-                            .push_back((ctx.cycle + self.latency_cycles, words.into()));
+                        let words = segment_buf(&packet, self.output.width(), meta);
+                        let release_at = ctx.now
+                            + Time::from_ps(self.latency_cycles * ctx.period.as_ps());
+                        self.ready.push_back((
+                            ctx.cycle + self.latency_cycles,
+                            release_at,
+                            words.into(),
+                        ));
                         self.stats.forwarded.incr();
                     }
                     StageAction::Drop => {
@@ -190,8 +204,8 @@ impl<L: PacketLogic> Module for PacketStage<L> {
         loop {
             if self.emitting.is_empty() {
                 match self.ready.front() {
-                    Some(&(release, _)) if release <= ctx.cycle => {
-                        self.emitting = self.ready.pop_front().expect("front exists").1;
+                    Some(&(release, _, _)) if release <= ctx.cycle => {
+                        self.emitting = self.ready.pop_front().expect("front exists").2;
                     }
                     _ => break,
                 }
@@ -202,10 +216,9 @@ impl<L: PacketLogic> Module for PacketStage<L> {
                     break; // downstream full: resume next tick
                 }
             } else {
-                let word = *self.emitting.front().expect("non-empty");
                 if self.output.can_push() {
+                    let word = self.emitting.pop_front().expect("non-empty");
                     self.output.push(word);
-                    self.emitting.pop_front();
                 }
                 break;
             }
@@ -227,6 +240,16 @@ impl<L: PacketLogic> Module for PacketStage<L> {
     /// release *cycle*, which is time-dependent work.
     fn is_quiescent(&self) -> bool {
         !self.input.can_pop() && self.ready.is_empty() && self.emitting.is_empty()
+    }
+
+    /// With nothing to ingest or emit but packets waiting out the pipeline
+    /// latency, the tick is a no-op until the earliest release instant —
+    /// exactly the release cycle the emit path gates on.
+    fn next_activity(&self) -> Option<Time> {
+        if self.input.can_pop() || !self.emitting.is_empty() {
+            return None;
+        }
+        self.ready.front().map(|&(_, release_at, _)| release_at)
     }
 }
 
@@ -262,7 +285,7 @@ mod tests {
     #[test]
     fn passthrough_forwards_intact() {
         let (mut sim, inject, captured) =
-            pipeline(0, |_p: &mut Vec<u8>, _m: &mut Meta, _t: Time| StageAction::Forward);
+            pipeline(0, |_p: &mut PktBuf, _m: &mut Meta, _t: Time| StageAction::Forward);
         let pkt: Vec<u8> = (0..200).map(|i| i as u8).collect();
         inject.push(pkt.clone(), 3);
         sim.run_until(Time::from_us(2));
@@ -275,9 +298,11 @@ mod tests {
     fn rewriting_logic_applies() {
         let (mut sim, inject, captured) = pipeline(
             0,
-            |p: &mut Vec<u8>, m: &mut Meta, _t: Time| {
-                p[0] = 0xff;
-                p.push(0xee); // grow by one byte
+            |p: &mut PktBuf, m: &mut Meta, _t: Time| {
+                p.edit(|v| {
+                    v[0] = 0xff;
+                    v.push(0xee); // grow by one byte
+                });
                 m.dst_ports = PortMask::single(2);
                 StageAction::Forward
             },
@@ -295,7 +320,7 @@ mod tests {
     fn drop_logic_counts() {
         let (mut sim, inject, captured) = pipeline(
             0,
-            |p: &mut Vec<u8>, _m: &mut Meta, _t: Time| {
+            |p: &mut PktBuf, _m: &mut Meta, _t: Time| {
                 if p[0].is_multiple_of(2) {
                     StageAction::Drop
                 } else {
@@ -318,7 +343,7 @@ mod tests {
         let run = |latency: u64| {
             let (mut sim, inject, captured) = pipeline(
                 latency,
-                |_p: &mut Vec<u8>, _m: &mut Meta, _t: Time| StageAction::Forward,
+                |_p: &mut PktBuf, _m: &mut Meta, _t: Time| StageAction::Forward,
             );
             inject.push(vec![0u8; 32], 0);
             sim.run_until(Time::from_us(2));
@@ -337,7 +362,7 @@ mod tests {
     fn sustained_full_rate() {
         let (mut sim, inject, captured) = pipeline(
             0,
-            |_p: &mut Vec<u8>, _m: &mut Meta, _t: Time| StageAction::Forward,
+            |_p: &mut PktBuf, _m: &mut Meta, _t: Time| StageAction::Forward,
         );
         let n = 50;
         for _ in 0..n {
@@ -359,7 +384,7 @@ mod tests {
             seen: u64,
         }
         impl PacketLogic for Counter {
-            fn process(&mut self, _p: &mut Vec<u8>, _m: &mut Meta, _t: Time) -> StageAction {
+            fn process(&mut self, _p: &mut PktBuf, _m: &mut Meta, _t: Time) -> StageAction {
                 self.seen += 1;
                 StageAction::Forward
             }

@@ -597,17 +597,18 @@ impl FaultInjector {
     }
 
     /// Run `bits` data bits of one frame through a Gilbert–Elliott
-    /// channel, flipping bits in place. Returns true if anything flipped.
+    /// channel, collecting the bit positions to flip. Returning positions
+    /// instead of mutating in place lets the caller copy-on-write the
+    /// (possibly shared) frame buffer only when something actually flips.
     fn ge_corrupt(
         rng: &mut SimRng,
         counters: &FaultCounters,
-        data: &mut [u8],
+        bits: u64,
         st: &mut GeState,
         params: &GeParams,
-    ) -> bool {
-        let bits = (data.len() * 8) as u64;
+    ) -> Vec<u64> {
         let mut pos = 0u64;
-        let mut corrupted = false;
+        let mut flips = Vec::new();
         while pos < bits {
             // Bits of this frame spent in the current state.
             let span = st.sojourn.min(bits - pos);
@@ -615,9 +616,8 @@ impl FaultInjector {
             let mut consumed = 0u64;
             while ber > 0.0 && st.countdown <= span - consumed {
                 let at = pos + consumed + st.countdown - 1;
-                data[(at / 8) as usize] ^= 1 << (at % 8);
+                flips.push(at);
                 counters.ber_flips.incr();
-                corrupted = true;
                 consumed += st.countdown;
                 st.countdown = rng.geometric(ber);
             }
@@ -628,7 +628,7 @@ impl FaultInjector {
                 *st = Self::ge_enter(rng, params, !st.bad);
             }
         }
-        corrupted
+        flips
     }
 
     /// Forward one direction of one port, applying the active faults.
@@ -651,10 +651,18 @@ impl FaultInjector {
             }
             if let Some(params) = port.ge {
                 let st = if inbound { &mut port.ge_in } else { &mut port.ge_out };
-                // Stamp the pristine FCS before flipping so corruption is
-                // detectable at the receiving MAC.
-                let pristine = frame.fcs.unwrap_or_else(|| crc32(&frame.data));
-                if Self::ge_corrupt(rng, counters, &mut frame.data, st, &params) {
+                let bits = (frame.data.len() * 8) as u64;
+                let flips = Self::ge_corrupt(rng, counters, bits, st, &params);
+                if !flips.is_empty() {
+                    // Stamp the pristine FCS before flipping so corruption
+                    // is detectable at the receiving MAC; the CoW write
+                    // below leaves every sibling reference (flood copies,
+                    // mirrors) untouched.
+                    let pristine = frame.fcs.unwrap_or_else(|| crc32(&frame.data));
+                    let data = frame.corrupt_data();
+                    for at in flips {
+                        data[(at / 8) as usize] ^= 1 << (at % 8);
+                    }
                     frame.fcs = Some(pristine);
                     counters.frames_corrupted.incr();
                 }
@@ -662,19 +670,10 @@ impl FaultInjector {
                 let bits = (frame.data.len() * 8) as u64;
                 let countdown = if inbound { &mut port.countdown_in } else { &mut port.countdown_out };
                 let mut pos = 0u64;
-                let mut corrupted = false;
+                let mut flips = Vec::new();
                 while *countdown <= bits - pos {
                     let at = pos + *countdown - 1;
-                    if !corrupted {
-                        // Record the pristine FCS first so the corruption
-                        // is *detectable*: the receiving MAC recomputes
-                        // CRC-32 over the flipped data and mismatches.
-                        if frame.fcs.is_none() {
-                            frame.fcs = Some(crc32(&frame.data));
-                        }
-                        corrupted = true;
-                    }
-                    frame.data[(at / 8) as usize] ^= 1 << (at % 8);
+                    flips.push(at);
                     counters.ber_flips.incr();
                     pos = at + 1;
                     *countdown = rng.geometric(port.ber);
@@ -685,7 +684,17 @@ impl FaultInjector {
                 if pos < bits {
                     *countdown -= bits - pos;
                 }
-                if corrupted {
+                if !flips.is_empty() {
+                    // Record the pristine FCS first so the corruption is
+                    // *detectable*: the receiving MAC rechecks CRC-32 over
+                    // the flipped data and mismatches. Copy-on-write keeps
+                    // sibling references of the buffer pristine.
+                    let pristine = frame.fcs.unwrap_or_else(|| crc32(&frame.data));
+                    let data = frame.corrupt_data();
+                    for at in flips {
+                        data[(at / 8) as usize] ^= 1 << (at % 8);
+                    }
+                    frame.fcs = Some(pristine);
                     counters.frames_corrupted.incr();
                 }
             }
@@ -898,7 +907,7 @@ mod tests {
     }
 
     fn frame_at(len: usize, ready_at: Time) -> WireFrame {
-        WireFrame { data: vec![0xA5; len], ready_at, fcs: None }
+        WireFrame::new(vec![0xA5; len], ready_at)
     }
 
     #[test]
@@ -1037,7 +1046,7 @@ mod tests {
         let (mut inj, _handle) = FaultInjector::new("faults", &plan);
         inj.tap_port(BitRate::gbps(10), Wire::new(), Wire::new(), Wire::new(), Wire::new());
         assert!(!inj.is_quiescent(), "scheduled fault is pending work");
-        inj.tick(&TickContext { now: Time::from_us(100), cycle: 0 });
+        inj.tick(&TickContext { now: Time::from_us(100), cycle: 0, period: Time::from_ns(5) });
         assert!(inj.is_quiescent(), "applied and idle");
     }
 
@@ -1049,7 +1058,7 @@ mod tests {
         );
         let (mut inj, handle) = FaultInjector::new("faults", &plan);
         inj.tap_port(BitRate::gbps(10), Wire::new(), Wire::new(), Wire::new(), Wire::new());
-        inj.tick(&TickContext { now: Time::ZERO, cycle: 0 });
+        inj.tick(&TickContext { now: Time::ZERO, cycle: 0, period: Time::from_ns(5) });
         assert_eq!(handle.trace().len(), 1);
         assert!(inj.is_quiescent());
         inj.reset();
@@ -1193,7 +1202,7 @@ mod tests {
         let (_sim, handle, _outer, _inner) = harness(FaultPlan::new(8));
         handle.counters().ber_flips.add(5);
         handle.counters().link_down_drops.add(2);
-        let mut regs = FaultRegisters::new(handle.clone());
+        let mut regs = FaultRegisters::new(handle);
         assert_eq!(regs.read(faultregs::BER_FLIPS), 5);
         assert_eq!(regs.read(faultregs::LINK_DOWN_DROPS), 2);
         assert_eq!(regs.read(0xffc), netfpga_core::regs::UNMAPPED_READ);

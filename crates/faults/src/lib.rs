@@ -33,6 +33,10 @@
 //! (`netfpga-packet::fcs`) detects the damage end to end.
 
 #![deny(missing_docs)]
+// Hot-path crate: a redundant clone here is a packet copy the zero-copy
+// buffer plane exists to avoid. CI runs clippy with `-D warnings`, so this
+// warn is an error there.
+#![warn(clippy::redundant_clone)]
 #![forbid(unsafe_code)]
 
 pub mod injector;

@@ -65,7 +65,7 @@ impl NicDriver {
     pub fn receive(&mut self) -> Option<(u8, Vec<u8>)> {
         let (frame, meta) = self.dma.recv()?;
         self.stats.rx.incr();
-        Some((meta.src_port, frame))
+        Some((meta.src_port, frame.to_vec()))
     }
 
     /// Software-side counters.

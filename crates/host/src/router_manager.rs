@@ -16,6 +16,7 @@
 //! Table management talks to the hardware exclusively through the router's
 //! register block (staging + command protocol), like the real CLI does.
 
+use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::stats::Counter;
 use netfpga_core::stream::{Meta, PortMask};
 use netfpga_core::telemetry::StatRegistry;
@@ -86,7 +87,7 @@ pub struct RouterManager {
     /// Software ARP mirror (the hardware table is pushed from this).
     arp: BTreeMap<Ipv4Address, EthernetAddress>,
     /// Packets parked on an unresolved next hop.
-    pending: BTreeMap<Ipv4Address, Vec<(Vec<u8>, Meta)>>,
+    pending: BTreeMap<Ipv4Address, Vec<(PktBuf, Meta)>>,
     /// ICMP error rate limiter (token bucket), as real control planes
     /// throttle their error generation.
     icmp_tokens: f64,
@@ -248,7 +249,8 @@ impl RouterManager {
     }
 
     /// Send a frame out `port` through the DMA injection path.
-    fn inject(&self, r: &mut ReferenceRouter, port: u8, frame: Vec<u8>) {
+    fn inject(&self, r: &mut ReferenceRouter, port: u8, frame: impl Into<PktBuf>) {
+        let frame = frame.into();
         let dma = r.chassis.dma.clone().expect("router has DMA");
         let meta = Meta {
             len: frame.len() as u16,
@@ -335,7 +337,7 @@ impl RouterManager {
 
     /// Forward a packet entirely in software (used for packets that were
     /// parked on ARP resolution): rewrite MACs, decrement TTL, inject.
-    fn slow_path_forward(&mut self, r: &mut ReferenceRouter, mut frame: Vec<u8>, _meta: Meta) {
+    fn slow_path_forward(&mut self, r: &mut ReferenceRouter, mut frame: PktBuf, _meta: Meta) {
         let Some((dst, ingress_ok)) = ({
             let eth = EthernetFrame::new_checked(&frame[..]).ok();
             eth.and_then(|e| {
@@ -359,11 +361,12 @@ impl RouterManager {
             return;
         };
         {
-            let mut eth = EthernetFrame::new_unchecked(&mut frame[..]);
+            let data = frame.make_mut();
+            let mut eth = EthernetFrame::new_unchecked(&mut data[..]);
             eth.set_dst_addr(next_mac);
             eth.set_src_addr(iface.mac);
             let off = eth.header_len();
-            let mut ip = Ipv4Packet::new_unchecked(&mut frame[off..]);
+            let mut ip = Ipv4Packet::new_unchecked(&mut data[off..]);
             ip.decrement_ttl();
         }
         self.inject(r, port, frame);
@@ -412,7 +415,7 @@ impl RouterManager {
         }
     }
 
-    fn handle_arp_miss(&mut self, r: &mut ReferenceRouter, frame: Vec<u8>, meta: Meta) {
+    fn handle_arp_miss(&mut self, r: &mut ReferenceRouter, frame: PktBuf, meta: Meta) {
         let Some(dst) = EthernetFrame::new_checked(&frame[..])
             .ok()
             .and_then(|e| Ipv4Packet::new_checked(e.payload()).ok().map(|ip| ip.dst_addr()))

@@ -10,8 +10,9 @@
 //! them, as the real engine does when the driver is slow.
 
 use crate::config::PcieConfig;
+use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::sim::{Module, TickContext};
-use netfpga_core::stream::{segment, Meta, Reassembler, StreamRx, StreamTx};
+use netfpga_core::stream::{segment_buf, Meta, Reassembler, StreamRx, StreamTx};
 use netfpga_core::time::Time;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -35,8 +36,8 @@ pub struct DmaStats {
 
 #[derive(Debug, Default)]
 struct Rings {
-    tx: VecDeque<(Vec<u8>, Meta)>,
-    rx: VecDeque<(Vec<u8>, Meta)>,
+    tx: VecDeque<(PktBuf, Meta)>,
+    rx: VecDeque<(PktBuf, Meta)>,
     stats: DmaStats,
 }
 
@@ -123,16 +124,16 @@ pub struct DmaHandle {
 impl DmaHandle {
     /// Queue a packet for injection, with the CPU port recorded as its
     /// source. Returns `false` if the TX ring is full.
-    pub fn send(&self, packet: Vec<u8>, src_port: u8) -> bool {
-        self.send_with_meta(
-            packet.clone(),
-            Meta { len: packet.len() as u16, src_port, ..Meta::default() },
-        )
+    pub fn send(&self, packet: impl Into<PktBuf>, src_port: u8) -> bool {
+        let packet = packet.into();
+        let meta = Meta { len: packet.len() as u16, src_port, ..Meta::default() };
+        self.send_with_meta(packet, meta)
     }
 
     /// Queue a packet with explicit metadata (tests use this to pre-fill
     /// destination masks, bypassing lookup stages).
-    pub fn send_with_meta(&self, packet: Vec<u8>, mut meta: Meta) -> bool {
+    pub fn send_with_meta(&self, packet: impl Into<PktBuf>, mut meta: Meta) -> bool {
+        let packet = packet.into();
         assert!(!packet.is_empty(), "empty packet");
         let mut r = self.rings.borrow_mut();
         if r.tx.len() >= self.tx_capacity {
@@ -144,7 +145,7 @@ impl DmaHandle {
     }
 
     /// Take the oldest received packet, if any.
-    pub fn recv(&self) -> Option<(Vec<u8>, Meta)> {
+    pub fn recv(&self) -> Option<(PktBuf, Meta)> {
         self.rings.borrow_mut().rx.pop_front()
     }
 
@@ -278,14 +279,12 @@ impl Module for DmaEngine {
                 r.stats.tx_packets += 1;
                 r.stats.tx_bytes += packet.len() as u64;
                 drop(r);
-                self.inject = segment(&packet, self.to_card.width(), meta).into();
+                self.inject = segment_buf(&packet, self.to_card.width(), meta).into();
             }
         }
-        if let Some(word) = self.inject.front() {
-            if self.to_card.can_push() {
-                self.to_card.push(*word);
-                self.inject.pop_front();
-            }
+        if !self.inject.is_empty() && self.to_card.can_push() {
+            let word = self.inject.pop_front().expect("checked non-empty");
+            self.to_card.push(word);
         }
 
         // Card → host: absorb a word per cycle; on packet completion, pace

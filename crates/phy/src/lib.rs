@@ -11,6 +11,10 @@
 //! E2) comes out of the model rather than being assumed.
 
 #![deny(missing_docs)]
+// Hot-path crate: a redundant clone here is a packet copy the zero-copy
+// buffer plane exists to avoid. CI runs clippy with `-D warnings`, so this
+// warn is an error there.
+#![warn(clippy::redundant_clone)]
 #![forbid(unsafe_code)]
 
 pub mod link;

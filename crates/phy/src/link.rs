@@ -5,7 +5,7 @@
 //! dropping or corrupting frames under a seeded RNG — the knob used for
 //! failure-injection tests and for exercising OSNT's loss measurement.
 
-use crate::mac::{Wire, WireFrame};
+use crate::mac::Wire;
 use netfpga_core::rng::SimRng;
 use netfpga_core::sim::{Module, TickContext};
 use netfpga_core::time::Time;
@@ -95,17 +95,15 @@ impl Module for Link {
                 && self.rng.chance(self.config.corrupt_probability)
             {
                 let idx = self.rng.below(frame.data.len() as u64) as usize;
-                frame.data[idx] ^= 0xff;
+                // Copy-on-write: sibling references (mirrors, captures,
+                // flood copies) keep the pristine bytes, and the stale FCS
+                // makes the downstream RX MAC's recheck fail — exactly the
+                // wire-error story.
+                frame.corrupt_data()[idx] ^= 0xff;
                 self.stats.corrupted += 1;
             }
-            // The recorded FCS rides along untouched: if the corruption
-            // branch above flipped a byte, the downstream RX MAC's
-            // recomputation will now fail — exactly the wire-error story.
-            self.to.push(WireFrame {
-                data: frame.data,
-                ready_at: frame.ready_at + self.config.delay,
-                fcs: frame.fcs,
-            });
+            frame.ready_at += self.config.delay;
+            self.to.push(frame);
             self.stats.forwarded += 1;
         }
     }
@@ -122,11 +120,18 @@ impl Module for Link {
     fn is_quiescent(&self) -> bool {
         self.from.is_empty()
     }
+
+    /// The source wire is FIFO, so nothing can move before its head frame
+    /// finishes serializing: the tick is a no-op until that instant.
+    fn next_activity(&self) -> Option<netfpga_core::time::Time> {
+        self.from.head_ready_at()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mac::WireFrame;
     use netfpga_core::sim::Simulator;
     use netfpga_core::time::Frequency;
 
@@ -136,11 +141,7 @@ mod tests {
         let a = Wire::new();
         let b = Wire::new();
         for i in 0..n {
-            a.push(WireFrame {
-                data: vec![i as u8; 64],
-                ready_at: Time::from_ns(i as u64 * 100),
-                fcs: None,
-            });
+            a.push(WireFrame::new(vec![i as u8; 64], Time::from_ns(i as u64 * 100)));
         }
         let link = Link::new("l", a, b.clone(), config);
         sim.add_module(clk, link);
@@ -193,7 +194,7 @@ mod tests {
         let a = Wire::new();
         let b = Wire::new();
         for i in 0..200 {
-            a.push(WireFrame { data: vec![0u8; 64], ready_at: Time::from_ns(i * 10), fcs: None });
+            a.push(WireFrame::new(vec![0u8; 64], Time::from_ns(i * 10)));
         }
         let cfg = LinkConfig { corrupt_probability: 0.5, seed: 7, ..LinkConfig::default() };
         sim.add_module(clk, Link::new("l", a, b.clone(), cfg));

@@ -11,8 +11,9 @@
 //! is faster than the line, so this never limits throughput; it adds the
 //! usual one-frame assembly latency that hardware MAC+FIFO stages also add.
 
+use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::sim::{Module, TickContext};
-use netfpga_core::stream::{segment, Meta, PortMask, Reassembler, StreamRx, StreamTx};
+use netfpga_core::stream::{segment_buf, Meta, PortMask, Reassembler, StreamRx, StreamTx};
 use netfpga_core::time::{BitRate, Time};
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -42,15 +43,44 @@ pub fn line_rate_fps(rate: BitRate, len: u64) -> f64 {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireFrame {
     /// Frame bytes (no preamble/FCS bytes; those are accounted as time).
-    pub data: Vec<u8>,
+    /// A refcounted buffer: forwarding a frame between wires or mirroring
+    /// it bumps a refcount instead of copying the payload.
+    pub data: PktBuf,
     /// Instant the last bit arrives at the far end.
     pub ready_at: Time,
     /// The CRC-32 FCS computed when the frame was serialized, when known.
     /// A transmitting MAC records it; impairments in flight corrupt `data`
-    /// without updating it, so the receiving MAC's recomputation fails —
-    /// the real Ethernet error-detection story. `None` means "assume good"
+    /// without updating it, so the receiving MAC's check fails — the real
+    /// Ethernet error-detection story. `None` means "assume good"
     /// (tester-injected frames), preserving the pre-fault-plane behaviour.
     pub fcs: Option<u32>,
+    /// True while `data` is byte-identical to what `fcs` was computed over.
+    /// The transmitting MAC sets it; any impairment that rewrites `data`
+    /// must clear it. A receiving MAC trusts a fresh FCS without
+    /// recomputing the CRC over the payload — the buffer is immutable and
+    /// shared, so "untouched since stamped" is a structural guarantee, not
+    /// an assumption.
+    pub fcs_fresh: bool,
+}
+
+impl WireFrame {
+    /// A frame with no FCS recorded ("assume good", tester-injected).
+    pub fn new(data: impl Into<PktBuf>, ready_at: Time) -> WireFrame {
+        WireFrame { data: data.into(), ready_at, fcs: None, fcs_fresh: false }
+    }
+
+    /// A frame carrying the FCS computed over its current bytes.
+    pub fn with_fcs(data: impl Into<PktBuf>, ready_at: Time, fcs: u32) -> WireFrame {
+        WireFrame { data: data.into(), ready_at, fcs: Some(fcs), fcs_fresh: true }
+    }
+
+    /// Mutable access to the frame bytes, copy-on-write: sibling references
+    /// (flood copies, mirrors, captures) never observe the mutation. Marks
+    /// the FCS stale, as any in-flight rewrite must.
+    pub fn corrupt_data(&mut self) -> &mut [u8] {
+        self.fcs_fresh = false;
+        self.data.make_mut()
+    }
 }
 
 /// A unidirectional wire: an ordered queue of frames with arrival times.
@@ -79,6 +109,13 @@ impl Wire {
         } else {
             None
         }
+    }
+
+    /// Arrival instant of the head frame, if one is queued. Wires are FIFO,
+    /// so nothing can be taken before this instant: a drainer blocked on it
+    /// is provably inert until then.
+    pub fn head_ready_at(&self) -> Option<Time> {
+        self.inner.borrow().front().map(|f| f.ready_at)
     }
 
     /// Frames on the wire (in flight or waiting).
@@ -174,7 +211,7 @@ impl EthMacTx {
                 stats: stats.clone(),
                 burst: false,
             },
-            stats.clone(),
+            stats,
         )
     }
 
@@ -225,8 +262,8 @@ impl Module for EthMacTx {
                 // A real FCS rides along for downstream verification; its
                 // four bytes stay accounted as wire time only, so pacing
                 // and line-rate math are untouched.
-                let fcs = Some(netfpga_packet::fcs::crc32(&data));
-                self.wire.push(WireFrame { data, ready_at, fcs });
+                let fcs = netfpga_packet::fcs::crc32(&data);
+                self.wire.push(WireFrame::with_fcs(data, ready_at, fcs));
                 self.line_busy_until = busy_until;
                 let mut s = self.stats.0.borrow_mut();
                 s.frames += 1;
@@ -249,6 +286,18 @@ impl Module for EthMacTx {
     /// schedule only change when a word is consumed.
     fn is_quiescent(&self) -> bool {
         !self.input.can_pop()
+    }
+
+    /// With words waiting but the backlog gate closed, the tick is a no-op
+    /// until the committed wire time drains below the FIFO budget — a known
+    /// instant, since `line_busy_until` only moves when a frame is accepted.
+    /// Mid-frame words always flow, so no bound exists then.
+    fn next_activity(&self) -> Option<Time> {
+        if self.reasm.mid_packet() {
+            return None;
+        }
+        let backlog_limit = self.rate.time_for_bytes(TX_FIFO_BYTES);
+        Some(self.line_busy_until.saturating_sub(backlog_limit))
     }
 }
 
@@ -280,7 +329,7 @@ impl EthMacRx {
                 stats: stats.clone(),
                 burst: false,
             },
-            stats.clone(),
+            stats,
         )
     }
 
@@ -307,9 +356,12 @@ impl Module for EthMacRx {
                 let Some(frame) = self.wire.take_ready(ctx.now) else { break };
                 // FCS check: a frame whose recorded FCS no longer matches
                 // its bytes was corrupted in flight — drop it here, as the
-                // hardware MAC does, and count it.
+                // hardware MAC does, and count it. A *fresh* FCS needs no
+                // CRC pass: the refcounted buffer is immutable, so bytes
+                // unchanged since the TX MAC stamped it is guaranteed by
+                // construction (impairments clear the flag when they CoW).
                 if let Some(fcs) = frame.fcs {
-                    if !netfpga_packet::fcs::verify(&frame.data, fcs) {
+                    if !frame.fcs_fresh && !netfpga_packet::fcs::verify(&frame.data, fcs) {
                         self.stats.0.borrow_mut().bad_fcs += 1;
                         continue;
                     }
@@ -329,7 +381,7 @@ impl Module for EthMacRx {
                 s.frames += 1;
                 s.bytes += frame.data.len() as u64;
                 s.wire_bytes += wire_bytes(frame.data.len() as u64);
-                self.pending = segment(&frame.data, self.output.width(), meta).into();
+                self.pending = segment_buf(&frame.data, self.output.width(), meta).into();
             }
             if self.burst {
                 self.output.push_burst(&mut self.pending);
@@ -337,12 +389,9 @@ impl Module for EthMacRx {
                     break; // datapath full: resume next tick
                 }
             } else {
-                if let Some(word) = self.pending.front() {
-                    if self.output.can_push() {
-                        let w = *word;
-                        self.output.push(w);
-                        self.pending.pop_front();
-                    }
+                if !self.pending.is_empty() && self.output.can_push() {
+                    let w = self.pending.pop_front().expect("checked non-empty");
+                    self.output.push(w);
                 }
                 break;
             }
@@ -359,6 +408,17 @@ impl Module for EthMacRx {
     /// (time-dependent) work, so it blocks quiescence.
     fn is_quiescent(&self) -> bool {
         self.pending.is_empty() && self.wire.is_empty()
+    }
+
+    /// With no words staged, the tick is a no-op until the head frame on
+    /// the FIFO wire finishes arriving. Staged words must drain one cycle
+    /// at a time, so no bound exists while any are pending.
+    fn next_activity(&self) -> Option<Time> {
+        if self.pending.is_empty() {
+            self.wire.head_ready_at()
+        } else {
+            None
+        }
     }
 }
 
@@ -403,7 +463,7 @@ mod tests {
         let wire = Wire::new();
         let (source, inject) = PacketSource::new("src", src_tx);
         let (mac_tx, tx_stats) = EthMacTx::new("mac_tx", BitRate::gbps(10), src_rx, wire.clone());
-        let (mac_rx, rx_stats) = EthMacRx::new("mac_rx", wire.clone(), dst_tx, 3);
+        let (mac_rx, rx_stats) = EthMacRx::new("mac_rx", wire, dst_tx, 3);
         let (sink, capture) = PacketSink::new("dst", dst_rx);
         sim.add_module(clk, source);
         sim.add_module(clk, mac_tx);
@@ -469,8 +529,8 @@ mod tests {
     #[test]
     fn wire_ordering_and_readiness() {
         let w = Wire::new();
-        w.push(WireFrame { data: vec![1], ready_at: Time::from_ns(100), fcs: None });
-        w.push(WireFrame { data: vec![2], ready_at: Time::from_ns(50), fcs: None });
+        w.push(WireFrame::new(vec![1], Time::from_ns(100)));
+        w.push(WireFrame::new(vec![2], Time::from_ns(50)));
         // Head not ready: nothing, even though a later frame "is" (wires
         // are FIFO; reordering is impossible).
         assert!(w.take_ready(Time::from_ns(60)).is_none());
@@ -494,20 +554,26 @@ mod tests {
         sim.add_module(clk, sink);
 
         let good = vec![0x11u8; 100];
-        let mut corrupted = good.clone();
         let fcs = netfpga_packet::fcs::crc32(&good);
-        corrupted[40] ^= 0x04; // single bit flip after FCS was recorded
-        wire.push(WireFrame { data: good.clone(), ready_at: Time::ZERO, fcs: Some(fcs) });
-        wire.push(WireFrame { data: corrupted, ready_at: Time::ZERO, fcs: Some(fcs) });
-        wire.push(WireFrame { data: vec![0x22; 64], ready_at: Time::ZERO, fcs: None });
+        // A corruption through the CoW path: siblings of the buffer stay
+        // intact, the frame's FCS goes stale, the RX MAC's recheck fails.
+        let mut corrupted = WireFrame::with_fcs(good.clone(), Time::ZERO, fcs);
+        corrupted.corrupt_data()[40] ^= 0x04;
+        assert!(!corrupted.fcs_fresh);
+        wire.push(WireFrame::with_fcs(good.clone(), Time::ZERO, fcs));
+        wire.push(corrupted);
+        wire.push(WireFrame::new(vec![0x22; 64], Time::ZERO));
+        // A stale-but-unmodified FCS still verifies by recomputation.
+        wire.push(WireFrame { data: good.clone().into(), ready_at: Time::ZERO, fcs: Some(fcs), fcs_fresh: false });
         sim.run_until(Time::from_us(1));
 
-        assert_eq!(capture.total_packets(), 2, "good + unchecked delivered");
+        assert_eq!(capture.total_packets(), 3, "good + unchecked + stale-valid delivered");
         assert_eq!(capture.pop().unwrap().data, good);
         assert_eq!(capture.pop().unwrap().data, vec![0x22; 64]);
+        assert_eq!(capture.pop().unwrap().data, good);
         let s = rx_stats.get();
         assert_eq!(s.bad_fcs, 1);
-        assert_eq!(s.frames, 2);
+        assert_eq!(s.frames, 3);
     }
 
     /// The TX MAC attaches the frame's true CRC-32 to what it puts on the

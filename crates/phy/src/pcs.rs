@@ -344,7 +344,7 @@ mod tests {
     fn tick_n(pcs: &mut PcsPort, n: u64, start_cycle: u64) -> u64 {
         for i in 0..n {
             let c = start_cycle + i;
-            pcs.tick(&TickContext { now: Time::from_ns(5 * c), cycle: c });
+            pcs.tick(&TickContext { now: Time::from_ns(5 * c), cycle: c, period: Time::from_ns(5) });
         }
         start_cycle + n
     }

@@ -12,6 +12,7 @@
 
 use crate::harness::{Chassis, ChassisIo};
 use netfpga_core::board::BoardSpec;
+use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::regs::{shared, AddressMap, RegisterSpace};
 use netfpga_core::resources::ResourceCost;
 use netfpga_core::stream::{Meta, PortMask, Stream};
@@ -319,7 +320,7 @@ struct BlueSwitchLookup {
 }
 
 impl PacketLogic for BlueSwitchLookup {
-    fn process(&mut self, packet: &mut Vec<u8>, meta: &mut Meta, _now: Time) -> StageAction {
+    fn process(&mut self, packet: &mut PktBuf, meta: &mut Meta, _now: Time) -> StageAction {
         let key = flow_key(packet, meta);
         let result = self.pipeline.borrow_mut().classify(&key);
         let mut c = self.counters.borrow_mut();

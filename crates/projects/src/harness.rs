@@ -12,6 +12,7 @@
 //! model, and packets through the DMA rings.
 
 use netfpga_core::board::BoardSpec;
+use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::regs::AddressMap;
 use netfpga_core::sim::{ClockId, Module, Simulator};
 use netfpga_core::stream::{Stream, StreamRx, StreamTx};
@@ -121,6 +122,12 @@ impl Chassis {
         // so a consumer that fell behind can tell how much it missed.
         let drop_src = events.clone();
         telemetry.gauge("events.dropped", move || drop_src.dropped());
+        // Packet-buffer pool health: allocator pressure (`allocs` should
+        // flatline once the pool warms up), recycle hits, and the number of
+        // copy-on-write materializations (shared buffers actually edited).
+        telemetry.gauge("pool.allocs", || netfpga_core::pktbuf::pool_stats().allocs);
+        telemetry.gauge("pool.recycled", || netfpga_core::pktbuf::pool_stats().recycled);
+        telemetry.gauge("pool.cow_copies", || netfpga_core::pktbuf::pool_stats().cow_copies);
         let mut sim = Simulator::new();
         let clk = sim.add_clock("core", spec.core_clock);
         let rate = spec
@@ -320,14 +327,15 @@ impl Chassis {
 
     /// Send `frame` into `port` as a peer device would: serialized at the
     /// port's line rate after the previous tester frame on that port.
-    pub fn send(&mut self, port: usize, frame: Vec<u8>) {
+    pub fn send(&mut self, port: usize, frame: impl Into<PktBuf>) {
+        let frame = frame.into();
         assert!(frame.len() >= 14, "runt frame");
         let p = &mut self.ports[port];
         let start = p.next_free.max(self.sim.now());
         let occupancy = p.rate.time_for_bytes(wire_bytes(frame.len() as u64));
         let ready_at = start + occupancy;
         p.next_free = ready_at;
-        p.to_board.push(WireFrame { data: frame, ready_at, fcs: None });
+        p.to_board.push(WireFrame::new(frame, ready_at));
     }
 
     /// Drain every frame the board has fully transmitted on `port`.
@@ -341,7 +349,7 @@ impl Chassis {
         let now = self.sim.now();
         let mut out = Vec::new();
         while let Some(f) = self.ports[port].from_board.take_ready(now) {
-            out.push((f.data, f.ready_at));
+            out.push((f.data.to_vec(), f.ready_at));
         }
         out
     }

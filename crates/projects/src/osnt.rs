@@ -11,6 +11,7 @@
 
 use crate::harness::{Chassis, ChassisIo};
 use netfpga_core::board::BoardSpec;
+use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::regs::AddressMap;
 use netfpga_core::resources::ResourceCost;
 use netfpga_core::rng::SimRng;
@@ -195,10 +196,10 @@ impl Module for TrafficGenerator {
 
     fn tick(&mut self, ctx: &TickContext) {
         // Stream out the current frame a word per cycle.
-        if let Some(word) = self.words.front() {
+        if !self.words.is_empty() {
             if self.output.can_push() {
-                self.output.push(*word);
-                self.words.pop_front();
+                let word = self.words.pop_front().expect("non-empty");
+                self.output.push(word);
             }
             return;
         }
@@ -277,8 +278,10 @@ impl ProbeRecord {
 struct CapShared {
     records: Vec<ProbeRecord>,
     /// Every captured frame with its rx timestamp (probe or not), in
-    /// arrival order — the raw capture OSNT exports as pcap.
-    frames: Vec<(Time, Vec<u8>)>,
+    /// arrival order — the raw capture OSNT exports as pcap. Mirrored
+    /// frames share the datapath's backing buffer (a refcount bump, not
+    /// a copy).
+    frames: Vec<(Time, PktBuf)>,
     non_probe: u64,
     bytes: u64,
 }
@@ -335,14 +338,21 @@ impl CaptureHandle {
     /// Every captured frame (probes and other traffic) with its receive
     /// timestamp, in arrival order.
     pub fn frames(&self) -> Vec<(Time, Vec<u8>)> {
-        self.shared.borrow().frames.clone()
+        self.shared
+            .borrow()
+            .frames
+            .iter()
+            .map(|(t, f)| (*t, f.to_vec()))
+            .collect()
     }
 
     /// Export the raw capture as a nanosecond pcap stream (the format the
-    /// real OSNT capture pipeline hands to analysis tools). Returns the
-    /// number of records written.
+    /// real OSNT capture pipeline hands to analysis tools). Frame payloads
+    /// stream straight from the shared capture buffers — no copies.
+    /// Returns the number of records written.
     pub fn export_pcap<W: std::io::Write>(&self, w: W) -> std::io::Result<usize> {
-        crate::pcap::write_pcap(w, self.shared.borrow().frames.iter().cloned())
+        let shared = self.shared.borrow();
+        crate::pcap::write_pcap(w, shared.frames.iter().map(|(t, f)| (*t, f)))
     }
 
     /// Measured average receive rate in bits/s between first and last
@@ -420,6 +430,8 @@ impl Module for CaptureEngine {
                 } else {
                     ctx.now
                 };
+                // Mirror into the capture ring by bumping the refcount —
+                // the datapath's buffer is never duplicated.
                 s.frames.push((stamp, frame.clone()));
                 match Self::decode(&frame) {
                     Some((stream_id, seq, tx_time)) => {

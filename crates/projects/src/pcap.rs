@@ -13,10 +13,12 @@ const LINKTYPE_EN10MB: u32 = 1;
 const SNAPLEN: u32 = 65535;
 
 /// Write a pcap stream: global header plus one record per `(time, frame)`.
-/// Returns the number of records written.
-pub fn write_pcap<W: Write>(
+/// Frames are anything byte-sliceable ([`Vec<u8>`], `PktBuf`, `&[u8]`), so
+/// captures stream out without copying their payloads. Returns the number
+/// of records written.
+pub fn write_pcap<W: Write, D: AsRef<[u8]>>(
     mut w: W,
-    records: impl IntoIterator<Item = (Time, Vec<u8>)>,
+    records: impl IntoIterator<Item = (Time, D)>,
 ) -> io::Result<usize> {
     w.write_all(&MAGIC_NS.to_le_bytes())?;
     w.write_all(&2u16.to_le_bytes())?; // version major
@@ -27,6 +29,7 @@ pub fn write_pcap<W: Write>(
     w.write_all(&LINKTYPE_EN10MB.to_le_bytes())?;
     let mut n = 0;
     for (ts, frame) in records {
+        let frame = frame.as_ref();
         let ps = ts.as_ps();
         let sec = (ps / 1_000_000_000_000) as u32;
         let nsec = ((ps % 1_000_000_000_000) / 1_000) as u32;
@@ -101,7 +104,7 @@ mod tests {
     #[test]
     fn rejects_foreign_magic() {
         let mut buf = Vec::new();
-        write_pcap(&mut buf, vec![]).unwrap();
+        write_pcap(&mut buf, Vec::<(Time, Vec<u8>)>::new()).unwrap();
         buf[0] ^= 0xff;
         assert!(read_pcap(&buf[..]).is_err());
     }
@@ -109,7 +112,7 @@ mod tests {
     #[test]
     fn empty_capture_is_valid() {
         let mut buf = Vec::new();
-        write_pcap(&mut buf, vec![]).unwrap();
+        write_pcap(&mut buf, Vec::<(Time, Vec<u8>)>::new()).unwrap();
         assert_eq!(read_pcap(&buf[..]).unwrap(), vec![]);
     }
 }

@@ -14,6 +14,7 @@ use crate::harness::{Chassis, ChassisIo};
 use netfpga_core::board::BoardSpec;
 use netfpga_core::regs::{shared, AddressMap, RegisterSpace};
 use netfpga_core::resources::ResourceCost;
+use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::stream::{Meta, PortMask, Stream};
 use netfpga_core::time::Time;
 use netfpga_datapath::blocks;
@@ -90,7 +91,7 @@ impl RouterLookup {
 }
 
 impl PacketLogic for RouterLookup {
-    fn process(&mut self, packet: &mut Vec<u8>, meta: &mut Meta, _now: Time) -> StageAction {
+    fn process(&mut self, packet: &mut PktBuf, meta: &mut Meta, _now: Time) -> StageAction {
         // Packets injected by the CPU carry their destination already and
         // bypass routing (the management software routed them itself).
         if meta.src_port == self.cpu_port {
@@ -135,12 +136,15 @@ impl PacketLogic for RouterLookup {
         drop(tables);
 
         // Rewrite: MAC addresses, TTL, checksum (incremental, like RTL).
+        // `make_mut` triggers copy-on-write only if the buffer is shared
+        // (e.g. a mirror holds a reference); the common case edits in place.
         {
-            let mut eth = EthernetFrame::new_unchecked(&mut packet[..]);
+            let data = packet.make_mut();
+            let mut eth = EthernetFrame::new_unchecked(&mut data[..]);
             eth.set_dst_addr(next_mac);
             eth.set_src_addr(src_mac);
             let off = eth.header_len();
-            let mut ipv4 = Ipv4Packet::new_unchecked(&mut packet[off..]);
+            let mut ipv4 = Ipv4Packet::new_unchecked(&mut data[off..]);
             ipv4.decrement_ttl();
         }
         meta.dst_ports = PortMask::single(out_port);

@@ -10,6 +10,7 @@ use crate::harness::{Chassis, ChassisIo};
 use netfpga_core::board::BoardSpec;
 use netfpga_core::regs::{shared, AddressMap, RegisterSpace};
 use netfpga_core::resources::ResourceCost;
+use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::stream::{Meta, Stream};
 use netfpga_core::time::Time;
 use netfpga_datapath::blocks;
@@ -35,7 +36,7 @@ struct SwitchLookup {
 }
 
 impl PacketLogic for SwitchLookup {
-    fn process(&mut self, packet: &mut Vec<u8>, meta: &mut Meta, now: Time) -> StageAction {
+    fn process(&mut self, packet: &mut PktBuf, meta: &mut Meta, now: Time) -> StageAction {
         let mask = self.core.borrow_mut().forward(packet, meta, now);
         if mask.is_empty() {
             // Destination is the ingress port only (hairpin): drop.

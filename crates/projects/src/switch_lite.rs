@@ -10,7 +10,8 @@ use netfpga_core::board::BoardSpec;
 use netfpga_core::regs::AddressMap;
 use netfpga_core::resources::ResourceCost;
 use netfpga_core::sim::{Module, TickContext};
-use netfpga_core::stream::{segment, Meta, Reassembler, Stream, StreamRx, StreamTx, Word};
+use netfpga_core::pktbuf::PktBuf;
+use netfpga_core::stream::{segment_buf, Meta, Reassembler, Stream, StreamRx, StreamTx, Word};
 use netfpga_core::time::Time;
 use netfpga_datapath::blocks;
 use netfpga_datapath::stage::{PacketLogic, StageAction};
@@ -31,7 +32,7 @@ struct LiteSplitter {
     outputs: Vec<StreamTx>,
     reasm: Reassembler,
     /// Packets waiting to be copied out: (per-port word queues).
-    staging: VecDeque<(Meta, Vec<u8>)>,
+    staging: VecDeque<(Meta, PktBuf)>,
     emitting: Vec<VecDeque<Word>>,
 }
 
@@ -78,18 +79,18 @@ impl Module for LiteSplitter {
                     if p < self.outputs.len() {
                         let mut m = meta;
                         m.dst_ports = netfpga_core::stream::PortMask::single(p as u8);
-                        self.emitting[p] = segment(&packet, self.outputs[p].width(), m).into();
+                        // Zero-copy flood: every port's words are views
+                        // into the same shared backing buffer.
+                        self.emitting[p] = segment_buf(&packet, self.outputs[p].width(), m).into();
                     }
                 }
             }
         }
         // Emit one word per port per cycle.
         for (p, q) in self.emitting.iter_mut().enumerate() {
-            if let Some(word) = q.front() {
-                if self.outputs[p].can_push() {
-                    self.outputs[p].push(*word);
-                    q.pop_front();
-                }
+            if !q.is_empty() && self.outputs[p].can_push() {
+                let word = q.pop_front().expect("non-empty");
+                self.outputs[p].push(word);
             }
         }
     }
@@ -108,7 +109,7 @@ struct LiteLookup {
 }
 
 impl PacketLogic for LiteLookup {
-    fn process(&mut self, packet: &mut Vec<u8>, meta: &mut Meta, now: Time) -> StageAction {
+    fn process(&mut self, packet: &mut PktBuf, meta: &mut Meta, now: Time) -> StageAction {
         let mask = self.core.borrow_mut().forward(packet, meta, now);
         if mask.is_empty() {
             return StageAction::Drop;

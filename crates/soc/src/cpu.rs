@@ -434,7 +434,7 @@ mod tests {
     #[test]
     fn ipc_scales_per_tick() {
         use netfpga_core::sim::{Simulator, TickContext};
-        let _ = TickContext { now: netfpga_core::time::Time::ZERO, cycle: 0 };
+        let _ = TickContext { now: netfpga_core::time::Time::ZERO, cycle: 0, period: netfpga_core::time::Time::from_ns(5) };
         let program = assemble("loop: addi r1, r1, 1\nj loop").unwrap();
         let mut sim = Simulator::new();
         let clk = sim.add_clock("c", netfpga_core::time::Frequency::mhz(100));

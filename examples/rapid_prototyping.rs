@@ -12,6 +12,7 @@
 //! Run with: `cargo run -p netfpga-examples --bin rapid_prototyping`
 
 use netfpga_core::board::BoardSpec;
+use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::regs::AddressMap;
 use netfpga_core::stream::{Meta, PortMask, Stream};
 use netfpga_core::time::Time;
@@ -46,7 +47,7 @@ impl DedupLogic {
 }
 
 impl PacketLogic for DedupLogic {
-    fn process(&mut self, packet: &mut Vec<u8>, meta: &mut Meta, now: Time) -> StageAction {
+    fn process(&mut self, packet: &mut PktBuf, meta: &mut Meta, now: Time) -> StageAction {
         let fp = Self::fingerprint(packet);
         if self.seen.lookup(&fp, now).is_some() {
             self.duplicates += 1;

@@ -192,6 +192,7 @@ proptest! {
     ) {
         use netfpga_core::packetio::{CapturedPacket, PacketSink, PacketSource};
         use netfpga_core::sim::{SchedulerMode, Simulator};
+        use netfpga_core::pktbuf::PktBuf;
         use netfpga_core::stream::{Meta, Stream};
         use netfpga_datapath::stage::StageAction;
         use netfpga_datapath::PacketStage;
@@ -223,7 +224,7 @@ proptest! {
                     in_rx,
                     out_tx,
                     lat,
-                    |_p: &mut Vec<u8>, _m: &mut Meta, _t: Time| StageAction::Forward,
+                    |_p: &mut PktBuf, _m: &mut Meta, _t: Time| StageAction::Forward,
                 )
                 .with_burst(burst == 1);
                 let (sink, cap) = PacketSink::new("sink", out_rx);
@@ -271,6 +272,126 @@ proptest! {
         let naive = run(SchedulerMode::Scan, false, false);
         prop_assert_eq!(&run(SchedulerMode::Auto, true, false), &naive);
         prop_assert_eq!(&run(SchedulerMode::Heap, true, false), &naive);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Copy-on-write isolation: flood and mirror copies are refcount bumps
+    /// of one backing buffer, so corrupting *one* copy in flight (a BER
+    /// flip through `WireFrame::corrupt_data`) must never leak into its
+    /// siblings — they keep the pristine bytes and the fresh FCS.
+    #[test]
+    fn prop_flood_cow_isolation(
+        payload in proptest::collection::vec(any::<u8>(), 60..512),
+        fanout in 2usize..6,
+        victim_sel in 0usize..6,
+        seed in 1u64..1_000,
+    ) {
+        use netfpga_core::pktbuf::PktBuf;
+        use netfpga_core::sim::Simulator;
+        use netfpga_core::time::Frequency;
+        use netfpga_phy::link::{Link, LinkConfig};
+        use netfpga_phy::mac::{Wire, WireFrame};
+
+        let victim = victim_sel % fanout;
+        let buf = PktBuf::from_vec(payload.clone());
+        let fcs = netfpga_packet::fcs::crc32(&buf);
+
+        // "Flood": one buffer, `fanout` wires, each frame a refcount bump.
+        let wires: Vec<Wire> = (0..fanout).map(|_| Wire::new()).collect();
+        for w in &wires {
+            w.push(WireFrame::with_fcs(buf.clone(), Time::ZERO, fcs));
+        }
+
+        // Corrupt exactly the victim's copy via an always-corrupting link.
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("c", Frequency::mhz(200));
+        let out = Wire::new();
+        let cfg = LinkConfig { corrupt_probability: 1.0, seed, ..LinkConfig::default() };
+        sim.add_module(clk, Link::new("l", wires[victim].clone(), out.clone(), cfg));
+        sim.run_until(Time::from_us(1));
+
+        let corrupted = out.take_ready(Time::from_ms(1)).expect("forwarded");
+        prop_assert_ne!(corrupted.data.bytes(), &payload[..], "victim must differ");
+        prop_assert!(!corrupted.fcs_fresh, "corruption must stale the FCS");
+        prop_assert!(
+            !corrupted.data.same_backing(&buf),
+            "corruption must have copied, not edited the shared backing"
+        );
+        // Every sibling — and the original buffer — is bit-identical
+        // pristine, still sharing the one backing, FCS still fresh.
+        prop_assert_eq!(buf.bytes(), &payload[..]);
+        for (i, w) in wires.iter().enumerate() {
+            if i == victim {
+                continue;
+            }
+            let f = w.take_ready(Time::from_ms(1)).expect("untouched sibling");
+            prop_assert_eq!(f.data.bytes(), &payload[..], "sibling {} mutated", i);
+            prop_assert!(f.fcs_fresh, "sibling {} FCS went stale", i);
+            prop_assert!(f.data.same_backing(&buf), "sibling {} was copied", i);
+        }
+    }
+
+    /// Pool and scheduler invariance under flood + faults: a broadcast
+    /// (flood) workload through the reference switch with a seeded BER
+    /// fault plan delivers *bit-identical* frames, fault traces and
+    /// counters whether the frame pool is on or off, under every scheduler
+    /// mode — recycling buffers and bumping refcounts instead of copying
+    /// is invisible to every observable.
+    #[test]
+    fn prop_flood_replay_identical_with_pool_on_and_off(
+        frames in proptest::collection::vec((0usize..4, 46usize..220), 1..12),
+        ber_exp in 4u32..7,
+        seed in 0u64..500,
+    ) {
+        use netfpga_core::pktbuf;
+        use netfpga_core::sim::SchedulerMode;
+        use netfpga_faults::{FaultKind, FaultPlan};
+
+        let run = |mode: SchedulerMode, pool: bool| {
+            pktbuf::reset_pool();
+            pktbuf::set_pool_enabled(pool);
+            let plan = FaultPlan::new(seed).at(
+                Time::ZERO,
+                FaultKind::SetBer { port: 1, ber: 10f64.powi(-(ber_exp as i32)) },
+            );
+            let mut sw = ReferenceSwitch::with_faults(
+                &BoardSpec::sume(), 4, 256, Time::from_ms(100), false, plan,
+            );
+            sw.chassis.sim.set_scheduler_mode(mode);
+            // Unknown unicast destinations -> every frame floods to the
+            // other three ports as refcount bumps of one buffer.
+            for (i, &(port, len)) in frames.iter().enumerate() {
+                let f = PacketBuilder::new()
+                    .eth(mac(port as u8 + 1), mac(0xee))
+                    .raw(netfpga_packet::EtherType::Ipv4, &vec![i as u8; len])
+                    .build();
+                sw.chassis.send(port, f);
+                sw.chassis.run_for(Time::from_us(2));
+            }
+            sw.chassis.run_for(Time::from_us(200));
+            let recv: Vec<Vec<Vec<u8>>> = (0..4).map(|p| sw.chassis.recv(p)).collect();
+            let faults = sw.chassis.faults.clone().expect("armed plan");
+            let counters = (
+                faults.counters().ber_flips.get(),
+                faults.counters().frames_corrupted.get(),
+            );
+            let trace = faults.trace();
+            pktbuf::set_pool_enabled(true);
+            (recv, counters, trace)
+        };
+
+        let base = run(SchedulerMode::Scan, true);
+        for mode in [SchedulerMode::Scan, SchedulerMode::Calendar, SchedulerMode::Heap] {
+            for pool in [true, false] {
+                prop_assert_eq!(
+                    &run(mode, pool), &base,
+                    "flood replay diverged under {:?} pool={}", mode, pool
+                );
+            }
+        }
     }
 }
 
