@@ -28,6 +28,7 @@ use netfpga_core::pktbuf;
 use netfpga_core::sim::SchedulerMode;
 use netfpga_core::time::Time;
 use netfpga_packet::{EthernetAddress, EtherType, PacketBuilder};
+use netfpga_projects::flowmon::FlowmonConfig;
 use netfpga_projects::ReferenceSwitch;
 use std::time::{Duration, Instant};
 
@@ -118,10 +119,26 @@ fn switch(config: KernelConfig) -> ReferenceSwitch {
     sw
 }
 
-/// Build a switch and teach it one station per port (so the measured
-/// phase is pure unicast).
-fn learned_switch(config: KernelConfig) -> ReferenceSwitch {
-    let mut sw = switch(config);
+/// Build a 4-port fast-path switch with the flow-monitoring plane spliced
+/// into the datapath (tap + histograms + exporter) — the configuration the
+/// tap-overhead rows measure against plain `Fast`.
+fn tapped_switch() -> ReferenceSwitch {
+    let mut sw = ReferenceSwitch::with_flowmon(
+        &BoardSpec::sume(),
+        4,
+        1024,
+        Time::from_ms(100),
+        true,
+        FlowmonConfig::default(),
+    );
+    sw.chassis.sim.set_scheduler_mode(SchedulerMode::Auto);
+    sw.chassis.sim.set_idle_skip(true);
+    sw
+}
+
+/// Teach a switch one station per port (so the measured phase is pure
+/// unicast).
+fn teach(sw: &mut ReferenceSwitch) {
     // Station `p + 1` lives on port `p`; one flood each teaches the table.
     for p in 0..4u8 {
         sw.chassis.send(usize::from(p), frame(p + 1, 0xee, 60));
@@ -130,6 +147,12 @@ fn learned_switch(config: KernelConfig) -> ReferenceSwitch {
     for p in 0..4 {
         sw.chassis.recv(p);
     }
+}
+
+/// Build a switch and teach it one station per port.
+fn learned_switch(config: KernelConfig) -> ReferenceSwitch {
+    let mut sw = switch(config);
+    teach(&mut sw);
     sw
 }
 
@@ -248,6 +271,61 @@ pub fn flood(config: KernelConfig, nframes: u32) -> KernelRun {
     base.finish(&sw, frames)
 }
 
+/// Saturated workload on the fast kernel with the flow-monitoring tap
+/// spliced in — same stimulus as [`saturated`] with
+/// [`KernelConfig::Fast`], so `edges_per_sec` ratios between the two are
+/// the tap's overhead.
+pub fn saturated_tap(nframes: u32) -> KernelRun {
+    let mut sw = tapped_switch();
+    teach(&mut sw);
+    let f01: pktbuf::PktBuf = frame(1, 2, 300).into();
+    let f23: pktbuf::PktBuf = frame(3, 4, 300).into();
+    let base = RunBase::begin(&sw);
+    for _ in 0..nframes {
+        sw.chassis.send(0, f01.clone());
+        sw.chassis.send(2, f23.clone());
+    }
+    let expect = 2 * u64::from(nframes);
+    let mut frames = 0u64;
+    for _ in 0..200 {
+        sw.chassis.run_for(Time::from_us(u64::from(nframes) / 2 + 20));
+        for p in 0..4 {
+            frames += sw.chassis.recv(p).len() as u64;
+        }
+        if frames >= expect {
+            break;
+        }
+    }
+    base.finish(&sw, frames)
+}
+
+/// Flood workload on the fast kernel with the flow-monitoring tap
+/// spliced in. The exporter module never goes quiescent (it samples
+/// forever), so unlike [`flood`] this cannot drain on
+/// `all_quiescent()` — it stops once deliveries are stable across two
+/// consecutive drain rounds.
+pub fn flood_tap(nframes: u32) -> KernelRun {
+    let mut sw = tapped_switch();
+    let templates: Vec<pktbuf::PktBuf> =
+        (0..8u8).map(|s| frame(0x40 + s, 0xee, 300).into()).collect();
+    let base = RunBase::begin(&sw);
+    for i in 0..nframes {
+        sw.chassis
+            .send((i % 4) as usize, templates[(i % 8) as usize].clone());
+    }
+    let mut frames = 0u64;
+    let mut stable = 0u32;
+    while stable < 2 {
+        sw.chassis.run_for(Time::from_us(50));
+        let before = frames;
+        for p in 0..4 {
+            frames += sw.chassis.recv(p).len() as u64;
+        }
+        stable = if frames == before { stable + 1 } else { 0 };
+    }
+    base.finish(&sw, frames)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +357,23 @@ mod tests {
         assert_eq!(naive.frames, fast.frames);
         assert_eq!(naive.cow_copies, 0);
         assert_eq!(fast.cow_copies, 0);
+    }
+
+    /// The tap is functionally invisible: the tapped workloads deliver
+    /// exactly the same frame counts as their untapped twins, the flows
+    /// really were accounted, and flood fan-out through the tap performs
+    /// no copy-on-write.
+    #[test]
+    fn tapped_workloads_deliver_identically_and_copy_nothing() {
+        let plain = saturated(KernelConfig::Fast, 40);
+        let tapped = saturated_tap(40);
+        assert_eq!(plain.frames, tapped.frames);
+        assert_eq!(tapped.cow_copies, 0, "tap inspection must not copy");
+
+        let plain = flood(KernelConfig::Fast, 20);
+        let tapped = flood_tap(20);
+        assert_eq!(plain.frames, tapped.frames);
+        assert_eq!(tapped.cow_copies, 0, "tap inspection must not copy");
     }
 
     /// The naive kernel steps every edge; the fast kernel must skip a

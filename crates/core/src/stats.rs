@@ -33,6 +33,13 @@ impl Counter {
         self.0.get()
     }
 
+    /// Overwrite the value — for level-style cells (queue depths, pool
+    /// occupancy) that share the counter plumbing but track a level, not
+    /// a monotone count.
+    pub fn set(&self, v: u64) {
+        self.0.set(v);
+    }
+
     /// Reset to zero (registers expose this as write-to-clear).
     pub fn clear(&self) {
         self.0.set(0);

@@ -410,18 +410,94 @@ impl StreamRx {
         let mut src = self.shared.borrow_mut();
         let mut dst = tx.shared.borrow_mut();
         let n = max.min(src.queue.len()).min(dst.capacity - dst.queue.len());
-        for _ in 0..n {
-            let word = src.queue.pop_front().expect("counted above");
-            assert!(word.len() <= dst.width, "word wider than stream bus");
-            src.popped_words += 1;
-            dst.pushed_words += 1;
+        if n == 0 {
+            return 0;
+        }
+        // Inspect in place, then move the whole run at once: one batched
+        // counter update instead of two read-modify-writes per word, and —
+        // when the downstream queue is drained (the steady burst-mode
+        // case) — an O(1) queue swap instead of a per-word pop/push.
+        let mut packets = 0;
+        for word in src.queue.iter().take(n) {
+            // debug-only: pass-through taps sit between same-width hops,
+            // and the width was already enforced where the word entered
+            // the upstream queue — don't re-pay the check per word here.
+            debug_assert!(word.len() <= dst.width, "word wider than stream bus");
             if word.sop {
-                dst.pushed_packets += 1;
+                packets += 1;
             }
-            inspect(&word);
-            dst.queue.push_back(word);
+            inspect(word);
+        }
+        src.popped_words += n as u64;
+        dst.pushed_words += n as u64;
+        dst.pushed_packets += packets;
+        if n == src.queue.len() && dst.queue.is_empty() {
+            std::mem::swap(&mut src.queue, &mut dst.queue);
+        } else {
+            dst.queue.extend(src.queue.drain(..n));
         }
         n
+    }
+
+    /// Like [`StreamRx::transfer_inspect`], but sparse: the closure
+    /// returns how many *following* words it vouches for as mid-frame
+    /// payload beats (computed, e.g., from the sop word's `meta.len`),
+    /// and those words move without being visited at all — the way a
+    /// hardware parser touches only header beats while the payload
+    /// streams past. Returns `(words_moved, skip_remainder)`; a skip
+    /// reaching past this batch comes back as the remainder and must be
+    /// passed as `skip_in` on the next call so a frame can straddle
+    /// transfer batches.
+    ///
+    /// Contract: vouched-for words must not carry `sop` — packet
+    /// accounting trusts the skip (checked in debug builds).
+    pub fn transfer_snoop(
+        &self,
+        tx: &StreamTx,
+        max: usize,
+        skip_in: usize,
+        mut inspect: impl FnMut(&Word) -> usize,
+    ) -> (usize, usize) {
+        if Rc::ptr_eq(&self.shared, &tx.shared) {
+            return (0, skip_in);
+        }
+        let mut src = self.shared.borrow_mut();
+        let mut dst = tx.shared.borrow_mut();
+        let n = max.min(src.queue.len()).min(dst.capacity - dst.queue.len());
+        if n == 0 {
+            return (0, skip_in);
+        }
+        let mut packets = 0;
+        let mut i = 0;
+        let mut skip = skip_in;
+        while i < n {
+            if skip > 0 {
+                let run = skip.min(n - i);
+                #[cfg(debug_assertions)]
+                for j in i..i + run {
+                    debug_assert!(!src.queue[j].sop, "skip vouched over a packet start");
+                }
+                i += run;
+                skip -= run;
+                continue;
+            }
+            let word = &src.queue[i];
+            debug_assert!(word.len() <= dst.width, "word wider than stream bus");
+            if word.sop {
+                packets += 1;
+            }
+            skip = inspect(word);
+            i += 1;
+        }
+        src.popped_words += n as u64;
+        dst.pushed_words += n as u64;
+        dst.pushed_packets += packets;
+        if n == src.queue.len() && dst.queue.is_empty() {
+            std::mem::swap(&mut src.queue, &mut dst.queue);
+        } else {
+            dst.queue.extend(src.queue.drain(..n));
+        }
+        (n, skip)
     }
 }
 
@@ -624,6 +700,50 @@ mod tests {
         assert_eq!(rx_a.occupancy(), 0);
         // Self-transfer is a no-op, not a RefCell panic.
         assert_eq!(rx_b.transfer_up_to(&tx_b, 10), 0);
+    }
+
+    #[test]
+    fn transfer_snoop_skips_vouched_words_and_carries_remainder() {
+        let (tx_a, rx_a) = Stream::new(16, 8);
+        let (tx_b, rx_b) = Stream::new(16, 8);
+        // Two 4-word frames back to back.
+        for f in 0..2 {
+            for i in 0..4u8 {
+                tx_a.push(Word::new(&[f * 4 + i], i == 0, i == 3, None));
+            }
+        }
+        // Inspect each sop, vouch for the 2 payload words, see the eop.
+        let mut seen = Vec::new();
+        let (moved, rem) = rx_a.transfer_snoop(&tx_b, usize::MAX, 0, |w| {
+            seen.push(w.bytes()[0]);
+            if w.sop {
+                2
+            } else {
+                0
+            }
+        });
+        assert_eq!((moved, rem), (8, 0));
+        assert_eq!(seen, [0, 3, 4, 7], "payload words never visited");
+        assert_eq!(rx_b.occupancy(), 8, "skipped words still move");
+        assert_eq!(rx_b.total_packets(), 2);
+
+        // A skip reaching past the batch comes back as the remainder and
+        // resumes on the next call.
+        for i in 0..4u8 {
+            tx_a.push(Word::new(&[i], i == 0, i == 3, None));
+        }
+        seen.clear();
+        let (moved, rem) =
+            rx_a.transfer_snoop(&tx_b, 2, 0, |w| if w.sop { seen.push(w.bytes()[0]); 2 } else { 0 });
+        assert_eq!((moved, rem), (2, 1));
+        let (moved, rem) = rx_a.transfer_snoop(&tx_b, usize::MAX, rem, |w| {
+            seen.push(w.bytes()[0]);
+            0
+        });
+        assert_eq!((moved, rem), (2, 0));
+        assert_eq!(seen, [0, 3], "resumed skip covers the straddling payload word");
+        // Self-transfer is a no-op that preserves the pending skip.
+        assert_eq!(rx_b.transfer_snoop(&tx_b, 10, 5, |_| 0), (0, 5));
     }
 
     #[test]

@@ -161,6 +161,15 @@ impl StatRegistry {
         self.inner.borrow().is_empty()
     }
 
+    /// Visit every `(path, value)` pair in sorted-path order without
+    /// allocating — the iteration periodic samplers (the flow-monitor
+    /// exporter) run on every interval.
+    pub fn for_each(&self, mut f: impl FnMut(&str, u64)) {
+        for (k, v) in self.inner.borrow().iter() {
+            f(k, v.value());
+        }
+    }
+
     /// Sorted `(path, value)` snapshot of the whole tree — the structured
     /// export the bench experiments serialize.
     pub fn snapshot(&self) -> Vec<(String, u64)> {

@@ -69,6 +69,10 @@ struct PortState {
     /// Scratch buffer for scheduler views, reused across ticks so the
     /// egress path allocates nothing in steady state.
     views: Vec<QueueView>,
+    /// Live per-class depth cells (packets queued), kept current at every
+    /// enqueue/dequeue so telemetry gauges and the flow-monitor exporter
+    /// read depths without touching the stage.
+    depths: Vec<Counter>,
 }
 
 /// The 1-to-N output-queue stage. See module docs.
@@ -104,6 +108,7 @@ impl OutputQueues {
                 scheduler: make_scheduler(),
                 emitting: VecDeque::new(),
                 views: Vec::with_capacity(config.classes),
+                depths: (0..config.classes).map(|_| Counter::new()).collect(),
             })
             .collect();
         OutputQueues {
@@ -150,6 +155,32 @@ impl OutputQueues {
         registry.register_counter(&format!("{prefix}.no_destination"), &self.stats.no_destination);
     }
 
+    /// Register one depth gauge per (port, class) queue: `portN.qM.depth`
+    /// (prefixed with `{prefix}.` when `prefix` is non-empty). Gauges
+    /// read the live shared depth cells, so they stay current after the
+    /// stage moves into the simulator.
+    pub fn register_depth_gauges(
+        &self,
+        registry: &netfpga_core::telemetry::StatRegistry,
+        prefix: &str,
+    ) {
+        for (p, port) in self.ports.iter().enumerate() {
+            for (c, depth) in port.depths.iter().enumerate() {
+                let leaf = format!("port{p}.q{c}.depth");
+                let path =
+                    if prefix.is_empty() { leaf } else { format!("{prefix}.{leaf}") };
+                let cell = depth.clone();
+                registry.gauge(&path, move || cell.get());
+            }
+        }
+    }
+
+    /// The live depth cell of a (port, class) queue — what the
+    /// flow-monitor exporter samples into its occupancy histograms.
+    pub fn depth_cell(&self, port: usize, class: usize) -> Counter {
+        self.ports[port].depths[class].clone()
+    }
+
     /// Queue occupancy (packets) of a (port, class) queue.
     pub fn occupancy(&self, port: usize, class: usize) -> usize {
         self.ports[port].queues[class].len()
@@ -176,6 +207,7 @@ impl OutputQueues {
             let class = class.min(state.queues.len() - 1);
             let len = packet.len();
             if state.queues[class].push(len, (packet.clone(), meta)) {
+                state.depths[class].set(state.queues[class].len() as u64);
                 state.scheduler.on_enqueue(class, len);
                 self.stats.enqueued.incr();
             } else {
@@ -202,6 +234,7 @@ impl OutputQueues {
         };
         let (packet, mut meta) =
             state.queues[class].pop().expect("scheduler picked empty queue");
+        state.depths[class].set(state.queues[class].len() as u64);
         state.scheduler.on_dequeue(class, packet.len());
         self.stats.dequeued.incr();
         // Narrow the mask to this port for the egress copy.
@@ -260,6 +293,9 @@ impl Module for OutputQueues {
         for p in &mut self.ports {
             for q in &mut p.queues {
                 q.clear();
+            }
+            for d in &p.depths {
+                d.clear();
             }
             p.emitting.clear();
         }
@@ -452,6 +488,34 @@ mod tests {
         });
         let ratio = counts[0] as f64 / counts[1].max(1) as f64;
         assert!((2.0..4.5).contains(&ratio), "ratio {ratio} counts {counts:?}");
+    }
+
+    #[test]
+    fn depth_gauges_track_queue_occupancy() {
+        let registry = netfpga_core::telemetry::StatRegistry::new();
+        let (in_tx, in_rx) = Stream::new(8, 32);
+        let (out_tx, _out_rx) = Stream::new(8, 32);
+        let config = QueueConfig { classes: 2, ..QueueConfig::default() };
+        let mut oq = OutputQueues::new("oq", in_rx, vec![out_tx], config, || Box::new(Fifo));
+        oq.register_depth_gauges(&registry, "");
+        assert_eq!(registry.get("port0.q0.depth"), Some(0));
+        assert_eq!(registry.get("port0.q1.depth"), Some(0));
+        let depth = oq.depth_cell(0, 0);
+        // Deliver two packets straight into class 0; egress hasn't run.
+        for _ in 0..2 {
+            oq.deliver(
+                PktBuf::copy_from(&[0u8; 64]),
+                meta_to(PortMask::single(0), 0, 64),
+            );
+        }
+        assert_eq!(registry.get("port0.q0.depth"), Some(2));
+        assert_eq!(depth.get(), 2, "cell and gauge agree");
+        // Draining one packet drops the depth.
+        assert!(oq.refill_emitting(0));
+        assert_eq!(registry.get("port0.q0.depth"), Some(1));
+        oq.reset();
+        assert_eq!(registry.get("port0.q0.depth"), Some(0));
+        drop(in_tx);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Five-tuple flow keys, parsed zero-copy out of frame bytes.
+
+use netfpga_packet::tcp::TcpPacket;
+use netfpga_packet::udp::UdpPacket;
+use netfpga_packet::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet};
+
+/// The canonical IPv4 five-tuple flow key.
+///
+/// Addresses are stored as big-endian `u32`s (so `10.0.0.1` is
+/// `0x0a00_0001`) — the register encoding the MMIO table uses. Ports are
+/// zero for protocols without them (ICMP, unknown).
+///
+/// The derived `Ord` gives a total, deterministic order used to break
+/// ranking ties, so sorted flow reports are replay-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FiveTuple {
+    /// Source IPv4 address (big-endian numeric).
+    pub src_ip: u32,
+    /// Destination IPv4 address (big-endian numeric).
+    pub dst_ip: u32,
+    /// Source transport port (0 when the protocol has none).
+    pub src_port: u16,
+    /// Destination transport port (0 when the protocol has none).
+    pub dst_port: u16,
+    /// IP protocol number (6 TCP, 17 UDP, 1 ICMP, …).
+    pub proto: u8,
+}
+
+impl FiveTuple {
+    /// Parse the five-tuple out of an Ethernet frame. Returns `None` for
+    /// non-IPv4 frames and malformed headers. Only header bytes are
+    /// inspected; nothing is copied.
+    pub fn parse(frame: &[u8]) -> Option<FiveTuple> {
+        let eth = EthernetFrame::new_checked(frame).ok()?;
+        if eth.ethertype() != EtherType::Ipv4 {
+            return None;
+        }
+        let ip = Ipv4Packet::new_checked(eth.payload()).ok()?;
+        let proto = ip.protocol();
+        let (src_port, dst_port) = match proto {
+            IpProtocol::Tcp => {
+                let t = TcpPacket::new_checked(ip.payload()).ok()?;
+                (t.src_port(), t.dst_port())
+            }
+            IpProtocol::Udp => {
+                let u = UdpPacket::new_checked(ip.payload()).ok()?;
+                (u.src_port(), u.dst_port())
+            }
+            _ => (0, 0),
+        };
+        Some(FiveTuple {
+            src_ip: u32::from_be_bytes(*ip.src_addr().as_bytes()),
+            dst_ip: u32::from_be_bytes(*ip.dst_addr().as_bytes()),
+            src_port,
+            dst_port,
+            proto: proto_code(proto),
+        })
+    }
+
+    /// Parse the five-tuple out of a possibly-truncated frame prefix —
+    /// what a hardware parser sees in the first bus beats. Unlike
+    /// [`FiveTuple::parse`], this never consults total-length fields
+    /// (the tail may be cut off), so it only needs Ethernet + the IPv4
+    /// header + the first four L4 bytes. Non-initial IP fragments carry
+    /// no L4 header and get zero ports.
+    pub fn parse_prefix(hdr: &[u8]) -> Option<FiveTuple> {
+        if hdr.len() < 14 + 20 || hdr[12..14] != [0x08, 0x00] {
+            return None;
+        }
+        let ip = &hdr[14..];
+        if ip[0] >> 4 != 4 {
+            return None;
+        }
+        let ihl = usize::from(ip[0] & 0x0f) * 4;
+        if ihl < 20 || ip.len() < ihl {
+            return None;
+        }
+        let proto = ip[9];
+        let frag_offset = u16::from_be_bytes([ip[6], ip[7]]) & 0x1fff;
+        let (src_port, dst_port) = match proto {
+            6 | 17 if frag_offset == 0 => {
+                let l4 = ip.get(ihl..ihl + 4)?;
+                (
+                    u16::from_be_bytes([l4[0], l4[1]]),
+                    u16::from_be_bytes([l4[2], l4[3]]),
+                )
+            }
+            _ => (0, 0),
+        };
+        Some(FiveTuple {
+            src_ip: u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]),
+            dst_ip: u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]),
+            src_port,
+            dst_port,
+            proto,
+        })
+    }
+
+    /// The 13 key bytes fed to the sketch hashes, in a fixed layout
+    /// (src ip, dst ip, src port, dst port, proto — all big-endian).
+    pub fn key_bytes(&self) -> [u8; 13] {
+        let mut b = [0u8; 13];
+        b[0..4].copy_from_slice(&self.src_ip.to_be_bytes());
+        b[4..8].copy_from_slice(&self.dst_ip.to_be_bytes());
+        b[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        b[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        b[12] = self.proto;
+        b
+    }
+}
+
+impl core::fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = self.src_ip.to_be_bytes();
+        let d = self.dst_ip.to_be_bytes();
+        write!(
+            f,
+            "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{} proto {}",
+            s[0], s[1], s[2], s[3], self.src_port, d[0], d[1], d[2], d[3], self.dst_port, self.proto
+        )
+    }
+}
+
+fn proto_code(p: IpProtocol) -> u8 {
+    match p {
+        IpProtocol::Icmp => 1,
+        IpProtocol::Tcp => 6,
+        IpProtocol::Udp => 17,
+        IpProtocol::Unknown(v) => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfpga_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
+
+    fn mac(x: u8) -> EthernetAddress {
+        EthernetAddress::new(2, 0, 0, 0, 0, x)
+    }
+
+    #[test]
+    fn prefix_parse_matches_full_parse_on_truncated_headers() {
+        // A frame whose payload extends past any plausible snoop window:
+        // the full-frame parse and an 80-byte-prefix parse must agree,
+        // even though the prefix fails total-length validation.
+        let frame = PacketBuilder::new()
+            .eth(mac(1), mac(2))
+            .ipv4(Ipv4Address::new(192, 168, 0, 1), Ipv4Address::new(192, 168, 0, 2))
+            .udp(1000, 53, &[0x5a; 900])
+            .build();
+        let full = FiveTuple::parse(&frame).expect("full frame parses");
+        let prefix = FiveTuple::parse_prefix(&frame[..80]).expect("prefix parses");
+        assert_eq!(full, prefix);
+        assert_eq!(FiveTuple::parse_prefix(&frame), Some(full), "whole frame is a prefix too");
+        assert_eq!(FiveTuple::parse_prefix(&frame[..30]), None, "too short for L3");
+    }
+
+    #[test]
+    fn prefix_parse_zeroes_ports_on_non_initial_fragments() {
+        let frame = PacketBuilder::new()
+            .eth(mac(1), mac(2))
+            .ipv4(Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(10, 0, 0, 2))
+            .udp(7777, 80, &[0xaa; 20])
+            .build();
+        let mut frag = frame.clone();
+        // Fragment offset 64 (field units of 8 bytes): bytes 6..8 of IP.
+        frag[14 + 6] = 0x00;
+        frag[14 + 7] = 0x08;
+        let ft = FiveTuple::parse_prefix(&frag).expect("fragment still keys on addresses");
+        assert_eq!((ft.src_port, ft.dst_port), (0, 0), "no L4 header in later fragments");
+        assert_eq!(ft.proto, 17);
+    }
+
+    #[test]
+    fn parses_udp_five_tuple() {
+        let frame = PacketBuilder::new()
+            .eth(mac(1), mac(2))
+            .ipv4(Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(10, 0, 0, 2))
+            .udp(1234, 80, &[0xaa; 20])
+            .build();
+        let ft = FiveTuple::parse(&frame).expect("udp parses");
+        assert_eq!(ft.src_ip, 0x0a00_0001);
+        assert_eq!(ft.dst_ip, 0x0a00_0002);
+        assert_eq!(ft.src_port, 1234);
+        assert_eq!(ft.dst_port, 80);
+        assert_eq!(ft.proto, 17);
+    }
+
+    #[test]
+    fn non_ip_frames_are_none() {
+        let frame = PacketBuilder::new()
+            .eth(mac(1), mac(2))
+            .raw(EtherType::Arp, &[0; 46])
+            .build();
+        assert!(FiveTuple::parse(&frame).is_none());
+        assert!(FiveTuple::parse(&[0u8; 10]).is_none(), "runt");
+    }
+
+    #[test]
+    fn portless_protocols_key_on_zero_ports() {
+        let frame = PacketBuilder::new()
+            .eth(mac(1), mac(2))
+            .ipv4(Ipv4Address::new(1, 2, 3, 4), Ipv4Address::new(5, 6, 7, 8))
+            .ip_payload(IpProtocol::Unknown(47), &[0; 30])
+            .build();
+        let ft = FiveTuple::parse(&frame).expect("plain ipv4 parses");
+        assert_eq!((ft.src_port, ft.dst_port, ft.proto), (0, 0, 47));
+    }
+
+    #[test]
+    fn key_bytes_are_stable_and_distinct() {
+        let a = FiveTuple { src_ip: 1, dst_ip: 2, src_port: 3, dst_port: 4, proto: 6 };
+        let b = FiveTuple { src_ip: 1, dst_ip: 2, src_port: 4, dst_port: 3, proto: 6 };
+        assert_eq!(a.key_bytes(), a.key_bytes());
+        assert_ne!(a.key_bytes(), b.key_bytes());
+    }
+}

@@ -1,0 +1,198 @@
+//! The bounded heavy-hitter table: fixed capacity, deterministic
+//! replace-min eviction keyed by the sketch estimate.
+//!
+//! The table is the hardware shape: a small CAM-like array scanned per
+//! packet. When full, a new flow replaces the entry with the smallest
+//! sketch estimate — but only if its own estimate is strictly larger
+//! (ties keep the incumbent, and among equal minima the lowest index is
+//! evicted, so behaviour is replay-deterministic).
+//!
+//! **No-miss invariant** (pinned by a property test): under replace-min,
+//! the minimum tracked estimate never decreases, so any flow whose true
+//! count exceeds the table's final minimum estimate is necessarily
+//! resident — its last arrival either found it resident or inserted it
+//! (its estimate ≥ its true count > the minimum), and it can never have
+//! been evicted afterwards by a smaller-or-equal estimate.
+
+use crate::flow::FiveTuple;
+
+/// One tracked flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// The flow key.
+    pub flow: FiveTuple,
+    /// Packets counted since the flow (re-)entered the table — exact for
+    /// flows never evicted.
+    pub packets: u64,
+    /// Bytes counted since the flow (re-)entered the table.
+    pub bytes: u64,
+    /// The sketch's current estimate of the flow's **total** packet
+    /// count (an upper bound; the eviction key).
+    pub estimate: u64,
+}
+
+impl FlowRecord {
+    /// Deterministic ranking key: estimate, then observed packets and
+    /// bytes, then the flow's total order — descending sort on this is
+    /// replay-stable.
+    pub fn rank_key(&self) -> (u64, u64, u64, core::cmp::Reverse<FiveTuple>) {
+        (self.estimate, self.packets, self.bytes, core::cmp::Reverse(self.flow))
+    }
+}
+
+/// The bounded table. See module docs.
+#[derive(Debug, Clone)]
+pub struct HeavyHitters {
+    entries: Vec<FlowRecord>,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl HeavyHitters {
+    /// An empty table of `capacity` entries.
+    pub fn new(capacity: usize) -> HeavyHitters {
+        assert!(capacity > 0, "empty heavy-hitter table");
+        HeavyHitters { entries: Vec::with_capacity(capacity), capacity, evictions: 0 }
+    }
+
+    /// Account one packet of `bytes` for `flow`, whose sketch estimate
+    /// (after recording the packet) is `estimate`.
+    pub fn update(&mut self, flow: FiveTuple, bytes: u64, estimate: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.flow == flow) {
+            e.packets += 1;
+            e.bytes += bytes;
+            e.estimate = estimate;
+            return;
+        }
+        let fresh = FlowRecord { flow, packets: 1, bytes, estimate };
+        if self.entries.len() < self.capacity {
+            self.entries.push(fresh);
+            return;
+        }
+        // Replace-min: evict the smallest estimate (lowest index on
+        // ties), and only for a strictly larger newcomer.
+        let (idx, min_est) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.estimate)
+            .map(|(i, e)| (i, e.estimate))
+            .expect("capacity > 0");
+        if estimate > min_est {
+            self.entries[idx] = fresh;
+            self.evictions += 1;
+        }
+    }
+
+    /// Tracked flows, in insertion order (the MMIO table order).
+    pub fn entries(&self) -> &[FlowRecord] {
+        &self.entries
+    }
+
+    /// The top `n` flows by descending [`FlowRecord::rank_key`].
+    pub fn top(&self, n: usize) -> Vec<FlowRecord> {
+        let mut v = self.entries.clone();
+        v.sort_by_key(|e| core::cmp::Reverse(e.rank_key()));
+        v.truncate(n);
+        v
+    }
+
+    /// The smallest tracked estimate (`None` while the table has spare
+    /// capacity — nothing can have been rejected yet).
+    pub fn min_estimate(&self) -> Option<u64> {
+        if self.entries.len() < self.capacity {
+            return None;
+        }
+        self.entries.iter().map(|e| e.estimate).min()
+    }
+
+    /// Flows evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Table capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no flow is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every entry (eviction count included).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.evictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(i: u32) -> FiveTuple {
+        FiveTuple { src_ip: i, dst_ip: !i, src_port: 1, dst_port: 2, proto: 6 }
+    }
+
+    #[test]
+    fn tracks_until_capacity_then_replaces_min() {
+        let mut hh = HeavyHitters::new(2);
+        hh.update(flow(1), 100, 5);
+        hh.update(flow(2), 100, 3);
+        assert_eq!(hh.len(), 2);
+        // Estimate 2 < min (3): rejected.
+        hh.update(flow(3), 100, 2);
+        assert_eq!(hh.evictions(), 0);
+        assert!(hh.entries().iter().all(|e| e.flow != flow(3)));
+        // Estimate 4 > min (3): flow 2 evicted.
+        hh.update(flow(4), 100, 4);
+        assert_eq!(hh.evictions(), 1);
+        let flows: Vec<_> = hh.entries().iter().map(|e| e.flow).collect();
+        assert!(flows.contains(&flow(1)) && flows.contains(&flow(4)));
+    }
+
+    #[test]
+    fn resident_flow_accumulates() {
+        let mut hh = HeavyHitters::new(4);
+        hh.update(flow(1), 100, 1);
+        hh.update(flow(1), 50, 2);
+        let e = hh.entries()[0];
+        assert_eq!((e.packets, e.bytes, e.estimate), (2, 150, 2));
+    }
+
+    #[test]
+    fn equal_estimate_keeps_incumbent() {
+        let mut hh = HeavyHitters::new(1);
+        hh.update(flow(1), 10, 7);
+        hh.update(flow(2), 10, 7);
+        assert_eq!(hh.entries()[0].flow, flow(1));
+        assert_eq!(hh.evictions(), 0);
+    }
+
+    #[test]
+    fn top_ranks_by_estimate_deterministically() {
+        let mut hh = HeavyHitters::new(8);
+        hh.update(flow(1), 10, 5);
+        hh.update(flow(2), 10, 9);
+        hh.update(flow(3), 10, 7);
+        let top = hh.top(2);
+        assert_eq!(top[0].flow, flow(2));
+        assert_eq!(top[1].flow, flow(3));
+    }
+
+    #[test]
+    fn min_estimate_only_when_full() {
+        let mut hh = HeavyHitters::new(2);
+        hh.update(flow(1), 1, 4);
+        assert_eq!(hh.min_estimate(), None, "spare capacity: nothing rejected");
+        hh.update(flow(2), 1, 6);
+        assert_eq!(hh.min_estimate(), Some(4));
+    }
+}

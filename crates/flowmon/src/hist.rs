@@ -1,0 +1,221 @@
+//! Log-linear (HDR-style) histograms for occupancy and depth series.
+//!
+//! Values below `2^m` (with `m` = `sub_bits`) get exact unit buckets;
+//! above that, each power-of-two octave is split into `2^m` linear
+//! sub-buckets, so the reported quantile overshoots the true value by at
+//! most a `2^-m` relative error. Buckets grow lazily (bounded by
+//! `64 · 2^m` entries), recording is O(1) with no allocation in steady
+//! state, and quantiles are computed only when a gauge is read — never on
+//! the hot path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The histogram. See module docs.
+#[derive(Debug, Clone)]
+pub struct LogLinearHistogram {
+    sub_bits: u32,
+    buckets: Vec<u64>,
+    count: u64,
+    max: u64,
+    /// Cached `(p50, p99)` — recomputed in one bucket walk only when a
+    /// record happened since the last read, so idle-time gauge sweeps
+    /// (the exporter samples every path each interval) cost O(1).
+    cached: (u64, u64),
+    dirty: bool,
+}
+
+impl LogLinearHistogram {
+    /// An empty histogram with `2^sub_bits` linear sub-buckets per
+    /// octave (`sub_bits` in `1..=16`).
+    pub fn new(sub_bits: u32) -> LogLinearHistogram {
+        assert!((1..=16).contains(&sub_bits), "sub_bits in 1..=16");
+        LogLinearHistogram {
+            sub_bits,
+            buckets: Vec::new(),
+            count: 0,
+            max: 0,
+            cached: (0, 0),
+            dirty: false,
+        }
+    }
+
+    /// A shared handle, for the exporter-writes / gauge-reads split.
+    pub fn shared(sub_bits: u32) -> Rc<RefCell<LogLinearHistogram>> {
+        Rc::new(RefCell::new(LogLinearHistogram::new(sub_bits)))
+    }
+
+    fn bucket_index(&self, v: u64) -> usize {
+        let m = self.sub_bits;
+        if v < (1 << m) {
+            return v as usize;
+        }
+        let e = 63 - v.leading_zeros();
+        let group = (e - m + 1) as usize;
+        let sub = ((v >> (e - m)) - (1 << m)) as usize;
+        (group << m) + sub
+    }
+
+    /// Inclusive upper bound of bucket `idx` — what quantiles report.
+    fn bucket_upper(&self, idx: usize) -> u64 {
+        let m = self.sub_bits;
+        let group = idx >> m;
+        if group == 0 {
+            return idx as u64;
+        }
+        let sub = (idx & ((1usize << m) - 1)) as u64;
+        (((1u64 << m) + sub + 1) << (group - 1)) - 1
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = self.bucket_index(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+        self.dirty = true;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-th percentile (`0 < q <= 100`): the upper bound of the
+    /// bucket holding the rank-`⌈q/100·count⌉` sample, clamped to the
+    /// exact maximum. 0 when empty. Overshoots the true sample by at
+    /// most a `2^-sub_bits` relative error.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return self.bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `(p50, p99)` from the cache, recomputed in a single bucket walk
+    /// only when samples arrived since the last call.
+    pub fn quantiles_cached(&mut self) -> (u64, u64) {
+        if self.dirty {
+            self.cached = (self.percentile(50.0), self.percentile(99.0));
+            self.dirty = false;
+        }
+        self.cached
+    }
+
+    /// Drop every sample.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.max = 0;
+        self.cached = (0, 0);
+        self.dirty = false;
+    }
+}
+
+/// Register `{path}.p50`, `{path}.p99` and `{path}.max` quantile gauges
+/// over a shared histogram — reads walk the buckets lazily; nothing here
+/// ever runs on the datapath hot path.
+pub fn register_quantile_gauges(
+    registry: &netfpga_core::telemetry::StatRegistry,
+    path: &str,
+    hist: &Rc<RefCell<LogLinearHistogram>>,
+) {
+    let h = hist.clone();
+    registry.gauge(&format!("{path}.p50"), move || h.borrow_mut().quantiles_cached().0);
+    let h = hist.clone();
+    registry.gauge(&format!("{path}.p99"), move || h.borrow_mut().quantiles_cached().1);
+    let h = hist.clone();
+    registry.gauge(&format!("{path}.max"), move || h.borrow().max());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogLinearHistogram::new(4);
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(100.0), 15);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.count(), 16);
+        // Rank 1 of 16 at q = 6.25 % is the sample 0.
+        assert_eq!(h.percentile(6.25), 0);
+    }
+
+    #[test]
+    fn quantile_error_is_within_sub_bucket_bound() {
+        let mut h = LogLinearHistogram::new(4);
+        let mut samples: Vec<u64> = (0..1000u64).map(|i| (i * 7919) % 100_000).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for q in [50.0, 90.0, 99.0] {
+            let rank = ((q / 100.0) * samples.len() as f64).ceil() as usize - 1;
+            let exact = samples[rank];
+            let got = h.percentile(q);
+            assert!(got >= exact, "p{q} undershoots: {got} < {exact}");
+            let err = (got - exact) as f64;
+            assert!(
+                err <= (exact as f64) / 16.0 + 1.0,
+                "p{q} overshoots past 2^-4 relative: got {got}, exact {exact}"
+            );
+        }
+        assert_eq!(h.percentile(100.0), *samples.last().unwrap());
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_continuous() {
+        let h = LogLinearHistogram::new(3);
+        let mut prev = 0usize;
+        for v in 0..10_000u64 {
+            let idx = h.bucket_index(v);
+            assert!(idx >= prev, "index regressed at {v}");
+            assert!(idx <= prev + 1, "index jumped at {v}");
+            assert!(h.bucket_upper(idx) >= v, "upper bound below member at {v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn empty_reads_zero_and_clear_resets() {
+        let mut h = LogLinearHistogram::new(2);
+        assert_eq!(h.percentile(99.0), 0);
+        h.record(77);
+        h.clear();
+        assert_eq!((h.count(), h.max(), h.percentile(50.0)), (0, 0, 0));
+    }
+
+    #[test]
+    fn quantile_gauges_read_the_shared_cell() {
+        let reg = netfpga_core::telemetry::StatRegistry::new();
+        let h = LogLinearHistogram::shared(4);
+        register_quantile_gauges(&reg, "port0.q0.depth", &h);
+        assert_eq!(reg.get("port0.q0.depth.p99"), Some(0));
+        for v in [1u64, 2, 3, 100] {
+            h.borrow_mut().record(v);
+        }
+        assert_eq!(reg.get("port0.q0.depth.max"), Some(100));
+        assert!(reg.get("port0.q0.depth.p50").unwrap() >= 2);
+        assert!(!reg.clearable("port0.q0.depth.p50"), "gauges are read-only");
+    }
+}

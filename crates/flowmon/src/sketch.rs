@@ -1,0 +1,218 @@
+//! The count-min sketch: fixed-memory per-flow counting with a provable
+//! overestimation bound.
+//!
+//! A `depth × width` array of counters; each row increments one cell,
+//! and the estimate is the minimum over rows, so it **never
+//! underestimates**. Classic CM analysis bounds the overestimate by `εN`
+//! with `ε = e / width` (`N` = total recorded count) with probability
+//! `1 − e^−depth` per flow — the bound `exp14_flowmon` sweeps and the
+//! property tests pin.
+//!
+//! Row indices come from Kirsch–Mitzenmacher double hashing — the way
+//! hardware sketches avoid one hash unit per row: a single seeded
+//! 64-bit hash of the key is split into `h1`/`h2`, and row `i` uses
+//! `h1 + i·h2 (mod width)`. One hash per update regardless of depth,
+//! and a depth-`d` sketch's rows are a prefix of a deeper sketch's with
+//! the same seed (pinned by the E14 domination check).
+
+use crate::flow::FiveTuple;
+use netfpga_core::rng::SimRng;
+
+/// Sketch dimensions and hash seed. Sizes are plain runtime values so
+/// tests can sweep them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchConfig {
+    /// Counters per row. `ε = e / width`.
+    pub width: usize,
+    /// Independent hash rows. Failure probability `δ = e^−depth` per flow.
+    pub depth: usize,
+    /// Seed for the per-row hash salts.
+    pub seed: u64,
+}
+
+impl Default for SketchConfig {
+    fn default() -> SketchConfig {
+        SketchConfig { width: 1024, depth: 4, seed: 0xf10f_10f1 }
+    }
+}
+
+/// The sketch itself. See module docs.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    config: SketchConfig,
+    /// Salt for the single per-update key hash, drawn from the seeded RNG.
+    salt: u64,
+    /// `depth` rows of `width` counters, flattened row-major.
+    cells: Vec<u64>,
+    /// Total count recorded (the `N` in the `εN` bound).
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// An empty sketch of the given dimensions.
+    pub fn new(config: SketchConfig) -> CountMinSketch {
+        assert!(config.width > 0 && config.depth > 0, "degenerate sketch");
+        let mut rng = SimRng::new(config.seed);
+        let salt = rng.next_u64();
+        CountMinSketch {
+            config,
+            salt,
+            cells: vec![0; config.width * config.depth],
+            total: 0,
+        }
+    }
+
+    /// The double-hash pair for `key`: one seeded 64-bit hash split into
+    /// `h1` (row 0 position) and an odd `h2` (per-row stride).
+    #[inline]
+    fn hash_pair(&self, key: &[u8; 13]) -> (u64, u64) {
+        let h = hash_key(key, self.salt);
+        (h >> 32, (h & 0xffff_ffff) | 1)
+    }
+
+    /// The dimensions this sketch was built with.
+    pub fn config(&self) -> SketchConfig {
+        self.config
+    }
+
+    /// Record `count` occurrences of `flow`; returns the new estimate
+    /// (minimum over rows after the increment).
+    pub fn record(&mut self, flow: &FiveTuple, count: u64) -> u64 {
+        let (h1, h2) = self.hash_pair(&flow.key_bytes());
+        let mut est = u64::MAX;
+        for row in 0..self.config.depth {
+            let col = h1.wrapping_add((row as u64).wrapping_mul(h2)) % self.config.width as u64;
+            let cell = &mut self.cells[row * self.config.width + col as usize];
+            *cell += count;
+            est = est.min(*cell);
+        }
+        self.total += count;
+        est
+    }
+
+    /// Point estimate for `flow`: minimum over rows. Always `≥` the true
+    /// count recorded for that flow.
+    pub fn estimate(&self, flow: &FiveTuple) -> u64 {
+        let (h1, h2) = self.hash_pair(&flow.key_bytes());
+        (0..self.config.depth)
+            .map(|row| {
+                let col =
+                    h1.wrapping_add((row as u64).wrapping_mul(h2)) % self.config.width as u64;
+                self.cells[row * self.config.width + col as usize]
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total count recorded across all flows.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The classic CM `ε`: `e / width`.
+    pub fn epsilon(&self) -> f64 {
+        core::f64::consts::E / self.config.width as f64
+    }
+
+    /// The absolute overestimation bound `⌈εN⌉` at the current total.
+    pub fn error_bound(&self) -> u64 {
+        (self.epsilon() * self.total as f64).ceil() as u64
+    }
+
+    /// Zero every cell and the total.
+    pub fn clear(&mut self) {
+        self.cells.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+    }
+}
+
+/// FNV-1a over the key bytes seeded with the sketch salt, finished with
+/// a 64-bit avalanche so both 32-bit halves are well mixed — the single
+/// hash unit the double-hashing scheme derives every row index from.
+fn hash_key(key: &[u8; 13], salt: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt;
+    for &b in key {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(i: u32) -> FiveTuple {
+        FiveTuple {
+            src_ip: 0x0a00_0000 | i,
+            dst_ip: 0x0a01_0000 | i,
+            src_port: (1000 + i) as u16,
+            dst_port: 80,
+            proto: 17,
+        }
+    }
+
+    #[test]
+    fn estimate_never_underestimates() {
+        let mut cm = CountMinSketch::new(SketchConfig { width: 32, depth: 3, seed: 7 });
+        for i in 0..100u32 {
+            cm.record(&flow(i % 10), 1 + u64::from(i % 3));
+        }
+        let mut truth = [0u64; 10];
+        for i in 0..100u32 {
+            truth[(i % 10) as usize] += 1 + u64::from(i % 3);
+        }
+        for (i, &t) in truth.iter().enumerate() {
+            assert!(cm.estimate(&flow(i as u32)) >= t, "flow {i} underestimated");
+        }
+        assert_eq!(cm.total(), truth.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn wide_sketch_is_exact_for_few_flows() {
+        let mut cm = CountMinSketch::new(SketchConfig { width: 4096, depth: 4, seed: 1 });
+        for i in 0..8u32 {
+            for _ in 0..=i {
+                cm.record(&flow(i), 1);
+            }
+        }
+        for i in 0..8u32 {
+            assert_eq!(cm.estimate(&flow(i)), u64::from(i) + 1);
+        }
+        assert_eq!(cm.estimate(&flow(99)), 0, "unseen flow");
+    }
+
+    #[test]
+    fn seeded_rebuild_is_bit_identical() {
+        let cfg = SketchConfig { width: 64, depth: 4, seed: 42 };
+        let run = || {
+            let mut cm = CountMinSketch::new(cfg);
+            for i in 0..200u32 {
+                cm.record(&flow(i % 17), 1);
+            }
+            (0..17u32).map(|i| cm.estimate(&flow(i))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn error_bound_tracks_total() {
+        let mut cm = CountMinSketch::new(SketchConfig { width: 272, depth: 4, seed: 3 });
+        assert_eq!(cm.error_bound(), 0);
+        for _ in 0..1000 {
+            cm.record(&flow(1), 1);
+        }
+        // e/272 * 1000 = 9.99…; ceil = 10.
+        assert_eq!(cm.error_bound(), 10);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut cm = CountMinSketch::new(SketchConfig::default());
+        cm.record(&flow(1), 5);
+        cm.clear();
+        assert_eq!(cm.estimate(&flow(1)), 0);
+        assert_eq!(cm.total(), 0);
+    }
+}

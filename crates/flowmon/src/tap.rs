@@ -1,0 +1,462 @@
+//! The [`FlowTap`]: a zero-copy pass-through stage that feeds the flow
+//! accounting state.
+//!
+//! The tap splices into an existing stream hop and moves words with
+//! [`StreamRx::transfer_snoop`], so frames cross it without copying —
+//! words stay refcount-bumped views of the original buffers, which are
+//! never cloned, joined or rewritten. The tap snoops just the leading
+//! header bytes of each frame into a small fixed scratch buffer (enough
+//! for Ethernet + a maximal IPv4 header + ports) and parses the 5-tuple
+//! from there. Payload beats are not even visited: once the header is
+//! captured, the sop word's `meta.len` gives the frame's beat count
+//! (`segment_buf` emits full-width beats up to the last), so the tap
+//! vouches for the payload run and inspects only the eop beat — the way
+//! a hardware parser watches the first beats of the bus while the
+//! payload streams past. Flow state (sketch + heavy-hitter table +
+//! rollup counters) lives in a shared cell read by the
+//! [`FlowMonHandle`]; the hot path never touches the stat registry and
+//! never allocates per packet.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::stream::{StreamRx, StreamTx};
+use netfpga_core::telemetry::StatRegistry;
+
+use crate::flow::FiveTuple;
+use crate::heavy::{FlowRecord, HeavyHitters};
+use crate::sketch::CountMinSketch;
+use crate::FlowmonConfig;
+
+#[derive(Debug)]
+struct MonState {
+    sketch: CountMinSketch,
+    table: HeavyHitters,
+    packets: u64,
+    bytes: u64,
+    non_ip: u64,
+}
+
+impl MonState {
+    fn observe(&mut self, frame: &[u8], len: u64) {
+        self.packets += 1;
+        self.bytes += len;
+        // Prefix parse: `frame` is just the leading header bytes when
+        // fed from the tap's snoop, so length fields cannot be trusted.
+        match FiveTuple::parse_prefix(frame) {
+            Some(ft) => {
+                let est = self.sketch.record(&ft, 1);
+                self.table.update(ft, len, est);
+            }
+            None => self.non_ip += 1,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.sketch.clear();
+        self.table.clear();
+        self.packets = 0;
+        self.bytes = 0;
+        self.non_ip = 0;
+    }
+}
+
+/// Shared, read-mostly view of a tap's flow state — what the host API,
+/// MMIO registers and gauges are built from. Cloning is a handle copy.
+#[derive(Debug, Clone)]
+pub struct FlowMonHandle {
+    state: Rc<RefCell<MonState>>,
+}
+
+impl FlowMonHandle {
+    /// The top `n` flows by descending sketch estimate (deterministic
+    /// tie-break; see [`FlowRecord::rank_key`]).
+    pub fn top_talkers(&self, n: usize) -> Vec<FlowRecord> {
+        self.state.borrow().table.top(n)
+    }
+
+    /// Every tracked flow, in table (insertion) order.
+    pub fn flows(&self) -> Vec<FlowRecord> {
+        self.state.borrow().table.entries().to_vec()
+    }
+
+    /// The sketch's point estimate for `flow`.
+    pub fn estimate(&self, flow: &FiveTuple) -> u64 {
+        self.state.borrow().sketch.estimate(flow)
+    }
+
+    /// IPv4 packets accounted (plus non-IP ones counted separately).
+    pub fn packets(&self) -> u64 {
+        self.state.borrow().packets
+    }
+
+    /// Total bytes seen by the tap.
+    pub fn bytes(&self) -> u64 {
+        self.state.borrow().bytes
+    }
+
+    /// Frames that carried no parseable IPv4 five-tuple.
+    pub fn non_ip(&self) -> u64 {
+        self.state.borrow().non_ip
+    }
+
+    /// The sketch's current `⌈εN⌉` overestimation bound.
+    pub fn error_bound(&self) -> u64 {
+        self.state.borrow().sketch.error_bound()
+    }
+
+    /// Total count recorded into the sketch.
+    pub fn total(&self) -> u64 {
+        self.state.borrow().sketch.total()
+    }
+
+    /// Heavy-hitter evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.state.borrow().table.evictions()
+    }
+
+    /// Number of flows currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.state.borrow().table.len()
+    }
+
+    /// Sketch/table dimensions, for self-description.
+    pub fn dimensions(&self) -> (usize, usize, usize) {
+        let s = self.state.borrow();
+        let cfg = s.sketch.config();
+        (cfg.width, cfg.depth, s.table.capacity())
+    }
+
+    /// Reset all flow state (sketch, table, rollup counters).
+    pub fn clear(&self) {
+        self.state.borrow_mut().clear();
+    }
+
+    /// Account one frame directly, outside any tap — for host-side
+    /// replay and tests; the in-pipeline feed is the [`FlowTap`] hot
+    /// path.
+    pub fn observe(&self, frame: &[u8], len: u64) {
+        self.state.borrow_mut().observe(frame, len);
+    }
+
+    /// Register the tap's rollup gauges under `{prefix}.…` — all
+    /// pull-based reads of the shared cell; nothing is written here on
+    /// the packet path.
+    pub fn register_stats(&self, registry: &StatRegistry, prefix: &str) {
+        type Read = fn(&MonState) -> u64;
+        let paths: [(&str, Read); 6] = [
+            ("packets", |s| s.packets),
+            ("bytes", |s| s.bytes),
+            ("non_ip", |s| s.non_ip),
+            ("flows", |s| s.table.len() as u64),
+            ("evictions", |s| s.table.evictions()),
+            ("error_bound", |s| s.sketch.error_bound()),
+        ];
+        for (leaf, read) in paths {
+            let st = self.state.clone();
+            registry.gauge(&format!("{prefix}.{leaf}"), move || read(&st.borrow()));
+        }
+    }
+}
+
+/// Enough scratch for Ethernet (14) + a maximal IPv4 header (60) + the
+/// L4 port words (4), so [`FiveTuple::parse`] always has what it needs.
+const HDR_MAX: usize = 80;
+
+/// Per-frame header snoop state: the first [`HDR_MAX`] bytes of the frame
+/// in flight, accumulated word by word until `eop`.
+#[derive(Debug)]
+struct HeaderSnoop {
+    hdr: [u8; HDR_MAX],
+    have: usize,
+    /// Frame length from the sop word's metadata (0 when absent).
+    len: u64,
+    /// Bytes observed so far — the length fallback for meta-less frames.
+    seen: u64,
+    /// The sop word's byte width — the full bus width under
+    /// `segment_buf` segmentation; zeroed if a mid-frame word disagrees,
+    /// which disables beat-skipping for the rest of the frame.
+    word_len: u64,
+    /// Beats of the current frame accounted so far (inspected or
+    /// vouched-for), for locating the eop beat.
+    words_seen: u64,
+    active: bool,
+}
+
+impl HeaderSnoop {
+    fn new() -> HeaderSnoop {
+        HeaderSnoop {
+            hdr: [0; HDR_MAX],
+            have: 0,
+            len: 0,
+            seen: 0,
+            word_len: 0,
+            words_seen: 0,
+            active: false,
+        }
+    }
+}
+
+/// The tap module. Splice it into a stream hop:
+/// producer → `input` → **FlowTap** → `output` → consumer.
+#[derive(Debug)]
+pub struct FlowTap {
+    input: StreamRx,
+    output: StreamTx,
+    snoop: HeaderSnoop,
+    state: Rc<RefCell<MonState>>,
+    burst: bool,
+    /// Vouched-for payload beats still queued upstream when a transfer
+    /// batch ended mid-frame — resumed on the next tick.
+    skip: usize,
+}
+
+impl FlowTap {
+    /// Build a tap between `input` and `output` with the given flow
+    /// accounting dimensions.
+    pub fn new(input: StreamRx, output: StreamTx, config: &FlowmonConfig) -> FlowTap {
+        FlowTap {
+            input,
+            output,
+            snoop: HeaderSnoop::new(),
+            state: Rc::new(RefCell::new(MonState {
+                sketch: CountMinSketch::new(config.sketch),
+                table: HeavyHitters::new(config.table_capacity),
+                packets: 0,
+                bytes: 0,
+                non_ip: 0,
+            })),
+            burst: false,
+            skip: 0,
+        }
+    }
+
+    /// Move whole bursts per tick instead of one word per cycle —
+    /// matches the fast-path discipline of the surrounding pipeline.
+    pub fn with_burst(mut self, burst: bool) -> FlowTap {
+        self.burst = burst;
+        self
+    }
+
+    /// A shared handle onto this tap's flow state.
+    pub fn handle(&self) -> FlowMonHandle {
+        FlowMonHandle { state: self.state.clone() }
+    }
+}
+
+impl Module for FlowTap {
+    fn name(&self) -> &str {
+        "flow_tap"
+    }
+
+    fn tick(&mut self, _ctx: &TickContext) {
+        let max = if self.burst { usize::MAX } else { 1 };
+        let snoop = &mut self.snoop;
+        let state = &self.state;
+        let (_, skip) = self.input.transfer_snoop(&self.output, max, self.skip, |w| {
+            if w.sop {
+                snoop.have = 0;
+                snoop.seen = 0;
+                snoop.len = w.meta.as_ref().map_or(0, |m| u64::from(m.len));
+                snoop.word_len = w.len() as u64;
+                snoop.words_seen = 0;
+                snoop.active = true;
+            }
+            if !snoop.active {
+                return 0;
+            }
+            snoop.words_seen += 1;
+            if snoop.have < HDR_MAX {
+                let bytes = w.bytes();
+                let take = (HDR_MAX - snoop.have).min(bytes.len());
+                snoop.hdr[snoop.have..snoop.have + take].copy_from_slice(&bytes[..take]);
+                snoop.have += take;
+                snoop.seen += bytes.len() as u64;
+                if !w.sop && !w.eop && w.len() as u64 != snoop.word_len {
+                    // Irregular segmentation: the frame's beat count
+                    // can't be derived from the sop word, so scan every
+                    // beat of this frame instead of skipping.
+                    snoop.word_len = 0;
+                }
+            } else if snoop.len == 0 {
+                // Length fallback for meta-less frames only; frames
+                // with metadata don't visit payload beats at all.
+                snoop.seen += w.len() as u64;
+            }
+            if w.eop {
+                let len = if snoop.len > 0 { snoop.len } else { snoop.seen };
+                state.borrow_mut().observe(&snoop.hdr[..snoop.have], len);
+                snoop.active = false;
+                return 0;
+            }
+            // Header captured and the frame's beat count is derivable
+            // from `meta.len` (full-width beats up to the last): vouch
+            // for the payload run, leaving the eop beat inspected so a
+            // desync degrades to scanning rather than over-skipping.
+            if snoop.have >= HDR_MAX && snoop.len > 0 && snoop.word_len > 0 {
+                let total = snoop.len.div_ceil(snoop.word_len);
+                if total > snoop.words_seen + 1 {
+                    let run = total - snoop.words_seen - 1;
+                    snoop.words_seen += run;
+                    return run as usize;
+                }
+            }
+            0
+        });
+        self.skip = skip;
+    }
+
+    fn reset(&mut self) {
+        self.snoop = HeaderSnoop::new();
+        self.skip = 0;
+        self.state.borrow_mut().clear();
+    }
+
+    fn is_quiescent(&self) -> bool {
+        !self.input.can_pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfpga_core::pktbuf::{pool_stats, PktBuf};
+    use netfpga_core::sim::Simulator;
+    use netfpga_core::stream::{segment_buf, Meta, PortMask, Reassembler, Stream};
+    use netfpga_core::time::{Frequency, Time};
+    use netfpga_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
+
+    fn mac(x: u8) -> EthernetAddress {
+        EthernetAddress::new(2, 0, 0, 0, 0, x)
+    }
+
+    fn udp_frame(src_last: u8, sport: u16) -> Vec<u8> {
+        PacketBuilder::new()
+            .eth(mac(1), mac(2))
+            .ipv4(Ipv4Address::new(10, 0, 0, src_last), Ipv4Address::new(10, 0, 1, 1))
+            .udp(sport, 80, &[0x55; 32])
+            .build()
+    }
+
+    fn run_tap(frames: &[Vec<u8>], burst: bool) -> (FlowMonHandle, usize) {
+        let (in_tx, in_rx) = Stream::new(256, 64);
+        let (out_tx, out_rx) = Stream::new(256, 64);
+        let tap = FlowTap::new(in_rx, out_tx, &FlowmonConfig::default()).with_burst(burst);
+        let handle = tap.handle();
+        for f in frames {
+            let buf = PktBuf::copy_from(f);
+            let meta = Meta {
+                len: buf.len() as u16,
+                src_port: 0,
+                dst_ports: PortMask::EMPTY,
+                ingress_time: Time::ZERO,
+                flags: 0,
+            };
+            for w in segment_buf(&buf, 64, meta) {
+                in_tx.push(w);
+            }
+        }
+        let mut sink = Reassembler::new();
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("core", Frequency::mhz(250));
+        sim.add_module(clk, tap);
+        let mut delivered = 0;
+        for _ in 0..10_000 {
+            sim.step();
+            while out_rx.can_pop() {
+                if sink.push(out_rx.pop().expect("can_pop")).is_some() {
+                    delivered += 1;
+                }
+            }
+            if sim.all_quiescent() {
+                break;
+            }
+        }
+        (handle, delivered)
+    }
+
+    #[test]
+    fn tap_passes_frames_through_and_accounts_flows() {
+        let frames: Vec<_> = (0..12).map(|i| udp_frame(1 + (i % 3), 4000)).collect();
+        let (handle, delivered) = run_tap(&frames, false);
+        assert_eq!(delivered, 12, "tap is pass-through");
+        assert_eq!(handle.packets(), 12);
+        assert_eq!(handle.tracked(), 3);
+        assert_eq!(handle.non_ip(), 0);
+        let top = handle.top_talkers(3);
+        assert_eq!(top.iter().map(|r| r.packets).sum::<u64>(), 12);
+    }
+
+    #[test]
+    fn frames_longer_than_the_snoop_window_still_parse_and_count_bytes() {
+        // 14 + 20 + 8 + 400 = 442 bytes — seven 64-byte words, far past
+        // the HDR_MAX snoop window, so only a truncated header reaches
+        // the parser (regression: truncated prefixes must not count as
+        // non-IP).
+        let big = PacketBuilder::new()
+            .eth(mac(1), mac(2))
+            .ipv4(Ipv4Address::new(10, 0, 0, 9), Ipv4Address::new(10, 0, 1, 1))
+            .udp(8000, 443, &[0x77; 400])
+            .build();
+        let len = big.len() as u64;
+        for burst in [false, true] {
+            let (handle, delivered) = run_tap(std::slice::from_ref(&big), burst);
+            assert_eq!(delivered, 1);
+            assert_eq!(handle.non_ip(), 0, "truncated header still parses");
+            assert_eq!(handle.tracked(), 1);
+            let rec = handle.flows()[0];
+            assert_eq!((rec.flow.src_port, rec.flow.dst_port), (8000, 443));
+            assert_eq!(rec.bytes, len, "byte accounting covers the whole frame");
+        }
+    }
+
+    #[test]
+    fn burst_mode_accounts_identically() {
+        let frames: Vec<_> = (0..9).map(|i| udp_frame(1 + (i % 3), 5000)).collect();
+        let (slow, d1) = run_tap(&frames, false);
+        let (fast, d2) = run_tap(&frames, true);
+        assert_eq!(d1, d2);
+        assert_eq!(slow.flows(), fast.flows(), "burst mode is functionally identical");
+    }
+
+    #[test]
+    fn non_ip_frames_pass_and_are_counted() {
+        let arp = PacketBuilder::new()
+            .eth(mac(1), mac(2))
+            .raw(netfpga_packet::EtherType::Arp, &[0; 46])
+            .build();
+        let (handle, delivered) = run_tap(&[arp], true);
+        assert_eq!(delivered, 1);
+        assert_eq!(handle.non_ip(), 1);
+        assert_eq!(handle.tracked(), 0);
+        assert_eq!(handle.packets(), 1);
+    }
+
+    #[test]
+    fn tap_observation_is_zero_copy() {
+        let frames: Vec<_> = (0..32).map(|i| udp_frame(1 + (i % 4), 6000)).collect();
+        let before = pool_stats().cow_copies;
+        let (handle, delivered) = run_tap(&frames, true);
+        assert_eq!(delivered, 32);
+        assert_eq!(handle.packets(), 32);
+        assert_eq!(
+            pool_stats().cow_copies,
+            before,
+            "tap must not force copy-on-write on frames in flight"
+        );
+    }
+
+    #[test]
+    fn registered_gauges_read_live_state() {
+        let reg = StatRegistry::new();
+        let (_in_tx, in_rx) = Stream::new(4, 64);
+        let (out_tx, _out_rx) = Stream::new(4, 64);
+        let tap = FlowTap::new(in_rx, out_tx, &FlowmonConfig::default());
+        tap.handle().register_stats(&reg, "flowmon");
+        assert_eq!(reg.get("flowmon.packets"), Some(0));
+        tap.state.borrow_mut().observe(&udp_frame(9, 7000), 70);
+        assert_eq!(reg.get("flowmon.packets"), Some(1));
+        assert_eq!(reg.get("flowmon.flows"), Some(1));
+    }
+}

@@ -16,17 +16,22 @@
 //! * [`telemetry`] — the unified telemetry plane's driver side:
 //!   [`dump_stats`] (full name → value map via the self-describing stat
 //!   block) and [`poll_events`] (link/fault event ring).
+//! * [`flowmon`] — the flow-monitoring plane's driver side:
+//!   [`dump_flows`]/[`top_talkers`] (heavy-hitter table over MMIO) and
+//!   [`stream_deltas`] (counter-delta ring with path resolution).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod controller;
+pub mod flowmon;
 pub mod nic;
 pub mod osnt_tool;
 pub mod router_manager;
 pub mod telemetry;
 
 pub use controller::{BlueSwitchController, RuleSpec};
+pub use flowmon::{dump_flows, stream_deltas, top_talkers};
 pub use nic::NicDriver;
 pub use osnt_tool::{OsntTool, ProbeReport, ProbeRun};
 pub use router_manager::{Interface, RouterManager};

@@ -27,6 +27,12 @@ use std::collections::BTreeMap;
 /// [`StatBlock`](netfpga_core::telemetry::StatBlock) header and name
 /// table at [`TELEMETRY_BASE`] — no hardcoded offsets. Returns an empty
 /// map if no telemetry block is mounted (magic mismatch).
+///
+/// **Ordering contract**: iterating the returned map yields entries
+/// sorted by path — the same order the stat block publishes its value
+/// words and the flow-monitor's delta-ring `stat` indices refer to. Both
+/// the registry (`BTreeMap`-backed) and this map sort by path, so dumps
+/// are byte-stable across runs; a regression test pins this.
 pub fn dump_stats(chassis: &mut Chassis) -> BTreeMap<String, u64> {
     let Some(entries) = decode_stat_block(TELEMETRY_BASE, |a| chassis.read32(a)) else {
         return BTreeMap::new();
@@ -95,6 +101,23 @@ mod tests {
         assert_eq!(map["port1.mac.rx.frames"], 1);
         assert_eq!(map["port0.mac.rx.frames"], 0);
         assert_eq!(map["dma.rx.packets"], 1, "frame crossed the DMA engine");
+    }
+
+    #[test]
+    fn dump_stats_iterates_in_sorted_path_order() {
+        let mut nic = ReferenceNic::new(&BoardSpec::sume(), 4);
+        nic.chassis.run_for(Time::from_us(5));
+        let map = dump_stats(&mut nic.chassis);
+        let paths: Vec<&String> = map.keys().collect();
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted, "dump iterates sorted by path");
+        // And it matches the stat block's own publication order, which
+        // the delta-ring stat indices are defined against.
+        let entries =
+            decode_stat_block(TELEMETRY_BASE, |a| nic.chassis.read32(a)).expect("block");
+        let block_order: Vec<&String> = entries.iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, block_order);
     }
 
     #[test]

@@ -135,6 +135,34 @@ pub enum Step {
         /// Highest acceptable value (inclusive).
         hi: u64,
     },
+    /// Look up `flow` in the flow-monitor's heavy-hitter table (read over
+    /// MMIO through [`netfpga_host::dump_flows`]) and require its packet
+    /// count in `lo..=hi`. An untracked flow reads as 0 packets, so
+    /// `lo == 0` asserts absence-or-quiet. Fails the plan if no
+    /// flow-monitor block is mounted.
+    ExpectFlow {
+        /// The 5-tuple to look up.
+        flow: netfpga_flowmon::FiveTuple,
+        /// Lowest acceptable packet count (inclusive).
+        lo: u64,
+        /// Highest acceptable packet count (inclusive).
+        hi: u64,
+    },
+    /// Read the quantile gauge `{path}.p{q}` (or `{path}.max` when
+    /// `q >= 100`) from the telemetry block and require the value in
+    /// `lo..=hi` — the assertion shape for queue-occupancy histograms,
+    /// whose exact percentiles are load-dependent but whose range proves
+    /// the behaviour (e.g. "p99 depth stayed under the queue limit").
+    ExpectQuantile {
+        /// Histogram path prefix, e.g. `port0.q0.depth`.
+        path: String,
+        /// Percentile (50, 99, ...); 100 and above read the exact max.
+        q: u32,
+        /// Lowest acceptable value (inclusive).
+        lo: u64,
+        /// Highest acceptable value (inclusive).
+        hi: u64,
+    },
 }
 
 /// A named, ordered list of steps.
@@ -240,6 +268,20 @@ impl TestPlan {
     /// name through the auto-mounted stat block.
     pub fn expect_stat(mut self, path: &str, lo: u64, hi: u64) -> Self {
         self.steps.push(Step::ExpectStat { path: path.to_string(), lo, hi });
+        self
+    }
+
+    /// Append: expect `flow`'s packet count in the flow-monitor table to
+    /// read a value in `lo..=hi` (untracked flows read 0).
+    pub fn expect_flow(mut self, flow: netfpga_flowmon::FiveTuple, lo: u64, hi: u64) -> Self {
+        self.steps.push(Step::ExpectFlow { flow, lo, hi });
+        self
+    }
+
+    /// Append: expect the quantile gauge `{path}.p{q}` (`{path}.max` when
+    /// `q >= 100`) to read a value in `lo..=hi`.
+    pub fn expect_quantile(mut self, path: &str, q: u32, lo: u64, hi: u64) -> Self {
+        self.steps.push(Step::ExpectQuantile { path: path.to_string(), q, lo, hi });
         self
     }
 
@@ -466,6 +508,52 @@ pub fn run(plan: &TestPlan, chassis: &mut Chassis) -> TestReport {
                     None => failures.push(format!(
                         "step {i}: stat {path:?} not present in the telemetry block \
                          (is the chassis MMIO bridge attached?)"
+                    )),
+                }
+            }
+            Step::ExpectFlow { flow, lo, hi } => {
+                checks += 1;
+                if chassis.read32(netfpga_flowmon::FLOWMON_BASE) != netfpga_flowmon::FLOWMON_MAGIC
+                {
+                    failures.push(format!(
+                        "step {i}: ExpectFlow on a chassis without a flow-monitor \
+                         block (build it with_flowmon)"
+                    ));
+                } else {
+                    let got = netfpga_host::dump_flows(chassis)
+                        .into_iter()
+                        .find(|r| r.flow == *flow)
+                        .map_or(0, |r| r.packets);
+                    if got < *lo || got > *hi {
+                        failures.push(format!(
+                            "step {i}: flow {flow}: expected {lo}..={hi} packets, got {got}"
+                        ));
+                    }
+                }
+            }
+            Step::ExpectQuantile { path, q, lo, hi } => {
+                checks += 1;
+                let gauge = if *q >= 100 {
+                    format!("{path}.max")
+                } else {
+                    format!("{path}.p{q}")
+                };
+                let table = netfpga_core::telemetry::decode_stat_block(
+                    netfpga_core::telemetry::TELEMETRY_BASE,
+                    |a| chassis.read32(a),
+                );
+                match table.and_then(|t| t.into_iter().find(|(p, _)| *p == gauge)) {
+                    Some((_, addr)) => {
+                        let got = u64::from(chassis.read32(addr));
+                        if got < *lo || got > *hi {
+                            failures.push(format!(
+                                "step {i}: quantile {gauge:?}: expected {lo}..={hi}, got {got}"
+                            ));
+                        }
+                    }
+                    None => failures.push(format!(
+                        "step {i}: quantile gauge {gauge:?} not present in the \
+                         telemetry block (is a flow-monitor histogram registered?)"
                     )),
                 }
             }
@@ -839,6 +927,79 @@ mod tests {
             run(&TestPlan::new("no_plane_await").await_recovery(0, 100), &mut sw.chassis);
         assert!(!report.passed());
         assert!(report.failures[0].contains("without a recovery plane"));
+    }
+
+    #[test]
+    fn flow_and_quantile_steps_drive_the_flowmon_plane() {
+        use netfpga_flowmon::{FiveTuple, FlowmonConfig};
+        use netfpga_packet::Ipv4Address;
+        let mut sw = ReferenceSwitch::with_flowmon(
+            &BoardSpec::sume(),
+            4,
+            1024,
+            Time::from_ms(100),
+            false,
+            FlowmonConfig::default(),
+        );
+        let pkt = |sport: u16| {
+            PacketBuilder::new()
+                .eth(mac(1), mac(2))
+                .ipv4(Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(10, 0, 0, 2))
+                .udp(sport, 80, &[0xee; 40])
+                .build()
+        };
+        let tracked = FiveTuple {
+            src_ip: u32::from_be_bytes([10, 0, 0, 1]),
+            dst_ip: u32::from_be_bytes([10, 0, 0, 2]),
+            src_port: 4000,
+            dst_port: 80,
+            proto: 17,
+        };
+        let absent = FiveTuple { src_port: 9999, ..tracked };
+        let mut plan = TestPlan::new("flowmon_steps");
+        for _ in 0..3 {
+            plan = plan.send_phy(0, pkt(4000));
+            // Each send floods to the three other ports.
+            for port in 1..4 {
+                plan = plan.expect_phy(port, pkt(4000));
+            }
+        }
+        let plan = plan
+            .barrier(Time::from_us(50))
+            .expect_flow(tracked, 3, 3)
+            .expect_flow(absent, 0, 0)
+            .expect_quantile("port1.q0.depth", 99, 0, 16)
+            .expect_quantile("port1.q0.depth", 100, 0, 16)
+            .expect_stat("flowmon.packets", 3, 3);
+        let report = run(&plan, &mut sw.chassis);
+        report.assert_passed();
+        assert_eq!(report.checks, 14);
+
+        // An out-of-range flow count fails with a clear message.
+        let report = run(
+            &TestPlan::new("flow_range").expect_flow(tracked, 7, 9),
+            &mut sw.chassis,
+        );
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("expected 7..=9 packets, got 3"));
+    }
+
+    #[test]
+    fn flowmon_steps_without_the_block_fail_the_plan() {
+        use netfpga_flowmon::FiveTuple;
+        let mut sw = ReferenceSwitch::new(&BoardSpec::sume(), 4, 1024, Time::from_ms(100));
+        let report = run(
+            &TestPlan::new("no_block").expect_flow(FiveTuple::default(), 0, 0),
+            &mut sw.chassis,
+        );
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("without a flow-monitor block"));
+        let report = run(
+            &TestPlan::new("no_gauge").expect_quantile("port0.q0.depth", 99, 0, 10),
+            &mut sw.chassis,
+        );
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("not present"));
     }
 
     #[test]

@@ -538,6 +538,7 @@ impl BlueSwitch {
 
         lookup.register_stats(&chassis.telemetry, "pipeline.lookup");
         oq.register_stats(&chassis.telemetry, "oq");
+        oq.register_depth_gauges(&chassis.telemetry, "");
         {
             type Field = fn(&BlueSwitchCounters) -> u64;
             let fields: [(&str, Field); 5] = [

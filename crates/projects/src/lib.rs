@@ -37,6 +37,9 @@ pub mod reference_switch;
 pub mod switch_lite;
 
 pub use acceptance::AcceptanceTest;
+/// The flow-monitoring plane (re-exported so projects-level consumers
+/// reach `FlowmonConfig` and friends without a separate dependency).
+pub use netfpga_flowmon as flowmon;
 pub use blueswitch::BlueSwitch;
 pub use harness::{Chassis, ChassisIo};
 pub use osnt::OsntTester;

@@ -346,6 +346,40 @@ impl CaptureHandle {
             .collect()
     }
 
+    /// Attribute the raw capture to IPv4 flows: parse every captured
+    /// frame's five-tuple and return per-flow packet/byte totals in
+    /// first-seen order. Non-IPv4 frames (OSNT probes included, which
+    /// ride a raw ethertype) are skipped. This is host-side analysis of
+    /// the capture buffer; the capture hot path is untouched.
+    pub fn flows(&self) -> Vec<netfpga_flowmon::FlowRecord> {
+        use netfpga_flowmon::{FiveTuple, FlowRecord};
+        let shared = self.shared.borrow();
+        let mut out: Vec<FlowRecord> = Vec::new();
+        for (_, f) in shared.frames.iter() {
+            let Some(ft) = FiveTuple::parse(f.bytes()) else { continue };
+            let len = f.len() as u64;
+            match out.iter_mut().find(|r| r.flow == ft) {
+                Some(r) => {
+                    r.packets += 1;
+                    r.bytes += len;
+                    r.estimate += 1;
+                }
+                None => out.push(FlowRecord { flow: ft, packets: 1, bytes: len, estimate: 1 }),
+            }
+        }
+        out
+    }
+
+    /// The `n` largest captured flows by exact packet count (ties broken
+    /// by the flow's total order — deterministic like the flow-monitor's
+    /// [`netfpga_flowmon::FlowRecord::rank_key`] ranking).
+    pub fn top_flows(&self, n: usize) -> Vec<netfpga_flowmon::FlowRecord> {
+        let mut v = self.flows();
+        v.sort_by_key(|r| core::cmp::Reverse(r.rank_key()));
+        v.truncate(n);
+        v
+    }
+
     /// Export the raw capture as a nanosecond pcap stream (the format the
     /// real OSNT capture pipeline hands to analysis tools). Frame payloads
     /// stream straight from the shared capture buffers — no copies.
@@ -645,6 +679,37 @@ mod tests {
         assert_eq!(ts, Time::from_us(3));
         // A non-probe frame does not decode.
         assert!(CaptureEngine::decode(&frame[..60]).is_none());
+    }
+
+    #[test]
+    fn capture_attributes_flows_host_side() {
+        use netfpga_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
+        let cap = CaptureHandle::default();
+        let mk = |last: u8, sport: u16| {
+            PacketBuilder::new()
+                .eth(
+                    EthernetAddress::new(2, 0, 0, 0, 0, 1),
+                    EthernetAddress::new(2, 0, 0, 0, 0, 2),
+                )
+                .ipv4(Ipv4Address::new(10, 0, 0, last), Ipv4Address::new(10, 0, 1, 1))
+                .udp(sport, 80, &[0; 30])
+                .build()
+        };
+        {
+            let mut s = cap.shared.borrow_mut();
+            for _ in 0..3 {
+                s.frames.push((Time::ZERO, PktBuf::copy_from(&mk(1, 1000))));
+            }
+            s.frames.push((Time::ZERO, PktBuf::copy_from(&mk(2, 2000))));
+            // A non-IP frame is skipped by attribution.
+            s.frames.push((Time::ZERO, PktBuf::copy_from(&[0u8; 60])));
+        }
+        let flows = cap.flows();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].packets, 3, "first-seen order");
+        let top = cap.top_flows(1);
+        assert_eq!(top[0].flow.src_port, 1000);
+        assert_eq!(top[0].packets, 3);
     }
 
     #[test]

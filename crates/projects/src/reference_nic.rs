@@ -76,6 +76,7 @@ impl ReferenceNic {
         .with_burst(fast_path);
 
         oq.register_stats(&chassis.telemetry, "oq");
+        oq.register_depth_gauges(&chassis.telemetry, "");
         chassis.add_module(arbiter);
         chassis.add_module(stats_stage);
         chassis.add_module(oq);

@@ -356,6 +356,7 @@ impl ReferenceRouter {
 
         lookup.register_stats(&chassis.telemetry, "pipeline.lookup");
         oq.register_stats(&chassis.telemetry, "oq");
+        oq.register_depth_gauges(&chassis.telemetry, "");
         {
             type Field = fn(&RouterCounters) -> u64;
             let fields: [(&str, Field); 3] = [

@@ -10,7 +10,7 @@ use crate::harness::{Chassis, ChassisIo};
 use netfpga_core::board::BoardSpec;
 use netfpga_core::regs::{shared, AddressMap, RegisterSpace};
 use netfpga_core::resources::ResourceCost;
-use netfpga_core::pktbuf::PktBuf;
+use netfpga_core::pktbuf::{pool_stats, PktBuf};
 use netfpga_core::stream::{Meta, Stream};
 use netfpga_core::time::Time;
 use netfpga_datapath::blocks;
@@ -19,6 +19,11 @@ use netfpga_datapath::queues::{OutputQueues, QueueConfig};
 use netfpga_datapath::sched::Fifo;
 use netfpga_datapath::stage::{PacketLogic, StageAction};
 use netfpga_datapath::{InputArbiter, LearningSwitchCore, PacketStage};
+use netfpga_flowmon::hist::register_quantile_gauges;
+use netfpga_flowmon::{
+    ExporterHandle, FlowExporter, FlowMonHandle, FlowTap, FlowmonConfig, FlowmonRegisters,
+    LogLinearHistogram, FLOWMON_BASE, FLOWMON_SIZE,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -82,6 +87,12 @@ pub struct ReferenceSwitch {
     pub core: Rc<RefCell<LearningSwitchCore>>,
     /// RX statistics handles.
     pub rx_stats: StatsHandles,
+    /// Flow-monitor tap handle, when built with
+    /// [`ReferenceSwitch::with_flowmon`].
+    pub flowmon: Option<FlowMonHandle>,
+    /// Streaming exporter handle (delta ring + Prometheus text), when
+    /// built with [`ReferenceSwitch::with_flowmon`].
+    pub exporter: Option<ExporterHandle>,
 }
 
 impl ReferenceSwitch {
@@ -132,6 +143,43 @@ impl ReferenceSwitch {
         fast_path: bool,
         plan: netfpga_faults::FaultPlan,
     ) -> ReferenceSwitch {
+        ReferenceSwitch::build(spec, nports, table_capacity, age_limit, fast_path, plan, None)
+    }
+
+    /// Like [`ReferenceSwitch::with_fast_path`], with the flow-monitoring
+    /// plane mounted: a zero-copy [`FlowTap`] spliced between the lookup
+    /// stage and the output queues, per-queue depth histograms sampled by
+    /// a periodic [`FlowExporter`], and the self-describing flow-monitor
+    /// MMIO block at [`FLOWMON_BASE`]. Forwarding behaviour is identical
+    /// to a tap-less build; the tap only observes words in flight.
+    pub fn with_flowmon(
+        spec: &BoardSpec,
+        nports: usize,
+        table_capacity: usize,
+        age_limit: Time,
+        fast_path: bool,
+        flowmon: FlowmonConfig,
+    ) -> ReferenceSwitch {
+        ReferenceSwitch::build(
+            spec,
+            nports,
+            table_capacity,
+            age_limit,
+            fast_path,
+            netfpga_faults::FaultPlan::none(),
+            Some(flowmon),
+        )
+    }
+
+    fn build(
+        spec: &BoardSpec,
+        nports: usize,
+        table_capacity: usize,
+        age_limit: Time,
+        fast_path: bool,
+        plan: netfpga_faults::FaultPlan,
+        flowmon: Option<FlowmonConfig>,
+    ) -> ReferenceSwitch {
         let (mut chassis, io) =
             Chassis::with_faults(spec, nports, AddressMap::new(), fast_path, plan);
         let ChassisIo { from_ports, to_ports } = io;
@@ -158,9 +206,21 @@ impl ReferenceSwitch {
             SwitchLookup { core: core.clone() },
         )
         .with_burst(fast_path);
+
+        // With flow monitoring on, the tap splices between the lookup
+        // stage and the output queues; words flow through untouched
+        // (refcount-bumped views), so the datapath is byte-identical.
+        let (tap, oq_input) = match &flowmon {
+            Some(cfg) => {
+                let (tap_tx, tap_rx) = Stream::new(64, w);
+                let tap = FlowTap::new(lookup_rx, tap_tx, cfg).with_burst(fast_path);
+                (Some(tap), tap_rx)
+            }
+            None => (None, lookup_rx),
+        };
         let oq = OutputQueues::new(
             "output_queues",
-            lookup_rx,
+            oq_input,
             to_ports,
             QueueConfig::default(),
             || Box::new(Fifo),
@@ -169,9 +229,57 @@ impl ReferenceSwitch {
 
         lookup.register_stats(&chassis.telemetry, "pipeline.lookup");
         oq.register_stats(&chassis.telemetry, "oq");
+        oq.register_depth_gauges(&chassis.telemetry, "");
+
+        let (mon, exporter_handle) = match (&flowmon, &tap) {
+            (Some(cfg), Some(tap)) => {
+                let mon = tap.handle();
+                mon.register_stats(&chassis.telemetry, "flowmon");
+                let mut exporter = FlowExporter::new(
+                    chassis.telemetry.clone(),
+                    cfg.sample_interval,
+                    cfg.delta_capacity,
+                );
+                // Occupancy series: one histogram per port queue (class 0
+                // under the default config) plus the pktbuf free list —
+                // sampled at export instants, never per packet.
+                for p in 0..nports {
+                    let hist = LogLinearHistogram::shared(cfg.hist_sub_bits);
+                    register_quantile_gauges(
+                        &chassis.telemetry,
+                        &format!("port{p}.q0.depth"),
+                        &hist,
+                    );
+                    let cell = oq.depth_cell(p, 0);
+                    exporter.add_series(hist, move || cell.get());
+                }
+                let pool_hist = LogLinearHistogram::shared(cfg.hist_sub_bits);
+                register_quantile_gauges(&chassis.telemetry, "pool.occupancy", &pool_hist);
+                exporter.add_series(pool_hist, || pool_stats().free);
+                // The snapshot count is deliberately NOT a registry stat:
+                // it moves on every sample, which would read as perpetual
+                // activity to the exporter's own idle backoff (and push a
+                // self-delta each interval). It stays visible through the
+                // MMIO block (`+0x2C`) and the handle.
+                let handle = exporter.handle();
+                chassis.map.mount(
+                    "flowmon",
+                    FLOWMON_BASE,
+                    FLOWMON_SIZE,
+                    shared(FlowmonRegisters::new(mon.clone(), handle.clone())),
+                );
+                chassis.add_module(exporter);
+                (Some(mon), Some(handle))
+            }
+            _ => (None, None),
+        };
+
         chassis.add_module(arbiter);
         chassis.add_module(stats_stage);
         chassis.add_module(lookup);
+        if let Some(tap) = tap {
+            chassis.add_module(tap);
+        }
         chassis.add_module(oq);
 
         chassis.map.mount(
@@ -190,7 +298,7 @@ impl ReferenceSwitch {
         LearningSwitchCore::register_stats(&core, &chassis.telemetry, "lookup");
         chassis.attach_mmio();
 
-        ReferenceSwitch { chassis, core, rx_stats }
+        ReferenceSwitch { chassis, core, rx_stats, flowmon: mon, exporter: exporter_handle }
     }
 
     /// Approximate FPGA cost (experiment E7).
@@ -351,6 +459,86 @@ mod tests {
             let learned = sw.chassis.read32(LOOKUP_BASE + 8);
             let rx_packets = sw.chassis.read32(STATS_BASE);
             (per_port, hits, floods, learned, rx_packets)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    fn udp(src: u8, dst: u8, sport: u16) -> Vec<u8> {
+        use netfpga_packet::Ipv4Address;
+        PacketBuilder::new()
+            .eth(mac(src), mac(dst))
+            .ipv4(Ipv4Address::new(10, 0, 0, src), Ipv4Address::new(10, 0, 0, dst))
+            .udp(sport, 80, &[0xab; 40])
+            .build()
+    }
+
+    #[test]
+    fn flowmon_switch_accounts_flows_end_to_end() {
+        let mut sw = ReferenceSwitch::with_flowmon(
+            &BoardSpec::sume(),
+            4,
+            1024,
+            Time::from_ms(100),
+            false,
+            FlowmonConfig::default(),
+        );
+        let mon = sw.flowmon.clone().expect("flowmon mounted");
+        // Three flows with distinct packet counts: 6, 3, 1.
+        for _ in 0..6 {
+            sw.chassis.send(0, udp(1, 2, 1000));
+        }
+        for _ in 0..3 {
+            sw.chassis.send(1, udp(2, 1, 2000));
+        }
+        sw.chassis.send(2, udp(3, 1, 3000));
+        // Long enough for delivery plus at least one exporter sample at
+        // the default 50 µs cadence.
+        sw.chassis.run_for(Time::from_us(150));
+        assert_eq!(mon.packets(), 10);
+        assert_eq!(mon.tracked(), 3);
+        let top = mon.top_talkers(2);
+        assert_eq!(top[0].packets, 6);
+        assert_eq!((top[0].flow.src_port, top[1].flow.src_port), (1000, 2000));
+        // The MMIO block self-describes and matches the handle.
+        assert_eq!(sw.chassis.read32(FLOWMON_BASE), netfpga_flowmon::FLOWMON_MAGIC);
+        assert_eq!(sw.chassis.read32(FLOWMON_BASE + 0x10), 3, "flows tracked");
+        assert_eq!(sw.chassis.read32(FLOWMON_BASE + 0x14), 10, "packets");
+        // Quantile gauges exist and the exporter has sampled.
+        let exp = sw.exporter.clone().expect("exporter mounted");
+        assert!(exp.snapshots() > 0, "exporter sampled during the run");
+        let prom = exp.prometheus();
+        assert!(prom.contains("netfpga_flowmon_packets 10\n"), "{prom}");
+        assert!(prom.contains("netfpga_port0_q0_depth_p99 "));
+    }
+
+    /// The tap must be invisible to forwarding: same frames on the same
+    /// ports, same learning evolution, same lookup counters as a
+    /// flowmon-less build.
+    #[test]
+    fn flowmon_tap_is_functionally_invisible() {
+        let run = |flowmon: bool| {
+            let mut sw = if flowmon {
+                ReferenceSwitch::with_flowmon(
+                    &BoardSpec::sume(),
+                    4,
+                    1024,
+                    Time::from_ms(100),
+                    false,
+                    FlowmonConfig::default(),
+                )
+            } else {
+                switch()
+            };
+            let flows = [(0u8, 1u8, 2u8), (2, 2, 1), (1, 3, 2), (0, 1, 3)];
+            for &(port, src, dst) in &flows {
+                sw.chassis.send(usize::from(port), udp(src, dst, 4000));
+                sw.chassis.run_for(Time::from_us(10));
+            }
+            sw.chassis.run_for(Time::from_us(50));
+            let per_port: Vec<Vec<Vec<u8>>> = (0..4).map(|p| sw.chassis.recv(p)).collect();
+            let hits = sw.chassis.read32(LOOKUP_BASE);
+            let floods = sw.chassis.read32(LOOKUP_BASE + 4);
+            (per_port, hits, floods)
         };
         assert_eq!(run(false), run(true));
     }

@@ -151,6 +151,65 @@ fn router_exception_to_dma() {
     run(&plan, &mut r.chassis).assert_passed();
 }
 
+/// Flow-monitoring conformance: the switch with the tap spliced in still
+/// forwards identically, and the plan asserts per-flow packet counts and
+/// queue-depth quantiles purely through `expect_flow`/`expect_quantile` —
+/// MMIO table walks and name-resolved gauges, no back-door state access.
+#[test]
+fn flowmon_conformance() {
+    use netfpga_projects::flowmon::{FiveTuple, FlowmonConfig};
+    let mut sw = ReferenceSwitch::with_flowmon(
+        &BoardSpec::sume(),
+        4,
+        1024,
+        Time::from_ms(100),
+        false,
+        FlowmonConfig::default(),
+    );
+    let udp = |sport: u16, npad: u8| {
+        PacketBuilder::new()
+            .eth(mac(1), mac(2))
+            .ipv4(ip("192.168.0.1"), ip("192.168.0.2"))
+            .udp(sport, 53, &vec![0x5a; usize::from(npad)])
+            .build()
+    };
+    let tuple = |sport: u16| FiveTuple {
+        src_ip: u32::from_be_bytes([192, 168, 0, 1]),
+        dst_ip: u32::from_be_bytes([192, 168, 0, 2]),
+        src_port: sport,
+        dst_port: 53,
+        proto: 17,
+    };
+    let mut plan = TestPlan::new("flowmon_conformance");
+    // Elephant flow: 4 packets on sport 1000; mouse: 1 packet on 2000.
+    for _ in 0..4 {
+        plan = plan.send_phy(0, udp(1000, 64));
+        for port in 1..4 {
+            plan = plan.expect_phy(port, udp(1000, 64));
+        }
+    }
+    plan = plan.send_phy(0, udp(2000, 32));
+    for port in 1..4 {
+        plan = plan.expect_phy(port, udp(2000, 32));
+    }
+    let plan = plan
+        .barrier(Time::from_us(80))
+        .expect_flow(tuple(1000), 4, 4)
+        .expect_flow(tuple(2000), 1, 1)
+        .expect_flow(tuple(3000), 0, 0)
+        .expect_stat("flowmon.packets", 5, 5)
+        .expect_stat("flowmon.flows", 2, 2)
+        .expect_stat("flowmon.non_ip", 0, 0)
+        // Queues drained by the end of the run: p50 and max are bounded
+        // by the small burst we offered.
+        .expect_quantile("port1.q0.depth", 50, 0, 8)
+        .expect_quantile("port1.q0.depth", 100, 0, 16)
+        .expect_quantile("pool.occupancy", 99, 1, u64::MAX);
+    let report = run(&plan, &mut sw.chassis);
+    report.assert_passed();
+    assert_eq!(report.checks, 15 + 9);
+}
+
 /// One plan, two designs: the same flood test runs unchanged against two
 /// different switch instances (different table sizes) — the "unified test"
 /// property itself.
