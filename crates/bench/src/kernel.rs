@@ -70,6 +70,13 @@ pub struct KernelRun {
     /// run: shared buffers that were actually rewritten. Pure forwarding
     /// and flooding keep this at zero.
     pub cow_copies: u64,
+    /// Activity probes the kernel served from a clean cached bound instead
+    /// of re-querying the module (the fused-dispatch win: on the naive
+    /// scan this is always zero).
+    pub probes_avoided: u64,
+    /// Cache re-queries forced by an edge-triggered wake (pushes, host
+    /// posts, injections landing on an idle module).
+    pub invalidations: u64,
 }
 
 impl KernelRun {
@@ -159,7 +166,7 @@ fn learned_switch(config: KernelConfig) -> ReferenceSwitch {
 /// Snapshot of the chassis state a measurement is deltaed against.
 struct RunBase {
     cycles: u64,
-    steps: u64,
+    kernel: netfpga_core::sim::KernelStats,
     cow: u64,
     started: Instant,
 }
@@ -168,19 +175,22 @@ impl RunBase {
     fn begin(sw: &ReferenceSwitch) -> RunBase {
         RunBase {
             cycles: sw.chassis.sim.cycles(sw.chassis.clk),
-            steps: sw.chassis.sim.steps_executed(),
+            kernel: sw.chassis.sim.kernel_stats(),
             cow: pktbuf::pool_stats().cow_copies,
             started: Instant::now(),
         }
     }
 
     fn finish(self, sw: &ReferenceSwitch, frames: u64) -> KernelRun {
+        let k = sw.chassis.sim.kernel_stats();
         KernelRun {
             edges: sw.chassis.sim.cycles(sw.chassis.clk) - self.cycles,
-            steps: sw.chassis.sim.steps_executed() - self.steps,
+            steps: k.steps - self.kernel.steps,
             wall: self.started.elapsed(),
             frames,
             cow_copies: pktbuf::pool_stats().cow_copies - self.cow,
+            probes_avoided: k.probes_avoided - self.kernel.probes_avoided,
+            invalidations: k.invalidations - self.kernel.invalidations,
         }
     }
 }
@@ -382,6 +392,7 @@ mod tests {
     fn fast_kernel_skips_edges() {
         let naive = saturated(KernelConfig::Naive, 40);
         assert_eq!(naive.steps, naive.edges, "naive kernel steps everything");
+        assert_eq!(naive.probes_avoided, 0, "the scan reference re-queries every module");
         let fast = saturated(KernelConfig::Fast, 40);
         assert!(
             fast.steps < fast.edges / 2,
@@ -389,5 +400,10 @@ mod tests {
             fast.steps,
             fast.edges
         );
+        assert!(
+            fast.probes_avoided > 0,
+            "fused dispatch must serve activity probes from cache"
+        );
+        assert!(fast.invalidations > 0, "pushes must wake cached modules");
     }
 }

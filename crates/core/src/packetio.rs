@@ -7,7 +7,7 @@
 //! MAC models in `netfpga-phy` add wire-rate pacing on top.
 
 use crate::pktbuf::PktBuf;
-use crate::sim::{Module, TickContext};
+use crate::sim::{Module, TickContext, WakeHandle};
 use crate::stream::{segment_buf, Meta, PortMask, Reassembler, StreamRx, StreamTx};
 use crate::time::Time;
 use std::cell::RefCell;
@@ -22,6 +22,9 @@ type SharedPacketQueue = Rc<RefCell<VecDeque<(PktBuf, Meta)>>>;
 #[derive(Debug, Clone, Default)]
 pub struct InjectQueue {
     inner: SharedPacketQueue,
+    /// The owning [`PacketSource`]'s activity-cache flag: injections are
+    /// the only external channel that can un-idle a source.
+    wake: Rc<RefCell<Option<WakeHandle>>>,
 }
 
 impl InjectQueue {
@@ -35,6 +38,9 @@ impl InjectQueue {
         let packet = packet.into();
         assert!(!packet.is_empty(), "empty packet");
         self.inner.borrow_mut().push_back((packet, meta));
+        if let Some(w) = &*self.wake.borrow() {
+            w.wake();
+        }
     }
 
     /// Queue a packet arriving on `src_port`; length is filled in and the
@@ -66,12 +72,16 @@ pub struct PacketSource {
     current: VecDeque<crate::stream::Word>,
     sent_packets: u64,
     sent_bytes: u64,
+    /// Activity-cache invalidation flag, registered on the inject queue.
+    wake: WakeHandle,
 }
 
 impl PacketSource {
     /// Create a source feeding `tx`, returning the source and its queue.
     pub fn new(name: &str, tx: StreamTx) -> (PacketSource, InjectQueue) {
         let queue = InjectQueue::new();
+        let wake = WakeHandle::new();
+        *queue.wake.borrow_mut() = Some(wake.clone());
         (
             PacketSource {
                 name: name.to_string(),
@@ -80,6 +90,7 @@ impl PacketSource {
                 current: VecDeque::new(),
                 sent_packets: 0,
                 sent_bytes: 0,
+                wake,
             },
             queue,
         )
@@ -133,6 +144,12 @@ impl Module for PacketSource {
     /// any future edge until a packet is injected.
     fn is_quiescent(&self) -> bool {
         self.idle()
+    }
+
+    /// Only injections can un-idle a source; downstream space never changes
+    /// its classification (in-flight words keep it active either way).
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 
@@ -200,18 +217,23 @@ pub struct PacketSink {
     rx: StreamRx,
     reasm: Reassembler,
     buffer: CaptureBuffer,
+    /// Activity-cache invalidation flag, registered on the input stream.
+    wake: WakeHandle,
 }
 
 impl PacketSink {
     /// Create a sink draining `rx`, returning the sink and its buffer.
     pub fn new(name: &str, rx: StreamRx) -> (PacketSink, CaptureBuffer) {
         let buffer = CaptureBuffer::new();
+        let wake = WakeHandle::new();
+        rx.set_wake(wake.clone());
         (
             PacketSink {
                 name: name.to_string(),
                 rx,
                 reasm: Reassembler::new(),
                 buffer: buffer.clone(),
+                wake,
             },
             buffer,
         )
@@ -248,6 +270,11 @@ impl Module for PacketSink {
     /// (even mid-packet: reassembly only advances on a popped word).
     fn is_quiescent(&self) -> bool {
         !self.rx.can_pop()
+    }
+
+    /// Only upstream pushes can un-idle a sink.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

@@ -47,10 +47,36 @@
 //! `run_cycles` then fast-forward — advancing `now` and every cycle
 //! counter arithmetically to exactly the state the naive loop would have
 //! reached, without executing the intervening edges.
+//!
+//! # Cached activity bounds (edge-triggered invalidation)
+//!
+//! Re-asking every module for `is_quiescent`/`next_activity` on every
+//! probe is itself a full scan — on all-busy workloads it costs almost as
+//! much as ticking. The fused dispatchers (calendar and heap; everything
+//! except the [`SchedulerMode::Scan`] reference) therefore *cache* each
+//! module's classification and only re-query it when something could have
+//! changed it:
+//!
+//! * a module that exposes a [`WakeHandle`] (via [`Module::wake_handle`])
+//!   is re-queried only when the flag is dirty — streams, wires and
+//!   host-side handles mark the consuming module dirty on every push,
+//!   so an untouched module's bound is served from the cache;
+//! * after a module ticks, its cache is refreshed in place — the dispatch
+//!   sweep doubles as the activity probe, so `run_until` never re-scans;
+//! * modules without a handle (the default) are simply re-queried every
+//!   time: out-of-tree modules keep working, at scan cost.
+//!
+//! Debug builds verify the protocol: serving a clean cache re-queries the
+//! module anyway and asserts the classification did not drift, so a
+//! module that mutates activity-relevant state without waking fails loudly
+//! instead of silently skipping work.
 
+use crate::stats::Counter;
 use crate::time::{Frequency, Time};
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// Per-tick context handed to every module.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +89,53 @@ pub struct TickContext {
     /// count into an absolute instant — e.g. to stamp the release time of a
     /// fixed-latency pipeline for [`Module::next_activity`].
     pub period: Time,
+}
+
+/// Edge-triggered invalidation flag shared between a module and the
+/// kernel's activity cache.
+///
+/// A module that opts into cached activity bounds creates one handle,
+/// registers clones of it on every channel that can change its activity
+/// (input streams, wires, host-side queues — anything external that its
+/// [`Module::is_quiescent`]/[`Module::next_activity`] answers depend on),
+/// and returns it from [`Module::wake_handle`]. Whenever such a channel is
+/// written, [`WakeHandle::wake`] marks the cached classification dirty and
+/// the kernel re-queries the module before trusting it again.
+///
+/// Handles are born dirty, so a freshly built module is always queried at
+/// least once. Waking is a single `Cell<bool>` store — cheap enough for
+/// every stream push.
+#[derive(Clone, Debug)]
+pub struct WakeHandle(Rc<Cell<bool>>);
+
+impl WakeHandle {
+    /// A new handle, born dirty.
+    pub fn new() -> WakeHandle {
+        WakeHandle(Rc::new(Cell::new(true)))
+    }
+
+    /// Mark the owning module's cached activity bound dirty.
+    #[inline]
+    pub fn wake(&self) {
+        self.0.set(true);
+    }
+
+    /// Whether a wake happened since the flag was last cleared.
+    pub fn is_dirty(&self) -> bool {
+        self.0.get()
+    }
+
+    /// Clear the dirty flag (after a re-query that supersedes any wake).
+    #[inline]
+    fn clear(&self) {
+        self.0.set(false);
+    }
+}
+
+impl Default for WakeHandle {
+    fn default() -> WakeHandle {
+        WakeHandle::new()
+    }
 }
 
 /// A hardware building block driven by a clock edge.
@@ -110,6 +183,20 @@ pub trait Module {
     fn next_activity(&self) -> Option<Time> {
         None
     }
+
+    /// Opt into cached activity bounds: return (a clone of) the
+    /// [`WakeHandle`] this module registered on all of its external input
+    /// channels. The kernel then caches the module's
+    /// `is_quiescent`/`next_activity` classification and re-queries it only
+    /// after a tick or a wake, instead of on every probe and every edge.
+    ///
+    /// Default: `None` — the module is re-queried every time (scan cost),
+    /// which is always correct. Only return a handle if **every** channel
+    /// that can change this module's activity wakes it; a missed channel
+    /// means skipped work (loud in debug builds, silent in release).
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        None
+    }
 }
 
 /// Snapshot of the module population for fast-forward decisions.
@@ -126,12 +213,146 @@ enum Activity {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClockId(usize);
 
-struct Domain {
+/// One module's cached classification: what its last
+/// `is_quiescent`/`next_activity` query answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cached {
+    /// Quiescent: inert at every future edge until an input changes.
+    Quiescent,
+    /// Inert at every edge strictly before the instant.
+    Bounded(Time),
+    /// Must tick at the very next edge of its domain.
+    Active,
+}
+
+/// A registered module plus the kernel-side state of its activity cache.
+struct ModuleSlot {
+    module: Box<dyn Module>,
+    /// The module's invalidation flag, when it opted in.
+    wake: Option<WakeHandle>,
+    /// Last classification; meaningful only while `wake` is `Some` and
+    /// clean (modules without a handle are re-queried every time).
+    cached: Cached,
+    /// The module ticked since `cached` was last queried. Only ever set
+    /// while `cached` is `Active`: the dispatch sweep re-ticks such a
+    /// module without a fresh classification (a tick of a module that
+    /// meanwhile went idle is the very no-op the reference executes), and
+    /// only the activity fold — which early-exits on the first `Active`
+    /// verdict — pays the re-query.
+    stale: bool,
+}
+
+impl ModuleSlot {
+    fn new(module: Box<dyn Module>) -> ModuleSlot {
+        let wake = module.wake_handle();
+        if let Some(w) = &wake {
+            w.wake();
+        }
+        ModuleSlot { module, wake, cached: Cached::Active, stale: false }
+    }
+
+    /// Fresh classification straight from the module.
+    fn query(module: &dyn Module) -> Cached {
+        if module.is_quiescent() {
+            Cached::Quiescent
+        } else {
+            match module.next_activity() {
+                Some(t) => Cached::Bounded(t),
+                None => Cached::Active,
+            }
+        }
+    }
+
+    /// Current classification: served from the cache when the wake flag is
+    /// clean, re-queried when dirty. Modules without a handle (the default
+    /// adapter) are re-queried every time — correct at scan cost.
+    /// The clean-cache (steady-state) path runs once per module per
+    /// executed edge, so it stays read-only on the flag and batches its
+    /// counter into `probes_avoided`, which the caller flushes once per
+    /// sweep.
+    fn classify(&mut self, stats: &KernelStatCells, probes_avoided: &mut u64) -> Cached {
+        let Some(wake) = &self.wake else {
+            return Self::query(&*self.module);
+        };
+        if self.stale || wake.is_dirty() {
+            wake.clear();
+            self.stale = false;
+            self.cached = Self::query(&*self.module);
+            stats.invalidations.incr();
+        } else {
+            *probes_avoided += 1;
+            // Contract check: a clean flag promises the module's activity
+            // did not change since the last query. A module that mutated
+            // activity-relevant state without waking would silently skip
+            // work in release builds — fail loudly here instead.
+            debug_assert_eq!(
+                Self::query(&*self.module),
+                self.cached,
+                "module `{}` changed its activity classification without a \
+                 tick or a wake (missing WakeHandle::wake on some input \
+                 channel?)",
+                self.module.name()
+            );
+        }
+        self.cached
+    }
+
+    /// Refresh the cache right after this module ticked — the fused probe:
+    /// the dispatch sweep doubles as the activity scan, so steady-state
+    /// probes are pure cache reads.
+    fn refresh(&mut self) {
+        if let Some(wake) = &self.wake {
+            wake.clear();
+            self.stale = false;
+            self.cached = Self::query(&*self.module);
+        }
+    }
+
+    /// Force a re-query at the next classification (reset, re-registration).
+    fn invalidate(&mut self) {
+        if let Some(wake) = &self.wake {
+            wake.wake();
+        }
+        self.stale = false;
+        self.cached = Cached::Active;
+    }
+}
+
+struct DomainState {
     name: String,
     period: Time,
     next_edge: Time,
     cycle: u64,
-    modules: Vec<Box<dyn Module>>,
+    slots: Vec<ModuleSlot>,
+}
+
+impl DomainState {
+    /// Fold the domain's cached module classifications into one summary,
+    /// early-exiting on the first `Active` module — nothing a later module
+    /// reports can loosen an `Active` verdict.
+    fn activity(&mut self, stats: &KernelStatCells) -> Cached {
+        let mut bound: Option<Time> = None;
+        let mut avoided = 0u64;
+        let mut verdict = Cached::Quiescent;
+        for s in &mut self.slots {
+            match s.classify(stats, &mut avoided) {
+                Cached::Active => {
+                    verdict = Cached::Active;
+                    break;
+                }
+                Cached::Quiescent => {}
+                Cached::Bounded(t) => bound = Some(bound.map_or(t, |b| b.min(t))),
+            }
+        }
+        stats.probes_avoided.add(avoided);
+        if matches!(verdict, Cached::Active) {
+            return Cached::Active;
+        }
+        match bound {
+            None => Cached::Quiescent,
+            Some(t) => Cached::Bounded(t),
+        }
+    }
 }
 
 /// How the simulator finds the next clock edge. All modes produce exactly
@@ -231,6 +452,40 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
     a
 }
 
+/// Shared counter cells behind [`Simulator::kernel_stats`].
+///
+/// Clones are live handles onto the same cells, so a harness can mount
+/// them as telemetry gauges (`kernel.steps`, `kernel.skips`, …) without
+/// borrowing the simulator.
+#[derive(Debug, Clone, Default)]
+pub struct KernelStatCells {
+    /// Edges executed via [`Simulator::step`].
+    pub steps: Counter,
+    /// Per-domain edges fast-forwarded without dispatch (quiescent or
+    /// time-blocked stretches).
+    pub skips: Counter,
+    /// Module classifications served from a clean cache — each one a
+    /// `is_quiescent`/`next_activity` virtual probe that never ran —
+    /// plus stale-`Active` re-ticks dispatched without any probe at all.
+    pub probes_avoided: Counter,
+    /// Cache re-queries, forced by a wake (edge-triggered invalidation)
+    /// or by the module's own tick since the last query.
+    pub invalidations: Counter,
+}
+
+/// Snapshot of the kernel's own work counters (see [`KernelStatCells`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelStats {
+    /// Edges executed via [`Simulator::step`].
+    pub steps: u64,
+    /// Per-domain edges fast-forwarded without dispatch.
+    pub skips: u64,
+    /// Module probes served from a clean activity cache.
+    pub probes_avoided: u64,
+    /// Cache re-queries forced by a wake.
+    pub invalidations: u64,
+}
+
 /// The discrete-time simulator owning all modules.
 ///
 /// ```
@@ -249,15 +504,14 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
 /// sim.run_cycles(clk, 100);
 /// ```
 pub struct Simulator {
-    domains: Vec<Domain>,
+    domains: Vec<DomainState>,
     now: Time,
     mode: SchedulerMode,
     sched: SchedState,
     /// Master switch for quiescence skipping and fast-forward.
     idle_skip: bool,
-    /// Edges actually executed by [`Simulator::step`] (skipped edges are
-    /// not counted) — the kernel's own work metric.
-    steps_executed: u64,
+    /// The kernel's own work counters (steps, skips, cache traffic).
+    stats: KernelStatCells,
 }
 
 impl Default for Simulator {
@@ -268,7 +522,7 @@ impl Default for Simulator {
             mode: SchedulerMode::Auto,
             sched: SchedState::Invalid,
             idle_skip: true,
-            steps_executed: 0,
+            stats: KernelStatCells::default(),
         }
     }
 }
@@ -324,12 +578,12 @@ impl Simulator {
     /// (time 0 is reset release, not an edge).
     pub fn add_clock(&mut self, name: &str, freq: Frequency) -> ClockId {
         let period = freq.period();
-        self.domains.push(Domain {
+        self.domains.push(DomainState {
             name: name.to_string(),
             period,
             next_edge: self.now + period,
             cycle: 0,
-            modules: Vec::new(),
+            slots: Vec::new(),
         });
         self.sched = SchedState::Invalid;
         ClockId(self.domains.len() - 1)
@@ -338,12 +592,12 @@ impl Simulator {
     /// Register a module on a clock domain. Modules tick in registration
     /// order within a domain.
     pub fn add_module(&mut self, clock: ClockId, module: impl Module + 'static) {
-        self.domains[clock.0].modules.push(Box::new(module));
+        self.add_boxed_module(clock, Box::new(module));
     }
 
     /// Register a boxed module (for heterogeneous construction code).
     pub fn add_boxed_module(&mut self, clock: ClockId, module: Box<dyn Module>) {
-        self.domains[clock.0].modules.push(module);
+        self.domains[clock.0].slots.push(ModuleSlot::new(module));
     }
 
     /// Current simulated time.
@@ -361,7 +615,25 @@ impl Simulator {
     /// counters without being counted here, so `cycles - steps_executed`
     /// of a domain's edges were skipped — the fast path's skip ratio.
     pub fn steps_executed(&self) -> u64 {
-        self.steps_executed
+        self.stats.steps.get()
+    }
+
+    /// Snapshot of the kernel's own work counters: executed steps, edges
+    /// fast-forwarded, activity probes served from cache, and wake-forced
+    /// cache invalidations.
+    pub fn kernel_stats(&self) -> KernelStats {
+        KernelStats {
+            steps: self.stats.steps.get(),
+            skips: self.stats.skips.get(),
+            probes_avoided: self.stats.probes_avoided.get(),
+            invalidations: self.stats.invalidations.get(),
+        }
+    }
+
+    /// Live handles onto the kernel counters, for mounting as telemetry
+    /// gauges.
+    pub fn kernel_stat_cells(&self) -> KernelStatCells {
+        self.stats.clone()
     }
 
     /// The period of a domain.
@@ -378,8 +650,9 @@ impl Simulator {
     /// `now`; edges restart one period out).
     pub fn reset(&mut self) {
         for d in &mut self.domains {
-            for m in &mut d.modules {
-                m.reset();
+            for s in &mut d.slots {
+                s.module.reset();
+                s.invalidate();
             }
             d.cycle = 0;
             d.next_edge = self.now + d.period;
@@ -391,19 +664,46 @@ impl Simulator {
     /// with no modules). While this holds, no tick can have an effect at any
     /// future edge, so simulated time may be skipped wholesale.
     pub fn all_quiescent(&self) -> bool {
-        self.domains.iter().all(|d| d.modules.iter().all(|m| m.is_quiescent()))
+        self.domains.iter().all(|d| d.slots.iter().all(|s| s.module.is_quiescent()))
     }
 
     /// Classify the module population: fully quiescent, time-blocked until
     /// the earliest [`Module::next_activity`] bound, or actively working.
-    fn activity(&self) -> Activity {
+    ///
+    /// Everything except the unfused [`SchedulerMode::Scan`] reference
+    /// serves the classification from the per-module caches (see
+    /// [`ModuleSlot::classify`]); the dispatch sweep refreshed them after
+    /// every tick, so in steady state this is a scan-free fold.
+    fn activity(&mut self) -> Activity {
+        if matches!(self.mode, SchedulerMode::Scan) {
+            return self.activity_unfused();
+        }
+        let mut bound: Option<Time> = None;
+        let stats = &self.stats;
+        for d in &mut self.domains {
+            match d.activity(stats) {
+                Cached::Active => return Activity::Active,
+                Cached::Quiescent => {}
+                Cached::Bounded(t) => bound = Some(bound.map_or(t, |b| b.min(t))),
+            }
+        }
+        match bound {
+            None => Activity::AllQuiescent,
+            Some(t) => Activity::BlockedUntil(t),
+        }
+    }
+
+    /// The unfused reference probe: re-query every module, no caches. Kept
+    /// verbatim as the executable specification the fused path is verified
+    /// against (it is what [`SchedulerMode::Scan`] runs).
+    fn activity_unfused(&self) -> Activity {
         let mut bound: Option<Time> = None;
         for d in &self.domains {
-            for m in &d.modules {
-                if m.is_quiescent() {
+            for s in &d.slots {
+                if s.module.is_quiescent() {
                     continue;
                 }
-                match m.next_activity() {
+                match s.module.next_activity() {
                     None => return Activity::Active,
                     Some(t) => bound = Some(bound.map_or(t, |b| b.min(t))),
                 }
@@ -493,13 +793,57 @@ impl Simulator {
 
     /// Tick every module of domain `idx` at instant `edge` and schedule the
     /// domain's next edge.
-    fn dispatch_domain(domains: &mut [Domain], idx: usize, edge: Time, idle_skip: bool) {
+    ///
+    /// The fused dispatchers consult the activity cache per module: a
+    /// quiescent module is skipped (as before), and a time-blocked module
+    /// whose bound lies strictly after `edge` is skipped too — its tick is
+    /// a proven no-op, which the pre-cache kernel executed anyway. Every
+    /// module that does tick has its cache refreshed in place, fusing the
+    /// activity probe into this sweep. The unfused `Scan` reference keeps
+    /// the original per-edge `is_quiescent` re-query.
+    fn dispatch_domain(
+        domains: &mut [DomainState],
+        idx: usize,
+        edge: Time,
+        idle_skip: bool,
+        fused: bool,
+        stats: &KernelStatCells,
+    ) {
         let d = &mut domains[idx];
         let ctx = TickContext { now: edge, cycle: d.cycle, period: d.period };
-        for m in &mut d.modules {
-            if !idle_skip || !m.is_quiescent() {
-                m.tick(&ctx);
+        let mut avoided = 0u64;
+        for s in &mut d.slots {
+            if fused && idle_skip {
+                if s.stale {
+                    // Last classified `Active` and ticked since: tick again
+                    // without re-classifying. If it meanwhile went idle the
+                    // tick is the same no-op the reference executes; the
+                    // activity fold re-queries before any fast-forward.
+                    s.module.tick(&ctx);
+                    avoided += 1;
+                    continue;
+                }
+                let run = match s.classify(stats, &mut avoided) {
+                    Cached::Quiescent => false,
+                    Cached::Bounded(t) => t <= edge,
+                    Cached::Active => true,
+                };
+                if run {
+                    s.module.tick(&ctx);
+                    if s.wake.is_some() && matches!(s.cached, Cached::Active) {
+                        // Steady-state streaming: no bound to learn, so
+                        // defer the re-query to the next activity fold.
+                        s.stale = true;
+                    } else {
+                        s.refresh();
+                    }
+                }
+            } else if !idle_skip || !s.module.is_quiescent() {
+                s.module.tick(&ctx);
             }
+        }
+        if avoided > 0 {
+            stats.probes_avoided.add(avoided);
         }
         d.cycle += 1;
         d.next_edge = edge + d.period;
@@ -511,9 +855,10 @@ impl Simulator {
         if self.domains.is_empty() {
             return None;
         }
-        self.steps_executed += 1;
+        self.stats.steps.incr();
         self.ensure_sched();
         let idle_skip = self.idle_skip;
+        let fused = !matches!(self.mode, SchedulerMode::Scan);
         let edge = match &mut self.sched {
             SchedState::Scan => {
                 let edge = self.domains.iter().map(|d| d.next_edge).min()?;
@@ -521,7 +866,14 @@ impl Simulator {
                 // creation order, so co-incident edges are deterministic.
                 for i in 0..self.domains.len() {
                     if self.domains[i].next_edge == edge {
-                        Self::dispatch_domain(&mut self.domains, i, edge, idle_skip);
+                        Self::dispatch_domain(
+                            &mut self.domains,
+                            i,
+                            edge,
+                            idle_skip,
+                            fused,
+                            &self.stats,
+                        );
                     }
                 }
                 edge
@@ -530,7 +882,14 @@ impl Simulator {
                 let edge = cal.next_edge();
                 for j in 0..cal.slots[cal.cursor].domains.len() {
                     let idx = cal.slots[cal.cursor].domains[j] as usize;
-                    Self::dispatch_domain(&mut self.domains, idx, edge, idle_skip);
+                    Self::dispatch_domain(
+                        &mut self.domains,
+                        idx,
+                        edge,
+                        idle_skip,
+                        fused,
+                        &self.stats,
+                    );
                 }
                 cal.advance();
                 edge
@@ -544,7 +903,14 @@ impl Simulator {
                         break;
                     }
                     heap.pop();
-                    Self::dispatch_domain(&mut self.domains, idx, edge, idle_skip);
+                    Self::dispatch_domain(
+                        &mut self.domains,
+                        idx,
+                        edge,
+                        idle_skip,
+                        fused,
+                        &self.stats,
+                    );
                     heap.push(Reverse((self.domains[idx].next_edge, idx)));
                 }
                 edge
@@ -574,13 +940,16 @@ impl Simulator {
     /// without ticking any module, leaving exactly the state the naive edge
     /// loop would have produced. Callers must ensure `all_quiescent()`.
     fn skip_edges_through(&mut self, to: Time) {
+        let mut skipped = 0u64;
         for d in &mut self.domains {
             if d.next_edge <= to {
                 let k = (to.as_ps() - d.next_edge.as_ps()) / d.period.as_ps() + 1;
                 d.cycle += k;
                 d.next_edge += Time::from_ps(k * d.period.as_ps());
+                skipped += k;
             }
         }
+        self.stats.skips.add(skipped);
         self.now = to;
         self.resync_sched();
     }
@@ -609,12 +978,10 @@ impl Simulator {
     /// observable via [`Simulator::now`] and is identical in every scheduler
     /// mode, fast-forwarded or not).
     pub fn run_until(&mut self, deadline: Time) {
-        // While probes keep answering "active", step geometrically longer
-        // bursts of edges (capped) before probing again: the probe costs a
-        // full module scan, and stepping an edge that *would* have been
-        // skippable is always correct — it just executes no-op ticks the
-        // naive loop would have executed anyway.
-        let mut probe_burst: u32 = 1;
+        // One probe per step: with the probe fused into the dispatch pass
+        // (cached bounds, refreshed as modules tick), a probe is a cache
+        // fold, not a module scan — the geometric probe backoff the
+        // pre-cache kernel used to amortise scans is retired.
         while self.now < deadline {
             if self.domains.is_empty() {
                 self.now = deadline;
@@ -628,7 +995,6 @@ impl Simulator {
                         return;
                     }
                     Activity::BlockedUntil(t) => {
-                        probe_burst = 1;
                         // Every edge strictly before `t` is a proven no-op.
                         // If the run would stop before any module wakes, the
                         // whole remainder skips; otherwise skip to the last
@@ -645,16 +1011,7 @@ impl Simulator {
                             }
                         }
                     }
-                    Activity::Active => {
-                        for _ in 0..probe_burst {
-                            if self.now >= deadline {
-                                break;
-                            }
-                            self.step();
-                        }
-                        probe_burst = (probe_burst * 2).min(8);
-                        continue;
-                    }
+                    Activity::Active => {}
                 }
             }
             self.step();
@@ -670,9 +1027,8 @@ impl Simulator {
     /// Run until the given domain has executed `n` more cycles.
     pub fn run_cycles(&mut self, clock: ClockId, n: u64) {
         let target = self.domains[clock.0].cycle + n;
-        // Same geometric probe backoff as `run_until`: while the sim keeps
-        // answering "active", step bursts of edges between probes.
-        let mut probe_burst: u32 = 1;
+        // Same probe-per-step structure as `run_until` (see there for why
+        // the geometric probe backoff is gone).
         while self.domains[clock.0].cycle < target {
             if self.idle_skip {
                 // The instant of the target edge; every domain processes all
@@ -687,7 +1043,6 @@ impl Simulator {
                         return;
                     }
                     Activity::BlockedUntil(t) => {
-                        probe_burst = 1;
                         if stop < t {
                             self.skip_edges_through(stop);
                             return;
@@ -699,15 +1054,7 @@ impl Simulator {
                             }
                         }
                     }
-                    Activity::Active => {
-                        for _ in 0..probe_burst {
-                            if self.domains[clock.0].cycle >= target || self.step().is_none() {
-                                return;
-                            }
-                        }
-                        probe_burst = (probe_burst * 2).min(8);
-                        continue;
-                    }
+                    Activity::Active => {}
                 }
             }
             if self.step().is_none() {
@@ -741,7 +1088,7 @@ impl core::fmt::Debug for Simulator {
                 &self
                     .domains
                     .iter()
-                    .map(|d| (d.name.as_str(), d.period, d.modules.len()))
+                    .map(|d| (d.name.as_str(), d.period, d.slots.len()))
                     .collect::<Vec<_>>(),
             )
             .finish()
@@ -1081,5 +1428,162 @@ mod tests {
             (trace, sim.now(), sim.cycles(a), sim.cycles(b))
         };
         assert_eq!(run(true), run(false));
+    }
+
+    /// An `Idle` that opts into the cached-bound protocol: quiescence is
+    /// only allowed to change together with a wake, as the contract
+    /// requires.
+    struct CachedIdle {
+        ticks: Rc<RefCell<u64>>,
+        quiescent: Rc<RefCell<bool>>,
+        wake: WakeHandle,
+    }
+
+    impl Module for CachedIdle {
+        fn name(&self) -> &str {
+            "cached_idle"
+        }
+        fn tick(&mut self, _ctx: &TickContext) {
+            *self.ticks.borrow_mut() += 1;
+        }
+        fn is_quiescent(&self) -> bool {
+            *self.quiescent.borrow()
+        }
+        fn wake_handle(&self) -> Option<WakeHandle> {
+            Some(self.wake.clone())
+        }
+    }
+
+    #[test]
+    fn wake_handle_serves_classification_from_cache() {
+        let ticks = Rc::new(RefCell::new(0));
+        let quiescent = Rc::new(RefCell::new(true));
+        let wake = WakeHandle::new();
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("c", Frequency::mhz(100));
+        sim.add_module(
+            clk,
+            CachedIdle { ticks: ticks.clone(), quiescent: quiescent.clone(), wake: wake.clone() },
+        );
+        // An always-active companion keeps the domain stepping, so every
+        // edge consults (and must be served by) the idle module's cache.
+        let log: TickLog = Rc::new(RefCell::new(Vec::new()));
+        let resets = Rc::new(RefCell::new(0));
+        sim.add_module(clk, probe("busy", &log, &resets));
+        sim.run_cycles(clk, 100);
+        assert_eq!(*ticks.borrow(), 0, "cached-quiescent module must not tick");
+        let s = sim.kernel_stats();
+        assert!(s.probes_avoided > 0, "clean cache must serve probes: {s:?}");
+        // An edge-triggered wake re-queries the module and resumes ticking.
+        *quiescent.borrow_mut() = false;
+        wake.wake();
+        sim.run_cycles(clk, 5);
+        assert_eq!(*ticks.borrow(), 5);
+        let s2 = sim.kernel_stats();
+        assert!(s2.invalidations > s.invalidations, "wake must force a re-query");
+        assert_eq!(sim.cycles(clk), 105, "cycle count is oblivious to caching");
+    }
+
+    /// A one-shot timer exposing its release instant as a cached bound:
+    /// the fused kernel must skip straight to it, firing at the identical
+    /// edge the unfused reference executes.
+    struct CachedTimer {
+        fire_at: Time,
+        fired: Rc<RefCell<Vec<Time>>>,
+        wake: WakeHandle,
+    }
+
+    impl Module for CachedTimer {
+        fn name(&self) -> &str {
+            "cached_timer"
+        }
+        fn tick(&mut self, ctx: &TickContext) {
+            if self.fired.borrow().is_empty() && ctx.now >= self.fire_at {
+                self.fired.borrow_mut().push(ctx.now);
+            }
+        }
+        fn is_quiescent(&self) -> bool {
+            !self.fired.borrow().is_empty()
+        }
+        fn next_activity(&self) -> Option<Time> {
+            self.fired.borrow().is_empty().then_some(self.fire_at)
+        }
+        fn wake_handle(&self) -> Option<WakeHandle> {
+            Some(self.wake.clone())
+        }
+    }
+
+    #[test]
+    fn cached_bound_skips_to_release_bit_identically() {
+        let run = |mode: SchedulerMode, idle_skip: bool| {
+            let fired = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Simulator::with_scheduler(mode);
+            sim.set_idle_skip(idle_skip);
+            let clk = sim.add_clock("c", Frequency::mhz(100));
+            sim.add_module(
+                clk,
+                CachedTimer {
+                    fire_at: Time::from_ns(7777),
+                    fired: fired.clone(),
+                    wake: WakeHandle::new(),
+                },
+            );
+            sim.run_until(Time::from_us(20));
+            let steps = sim.kernel_stats().steps;
+            let fired = fired.borrow().clone();
+            (fired, sim.now(), sim.cycles(clk), steps)
+        };
+        let naive = run(SchedulerMode::Scan, false);
+        let fast = run(SchedulerMode::Auto, true);
+        assert_eq!(naive.0, fast.0, "identical firing edge");
+        assert_eq!((naive.1, naive.2), (fast.1, fast.2));
+        assert!(
+            fast.3 < naive.3 / 10,
+            "bounded skip must execute a fraction of the edges: fast {} vs naive {}",
+            fast.3,
+            naive.3
+        );
+    }
+
+    #[test]
+    fn kernel_stats_count_steps_and_skips() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("c", Frequency::mhz(100));
+        let log: TickLog = Rc::new(RefCell::new(Vec::new()));
+        let resets = Rc::new(RefCell::new(0));
+        sim.add_module(clk, probe("p", &log, &resets));
+        sim.run_cycles(clk, 50);
+        let s = sim.kernel_stats();
+        assert_eq!(s.steps, 50, "active module: every edge executes");
+        // An empty quiescent stretch is fast-forwarded, not stepped.
+        let mut idle = Simulator::new();
+        let iclk = idle.add_clock("c", Frequency::mhz(100));
+        idle.run_cycles(iclk, 1000);
+        let s = idle.kernel_stats();
+        assert!(s.skips > 0, "idle stretch must be skipped: {s:?}");
+        assert!(s.steps < 1000);
+    }
+
+    /// The contract trap: mutating activity-relevant state without waking
+    /// the handle is caught loudly in debug builds instead of silently
+    /// skipping work.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "without a tick or a wake")]
+    fn stale_cache_without_wake_is_caught_in_debug() {
+        let quiescent = Rc::new(RefCell::new(true));
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("c", Frequency::mhz(100));
+        sim.add_module(
+            clk,
+            CachedIdle {
+                ticks: Rc::new(RefCell::new(0)),
+                quiescent: quiescent.clone(),
+                wake: WakeHandle::new(),
+            },
+        );
+        sim.run_cycles(clk, 3);
+        *quiescent.borrow_mut() = false; // changed behind the cache's back
+        sim.run_cycles(clk, 3);
     }
 }

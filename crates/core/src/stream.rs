@@ -14,6 +14,7 @@
 //! port one-hot, and an ingress timestamp.
 
 use crate::pktbuf::PktBuf;
+use crate::sim::WakeHandle;
 use crate::time::Time;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -195,6 +196,28 @@ struct Shared {
     pushed_words: u64,
     popped_words: u64,
     pushed_packets: u64,
+    /// Woken when words arrive: the consumer's activity-cache flag.
+    rx_wake: Option<WakeHandle>,
+    /// Woken when space frees up: the producer's activity-cache flag.
+    tx_wake: Option<WakeHandle>,
+}
+
+impl Shared {
+    /// Words arrived — invalidate the consumer's cached activity bound.
+    #[inline]
+    fn wake_rx(&self) {
+        if let Some(w) = &self.rx_wake {
+            w.wake();
+        }
+    }
+
+    /// Space freed — invalidate the producer's cached activity bound.
+    #[inline]
+    fn wake_tx(&self) {
+        if let Some(w) = &self.tx_wake {
+            w.wake();
+        }
+    }
 }
 
 /// A stream channel; create with [`Stream::new`], then split into handles.
@@ -218,6 +241,8 @@ impl Stream {
             pushed_words: 0,
             popped_words: 0,
             pushed_packets: 0,
+            rx_wake: None,
+            tx_wake: None,
         }));
         (StreamTx { shared: shared.clone() }, StreamRx { shared })
     }
@@ -253,6 +278,7 @@ impl StreamTx {
             s.pushed_packets += 1;
         }
         s.queue.push_back(word);
+        s.wake_rx();
     }
 
     /// The configured bus width in bytes.
@@ -281,7 +307,16 @@ impl StreamTx {
             }
             s.queue.push_back(word);
         }
+        if n > 0 {
+            s.wake_rx();
+        }
         n
+    }
+
+    /// Register the producer module's activity-invalidation flag: it is
+    /// woken whenever a pop or transfer frees space in this channel.
+    pub fn set_wake(&self, wake: WakeHandle) {
+        self.shared.borrow_mut().tx_wake = Some(wake);
     }
 }
 
@@ -308,8 +343,15 @@ impl StreamRx {
         let w = s.queue.pop_front();
         if w.is_some() {
             s.popped_words += 1;
+            s.wake_tx();
         }
         w
+    }
+
+    /// Register the consumer module's activity-invalidation flag: it is
+    /// woken whenever a push or transfer delivers words into this channel.
+    pub fn set_wake(&self, wake: WakeHandle) {
+        self.shared.borrow_mut().rx_wake = Some(wake);
     }
 
     /// Current occupancy in words.
@@ -339,6 +381,9 @@ impl StreamRx {
         let n = max.min(s.queue.len());
         out.extend(s.queue.drain(..n));
         s.popped_words += n as u64;
+        if n > 0 {
+            s.wake_tx();
+        }
         n
     }
 
@@ -362,6 +407,10 @@ impl StreamRx {
                 dst.pushed_packets += 1;
             }
             dst.queue.push_back(word);
+        }
+        if n > 0 {
+            src.wake_tx();
+            dst.wake_rx();
         }
         n
     }
@@ -391,6 +440,10 @@ impl StreamRx {
             completed = word.eop;
             dst.queue.push_back(word);
             moved += 1;
+        }
+        if moved > 0 {
+            src.wake_tx();
+            dst.wake_rx();
         }
         (moved, completed)
     }
@@ -436,6 +489,8 @@ impl StreamRx {
         } else {
             dst.queue.extend(src.queue.drain(..n));
         }
+        src.wake_tx();
+        dst.wake_rx();
         n
     }
 
@@ -497,6 +552,8 @@ impl StreamRx {
         } else {
             dst.queue.extend(src.queue.drain(..n));
         }
+        src.wake_tx();
+        dst.wake_rx();
         (n, skip)
     }
 }

@@ -2,7 +2,7 @@
 //! stream, round-robin at packet granularity — the first stage of every
 //! reference pipeline.
 
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::stream::{StreamRx, StreamTx};
 
 /// N-to-1 packet-granular round-robin arbiter.
@@ -23,12 +23,20 @@ pub struct InputArbiter {
     words: u64,
     /// Burst fast path: move every available word per tick instead of one.
     burst: bool,
+    /// Activity-cache invalidation flag, registered on every input stream
+    /// and on the output (pops free the space a stalled forward waits on).
+    wake: WakeHandle,
 }
 
 impl InputArbiter {
     /// Create an arbiter over `inputs` feeding `output`.
     pub fn new(name: &str, inputs: Vec<StreamRx>, output: StreamTx) -> InputArbiter {
         assert!(!inputs.is_empty(), "arbiter needs at least one input");
+        let wake = WakeHandle::new();
+        for rx in &inputs {
+            rx.set_wake(wake.clone());
+        }
+        output.set_wake(wake.clone());
         InputArbiter {
             name: name.to_string(),
             inputs,
@@ -38,6 +46,7 @@ impl InputArbiter {
             packets: 0,
             words: 0,
             burst: false,
+            wake,
         }
     }
 
@@ -148,6 +157,12 @@ impl Module for InputArbiter {
     /// move a word regardless of lock or output state.
     fn is_quiescent(&self) -> bool {
         self.inputs.iter().all(|rx| !rx.can_pop())
+    }
+
+    /// External activity channels: pushes into any input, pops from the
+    /// output.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

@@ -2,7 +2,7 @@
 //! forwarding. Used to emulate a device-under-test for OSNT latency
 //! experiments and to pad pipeline timing in composed designs.
 
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::stream::{segment, Reassembler, StreamRx, StreamTx, Word};
 use netfpga_core::time::Time;
 use std::collections::VecDeque;
@@ -18,11 +18,17 @@ pub struct DelayStage {
     held: VecDeque<(Time, VecDeque<Word>)>,
     emitting: VecDeque<Word>,
     packets: u64,
+    /// Activity-cache invalidation flag, registered on the input and the
+    /// output (pops free the space a stalled emission waits on).
+    wake: WakeHandle,
 }
 
 impl DelayStage {
     /// Hold each packet `delay` after its full arrival.
     pub fn new(name: &str, input: StreamRx, output: StreamTx, delay: Time) -> DelayStage {
+        let wake = WakeHandle::new();
+        input.set_wake(wake.clone());
+        output.set_wake(wake.clone());
         DelayStage {
             name: name.to_string(),
             input,
@@ -32,6 +38,7 @@ impl DelayStage {
             held: VecDeque::new(),
             emitting: VecDeque::new(),
             packets: 0,
+            wake,
         }
     }
 
@@ -72,6 +79,29 @@ impl Module for DelayStage {
         self.held.clear();
         self.emitting.clear();
         self.packets = 0;
+    }
+
+    /// Idle when nothing is buffered at any of the three holding points:
+    /// with no word to pop, no held packet and nothing staged, a tick
+    /// cannot have an effect until upstream pushes.
+    fn is_quiescent(&self) -> bool {
+        !self.input.can_pop() && self.held.is_empty() && self.emitting.is_empty()
+    }
+
+    /// With nothing to ingest or emit but packets waiting out the delay,
+    /// the tick is a no-op until the earliest release instant — exactly
+    /// the gate the emit path checks against `now`.
+    fn next_activity(&self) -> Option<Time> {
+        if self.input.can_pop() || !self.emitting.is_empty() {
+            return None;
+        }
+        self.held.front().map(|&(release, _)| release)
+    }
+
+    /// External activity channels: pushes into the input, pops from the
+    /// output.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

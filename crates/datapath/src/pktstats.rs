@@ -3,7 +3,7 @@
 //! registers every reference design carries.
 
 use netfpga_core::regs::RegisterSpace;
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::stats::Counter;
 use netfpga_core::stream::{StreamRx, StreamTx};
 
@@ -18,6 +18,8 @@ pub struct StatsStage {
     total_bytes: Counter,
     /// Burst fast path: move every available word per tick instead of one.
     burst: bool,
+    /// Activity-cache invalidation flag, registered on the input stream.
+    wake: WakeHandle,
 }
 
 /// Shared read handles onto a [`StatsStage`]'s counters.
@@ -62,6 +64,8 @@ impl StatsStage {
             total_packets: total_packets.clone(),
             total_bytes: total_bytes.clone(),
         };
+        let wake = WakeHandle::new();
+        input.set_wake(wake.clone());
         (
             StatsStage {
                 name: name.to_string(),
@@ -72,6 +76,7 @@ impl StatsStage {
                 total_packets,
                 total_bytes,
                 burst: false,
+                wake,
             },
             handles,
         )
@@ -144,6 +149,11 @@ impl Module for StatsStage {
     /// Idle when there is nothing to pass through.
     fn is_quiescent(&self) -> bool {
         !self.input.can_pop()
+    }
+
+    /// Only upstream pushes can un-idle the pass-through.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

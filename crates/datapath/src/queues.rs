@@ -10,7 +10,7 @@
 
 use crate::sched::{QueueView, Scheduler};
 use netfpga_core::pktbuf::PktBuf;
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::stats::Counter;
 use netfpga_core::stream::{segment_buf, Meta, Reassembler, StreamRx, StreamTx, Word};
 use netfpga_mem::ByteFifo;
@@ -86,6 +86,10 @@ pub struct OutputQueues {
     stats: QueueCounters,
     /// Burst fast path: move every available word per tick instead of one.
     burst: bool,
+    /// Activity-cache invalidation flag, registered on the input stream
+    /// (the only external channel that can un-idle the stage: with all
+    /// queues drained, egress pops cannot change its classification).
+    wake: WakeHandle,
 }
 
 impl OutputQueues {
@@ -100,6 +104,8 @@ impl OutputQueues {
     ) -> OutputQueues {
         assert!(!outputs.is_empty(), "need at least one output port");
         assert!(config.classes > 0);
+        let wake = WakeHandle::new();
+        input.set_wake(wake.clone());
         let ports = (0..outputs.len())
             .map(|_| PortState {
                 queues: (0..config.classes)
@@ -120,6 +126,7 @@ impl OutputQueues {
             reasm: Reassembler::new(),
             stats: QueueCounters::default(),
             burst: false,
+            wake,
         }
     }
 
@@ -310,6 +317,12 @@ impl Module for OutputQueues {
                     && p.scheduler.event_driven()
                     && p.queues.iter().all(|q| q.is_empty())
             })
+    }
+
+    /// Only new input can un-idle the stage: a quiescent stage has nothing
+    /// buffered, so egress-side pops cannot change its classification.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

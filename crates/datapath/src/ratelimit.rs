@@ -2,24 +2,34 @@
 //! configured rate — used by OSNT's generator for sub-line-rate streams and
 //! available as a building block for traffic shaping research.
 
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::stream::{StreamRx, StreamTx, Word};
 use netfpga_core::time::{BitRate, Time};
 
 /// Token-bucket pacing stage. Tokens are bytes; a packet may start only
 /// when the bucket holds its full length (strict conformance), and the
 /// whole packet debits at start.
+///
+/// The bucket level is the *pure function* `min(burst, base + (now −
+/// base_time) · rate)`, with the base mutated only on a debit. An earlier
+/// revision accumulated the level incrementally on every tick, which would
+/// make the value depend on how many no-op edges the kernel executed —
+/// ruling out idle-skipping this stage. The closed form makes every no-op
+/// tick literally a no-op, so skipped edges are bit-identical.
 pub struct RateLimiter {
     name: String,
     input: StreamRx,
     output: StreamTx,
     rate: BitRate,
     burst_bytes: f64,
-    tokens: f64,
-    last_refill: Time,
+    /// Token count at `base_time`; the live level is `tokens_at(now)`.
+    tokens_base: f64,
+    base_time: Time,
     /// Words of the admitted packet still to copy through.
     in_packet: bool,
     packets: u64,
+    /// Activity-cache invalidation flag, registered on the input stream.
+    wake: WakeHandle,
 }
 
 impl RateLimiter {
@@ -32,16 +42,19 @@ impl RateLimiter {
         burst_bytes: usize,
     ) -> RateLimiter {
         assert!(burst_bytes >= 1514, "burst must cover at least one MTU frame");
+        let wake = WakeHandle::new();
+        input.set_wake(wake.clone());
         RateLimiter {
             name: name.to_string(),
             input,
             output,
             rate,
             burst_bytes: burst_bytes as f64,
-            tokens: burst_bytes as f64,
-            last_refill: Time::ZERO,
+            tokens_base: burst_bytes as f64,
+            base_time: Time::ZERO,
             in_packet: false,
             packets: 0,
+            wake,
         }
     }
 
@@ -50,10 +63,16 @@ impl RateLimiter {
         self.packets
     }
 
-    fn refill(&mut self, now: Time) {
-        let dt = now.saturating_sub(self.last_refill).as_secs_f64();
-        self.last_refill = now;
-        self.tokens = (self.tokens + dt * self.rate.as_bps() as f64 / 8.0).min(self.burst_bytes);
+    /// Bucket level at `now`: closed-form refill since the last debit.
+    fn tokens_at(&self, now: Time) -> f64 {
+        let dt = now.saturating_sub(self.base_time).as_secs_f64();
+        (self.tokens_base + dt * self.rate.as_bps() as f64 / 8.0).min(self.burst_bytes)
+    }
+
+    /// Debit `len` bytes at `now`, re-anchoring the closed form.
+    fn debit(&mut self, now: Time, len: f64) {
+        self.tokens_base = self.tokens_at(now) - len;
+        self.base_time = now;
     }
 
     fn head_packet_len(&self) -> Option<usize> {
@@ -82,7 +101,6 @@ impl Module for RateLimiter {
     }
 
     fn tick(&mut self, ctx: &TickContext) {
-        self.refill(ctx.now);
         if self.in_packet {
             // Finish the admitted packet regardless of tokens.
             self.forward_one();
@@ -94,10 +112,10 @@ impl Module for RateLimiter {
             self.forward_one();
             return;
         }
-        if self.tokens >= len as f64 {
+        if self.tokens_at(ctx.now) >= len as f64 {
             if let Some(word) = self.forward_one() {
                 if word.sop {
-                    self.tokens -= len as f64;
+                    self.debit(ctx.now, len as f64);
                     self.packets += 1;
                 }
             }
@@ -105,10 +123,46 @@ impl Module for RateLimiter {
     }
 
     fn reset(&mut self) {
-        self.tokens = self.burst_bytes;
-        self.last_refill = Time::ZERO;
+        self.tokens_base = self.burst_bytes;
+        self.base_time = Time::ZERO;
         self.in_packet = false;
         self.packets = 0;
+    }
+
+    /// Idle when the input is empty: the bucket level is a closed form of
+    /// time, so an input-less tick has no effect at any future edge.
+    fn is_quiescent(&self) -> bool {
+        !self.input.can_pop()
+    }
+
+    /// With a head packet waiting on tokens, the tick is a no-op until the
+    /// bucket reaches the packet's length — a known instant under the
+    /// closed-form refill. Floor rounding only makes the bound early
+    /// (harmless: one extra no-op tick, never a missed admission).
+    fn next_activity(&self) -> Option<Time> {
+        if self.in_packet {
+            return None;
+        }
+        let len = self.head_packet_len()?;
+        if len == 0 || self.rate.as_bps() == 0 {
+            return None;
+        }
+        let deficit = len as f64 - self.tokens_base;
+        if deficit <= 0.0 {
+            return None; // already admissible: must tick at the next edge
+        }
+        let secs = deficit * 8.0 / self.rate.as_bps() as f64;
+        // Step back well past any float rounding: a bound a few ns early
+        // costs a couple of no-op ticks; a bound one ulp late would skip
+        // the admission edge.
+        let ps = ((secs * 1e12) as u64).saturating_sub(4096);
+        Some(self.base_time + Time::from_ps(ps))
+    }
+
+    /// Only upstream pushes can change the limiter's classification: the
+    /// bucket refills by formula and the bound ignores downstream space.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

@@ -12,7 +12,7 @@
 //! of back-to-back packets flows at one word per cycle.
 
 use netfpga_core::pktbuf::PktBuf;
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::stats::Counter;
 use netfpga_core::stream::{segment_buf, Meta, Reassembler, StreamRx, StreamTx, Word};
 use netfpga_core::telemetry::StatRegistry;
@@ -95,6 +95,9 @@ pub struct PacketStage<L: PacketLogic> {
     stats: StageCounters,
     /// Burst fast path: move every available word per tick instead of one.
     burst: bool,
+    /// Activity-cache invalidation flag, registered on the input and the
+    /// output (pops free the space a stalled emission waits on).
+    wake: WakeHandle,
 }
 
 impl<L: PacketLogic> PacketStage<L> {
@@ -106,6 +109,9 @@ impl<L: PacketLogic> PacketStage<L> {
         latency_cycles: u64,
         logic: L,
     ) -> PacketStage<L> {
+        let wake = WakeHandle::new();
+        input.set_wake(wake.clone());
+        output.set_wake(wake.clone());
         PacketStage {
             name: name.to_string(),
             input,
@@ -118,6 +124,7 @@ impl<L: PacketLogic> PacketStage<L> {
             max_ready: 4,
             stats: StageCounters::default(),
             burst: false,
+            wake,
         }
     }
 
@@ -250,6 +257,12 @@ impl<L: PacketLogic> Module for PacketStage<L> {
             return None;
         }
         self.ready.front().map(|&(_, release_at, _)| release_at)
+    }
+
+    /// External activity channels: pushes into the input, pops from the
+    /// output.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

@@ -19,7 +19,7 @@
 use crate::memfault::{inject_flip, EccMode, FaultableMemory, FlipOutcome};
 use crate::plan::{FaultEvent, FaultKind, FaultPlan, TraceEntry};
 use netfpga_core::regs::RegisterSpace;
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::stats::Counter;
 use netfpga_core::telemetry::{Event, EventKind, EventRing, StatRegistry};
 use netfpga_core::time::{BitRate, Time};
@@ -160,6 +160,12 @@ pub(crate) struct Shared {
     /// Set once a scrubber is built: SECDED flips then stay latent until
     /// their scrub visit instead of correcting at injection time.
     pub(crate) scrub_active: Cell<bool>,
+    /// The injector's activity-cache flag: runtime injections arrive from
+    /// outside the tick, so they must mark the cached bound dirty.
+    pub(crate) wake: RefCell<Option<WakeHandle>>,
+    /// The scrubber's activity-cache flag, woken when a latent upset is
+    /// recorded (the only way the scrubber leaves quiescence externally).
+    pub(crate) scrub_wake: RefCell<Option<WakeHandle>>,
 }
 
 /// Cloneable handle onto a live injector: runtime injection, counters,
@@ -177,6 +183,9 @@ impl FaultHandle {
     /// spliced and the queue is never drained.
     pub fn inject(&self, kind: FaultKind) {
         self.shared.runtime.borrow_mut().push_back(kind);
+        if let Some(w) = &*self.shared.wake.borrow() {
+            w.wake();
+        }
     }
 
     /// The shared fault counters.
@@ -354,6 +363,9 @@ pub struct FaultInjector {
     shared: Rc<Shared>,
     /// Optional telemetry event ring for link-state transitions.
     ring: Option<EventRing>,
+    /// Activity-cache invalidation flag, registered on every tapped wire
+    /// the injector drains and woken by runtime injections.
+    wake: WakeHandle,
 }
 
 impl FaultInjector {
@@ -362,6 +374,7 @@ impl FaultInjector {
     pub fn new(name: &str, plan: &FaultPlan) -> (FaultInjector, FaultHandle) {
         let counters = FaultCounters::default();
         let gate = DmaFaultGate::new();
+        let wake = WakeHandle::new();
         let shared = Rc::new(Shared {
             runtime: RefCell::new(VecDeque::new()),
             trace: RefCell::new(Vec::new()),
@@ -369,6 +382,8 @@ impl FaultInjector {
             latent: RefCell::new(Vec::new()),
             scrub_latencies: RefCell::new(Vec::new()),
             scrub_active: Cell::new(false),
+            wake: RefCell::new(Some(wake.clone())),
+            scrub_wake: RefCell::new(None),
         });
         let handle = FaultHandle {
             counters: counters.clone(),
@@ -388,6 +403,7 @@ impl FaultInjector {
                 gate,
                 shared,
                 ring: None,
+                wake,
             },
             handle,
         )
@@ -398,6 +414,10 @@ impl FaultInjector {
     /// MAC drains `inner_in` and the TX MAC feeds `inner_out`. `rate` is
     /// the port's full line rate.
     pub fn tap_port(&mut self, rate: BitRate, outer_in: Wire, inner_in: Wire, inner_out: Wire, outer_out: Wire) {
+        // The injector drains `outer_in` and `inner_out`; pushes onto them
+        // are the only wire-side events that can un-idle it.
+        outer_in.set_wake(self.wake.clone());
+        inner_out.set_wake(self.wake.clone());
         let port = self.ports.len() as u8;
         let bond = self
             .bonds
@@ -552,6 +572,9 @@ impl FaultInjector {
                                     bit: *bit,
                                     at: now,
                                 });
+                                if let Some(w) = &*self.shared.scrub_wake.borrow() {
+                                    w.wake();
+                                }
                                 None
                             } else {
                                 Some(FlipOutcome::Missed)
@@ -711,6 +734,29 @@ impl FaultInjector {
             to.push(frame);
         }
     }
+
+    /// Every port idle: no runtime injections queued, no frames waiting on
+    /// a drained wire, and no link-recovery work in flight.
+    fn ports_idle(&self) -> bool {
+        self.shared.runtime.borrow().is_empty()
+            && self
+                .ports
+                .iter()
+                .all(|p| p.outer_in.is_empty() && p.inner_out.is_empty())
+            && self.ports.iter().all(|p| match &p.pcs {
+                // A recovery-plane port is pending work from the moment
+                // it goes down until its PCS has converged back: the
+                // injector must keep publishing signal (the down window
+                // expiring is a timed change only it can observe), and
+                // recovery itself must complete at the exact same cycle
+                // with fast-forward on or off.
+                Some(pcs) => !p.was_down && pcs.converged(),
+                // With an event ring attached, a down link is pending
+                // work: the up-transition must be observed and published,
+                // so the idle fast-forward must not skip over it.
+                None => self.ring.is_none() || !p.was_down,
+            })
+    }
 }
 
 impl Module for FaultInjector {
@@ -802,25 +848,24 @@ impl Module for FaultInjector {
     fn is_quiescent(&self) -> bool {
         // A pending scheduled event is time-dependent work: the idle
         // fast-forward must not skip over it.
-        self.next_event >= self.events.len()
-            && self.shared.runtime.borrow().is_empty()
-            && self
-                .ports
-                .iter()
-                .all(|p| p.outer_in.is_empty() && p.inner_out.is_empty())
-            && self.ports.iter().all(|p| match &p.pcs {
-                // A recovery-plane port is pending work from the moment
-                // it goes down until its PCS has converged back: the
-                // injector must keep publishing signal (the down window
-                // expiring is a timed change only it can observe), and
-                // recovery itself must complete at the exact same cycle
-                // with fast-forward on or off.
-                Some(pcs) => !p.was_down && pcs.converged(),
-                // With an event ring attached, a down link is pending
-                // work: the up-transition must be observed and published,
-                // so the idle fast-forward must not skip over it.
-                None => self.ring.is_none() || !p.was_down,
-            })
+        self.next_event >= self.events.len() && self.ports_idle()
+    }
+
+    /// With every port idle and only scheduled events left, a tick is a
+    /// no-op until the next event comes due — so the kernel may skip the
+    /// injector straight to that instant.
+    fn next_activity(&self) -> Option<Time> {
+        let ev = self.events.get(self.next_event)?;
+        self.ports_idle().then_some(ev.at)
+    }
+
+    /// External activity channels: runtime injections, and pushes onto the
+    /// two wires each tap drains (tester-side ingress, MAC-side egress).
+    /// PCS link-state changes need no wake: every PCS-dependent term of
+    /// the classification is gated on `was_down`, which only this module's
+    /// own tick updates.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

@@ -27,7 +27,7 @@
 //! therefore bit-identical across scheduler modes and idle fast-forward.
 
 use crate::injector::{FaultCounters, Shared};
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use std::rc::Rc;
 
 /// The background scrubber module. Build via
@@ -38,6 +38,9 @@ pub struct EccScrubber {
     words_per_cycle: u64,
     counters: FaultCounters,
     shared: Rc<Shared>,
+    /// Activity-cache invalidation flag, woken by the injector whenever a
+    /// latent upset is recorded.
+    wake: WakeHandle,
 }
 
 impl EccScrubber {
@@ -47,11 +50,14 @@ impl EccScrubber {
         counters: FaultCounters,
         shared: Rc<Shared>,
     ) -> EccScrubber {
+        let wake = WakeHandle::new();
+        *shared.scrub_wake.borrow_mut() = Some(wake.clone());
         EccScrubber {
             label: name.to_string(),
             words_per_cycle: u64::from(words_per_cycle),
             counters,
             shared,
+            wake,
         }
     }
 
@@ -120,6 +126,12 @@ impl Module for EccScrubber {
         // Visits to clean words have no observable effect; only a latent
         // upset makes the sweep's progress matter.
         self.shared.latent.borrow().is_empty()
+    }
+
+    /// Only the injector recording a latent upset can un-idle the sweep;
+    /// the scrubber drains the latent list in its own ticks.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

@@ -16,7 +16,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::stats::Counter;
 use netfpga_core::telemetry::StatRegistry;
 use netfpga_core::time::Time;
@@ -261,6 +261,10 @@ pub struct FlowExporter {
     /// instead of one per base interval; the first moving sample snaps
     /// back to the base rate.
     quiet: u32,
+    /// Activity-cache flag. The exporter has no external input channels —
+    /// its bound only moves on its own sample ticks — so the handle is
+    /// never woken; it exists purely to let the kernel cache `next_at`.
+    wake: WakeHandle,
 }
 
 /// Cap on idle-backoff doublings: the stretched interval never exceeds
@@ -303,6 +307,7 @@ impl FlowExporter {
             next_cycle: 0,
             next_at: Time::ZERO,
             quiet: 0,
+            wake: WakeHandle::new(),
         }
     }
 
@@ -452,6 +457,12 @@ impl Module for FlowExporter {
 
     fn next_activity(&self) -> Option<Time> {
         self.inited.then_some(self.next_at)
+    }
+
+    /// No external channel moves the sample schedule; the handle lets the
+    /// kernel cache the bound between the exporter's own ticks.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

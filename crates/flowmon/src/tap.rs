@@ -20,7 +20,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::stream::{StreamRx, StreamTx};
 use netfpga_core::telemetry::StatRegistry;
 
@@ -210,12 +210,16 @@ pub struct FlowTap {
     /// Vouched-for payload beats still queued upstream when a transfer
     /// batch ended mid-frame — resumed on the next tick.
     skip: usize,
+    /// Activity-cache invalidation flag, registered on the input stream.
+    wake: WakeHandle,
 }
 
 impl FlowTap {
     /// Build a tap between `input` and `output` with the given flow
     /// accounting dimensions.
     pub fn new(input: StreamRx, output: StreamTx, config: &FlowmonConfig) -> FlowTap {
+        let wake = WakeHandle::new();
+        input.set_wake(wake.clone());
         FlowTap {
             input,
             output,
@@ -229,6 +233,7 @@ impl FlowTap {
             })),
             burst: false,
             skip: 0,
+            wake,
         }
     }
 
@@ -315,6 +320,12 @@ impl Module for FlowTap {
 
     fn is_quiescent(&self) -> bool {
         !self.input.can_pop()
+    }
+
+    /// Only upstream pushes can un-idle the tap: with the input drained,
+    /// downstream pops never change its classification.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

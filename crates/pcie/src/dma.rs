@@ -11,7 +11,7 @@
 
 use crate::config::PcieConfig;
 use netfpga_core::pktbuf::PktBuf;
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::stream::{segment_buf, Meta, Reassembler, StreamRx, StreamTx};
 use netfpga_core::time::Time;
 use std::cell::RefCell;
@@ -39,6 +39,9 @@ struct Rings {
     tx: VecDeque<(PktBuf, Meta)>,
     rx: VecDeque<(PktBuf, Meta)>,
     stats: DmaStats,
+    /// The engine's activity-cache flag: host sends arrive from outside
+    /// the tick loop and must mark the cached classification dirty.
+    wake: Option<WakeHandle>,
 }
 
 #[derive(Debug, Default)]
@@ -141,6 +144,9 @@ impl DmaHandle {
         }
         meta.len = packet.len() as u16;
         r.tx.push_back((packet, meta));
+        if let Some(w) = &r.wake {
+            w.wake();
+        }
         true
     }
 
@@ -203,6 +209,9 @@ pub struct DmaEngine {
     c2h_free_at: Time,
     reasm: Reassembler,
     fault: Option<DmaFaultGate>,
+    /// Activity-cache invalidation flag, woken by host sends and card
+    /// words arriving on `from_card`.
+    wake: WakeHandle,
 }
 
 impl DmaEngine {
@@ -218,6 +227,9 @@ impl DmaEngine {
     ) -> (DmaEngine, DmaHandle) {
         assert!(tx_capacity > 0 && rx_capacity > 0);
         let rings = Rc::new(RefCell::new(Rings::default()));
+        let wake = WakeHandle::new();
+        rings.borrow_mut().wake = Some(wake.clone());
+        from_card.set_wake(wake.clone());
         (
             DmaEngine {
                 name: name.to_string(),
@@ -231,6 +243,7 @@ impl DmaEngine {
                 c2h_free_at: Time::ZERO,
                 reasm: Reassembler::new(),
                 fault: None,
+                wake,
             },
             DmaHandle { rings, tx_capacity },
         )
@@ -330,6 +343,14 @@ impl Module for DmaEngine {
         self.inject.is_empty()
             && !self.from_card.can_pop()
             && self.rings.borrow().tx.is_empty()
+    }
+
+    /// External activity channels: host sends into the TX ring, card words
+    /// pushed onto `from_card`. Host `recv` only drains the RX ring, which
+    /// the classification ignores; fault-gate windows matter only while
+    /// work is pending, when the engine is active anyway.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

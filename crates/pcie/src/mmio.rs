@@ -9,7 +9,7 @@
 
 use crate::config::PcieConfig;
 use netfpga_core::regs::AddressMap;
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::time::Time;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -25,6 +25,9 @@ enum Request {
 struct Shared {
     requests: VecDeque<Request>,
     completions: VecDeque<u32>,
+    /// The bridge's activity-cache flag: host posts arrive from outside
+    /// the tick loop and must mark the cached classification dirty.
+    wake: Option<WakeHandle>,
 }
 
 /// The host-side handle for register access.
@@ -37,19 +40,21 @@ impl MmioPort {
     /// Queue a posted write (returns immediately; the bridge applies it
     /// after the write latency).
     pub fn post_write(&self, addr: u32, value: u32, now: Time) {
-        self.shared
-            .borrow_mut()
-            .requests
-            .push_back(Request::Write { addr, value, issued: now });
+        let mut s = self.shared.borrow_mut();
+        s.requests.push_back(Request::Write { addr, value, issued: now });
+        if let Some(w) = &s.wake {
+            w.wake();
+        }
     }
 
     /// Queue a read request. Await the value with [`MmioPort::try_complete`]
     /// while advancing the simulator.
     pub fn post_read(&self, addr: u32, now: Time) {
-        self.shared
-            .borrow_mut()
-            .requests
-            .push_back(Request::Read { addr, issued: now });
+        let mut s = self.shared.borrow_mut();
+        s.requests.push_back(Request::Read { addr, issued: now });
+        if let Some(w) = &s.wake {
+            w.wake();
+        }
     }
 
     /// Take a read completion if one arrived.
@@ -71,12 +76,16 @@ pub struct MmioBridge {
     map: Rc<AddressMap>,
     /// Earliest instant the next request may complete (requests serialize).
     free_at: Time,
+    /// Activity-cache invalidation flag, woken by host posts.
+    wake: WakeHandle,
 }
 
 impl MmioBridge {
     /// Create a bridge bound to `map`, returning it and the host port.
     pub fn new(name: &str, config: PcieConfig, map: Rc<AddressMap>) -> (MmioBridge, MmioPort) {
         let port = MmioPort::default();
+        let wake = WakeHandle::new();
+        port.shared.borrow_mut().wake = Some(wake.clone());
         (
             MmioBridge {
                 name: name.to_string(),
@@ -84,6 +93,7 @@ impl MmioBridge {
                 port: port.clone(),
                 map,
                 free_at: Time::ZERO,
+                wake,
             },
             port,
         )
@@ -137,6 +147,24 @@ impl Module for MmioBridge {
     /// means every future tick is a no-op too.
     fn is_quiescent(&self) -> bool {
         self.port.shared.borrow().requests.is_empty()
+    }
+
+    /// With a request queued but its latency not yet elapsed, every tick
+    /// is the early-return no-op until the completion instant — the same
+    /// `due` the serve path compares against `now`.
+    fn next_activity(&self) -> Option<Time> {
+        let shared = self.port.shared.borrow();
+        let due = match shared.requests.front()? {
+            Request::Read { issued, .. } => *issued + self.config.mmio_read_latency,
+            Request::Write { issued, .. } => *issued + self.config.mmio_write_latency,
+        };
+        Some(due.max(self.free_at))
+    }
+
+    /// Only host posts can un-idle the bridge; completions are consumed
+    /// host-side without affecting its classification.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

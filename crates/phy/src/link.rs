@@ -7,7 +7,7 @@
 
 use crate::mac::Wire;
 use netfpga_core::rng::SimRng;
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::time::Time;
 
 /// Link behaviour knobs.
@@ -54,6 +54,8 @@ pub struct Link {
     config: LinkConfig,
     rng: SimRng,
     stats: LinkStats,
+    /// Activity-cache invalidation flag, registered on the source wire.
+    wake: WakeHandle,
 }
 
 impl Link {
@@ -61,6 +63,8 @@ impl Link {
     pub fn new(name: &str, from: Wire, to: Wire, config: LinkConfig) -> Link {
         assert!((0.0..=1.0).contains(&config.loss_probability));
         assert!((0.0..=1.0).contains(&config.corrupt_probability));
+        let wake = WakeHandle::new();
+        from.set_wake(wake.clone());
         Link {
             name: name.to_string(),
             from,
@@ -68,6 +72,7 @@ impl Link {
             rng: SimRng::new(config.seed),
             config,
             stats: LinkStats::default(),
+            wake,
         }
     }
 
@@ -125,6 +130,11 @@ impl Module for Link {
     /// finishes serializing: the tick is a no-op until that instant.
     fn next_activity(&self) -> Option<netfpga_core::time::Time> {
         self.from.head_ready_at()
+    }
+
+    /// Only pushes onto the source wire can change this link's activity.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

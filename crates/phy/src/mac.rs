@@ -12,7 +12,7 @@
 //! usual one-frame assembly latency that hardware MAC+FIFO stages also add.
 
 use netfpga_core::pktbuf::PktBuf;
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::stream::{segment_buf, Meta, PortMask, Reassembler, StreamRx, StreamTx};
 use netfpga_core::time::{BitRate, Time};
 use std::cell::RefCell;
@@ -87,7 +87,14 @@ impl WireFrame {
 /// One MAC TX feeds it; a [`Link`](crate::link::Link) or MAC RX drains it.
 #[derive(Debug, Clone, Default)]
 pub struct Wire {
-    inner: Rc<RefCell<VecDeque<WireFrame>>>,
+    inner: Rc<RefCell<WireInner>>,
+}
+
+#[derive(Debug, Default)]
+struct WireInner {
+    frames: VecDeque<WireFrame>,
+    /// Woken when a frame lands: the drainer's activity-cache flag.
+    wake: Option<WakeHandle>,
 }
 
 impl Wire {
@@ -98,14 +105,18 @@ impl Wire {
 
     /// Append a frame (TX side).
     pub fn push(&self, frame: WireFrame) {
-        self.inner.borrow_mut().push_back(frame);
+        let mut i = self.inner.borrow_mut();
+        i.frames.push_back(frame);
+        if let Some(w) = &i.wake {
+            w.wake();
+        }
     }
 
     /// Take the head frame if it has fully arrived by `now` (RX side).
     pub fn take_ready(&self, now: Time) -> Option<WireFrame> {
-        let mut q = self.inner.borrow_mut();
-        if q.front().is_some_and(|f| f.ready_at <= now) {
-            q.pop_front()
+        let mut i = self.inner.borrow_mut();
+        if i.frames.front().is_some_and(|f| f.ready_at <= now) {
+            i.frames.pop_front()
         } else {
             None
         }
@@ -115,17 +126,24 @@ impl Wire {
     /// so nothing can be taken before this instant: a drainer blocked on it
     /// is provably inert until then.
     pub fn head_ready_at(&self) -> Option<Time> {
-        self.inner.borrow().front().map(|f| f.ready_at)
+        self.inner.borrow().frames.front().map(|f| f.ready_at)
     }
 
     /// Frames on the wire (in flight or waiting).
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.inner.borrow().frames.len()
     }
 
     /// True if nothing is queued.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        self.inner.borrow().frames.is_empty()
+    }
+
+    /// Register the draining module's activity-invalidation flag: it is
+    /// woken whenever a frame is pushed onto this wire. One drainer per
+    /// wire; a later registration replaces the earlier one.
+    pub fn set_wake(&self, wake: WakeHandle) {
+        self.inner.borrow_mut().wake = Some(wake);
     }
 }
 
@@ -194,12 +212,16 @@ pub struct EthMacTx {
     stats: SharedMacStats,
     /// Burst fast path: ingest every available word per tick instead of one.
     burst: bool,
+    /// Activity-cache invalidation flag, registered on the input stream.
+    wake: WakeHandle,
 }
 
 impl EthMacTx {
     /// Create a TX MAC at `rate` draining `input` onto `wire`.
     pub fn new(name: &str, rate: BitRate, input: StreamRx, wire: Wire) -> (EthMacTx, SharedMacStats) {
         let stats = SharedMacStats::default();
+        let wake = WakeHandle::new();
+        input.set_wake(wake.clone());
         (
             EthMacTx {
                 name: name.to_string(),
@@ -210,6 +232,7 @@ impl EthMacTx {
                 line_busy_until: Time::ZERO,
                 stats: stats.clone(),
                 burst: false,
+                wake,
             },
             stats,
         )
@@ -299,6 +322,12 @@ impl Module for EthMacTx {
         let backlog_limit = self.rate.time_for_bytes(TX_FIFO_BYTES);
         Some(self.line_busy_until.saturating_sub(backlog_limit))
     }
+
+    /// Only the input stream can change this MAC's activity from outside:
+    /// the backlog gate and wire schedule move on its own ticks alone.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
+    }
 }
 
 /// The receive MAC: wire frames in, timestamped datapath words out.
@@ -312,6 +341,9 @@ pub struct EthMacRx {
     /// Burst fast path: deliver every arrived frame per tick instead of
     /// one word per cycle.
     burst: bool,
+    /// Activity-cache invalidation flag, registered on the input wire and
+    /// the output stream (pops free the space a stalled delivery waits on).
+    wake: WakeHandle,
 }
 
 impl EthMacRx {
@@ -319,6 +351,9 @@ impl EthMacRx {
     /// `src_port` stamped in the metadata.
     pub fn new(name: &str, wire: Wire, output: StreamTx, src_port: u8) -> (EthMacRx, SharedMacStats) {
         let stats = SharedMacStats::default();
+        let wake = WakeHandle::new();
+        wire.set_wake(wake.clone());
+        output.set_wake(wake.clone());
         (
             EthMacRx {
                 name: name.to_string(),
@@ -328,6 +363,7 @@ impl EthMacRx {
                 pending: VecDeque::new(),
                 stats: stats.clone(),
                 burst: false,
+                wake,
             },
             stats,
         )
@@ -419,6 +455,12 @@ impl Module for EthMacRx {
         } else {
             None
         }
+    }
+
+    /// External activity channels: frames landing on the wire and datapath
+    /// pops freeing space for staged words.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

@@ -27,7 +27,7 @@
 //!
 //! [`PortBond::degrade`]: crate::serdes::PortBond::degrade
 
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::stats::Counter;
 use netfpga_core::telemetry::{Event, EventKind, EventRing, StatRegistry};
 use std::cell::RefCell;
@@ -109,6 +109,9 @@ struct PcsShared {
     state: LinkState,
     /// Lanes in the active bond (meaningful while `Up`).
     bonded_lanes: u8,
+    /// The owning [`PcsPort`]'s activity-cache flag, woken when the medium
+    /// publishes a *changed* signal (unchanged publishes keep the cache).
+    wake: WakeHandle,
 }
 
 /// Cloneable handle onto one port's PCS: the medium writes the signal
@@ -124,8 +127,11 @@ impl PcsHandle {
     /// fault plane or link model — calls this every tick it changes state).
     pub fn set_signal_lanes(&self, lanes: u8) {
         let mut s = self.inner.borrow_mut();
-        let total = s.total_lanes;
-        s.signal_lanes = lanes.min(total);
+        let lanes = lanes.min(s.total_lanes);
+        if s.signal_lanes != lanes {
+            s.signal_lanes = lanes;
+            s.wake.wake();
+        }
     }
 
     /// Lanes currently carrying signal.
@@ -199,6 +205,7 @@ impl PcsPort {
             total_lanes: lanes,
             state: LinkState::Up,
             bonded_lanes: lanes,
+            wake: WakeHandle::new(),
         }));
         let counters = PcsCounters::default();
         let handle = PcsHandle { inner: inner.clone(), counters: counters.clone() };
@@ -333,6 +340,12 @@ impl Module for PcsPort {
             LinkState::Down => s.signal_lanes == 0,
             LinkState::Aligning => false,
         }
+    }
+
+    /// Only a changed signal publication can alter a converged PCS's
+    /// activity from outside; every internal transition happens on a tick.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.inner.borrow().wake.clone())
     }
 }
 

@@ -129,6 +129,15 @@ impl Chassis {
         telemetry.gauge("pool.recycled", || netfpga_core::pktbuf::pool_stats().recycled);
         telemetry.gauge("pool.cow_copies", || netfpga_core::pktbuf::pool_stats().cow_copies);
         let mut sim = Simulator::new();
+        // Kernel self-observation: the fused dispatcher's own work
+        // counters (edges executed, edges fast-forwarded, activity probes
+        // served from cache, wake-forced re-queries), mounted beside the
+        // datapath stats they pay for.
+        let kstats = sim.kernel_stat_cells();
+        telemetry.register_counter("kernel.steps", &kstats.steps);
+        telemetry.register_counter("kernel.skips", &kstats.skips);
+        telemetry.register_counter("kernel.probes_avoided", &kstats.probes_avoided);
+        telemetry.register_counter("kernel.invalidations", &kstats.invalidations);
         let clk = sim.add_clock("core", spec.core_clock);
         let rate = spec
             .ports

@@ -16,7 +16,7 @@
 
 use crate::isa::Instr;
 use netfpga_core::regs::AddressMap;
-use netfpga_core::sim::{Module, TickContext};
+use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use std::rc::Rc;
 
 /// Base address of the MMIO window onto the register map.
@@ -63,7 +63,10 @@ pub struct SoftCore {
     halted: bool,
     fault: Option<Fault>,
     instructions: u64,
-    cycles: u64,
+    /// Activity-cache flag. Nothing outside the core can restart a halted
+    /// program (only a full `reset`, which re-dirties every cache), so the
+    /// handle is never woken; it lets the kernel cache the halted state.
+    wake: WakeHandle,
 }
 
 impl SoftCore {
@@ -89,7 +92,7 @@ impl SoftCore {
             halted: false,
             fault: None,
             instructions: 0,
-            cycles: 0,
+            wake: WakeHandle::new(),
         }
     }
 
@@ -265,7 +268,6 @@ impl Module for SoftCore {
     }
 
     fn tick(&mut self, _ctx: &TickContext) {
-        self.cycles += 1;
         for _ in 0..self.ipc {
             if self.halted {
                 break;
@@ -280,10 +282,24 @@ impl Module for SoftCore {
         self.halted = false;
         self.fault = None;
         self.instructions = 0;
-        self.cycles = 0;
         for w in &mut self.scratch {
             *w = 0;
         }
+    }
+
+    /// A halted (or faulted) core retires nothing, forever: ticks are
+    /// no-ops until a reset, which re-dirties every activity cache. A
+    /// running core is never idle — even a busy-wait loop advances `pc`
+    /// and the retired-instruction count.
+    fn is_quiescent(&self) -> bool {
+        self.halted
+    }
+
+    /// No external channel can change a core's activity (firmware polls
+    /// MMIO by executing instructions; nothing pushes into the core), so
+    /// the never-woken handle just lets the kernel cache the halted state.
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        Some(self.wake.clone())
     }
 }
 

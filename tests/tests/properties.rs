@@ -512,6 +512,66 @@ proptest! {
         }
     }
 
+    /// The cached-bound protocol is invisible: whether the workload runs
+    /// a seeded fault plan (BER set partway through, exercising the
+    /// injector's scheduled-event bound) or a flowmon tap in the datapath
+    /// (exercising the tap's push-wake and the exporter's sample bound),
+    /// the fused dispatcher serving cached activity classifications under
+    /// idle skipping delivers bit-identical frames, fault traces and final
+    /// clocks to the unfused `Scan` reference that re-queries every module
+    /// on every edge.
+    #[test]
+    fn prop_cached_bounds_invisible_under_faults_and_tap(
+        frames in proptest::collection::vec((0usize..4, 46usize..220), 1..10),
+        gap_us in 5u64..80,
+        ber_exp in 4u32..7,
+        seed in 0u64..500,
+        tap in any::<bool>(),
+    ) {
+        use netfpga_core::sim::SchedulerMode;
+        use netfpga_faults::{FaultKind, FaultPlan};
+        use netfpga_projects::flowmon::FlowmonConfig;
+
+        let run = |mode: SchedulerMode, idle_skip: bool| {
+            let mut sw = if tap {
+                ReferenceSwitch::with_flowmon(
+                    &BoardSpec::sume(), 4, 256, Time::from_ms(100), false,
+                    FlowmonConfig::default(),
+                )
+            } else {
+                let plan = FaultPlan::new(seed).at(
+                    Time::from_us(gap_us),
+                    FaultKind::SetBer { port: 1, ber: 10f64.powi(-(ber_exp as i32)) },
+                );
+                ReferenceSwitch::with_faults(
+                    &BoardSpec::sume(), 4, 256, Time::from_ms(100), false, plan,
+                )
+            };
+            sw.chassis.sim.set_scheduler_mode(mode);
+            sw.chassis.sim.set_idle_skip(idle_skip);
+            for (i, &(port, len)) in frames.iter().enumerate() {
+                let f = PacketBuilder::new()
+                    .eth(mac(port as u8 + 1), mac(0xee))
+                    .raw(netfpga_packet::EtherType::Ipv4, &vec![i as u8; len])
+                    .build();
+                sw.chassis.send(port, f);
+                // Idle gaps between frames are where a stale cached bound
+                // would skip a wake or a scheduled fault.
+                sw.chassis.run_for(Time::from_us(3));
+            }
+            sw.chassis.run_for(Time::from_us(300));
+            let recv: Vec<Vec<Vec<u8>>> = (0..4).map(|p| sw.chassis.recv(p)).collect();
+            let trace = sw.chassis.faults.as_ref().map(|f| f.trace());
+            (recv, trace, sw.chassis.sim.now())
+        };
+
+        let reference = run(SchedulerMode::Scan, false);
+        prop_assert_eq!(
+            &run(SchedulerMode::Auto, true), &reference,
+            "cached bounds diverged from the scan reference (tap={})", tap
+        );
+    }
+
     /// The background scrubber visits every word of every registered
     /// region within one sweep period: for any memory size, scrub rate
     /// and upset pattern (one flip per word, so no doubles), every flip

@@ -91,7 +91,14 @@ fn registry_paths_equal_legacy_counters_bit_for_bit() {
     let dumped = dump_stats(&mut sw.chassis);
     assert_eq!(dumped.len(), snapshot.len());
     for (path, value) in snapshot {
-        assert_eq!(dumped[&path], value & 0xffff_ffff, "{path} over MMIO");
+        if path.starts_with("kernel.") {
+            // The kernel's own work counters advance while the MMIO dump
+            // runs the simulator — the dump IS workload to them — so a
+            // same-pass comparison can only pin monotonicity.
+            assert!(dumped[&path] >= value & 0xffff_ffff, "{path} over MMIO");
+        } else {
+            assert_eq!(dumped[&path], value & 0xffff_ffff, "{path} over MMIO");
+        }
     }
 }
 
