@@ -14,6 +14,7 @@ pub mod faults;
 pub mod json;
 pub mod kernel;
 pub mod recovery;
+pub mod reliability;
 pub mod report;
 pub mod workloads;
 

@@ -174,6 +174,7 @@ fn build_plan(point: &RecoveryPoint) -> FaultPlan {
         holddown_cycles: point.holddown_cycles,
         rejoin_cycles: 800,
         scrub_words_per_cycle: point.scrub_words_per_cycle,
+        ..RecoveryPolicy::default()
     })
 }
 

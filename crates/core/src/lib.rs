@@ -58,7 +58,7 @@ pub use pktbuf::{PktBuf, PoolStats};
 pub use regs::{AddressMap, RegisterSpace};
 pub use resources::{ResourceBudget, ResourceCost};
 pub use rng::SimRng;
-pub use sim::{ClockId, Module, Simulator, TickContext};
+pub use sim::{ClockId, Module, Simulator, SoftResetLine, TickContext};
 pub use stream::{Meta, PortMask, Stream, StreamRx, StreamTx, Word};
 pub use telemetry::{Event, EventKind, EventRing, Stat, StatBlock, StatRegistry};
 pub use time::{BitRate, Frequency, Time};

@@ -197,6 +197,49 @@ pub trait Module {
     fn wake_handle(&self) -> Option<WakeHandle> {
         None
     }
+
+    /// Recover from a wedged state without losing configuration: flush
+    /// in-flight framing and pacing state (partial packets, reassembly,
+    /// link pacing marks) while preserving configuration, learned tables,
+    /// queued *complete* packets, and statistics counters. This is the
+    /// hardware soft reset a watchdog drives after a quiesce/drain window —
+    /// unlike [`Module::reset`], which returns to power-on state.
+    ///
+    /// Default: no-op, which is always safe for modules that hold no
+    /// partial-frame state.
+    fn soft_reset(&mut self) {}
+}
+
+/// A shared soft-reset request line between a watchdog-style module and the
+/// [`Simulator`]: any holder may [`SoftResetLine::request`] a soft reset,
+/// and the kernel consumes the request at the next step boundary (before
+/// any module ticks), calling [`Module::soft_reset`] on every registered
+/// module. Latching at step boundaries keeps the reset instant identical in
+/// every scheduler mode.
+#[derive(Clone, Debug, Default)]
+pub struct SoftResetLine(Rc<Cell<bool>>);
+
+impl SoftResetLine {
+    /// A new, idle line.
+    pub fn new() -> SoftResetLine {
+        SoftResetLine::default()
+    }
+
+    /// Assert the line: the kernel soft-resets every module at the next
+    /// step boundary.
+    pub fn request(&self) {
+        self.0.set(true);
+    }
+
+    /// Whether a request is pending (not yet consumed by the kernel).
+    pub fn pending(&self) -> bool {
+        self.0.get()
+    }
+
+    /// Consume a pending request, returning whether one was set.
+    pub fn take(&self) -> bool {
+        self.0.replace(false)
+    }
 }
 
 /// Snapshot of the module population for fast-forward decisions.
@@ -512,6 +555,8 @@ pub struct Simulator {
     idle_skip: bool,
     /// The kernel's own work counters (steps, skips, cache traffic).
     stats: KernelStatCells,
+    /// Shared soft-reset request line, consumed at step boundaries.
+    reset_line: SoftResetLine,
 }
 
 impl Default for Simulator {
@@ -523,6 +568,7 @@ impl Default for Simulator {
             sched: SchedState::Invalid,
             idle_skip: true,
             stats: KernelStatCells::default(),
+            reset_line: SoftResetLine::new(),
         }
     }
 }
@@ -649,6 +695,7 @@ impl Simulator {
     /// Reset every module and rewind all clocks (time keeps advancing from
     /// `now`; edges restart one period out).
     pub fn reset(&mut self) {
+        self.reset_line.take();
         for d in &mut self.domains {
             for s in &mut d.slots {
                 s.module.reset();
@@ -658,6 +705,26 @@ impl Simulator {
             d.next_edge = self.now + d.period;
         }
         self.sched = SchedState::Invalid;
+    }
+
+    /// The shared soft-reset request line. A watchdog (or host software)
+    /// holding a clone can assert it from inside the tick loop; the kernel
+    /// consumes the request at the next step boundary.
+    pub fn soft_reset_line(&self) -> SoftResetLine {
+        self.reset_line.clone()
+    }
+
+    /// Soft-reset every module immediately (see [`Module::soft_reset`]):
+    /// in-flight framing state is flushed, configuration and counters
+    /// survive, and clocks keep running — no cycle counter or edge schedule
+    /// is touched.
+    pub fn soft_reset(&mut self) {
+        for d in &mut self.domains {
+            for s in &mut d.slots {
+                s.module.soft_reset();
+                s.invalidate();
+            }
+        }
     }
 
     /// True when every registered module reports quiescent (vacuously true
@@ -854,6 +921,12 @@ impl Simulator {
     pub fn step(&mut self) -> Option<Time> {
         if self.domains.is_empty() {
             return None;
+        }
+        // A pending soft-reset request latches at the step boundary: every
+        // module is flushed *before* any module ticks this edge, so the
+        // reset instant is the same in every scheduler mode.
+        if self.reset_line.take() {
+            self.soft_reset();
         }
         self.stats.steps.incr();
         self.ensure_sched();
@@ -1562,6 +1635,92 @@ mod tests {
         let s = idle.kernel_stats();
         assert!(s.skips > 0, "idle stretch must be skipped: {s:?}");
         assert!(s.steps < 1000);
+    }
+
+    /// A module that asserts the soft-reset line at a chosen cycle and logs
+    /// every `soft_reset` it receives (with the cycle count at that point).
+    struct ResetRequester {
+        line: SoftResetLine,
+        fire_cycle: u64,
+        ticks: Rc<RefCell<u64>>,
+        soft_resets: Rc<RefCell<Vec<u64>>>,
+    }
+
+    impl Module for ResetRequester {
+        fn name(&self) -> &str {
+            "reset_requester"
+        }
+        fn tick(&mut self, ctx: &TickContext) {
+            *self.ticks.borrow_mut() += 1;
+            if ctx.cycle == self.fire_cycle {
+                self.line.request();
+            }
+        }
+        fn soft_reset(&mut self) {
+            let ticks = *self.ticks.borrow();
+            self.soft_resets.borrow_mut().push(ticks);
+        }
+    }
+
+    /// A request from inside one edge's tick is consumed exactly once, at
+    /// the next step boundary — before any module ticks that edge — and in
+    /// every scheduler mode at the identical point in the tick sequence.
+    #[test]
+    fn soft_reset_line_latches_at_step_boundary() {
+        let run = |mode: SchedulerMode| {
+            let ticks = Rc::new(RefCell::new(0));
+            let soft_resets = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Simulator::with_scheduler(mode);
+            let clk = sim.add_clock("c", Frequency::mhz(100));
+            sim.add_module(
+                clk,
+                ResetRequester {
+                    line: sim.soft_reset_line(),
+                    fire_cycle: 3,
+                    ticks: ticks.clone(),
+                    soft_resets: soft_resets.clone(),
+                },
+            );
+            sim.run_cycles(clk, 10);
+            let out = (*ticks.borrow(), soft_resets.borrow().clone());
+            out
+        };
+        for mode in [SchedulerMode::Scan, SchedulerMode::Calendar, SchedulerMode::Heap] {
+            let (ticks, softs) = run(mode);
+            assert_eq!(ticks, 10);
+            // Requested during the cycle-3 tick (the 4th); consumed before
+            // the 5th tick runs.
+            assert_eq!(softs, vec![4], "mode {mode:?}");
+        }
+    }
+
+    /// `Simulator::reset` discards a pending soft-reset request, and a
+    /// direct `Simulator::soft_reset` call reaches every module without
+    /// touching clocks or cycle counters.
+    #[test]
+    fn soft_reset_direct_and_reset_clears_pending() {
+        let ticks = Rc::new(RefCell::new(0));
+        let soft_resets = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("c", Frequency::mhz(100));
+        sim.add_module(
+            clk,
+            ResetRequester {
+                line: sim.soft_reset_line(),
+                fire_cycle: u64::MAX,
+                ticks,
+                soft_resets: soft_resets.clone(),
+            },
+        );
+        sim.run_cycles(clk, 2);
+        sim.soft_reset();
+        assert_eq!(soft_resets.borrow().clone(), vec![2]);
+        assert_eq!(sim.cycles(clk), 2, "soft reset leaves clocks untouched");
+        // A pending request is discarded by a full reset.
+        sim.soft_reset_line().request();
+        sim.reset();
+        sim.run_cycles(clk, 1);
+        assert_eq!(soft_resets.borrow().clone(), vec![2], "reset cleared the line");
     }
 
     /// The contract trap: mutating activity-relevant state without waking

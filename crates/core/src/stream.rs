@@ -614,6 +614,9 @@ pub struct Reassembler {
     acc: Accum,
     meta: Option<Meta>,
     in_packet: bool,
+    /// Resynchronising after a soft reset: discard words until the next
+    /// `sop` instead of treating them as framing violations.
+    hunting: bool,
 }
 
 impl Reassembler {
@@ -622,12 +625,34 @@ impl Reassembler {
         Reassembler::default()
     }
 
+    /// Drop any partially received packet and hunt for the next `sop`:
+    /// words arriving before it are discarded instead of panicking. This is
+    /// the deframer half of a soft reset — when an upstream module was
+    /// flushed mid-frame, the orphaned tail words still in flight must not
+    /// wedge the pipeline. Returns whether a partial packet was discarded
+    /// (so the caller can count the loss).
+    pub fn resync(&mut self) -> bool {
+        let dropped = self.in_packet;
+        self.acc = Accum::Empty;
+        self.meta = None;
+        self.in_packet = false;
+        self.hunting = true;
+        dropped
+    }
+
     /// Feed one word; returns the completed packet on `eop`.
     ///
     /// Panics on framing violations (word outside a packet, or `sop` inside
     /// one) — those indicate a module bug, mirroring how malformed AXIS
-    /// framing wedges real hardware.
+    /// framing wedges real hardware. After [`Reassembler::resync`], words
+    /// before the next `sop` are silently discarded instead.
     pub fn push(&mut self, word: Word) -> Option<(PktBuf, Meta)> {
+        if self.hunting {
+            if !word.sop {
+                return None;
+            }
+            self.hunting = false;
+        }
         if word.sop {
             assert!(!self.in_packet, "sop inside packet");
             self.in_packet = true;
@@ -875,6 +900,30 @@ mod tests {
     #[should_panic(expected = "data word outside packet")]
     fn reassembler_rejects_orphan_word() {
         Reassembler::new().push(Word::new(&[1], false, true, None));
+    }
+
+    /// After `resync`, a partial packet is discarded and orphan tail words
+    /// are hunted past instead of panicking; the next `sop` resumes normal
+    /// reassembly.
+    #[test]
+    fn reassembler_resync_hunts_for_sop() {
+        let mut r = Reassembler::new();
+        assert!(r.push(Word::new(&[1, 2], true, false, Some(Meta::default()))).is_none());
+        assert!(r.mid_packet());
+        assert!(r.resync(), "mid-packet resync reports the discarded partial");
+        assert!(!r.mid_packet());
+        // Orphan tail words (no sop) are discarded, not a panic.
+        assert!(r.push(Word::new(&[3], false, false, None)).is_none());
+        assert!(r.push(Word::new(&[4], false, true, None)).is_none());
+        // The next sop resumes normal framing.
+        assert!(r.push(Word::new(&[5, 6], true, false, Some(Meta::default()))).is_none());
+        let (out, _) = r.push(Word::new(&[7], false, true, None)).unwrap();
+        assert_eq!(out, vec![5, 6, 7]);
+        // Idle resync discards nothing and still arms the hunt.
+        assert!(!r.resync());
+        assert!(r.push(Word::new(&[8], false, true, None)).is_none());
+        let (out, _) = r.push(Word::new(&[9], true, true, Some(Meta::default()))).unwrap();
+        assert_eq!(out, vec![9]);
     }
 
     proptest! {

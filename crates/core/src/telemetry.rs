@@ -350,6 +350,11 @@ pub enum EventKind {
     LaneRestore,
     /// A generic fault-plane event not covered above.
     Fault,
+    /// The hardware watchdog expired: a monitored module made no progress
+    /// for the configured deadline and the quiesce–drain–soft-reset
+    /// sequence is being driven. `port` carries the index of the probe
+    /// that bit; `data` the stuck-cycle count at the bite.
+    WatchdogBite,
 }
 
 impl EventKind {
@@ -361,6 +366,7 @@ impl EventKind {
             EventKind::Retrain => 3,
             EventKind::LaneRestore => 4,
             EventKind::Fault => 5,
+            EventKind::WatchdogBite => 6,
         }
     }
 
@@ -372,6 +378,7 @@ impl EventKind {
             3 => EventKind::Retrain,
             4 => EventKind::LaneRestore,
             5 => EventKind::Fault,
+            6 => EventKind::WatchdogBite,
             _ => return None,
         })
     }
@@ -692,6 +699,7 @@ mod tests {
             EventKind::Retrain,
             EventKind::LaneRestore,
             EventKind::Fault,
+            EventKind::WatchdogBite,
         ] {
             assert_eq!(EventKind::from_code(k.code()), Some(k));
         }

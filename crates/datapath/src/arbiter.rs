@@ -153,6 +153,14 @@ impl Module for InputArbiter {
         self.words = 0;
     }
 
+    /// Watchdog recovery: release a mid-packet lock whose remaining words
+    /// were flushed upstream — the next `sop` on any input then arbitrates
+    /// normally (downstream reassemblers resync past the orphaned
+    /// prefix). Round-robin position and counters survive.
+    fn soft_reset(&mut self) {
+        self.locked = None;
+    }
+
     /// Idle when every input is empty: with nothing to pop, a tick cannot
     /// move a word regardless of lock or output state.
     fn is_quiescent(&self) -> bool {

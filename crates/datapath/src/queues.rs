@@ -308,6 +308,22 @@ impl Module for OutputQueues {
         }
     }
 
+    /// Watchdog recovery: discard a partially reassembled arrival (its
+    /// tail was flushed upstream, counted as a drop) and any egress frame
+    /// already cut short mid-emission (the MAC downstream resyncs). Queued
+    /// complete packets, counters and scheduler configuration survive —
+    /// that is the difference from [`Module::reset`].
+    fn soft_reset(&mut self) {
+        if self.reasm.resync() {
+            self.stats.dropped.incr();
+        }
+        for p in &mut self.ports {
+            if p.emitting.front().is_some_and(|w| !w.sop) {
+                p.emitting.clear();
+            }
+        }
+    }
+
     /// Idle when nothing is buffered anywhere and every scheduler is
     /// event-driven: the next effect can only come from new input.
     fn is_quiescent(&self) -> bool {

@@ -242,6 +242,20 @@ impl<L: PacketLogic> Module for PacketStage<L> {
         self.logic.reset();
     }
 
+    /// Watchdog recovery: discard a partially reassembled arrival (its
+    /// tail was flushed upstream, counted as a drop) and a frame already
+    /// cut short mid-emission (downstream resyncs). Processed packets
+    /// waiting out the pipeline latency, counters and the stage logic's
+    /// learned state all survive.
+    fn soft_reset(&mut self) {
+        if self.reasm.resync() {
+            self.stats.dropped.incr();
+        }
+        if self.emitting.front().is_some_and(|w| !w.sop) {
+            self.emitting.clear();
+        }
+    }
+
     /// Idle when there is nothing to ingest and nothing staged for
     /// emission. `ready` must be empty too: packets there wait on a
     /// release *cycle*, which is time-dependent work.

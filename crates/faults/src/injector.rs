@@ -555,6 +555,7 @@ impl FaultInjector {
             }
             FaultKind::DmaStall { duration } => self.gate.stall_until(now + *duration),
             FaultKind::DmaDrop { duration } => self.gate.drop_until(now + *duration),
+            FaultKind::DmaWedge => self.gate.wedge(),
             FaultKind::MemFlip { memory, index, bit } => {
                 let mems = self.shared.mems.borrow();
                 let outcome = match mems.iter().position(|m| m.name == *memory) {

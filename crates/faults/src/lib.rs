@@ -44,6 +44,7 @@ pub mod memfault;
 pub mod plan;
 pub mod recovery;
 pub mod scrub;
+pub mod watchdog;
 
 pub use injector::{
     faultregs, FaultCounters, FaultHandle, FaultInjector, FaultRegisters, FAULTS_BASE,
@@ -52,3 +53,4 @@ pub use memfault::{inject_flip, EccMode, FaultableMemory, FlipOutcome};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, TraceEntry};
 pub use recovery::RecoveryPolicy;
 pub use scrub::EccScrubber;
+pub use watchdog::{ProgressProbe, Watchdog, WatchdogConfig};

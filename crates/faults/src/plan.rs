@@ -91,6 +91,10 @@ pub enum FaultKind {
         /// How long packets are discarded.
         duration: Time,
     },
+    /// Wedge the DMA engine: a stall that never expires on its own. Models
+    /// a hung DMA core (dead descriptor fetch, PCIe deadlock) that only a
+    /// watchdog-driven soft reset clears.
+    DmaWedge,
     /// Flip stored bit `bit` of entry `index` in the registered memory
     /// named `memory`. What happens next depends on the memory's
     /// [`EccMode`](crate::EccMode): silent corruption, detect-only, or

@@ -29,6 +29,17 @@ pub struct RecoveryPolicy {
     /// cycle. `0` disables the scrubber (SECDED then corrects at
     /// injection time, as without a recovery plane).
     pub scrub_words_per_cycle: u32,
+    /// Hardware-watchdog deadline: consecutive cycles a probed module may
+    /// sit with pending work and a frozen progress counter before the
+    /// watchdog bites and starts quiesce → drain → soft-reset recovery.
+    pub watchdog_deadline_cycles: u64,
+    /// Drain window after a bite: cycles the watchdog waits (letting
+    /// healthy modules flush in-flight words) before requesting the
+    /// soft-reset line.
+    pub watchdog_drain_cycles: u64,
+    /// Holdoff after the soft reset: cycles before the watchdog re-arms,
+    /// so the recovering datapath is not bitten again while it refills.
+    pub watchdog_holdoff_cycles: u64,
 }
 
 impl Default for RecoveryPolicy {
@@ -38,6 +49,9 @@ impl Default for RecoveryPolicy {
             holddown_cycles: 400,
             rejoin_cycles: 4000,
             scrub_words_per_cycle: 4,
+            watchdog_deadline_cycles: 1000,
+            watchdog_drain_cycles: 200,
+            watchdog_holdoff_cycles: 2000,
         }
     }
 }

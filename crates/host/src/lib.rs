@@ -6,6 +6,9 @@
 //! router management)" in the paper's words.
 //!
 //! * [`nic`] — the reference NIC driver (TX/RX over DMA, stats registers).
+//! * [`reliable`] — the reliable host I/O layer: sequenced sends with an
+//!   in-flight window, timeout/retry with exponential backoff, and
+//!   load-shedding — exactly-once transmission over the lossy DMA engine.
 //! * [`router_manager`] — the router management application: table
 //!   configuration through the register protocol and the full exception
 //!   path (ARP resolution, ICMP generation, slow-path forwarding).
@@ -27,6 +30,7 @@ pub mod controller;
 pub mod flowmon;
 pub mod nic;
 pub mod osnt_tool;
+pub mod reliable;
 pub mod router_manager;
 pub mod telemetry;
 
@@ -34,5 +38,6 @@ pub use controller::{BlueSwitchController, RuleSpec};
 pub use flowmon::{dump_flows, stream_deltas, top_talkers};
 pub use nic::NicDriver;
 pub use osnt_tool::{OsntTool, ProbeReport, ProbeRun};
+pub use reliable::{ReliableChannel, ReliableConfig, ReliableDriver};
 pub use router_manager::{Interface, RouterManager};
 pub use telemetry::{dump_stats, poll_events};

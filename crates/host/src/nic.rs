@@ -6,7 +6,7 @@
 use netfpga_core::stats::Counter;
 use netfpga_core::stream::{Meta, PortMask};
 use netfpga_core::telemetry::StatRegistry;
-use netfpga_pcie::DmaHandle;
+use netfpga_pcie::{DmaHandle, SendError};
 use netfpga_projects::reference_nic::{ReferenceNic, STATS_BASE};
 
 /// Driver statistics mirrored from software-side accounting (a snapshot;
@@ -44,20 +44,28 @@ impl NicDriver {
         }
     }
 
-    /// Transmit `frame` out of `port`. Returns `false` if the ring is full
-    /// (caller retries after running the simulation).
-    pub fn transmit(&mut self, port: u8, frame: Vec<u8>) -> bool {
+    /// Transmit `frame` out of `port`.
+    ///
+    /// # Errors
+    /// [`SendError::RingFull`] when the TX ring is full (retry after
+    /// running the simulation); [`SendError::Stalled`] when it is full and
+    /// the engine is frozen by a fault — draining needs the fault to lift
+    /// (or a watchdog soft reset). Refused frames count in `tx_busy`.
+    pub fn transmit(&mut self, port: u8, frame: Vec<u8>) -> Result<(), SendError> {
         let meta = Meta {
             len: frame.len() as u16,
             dst_ports: PortMask::single(port),
             ..Default::default()
         };
-        if self.dma.send_with_meta(frame, meta) {
-            self.stats.tx.incr();
-            true
-        } else {
-            self.stats.tx_busy.incr();
-            false
+        match self.dma.send_with_meta(frame, meta) {
+            Ok(()) => {
+                self.stats.tx.incr();
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.tx_busy.incr();
+                Err(e)
+            }
         }
     }
 
@@ -103,7 +111,7 @@ mod tests {
     fn driver_tx_rx_roundtrip() {
         let mut nic = ReferenceNic::new(&BoardSpec::sume(), 4);
         let mut drv = NicDriver::bind(&nic);
-        assert!(drv.transmit(2, vec![0xab; 80]));
+        assert!(drv.transmit(2, vec![0xab; 80]).is_ok());
         nic.chassis.send(1, vec![0xcd; 80]);
         nic.chassis.run_for(Time::from_us(10));
         assert_eq!(nic.chassis.recv(2), vec![vec![0xab; 80]]);
@@ -121,7 +129,7 @@ mod tests {
         let mut drv = NicDriver::bind(&nic);
         let mut busy = 0;
         for _ in 0..1000 {
-            if !drv.transmit(0, vec![0; 64]) {
+            if drv.transmit(0, vec![0; 64]) == Err(SendError::RingFull) {
                 busy += 1;
             }
         }

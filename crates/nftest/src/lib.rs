@@ -148,6 +148,29 @@ pub enum Step {
         /// Highest acceptable packet count (inclusive).
         hi: u64,
     },
+    /// Wedge the DMA engine through the fault plane: a stall no timer
+    /// clears — only a watchdog-driven soft reset recovers the engine.
+    /// Fails the plan if the chassis was built without a fault plane.
+    WedgeDma,
+    /// Run the simulation until the hardware watchdog bites (its bite
+    /// counter advances past its value at step entry), or fail if that
+    /// takes more than `max_cycles` core-clock cycles — the
+    /// time-to-recovery assertion for the reliable host-I/O plane. Fails
+    /// the plan if no watchdog is attached (attach DMA under a fault plan
+    /// carrying a recovery policy).
+    AwaitWatchdog {
+        /// Bite deadline, in core-clock cycles from now.
+        max_cycles: u64,
+    },
+    /// Require the DMA engine's delivered-ack count to read exactly
+    /// `accepted`: every sequenced packet the host accepted entered the
+    /// datapath exactly once — retries filled the gaps and the sequence
+    /// dedup filter swallowed the extra copies. Fails the plan if the
+    /// chassis has no DMA engine.
+    ExpectExactlyOnce {
+        /// Distinct sequenced packets accepted by the reliable layer.
+        accepted: u64,
+    },
     /// Read the quantile gauge `{path}.p{q}` (or `{path}.max` when
     /// `q >= 100`) from the telemetry block and require the value in
     /// `lo..=hi` — the assertion shape for queue-occupancy histograms,
@@ -285,6 +308,26 @@ impl TestPlan {
         self
     }
 
+    /// Append: wedge the DMA engine (only a watchdog bite recovers it).
+    pub fn wedge_dma(mut self) -> Self {
+        self.steps.push(Step::WedgeDma);
+        self
+    }
+
+    /// Append: run until the watchdog bites, failing after `max_cycles`
+    /// core-clock cycles.
+    pub fn await_watchdog(mut self, max_cycles: u64) -> Self {
+        self.steps.push(Step::AwaitWatchdog { max_cycles });
+        self
+    }
+
+    /// Append: expect the DMA delivered-ack count to read exactly
+    /// `accepted` — the exactly-once assertion for sequenced host TX.
+    pub fn expect_exactly_once(mut self, accepted: u64) -> Self {
+        self.steps.push(Step::ExpectExactlyOnce { accepted });
+        self
+    }
+
     /// Number of steps.
     pub fn len(&self) -> usize {
         self.steps.len()
@@ -405,8 +448,8 @@ pub fn run(plan: &TestPlan, chassis: &mut Chassis) -> TestReport {
             }
             Step::SendDma { frame, meta } => {
                 let dma = chassis.dma.clone().expect("plan uses DMA but chassis has none");
-                if !dma.send_with_meta(frame.clone(), *meta) {
-                    failures.push(format!("step {i}: DMA TX ring full"));
+                if let Err(err) = dma.send_with_meta(frame.clone(), *meta) {
+                    failures.push(format!("step {i}: DMA TX refused: {err}"));
                 }
             }
             Step::ExpectDma { frame } => {
@@ -529,6 +572,53 @@ pub fn run(plan: &TestPlan, chassis: &mut Chassis) -> TestReport {
                             "step {i}: flow {flow}: expected {lo}..={hi} packets, got {got}"
                         ));
                     }
+                }
+            }
+            Step::WedgeDma => match &chassis.faults {
+                Some(handle) => handle.inject(FaultKind::DmaWedge),
+                None => failures.push(format!(
+                    "step {i}: WedgeDma on a chassis without a fault plane \
+                     (build it with a non-inert FaultPlan)"
+                )),
+            },
+            Step::AwaitWatchdog { max_cycles } => {
+                checks += 1;
+                if !chassis.has_watchdog() {
+                    failures.push(format!(
+                        "step {i}: AwaitWatchdog on a chassis without a watchdog \
+                         (attach DMA under a fault plan with a recovery policy)"
+                    ));
+                } else {
+                    let baseline = chassis.watchdog_bites();
+                    let period = chassis.sim.period(chassis.clk);
+                    let deadline =
+                        chassis.sim.now() + Time::from_ps(period.as_ps() * max_cycles);
+                    while chassis.watchdog_bites() == baseline && chassis.sim.now() < deadline {
+                        chassis.run_for(Time::from_us(1));
+                    }
+                    state.drain(chassis);
+                    if chassis.watchdog_bites() == baseline {
+                        failures.push(format!(
+                            "step {i}: watchdog did not bite within {max_cycles} cycles"
+                        ));
+                    }
+                }
+            }
+            Step::ExpectExactlyOnce { accepted } => {
+                checks += 1;
+                match chassis.dma.clone() {
+                    Some(dma) => {
+                        let acked = dma.acked();
+                        if acked != *accepted {
+                            failures.push(format!(
+                                "step {i}: exactly-once violated: {accepted} packets \
+                                 accepted, {acked} delivered (dup discards: {})",
+                                dma.dup_discards()
+                            ));
+                        }
+                    }
+                    None => failures
+                        .push(format!("step {i}: ExpectExactlyOnce on a chassis without DMA")),
                 }
             }
             Step::ExpectQuantile { path, q, lo, hi } => {
@@ -860,6 +950,7 @@ mod tests {
             holddown_cycles: 100,
             rejoin_cycles: 800,
             scrub_words_per_cycle: 0,
+            ..RecoveryPolicy::default()
         };
         let mut sw = ReferenceSwitch::with_faults(
             &BoardSpec::sume(),

@@ -15,8 +15,59 @@ use netfpga_core::sim::{Module, TickContext, WakeHandle};
 use netfpga_core::stream::{segment_buf, Meta, Reassembler, StreamRx, StreamTx};
 use netfpga_core::time::Time;
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::rc::Rc;
+
+/// Why a host send was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The TX descriptor ring is full: the host is out-pacing the engine.
+    /// Back off and retry once descriptors complete.
+    RingFull,
+    /// The TX ring is full *and* the engine is frozen by a fault-plane
+    /// stall window or wedge — the backlog cannot drain until the fault
+    /// lifts (or a watchdog soft reset clears it).
+    Stalled,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::RingFull => write!(f, "TX descriptor ring full"),
+            SendError::Stalled => write!(f, "TX ring full and engine stalled"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Completion status of a sequenced TX descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStatus {
+    /// The packet was fully injected into the datapath.
+    Delivered,
+    /// The packet was discarded by a fault-plane drop window — an
+    /// *observable* loss the host can react to immediately.
+    Dropped,
+}
+
+/// One entry of the TX completion/ack ring: the engine's answer for a
+/// descriptor posted with [`DmaHandle::send_sequenced`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxCompletion {
+    /// The host-assigned sequence number of the descriptor.
+    pub seq: u64,
+    /// What happened to it.
+    pub status: TxStatus,
+    /// When the completion was recorded.
+    pub at: Time,
+}
+
+/// Completion-ring capacity as a multiple of the TX ring size. Generous:
+/// the host would have to ignore completions for several full ring
+/// generations before one is lost (lost completions are counted, and the
+/// retry layer recovers by re-posting — the engine dedups).
+const COMPLETION_RING_FACTOR: usize = 4;
 
 /// DMA statistics (exposed through the engine's register block in real
 /// designs).
@@ -36,20 +87,63 @@ pub struct DmaStats {
 
 #[derive(Debug, Default)]
 struct Rings {
-    tx: VecDeque<(PktBuf, Meta)>,
+    tx: VecDeque<(PktBuf, Meta, Option<u64>)>,
     rx: VecDeque<(PktBuf, Meta)>,
     stats: DmaStats,
+    /// Completion/ack ring for sequenced descriptors, oldest first.
+    tx_completions: VecDeque<TxCompletion>,
+    /// Completions discarded because the host let the ring fill up.
+    completion_drops: u64,
+    /// Sequence numbers already fully injected — the dedup set that makes
+    /// retry re-posts idempotent. Pruned by `advance_ack_floor`.
+    delivered: BTreeSet<u64>,
+    /// Sequenced descriptors acknowledged as delivered.
+    acked: u64,
+    /// Re-posted descriptors discarded because their sequence number had
+    /// already been delivered (exactly-once enforcement).
+    dup_discards: u64,
+    /// Monotonic progress heartbeat for watchdog probes: bumps whenever
+    /// the engine moves a descriptor or a word in either direction.
+    work_done: u64,
+    /// Mirror of the fault gate's stall state, refreshed every engine tick
+    /// so `DmaHandle::is_stalled` (and `SendError::Stalled`) stay fresh
+    /// whenever work is pending.
+    stalled: bool,
+    /// Whether a packet is partially injected (`inject` non-empty) — kept
+    /// here so watchdog probes see mid-packet work the TX ring no longer
+    /// shows.
+    injecting: bool,
     /// The engine's activity-cache flag: host sends arrive from outside
     /// the tick loop and must mark the cached classification dirty.
     wake: Option<WakeHandle>,
+    /// Woken when a completion is recorded — the reliable channel's
+    /// activity flag.
+    completion_wake: Option<WakeHandle>,
+}
+
+impl Rings {
+    fn push_completion(&mut self, seq: u64, status: TxStatus, at: Time, capacity: usize) {
+        if self.tx_completions.len() >= capacity {
+            self.completion_drops += 1;
+            return;
+        }
+        self.tx_completions.push_back(TxCompletion { seq, status, at });
+        if let Some(w) = &self.completion_wake {
+            w.wake();
+        }
+    }
 }
 
 #[derive(Debug, Default)]
 struct DmaFaultInner {
     stall_until: Time,
     drop_until: Time,
+    /// A wedge never expires on its own: only a soft reset (or a fault
+    /// plane reset) clears it.
+    wedged: bool,
     stalled_ticks: u64,
-    dropped: u64,
+    tx_dropped: u64,
+    rx_dropped: u64,
 }
 
 /// An externally driven fault gate for the DMA engine: the fault plane
@@ -80,9 +174,22 @@ impl DmaFaultGate {
         i.drop_until = i.drop_until.max(until);
     }
 
-    /// Whether a stall window is open at `now`.
+    /// Wedge the engine: a stall that never expires on its own. Models a
+    /// hung DMA core (dead descriptor fetch, PCIe deadlock) that only a
+    /// soft reset clears — the fault a hardware watchdog exists for.
+    pub fn wedge(&self) {
+        self.inner.borrow_mut().wedged = true;
+    }
+
+    /// Whether the gate is wedged.
+    pub fn wedged(&self) -> bool {
+        self.inner.borrow().wedged
+    }
+
+    /// Whether a stall window (or a wedge) is open at `now`.
     pub fn stalled_at(&self, now: Time) -> bool {
-        now < self.inner.borrow().stall_until
+        let i = self.inner.borrow();
+        i.wedged || now < i.stall_until
     }
 
     /// Whether a drop window is open at `now`.
@@ -97,7 +204,18 @@ impl DmaFaultGate {
 
     /// Packets discarded inside drop windows (both directions).
     pub fn dropped(&self) -> u64 {
-        self.inner.borrow().dropped
+        let i = self.inner.borrow();
+        i.tx_dropped + i.rx_dropped
+    }
+
+    /// Host-to-card packets discarded inside drop windows.
+    pub fn tx_dropped(&self) -> u64 {
+        self.inner.borrow().tx_dropped
+    }
+
+    /// Card-to-host packets discarded inside drop windows.
+    pub fn rx_dropped(&self) -> u64 {
+        self.inner.borrow().rx_dropped
     }
 
     /// Clear windows and counters (fault-plane reset).
@@ -105,15 +223,33 @@ impl DmaFaultGate {
         *self.inner.borrow_mut() = DmaFaultInner::default();
     }
 
+    /// Clear the wedge and any open stall/drop windows while *keeping* the
+    /// counters — what a soft reset does: the engine un-wedges, but the
+    /// damage stays visible in telemetry.
+    pub fn clear_windows(&self) {
+        let mut i = self.inner.borrow_mut();
+        i.wedged = false;
+        i.stall_until = Time::ZERO;
+        i.drop_until = Time::ZERO;
+    }
+
     /// Register the gate's counters on `registry` as gauges under
-    /// `prefix` (e.g. `dma.gate`): `stalled_ticks` and `dropped`.
+    /// `prefix` (e.g. `dma.fault`): `stalled_ticks`, `dropped` (the
+    /// directional sum), `tx_dropped` and `rx_dropped`.
     pub fn register_stats(&self, registry: &netfpga_core::telemetry::StatRegistry, prefix: &str) {
         let inner = self.inner.clone();
         registry.gauge(&format!("{prefix}.stalled_ticks"), move || {
             inner.borrow().stalled_ticks
         });
         let inner = self.inner.clone();
-        registry.gauge(&format!("{prefix}.dropped"), move || inner.borrow().dropped);
+        registry.gauge(&format!("{prefix}.dropped"), move || {
+            let i = inner.borrow();
+            i.tx_dropped + i.rx_dropped
+        });
+        let inner = self.inner.clone();
+        registry.gauge(&format!("{prefix}.tx_dropped"), move || inner.borrow().tx_dropped);
+        let inner = self.inner.clone();
+        registry.gauge(&format!("{prefix}.rx_dropped"), move || inner.borrow().rx_dropped);
     }
 }
 
@@ -126,8 +262,13 @@ pub struct DmaHandle {
 
 impl DmaHandle {
     /// Queue a packet for injection, with the CPU port recorded as its
-    /// source. Returns `false` if the TX ring is full.
-    pub fn send(&self, packet: impl Into<PktBuf>, src_port: u8) -> bool {
+    /// source.
+    ///
+    /// # Errors
+    /// [`SendError::RingFull`] when the TX ring is full;
+    /// [`SendError::Stalled`] when it is full *and* the engine is frozen
+    /// by a fault-plane stall or wedge.
+    pub fn send(&self, packet: impl Into<PktBuf>, src_port: u8) -> Result<(), SendError> {
         let packet = packet.into();
         let meta = Meta { len: packet.len() as u16, src_port, ..Meta::default() };
         self.send_with_meta(packet, meta)
@@ -135,19 +276,109 @@ impl DmaHandle {
 
     /// Queue a packet with explicit metadata (tests use this to pre-fill
     /// destination masks, bypassing lookup stages).
-    pub fn send_with_meta(&self, packet: impl Into<PktBuf>, mut meta: Meta) -> bool {
-        let packet = packet.into();
+    ///
+    /// # Errors
+    /// See [`DmaHandle::send`].
+    pub fn send_with_meta(
+        &self,
+        packet: impl Into<PktBuf>,
+        meta: Meta,
+    ) -> Result<(), SendError> {
+        self.post(packet.into(), meta, None)
+    }
+
+    /// Queue a packet stamped with a host-assigned sequence number. The
+    /// engine answers through the completion ring
+    /// ([`DmaHandle::pop_completion`]): `Delivered` once the packet is
+    /// fully injected into the datapath, `Dropped` if a fault window
+    /// discarded it. Re-posting an already-delivered sequence number is
+    /// discarded by the engine (counted in `dup_discards`), which is what
+    /// makes retry-on-timeout exactly-once.
+    ///
+    /// # Errors
+    /// See [`DmaHandle::send`].
+    pub fn send_sequenced(
+        &self,
+        packet: impl Into<PktBuf>,
+        meta: Meta,
+        seq: u64,
+    ) -> Result<(), SendError> {
+        self.post(packet.into(), meta, Some(seq))
+    }
+
+    fn post(&self, packet: PktBuf, mut meta: Meta, seq: Option<u64>) -> Result<(), SendError> {
         assert!(!packet.is_empty(), "empty packet");
         let mut r = self.rings.borrow_mut();
         if r.tx.len() >= self.tx_capacity {
-            return false;
+            return Err(if r.stalled { SendError::Stalled } else { SendError::RingFull });
         }
         meta.len = packet.len() as u16;
-        r.tx.push_back((packet, meta));
+        r.tx.push_back((packet, meta, seq));
         if let Some(w) = &r.wake {
             w.wake();
         }
-        true
+        Ok(())
+    }
+
+    /// Take the oldest TX completion, if any.
+    pub fn pop_completion(&self) -> Option<TxCompletion> {
+        self.rings.borrow_mut().tx_completions.pop_front()
+    }
+
+    /// Completions waiting in the ack ring.
+    pub fn completions_pending(&self) -> usize {
+        self.rings.borrow().tx_completions.len()
+    }
+
+    /// Completions lost because the host let the ack ring overflow.
+    pub fn completion_drops(&self) -> u64 {
+        self.rings.borrow().completion_drops
+    }
+
+    /// Sequenced descriptors acknowledged as delivered.
+    pub fn acked(&self) -> u64 {
+        self.rings.borrow().acked
+    }
+
+    /// Re-posts discarded because their sequence number was already
+    /// delivered.
+    pub fn dup_discards(&self) -> u64 {
+        self.rings.borrow().dup_discards
+    }
+
+    /// Prune the engine's dedup set: the host promises never to (re-)post
+    /// a sequence number below `floor` again, so delivered entries below
+    /// it can be forgotten. The reliable channel calls this with the base
+    /// of its in-flight window, keeping the set bounded by the window.
+    pub fn advance_ack_floor(&self, floor: u64) {
+        let mut r = self.rings.borrow_mut();
+        r.delivered = r.delivered.split_off(&floor);
+    }
+
+    /// Whether the engine was frozen by a fault-plane stall or wedge at
+    /// its last tick.
+    pub fn is_stalled(&self) -> bool {
+        self.rings.borrow().stalled
+    }
+
+    /// Monotonic progress heartbeat: bumps whenever the engine moves a
+    /// descriptor or word in either direction. A watchdog pairs this with
+    /// [`DmaHandle::has_work`] to detect a wedge.
+    pub fn progress(&self) -> u64 {
+        self.rings.borrow().work_done
+    }
+
+    /// Whether host-to-card work is pending (TX descriptors queued or a
+    /// packet partially injected).
+    pub fn has_work(&self) -> bool {
+        let r = self.rings.borrow();
+        !r.tx.is_empty() || r.injecting
+    }
+
+    /// Register the reliable channel's activity flag: woken whenever the
+    /// engine records a TX completion.
+    pub fn set_completion_wake(&self, wake: WakeHandle) {
+        self.rings.borrow_mut().completion_wake = Some(wake);
     }
 
     /// Take the oldest received packet, if any.
@@ -172,12 +403,13 @@ impl DmaHandle {
 
     /// Register the engine's counters on `registry` as gauges under
     /// `prefix` (e.g. `dma`): `tx.packets`, `tx.bytes`, `rx.packets`,
-    /// `rx.bytes`, `rx.drops`, plus the live ring depths `tx.pending` and
-    /// `rx.pending`. Gauges read the shared ring state, so telemetry values
-    /// match [`DmaHandle::stats`] bit for bit.
+    /// `rx.bytes`, `rx.drops`, the live ring depths `tx.pending` and
+    /// `rx.pending`, plus the sequenced-delivery counters `acked`,
+    /// `dup_discards` and `completion_drops`. Gauges read the shared ring
+    /// state, so telemetry values match [`DmaHandle::stats`] bit for bit.
     pub fn register_stats(&self, registry: &netfpga_core::telemetry::StatRegistry, prefix: &str) {
         type Field = fn(&Rings) -> u64;
-        let fields: [(&str, Field); 7] = [
+        let fields: [(&str, Field); 10] = [
             ("tx.packets", |r| r.stats.tx_packets),
             ("tx.bytes", |r| r.stats.tx_bytes),
             ("rx.packets", |r| r.stats.rx_packets),
@@ -185,6 +417,9 @@ impl DmaHandle {
             ("rx.drops", |r| r.stats.rx_drops),
             ("tx.pending", |r| r.tx.len() as u64),
             ("rx.pending", |r| r.rx.len() as u64),
+            ("acked", |r| r.acked),
+            ("dup_discards", |r| r.dup_discards),
+            ("completion_drops", |r| r.completion_drops),
         ];
         for (name, field) in fields {
             let rings = self.rings.clone();
@@ -204,6 +439,12 @@ pub struct DmaEngine {
     from_card: StreamRx,
     /// Words of the packet currently being injected.
     inject: VecDeque<netfpga_core::stream::Word>,
+    /// Sequence number of the packet currently being injected; acked only
+    /// once its last word enters the datapath (a soft reset mid-injection
+    /// therefore leaves it unacked, and the retry layer re-posts it).
+    inject_seq: Option<u64>,
+    /// Completion-ring capacity.
+    completion_capacity: usize,
     /// PCIe pacing, per direction.
     h2c_free_at: Time,
     c2h_free_at: Time,
@@ -239,6 +480,8 @@ impl DmaEngine {
                 to_card,
                 from_card,
                 inject: VecDeque::new(),
+                inject_seq: None,
+                completion_capacity: COMPLETION_RING_FACTOR * tx_capacity,
                 h2c_free_at: Time::ZERO,
                 c2h_free_at: Time::ZERO,
                 reasm: Reassembler::new(),
@@ -255,6 +498,28 @@ impl DmaEngine {
         self.fault = Some(gate);
         self
     }
+
+    /// A `(progress, work-pending)` closure pair for a watchdog probe:
+    /// `progress` is the engine's monotonic heartbeat, `pending` covers
+    /// queued TX descriptors, a partially injected packet, and undrained
+    /// card-to-host words. Capture this before registering the engine on
+    /// the simulator.
+    pub fn progress_probe(&self) -> impl Fn() -> (u64, bool) + 'static {
+        let rings = self.rings.clone();
+        let from_card = self.from_card.clone();
+        move || {
+            let r = rings.borrow();
+            (r.work_done, !r.tx.is_empty() || r.injecting || from_card.can_pop())
+        }
+    }
+
+    /// Record a delivered sequenced packet: ack ring entry + dedup set.
+    fn ack_delivered(rings: &Rc<RefCell<Rings>>, seq: u64, at: Time, capacity: usize) {
+        let mut r = rings.borrow_mut();
+        r.delivered.insert(seq);
+        r.acked += 1;
+        r.push_completion(seq, TxStatus::Delivered, at, capacity);
+    }
 }
 
 impl Module for DmaEngine {
@@ -263,51 +528,84 @@ impl Module for DmaEngine {
     }
 
     fn tick(&mut self, ctx: &TickContext) {
-        // Fault gate: inside a stall window the engine freezes entirely
-        // (descriptor fetch, injection and absorption all stop); inside a
-        // drop window packets crossing the engine are discarded.
+        // Fault gate: inside a stall window (or wedge) the engine freezes
+        // entirely (descriptor fetch, injection and absorption all stop);
+        // inside a drop window packets crossing the engine are discarded.
         let mut dropping = false;
         if let Some(gate) = &self.fault {
             if gate.stalled_at(ctx.now) {
                 let has_work = !self.inject.is_empty()
                     || self.from_card.can_pop()
                     || !self.rings.borrow().tx.is_empty();
+                self.rings.borrow_mut().stalled = true;
                 if has_work {
                     gate.inner.borrow_mut().stalled_ticks += 1;
                 }
                 return;
             }
+            self.rings.borrow_mut().stalled = false;
             dropping = gate.dropping_at(ctx.now);
         }
         // Host → card: fetch the next TX descriptor once the link is free,
         // then stream it into the datapath a word per cycle.
         if self.inject.is_empty() && self.h2c_free_at <= ctx.now {
             let popped = self.rings.borrow_mut().tx.pop_front();
-            if dropping && popped.is_some() {
-                self.fault.as_ref().expect("gate present").inner.borrow_mut().dropped += 1;
-            } else if let Some((packet, mut meta)) = popped {
-                self.h2c_free_at = ctx.now + self.config.transfer_time(packet.len());
-                meta.ingress_time = ctx.now;
+            if let Some((packet, mut meta, seq)) = popped {
+                let dup = match seq {
+                    Some(s) => self.rings.borrow().delivered.contains(&s),
+                    None => false,
+                };
                 let mut r = self.rings.borrow_mut();
-                r.stats.tx_packets += 1;
-                r.stats.tx_bytes += packet.len() as u64;
-                drop(r);
-                self.inject = segment_buf(&packet, self.to_card.width(), meta).into();
+                r.work_done += 1;
+                if dup {
+                    // A retry re-post of an already-delivered sequence
+                    // number: discard, keeping delivery exactly-once.
+                    r.dup_discards += 1;
+                } else if dropping {
+                    let cap = self.completion_capacity;
+                    if let Some(s) = seq {
+                        r.push_completion(s, TxStatus::Dropped, ctx.now, cap);
+                    }
+                    drop(r);
+                    self.fault.as_ref().expect("gate present").inner.borrow_mut().tx_dropped +=
+                        1;
+                } else {
+                    self.h2c_free_at = ctx.now + self.config.transfer_time(packet.len());
+                    meta.ingress_time = ctx.now;
+                    r.stats.tx_packets += 1;
+                    r.stats.tx_bytes += packet.len() as u64;
+                    r.injecting = true;
+                    drop(r);
+                    self.inject = segment_buf(&packet, self.to_card.width(), meta).into();
+                    self.inject_seq = seq;
+                }
             }
         }
         if !self.inject.is_empty() && self.to_card.can_push() {
             let word = self.inject.pop_front().expect("checked non-empty");
             self.to_card.push(word);
+            let mut r = self.rings.borrow_mut();
+            r.work_done += 1;
+            if self.inject.is_empty() {
+                // Last word entered the datapath: the packet is delivered
+                // from the host's point of view — ack it.
+                r.injecting = false;
+                drop(r);
+                if let Some(s) = self.inject_seq.take() {
+                    Self::ack_delivered(&self.rings, s, ctx.now, self.completion_capacity);
+                }
+            }
         }
 
         // Card → host: absorb a word per cycle; on packet completion, pace
         // the link and deliver (or drop on ring overflow).
         if self.c2h_free_at <= ctx.now {
             if let Some(word) = self.from_card.pop() {
+                self.rings.borrow_mut().work_done += 1;
                 if let Some((packet, meta)) = self.reasm.push(word) {
                     self.c2h_free_at = ctx.now + self.config.transfer_time(packet.len());
                     if dropping {
-                        self.fault.as_ref().expect("gate present").inner.borrow_mut().dropped +=
+                        self.fault.as_ref().expect("gate present").inner.borrow_mut().rx_dropped +=
                             1;
                         return;
                     }
@@ -326,6 +624,7 @@ impl Module for DmaEngine {
 
     fn reset(&mut self) {
         self.inject.clear();
+        self.inject_seq = None;
         self.reasm = Reassembler::new();
         self.h2c_free_at = Time::ZERO;
         self.c2h_free_at = Time::ZERO;
@@ -333,6 +632,40 @@ impl Module for DmaEngine {
         r.tx.clear();
         r.rx.clear();
         r.stats = DmaStats::default();
+        r.tx_completions.clear();
+        r.completion_drops = 0;
+        r.delivered.clear();
+        r.acked = 0;
+        r.dup_discards = 0;
+        r.work_done = 0;
+        r.stalled = false;
+        r.injecting = false;
+    }
+
+    /// Watchdog-driven recovery: flush in-flight injection and reassembly
+    /// state, restart the pacing marks and clear any fault-gate wedge —
+    /// while keeping delivered packets, statistics, the completion ring
+    /// and the dedup set. A packet caught mid-injection is *not* acked
+    /// (its orphan words are discarded by downstream resync), so the retry
+    /// layer re-posts it; pending TX descriptors are flushed the same way
+    /// — unacked, and therefore re-posted — mirroring how a real soft
+    /// reset invalidates the engine's descriptor fetch state.
+    fn soft_reset(&mut self) {
+        self.inject.clear();
+        self.inject_seq = None;
+        if self.reasm.resync() {
+            self.rings.borrow_mut().stats.rx_drops += 1;
+        }
+        self.h2c_free_at = Time::ZERO;
+        self.c2h_free_at = Time::ZERO;
+        let mut r = self.rings.borrow_mut();
+        r.tx.clear();
+        r.stalled = false;
+        r.injecting = false;
+        drop(r);
+        if let Some(gate) = &self.fault {
+            gate.clear_windows();
+        }
     }
 
     /// Idle when both directions have nothing queued: no TX descriptors,
@@ -391,7 +724,7 @@ mod tests {
     fn host_to_card_roundtrip() {
         let (mut sim, handle, _inject, captured) = setup(8, 8);
         let pkt = vec![0x42u8; 200];
-        assert!(handle.send(pkt.clone(), 1));
+        assert!(handle.send(pkt.clone(), 1).is_ok());
         sim.run_until(Time::from_us(5));
         assert_eq!(captured.total_packets(), 1);
         let got = captured.pop().unwrap();
@@ -416,9 +749,9 @@ mod tests {
     #[test]
     fn tx_ring_capacity() {
         let (_sim, handle, _inject, _captured) = setup(2, 8);
-        assert!(handle.send(vec![0; 64], 0));
-        assert!(handle.send(vec![0; 64], 0));
-        assert!(!handle.send(vec![0; 64], 0), "ring full");
+        assert!(handle.send(vec![0; 64], 0).is_ok());
+        assert!(handle.send(vec![0; 64], 0).is_ok());
+        assert_eq!(handle.send(vec![0; 64], 0), Err(SendError::RingFull));
         assert_eq!(handle.tx_pending(), 2);
     }
 
@@ -441,8 +774,8 @@ mod tests {
         // after the first.
         let (mut sim, handle, _inject, captured) = setup(8, 8);
         let len = 4096;
-        handle.send(vec![0u8; len], 0);
-        handle.send(vec![1u8; len], 0);
+        handle.send(vec![0u8; len], 0).unwrap();
+        handle.send(vec![1u8; len], 0).unwrap();
         sim.run_until(Time::from_us(50));
         assert_eq!(captured.total_packets(), 2);
         let a = captured.pop().unwrap();
@@ -456,7 +789,7 @@ mod tests {
     #[should_panic(expected = "empty packet")]
     fn empty_send_rejected() {
         let (_sim, handle, _i, _c) = setup(2, 2);
-        handle.send(Vec::new(), 0);
+        let _ = handle.send(Vec::new(), 0);
     }
 
     fn setup_with_gate() -> (
@@ -488,7 +821,7 @@ mod tests {
     fn stall_window_defers_injection() {
         let (mut sim, handle, _inject, captured, gate) = setup_with_gate();
         gate.stall_until(Time::from_us(3));
-        assert!(handle.send(vec![9u8; 128], 0));
+        assert!(handle.send(vec![9u8; 128], 0).is_ok());
         sim.run_until(Time::from_us(2));
         assert_eq!(captured.total_packets(), 0, "frozen inside the window");
         assert!(gate.stalled_ticks() > 0);
@@ -501,15 +834,17 @@ mod tests {
     fn drop_window_discards_and_counts() {
         let (mut sim, handle, inject, captured, gate) = setup_with_gate();
         gate.drop_until(Time::from_us(5));
-        assert!(handle.send(vec![1u8; 64], 0)); // h2c: dropped
+        assert!(handle.send(vec![1u8; 64], 0).is_ok()); // h2c: dropped
         inject.push(vec![2u8; 64], 1); // c2h: dropped
         sim.run_until(Time::from_us(4));
         assert_eq!(captured.total_packets(), 0);
         assert!(handle.recv().is_none());
         assert_eq!(gate.dropped(), 2);
+        assert_eq!(gate.tx_dropped(), 1);
+        assert_eq!(gate.rx_dropped(), 1);
         // After the window, traffic flows again.
         sim.run_until(Time::from_us(6));
-        assert!(handle.send(vec![3u8; 64], 0));
+        assert!(handle.send(vec![3u8; 64], 0).is_ok());
         inject.push(vec![4u8; 64], 1);
         sim.run_until(Time::from_us(10));
         assert_eq!(captured.total_packets(), 1);
@@ -521,12 +856,145 @@ mod tests {
     #[test]
     fn inert_gate_is_invisible() {
         let (mut sim, handle, inject, captured, gate) = setup_with_gate();
-        handle.send(vec![5u8; 256], 0);
+        handle.send(vec![5u8; 256], 0).unwrap();
         inject.push(vec![6u8; 256], 2);
         sim.run_until(Time::from_us(10));
         assert_eq!(captured.total_packets(), 1);
         assert!(handle.recv().is_some());
         assert_eq!(gate.dropped(), 0);
         assert_eq!(gate.stalled_ticks(), 0);
+    }
+
+    /// A sequenced send is acknowledged through the completion ring once
+    /// the last word enters the datapath.
+    #[test]
+    fn sequenced_send_acks_on_delivery() {
+        let (mut sim, handle, _inject, captured) = setup(8, 8);
+        let meta = Meta { src_port: 3, ..Meta::default() };
+        handle.send_sequenced(vec![0xaau8; 200], meta, 17).unwrap();
+        assert_eq!(handle.completions_pending(), 0);
+        sim.run_until(Time::from_us(5));
+        assert_eq!(captured.total_packets(), 1);
+        let c = handle.pop_completion().expect("completion recorded");
+        assert_eq!(c.seq, 17);
+        assert_eq!(c.status, TxStatus::Delivered);
+        assert!(c.at > Time::ZERO);
+        assert_eq!(handle.acked(), 1);
+        assert!(handle.pop_completion().is_none());
+    }
+
+    /// Re-posting an already-delivered sequence number is discarded by the
+    /// engine: exactly one copy reaches the datapath.
+    #[test]
+    fn duplicate_repost_is_discarded() {
+        let (mut sim, handle, _inject, captured) = setup(8, 8);
+        let meta = Meta::default();
+        handle.send_sequenced(vec![1u8; 100], meta, 5).unwrap();
+        sim.run_until(Time::from_us(5));
+        assert_eq!(captured.total_packets(), 1);
+        // The host "missed" the ack and re-posts the same sequence.
+        handle.send_sequenced(vec![1u8; 100], meta, 5).unwrap();
+        sim.run_until(Time::from_us(10));
+        assert_eq!(captured.total_packets(), 1, "duplicate must not inject");
+        assert_eq!(handle.dup_discards(), 1);
+        // The dedup entry survives until the host advances the ack floor.
+        handle.advance_ack_floor(6);
+        handle.send_sequenced(vec![2u8; 100], meta, 6).unwrap();
+        sim.run_until(Time::from_us(15));
+        assert_eq!(captured.total_packets(), 2);
+    }
+
+    /// A drop window produces an observable `Dropped` completion for
+    /// sequenced descriptors instead of silent loss.
+    #[test]
+    fn drop_window_reports_dropped_completion() {
+        let (mut sim, handle, _inject, captured, gate) = setup_with_gate();
+        gate.drop_until(Time::from_us(5));
+        handle.send_sequenced(vec![7u8; 64], Meta::default(), 1).unwrap();
+        sim.run_until(Time::from_us(4));
+        assert_eq!(captured.total_packets(), 0);
+        let c = handle.pop_completion().expect("drop completion");
+        assert_eq!(c.seq, 1);
+        assert_eq!(c.status, TxStatus::Dropped);
+        assert_eq!(handle.acked(), 0);
+        assert_eq!(gate.tx_dropped(), 1);
+    }
+
+    /// A full TX ring behind a wedge reports `Stalled` (not plain
+    /// `RingFull`), and a soft reset un-wedges the engine. The flushed
+    /// descriptors were never acked, so a retry layer re-posts them.
+    #[test]
+    fn wedge_reports_stalled_and_soft_reset_recovers() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("core", Frequency::mhz(200));
+        let (h2c_tx, h2c_rx) = Stream::new(8, 32);
+        let (c2h_tx, c2h_rx) = Stream::new(8, 32);
+        let gate = DmaFaultGate::new();
+        let (engine, handle) =
+            DmaEngine::new("dma", PcieConfig::gen3_x8(), h2c_tx, c2h_rx, 2, 8);
+        let engine = engine.with_fault_gate(gate.clone());
+        let (sink, captured) = PacketSink::new("to_card_sink", h2c_rx);
+        let (_source, _inject) = PacketSource::new("from_card_src", c2h_tx);
+        sim.add_module(clk, engine);
+        sim.add_module(clk, sink);
+        gate.wedge();
+        handle.send_sequenced(vec![1u8; 64], Meta::default(), 0).unwrap();
+        handle.send_sequenced(vec![2u8; 64], Meta::default(), 1).unwrap();
+        sim.run_until(Time::from_us(3));
+        assert_eq!(captured.total_packets(), 0, "wedged engine moves nothing");
+        assert!(handle.is_stalled());
+        assert_eq!(
+            handle.send_sequenced(vec![3u8; 64], Meta::default(), 2),
+            Err(SendError::Stalled)
+        );
+        assert!(gate.stalled_ticks() > 0);
+        // Soft reset: un-wedge, flush the ring; nothing was acked.
+        sim.soft_reset();
+        assert!(!gate.wedged());
+        assert_eq!(handle.tx_pending(), 0);
+        assert_eq!(handle.acked(), 0);
+        // Retry layer re-posts; now they deliver and ack exactly once.
+        handle.send_sequenced(vec![1u8; 64], Meta::default(), 0).unwrap();
+        handle.send_sequenced(vec![2u8; 64], Meta::default(), 1).unwrap();
+        sim.run_until(Time::from_us(8));
+        assert_eq!(captured.total_packets(), 2);
+        assert_eq!(handle.acked(), 2);
+    }
+
+    /// The progress probe reports forward motion while work flows and
+    /// pending-but-stuck while wedged — the watchdog's trigger condition.
+    #[test]
+    fn progress_probe_tracks_work_and_pending() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("core", Frequency::mhz(200));
+        let (h2c_tx, h2c_rx) = Stream::new(8, 32);
+        let (c2h_tx, c2h_rx) = Stream::new(8, 32);
+        let gate = DmaFaultGate::new();
+        let (engine, handle) =
+            DmaEngine::new("dma", PcieConfig::gen3_x8(), h2c_tx, c2h_rx, 8, 8);
+        let engine = engine.with_fault_gate(gate.clone());
+        let probe = engine.progress_probe();
+        let (sink, _captured) = PacketSink::new("to_card_sink", h2c_rx);
+        let (_source, _inject) = PacketSource::new("from_card_src", c2h_tx);
+        sim.add_module(clk, engine);
+        sim.add_module(clk, sink);
+        let (p0, pending0) = probe();
+        assert_eq!(p0, 0);
+        assert!(!pending0, "idle engine has nothing pending");
+        handle.send(vec![1u8; 128], 0).unwrap();
+        let (_, pending1) = probe();
+        assert!(pending1, "queued descriptor is pending work");
+        sim.run_until(Time::from_us(5));
+        let (p2, pending2) = probe();
+        assert!(p2 > 0, "delivery advanced the heartbeat");
+        assert!(!pending2);
+        // Wedge with work queued: pending stays true, progress freezes.
+        gate.wedge();
+        handle.send(vec![2u8; 128], 0).unwrap();
+        let (p3, _) = probe();
+        sim.run_until(Time::from_us(10));
+        let (p4, pending4) = probe();
+        assert_eq!(p3, p4, "no progress while wedged");
+        assert!(pending4);
     }
 }

@@ -23,5 +23,5 @@ pub mod dma;
 pub mod mmio;
 
 pub use config::PcieConfig;
-pub use dma::{DmaEngine, DmaFaultGate, DmaHandle, DmaStats};
+pub use dma::{DmaEngine, DmaFaultGate, DmaHandle, DmaStats, SendError, TxCompletion, TxStatus};
 pub use mmio::{MmioBridge, MmioPort};

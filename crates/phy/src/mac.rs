@@ -305,6 +305,14 @@ impl Module for EthMacTx {
         *self.stats.0.borrow_mut() = MacStats::default();
     }
 
+    /// Watchdog recovery: discard a partially reassembled frame (its tail
+    /// was flushed upstream) and restart the wire pacing mark. Statistics
+    /// and configuration survive.
+    fn soft_reset(&mut self) {
+        self.reasm.resync();
+        self.line_busy_until = Time::ZERO;
+    }
+
     /// Idle when the datapath has no word for us: the backlog gate and wire
     /// schedule only change when a word is consumed.
     fn is_quiescent(&self) -> bool {
@@ -437,6 +445,16 @@ impl Module for EthMacRx {
     fn reset(&mut self) {
         self.pending.clear();
         *self.stats.0.borrow_mut() = MacStats::default();
+    }
+
+    /// Watchdog recovery: a frame whose leading words already entered the
+    /// datapath is truncated (the stage downstream resyncs); an untouched
+    /// staged frame — its `sop` still at the front — survives intact.
+    /// Frames still arriving on the wire are untouched.
+    fn soft_reset(&mut self) {
+        if self.pending.front().is_some_and(|w| !w.sop) {
+            self.pending.clear();
+        }
     }
 
     /// Idle only when no words are staged *and* the wire is completely

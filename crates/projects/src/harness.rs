@@ -20,7 +20,11 @@ use netfpga_core::telemetry::{
     EventRing, StatBlock, StatRegistry, EVENTS_BASE, EVENTS_SIZE, TELEMETRY_BASE, TELEMETRY_SIZE,
 };
 use netfpga_core::time::{BitRate, Time};
-use netfpga_faults::{FaultHandle, FaultInjector, FaultPlan, FaultRegisters, FAULTS_BASE};
+use netfpga_core::stats::Counter;
+use netfpga_faults::{
+    FaultHandle, FaultInjector, FaultPlan, FaultRegisters, ProgressProbe, Watchdog,
+    WatchdogConfig, FAULTS_BASE,
+};
 use netfpga_pcie::{DmaEngine, DmaHandle, MmioBridge, MmioPort, PcieConfig};
 use netfpga_phy::mac::{wire_bytes, EthMacRx, EthMacTx, SharedMacStats, WireFrame};
 use netfpga_phy::{LinkState, PcsHandle, PcsPort, Wire};
@@ -77,6 +81,13 @@ pub struct Chassis {
     tx_stats: Vec<SharedMacStats>,
     bus_width: usize,
     pcie: PcieConfig,
+    /// The DMA engine's progress probe, stashed by [`Chassis::attach_dma`]
+    /// for the watchdog to consume.
+    dma_probe: Option<ProgressProbe>,
+    /// The fault plan's recovery policy (watchdog knobs live here).
+    recovery: Option<netfpga_faults::RecoveryPolicy>,
+    /// The watchdog's bite counter, when one is attached.
+    watchdog_bites: Option<Counter>,
 }
 
 impl Chassis {
@@ -204,7 +215,7 @@ impl Chassis {
         let faults = injector.map(|(mut inj, handle)| {
             inj.set_event_ring(events.clone());
             handle.counters().register_stats(&telemetry, "faults");
-            handle.dma_gate().register_stats(&telemetry, "faults.dma");
+            handle.dma_gate().register_stats(&telemetry, "dma.fault");
             // The recovery plane: one PCS retrain state machine per port,
             // wired to the injector (which publishes raw signal into it and
             // gates forwarding on its reported state), plus a background
@@ -257,6 +268,7 @@ impl Chassis {
             lanes: spec.pcie.lanes,
             ..PcieConfig::gen3_x8()
         };
+        let recovery = plan.recovery;
         (
             Chassis {
                 sim,
@@ -273,6 +285,9 @@ impl Chassis {
                 tx_stats,
                 bus_width: spec.bus_width,
                 pcie,
+                dma_probe: None,
+                recovery,
+                watchdog_bites: None,
             },
             ChassisIo { from_ports, to_ports },
         )
@@ -294,15 +309,50 @@ impl Chassis {
     }
 
     /// Attach a DMA engine between the host and the given datapath streams
-    /// (`to_card` feeds the datapath, `from_card` drains it).
+    /// (`to_card` feeds the datapath, `from_card` drains it). On a chassis
+    /// whose fault plan carries a recovery policy, a hardware watchdog is
+    /// wired to the engine's progress probe as well (see
+    /// [`Chassis::attach_watchdog`]).
     pub fn attach_dma(&mut self, to_card: StreamTx, from_card: StreamRx) {
         let (mut engine, handle) = DmaEngine::new("dma", self.pcie, to_card, from_card, 256, 256);
         if let Some(faults) = &self.faults {
             engine = engine.with_fault_gate(faults.dma_gate());
         }
         handle.register_stats(&self.telemetry, "dma");
+        self.dma_probe = Some(Box::new(engine.progress_probe()));
         self.sim.add_module(self.clk, engine);
         self.dma = Some(handle);
+        if let Some(policy) = self.recovery {
+            self.attach_watchdog(WatchdogConfig::from_policy(&policy));
+        }
+    }
+
+    /// Attach the hardware watchdog: it monitors the DMA engine's progress
+    /// probe (call after [`Chassis::attach_dma`]) against `config`'s
+    /// deadline and, on a bite, publishes a
+    /// [`WatchdogBite`](netfpga_core::telemetry::EventKind) to the event
+    /// ring, waits the drain window, pulls the simulator's soft-reset
+    /// line, and holds off before re-arming. Its bite counter is mounted
+    /// at `watchdog.bites` and readable via [`Chassis::watchdog_bites`].
+    pub fn attach_watchdog(&mut self, config: WatchdogConfig) {
+        let mut wd = Watchdog::new("watchdog", config, self.sim.soft_reset_line());
+        if let Some(probe) = self.dma_probe.take() {
+            wd.add_probe("dma", probe);
+        }
+        wd.set_event_ring(self.events.clone());
+        wd.register_stats(&self.telemetry, "watchdog");
+        self.watchdog_bites = Some(wd.bites());
+        self.sim.add_module(self.clk, wd);
+    }
+
+    /// Watchdog bites so far (0 when no watchdog is attached).
+    pub fn watchdog_bites(&self) -> u64 {
+        self.watchdog_bites.as_ref().map_or(0, Counter::get)
+    }
+
+    /// True when a hardware watchdog is attached.
+    pub fn has_watchdog(&self) -> bool {
+        self.watchdog_bites.is_some()
     }
 
     /// Attach the MMIO bridge onto the chassis register map, auto-mounting

@@ -167,7 +167,7 @@ mod tests {
             dst_ports: netfpga_core::stream::PortMask::single(2),
             ..Default::default()
         };
-        assert!(dma.send_with_meta(frame(0x77), meta));
+        assert!(dma.send_with_meta(frame(0x77), meta).is_ok());
         nic.chassis.run_for(Time::from_us(10));
         assert_eq!(nic.chassis.recv(2), vec![frame(0x77)]);
         assert!(nic.chassis.recv(0).is_empty());
@@ -183,7 +183,7 @@ mod tests {
                 dst_ports: netfpga_core::stream::PortMask::single(1),
                 ..Default::default()
             };
-            dma.send_with_meta(frame(100 + i), meta);
+            assert!(dma.send_with_meta(frame(100 + i), meta).is_ok());
         }
         nic.chassis.run_for(Time::from_us(50));
         let mut host_rx = 0;

@@ -542,7 +542,7 @@ mod tests {
             dst_ports: PortMask::single(0),
             ..Default::default()
         };
-        assert!(dma.send_with_meta(frame.clone(), meta));
+        assert!(dma.send_with_meta(frame.clone(), meta).is_ok());
         r.chassis.run_for(Time::from_us(10));
         assert_eq!(r.chassis.recv(0), vec![frame]);
     }

@@ -61,7 +61,7 @@ fn main() {
         .ipv4(Ipv4Address::new(10, 0, 0, 2), Ipv4Address::new(10, 0, 0, 1))
         .udp(9000, 4000, b"reply from host")
         .build();
-    driver.transmit(3, tx);
+    driver.transmit(3, tx).expect("TX ring has space");
     nic.chassis.run_for(Time::from_us(20));
     for frame in nic.chassis.recv(3) {
         println!(

@@ -77,7 +77,7 @@ fn inert_plan_is_bit_for_bit_identical_on_the_nic() {
     let run_nic = |mut nic: ReferenceNic| {
         let dma = nic.chassis.dma.clone().expect("NIC has DMA");
         nic.chassis.send(2, frame(5, 6, 200));
-        dma.send_with_meta(
+        let _ = dma.send_with_meta(
             frame(7, 8, 150),
             Meta { dst_ports: PortMask::single(1), ..Default::default() },
         );
@@ -179,6 +179,7 @@ fn recovery_plane_heals_flap_and_lane_loss_without_restore_events() {
         holddown_cycles: 100, // 500 ns
         rejoin_cycles: 800,
         scrub_words_per_cycle: 0,
+        ..RecoveryPolicy::default()
     };
     let plan = FaultPlan::new(13)
         .bond(2, PortBond::ethernet_40g())

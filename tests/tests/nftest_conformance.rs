@@ -210,6 +210,43 @@ fn flowmon_conformance() {
     assert_eq!(report.checks, 15 + 9);
 }
 
+/// Reliability conformance: host TX rides the reliable channel across a
+/// DMA wedge. The plan wedges the engine, awaits the watchdog bite (and
+/// the quiesce–drain–soft-reset it drives), then asserts every accepted
+/// frame exited its port and the delivered-ack count reads exactly the
+/// accepted count — retries filled the gaps, the sequence dedup filter
+/// swallowed the extras.
+#[test]
+fn reliability_conformance() {
+    use netfpga_faults::{FaultPlan, RecoveryPolicy};
+    use netfpga_host::{ReliableChannel, ReliableConfig};
+    let fault_plan = FaultPlan::new(21).with_recovery(RecoveryPolicy::default());
+    let mut nic = ReferenceNic::with_faults(&BoardSpec::sume(), 4, false, fault_plan);
+    let dma = nic.chassis.dma.clone().expect("NIC has DMA");
+    let (driver, channel) = ReliableChannel::new("reliable", dma, ReliableConfig::default(), 7);
+    let clk = nic.chassis.clk;
+    nic.chassis.sim.add_module(clk, driver);
+
+    let frames: Vec<Vec<u8>> = (0u8..6).map(|k| eth_frame(10 + k, 20, 0x60 + k)).collect();
+    for f in &frames {
+        assert!(channel.send(
+            f.clone(),
+            Meta { dst_ports: PortMask::single(1), ..Default::default() },
+        ));
+    }
+
+    let mut plan = TestPlan::new("reliability_conformance")
+        .wedge_dma()
+        .run_for(Time::from_us(5)) // the driver posts into the wedged engine
+        .await_watchdog(20_000);
+    for f in &frames {
+        plan = plan.expect_phy_unordered(1, f.clone());
+    }
+    let plan = plan.barrier(Time::from_ms(1)).expect_exactly_once(6);
+    run(&plan, &mut nic.chassis).assert_passed();
+    assert!(channel.idle());
+}
+
 /// One plan, two designs: the same flood test runs unchanged against two
 /// different switch instances (different table sizes) — the "unified test"
 /// property itself.

@@ -477,6 +477,7 @@ proptest! {
                     holddown_cycles: holddown,
                     rejoin_cycles: 800,
                     scrub_words_per_cycle: 0,
+                    ..RecoveryPolicy::default()
                 });
             let mut sw = ReferenceSwitch::with_faults(
                 &BoardSpec::sume(), 4, 256, Time::from_ms(100), false, plan,
@@ -745,6 +746,101 @@ proptest! {
         for (i, (path, value)) in reg.snapshot().iter().enumerate() {
             let expect = if i == target && reg.clearable(path) { 0 } else { before[i].1 };
             prop_assert_eq!(*value, expect, "stat {:?} after clearing slot {}", path, target);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// The reliable host-I/O plane is exactly-once and schedule-invariant:
+    /// under a seeded fault plan that stalls and drops the DMA engine
+    /// (no wedge — retry alone must heal), every frame the channel accepts
+    /// exits the wire exactly once (no loss, no duplicates, acks equal
+    /// accepts), and the delivered byte stream, retry count and dedup
+    /// counters are bit-identical across scan/calendar/heap scheduling
+    /// with idle fast-forward on or off.
+    #[test]
+    fn prop_reliable_channel_exactly_once_and_schedule_invariant(
+        stall_us in 0u64..50,
+        drop_us in 0u64..40,
+        nframes in 4usize..20,
+        seed in 0u64..1000,
+    ) {
+        use netfpga_core::sim::SchedulerMode;
+        use netfpga_core::stream::{Meta, PortMask};
+        use netfpga_faults::{FaultKind, FaultPlan};
+        use netfpga_host::{ReliableChannel, ReliableConfig};
+        use netfpga_projects::reference_nic::ReferenceNic;
+        use std::collections::BTreeSet;
+
+        let run = |mode: SchedulerMode, idle_skip: bool| {
+            let mut plan = FaultPlan::new(seed);
+            if stall_us > 0 {
+                plan = plan.at(
+                    Time::from_us(20),
+                    FaultKind::DmaStall { duration: Time::from_us(stall_us) },
+                );
+            }
+            if drop_us > 0 {
+                plan = plan.at(
+                    Time::from_us(45),
+                    FaultKind::DmaDrop { duration: Time::from_us(drop_us) },
+                );
+            }
+            let mut nic = ReferenceNic::with_faults(&BoardSpec::sume(), 4, false, plan);
+            nic.chassis.sim.set_scheduler_mode(mode);
+            nic.chassis.sim.set_idle_skip(idle_skip);
+            let dma = nic.chassis.dma.clone().expect("NIC has DMA");
+            // A generous attempt cap: loss is never a legal outcome here.
+            let config = ReliableConfig { max_attempts: 32, ..ReliableConfig::default() };
+            let (driver, channel) =
+                ReliableChannel::new("reliable", dma.clone(), config, seed ^ 0x5eed);
+            let clk = nic.chassis.clk;
+            nic.chassis.sim.add_module(clk, driver);
+
+            let meta = Meta { dst_ports: PortMask::single(1), ..Default::default() };
+            for k in 0..nframes {
+                let f = PacketBuilder::new()
+                    .eth(mac(0xee), mac(0xa0))
+                    .raw(netfpga_packet::EtherType::Ipv4, &[k as u8; 46])
+                    .build();
+                assert!(channel.send(f, meta), "pending queue is deep enough");
+                nic.chassis.run_for(Time::from_us(3));
+            }
+            let deadline = nic.chassis.sim.now() + Time::from_ms(5);
+            while !channel.idle() && nic.chassis.sim.now() < deadline {
+                nic.chassis.run_for(Time::from_us(10));
+            }
+            nic.chassis.run_for(Time::from_us(50));
+            (
+                nic.chassis.recv(1),
+                channel.accepted(),
+                channel.abandoned(),
+                channel.retries(),
+                dma.acked(),
+                dma.dup_discards(),
+            )
+        };
+
+        let base = run(SchedulerMode::Scan, false);
+        let (delivered, accepted, abandoned, _, acked, _) = &base;
+        prop_assert_eq!(*accepted, nframes as u64, "every offer fits the pending queue");
+        prop_assert_eq!(*abandoned, 0, "retry must outlast every stall/drop window");
+        let mut seen = BTreeSet::new();
+        for f in delivered {
+            prop_assert!(seen.insert(f.clone()), "duplicate frame on the wire");
+        }
+        prop_assert_eq!(seen.len() as u64, *accepted, "every accepted frame delivered once");
+        prop_assert_eq!(*acked, *accepted, "every sequence acked exactly once");
+
+        for mode in [SchedulerMode::Scan, SchedulerMode::Calendar, SchedulerMode::Heap] {
+            for idle_skip in [false, true] {
+                prop_assert_eq!(
+                    &run(mode, idle_skip), &base,
+                    "reliable delivery diverged under {:?} idle_skip={}", mode, idle_skip
+                );
+            }
         }
     }
 }
