@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use netfpga_core::packetio::{PacketSink, PacketSource};
-use netfpga_core::sim::Simulator;
 use netfpga_core::pktbuf::PktBuf;
+use netfpga_core::sim::Simulator;
 use netfpga_core::stream::{Meta, PortMask, Stream};
 use netfpga_core::time::Frequency;
 use netfpga_datapath::lpm::{LpmTable, RouteEntry};
@@ -25,10 +25,16 @@ fn pipeline_run(npackets: u64) -> u64 {
     let (src, inject) = PacketSource::new("src", a_tx);
     let arb = InputArbiter::new("arb", vec![a_rx], s_tx);
     let (o_tx, o_rx) = Stream::new(32, 32);
-    let stage = PacketStage::new("stage", s_rx, o_tx, 4, |_p: &mut PktBuf, m: &mut Meta, _t| {
-        m.dst_ports = PortMask::single(0);
-        StageAction::Forward
-    });
+    let stage = PacketStage::new(
+        "stage",
+        s_rx,
+        o_tx,
+        4,
+        |_p: &mut PktBuf, m: &mut Meta, _t| {
+            m.dst_ports = PortMask::single(0);
+            StageAction::Forward
+        },
+    );
     let (sink, cap) = PacketSink::new("sink", o_rx);
     sim.add_module(clk, src);
     sim.add_module(clk, arb);
@@ -61,7 +67,10 @@ fn bench_lpm(c: &mut Criterion) {
             x = x.wrapping_mul(1664525).wrapping_add(1013904223);
             t.insert(
                 Ipv4Cidr::new(Ipv4Address::from_u32(x), 8 + (i % 25) as u8),
-                RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: (i % 4) as u8 },
+                RouteEntry {
+                    next_hop: Ipv4Address::UNSPECIFIED,
+                    port: (i % 4) as u8,
+                },
             );
         }
         let mut probe = 0u32;
@@ -78,10 +87,22 @@ fn bench_lpm(c: &mut Criterion) {
 fn bench_schedulers(c: &mut Criterion) {
     let mut g = c.benchmark_group("datapath/sched");
     let views = [
-        QueueView { packets: 10, head_bytes: Some(1500) },
-        QueueView { packets: 5, head_bytes: Some(64) },
-        QueueView { packets: 0, head_bytes: None },
-        QueueView { packets: 2, head_bytes: Some(512) },
+        QueueView {
+            packets: 10,
+            head_bytes: Some(1500),
+        },
+        QueueView {
+            packets: 5,
+            head_bytes: Some(64),
+        },
+        QueueView {
+            packets: 0,
+            head_bytes: None,
+        },
+        QueueView {
+            packets: 2,
+            head_bytes: Some(512),
+        },
     ];
     let mut drr = DeficitRoundRobin::new(4, 1500);
     g.bench_function("drr_select", |b| {

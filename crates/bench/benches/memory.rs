@@ -32,7 +32,11 @@ fn bench_dram(c: &mut Criterion) {
         let mut addr = 0u64;
         let mut done = 0u64;
         b.iter(|| {
-            if d.submit(DramRequest { tag: addr, addr: addr * 64, write: None }) {
+            if d.submit(DramRequest {
+                tag: addr,
+                addr: addr * 64,
+                write: None,
+            }) {
                 addr += 1;
             }
             d.tick();
@@ -88,7 +92,11 @@ fn bench_cam_tcam(c: &mut Criterion) {
         for i in 0..rules {
             let mut v = [0u8; 28];
             v[26..28].copy_from_slice(&(i as u16).to_be_bytes());
-            tcam.insert(TcamEntry { key: TernaryKey::exact(&v), priority: i as u32, value: 0 });
+            tcam.insert(TcamEntry {
+                key: TernaryKey::exact(&v),
+                priority: i as u32,
+                value: 0,
+            });
         }
         let mut probe = [0u8; 28];
         probe[26..28].copy_from_slice(&7u16.to_be_bytes());

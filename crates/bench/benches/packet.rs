@@ -33,21 +33,21 @@ fn bench_parse(c: &mut Criterion) {
 }
 
 fn bench_build(c: &mut Criterion) {
-    c.bench_function("packet/build_udp_1514B", |b| b.iter(|| frame(black_box(1514))));
+    c.bench_function("packet/build_udp_1514B", |b| {
+        b.iter(|| frame(black_box(1514)))
+    });
 }
 
 fn bench_checksum(c: &mut Criterion) {
     let mut g = c.benchmark_group("packet/checksum");
     let data = vec![0xa5u8; 1500];
     g.throughput(Throughput::Bytes(1500));
-    g.bench_function("full_1500B", |b| b.iter(|| checksum::checksum(black_box(&data))));
+    g.bench_function("full_1500B", |b| {
+        b.iter(|| checksum::checksum(black_box(&data)))
+    });
     g.bench_function("incremental_ttl", |b| {
         b.iter(|| {
-            checksum::ttl_decrement_update(
-                black_box(0x1234),
-                64,
-                netfpga_packet::IpProtocol::Udp,
-            )
+            checksum::ttl_decrement_update(black_box(0x1234), 64, netfpga_packet::IpProtocol::Udp)
         })
     });
     g.finish();

@@ -58,7 +58,10 @@ fn bench_router(c: &mut Criterion) {
                 t.port_macs = (0..4).map(|i| mac(0xe0 + i)).collect();
                 t.lpm.insert(
                     "10.0.100.0/24".parse().unwrap(),
-                    RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: 1 },
+                    RouteEntry {
+                        next_hop: Ipv4Address::UNSPECIFIED,
+                        port: 1,
+                    },
                 );
                 t.arp.insert(Ipv4Address::new(10, 0, 100, 2), mac(0xb0));
             }
@@ -83,9 +86,7 @@ fn bench_blueswitch(c: &mut Criterion) {
             sw.pipeline.borrow_mut().write_direct(
                 0,
                 netfpga_mem::TcamEntry {
-                    key: netfpga_mem::TernaryKey::wildcard(
-                        netfpga_projects::blueswitch::KEY_WIDTH,
-                    ),
+                    key: netfpga_mem::TernaryKey::wildcard(netfpga_projects::blueswitch::KEY_WIDTH),
                     priority: 0,
                     value: netfpga_projects::blueswitch::FlowAction {
                         kind: netfpga_projects::blueswitch::ActionKind::Output(

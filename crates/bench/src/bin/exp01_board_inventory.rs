@@ -14,13 +14,25 @@ use netfpga_phy::serdes::PortBond;
 fn main() {
     println!("E1: board inventory and I/O capability (paper Fig. 1 / §2)\n");
 
-    let boards = [BoardSpec::sume(), BoardSpec::netfpga_10g(), BoardSpec::netfpga_1g_cml()];
+    let boards = [
+        BoardSpec::sume(),
+        BoardSpec::netfpga_10g(),
+        BoardSpec::netfpga_1g_cml(),
+    ];
 
     let mut t = Table::new(
         "platform inventory",
         &[
-            "platform", "fpga", "lanes", "aggregate_serial_gbps", "eth_ports",
-            "sram_rd_gbps", "dram_gbps", "pcie_eff_gbps", "sata", "microsd",
+            "platform",
+            "fpga",
+            "lanes",
+            "aggregate_serial_gbps",
+            "eth_ports",
+            "sram_rd_gbps",
+            "dram_gbps",
+            "pcie_eff_gbps",
+            "sata",
+            "microsd",
         ],
     );
     for b in &boards {
@@ -56,7 +68,11 @@ fn main() {
             .unwrap_or(BitRate::bps(1));
         let lanes = b.serial_lanes.len();
         let feas = |bonds: &[PortBond]| {
-            if bonds.iter().any(|bond| bond.feasible_on(lanes, max)) { "yes" } else { "no" }
+            if bonds.iter().any(|bond| bond.feasible_on(lanes, max)) {
+                "yes"
+            } else {
+                "no"
+            }
         };
         t.row(&[
             b.platform.name().to_string(),

@@ -12,11 +12,11 @@
 use netfpga_bench::workloads::{board_at_rate, mac, udp_frame, FRAME_SIZES};
 use netfpga_bench::Table;
 use netfpga_core::board::BoardSpec;
+use netfpga_core::stream::PortMask;
 use netfpga_core::time::{BitRate, Time};
 use netfpga_datapath::lpm::RouteEntry;
 use netfpga_packet::{Ipv4Address, PacketBuilder};
 use netfpga_phy::mac::line_rate_fps;
-use netfpga_core::stream::PortMask;
 use netfpga_projects::blueswitch::{ActionKind, BlueSwitch, FlowAction};
 use netfpga_projects::harness::Chassis;
 use netfpga_projects::{AcceptanceTest, ReferenceRouter, ReferenceSwitch, SwitchLite};
@@ -51,13 +51,7 @@ fn measure(
     Some((frames - 1) as f64 / span / 1e6)
 }
 
-fn row(
-    t: &mut Table,
-    design: &str,
-    rate: BitRate,
-    len: usize,
-    measured: Option<f64>,
-) {
+fn row(t: &mut Table, design: &str, rate: BitRate, len: usize, measured: Option<f64>) {
     let theory = line_rate_fps(rate, len as u64) / 1e6;
     match measured {
         Some(m) => {
@@ -86,7 +80,14 @@ fn main() {
     println!("E2: line-rate operation vs frame size (paper §1/§2)\n");
     let mut t = Table::new(
         "line rate",
-        &["design", "port_gbps", "frame_bytes", "theory_mpps", "measured_mpps", "pct_of_line"],
+        &[
+            "design",
+            "port_gbps",
+            "frame_bytes",
+            "theory_mpps",
+            "measured_mpps",
+            "pct_of_line",
+        ],
     );
 
     // Acceptance (pure I/O loopback) at 10/40/100G.
@@ -125,7 +126,10 @@ fn main() {
             tables.port_macs = (0..4).map(|i| mac(0xe0 + i)).collect();
             tables.lpm.insert(
                 "10.0.100.0/24".parse().unwrap(),
-                RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: 1 },
+                RouteEntry {
+                    next_hop: Ipv4Address::UNSPECIFIED,
+                    port: 1,
+                },
             );
             for host in 0..=255u8 {
                 tables
@@ -158,11 +162,17 @@ fn main() {
     // BlueSwitch at 10G: one catch-all rule to port 1.
     for len in FRAME_SIZES {
         let mut sw = BlueSwitch::new(&BoardSpec::sume(), 4, 2, 16);
-        sw.pipeline.borrow_mut().write_direct(0, netfpga_mem::TcamEntry {
-            key: netfpga_mem::TernaryKey::wildcard(netfpga_projects::blueswitch::KEY_WIDTH),
-            priority: 0,
-            value: FlowAction { kind: ActionKind::Output(PortMask::single(1)), tag: 1 },
-        });
+        sw.pipeline.borrow_mut().write_direct(
+            0,
+            netfpga_mem::TcamEntry {
+                key: netfpga_mem::TernaryKey::wildcard(netfpga_projects::blueswitch::KEY_WIDTH),
+                priority: 0,
+                value: FlowAction {
+                    kind: ActionKind::Output(PortMask::single(1)),
+                    tag: 1,
+                },
+            },
+        );
         let m = measure(&mut sw.chassis, udp_frame(len, 1, 0), 0, 1, FRAMES);
         row(&mut t, "blueswitch", BitRate::gbps(10), len, m);
     }

@@ -17,7 +17,10 @@ use netfpga_mem::{Dram, DramConfig, DramRequest, Sram, SramConfig};
 /// Run `n` reads against SRAM with the given address generator; returns
 /// cycles taken.
 fn sram_run(n: u64, mut addr: impl FnMut(u64) -> usize) -> u64 {
-    let mut s: Sram<u64> = Sram::new(SramConfig { entries: 1 << 16, read_latency: 5 });
+    let mut s: Sram<u64> = Sram::new(SramConfig {
+        entries: 1 << 16,
+        read_latency: 5,
+    });
     let mut issued = 0u64;
     let mut collected = 0u64;
     let mut cycles = 0u64;
@@ -42,7 +45,11 @@ fn dram_run(n: u64, mut addr: impl FnMut(u64) -> u64) -> (u64, netfpga_mem::Dram
     let mut cycles = 0u64;
     while collected < n {
         while issued < n
-            && d.submit(DramRequest { tag: issued, addr: addr(issued), write: None })
+            && d.submit(DramRequest {
+                tag: issued,
+                addr: addr(issued),
+                write: None,
+            })
         {
             issued += 1;
         }
@@ -60,7 +67,10 @@ fn main() {
     let n = 4096u64;
 
     // 1. Idle latency.
-    let mut t = Table::new("idle random-access latency", &["memory", "latency_cycles", "clock_mhz", "latency_ns"]);
+    let mut t = Table::new(
+        "idle random-access latency",
+        &["memory", "latency_cycles", "clock_mhz", "latency_ns"],
+    );
     {
         // Single SRAM read, idle device.
         let mut s: Sram<u64> = Sram::new(SramConfig::default());
@@ -70,52 +80,116 @@ fn main() {
             s.tick();
             cyc += 1;
         }
-        t.row(&["QDRII+ SRAM".into(), cyc.to_string(), "500".into(), format!("{:.0}", cyc as f64 * 2.0)]);
+        t.row(&[
+            "QDRII+ SRAM".into(),
+            cyc.to_string(),
+            "500".into(),
+            format!("{:.0}", cyc as f64 * 2.0),
+        ]);
     }
     {
-        let mut d = Dram::new(DramConfig { t_refi: 0, ..DramConfig::default() });
-        d.submit(DramRequest { tag: 0, addr: 0x10000, write: None });
+        let mut d = Dram::new(DramConfig {
+            t_refi: 0,
+            ..DramConfig::default()
+        });
+        d.submit(DramRequest {
+            tag: 0,
+            addr: 0x10000,
+            write: None,
+        });
         let mut cyc = 0;
         while d.collect().is_none() {
             d.tick();
             cyc += 1;
         }
-        t.row(&["DDR3 DRAM (row miss)".into(), cyc.to_string(), "933".into(), format!("{:.0}", cyc as f64 / 0.933)]);
+        t.row(&[
+            "DDR3 DRAM (row miss)".into(),
+            cyc.to_string(),
+            "933".into(),
+            format!("{:.0}", cyc as f64 / 0.933),
+        ]);
         // Second access, same row: hit latency.
-        d.submit(DramRequest { tag: 1, addr: 0x10040, write: None });
+        d.submit(DramRequest {
+            tag: 1,
+            addr: 0x10040,
+            write: None,
+        });
         let mut cyc = 0;
         while d.collect().is_none() {
             d.tick();
             cyc += 1;
         }
-        t.row(&["DDR3 DRAM (row hit)".into(), cyc.to_string(), "933".into(), format!("{:.0}", cyc as f64 / 0.933)]);
+        t.row(&[
+            "DDR3 DRAM (row hit)".into(),
+            cyc.to_string(),
+            "933".into(),
+            format!("{:.0}", cyc as f64 / 0.933),
+        ]);
     }
     t.print();
 
     // 2. Pattern sensitivity: requests per cycle under sequential/random.
     let mut t = Table::new(
         "sustained access rate (higher is better)",
-        &["memory", "pattern", "accesses", "cycles", "accesses_per_100cyc"],
+        &[
+            "memory",
+            "pattern",
+            "accesses",
+            "cycles",
+            "accesses_per_100cyc",
+        ],
     );
     let seq_sram = sram_run(n, |i| (i as usize) & 0xffff);
-    t.row(&["QDRII+ SRAM".into(), "sequential".into(), n.to_string(), seq_sram.to_string(), format!("{:.1}", n as f64 / seq_sram as f64 * 100.0)]);
+    t.row(&[
+        "QDRII+ SRAM".into(),
+        "sequential".into(),
+        n.to_string(),
+        seq_sram.to_string(),
+        format!("{:.1}", n as f64 / seq_sram as f64 * 100.0),
+    ]);
     let mut rng = SimRng::new(7);
-    let mut addrs: Vec<usize> = (0..n as usize).map(|_| rng.below(1 << 16) as usize).collect();
+    let mut addrs: Vec<usize> = (0..n as usize)
+        .map(|_| rng.below(1 << 16) as usize)
+        .collect();
     let rnd_sram = sram_run(n, |i| addrs[i as usize]);
-    t.row(&["QDRII+ SRAM".into(), "random".into(), n.to_string(), rnd_sram.to_string(), format!("{:.1}", n as f64 / rnd_sram as f64 * 100.0)]);
+    t.row(&[
+        "QDRII+ SRAM".into(),
+        "random".into(),
+        n.to_string(),
+        rnd_sram.to_string(),
+        format!("{:.1}", n as f64 / rnd_sram as f64 * 100.0),
+    ]);
 
     let (seq_dram, seq_stats) = dram_run(n, |i| i * 64);
-    t.row(&["DDR3 DRAM".into(), "sequential".into(), n.to_string(), seq_dram.to_string(), format!("{:.1}", n as f64 / seq_dram as f64 * 100.0)]);
+    t.row(&[
+        "DDR3 DRAM".into(),
+        "sequential".into(),
+        n.to_string(),
+        seq_dram.to_string(),
+        format!("{:.1}", n as f64 / seq_dram as f64 * 100.0),
+    ]);
     let mut rng = SimRng::new(9);
     let rand_addrs: Vec<u64> = (0..n).map(|_| rng.below(1 << 28) & !63).collect();
     addrs.clear();
     let (rnd_dram, rnd_stats) = dram_run(n, |i| rand_addrs[i as usize]);
-    t.row(&["DDR3 DRAM".into(), "random".into(), n.to_string(), rnd_dram.to_string(), format!("{:.1}", n as f64 / rnd_dram as f64 * 100.0)]);
+    t.row(&[
+        "DDR3 DRAM".into(),
+        "random".into(),
+        n.to_string(),
+        rnd_dram.to_string(),
+        format!("{:.1}", n as f64 / rnd_dram as f64 * 100.0),
+    ]);
     t.print();
 
     let mut t = Table::new(
         "DRAM row behaviour",
-        &["pattern", "row_hits", "row_misses", "row_conflicts", "refreshes"],
+        &[
+            "pattern",
+            "row_hits",
+            "row_misses",
+            "row_conflicts",
+            "refreshes",
+        ],
     );
     for (name, s) in [("sequential", seq_stats), ("random", rnd_stats)] {
         t.row(&[
@@ -148,6 +222,9 @@ fn main() {
         sram_rate / dram_rate,
     );
     assert_eq!(seq_sram, rnd_sram, "SRAM must be pattern-insensitive");
-    assert!(rnd_dram > seq_dram * 3, "DRAM must collapse under random access");
+    assert!(
+        rnd_dram > seq_dram * 3,
+        "DRAM must collapse under random access"
+    );
     assert!(sram_rate > dram_rate * 2.0);
 }

@@ -16,7 +16,9 @@ use netfpga_core::stats::{jain_fairness, Histogram};
 use netfpga_core::time::Time;
 use netfpga_datapath::lpm::RouteEntry;
 use netfpga_datapath::queues::QueueConfig;
-use netfpga_datapath::sched::{DeficitRoundRobin, Fifo, RoundRobin, Scheduler, StrictPriority, WeightedFair};
+use netfpga_datapath::sched::{
+    DeficitRoundRobin, Fifo, RoundRobin, Scheduler, StrictPriority, WeightedFair,
+};
 use netfpga_datapath::ParsedHeaders;
 use netfpga_packet::Ipv4Address;
 use netfpga_projects::ReferenceRouter;
@@ -54,7 +56,12 @@ fn run(
             // Same total buffering regardless of class count.
             bytes_per_queue: 128 * 1024 / classes,
             classifier: Box::new(|pkt, _meta| {
-                class_of_dscp(ParsedHeaders::parse(pkt).ipv4.map(|ip| ip.dscp).unwrap_or(0))
+                class_of_dscp(
+                    ParsedHeaders::parse(pkt)
+                        .ipv4
+                        .map(|ip| ip.dscp)
+                        .unwrap_or(0),
+                )
             }),
         },
         mk,
@@ -66,7 +73,10 @@ fn run(
         for flow in 0..3u8 {
             t.lpm.insert(
                 netfpga_packet::Ipv4Cidr::new(Ipv4Address::new(10, 0, 100 + flow, 0), 24),
-                RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: 3 },
+                RouteEntry {
+                    next_hop: Ipv4Address::UNSPECIFIED,
+                    port: 3,
+                },
             );
             for host in 0..4u8 {
                 t.arp
@@ -84,8 +94,7 @@ fn run(
         for (i, &(flow, len, dscp)) in FLOWS.iter().enumerate() {
             let frame = udp_frame(len, flow, dscp);
             // Frames needed to fill `duration` of wire time at 10G.
-            let per_frame =
-                netfpga_phy::mac::wire_bytes(len as u64) * 8 * 100; // ps at 10G
+            let per_frame = netfpga_phy::mac::wire_bytes(len as u64) * 8 * 100; // ps at 10G
             let count = duration.as_ps() / per_frame + 2;
             for _ in 0..count {
                 r.chassis.send(i, frame.clone());
@@ -156,14 +165,21 @@ fn main() {
         run("rr", 2, || Box::new(RoundRobin::default())),
         run("drr", 2, || Box::new(DeficitRoundRobin::new(2, 1514))),
         run("strict", 2, || Box::new(StrictPriority)),
-        run("wfq_3to1", 2, || Box::new(WeightedFair::new(vec![3.0, 1.0]))),
+        run("wfq_3to1", 2, || {
+            Box::new(WeightedFair::new(vec![3.0, 1.0]))
+        }),
     ];
 
     let mut t = Table::new(
         "scheduler ablation",
         &[
-            "scheduler", "flow0_gbps", "flow1_gbps", "flow2_gbps", "jain_index",
-            "ef_queueing_p50_us", "ef_queueing_p99_us",
+            "scheduler",
+            "flow0_gbps",
+            "flow1_gbps",
+            "flow2_gbps",
+            "jain_index",
+            "ef_queueing_p50_us",
+            "ef_queueing_p99_us",
         ],
     );
     for o in &outcomes {
@@ -195,5 +211,8 @@ fn main() {
     // DRR is byte-fair across classes: class 0 vs class 1 within 25%.
     let drr = get("drr");
     let class1 = drr.goodput[1] + drr.goodput[2];
-    assert!((drr.goodput[0] / class1 - 1.0).abs() < 0.25, "DRR byte fairness");
+    assert!(
+        (drr.goodput[0] / class1 - 1.0).abs() < 0.25,
+        "DRR byte fairness"
+    );
 }

@@ -34,30 +34,36 @@ fn forwarding_rate(rules: usize) -> f64 {
         let mut p = sw.pipeline.borrow_mut();
         for t in 0..2 {
             for i in 0..rules.saturating_sub(1) {
-                p.write_direct(t, netfpga_mem::TcamEntry {
-                    key: {
-                        let mut value = [0u8; KEY_WIDTH];
-                        let mut mask = [0u8; KEY_WIDTH];
-                        value[26..28].copy_from_slice(&(20_000 + i as u16).to_be_bytes());
-                        mask[26..28].copy_from_slice(&[0xff, 0xff]);
-                        netfpga_mem::TernaryKey::new(&value, &mask)
+                p.write_direct(
+                    t,
+                    netfpga_mem::TcamEntry {
+                        key: {
+                            let mut value = [0u8; KEY_WIDTH];
+                            let mut mask = [0u8; KEY_WIDTH];
+                            value[26..28].copy_from_slice(&(20_000 + i as u16).to_be_bytes());
+                            mask[26..28].copy_from_slice(&[0xff, 0xff]);
+                            netfpga_mem::TernaryKey::new(&value, &mask)
+                        },
+                        priority: 5,
+                        value: netfpga_projects::blueswitch::FlowAction {
+                            kind: ActionKind::Drop,
+                            tag: 1,
+                        },
                     },
-                    priority: 5,
-                    value: netfpga_projects::blueswitch::FlowAction {
-                        kind: ActionKind::Drop,
-                        tag: 1,
-                    },
-                });
+                );
             }
             // Lowest priority catch-all: forward to port 1.
-            p.write_direct(t, netfpga_mem::TcamEntry {
-                key: netfpga_mem::TernaryKey::wildcard(KEY_WIDTH),
-                priority: 0,
-                value: netfpga_projects::blueswitch::FlowAction {
-                    kind: ActionKind::Output(PortMask::single(1)),
-                    tag: 1,
+            p.write_direct(
+                t,
+                netfpga_mem::TcamEntry {
+                    key: netfpga_mem::TernaryKey::wildcard(KEY_WIDTH),
+                    priority: 0,
+                    value: netfpga_projects::blueswitch::FlowAction {
+                        kind: ActionKind::Output(PortMask::single(1)),
+                        tag: 1,
+                    },
                 },
-            });
+            );
         }
     }
     let n = 300u64;
@@ -78,14 +84,17 @@ fn forwarding_rate(rules: usize) -> f64 {
 
 fn pipeline_latency(ntables: usize) -> f64 {
     let mut sw = BlueSwitch::new(&BoardSpec::sume(), 2, ntables, 8);
-    sw.pipeline.borrow_mut().write_direct(0, netfpga_mem::TcamEntry {
-        key: netfpga_mem::TernaryKey::wildcard(KEY_WIDTH),
-        priority: 0,
-        value: netfpga_projects::blueswitch::FlowAction {
-            kind: ActionKind::Output(PortMask::single(1)),
-            tag: 1,
+    sw.pipeline.borrow_mut().write_direct(
+        0,
+        netfpga_mem::TcamEntry {
+            key: netfpga_mem::TernaryKey::wildcard(KEY_WIDTH),
+            priority: 0,
+            value: netfpga_projects::blueswitch::FlowAction {
+                kind: ActionKind::Output(PortMask::single(1)),
+                tag: 1,
+            },
         },
-    });
+    );
     let frame = udp_frame(60, 1, 0);
     let sent_at = sw.chassis.sim.now();
     sw.chassis.send(0, frame);
@@ -153,7 +162,12 @@ fn main() {
 
     let mut t = Table::new(
         "consistency under live update (traffic saturates the update window)",
-        &["rules_per_table", "mode", "classified", "mixed_config_packets"],
+        &[
+            "rules_per_table",
+            "mode",
+            "classified",
+            "mixed_config_packets",
+        ],
     );
     let mut naive_total = 0;
     for rules in [2usize, 8, 32] {

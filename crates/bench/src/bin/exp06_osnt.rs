@@ -52,7 +52,10 @@ fn main() {
     // 2. Latency accuracy sweep (subtract the known fixed path overhead:
     //    serialization + MAC store-and-forward, measured at delay≈0).
     let run_latency = |delay: Time| -> (f64, f64) {
-        let mut o = looped(LinkConfig { delay, ..LinkConfig::default() });
+        let mut o = looped(LinkConfig {
+            delay,
+            ..LinkConfig::default()
+        });
         let n = 100;
         o.generators[0].start(GeneratorConfig::probe(1, BitRate::gbps(1), 256, n));
         let cap = o.captures[0].clone();
@@ -68,7 +71,12 @@ fn main() {
     let (base_p50, _) = run_latency(Time::from_ps(1));
     let mut t = Table::new(
         "latency accuracy (256 B probes, 1G; fixed path overhead subtracted)",
-        &["dut_delay_us", "measured_p50_us", "derived_dut_delay_us", "error_pct"],
+        &[
+            "dut_delay_us",
+            "measured_p50_us",
+            "derived_dut_delay_us",
+            "error_pct",
+        ],
     );
     for delay_us in [1u64, 5, 20, 100] {
         let delay = Time::from_us(delay_us);
@@ -78,7 +86,10 @@ fn main() {
             delay_us.to_string(),
             format!("{p50:.2}"),
             format!("{derived:.2}"),
-            format!("{:.2}", (derived - delay_us as f64).abs() / delay_us as f64 * 100.0),
+            format!(
+                "{:.2}",
+                (derived - delay_us as f64).abs() / delay_us as f64 * 100.0
+            ),
         ]);
     }
     t.print();
@@ -89,7 +100,11 @@ fn main() {
         &["injected_loss_pct", "measured_loss_pct", "abs_error_pct"],
     );
     for loss in [0.0f64, 0.01, 0.05, 0.10, 0.25] {
-        let mut o = looped(LinkConfig { loss_probability: loss, seed: 11, ..LinkConfig::default() });
+        let mut o = looped(LinkConfig {
+            loss_probability: loss,
+            seed: 11,
+            ..LinkConfig::default()
+        });
         let n = 400;
         o.generators[0].start(GeneratorConfig::probe(2, BitRate::gbps(5), 256, n));
         let gen = o.generators[0].clone();

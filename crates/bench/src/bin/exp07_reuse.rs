@@ -22,9 +22,17 @@ fn main() {
     for block in &blocks {
         let mut row = vec![block.to_string()];
         for p in PROJECTS {
-            row.push(if blocks_of(p).contains(block) { "x".into() } else { ".".into() });
+            row.push(if blocks_of(p).contains(block) {
+                "x".into()
+            } else {
+                ".".into()
+            });
         }
-        let n = counts.iter().find(|(b, _)| b == block).map(|(_, n)| *n).unwrap_or(0);
+        let n = counts
+            .iter()
+            .find(|(b, _)| b == block)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
         row.push(n.to_string());
         t.row(&row);
     }
@@ -34,7 +42,14 @@ fn main() {
     let sume = BoardSpec::sume();
     let mut t = Table::new(
         "design utilization on NetFPGA SUME (4-port configurations)",
-        &["project", "luts", "ffs", "bram_kbits", "lut_pct", "bram_pct"],
+        &[
+            "project",
+            "luts",
+            "ffs",
+            "bram_kbits",
+            "lut_pct",
+            "bram_pct",
+        ],
     );
     for p in PROJECTS {
         let c = cost_of(p);
@@ -62,8 +77,7 @@ fn main() {
         PROJECTS.len(),
         shared.join(", ")
     );
-    let avg_reuse: f64 =
-        counts.iter().map(|(_, n)| *n as f64).sum::<f64>() / counts.len() as f64;
+    let avg_reuse: f64 = counts.iter().map(|(_, n)| *n as f64).sum::<f64>() / counts.len() as f64;
     println!(
         "average reuse factor: {:.2} projects per block ({} blocks, {} instantiations)",
         avg_reuse,
@@ -74,7 +88,10 @@ fn main() {
         "\nshape checks: every design fits the 690T with headroom; the router is the\n\
          largest reference design; BlueSwitch's double-banked tables dominate its cost."
     );
-    assert!(shared.len() >= 2, "platform blocks must be universally reused");
+    assert!(
+        shared.len() >= 2,
+        "platform blocks must be universally reused"
+    );
     assert!(cost_of("reference_router").luts > cost_of("reference_switch").luts);
     assert!(cost_of("reference_switch").luts > cost_of("reference_nic").luts);
     for p in PROJECTS {

@@ -45,8 +45,12 @@ fn main() {
     let mut t = Table::new(
         "predicted vs simulated 10 GbE throughput",
         &[
-            "frame_bytes", "naive_mpps", "partial_mpps", "simulated_mpps",
-            "naive_err_pct", "partial_err_pct",
+            "frame_bytes",
+            "naive_mpps",
+            "partial_mpps",
+            "simulated_mpps",
+            "naive_err_pct",
+            "partial_err_pct",
         ],
     );
     let mut worst_naive: f64 = 0.0;
@@ -76,6 +80,9 @@ fn main() {
          size. Hardware evaluated on partial models would be sized ~{:.0}% short at 64 B.",
         worst_naive
     );
-    assert!(worst_naive > 30.0, "naive model must be badly wrong at 64 B");
+    assert!(
+        worst_naive > 30.0,
+        "naive model must be badly wrong at 64 B"
+    );
     assert!(worst_partial > 20.0);
 }

@@ -32,7 +32,11 @@ fn bus_width_run(bus_width: usize) -> f64 {
     let mut spec = BoardSpec::sume();
     for p in spec.ports.iter_mut() {
         if matches!(p.kind, PortKind::Sfpp) {
-            *p = PortSpec { kind: PortKind::Sfpp, lanes: 4, lane_rate: BitRate::gbps(10) };
+            *p = PortSpec {
+                kind: PortKind::Sfpp,
+                lanes: 4,
+                lane_rate: BitRate::gbps(10),
+            };
         }
     }
     spec.bus_width = bus_width;
@@ -65,7 +69,11 @@ fn buffer_sizing_run(bytes_per_queue: usize) -> f64 {
     let r = ReferenceRouter::with_scheduler(
         &BoardSpec::sume(),
         4,
-        || QueueConfig { classes: 1, bytes_per_queue, classifier: Box::new(|_, _| 0) },
+        || QueueConfig {
+            classes: 1,
+            bytes_per_queue,
+            classifier: Box::new(|_, _| 0),
+        },
         || Box::new(Fifo),
     );
     {
@@ -74,7 +82,10 @@ fn buffer_sizing_run(bytes_per_queue: usize) -> f64 {
         for flow in 0..2u8 {
             t.lpm.insert(
                 netfpga_packet::Ipv4Cidr::new(Ipv4Address::new(10, 0, 100 + flow, 0), 24),
-                RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: 3 },
+                RouteEntry {
+                    next_hop: Ipv4Address::UNSPECIFIED,
+                    port: 3,
+                },
             );
             t.arp
                 .insert(Ipv4Address::new(10, 0, 100 + flow, 2), mac(0xb0 + flow));
@@ -97,7 +108,10 @@ fn buffer_sizing_run(bytes_per_queue: usize) -> f64 {
 /// Sustained DRAM throughput (accesses/1k cycles) for an interleaved
 /// workload: 3 sequential streams + 25% random lines.
 fn dram_sched_run(fr_fcfs: bool) -> f64 {
-    let cfg = DramConfig { fr_fcfs, ..DramConfig::default() };
+    let cfg = DramConfig {
+        fr_fcfs,
+        ..DramConfig::default()
+    };
     let mut d = Dram::new(cfg);
     let mut rng = SimRng::new(11);
     let n = 4096u64;
@@ -114,7 +128,11 @@ fn dram_sched_run(fr_fcfs: bool) -> f64 {
                 stream_pos[s] += 1;
                 ((s as u64) << 24) | (stream_pos[s] * 64)
             };
-            if !d.submit(DramRequest { tag: issued, addr, write: None }) {
+            if !d.submit(DramRequest {
+                tag: issued,
+                addr,
+                write: None,
+            }) {
                 break;
             }
             issued += 1;
@@ -144,7 +162,11 @@ fn main() {
             width.to_string(),
             format!("{capacity:.1}"),
             format!("{achieved:.1}"),
-            if achieved > target * 0.99 { "yes".into() } else { "NO".into() },
+            if achieved > target * 0.99 {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     t.print();
@@ -180,6 +202,9 @@ fn main() {
     );
     assert!(bus_width_run(16) < 30.0, "16 B bus cannot carry 40G");
     assert!(losses.windows(2).all(|w| w[1] <= w[0] + 0.01), "monotone");
-    assert!(*losses.last().unwrap() < 0.01, "big buffer absorbs the burst");
+    assert!(
+        *losses.last().unwrap() < 0.01,
+        "big buffer absorbs the burst"
+    );
     assert!(frfcfs > fcfs * 1.2, "FR-FCFS must win");
 }

@@ -28,6 +28,7 @@
 use netfpga_bench::kernel::{
     flood, flood_tap, idle_heavy, saturated, saturated_tap, KernelConfig, KernelRun,
 };
+use netfpga_bench::report::best_of;
 use netfpga_bench::Table;
 
 /// PR 1's saturated fast-kernel edges/sec on the reference container
@@ -55,8 +56,11 @@ fn push(t: &mut Table, workload: &str, kernel: &str, run: &KernelRun, speedup: f
 fn main() {
     // --quick: the CI smoke — smaller workloads, identical floors.
     let quick = std::env::args().any(|a| a == "--quick");
-    let (idle_rounds, sat_frames, flood_frames) =
-        if quick { (60, 1200, 700) } else { (200, 4000, 2000) };
+    let (idle_rounds, sat_frames, flood_frames) = if quick {
+        (60, 1200, 700)
+    } else {
+        (200, 4000, 2000)
+    };
 
     let mut t = Table::new(
         "E10: simulation kernel throughput (reference switch, 4 ports)",
@@ -81,93 +85,136 @@ fn main() {
     assert_eq!(idle_naive.frames, idle_fast.frames, "same simulated work");
     assert_eq!(idle_naive.edges, idle_fast.edges, "same simulated edges");
     let idle_speedup = idle_fast.edges_per_sec() / idle_naive.edges_per_sec();
-    push(&mut t, "idle_heavy", KernelConfig::Naive.label(), &idle_naive, 1.0);
-    push(&mut t, "idle_heavy", KernelConfig::Fast.label(), &idle_fast, idle_speedup);
+    push(
+        &mut t,
+        "idle_heavy",
+        KernelConfig::Naive.label(),
+        &idle_naive,
+        1.0,
+    );
+    push(
+        &mut t,
+        "idle_heavy",
+        KernelConfig::Fast.label(),
+        &idle_fast,
+        idle_speedup,
+    );
 
     let sat_naive = saturated(KernelConfig::Naive, sat_frames);
     // The fast/tapped pair differ by a few percent at most, so measure
-    // them interleaved and keep each one's best wall time — otherwise a
-    // noisy-neighbour blip on either single run decides the ratio.
-    // Host-level contention (this runs in a shared VM) comes in bursts
-    // that inflate wall times by tens of percent for minutes; since
-    // noise only ever *slows* a run, the minima converge to the true
-    // times with more samples. Sample adaptively: stop as soon as both
-    // wall-time-derived bars clear their floors with a little margin,
-    // bounded by a round cap so a truly regressed build still fails.
-    let mut sat_fast = saturated(KernelConfig::Fast, sat_frames);
-    let mut sat_tap = saturated_tap(sat_frames);
-    for round in 0..24 {
-        let tap_ratio = sat_tap.edges_per_sec() / sat_fast.edges_per_sec();
-        let vs_pr1 = sat_fast.edges_per_sec() / PR1_SAT_FAST_EDGES_PER_SEC;
-        if round >= 2 && tap_ratio >= 0.96 && vs_pr1 >= 2.1 {
-            break;
-        }
-        let f = saturated(KernelConfig::Fast, sat_frames);
-        if f.wall < sat_fast.wall {
-            sat_fast = f;
-        }
-        let t = saturated_tap(sat_frames);
-        if t.wall < sat_tap.wall {
-            sat_tap = t;
-        }
-    }
+    // them with the shared interleaved best-of sampler (`best_of`) —
+    // otherwise a noisy-neighbour blip on either single run decides the
+    // ratio. Sample adaptively: stop as soon as both wall-time-derived
+    // bars clear their floors with a little margin, bounded by a round
+    // cap so a truly regressed build still fails.
+    let mut run_sat_fast = || saturated(KernelConfig::Fast, sat_frames);
+    let mut run_sat_tap = || saturated_tap(sat_frames);
+    let mut sat_bests = best_of(
+        &mut [&mut run_sat_fast, &mut run_sat_tap],
+        |x: &KernelRun, best| x.wall < best.wall,
+        |round, bests| {
+            let tap_ratio = bests[1].edges_per_sec() / bests[0].edges_per_sec();
+            let vs_pr1 = bests[0].edges_per_sec() / PR1_SAT_FAST_EDGES_PER_SEC;
+            round >= 2 && tap_ratio >= 0.96 && vs_pr1 >= 2.1
+        },
+        24,
+    );
+    let sat_tap = sat_bests.pop().expect("tap sample");
+    let sat_fast = sat_bests.pop().expect("fast sample");
     assert_eq!(sat_naive.frames, sat_fast.frames, "same simulated work");
-    assert_eq!(sat_fast.frames, sat_tap.frames, "tap must not change deliveries");
+    assert_eq!(
+        sat_fast.frames, sat_tap.frames,
+        "tap must not change deliveries"
+    );
     let sat_speedup = sat_fast.edges_per_sec() / sat_naive.edges_per_sec();
     let tap_ratio = sat_tap.edges_per_sec() / sat_fast.edges_per_sec();
-    push(&mut t, "saturated", KernelConfig::Naive.label(), &sat_naive, 1.0);
-    push(&mut t, "saturated", KernelConfig::Fast.label(), &sat_fast, sat_speedup);
+    push(
+        &mut t,
+        "saturated",
+        KernelConfig::Naive.label(),
+        &sat_naive,
+        1.0,
+    );
+    push(
+        &mut t,
+        "saturated",
+        KernelConfig::Fast.label(),
+        &sat_fast,
+        sat_speedup,
+    );
     push(&mut t, "saturated", "fast+tap", &sat_tap, tap_ratio);
 
-    // The flood pair decides the cached-bound floor (1.2×), so measure it
-    // interleaved best-of like the saturated pair: shared-VM noise only
-    // ever slows a run, so the minima converge to the true wall times.
-    let mut flood_naive = flood(KernelConfig::Naive, flood_frames);
-    let mut flood_fast = flood(KernelConfig::Fast, flood_frames);
-    let mut flood_tapped = flood_tap(flood_frames);
+    // The flood triple decides the cached-bound floor (1.2×), so measure
+    // it interleaved best-of like the saturated pair.
     let flood_target = if quick { 1.3 } else { 1.05 };
-    for round in 0..24 {
-        let speedup = flood_fast.edges_per_sec() / flood_naive.edges_per_sec();
-        let tap_ratio = flood_tapped.edges_per_sec() / flood_fast.edges_per_sec();
-        if round >= 2 && speedup >= flood_target && tap_ratio >= 0.9 {
-            break;
-        }
-        let n = flood(KernelConfig::Naive, flood_frames);
-        if n.wall < flood_naive.wall {
-            flood_naive = n;
-        }
-        let f = flood(KernelConfig::Fast, flood_frames);
-        if f.wall < flood_fast.wall {
-            flood_fast = f;
-        }
-        let t = flood_tap(flood_frames);
-        if t.wall < flood_tapped.wall {
-            flood_tapped = t;
-        }
-    }
+    let mut run_flood_naive = || flood(KernelConfig::Naive, flood_frames);
+    let mut run_flood_fast = || flood(KernelConfig::Fast, flood_frames);
+    let mut run_flood_tap = || flood_tap(flood_frames);
+    let mut flood_bests = best_of(
+        &mut [
+            &mut run_flood_naive,
+            &mut run_flood_fast,
+            &mut run_flood_tap,
+        ],
+        |x: &KernelRun, best| x.wall < best.wall,
+        |round, bests| {
+            let speedup = bests[1].edges_per_sec() / bests[0].edges_per_sec();
+            let tap_ratio = bests[2].edges_per_sec() / bests[1].edges_per_sec();
+            round >= 2 && speedup >= flood_target && tap_ratio >= 0.9
+        },
+        24,
+    );
+    let flood_tapped = flood_bests.pop().expect("tap sample");
+    let flood_fast = flood_bests.pop().expect("fast sample");
+    let flood_naive = flood_bests.pop().expect("naive sample");
     assert_eq!(flood_naive.frames, flood_fast.frames, "same simulated work");
-    assert_eq!(flood_fast.frames, flood_tapped.frames, "tap must not change deliveries");
+    assert_eq!(
+        flood_fast.frames, flood_tapped.frames,
+        "tap must not change deliveries"
+    );
     let flood_speedup = flood_fast.edges_per_sec() / flood_naive.edges_per_sec();
     let flood_tap_ratio = flood_tapped.edges_per_sec() / flood_fast.edges_per_sec();
-    push(&mut t, "flood", KernelConfig::Naive.label(), &flood_naive, 1.0);
-    push(&mut t, "flood", KernelConfig::Fast.label(), &flood_fast, flood_speedup);
+    push(
+        &mut t,
+        "flood",
+        KernelConfig::Naive.label(),
+        &flood_naive,
+        1.0,
+    );
+    push(
+        &mut t,
+        "flood",
+        KernelConfig::Fast.label(),
+        &flood_fast,
+        flood_speedup,
+    );
     push(&mut t, "flood", "fast+tap", &flood_tapped, flood_tap_ratio);
 
     t.print();
-    t.write_json("BENCH_kernel.json").expect("write BENCH_kernel.json");
+    t.write_json("BENCH_kernel.json")
+        .expect("write BENCH_kernel.json");
 
     // Acceptance bars: >= 2x on idle-heavy; saturated fast must at least
     // double PR 1's fast kernel (zero-copy + time-blocked fast-forward);
     // flooded fan-out must never fall back to deep copies.
-    assert!(idle_speedup >= 2.0, "idle-heavy speedup {idle_speedup:.2}x < 2x");
-    assert!(sat_speedup >= 0.95, "saturated regression: {sat_speedup:.2}x");
+    assert!(
+        idle_speedup >= 2.0,
+        "idle-heavy speedup {idle_speedup:.2}x < 2x"
+    );
+    assert!(
+        sat_speedup >= 0.95,
+        "saturated regression: {sat_speedup:.2}x"
+    );
     let sat_vs_pr1 = sat_fast.edges_per_sec() / PR1_SAT_FAST_EDGES_PER_SEC;
     assert!(
         sat_vs_pr1 >= 2.0,
         "saturated fast {:.0} edges/s < 2x PR1 fast ({PR1_SAT_FAST_EDGES_PER_SEC:.0})",
         sat_fast.edges_per_sec()
     );
-    assert_eq!(flood_naive.cow_copies, 0, "flood fan-out must be clone-free");
+    assert_eq!(
+        flood_naive.cow_copies, 0,
+        "flood fan-out must be clone-free"
+    );
     assert_eq!(flood_fast.cow_copies, 0, "flood fan-out must be clone-free");
     // Flood floor (quick/CI workload): a burst flood leaves the fused
     // dispatcher's cached bounds enough tail to skip, so the fast kernel
@@ -185,7 +232,10 @@ fn main() {
             "flood regression: {flood_speedup:.2}x vs naive"
         );
     }
-    assert_eq!(flood_naive.probes_avoided, 0, "scan reference must not cache");
+    assert_eq!(
+        flood_naive.probes_avoided, 0,
+        "scan reference must not cache"
+    );
     assert!(
         flood_fast.probes_avoided > flood_fast.steps,
         "fused dispatch should avoid at least one probe per executed edge on average"
@@ -198,7 +248,10 @@ fn main() {
         tap_ratio >= 0.95,
         "flowmon tap overhead too high: {tap_ratio:.2}x of untapped fast"
     );
-    assert_eq!(flood_tapped.cow_copies, 0, "tap inspection must stay zero-copy");
+    assert_eq!(
+        flood_tapped.cow_copies, 0,
+        "tap inspection must stay zero-copy"
+    );
     let flood_floor = if quick { 1.2 } else { 0.95 };
     println!(
         "ok: idle-heavy {idle_speedup:.1}x, saturated {sat_speedup:.2}x vs naive, \

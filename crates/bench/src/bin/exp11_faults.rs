@@ -99,13 +99,15 @@ fn main() {
     assert_eq!(a, b, "same seed must replay identically");
 
     t.print();
-    t.write_json("BENCH_faults.json").expect("write BENCH_faults.json");
+    t.write_json("BENCH_faults.json")
+        .expect("write BENCH_faults.json");
 
     let clean = clean_goodput.expect("clean point in sweep");
     let worst = worst_ber_goodput.expect("1e-4 point in sweep");
     assert!(clean >= 100.0, "clean run lost frames: {clean:.1}%");
-    assert!(worst < clean, "1e-4 BER must cost goodput ({worst:.1}% vs {clean:.1}%)");
-    println!(
-        "ok: clean {clean:.1}%, ber=1e-4 {worst:.1}%, all points recovered (floor 99%)"
+    assert!(
+        worst < clean,
+        "1e-4 BER must cost goodput ({worst:.1}% vs {clean:.1}%)"
     );
+    println!("ok: clean {clean:.1}%, ber=1e-4 {worst:.1}%, all points recovered (floor 99%)");
 }

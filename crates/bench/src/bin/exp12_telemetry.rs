@@ -45,13 +45,20 @@ fn audit(name: &str, chassis: &mut Chassis, t: &mut Table) -> (usize, usize) {
     assert!(!table.is_empty(), "{name}: empty name table");
     let mut seen = std::collections::BTreeSet::new();
     for (path, _) in &table {
-        assert!(seen.insert(path.clone()), "{name}: duplicate stat path {path:?}");
+        assert!(
+            seen.insert(path.clone()),
+            "{name}: duplicate stat path {path:?}"
+        );
     }
 
     let map = dump_stats(chassis);
     assert_eq!(map.len(), table.len(), "{name}: dump lost entries");
     let snapshot = chassis.telemetry.snapshot();
-    assert_eq!(snapshot.len(), map.len(), "{name}: registry and block disagree");
+    assert_eq!(
+        snapshot.len(),
+        map.len(),
+        "{name}: registry and block disagree"
+    );
     for (path, value) in &snapshot {
         // MMIO values are 32-bit windows onto the 64-bit cells.
         assert_eq!(
@@ -123,10 +130,12 @@ fn main() {
     // event ring, host-side, in order.
     let plan = netfpga_faults::FaultPlan::new(0xE12).at(
         Time::from_us(5),
-        netfpga_faults::FaultKind::LinkDown { port: 1, duration: Time::from_us(10) },
+        netfpga_faults::FaultKind::LinkDown {
+            port: 1,
+            duration: Time::from_us(10),
+        },
     );
-    let mut flapped =
-        ReferenceSwitch::with_faults(&spec, 4, 1024, Time::from_ms(100), false, plan);
+    let mut flapped = ReferenceSwitch::with_faults(&spec, 4, 1024, Time::from_ms(100), false, plan);
     flapped.chassis.run_for(Time::from_us(40));
     let events = poll_events(&mut flapped.chassis);
     let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
@@ -147,6 +156,7 @@ fn main() {
     ]);
 
     t.print();
-    t.write_json("BENCH_telemetry.json").expect("write BENCH_telemetry.json");
+    t.write_json("BENCH_telemetry.json")
+        .expect("write BENCH_telemetry.json");
     println!("ok: every project dumps a non-empty, collision-free, MMIO-consistent stat tree");
 }

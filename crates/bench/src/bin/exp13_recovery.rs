@@ -75,7 +75,11 @@ fn main() {
                 r.rebonds.to_string(),
                 p(&r.scrub_latencies_ns, 50.0).to_string(),
                 p(&r.scrub_latencies_ns, 99.0).to_string(),
-                r.scrub_latencies_ns.last().copied().unwrap_or(0).to_string(),
+                r.scrub_latencies_ns
+                    .last()
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
                 r.upsets.to_string(),
                 r.corrected.to_string(),
                 r.double_upsets.to_string(),
@@ -89,15 +93,27 @@ fn main() {
                 "no recovery at retrain={retrain} holddown={holddown}: {:.1}%",
                 r.recovery_pct()
             );
-            assert_eq!(r.sent, r.delivered + r.degraded_loss, "unaccounted degraded loss");
+            assert_eq!(
+                r.sent,
+                r.delivered + r.degraded_loss,
+                "unaccounted degraded loss"
+            );
             assert_eq!(r.rebonds, 1, "lane loss must heal by re-bonding");
-            assert_eq!(r.ttr_ns.len() as u64, flaps as u64 + 1, "one TTR sample per outage");
+            assert_eq!(
+                r.ttr_ns.len() as u64,
+                flaps as u64 + 1,
+                "one TTR sample per outage"
+            );
             results.push(((retrain, holddown, wpc), r));
         }
     }
 
     let find = |key: (u64, u64, u32)| -> &RecoveryRunResult {
-        &results.iter().find(|(k, _)| *k == key).expect("sweep point").1
+        &results
+            .iter()
+            .find(|(k, _)| *k == key)
+            .expect("sweep point")
+            .1
     };
 
     // TTR moves cycle-for-cycle with the policy: the flap TTR gap between
@@ -123,7 +139,10 @@ fn main() {
         mean_half > 1.4 * mean_full,
         "halved scrub rate must stretch the latency CDF: {mean_half:.0} vs {mean_full:.0} ns"
     );
-    assert_eq!(full.double_upsets, 0, "4 w/c period (5.12 us) beats the 6 us pair spacing");
+    assert_eq!(
+        full.double_upsets, 0,
+        "4 w/c period (5.12 us) beats the 6 us pair spacing"
+    );
     assert!(
         half.double_upsets > 0,
         "2 w/c period (10.24 us) must leave pairs uncorrected"
@@ -146,7 +165,8 @@ fn main() {
     assert_eq!(a, b, "same seed must replay identically");
 
     t.print();
-    t.write_json("BENCH_recovery.json").expect("write BENCH_recovery.json");
+    t.write_json("BENCH_recovery.json")
+        .expect("write BENCH_recovery.json");
 
     println!(
         "ok: TTR delta {ttr_delta} ns (knobs {knob_delta_ns}), scrub mean {:.0} -> {:.0} ns, \

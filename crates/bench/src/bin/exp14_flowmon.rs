@@ -220,7 +220,10 @@ fn main() {
     let mut max_overest = 0u64;
     for (i, &truth) in oracle.iter().enumerate() {
         let est = mon.estimate(&flow_tuple(i));
-        assert!(est >= truth, "flow {i}: estimate {est} under-counts {truth}");
+        assert!(
+            est >= truth,
+            "flow {i}: estimate {est} under-counts {truth}"
+        );
         assert!(
             est - truth <= bound,
             "flow {i}: overestimate {} exceeds εN bound {bound}",
@@ -236,12 +239,23 @@ fn main() {
     // In --quick mode some Zipf-tail flows draw zero packets and never
     // appear; every flow that sent anything must be tracked.
     let active = oracle.iter().filter(|&&c| c > 0).count();
-    assert_eq!(flows.len(), active, "every active flow tracked, nothing else");
+    assert_eq!(
+        flows.len(),
+        active,
+        "every active flow tracked, nothing else"
+    );
     assert_eq!(mon.evictions(), 0, "table never overflowed");
     for rec in &flows {
         let i = rec.flow.src_port as usize - 1000;
-        assert_eq!(rec.packets, oracle[i], "flow {i}: table packet count drifted");
-        assert_eq!(rec.bytes, oracle[i] * flow_len(i), "flow {i}: table byte count drifted");
+        assert_eq!(
+            rec.packets, oracle[i],
+            "flow {i}: table packet count drifted"
+        );
+        assert_eq!(
+            rec.bytes,
+            oracle[i] * flow_len(i),
+            "flow {i}: table byte count drifted"
+        );
     }
 
     // top_talkers(8) must equal the oracle's top 8 (mirroring the
@@ -257,15 +271,20 @@ fn main() {
         ))
     });
     let oracle_top8: Vec<FiveTuple> = by_rank[..8].iter().map(|&i| flow_tuple(i)).collect();
-    let got_top8: Vec<FiveTuple> =
-        mon.top_talkers(8).into_iter().map(|r| r.flow).collect();
-    assert_eq!(got_top8, oracle_top8, "top_talkers(8) diverges from the oracle");
+    let got_top8: Vec<FiveTuple> = mon.top_talkers(8).into_iter().map(|r| r.flow).collect();
+    assert_eq!(
+        got_top8, oracle_top8,
+        "top_talkers(8) diverges from the oracle"
+    );
     // The host-side MMIO ranking must agree with the tap's direct view.
     let mmio_top8: Vec<FiveTuple> = netfpga_host::top_talkers(&mut sw.chassis, 8)
         .into_iter()
         .map(|r| r.flow)
         .collect();
-    assert_eq!(mmio_top8, oracle_top8, "MMIO top_talkers diverges from the oracle");
+    assert_eq!(
+        mmio_top8, oracle_top8,
+        "MMIO top_talkers diverges from the oracle"
+    );
 
     // Prometheus snapshot: every registry path exactly once.
     let exporter = sw.exporter.clone().expect("exporter mounted");
@@ -299,7 +318,9 @@ fn main() {
     let deltas = netfpga_host::stream_deltas(&mut sw.chassis);
     assert!(!deltas.is_empty(), "no counter deltas streamed");
     assert!(
-        deltas.iter().all(|(path, _)| registry.iter().any(|(p, _)| p == path)),
+        deltas
+            .iter()
+            .all(|(path, _)| registry.iter().any(|(p, _)| p == path)),
         "delta indices must resolve through the telemetry name table"
     );
     assert!(
@@ -354,12 +375,15 @@ fn main() {
     // Row salts come sequentially off the seeded RNG, so a depth-4
     // sketch's first rows ARE the depth-2 sketch: estimates must
     // dominate pointwise (d4 ≤ d2) at every width.
-    let oracle_top8_set: std::collections::BTreeSet<usize> =
-        by_rank[..8].iter().copied().collect();
+    let oracle_top8_set: std::collections::BTreeSet<usize> = by_rank[..8].iter().copied().collect();
     for width in [32usize, 128, 512, 2048] {
         let mut est_by_depth: Vec<Vec<u64>> = Vec::new();
         for depth in [2usize, 4] {
-            let mut cm = CountMinSketch::new(SketchConfig { width, depth, seed: 0xE14 });
+            let mut cm = CountMinSketch::new(SketchConfig {
+                width,
+                depth,
+                seed: 0xE14,
+            });
             for &i in &sched {
                 cm.record(&flow_tuple(i), 1);
             }
@@ -387,7 +411,10 @@ fn main() {
             }
             let mut by_est: Vec<usize> = (0..NFLOWS).collect();
             by_est.sort_by_key(|&i| core::cmp::Reverse((est[i], core::cmp::Reverse(i))));
-            let top8_exact = by_est[..8].iter().copied().collect::<std::collections::BTreeSet<_>>()
+            let top8_exact = by_est[..8]
+                .iter()
+                .copied()
+                .collect::<std::collections::BTreeSet<_>>()
                 == oracle_top8_set;
             est_by_depth.push(est);
             t.row(&[
@@ -398,7 +425,11 @@ fn main() {
                 max_err.to_string(),
                 bound.to_string(),
                 violations.to_string(),
-                if top8_exact { "yes".into() } else { "no".into() },
+                if top8_exact {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
                 "-".into(),
             ]);
         }
@@ -411,7 +442,8 @@ fn main() {
     }
 
     t.print();
-    t.write_json("BENCH_flowmon.json").expect("write BENCH_flowmon.json");
+    t.write_json("BENCH_flowmon.json")
+        .expect("write BENCH_flowmon.json");
     println!(
         "ok: oracle-exact heavy hitters, εN bound holds at every sweep point, \
          replay bit-identical across schedulers, Prometheus paths exact, deltas resolve"

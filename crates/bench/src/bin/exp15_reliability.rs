@@ -78,7 +78,8 @@ fn main() {
             r.abandoned.to_string(),
             r.fault_tx_dropped.to_string(),
             r.bites.to_string(),
-            r.bite_latency_ns.map_or_else(|| "-".to_string(), |v| v.to_string()),
+            r.bite_latency_ns
+                .map_or_else(|| "-".to_string(), |v| v.to_string()),
         ]);
 
         // (a) Exactly-once at every point: no duplicates, no abandons,
@@ -107,7 +108,10 @@ fn main() {
             frames,
             ..ReliabilityPoint::default_point()
         });
-        assert!(r.exactly_once(), "deadline sweep point must stay exactly-once: {r:?}");
+        assert!(
+            r.exactly_once(),
+            "deadline sweep point must stay exactly-once: {r:?}"
+        );
         r.bite_latency_ns.expect("wedge point must bite")
     };
     let (d0, d1, d2) = (1000, 2000, 4000);
@@ -141,7 +145,8 @@ fn main() {
     );
 
     t.print();
-    t.write_json("BENCH_reliability.json").expect("write BENCH_reliability.json");
+    t.write_json("BENCH_reliability.json")
+        .expect("write BENCH_reliability.json");
 
     let retried: u64 = grid
         .iter()

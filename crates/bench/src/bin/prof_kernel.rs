@@ -11,7 +11,7 @@ use netfpga_bench::kernel::{flood, idle_heavy, saturated, KernelConfig};
 fn phases(nframes: u32) {
     use netfpga_core::board::BoardSpec;
     use netfpga_core::time::Time;
-    use netfpga_packet::{EthernetAddress, EtherType, PacketBuilder};
+    use netfpga_packet::{EtherType, EthernetAddress, PacketBuilder};
     use netfpga_projects::ReferenceSwitch;
     use std::time::Instant;
     let mac = |x: u8| EthernetAddress::new(2, 0, 0, 0, 0, x);
@@ -42,7 +42,8 @@ fn phases(nframes: u32) {
     let t1 = Instant::now();
     let mut frames = 0u64;
     for _ in 0..200 {
-        sw.chassis.run_for(Time::from_us(u64::from(nframes) / 2 + 20));
+        sw.chassis
+            .run_for(Time::from_us(u64::from(nframes) / 2 + 20));
         for p in 0..4 {
             frames += sw.chassis.recv(p).len() as u64;
         }

@@ -104,25 +104,31 @@ pub fn degraded_switch(point: FaultPoint) -> FaultRunResult {
 
     let mut plan = FaultPlan::new(point.seed);
     if point.ber > 0.0 {
-        plan = plan.at(Time::ZERO, FaultKind::SetBer { port: 0, ber: point.ber });
+        plan = plan.at(
+            Time::ZERO,
+            FaultKind::SetBer {
+                port: 0,
+                ber: point.ber,
+            },
+        );
     }
     if let Some(period) = point.flap_period {
         // First flap half a period in, so even short batches get hit.
         let mut at = Time::from_ns(period.as_ns() / 2);
         while at < batch_time {
-            plan = plan.at(at, FaultKind::LinkDown { port: 1, duration: point.flap_down });
+            plan = plan.at(
+                at,
+                FaultKind::LinkDown {
+                    port: 1,
+                    duration: point.flap_down,
+                },
+            );
             at += period;
         }
     }
 
-    let mut sw = ReferenceSwitch::with_faults(
-        &BoardSpec::sume(),
-        4,
-        1024,
-        Time::from_ms(500),
-        true,
-        plan,
-    );
+    let mut sw =
+        ReferenceSwitch::with_faults(&BoardSpec::sume(), 4, 1024, Time::from_ms(500), true, plan);
     let faults = sw.chassis.faults.clone().expect("armed plan");
 
     // Teach the switch: dst lives on port 1.
@@ -154,8 +160,8 @@ pub fn degraded_switch(point: FaultPoint) -> FaultRunResult {
     for _ in 0..probe {
         sw.chassis.send(0, frame(1, 9, point.frame_len));
     }
-    let probe_time = Time::from_ns((probe as u64 * point.frame_len as u64 * 8) / 10 + 1)
-        + Time::from_us(100);
+    let probe_time =
+        Time::from_ns((probe as u64 * point.frame_len as u64 * 8) / 10 + 1) + Time::from_us(100);
     sw.chassis.run_for(probe_time);
     let probe_delivered = sw.chassis.recv(1).len() as u64;
 
@@ -200,7 +206,10 @@ mod tests {
 
     #[test]
     fn same_seed_same_result() {
-        let point = FaultPoint { ber: 5e-5, ..FaultPoint::clean(60) };
+        let point = FaultPoint {
+            ber: 5e-5,
+            ..FaultPoint::clean(60)
+        };
         let a = degraded_switch(point);
         let b = degraded_switch(point);
         assert_eq!(a, b, "seeded runs are bit-for-bit repeatable");

@@ -29,7 +29,7 @@ use netfpga_core::sim::SchedulerMode;
 use netfpga_core::stream::Stream;
 use netfpga_core::time::Time;
 use netfpga_host::{ReliableChannel, ReliableConfig};
-use netfpga_packet::{EthernetAddress, EtherType, PacketBuilder};
+use netfpga_packet::{EtherType, EthernetAddress, PacketBuilder};
 use netfpga_projects::flowmon::FlowmonConfig;
 use netfpga_projects::ReferenceSwitch;
 use std::time::{Duration, Instant};
@@ -108,13 +108,8 @@ fn frame(src: u8, dst: u8, len: usize) -> Vec<u8> {
 /// Build a 4-port reference switch pinned to the given kernel config.
 fn switch(config: KernelConfig) -> ReferenceSwitch {
     let fast = matches!(config, KernelConfig::Fast);
-    let mut sw = ReferenceSwitch::with_fast_path(
-        &BoardSpec::sume(),
-        4,
-        1024,
-        Time::from_ms(100),
-        fast,
-    );
+    let mut sw =
+        ReferenceSwitch::with_fast_path(&BoardSpec::sume(), 4, 1024, Time::from_ms(100), fast);
     match config {
         KernelConfig::Naive => {
             sw.chassis.sim.set_scheduler_mode(SchedulerMode::Scan);
@@ -237,7 +232,8 @@ pub fn saturated(config: KernelConfig, nframes: u32) -> KernelRun {
     // Drain in slices; the deadline is generous (wire time for the whole
     // burst is ~nframes x 256 ns per pair).
     for _ in 0..200 {
-        sw.chassis.run_for(Time::from_us(u64::from(nframes) / 2 + 20));
+        sw.chassis
+            .run_for(Time::from_us(u64::from(nframes) / 2 + 20));
         for p in 0..4 {
             frames += sw.chassis.recv(p).len() as u64;
         }
@@ -259,8 +255,9 @@ pub fn flood(config: KernelConfig, nframes: u32) -> KernelRun {
     // 0xee does not exist anywhere. Template frames are cloned per
     // injection (refcount bumps), and each flood copy inside the switch
     // is another refcount bump on the same backing buffer.
-    let templates: Vec<pktbuf::PktBuf> =
-        (0..8u8).map(|s| frame(0x40 + s, 0xee, 300).into()).collect();
+    let templates: Vec<pktbuf::PktBuf> = (0..8u8)
+        .map(|s| frame(0x40 + s, 0xee, 300).into())
+        .collect();
     let base = RunBase::begin(&sw);
     for i in 0..nframes {
         sw.chassis
@@ -300,8 +297,7 @@ pub fn saturated_reliable(nframes: u32) -> KernelRun {
     let (_from_card_tx, from_card_rx) = Stream::new(64, w);
     sw.chassis.attach_dma(to_card_tx, from_card_rx);
     let dma = sw.chassis.dma.clone().expect("DMA attached");
-    let (driver, channel) =
-        ReliableChannel::new("reliable", dma, ReliableConfig::default(), 0xE15);
+    let (driver, channel) = ReliableChannel::new("reliable", dma, ReliableConfig::default(), 0xE15);
     sw.chassis.add_module(driver);
 
     let f01: pktbuf::PktBuf = frame(1, 2, 300).into();
@@ -314,7 +310,8 @@ pub fn saturated_reliable(nframes: u32) -> KernelRun {
     let expect = 2 * u64::from(nframes);
     let mut frames = 0u64;
     for _ in 0..200 {
-        sw.chassis.run_for(Time::from_us(u64::from(nframes) / 2 + 20));
+        sw.chassis
+            .run_for(Time::from_us(u64::from(nframes) / 2 + 20));
         for p in 0..4 {
             frames += sw.chassis.recv(p).len() as u64;
         }
@@ -322,7 +319,10 @@ pub fn saturated_reliable(nframes: u32) -> KernelRun {
             break;
         }
     }
-    assert!(channel.idle(), "no host TX was offered, the channel stays idle");
+    assert!(
+        channel.idle(),
+        "no host TX was offered, the channel stays idle"
+    );
     base.finish(&sw, frames)
 }
 
@@ -343,7 +343,8 @@ pub fn saturated_tap(nframes: u32) -> KernelRun {
     let expect = 2 * u64::from(nframes);
     let mut frames = 0u64;
     for _ in 0..200 {
-        sw.chassis.run_for(Time::from_us(u64::from(nframes) / 2 + 20));
+        sw.chassis
+            .run_for(Time::from_us(u64::from(nframes) / 2 + 20));
         for p in 0..4 {
             frames += sw.chassis.recv(p).len() as u64;
         }
@@ -361,8 +362,9 @@ pub fn saturated_tap(nframes: u32) -> KernelRun {
 /// consecutive drain rounds.
 pub fn flood_tap(nframes: u32) -> KernelRun {
     let mut sw = tapped_switch();
-    let templates: Vec<pktbuf::PktBuf> =
-        (0..8u8).map(|s| frame(0x40 + s, 0xee, 300).into()).collect();
+    let templates: Vec<pktbuf::PktBuf> = (0..8u8)
+        .map(|s| frame(0x40 + s, 0xee, 300).into())
+        .collect();
     let base = RunBase::begin(&sw);
     for i in 0..nframes {
         sw.chassis
@@ -437,7 +439,10 @@ mod tests {
     fn fast_kernel_skips_edges() {
         let naive = saturated(KernelConfig::Naive, 40);
         assert_eq!(naive.steps, naive.edges, "naive kernel steps everything");
-        assert_eq!(naive.probes_avoided, 0, "the scan reference re-queries every module");
+        assert_eq!(
+            naive.probes_avoided, 0,
+            "the scan reference re-queries every module"
+        );
         let fast = saturated(KernelConfig::Fast, 40);
         assert!(
             fast.steps < fast.edges / 2,

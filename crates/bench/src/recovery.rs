@@ -137,10 +137,22 @@ fn build_plan(point: &RecoveryPoint) -> FaultPlan {
     let mut plan = FaultPlan::new(point.seed).bond(2, PortBond::ethernet_40g());
     let mut at = Time::from_us(20);
     for _ in 0..point.flaps {
-        plan = plan.at(at, FaultKind::LinkDown { port: 1, duration: point.flap_down });
+        plan = plan.at(
+            at,
+            FaultKind::LinkDown {
+                port: 1,
+                duration: point.flap_down,
+            },
+        );
         at += point.flap_down + Time::from_us(25);
     }
-    plan = plan.at(Time::from_us(30), FaultKind::LaneLoss { port: 2, lanes_lost: 2 });
+    plan = plan.at(
+        Time::from_us(30),
+        FaultKind::LaneLoss {
+            port: 2,
+            lanes_lost: 2,
+        },
+    );
     if point.scrub_words_per_cycle > 0 {
         // Singles: one latent flip per word, corrected at the next visit —
         // each contributes one scrub-latency sample.
@@ -162,10 +174,21 @@ fn build_plan(point: &RecoveryPoint) -> FaultPlan {
             let word = (2048 + 17 * k) as usize;
             let at = Time::from_us(18 + 7 * k);
             plan = plan
-                .at(at, FaultKind::MemFlip { memory: "scratch".into(), index: word, bit: 5 })
+                .at(
+                    at,
+                    FaultKind::MemFlip {
+                        memory: "scratch".into(),
+                        index: word,
+                        bit: 5,
+                    },
+                )
                 .at(
                     at + Time::from_us(6),
-                    FaultKind::MemFlip { memory: "scratch".into(), index: word, bit: 44 },
+                    FaultKind::MemFlip {
+                        memory: "scratch".into(),
+                        index: word,
+                        bit: 44,
+                    },
                 );
         }
     }
@@ -183,17 +206,14 @@ fn build_plan(point: &RecoveryPoint) -> FaultPlan {
 pub fn recovery_switch(point: RecoveryPoint) -> RecoveryRunResult {
     let plan = build_plan(&point);
     assert!(
-        !plan.events.iter().any(|e| matches!(e.kind, FaultKind::LaneRestore { .. })),
+        !plan
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::LaneRestore { .. })),
         "the schedule must not help: no restore events"
     );
-    let mut sw = ReferenceSwitch::with_faults(
-        &BoardSpec::sume(),
-        4,
-        1024,
-        Time::from_ms(500),
-        true,
-        plan,
-    );
+    let mut sw =
+        ReferenceSwitch::with_faults(&BoardSpec::sume(), 4, 1024, Time::from_ms(500), true, plan);
     let faults = sw.chassis.faults.clone().expect("armed plan");
     if point.scrub_words_per_cycle > 0 {
         faults.register_memory(
@@ -284,16 +304,33 @@ mod tests {
         let r = recovery_switch(RecoveryPoint::default_point());
         assert_eq!(r.ttr_ns.len(), 7, "6 flap outages + 1 lane-loss outage");
         assert!(r.degraded_loss > 0, "outages must cost frames");
-        assert_eq!(r.sent, r.delivered + r.degraded_loss, "loss accounting closes");
+        assert_eq!(
+            r.sent,
+            r.delivered + r.degraded_loss,
+            "loss accounting closes"
+        );
         assert_eq!(r.rebonds, 1, "lane loss healed by re-bonding");
-        assert!(r.recovery_pct() >= 99.0, "recovered {:.1}%", r.recovery_pct());
+        assert!(
+            r.recovery_pct() >= 99.0,
+            "recovered {:.1}%",
+            r.recovery_pct()
+        );
         // Every flap outage heals in flap_down + hold-down + retrain,
         // give or take a detection cycle (5 ns): the PCS down edge fires
         // one cycle into the window.
         let floor = Time::from_us(10).as_ns() + (100 + 400) * 5;
-        assert!(r.ttr_ns[0] >= (100 + 400) * 5, "lane-loss TTR below policy floor");
-        assert!(*r.ttr_ns.last().unwrap() >= floor - 5, "flap TTR below analytic floor");
-        assert!(*r.ttr_ns.last().unwrap() < floor + 1000, "flap TTR far over floor");
+        assert!(
+            r.ttr_ns[0] >= (100 + 400) * 5,
+            "lane-loss TTR below policy floor"
+        );
+        assert!(
+            *r.ttr_ns.last().unwrap() >= floor - 5,
+            "flap TTR below analytic floor"
+        );
+        assert!(
+            *r.ttr_ns.last().unwrap() < floor + 1000,
+            "flap TTR far over floor"
+        );
     }
 
     #[test]
@@ -306,7 +343,10 @@ mod tests {
         // upset resolves as a corrected single, none as a double.
         assert_eq!(r.corrected, 16 + 24, "every flip corrected by the sweep");
         assert_eq!(r.scrub_latencies_ns.len(), 40);
-        assert!(*r.scrub_latencies_ns.last().unwrap() <= 5_120, "latency bound = period");
+        assert!(
+            *r.scrub_latencies_ns.last().unwrap() <= 5_120,
+            "latency bound = period"
+        );
         assert_eq!(r.double_upsets, 0, "period shorter than pair spacing");
     }
 

@@ -123,14 +123,18 @@ fn build_plan(point: &ReliabilityPoint) -> FaultPlan {
         for start in [30u64, 150] {
             plan = plan.at(
                 Time::from_us(start),
-                FaultKind::DmaStall { duration: Time::from_us(point.stall_us) },
+                FaultKind::DmaStall {
+                    duration: Time::from_us(point.stall_us),
+                },
             );
         }
     }
     if point.drop_us > 0 {
         plan = plan.at(
             Time::from_us(70),
-            FaultKind::DmaDrop { duration: Time::from_us(point.drop_us) },
+            FaultKind::DmaDrop {
+                duration: Time::from_us(point.drop_us),
+            },
         );
     }
     if point.wedge {
@@ -151,14 +155,20 @@ pub fn reliability_nic(point: ReliabilityPoint) -> ReliabilityRunResult {
     let dma = nic.chassis.dma.clone().expect("NIC has DMA");
     // A generous attempt cap: the sweep judges exactly-once, so no point
     // may abandon — shedding at the pending queue is the only legal loss.
-    let config = ReliableConfig { max_attempts: 16, ..ReliableConfig::default() };
+    let config = ReliableConfig {
+        max_attempts: 16,
+        ..ReliableConfig::default()
+    };
     let (driver, channel) =
         ReliableChannel::new("reliable", dma.clone(), config, point.seed ^ 0xE15);
     let clk = nic.chassis.clk;
     nic.chassis.sim.add_module(clk, driver);
     let faults = nic.chassis.faults.clone().expect("armed plan");
 
-    let meta = Meta { dst_ports: PortMask::single(1), ..Default::default() };
+    let meta = Meta {
+        dst_ports: PortMask::single(1),
+        ..Default::default()
+    };
     let mut offered = 0usize;
     for k in 0..point.frames {
         let _ = channel.send(frame(k), meta);
@@ -201,7 +211,11 @@ pub fn reliability_nic(point: ReliabilityPoint) -> ReliabilityRunResult {
         dup_discards: dma.dup_discards(),
         tx_shed: channel.tx_shed(),
         abandoned: channel.abandoned(),
-        fault_tx_dropped: nic.chassis.telemetry.get("dma.fault.tx_dropped").unwrap_or(0),
+        fault_tx_dropped: nic
+            .chassis
+            .telemetry
+            .get("dma.fault.tx_dropped")
+            .unwrap_or(0),
         bites: nic.chassis.watchdog_bites(),
         bite_latency_ns,
         trace: faults.trace(),
@@ -216,27 +230,39 @@ pub fn reliability_nic(point: ReliabilityPoint) -> ReliabilityRunResult {
 pub fn overhead_pair(nframes: u32) -> (f64, f64) {
     let run_baseline = || {
         let r = crate::kernel::saturated(crate::kernel::KernelConfig::Fast, nframes);
-        assert_eq!(r.frames, 2 * u64::from(nframes), "baseline must deliver everything");
+        assert_eq!(
+            r.frames,
+            2 * u64::from(nframes),
+            "baseline must deliver everything"
+        );
         r.frames_per_sec()
     };
     let run_attached = || {
         let r = crate::kernel::saturated_reliable(nframes);
-        assert_eq!(r.frames, 2 * u64::from(nframes), "attached run must deliver everything");
+        assert_eq!(
+            r.frames,
+            2 * u64::from(nframes),
+            "attached run must deliver everything"
+        );
         r.frames_per_sec()
     };
 
-    // Interleaved best-of-5 with a warm-up pass each: the runs are tens
-    // of milliseconds, so wall-clock throughput is noisy under CI load
-    // and allocator/cache state — the max over alternating runs is the
-    // fair per-side capacity estimate.
+    // Interleaved best-of-5 (`report::best_of`) with a warm-up pass
+    // each: the runs are tens of milliseconds, so wall-clock throughput
+    // is noisy under CI load and allocator/cache state — the max over
+    // alternating runs is the fair per-side capacity estimate.
     let _ = run_baseline();
     let _ = run_attached();
-    let mut base = 0.0f64;
-    let mut attached = 0.0f64;
-    for _ in 0..5 {
-        base = base.max(run_baseline());
-        attached = attached.max(run_attached());
-    }
+    let mut run_baseline = run_baseline;
+    let mut run_attached = run_attached;
+    let mut bests = crate::report::best_of(
+        &mut [&mut run_baseline, &mut run_attached],
+        |x, best| x > best,
+        |_, _| false,
+        4,
+    );
+    let attached = bests.pop().expect("attached sample");
+    let base = bests.pop().expect("baseline sample");
     (base, attached)
 }
 

@@ -55,7 +55,11 @@ pub fn board_at_rate(rate: BitRate) -> BoardSpec {
     let mut spec = BoardSpec::sume();
     for p in spec.ports.iter_mut() {
         if matches!(p.kind, PortKind::Sfpp) {
-            *p = PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: rate };
+            *p = PortSpec {
+                kind: PortKind::Sfpp,
+                lanes: 1,
+                lane_rate: rate,
+            };
         }
     }
     // Scale the datapath: bus width (bytes/cycle) x 200 MHz must exceed

@@ -94,9 +94,7 @@ impl SramSpec {
     /// direction (read) — double it for aggregate R+W.
     pub fn peak_read_bandwidth(&self) -> BitRate {
         // DDR on the read port: 2 transfers per clock.
-        BitRate::bps(
-            self.clock.as_hz() * 2 * u64::from(self.data_bits) * u64::from(self.devices),
-        )
+        BitRate::bps(self.clock.as_hz() * 2 * u64::from(self.data_bits) * u64::from(self.devices))
     }
 
     /// Total capacity in bytes.
@@ -211,7 +209,9 @@ impl BoardSpec {
     /// up to 13.1 Gb/s, QDRII+ at 500 MHz, DDR3 at 1866 MT/s, PCIe Gen3 x8,
     /// MicroSD + 2×SATA.
     pub fn sume() -> BoardSpec {
-        let lane = LaneSpec { max_rate: BitRate::mbps(13_100) };
+        let lane = LaneSpec {
+            max_rate: BitRate::mbps(13_100),
+        };
         BoardSpec {
             platform: Platform::Sume,
             fpga: "Xilinx Virtex-7 XC7VX690T",
@@ -224,17 +224,49 @@ impl BoardSpec {
             serial_lanes: vec![lane; 30],
             ports: vec![
                 // Four SFP+ cages at 10.3125 Gb/s line rate.
-                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
-                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
-                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
-                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
+                PortSpec {
+                    kind: PortKind::Sfpp,
+                    lanes: 1,
+                    lane_rate: BitRate::bps(10_312_500_000),
+                },
+                PortSpec {
+                    kind: PortKind::Sfpp,
+                    lanes: 1,
+                    lane_rate: BitRate::bps(10_312_500_000),
+                },
+                PortSpec {
+                    kind: PortKind::Sfpp,
+                    lanes: 1,
+                    lane_rate: BitRate::bps(10_312_500_000),
+                },
+                PortSpec {
+                    kind: PortKind::Sfpp,
+                    lanes: 1,
+                    lane_rate: BitRate::bps(10_312_500_000),
+                },
                 // Expansion lanes (FMC/QTH) usable for 100G (10×10G or CAUI-4).
-                PortSpec { kind: PortKind::Expansion, lanes: 10, lane_rate: BitRate::mbps(13_100) },
+                PortSpec {
+                    kind: PortKind::Expansion,
+                    lanes: 10,
+                    lane_rate: BitRate::mbps(13_100),
+                },
                 // PCIe Gen3 x8 edge.
-                PortSpec { kind: PortKind::Pcie, lanes: 8, lane_rate: BitRate::mbps(8_000) },
+                PortSpec {
+                    kind: PortKind::Pcie,
+                    lanes: 8,
+                    lane_rate: BitRate::mbps(8_000),
+                },
                 // Two SATA-III.
-                PortSpec { kind: PortKind::Sata, lanes: 1, lane_rate: BitRate::mbps(6_000) },
-                PortSpec { kind: PortKind::Sata, lanes: 1, lane_rate: BitRate::mbps(6_000) },
+                PortSpec {
+                    kind: PortKind::Sata,
+                    lanes: 1,
+                    lane_rate: BitRate::mbps(6_000),
+                },
+                PortSpec {
+                    kind: PortKind::Sata,
+                    lanes: 1,
+                    lane_rate: BitRate::mbps(6_000),
+                },
             ],
             sram: Some(SramSpec {
                 devices: 3,
@@ -249,8 +281,14 @@ impl BoardSpec {
                 mega_transfers: 1_866,
                 data_bits: 64,
             }),
-            pcie: PcieSpec { generation: 3, lanes: 8 },
-            storage: StorageSpec { microsd: true, sata_ports: 2 },
+            pcie: PcieSpec {
+                generation: 3,
+                lanes: 8,
+            },
+            storage: StorageSpec {
+                microsd: true,
+                sata_ports: 2,
+            },
             bus_width: 32, // 256-bit reference datapath
             core_clock: Frequency::mhz(200),
         }
@@ -259,7 +297,9 @@ impl BoardSpec {
     /// The NetFPGA-10G board: Virtex-5, 4×SFP+, QDRII and RLDRAM-II
     /// (modelled with the same SRAM/DRAM abstractions), PCIe Gen1 x8.
     pub fn netfpga_10g() -> BoardSpec {
-        let lane = LaneSpec { max_rate: BitRate::bps(6_500_000_000) };
+        let lane = LaneSpec {
+            max_rate: BitRate::bps(6_500_000_000),
+        };
         BoardSpec {
             platform: Platform::NetFpga10G,
             fpga: "Xilinx Virtex-5 XC5VTX240T",
@@ -271,11 +311,31 @@ impl BoardSpec {
             },
             serial_lanes: vec![lane; 20],
             ports: vec![
-                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
-                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
-                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
-                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::bps(10_312_500_000) },
-                PortSpec { kind: PortKind::Pcie, lanes: 8, lane_rate: BitRate::mbps(2_500) },
+                PortSpec {
+                    kind: PortKind::Sfpp,
+                    lanes: 1,
+                    lane_rate: BitRate::bps(10_312_500_000),
+                },
+                PortSpec {
+                    kind: PortKind::Sfpp,
+                    lanes: 1,
+                    lane_rate: BitRate::bps(10_312_500_000),
+                },
+                PortSpec {
+                    kind: PortKind::Sfpp,
+                    lanes: 1,
+                    lane_rate: BitRate::bps(10_312_500_000),
+                },
+                PortSpec {
+                    kind: PortKind::Sfpp,
+                    lanes: 1,
+                    lane_rate: BitRate::bps(10_312_500_000),
+                },
+                PortSpec {
+                    kind: PortKind::Pcie,
+                    lanes: 8,
+                    lane_rate: BitRate::mbps(2_500),
+                },
             ],
             sram: Some(SramSpec {
                 devices: 3,
@@ -290,8 +350,14 @@ impl BoardSpec {
                 mega_transfers: 800,
                 data_bits: 64,
             }),
-            pcie: PcieSpec { generation: 1, lanes: 8 },
-            storage: StorageSpec { microsd: false, sata_ports: 0 },
+            pcie: PcieSpec {
+                generation: 1,
+                lanes: 8,
+            },
+            storage: StorageSpec {
+                microsd: false,
+                sata_ports: 0,
+            },
             bus_width: 32,
             core_clock: Frequency::mhz(160),
         }
@@ -300,7 +366,9 @@ impl BoardSpec {
     /// The NetFPGA-1G-CML board: Kintex-7 325T, 4×1G RGMII, DDR3, PCIe
     /// Gen2 x4; suited to network-security applications.
     pub fn netfpga_1g_cml() -> BoardSpec {
-        let lane = LaneSpec { max_rate: BitRate::bps(6_600_000_000) };
+        let lane = LaneSpec {
+            max_rate: BitRate::bps(6_600_000_000),
+        };
         BoardSpec {
             platform: Platform::NetFpga1GCml,
             fpga: "Xilinx Kintex-7 XC7K325T",
@@ -312,12 +380,36 @@ impl BoardSpec {
             },
             serial_lanes: vec![lane; 8],
             ports: vec![
-                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::gbps(1) },
-                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::gbps(1) },
-                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::gbps(1) },
-                PortSpec { kind: PortKind::Sfpp, lanes: 1, lane_rate: BitRate::gbps(1) },
-                PortSpec { kind: PortKind::Pcie, lanes: 4, lane_rate: BitRate::mbps(5_000) },
-                PortSpec { kind: PortKind::Sata, lanes: 1, lane_rate: BitRate::mbps(3_000) },
+                PortSpec {
+                    kind: PortKind::Sfpp,
+                    lanes: 1,
+                    lane_rate: BitRate::gbps(1),
+                },
+                PortSpec {
+                    kind: PortKind::Sfpp,
+                    lanes: 1,
+                    lane_rate: BitRate::gbps(1),
+                },
+                PortSpec {
+                    kind: PortKind::Sfpp,
+                    lanes: 1,
+                    lane_rate: BitRate::gbps(1),
+                },
+                PortSpec {
+                    kind: PortKind::Sfpp,
+                    lanes: 1,
+                    lane_rate: BitRate::gbps(1),
+                },
+                PortSpec {
+                    kind: PortKind::Pcie,
+                    lanes: 4,
+                    lane_rate: BitRate::mbps(5_000),
+                },
+                PortSpec {
+                    kind: PortKind::Sata,
+                    lanes: 1,
+                    lane_rate: BitRate::mbps(3_000),
+                },
             ],
             sram: None,
             dram: Some(DramSpec {
@@ -326,8 +418,14 @@ impl BoardSpec {
                 mega_transfers: 800,
                 data_bits: 64,
             }),
-            pcie: PcieSpec { generation: 2, lanes: 4 },
-            storage: StorageSpec { microsd: true, sata_ports: 1 },
+            pcie: PcieSpec {
+                generation: 2,
+                lanes: 4,
+            },
+            storage: StorageSpec {
+                microsd: true,
+                sata_ports: 1,
+            },
             bus_width: 8,
             core_clock: Frequency::mhz(125),
         }
@@ -401,11 +499,17 @@ mod tests {
 
     #[test]
     fn pcie_effective_bandwidth() {
-        let gen3x8 = PcieSpec { generation: 3, lanes: 8 };
+        let gen3x8 = PcieSpec {
+            generation: 3,
+            lanes: 8,
+        };
         // 8 GT/s x 8 lanes x 128/130 ≈ 63 Gb/s.
         let bw = gen3x8.effective_bandwidth().as_gbps_f64();
         assert!((bw - 63.0).abs() < 0.1, "got {bw}");
-        let gen1x8 = PcieSpec { generation: 1, lanes: 8 };
+        let gen1x8 = PcieSpec {
+            generation: 1,
+            lanes: 8,
+        };
         assert!((gen1x8.effective_bandwidth().as_gbps_f64() - 16.0).abs() < 0.01);
     }
 
@@ -430,7 +534,11 @@ mod tests {
 
     #[test]
     fn qsfp_aggregate() {
-        let p = PortSpec { kind: PortKind::Qsfp, lanes: 4, lane_rate: BitRate::mbps(10_312) };
+        let p = PortSpec {
+            kind: PortKind::Qsfp,
+            lanes: 4,
+            lane_rate: BitRate::mbps(10_312),
+        };
         assert_eq!(p.aggregate_rate().as_bps(), 4 * 10_312_000_000);
     }
 }

@@ -344,7 +344,7 @@ mod tests {
         inject.push(vec![7u8; 320], 0); // 10 words >> capacity 2
         sim.run_cycles(clk, 20);
         assert_eq!(rx.occupancy(), 2); // stalled, nothing lost
-        // Drain two words; source refills.
+                                       // Drain two words; source refills.
         let mut r = Reassembler::new();
         r.push(rx.pop().unwrap());
         r.push(rx.pop().unwrap());

@@ -168,7 +168,11 @@ impl PktBuf {
     /// when the last reference drops.
     pub fn from_vec(data: Vec<u8>) -> PktBuf {
         let len = data.len();
-        PktBuf { inner: Rc::new(Inner { data }), off: 0, len }
+        PktBuf {
+            inner: Rc::new(Inner { data }),
+            off: 0,
+            len,
+        }
     }
 
     /// Copy `data` into a pooled buffer.
@@ -197,7 +201,11 @@ impl PktBuf {
     /// view). Shares the backing store: no bytes move.
     pub fn slice(&self, off: usize, len: usize) -> PktBuf {
         assert!(off + len <= self.len, "slice out of range");
-        PktBuf { inner: self.inner.clone(), off: self.off + off, len }
+        PktBuf {
+            inner: self.inner.clone(),
+            off: self.off + off,
+            len,
+        }
     }
 
     /// Join two views that are adjacent in the *same* backing store into
@@ -206,7 +214,11 @@ impl PktBuf {
     /// fast path falls back to copying then.
     pub fn try_join(&self, next: &PktBuf) -> Option<PktBuf> {
         if Rc::ptr_eq(&self.inner, &next.inner) && self.off + self.len == next.off {
-            Some(PktBuf { inner: self.inner.clone(), off: self.off, len: self.len + next.len })
+            Some(PktBuf {
+                inner: self.inner.clone(),
+                off: self.off,
+                len: self.len + next.len,
+            })
         } else {
             None
         }
@@ -263,6 +275,43 @@ impl PktBuf {
     pub fn to_vec(&self) -> Vec<u8> {
         self.bytes().to_vec()
     }
+
+    /// Detach the visible bytes into a plain `Vec<u8>` that owes nothing
+    /// to this thread's pool — the cross-thread handoff primitive for the
+    /// parallel fabric plane.
+    ///
+    /// `PktBuf` is `Rc`-based and its free list is thread-local, so a
+    /// buffer must never cross a thread boundary directly. A frame leaving
+    /// a shard calls `into_owned()`; the receiving shard rewraps the bytes
+    /// with [`PktBuf::from_vec`] (or [`PktBuf::copy_from`]), after which
+    /// the allocation lives and eventually recycles entirely in the
+    /// *destination* thread's pool. Pool counters therefore stay coherent
+    /// per thread: the source side sees at most one `give_vec` (when the
+    /// view was shared or partial and the backing store is recycled here),
+    /// the destination side accounts the buffer like any local allocation.
+    ///
+    /// A uniquely-owned full-range view is *stolen*, not copied: the
+    /// backing vector moves out and the emptied shell (capacity 0) is
+    /// below the pool's keep threshold, so nothing is double-accounted.
+    /// Shared or partial views copy their visible bytes — copy-on-write
+    /// semantics survive the detach exactly as they do for
+    /// [`PktBuf::make_mut`].
+    pub fn into_owned(self) -> Vec<u8> {
+        let (off, len) = (self.off, self.len);
+        let full = off == 0 && len == self.inner.data.len();
+        match Rc::try_unwrap(self.inner) {
+            // Sole owner of exactly the visible range: steal the backing
+            // store. `Inner::drop` then returns an empty vector, which
+            // `give_vec` rejects (capacity < POOL_MIN_CAPACITY), so the
+            // stolen allocation is not double-counted by the pool.
+            Ok(mut inner) if full => std::mem::take(&mut inner.data),
+            // Sole owner of a partial view: copy the visible bytes; the
+            // backing store recycles into this thread's pool on drop.
+            Ok(inner) => inner.data[off..off + len].to_vec(),
+            // Shared: copy; siblings keep the backing store untouched.
+            Err(rc) => rc.data[off..off + len].to_vec(),
+        }
+    }
 }
 
 impl Default for PktBuf {
@@ -289,7 +338,13 @@ impl std::fmt::Debug for PktBuf {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "PktBuf({} bytes", self.len)?;
         if self.off != 0 || self.len != self.inner.data.len() {
-            write!(f, ", view {}..{} of {}", self.off, self.off + self.len, self.inner.data.len())?;
+            write!(
+                f,
+                ", view {}..{} of {}",
+                self.off,
+                self.off + self.len,
+                self.inner.data.len()
+            )?;
         }
         write!(f, ")")
     }
@@ -382,7 +437,11 @@ mod tests {
         let mut a = PktBuf::copy_from(&[1, 2, 3]);
         a.make_mut()[0] = 0xff;
         assert_eq!(a.bytes(), &[0xff, 2, 3]);
-        assert_eq!(pool_stats().cow_copies, 0, "unique full view mutates in place");
+        assert_eq!(
+            pool_stats().cow_copies,
+            0,
+            "unique full view mutates in place"
+        );
     }
 
     #[test]
@@ -429,7 +488,11 @@ mod tests {
         let b = PktBuf::copy_from(&[8u8; 100]);
         assert_eq!(pool_stats().recycled, 1);
         assert_eq!(pool_stats().allocs, allocs_before, "no fresh allocation");
-        assert_eq!(b.bytes(), &[8u8; 100][..], "recycled buffer fully rewritten");
+        assert_eq!(
+            b.bytes(),
+            &[8u8; 100][..],
+            "recycled buffer fully rewritten"
+        );
     }
 
     #[test]
@@ -458,5 +521,118 @@ mod tests {
     #[should_panic(expected = "slice out of range")]
     fn slice_out_of_range_panics() {
         PktBuf::copy_from(&[1, 2]).slice(1, 2);
+    }
+
+    #[test]
+    fn into_owned_unique_full_view_steals_without_copy_or_recycle() {
+        reset_pool();
+        set_pool_enabled(true);
+        let a = PktBuf::copy_from(&[5u8; 256]);
+        let before = pool_stats();
+        let v = a.into_owned();
+        assert_eq!(v, vec![5u8; 256]);
+        let after = pool_stats();
+        // The backing store left the pool's economy entirely: no fresh
+        // allocation, no recycle, and — crucially — nothing parked on the
+        // free list (the emptied shell is below the keep threshold).
+        assert_eq!(after.allocs, before.allocs, "steal allocates nothing");
+        assert_eq!(after.recycled, before.recycled);
+        assert_eq!(after.cow_copies, before.cow_copies, "steal is not a CoW");
+        assert_eq!(after.free, before.free, "stolen backing must not be pooled");
+    }
+
+    #[test]
+    fn into_owned_shared_view_copies_and_leaves_sibling_intact() {
+        reset_pool();
+        set_pool_enabled(true);
+        let a = PktBuf::copy_from(&[1, 2, 3, 4]);
+        let b = a.clone();
+        let v = a.into_owned();
+        assert_eq!(v, vec![1, 2, 3, 4]);
+        assert_eq!(b.bytes(), &[1, 2, 3, 4], "sibling untouched by detach");
+        assert_eq!(b.ref_count(), 1, "detaching dropped one reference");
+        // The copy went through plain Vec (not the pool): allocs counted
+        // only the original copy_from.
+        assert_eq!(pool_stats().free, 0, "shared detach recycles nothing");
+    }
+
+    #[test]
+    fn into_owned_partial_view_copies_and_recycles_backing() {
+        reset_pool();
+        set_pool_enabled(true);
+        let a = PktBuf::copy_from(&(0..64u8).collect::<Vec<_>>());
+        let s = a.slice(8, 16);
+        drop(a);
+        let free_before = pool_stats().free;
+        let v = s.into_owned();
+        assert_eq!(v, (8..24u8).collect::<Vec<_>>());
+        // The partial view was the last reference: its backing store came
+        // home to this thread's free list, and the detached bytes are an
+        // independent copy.
+        assert_eq!(
+            pool_stats().free,
+            free_before + 1,
+            "backing store recycled locally"
+        );
+    }
+
+    /// The cross-thread round trip the fabric plane performs: detach on
+    /// the source thread, rewrap on the destination thread, then exercise
+    /// CoW there. Pool counters must stay per-thread coherent — the
+    /// source pool sees none of the destination's activity and vice
+    /// versa — and CoW semantics must survive the hop.
+    #[test]
+    fn into_owned_round_trip_keeps_pools_per_thread_coherent() {
+        reset_pool();
+        set_pool_enabled(true);
+        let a = PktBuf::copy_from(&[0xab; 128]);
+        let src_after_detach = {
+            let v = a.into_owned();
+            let src = pool_stats();
+            let handled = std::thread::spawn(move || {
+                // Destination thread: fresh pool, reattach and exercise CoW.
+                reset_pool();
+                set_pool_enabled(true);
+                let mut x = PktBuf::from_vec(v);
+                let y = x.clone();
+                x.make_mut()[0] = 0xcd;
+                assert_eq!(x.bytes()[0], 0xcd);
+                assert_eq!(y.bytes()[0], 0xab, "CoW isolates the sibling after the hop");
+                let dst = pool_stats();
+                assert_eq!(
+                    dst.cow_copies, 1,
+                    "the CoW happened on the destination pool"
+                );
+                drop(x);
+                drop(y);
+                // Both backing stores recycle into the destination pool.
+                assert_eq!(
+                    pool_stats().free,
+                    2,
+                    "hopped buffers recycle where they land"
+                );
+                dst.allocs
+            })
+            .join()
+            .expect("destination thread");
+            assert_eq!(handled, 1, "destination allocated only the CoW copy");
+            src
+        };
+        let src_final = pool_stats();
+        assert_eq!(
+            (
+                src_final.allocs,
+                src_final.recycled,
+                src_final.cow_copies,
+                src_final.free
+            ),
+            (
+                src_after_detach.allocs,
+                src_after_detach.recycled,
+                src_after_detach.cow_copies,
+                src_after_detach.free
+            ),
+            "source pool never observes the destination thread's traffic"
+        );
     }
 }

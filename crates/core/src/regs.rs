@@ -40,7 +40,10 @@ pub struct RamRegisters {
 impl RamRegisters {
     /// A RAM block of `size` bytes.
     pub fn new(size: u32) -> RamRegisters {
-        RamRegisters { regs: BTreeMap::new(), size }
+        RamRegisters {
+            regs: BTreeMap::new(),
+            size,
+        }
     }
 }
 
@@ -109,7 +112,12 @@ impl AddressMap {
                 m_end,
             );
         }
-        mounts.push(Mount { base, size, name: name.to_string(), space });
+        mounts.push(Mount {
+            base,
+            size,
+            name: name.to_string(),
+            space,
+        });
         mounts.sort_by_key(|m| m.base);
     }
 

@@ -25,7 +25,12 @@ pub struct ResourceCost {
 
 impl ResourceCost {
     /// The zero cost.
-    pub const ZERO: ResourceCost = ResourceCost { luts: 0, ffs: 0, bram_kbits: 0, dsps: 0 };
+    pub const ZERO: ResourceCost = ResourceCost {
+        luts: 0,
+        ffs: 0,
+        bram_kbits: 0,
+        dsps: 0,
+    };
 
     /// Scale every component by `n` (n instances of a block).
     pub fn times(self, n: u64) -> ResourceCost {
@@ -121,8 +126,18 @@ mod tests {
 
     #[test]
     fn add_and_scale() {
-        let a = ResourceCost { luts: 100, ffs: 200, bram_kbits: 36, dsps: 1 };
-        let b = ResourceCost { luts: 50, ffs: 50, bram_kbits: 0, dsps: 0 };
+        let a = ResourceCost {
+            luts: 100,
+            ffs: 200,
+            bram_kbits: 36,
+            dsps: 1,
+        };
+        let b = ResourceCost {
+            luts: 50,
+            ffs: 50,
+            bram_kbits: 0,
+            dsps: 0,
+        };
         let sum = a + b;
         assert_eq!(sum.luts, 150);
         assert_eq!(sum.ffs, 250);
@@ -135,12 +150,25 @@ mod tests {
 
     #[test]
     fn utilization_and_fit() {
-        let budget = ResourceBudget { luts: 1000, ffs: 2000, bram_kbits: 100, dsps: 10 };
-        let use_half = ResourceCost { luts: 500, ffs: 1000, bram_kbits: 50, dsps: 5 };
+        let budget = ResourceBudget {
+            luts: 1000,
+            ffs: 2000,
+            bram_kbits: 100,
+            dsps: 10,
+        };
+        let use_half = ResourceCost {
+            luts: 500,
+            ffs: 1000,
+            bram_kbits: 50,
+            dsps: 5,
+        };
         let u = use_half.utilization(&budget);
         assert!(u.iter().all(|&f| (f - 0.5).abs() < 1e-12));
         assert!(use_half.fits(&budget));
-        let too_big = ResourceCost { luts: 1001, ..use_half };
+        let too_big = ResourceCost {
+            luts: 1001,
+            ..use_half
+        };
         assert!(!too_big.fits(&budget));
         // Zero-budget component reports zero utilization, not NaN.
         let no_dsp = ResourceBudget { dsps: 0, ..budget };
@@ -152,7 +180,12 @@ mod tests {
         let b = BlockCost {
             name: "output_queue",
             instances: 4,
-            per_instance: ResourceCost { luts: 700, ffs: 900, bram_kbits: 72, dsps: 0 },
+            per_instance: ResourceCost {
+                luts: 700,
+                ffs: 900,
+                bram_kbits: 72,
+                dsps: 0,
+            },
         };
         assert_eq!(b.total().luts, 2800);
         assert_eq!(b.total().bram_kbits, 288);

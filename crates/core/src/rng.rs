@@ -16,7 +16,9 @@ impl SimRng {
     /// Create from a seed. A zero seed is remapped (xorshift state must be
     /// non-zero).
     pub fn new(seed: u64) -> SimRng {
-        SimRng { state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed } }
+        SimRng {
+            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+        }
     }
 
     /// Next raw 64-bit value.
@@ -220,7 +222,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left identity (astronomically unlikely)");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left identity (astronomically unlikely)"
+        );
     }
 
     #[test]

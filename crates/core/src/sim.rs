@@ -291,7 +291,12 @@ impl ModuleSlot {
         if let Some(w) = &wake {
             w.wake();
         }
-        ModuleSlot { module, wake, cached: Cached::Active, stale: false }
+        ModuleSlot {
+            module,
+            wake,
+            cached: Cached::Active,
+            stale: false,
+        }
     }
 
     /// Fresh classification straight from the module.
@@ -447,9 +452,7 @@ struct Calendar {
 impl Calendar {
     /// Absolute time of the next edge.
     fn next_edge(&self) -> Time {
-        Time::from_ps(
-            self.base.as_ps() + self.epoch * self.hyper + self.slots[self.cursor].offset,
-        )
+        Time::from_ps(self.base.as_ps() + self.epoch * self.hyper + self.slots[self.cursor].offset)
     }
 
     /// Advance past the slot just dispatched.
@@ -529,6 +532,32 @@ pub struct KernelStats {
     pub invalidations: u64,
 }
 
+impl std::ops::AddAssign for KernelStats {
+    fn add_assign(&mut self, rhs: KernelStats) {
+        self.steps += rhs.steps;
+        self.skips += rhs.skips;
+        self.probes_avoided += rhs.probes_avoided;
+        self.invalidations += rhs.invalidations;
+    }
+}
+
+impl std::ops::Add for KernelStats {
+    type Output = KernelStats;
+
+    fn add(mut self, rhs: KernelStats) -> KernelStats {
+        self += rhs;
+        self
+    }
+}
+
+impl std::iter::Sum for KernelStats {
+    /// Aggregate per-shard kernel snapshots into one fabric-wide total —
+    /// how a multi-chassis run reports the work of all its simulators.
+    fn sum<I: Iterator<Item = KernelStats>>(iter: I) -> KernelStats {
+        iter.fold(KernelStats::default(), |a, b| a + b)
+    }
+}
+
 /// The discrete-time simulator owning all modules.
 ///
 /// ```
@@ -581,7 +610,10 @@ impl Simulator {
 
     /// An empty simulator using the given edge dispatcher.
     pub fn with_scheduler(mode: SchedulerMode) -> Simulator {
-        Simulator { mode, ..Simulator::default() }
+        Simulator {
+            mode,
+            ..Simulator::default()
+        }
     }
 
     /// Select the edge dispatcher. Takes effect at the next step; the edge
@@ -731,7 +763,9 @@ impl Simulator {
     /// with no modules). While this holds, no tick can have an effect at any
     /// future edge, so simulated time may be skipped wholesale.
     pub fn all_quiescent(&self) -> bool {
-        self.domains.iter().all(|d| d.slots.iter().all(|s| s.module.is_quiescent()))
+        self.domains
+            .iter()
+            .all(|d| d.slots.iter().all(|s| s.module.is_quiescent()))
     }
 
     /// Classify the module population: fully quiescent, time-blocked until
@@ -853,7 +887,13 @@ impl Simulator {
             .into_iter()
             .map(|(offset, domains)| Slot { offset, domains })
             .collect();
-        let mut cal = Calendar { base, hyper, slots, epoch: 0, cursor: 0 };
+        let mut cal = Calendar {
+            base,
+            hyper,
+            slots,
+            epoch: 0,
+            cursor: 0,
+        };
         cal.seek(self.now);
         Some(cal)
     }
@@ -877,7 +917,11 @@ impl Simulator {
         stats: &KernelStatCells,
     ) {
         let d = &mut domains[idx];
-        let ctx = TickContext { now: edge, cycle: d.cycle, period: d.period };
+        let ctx = TickContext {
+            now: edge,
+            cycle: d.cycle,
+            period: d.period,
+        };
         let mut avoided = 0u64;
         for s in &mut d.slots {
             if fused && idle_skip {
@@ -1003,7 +1047,10 @@ impl Simulator {
             SchedState::Heap(heap) => {
                 heap.clear();
                 heap.extend(
-                    self.domains.iter().enumerate().map(|(i, d)| Reverse((d.next_edge, i))),
+                    self.domains
+                        .iter()
+                        .enumerate()
+                        .map(|(i, d)| Reverse((d.next_edge, i))),
                 );
             }
         }
@@ -1187,7 +1234,9 @@ mod tests {
             &self.name
         }
         fn tick(&mut self, ctx: &TickContext) {
-            self.log.borrow_mut().push((self.name.clone(), ctx.cycle, ctx.now));
+            self.log
+                .borrow_mut()
+                .push((self.name.clone(), ctx.cycle, ctx.now));
         }
         fn reset(&mut self) {
             *self.resets.borrow_mut() += 1;
@@ -1195,7 +1244,11 @@ mod tests {
     }
 
     fn probe(name: &str, log: &TickLog, resets: &Rc<RefCell<u32>>) -> Probe {
-        Probe { name: name.into(), log: log.clone(), resets: resets.clone() }
+        Probe {
+            name: name.into(),
+            log: log.clone(),
+            resets: resets.clone(),
+        }
     }
 
     #[test]
@@ -1237,8 +1290,7 @@ mod tests {
         sim.add_module(fast, probe("f", &log, &resets));
         sim.add_module(slow, probe("s", &log, &resets));
         sim.run_until(Time::from_ns(20));
-        let seq: Vec<(String, u64)> =
-            log.borrow().iter().map(|e| (e.0.clone(), e.1)).collect();
+        let seq: Vec<(String, u64)> = log.borrow().iter().map(|e| (e.0.clone(), e.1)).collect();
         // Edges: 5(f0) 10(f1,s0) 15(f2) 20(f3,s1); fast created first so it
         // ticks first at shared instants.
         assert_eq!(
@@ -1430,7 +1482,13 @@ mod tests {
         let quiescent = Rc::new(RefCell::new(true));
         let mut sim = Simulator::new();
         let clk = sim.add_clock("c", Frequency::mhz(100));
-        sim.add_module(clk, Idle { ticks: ticks.clone(), quiescent: quiescent.clone() });
+        sim.add_module(
+            clk,
+            Idle {
+                ticks: ticks.clone(),
+                quiescent: quiescent.clone(),
+            },
+        );
         sim.run_cycles(clk, 1000);
         assert_eq!(*ticks.borrow(), 0, "quiescent module must not tick");
         assert_eq!(sim.cycles(clk), 1000);
@@ -1489,7 +1547,13 @@ mod tests {
             sim.set_idle_skip(idle_skip);
             let a = sim.add_clock("a", Frequency::mhz(200));
             let b = sim.add_clock("b", Frequency::mhz(125));
-            sim.add_module(a, Idle { ticks, quiescent: quiescent.clone() });
+            sim.add_module(
+                a,
+                Idle {
+                    ticks,
+                    quiescent: quiescent.clone(),
+                },
+            );
             sim.run_until(Time::from_ns(1000));
             // Wake: add an always-active probe by flipping quiescence off.
             *quiescent.borrow_mut() = false;
@@ -1536,7 +1600,11 @@ mod tests {
         let clk = sim.add_clock("c", Frequency::mhz(100));
         sim.add_module(
             clk,
-            CachedIdle { ticks: ticks.clone(), quiescent: quiescent.clone(), wake: wake.clone() },
+            CachedIdle {
+                ticks: ticks.clone(),
+                quiescent: quiescent.clone(),
+                wake: wake.clone(),
+            },
         );
         // An always-active companion keeps the domain stepping, so every
         // edge consults (and must be served by) the idle module's cache.
@@ -1553,7 +1621,10 @@ mod tests {
         sim.run_cycles(clk, 5);
         assert_eq!(*ticks.borrow(), 5);
         let s2 = sim.kernel_stats();
-        assert!(s2.invalidations > s.invalidations, "wake must force a re-query");
+        assert!(
+            s2.invalidations > s.invalidations,
+            "wake must force a re-query"
+        );
         assert_eq!(sim.cycles(clk), 105, "cycle count is oblivious to caching");
     }
 
@@ -1685,7 +1756,11 @@ mod tests {
             let out = (*ticks.borrow(), soft_resets.borrow().clone());
             out
         };
-        for mode in [SchedulerMode::Scan, SchedulerMode::Calendar, SchedulerMode::Heap] {
+        for mode in [
+            SchedulerMode::Scan,
+            SchedulerMode::Calendar,
+            SchedulerMode::Heap,
+        ] {
             let (ticks, softs) = run(mode);
             assert_eq!(ticks, 10);
             // Requested during the cycle-3 tick (the 4th); consumed before
@@ -1720,7 +1795,11 @@ mod tests {
         sim.soft_reset_line().request();
         sim.reset();
         sim.run_cycles(clk, 1);
-        assert_eq!(soft_resets.borrow().clone(), vec![2], "reset cleared the line");
+        assert_eq!(
+            soft_resets.borrow().clone(),
+            vec![2],
+            "reset cleared the line"
+        );
     }
 
     /// The contract trap: mutating activity-relevant state without waking

@@ -163,7 +163,12 @@ impl Word {
     pub fn from_view(buf: PktBuf, sop: bool, eop: bool, meta: Option<Meta>) -> Word {
         assert!(buf.len() <= MAX_BUS_BYTES, "word wider than bus");
         assert!(!buf.is_empty(), "empty word");
-        Word { buf, sop, eop, meta }
+        Word {
+            buf,
+            sop,
+            eop,
+            meta,
+        }
     }
 
     /// The valid bytes of this beat.
@@ -244,7 +249,12 @@ impl Stream {
             rx_wake: None,
             tx_wake: None,
         }));
-        (StreamTx { shared: shared.clone() }, StreamRx { shared })
+        (
+            StreamTx {
+                shared: shared.clone(),
+            },
+            StreamRx { shared },
+        )
     }
 }
 
@@ -590,8 +600,7 @@ pub fn segment_buf(buf: &PktBuf, width: usize, meta: Meta) -> Vec<Word> {
 
 /// Reassembly accumulator: contiguous same-buffer views join for free; the
 /// first discontinuity falls back to an owned copy.
-#[derive(Debug)]
-#[derive(Default)]
+#[derive(Debug, Default)]
 enum Accum {
     #[default]
     Empty,
@@ -600,7 +609,6 @@ enum Accum {
     /// Mixed origins: bytes collected into an owned (pooled) vector.
     Owned(Vec<u8>),
 }
-
 
 /// Incrementally rebuild packets from a word stream.
 ///
@@ -740,8 +748,9 @@ mod tests {
     #[test]
     fn burst_push_pop_respect_bounds() {
         let (tx, rx) = Stream::new(4, 8);
-        let mut words: VecDeque<Word> =
-            (0..6u8).map(|i| Word::new(&[i], i == 0, i == 5, None)).collect();
+        let mut words: VecDeque<Word> = (0..6u8)
+            .map(|i| Word::new(&[i], i == 0, i == 5, None))
+            .collect();
         // Only 4 of 6 fit.
         assert_eq!(tx.push_burst(&mut words), 4);
         assert_eq!(words.len(), 2);
@@ -751,7 +760,10 @@ mod tests {
         assert_eq!(tx.push_burst(&mut words), 0);
         let mut out = Vec::new();
         assert_eq!(rx.pop_burst(3, &mut out), 3);
-        assert_eq!(out.iter().map(|w| w.bytes()[0]).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(
+            out.iter().map(|w| w.bytes()[0]).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
         assert_eq!(rx.occupancy(), 1);
         // Freed space admits the stragglers.
         assert_eq!(tx.push_burst(&mut words), 2);
@@ -815,15 +827,25 @@ mod tests {
             tx_a.push(Word::new(&[i], i == 0, i == 3, None));
         }
         seen.clear();
-        let (moved, rem) =
-            rx_a.transfer_snoop(&tx_b, 2, 0, |w| if w.sop { seen.push(w.bytes()[0]); 2 } else { 0 });
+        let (moved, rem) = rx_a.transfer_snoop(&tx_b, 2, 0, |w| {
+            if w.sop {
+                seen.push(w.bytes()[0]);
+                2
+            } else {
+                0
+            }
+        });
         assert_eq!((moved, rem), (2, 1));
         let (moved, rem) = rx_a.transfer_snoop(&tx_b, usize::MAX, rem, |w| {
             seen.push(w.bytes()[0]);
             0
         });
         assert_eq!((moved, rem), (2, 0));
-        assert_eq!(seen, [0, 3], "resumed skip covers the straddling payload word");
+        assert_eq!(
+            seen,
+            [0, 3],
+            "resumed skip covers the straddling payload word"
+        );
         // Self-transfer is a no-op that preserves the pending skip.
         assert_eq!(rx_b.transfer_snoop(&tx_b, 10, 5, |_| 0), (0, 5));
     }
@@ -846,7 +868,11 @@ mod tests {
     #[test]
     fn segment_reassemble_exact_multiple() {
         let pkt: Vec<u8> = (0..64u8).collect();
-        let meta = Meta { len: 64, src_port: 2, ..Default::default() };
+        let meta = Meta {
+            len: 64,
+            src_port: 2,
+            ..Default::default()
+        };
         let words = segment(&pkt, 32, meta);
         assert_eq!(words.len(), 2);
         assert!(words[0].sop && !words[0].eop);
@@ -874,7 +900,14 @@ mod tests {
     #[test]
     fn segment_buf_reassembles_zero_copy() {
         let buf = PktBuf::copy_from(&(0..200).map(|i| i as u8).collect::<Vec<_>>());
-        let words = segment_buf(&buf, 32, Meta { len: 200, ..Default::default() });
+        let words = segment_buf(
+            &buf,
+            32,
+            Meta {
+                len: 200,
+                ..Default::default()
+            },
+        );
         assert!(words.iter().all(|w| w.view().same_backing(&buf)));
         let mut r = Reassembler::new();
         let mut done = None;
@@ -883,7 +916,10 @@ mod tests {
         }
         let (out, _) = done.expect("completed");
         assert_eq!(out, buf);
-        assert!(out.same_backing(&buf), "reassembly rejoined the views for free");
+        assert!(
+            out.same_backing(&buf),
+            "reassembly rejoined the views for free"
+        );
     }
 
     /// Words from different buffers still reassemble correctly (the copy
@@ -891,7 +927,9 @@ mod tests {
     #[test]
     fn reassembler_copy_fallback_on_mixed_buffers() {
         let mut r = Reassembler::new();
-        assert!(r.push(Word::new(&[1, 2], true, false, Some(Meta::default()))).is_none());
+        assert!(r
+            .push(Word::new(&[1, 2], true, false, Some(Meta::default())))
+            .is_none());
         let (out, _) = r.push(Word::new(&[3, 4], false, true, None)).unwrap();
         assert_eq!(out, vec![1, 2, 3, 4]);
     }
@@ -908,21 +946,30 @@ mod tests {
     #[test]
     fn reassembler_resync_hunts_for_sop() {
         let mut r = Reassembler::new();
-        assert!(r.push(Word::new(&[1, 2], true, false, Some(Meta::default()))).is_none());
+        assert!(r
+            .push(Word::new(&[1, 2], true, false, Some(Meta::default())))
+            .is_none());
         assert!(r.mid_packet());
-        assert!(r.resync(), "mid-packet resync reports the discarded partial");
+        assert!(
+            r.resync(),
+            "mid-packet resync reports the discarded partial"
+        );
         assert!(!r.mid_packet());
         // Orphan tail words (no sop) are discarded, not a panic.
         assert!(r.push(Word::new(&[3], false, false, None)).is_none());
         assert!(r.push(Word::new(&[4], false, true, None)).is_none());
         // The next sop resumes normal framing.
-        assert!(r.push(Word::new(&[5, 6], true, false, Some(Meta::default()))).is_none());
+        assert!(r
+            .push(Word::new(&[5, 6], true, false, Some(Meta::default())))
+            .is_none());
         let (out, _) = r.push(Word::new(&[7], false, true, None)).unwrap();
         assert_eq!(out, vec![5, 6, 7]);
         // Idle resync discards nothing and still arms the hunt.
         assert!(!r.resync());
         assert!(r.push(Word::new(&[8], false, true, None)).is_none());
-        let (out, _) = r.push(Word::new(&[9], true, true, Some(Meta::default()))).unwrap();
+        let (out, _) = r
+            .push(Word::new(&[9], true, true, Some(Meta::default())))
+            .unwrap();
         assert_eq!(out, vec![9]);
     }
 

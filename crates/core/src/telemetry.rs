@@ -148,7 +148,10 @@ impl StatRegistry {
     /// True if the stat at `path` is a clearable counter (false for
     /// gauges, which are read-only, and for unknown paths).
     pub fn clearable(&self, path: &str) -> bool {
-        self.inner.borrow().get(path).is_some_and(Stat::is_clearable)
+        self.inner
+            .borrow()
+            .get(path)
+            .is_some_and(Stat::is_clearable)
     }
 
     /// Number of registered stats.
@@ -615,11 +618,9 @@ mod tests {
         let map = AddressMap::new();
         map.mount("telemetry", TELEMETRY_BASE, size.max(0x40), shared(block));
 
-        let decoded =
-            decode_stat_block(TELEMETRY_BASE, |a| map.read(a)).expect("valid block");
+        let decoded = decode_stat_block(TELEMETRY_BASE, |a| map.read(a)).expect("valid block");
         assert_eq!(decoded.len(), 3);
-        let by_name: BTreeMap<&str, u32> =
-            decoded.iter().map(|(n, a)| (n.as_str(), *a)).collect();
+        let by_name: BTreeMap<&str, u32> = decoded.iter().map(|(n, a)| (n.as_str(), *a)).collect();
         assert_eq!(map.read(by_name["dma.tx.packets"]), 11);
         assert_eq!(map.read(by_name["port0.rx.frames"]), 22);
         assert_eq!(map.read(by_name["port0.rx.depth"]), 33);
@@ -710,7 +711,12 @@ mod tests {
     #[test]
     fn decode_rejects_non_stat_block() {
         let map = AddressMap::new();
-        map.mount("ram", 0x0, 0x100, shared(crate::regs::RamRegisters::new(0x100)));
+        map.mount(
+            "ram",
+            0x0,
+            0x100,
+            shared(crate::regs::RamRegisters::new(0x100)),
+        );
         assert!(decode_stat_block(0x0, |a| map.read(a)).is_none());
     }
 }

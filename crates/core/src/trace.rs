@@ -85,7 +85,11 @@ impl OccupancyProbe {
     pub fn new(name: &str, rx: StreamRx) -> (OccupancyProbe, Probe) {
         let probe = Probe::new(name);
         (
-            OccupancyProbe { name: name.to_string(), rx, probe: probe.clone() },
+            OccupancyProbe {
+                name: name.to_string(),
+                rx,
+                probe: probe.clone(),
+            },
             probe,
         )
     }

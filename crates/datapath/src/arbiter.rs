@@ -71,11 +71,15 @@ impl InputArbiter {
             Some(i) => Some(i),
             None => {
                 let n = self.inputs.len();
-                (0..n).map(|k| (self.next + k) % n).find(|&i| self.inputs[i].can_pop())
+                (0..n)
+                    .map(|k| (self.next + k) % n)
+                    .find(|&i| self.inputs[i].can_pop())
             }
         };
         let Some(i) = source else { return false };
-        let Some(word) = self.inputs[i].pop() else { return false };
+        let Some(word) = self.inputs[i].pop() else {
+            return false;
+        };
         self.words += 1;
         if word.eop {
             self.packets += 1;
@@ -182,7 +186,9 @@ mod tests {
     use netfpga_core::stream::Stream;
     use netfpga_core::time::{Frequency, Time};
 
-    fn build(n: usize) -> (
+    fn build(
+        n: usize,
+    ) -> (
         Simulator,
         Vec<netfpga_core::packetio::InjectQueue>,
         netfpga_core::packetio::CaptureBuffer,

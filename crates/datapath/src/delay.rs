@@ -113,7 +113,9 @@ mod tests {
     use netfpga_core::stream::Stream;
     use netfpga_core::time::Frequency;
 
-    fn rig(delay: Time) -> (
+    fn rig(
+        delay: Time,
+    ) -> (
         Simulator,
         netfpga_core::packetio::InjectQueue,
         netfpga_core::packetio::CaptureBuffer,
@@ -140,7 +142,10 @@ mod tests {
         let c = cap.pop().unwrap();
         let latency = c.arrival - c.meta.ingress_time;
         assert!(latency >= delay, "latency {latency}");
-        assert!(latency < delay + Time::from_us(1), "latency {latency} way over");
+        assert!(
+            latency < delay + Time::from_us(1),
+            "latency {latency} way over"
+        );
     }
 
     #[test]

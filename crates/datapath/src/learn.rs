@@ -216,7 +216,10 @@ mod tests {
             .eth(mac(1), mac(2))
             .raw(netfpga_packet::EtherType::Ipv4, &[0u8; 30])
             .build();
-        let meta = Meta { src_port: 1, ..Meta::default() };
+        let meta = Meta {
+            src_port: 1,
+            ..Meta::default()
+        };
         let mask = c.forward(&frame, &meta, Time::ZERO);
         assert!(!mask.contains(1));
         assert_eq!(c.table_size(Time::ZERO), 1);

@@ -115,7 +115,11 @@ impl LpmTable {
     /// directly connected route. `None` if no route matches.
     pub fn next_hop(&self, dst: Ipv4Address) -> Option<(Ipv4Address, u8)> {
         let e = self.lookup(dst)?;
-        let nh = if e.next_hop.is_unspecified() { dst } else { e.next_hop };
+        let nh = if e.next_hop.is_unspecified() {
+            dst
+        } else {
+            e.next_hop
+        };
         Some((nh, e.port))
     }
 
@@ -140,7 +144,10 @@ mod tests {
     }
 
     fn entry(port: u8) -> RouteEntry {
-        RouteEntry { next_hop: ip("192.168.0.1"), port }
+        RouteEntry {
+            next_hop: ip("192.168.0.1"),
+            port,
+        }
     }
 
     #[test]
@@ -192,10 +199,19 @@ mod tests {
         // Directly connected: next hop is the destination.
         t.insert(
             cidr("10.0.1.0/24"),
-            RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: 1 },
+            RouteEntry {
+                next_hop: Ipv4Address::UNSPECIFIED,
+                port: 1,
+            },
         );
         // Via gateway.
-        t.insert(cidr("0.0.0.0/0"), RouteEntry { next_hop: ip("10.0.1.254"), port: 1 });
+        t.insert(
+            cidr("0.0.0.0/0"),
+            RouteEntry {
+                next_hop: ip("10.0.1.254"),
+                port: 1,
+            },
+        );
         assert_eq!(t.next_hop(ip("10.0.1.9")), Some((ip("10.0.1.9"), 1)));
         assert_eq!(t.next_hop(ip("99.0.0.1")), Some((ip("10.0.1.254"), 1)));
     }

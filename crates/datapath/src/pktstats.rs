@@ -53,7 +53,12 @@ impl StatsHandles {
 
 impl StatsStage {
     /// Create a stage tracking up to `nports` source ports.
-    pub fn new(name: &str, input: StreamRx, output: StreamTx, nports: usize) -> (StatsStage, StatsHandles) {
+    pub fn new(
+        name: &str,
+        input: StreamRx,
+        output: StreamTx,
+        nports: usize,
+    ) -> (StatsStage, StatsHandles) {
         let per_port_packets: Vec<Counter> = (0..nports).map(|_| Counter::new()).collect();
         let per_port_bytes: Vec<Counter> = (0..nports).map(|_| Counter::new()).collect();
         let total_packets = Counter::new();
@@ -104,18 +109,19 @@ impl Module for StatsStage {
             let total_bytes = &self.total_bytes;
             let per_port_packets = &self.per_port_packets;
             let per_port_bytes = &self.per_port_bytes;
-            self.input.transfer_inspect(&self.output, usize::MAX, |word| {
-                if word.sop {
-                    let meta = word.meta.unwrap_or_default();
-                    total_packets.incr();
-                    total_bytes.add(u64::from(meta.len));
-                    let p = usize::from(meta.src_port);
-                    if p < per_port_packets.len() {
-                        per_port_packets[p].incr();
-                        per_port_bytes[p].add(u64::from(meta.len));
+            self.input
+                .transfer_inspect(&self.output, usize::MAX, |word| {
+                    if word.sop {
+                        let meta = word.meta.unwrap_or_default();
+                        total_packets.incr();
+                        total_bytes.add(u64::from(meta.len));
+                        let p = usize::from(meta.src_port);
+                        if p < per_port_packets.len() {
+                            per_port_packets[p].incr();
+                            per_port_bytes[p].add(u64::from(meta.len));
+                        }
                     }
-                }
-            });
+                });
             return;
         }
         if !self.output.can_push() {
@@ -249,8 +255,8 @@ mod tests {
         assert_eq!(regs.read(0x8), 1); // port 0 packets
         assert_eq!(regs.read(0x18), 2); // port 2 packets (word 2 + 2*2 = 6)
         assert_eq!(regs.read(0x1c), 500); // port 2 bytes (word 7)
-        // Write-to-clear is per-offset: clearing total packets leaves
-        // every other counter alone.
+                                          // Write-to-clear is per-offset: clearing total packets leaves
+                                          // every other counter alone.
         regs.write(0, 0);
         assert_eq!(handles.total_packets.get(), 0);
         assert_eq!(handles.total_bytes.get(), 600, "siblings untouched");

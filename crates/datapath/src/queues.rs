@@ -159,7 +159,10 @@ impl OutputQueues {
         registry.register_counter(&format!("{prefix}.enqueued"), &self.stats.enqueued);
         registry.register_counter(&format!("{prefix}.dequeued"), &self.stats.dequeued);
         registry.register_counter(&format!("{prefix}.dropped"), &self.stats.dropped);
-        registry.register_counter(&format!("{prefix}.no_destination"), &self.stats.no_destination);
+        registry.register_counter(
+            &format!("{prefix}.no_destination"),
+            &self.stats.no_destination,
+        );
     }
 
     /// Register one depth gauge per (port, class) queue: `portN.qM.depth`
@@ -174,8 +177,11 @@ impl OutputQueues {
         for (p, port) in self.ports.iter().enumerate() {
             for (c, depth) in port.depths.iter().enumerate() {
                 let leaf = format!("port{p}.q{c}.depth");
-                let path =
-                    if prefix.is_empty() { leaf } else { format!("{prefix}.{leaf}") };
+                let path = if prefix.is_empty() {
+                    leaf
+                } else {
+                    format!("{prefix}.{leaf}")
+                };
                 let cell = depth.clone();
                 registry.gauge(&path, move || cell.get());
             }
@@ -239,8 +245,9 @@ impl OutputQueues {
         let Some(class) = state.scheduler.select(&state.views) else {
             return false;
         };
-        let (packet, mut meta) =
-            state.queues[class].pop().expect("scheduler picked empty queue");
+        let (packet, mut meta) = state.queues[class]
+            .pop()
+            .expect("scheduler picked empty queue");
         state.depths[class].set(state.queues[class].len() as u64);
         state.scheduler.on_dequeue(class, packet.len());
         self.stats.dequeued.incr();
@@ -391,11 +398,20 @@ mod tests {
         for s in sinks {
             sim.add_module(slow, s);
         }
-        Rig { sim, inject, captures }
+        Rig {
+            sim,
+            inject,
+            captures,
+        }
     }
 
     fn meta_to(ports: PortMask, src: u8, len: usize) -> Meta {
-        Meta { len: len as u16, src_port: src, dst_ports: ports, ..Meta::default() }
+        Meta {
+            len: len as u16,
+            src_port: src,
+            dst_ports: ports,
+            ..Meta::default()
+        }
     }
 
     #[test]
@@ -495,7 +511,12 @@ mod tests {
             bytes_per_queue: 1 << 20,
             classifier: Box::new(|p: &[u8], _| usize::from(p[0] & 1)),
         };
-        let mut r = rig_with_sink_clock(1, config, || Box::new(WeightedFair::new(vec![3.0, 1.0])), Frequency::mhz(5));
+        let mut r = rig_with_sink_clock(
+            1,
+            config,
+            || Box::new(WeightedFair::new(vec![3.0, 1.0])),
+            Frequency::mhz(5),
+        );
         for _ in 0..100 {
             r.inject
                 .push_with_meta(vec![0u8; 200], meta_to(PortMask::single(0), 0, 200));
@@ -511,12 +532,18 @@ mod tests {
                 .run_while(Time::from_ms(10), move || cap.total_packets() < 80)
         };
         assert!(done);
-        let counts = r.captures[0].drain().iter().fold([0usize; 2], |mut acc, c| {
-            acc[usize::from(c.data[0] & 1)] += 1;
-            acc
-        });
+        let counts = r.captures[0]
+            .drain()
+            .iter()
+            .fold([0usize; 2], |mut acc, c| {
+                acc[usize::from(c.data[0] & 1)] += 1;
+                acc
+            });
         let ratio = counts[0] as f64 / counts[1].max(1) as f64;
-        assert!((2.0..4.5).contains(&ratio), "ratio {ratio} counts {counts:?}");
+        assert!(
+            (2.0..4.5).contains(&ratio),
+            "ratio {ratio} counts {counts:?}"
+        );
     }
 
     #[test]
@@ -524,7 +551,10 @@ mod tests {
         let registry = netfpga_core::telemetry::StatRegistry::new();
         let (in_tx, in_rx) = Stream::new(8, 32);
         let (out_tx, _out_rx) = Stream::new(8, 32);
-        let config = QueueConfig { classes: 2, ..QueueConfig::default() };
+        let config = QueueConfig {
+            classes: 2,
+            ..QueueConfig::default()
+        };
         let mut oq = OutputQueues::new("oq", in_rx, vec![out_tx], config, || Box::new(Fifo));
         oq.register_depth_gauges(&registry, "");
         assert_eq!(registry.get("port0.q0.depth"), Some(0));

@@ -41,7 +41,10 @@ impl RateLimiter {
         rate: BitRate,
         burst_bytes: usize,
     ) -> RateLimiter {
-        assert!(burst_bytes >= 1514, "burst must cover at least one MTU frame");
+        assert!(
+            burst_bytes >= 1514,
+            "burst must cover at least one MTU frame"
+        );
         let wake = WakeHandle::new();
         input.set_wake(wake.clone());
         RateLimiter {
@@ -106,7 +109,9 @@ impl Module for RateLimiter {
             self.forward_one();
             return;
         }
-        let Some(len) = self.head_packet_len() else { return };
+        let Some(len) = self.head_packet_len() else {
+            return;
+        };
         if len == 0 {
             // Defensive: a framing anomaly; pass it through.
             self.forward_one();
@@ -174,7 +179,9 @@ mod tests {
     use netfpga_core::stream::Stream;
     use netfpga_core::time::Frequency;
 
-    fn rig(rate: BitRate) -> (
+    fn rig(
+        rate: BitRate,
+    ) -> (
         Simulator,
         netfpga_core::packetio::InjectQueue,
         netfpga_core::packetio::CaptureBuffer,

@@ -262,7 +262,10 @@ mod tests {
         for _ in 0..rounds {
             let views: Vec<QueueView> = queues
                 .iter()
-                .map(|q| QueueView { packets: q.len(), head_bytes: q.front().copied() })
+                .map(|q| QueueView {
+                    packets: q.len(),
+                    head_bytes: q.front().copied(),
+                })
                 .collect();
             let Some(i) = sched.select(&views) else { break };
             let bytes = queues[i].pop_front().expect("scheduler picked empty queue");
@@ -369,7 +372,10 @@ mod tests {
 
     #[test]
     fn empty_system_returns_none() {
-        let views = [QueueView { packets: 0, head_bytes: None }; 2];
+        let views = [QueueView {
+            packets: 0,
+            head_bytes: None,
+        }; 2];
         assert!(Fifo.select(&views).is_none());
         assert!(RoundRobin::default().select(&views).is_none());
         assert!(DeficitRoundRobin::new(2, 100).select(&views).is_none());

@@ -187,8 +187,8 @@ impl<L: PacketLogic> Module for PacketStage<L> {
                         assert!(!packet.is_empty(), "logic emptied packet");
                         meta.len = packet.len() as u16;
                         let words = segment_buf(&packet, self.output.width(), meta);
-                        let release_at = ctx.now
-                            + Time::from_ps(self.latency_cycles * ctx.period.as_ps());
+                        let release_at =
+                            ctx.now + Time::from_ps(self.latency_cycles * ctx.period.as_ps());
                         self.ready.push_back((
                             ctx.cycle + self.latency_cycles,
                             release_at,
@@ -312,7 +312,9 @@ mod tests {
     #[test]
     fn passthrough_forwards_intact() {
         let (mut sim, inject, captured) =
-            pipeline(0, |_p: &mut PktBuf, _m: &mut Meta, _t: Time| StageAction::Forward);
+            pipeline(0, |_p: &mut PktBuf, _m: &mut Meta, _t: Time| {
+                StageAction::Forward
+            });
         let pkt: Vec<u8> = (0..200).map(|i| i as u8).collect();
         inject.push(pkt.clone(), 3);
         sim.run_until(Time::from_us(2));
@@ -323,17 +325,14 @@ mod tests {
 
     #[test]
     fn rewriting_logic_applies() {
-        let (mut sim, inject, captured) = pipeline(
-            0,
-            |p: &mut PktBuf, m: &mut Meta, _t: Time| {
-                p.edit(|v| {
-                    v[0] = 0xff;
-                    v.push(0xee); // grow by one byte
-                });
-                m.dst_ports = PortMask::single(2);
-                StageAction::Forward
-            },
-        );
+        let (mut sim, inject, captured) = pipeline(0, |p: &mut PktBuf, m: &mut Meta, _t: Time| {
+            p.edit(|v| {
+                v[0] = 0xff;
+                v.push(0xee); // grow by one byte
+            });
+            m.dst_ports = PortMask::single(2);
+            StageAction::Forward
+        });
         inject.push(vec![0u8; 64], 0);
         sim.run_until(Time::from_us(2));
         let got = captured.pop().unwrap();
@@ -345,16 +344,13 @@ mod tests {
 
     #[test]
     fn drop_logic_counts() {
-        let (mut sim, inject, captured) = pipeline(
-            0,
-            |p: &mut PktBuf, _m: &mut Meta, _t: Time| {
-                if p[0].is_multiple_of(2) {
-                    StageAction::Drop
-                } else {
-                    StageAction::Forward
-                }
-            },
-        );
+        let (mut sim, inject, captured) = pipeline(0, |p: &mut PktBuf, _m: &mut Meta, _t: Time| {
+            if p[0].is_multiple_of(2) {
+                StageAction::Drop
+            } else {
+                StageAction::Forward
+            }
+        });
         for i in 0..10u8 {
             inject.push(vec![i; 64], 0);
         }
@@ -368,10 +364,10 @@ mod tests {
     #[test]
     fn latency_delays_emission() {
         let run = |latency: u64| {
-            let (mut sim, inject, captured) = pipeline(
-                latency,
-                |_p: &mut PktBuf, _m: &mut Meta, _t: Time| StageAction::Forward,
-            );
+            let (mut sim, inject, captured) =
+                pipeline(latency, |_p: &mut PktBuf, _m: &mut Meta, _t: Time| {
+                    StageAction::Forward
+                });
             inject.push(vec![0u8; 32], 0);
             sim.run_until(Time::from_us(2));
             captured.pop().unwrap().arrival
@@ -387,10 +383,10 @@ mod tests {
     /// pipelines receive and emit.
     #[test]
     fn sustained_full_rate() {
-        let (mut sim, inject, captured) = pipeline(
-            0,
-            |_p: &mut PktBuf, _m: &mut Meta, _t: Time| StageAction::Forward,
-        );
+        let (mut sim, inject, captured) =
+            pipeline(0, |_p: &mut PktBuf, _m: &mut Meta, _t: Time| {
+                StageAction::Forward
+            });
         let n = 50;
         for _ in 0..n {
             inject.push(vec![1u8; 320], 0); // 10 words each
@@ -401,7 +397,11 @@ mod tests {
         while captured.total_packets() < n {
             sim.run_for(clk_period);
             cycles += 1;
-            assert!(cycles < 520, "too slow: {} pkts after {cycles} cycles", captured.total_packets());
+            assert!(
+                cycles < 520,
+                "too slow: {} pkts after {cycles} cycles",
+                captured.total_packets()
+            );
         }
     }
 

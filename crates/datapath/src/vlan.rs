@@ -84,9 +84,12 @@ impl VlanSwitchCore {
 
     /// The VLAN a frame belongs to on `in_port`.
     pub fn classify_vlan(&self, headers: &ParsedHeaders, in_port: u8) -> u16 {
-        headers
-            .vlan
-            .unwrap_or_else(|| self.access_vlan.get(usize::from(in_port)).copied().unwrap_or(1))
+        headers.vlan.unwrap_or_else(|| {
+            self.access_vlan
+                .get(usize::from(in_port))
+                .copied()
+                .unwrap_or(1)
+        })
     }
 
     /// Learning + forwarding decision. The returned mask never includes the
@@ -165,7 +168,10 @@ mod tests {
         PacketBuilder::new()
             .eth(mac(src), mac(dst))
             .vlan(vid, 0)
-            .ipv4(Ipv4Address::new(10, 0, 0, src), Ipv4Address::new(10, 0, 0, dst))
+            .ipv4(
+                Ipv4Address::new(10, 0, 0, src),
+                Ipv4Address::new(10, 0, 0, dst),
+            )
             .udp(1, 2, b"v")
             .build()
     }
@@ -173,7 +179,10 @@ mod tests {
     fn untagged_frame(src: u8, dst: u8) -> Vec<u8> {
         PacketBuilder::new()
             .eth(mac(src), mac(dst))
-            .ipv4(Ipv4Address::new(10, 0, 0, src), Ipv4Address::new(10, 0, 0, dst))
+            .ipv4(
+                Ipv4Address::new(10, 0, 0, src),
+                Ipv4Address::new(10, 0, 0, dst),
+            )
             .udp(1, 2, b"u")
             .build()
     }
@@ -200,7 +209,10 @@ mod tests {
         let mut core = VlanSwitchCore::new(4, 256, Time::from_ms(100));
         core.set_vlan(10, PortMask(0b0011)); // ports 0,1
         core.set_vlan(20, PortMask(0b1100)); // ports 2,3
-        let meta = |p: u8| Meta { src_port: p, ..Default::default() };
+        let meta = |p: u8| Meta {
+            src_port: p,
+            ..Default::default()
+        };
         let mask = core.forward(&tagged_frame(1, 9, 10), &meta(0), Time::ZERO);
         assert_eq!(mask, PortMask(0b0010), "VLAN 10 floods only port 1");
         let mask = core.forward(&tagged_frame(2, 9, 20), &meta(2), Time::ZERO);
@@ -226,11 +238,17 @@ mod tests {
     fn ingress_filter_drops_nonmember() {
         let mut core = VlanSwitchCore::new(4, 256, Time::from_ms(100));
         core.set_vlan(10, PortMask(0b0011));
-        let meta = Meta { src_port: 3, ..Default::default() }; // not a member
+        let meta = Meta {
+            src_port: 3,
+            ..Default::default()
+        }; // not a member
         let mask = core.forward(&tagged_frame(1, 2, 10), &meta, Time::ZERO);
         assert!(mask.is_empty());
         // Unknown VLAN also drops.
-        let meta = Meta { src_port: 0, ..Default::default() };
+        let meta = Meta {
+            src_port: 0,
+            ..Default::default()
+        };
         let mask = core.forward(&tagged_frame(1, 2, 999), &meta, Time::ZERO);
         assert!(mask.is_empty());
     }
@@ -244,10 +262,16 @@ mod tests {
         core.set_access_vlan(1, 10);
         core.set_access_vlan(2, 20);
         core.set_access_vlan(3, 20);
-        let meta = Meta { src_port: 0, ..Default::default() };
+        let meta = Meta {
+            src_port: 0,
+            ..Default::default()
+        };
         let mask = core.forward(&untagged_frame(1, 2), &meta, Time::ZERO);
         assert_eq!(mask, PortMask(0b0010), "access VLAN 10 scope");
-        let meta = Meta { src_port: 2, ..Default::default() };
+        let meta = Meta {
+            src_port: 2,
+            ..Default::default()
+        };
         let mask = core.forward(&untagged_frame(3, 4), &meta, Time::ZERO);
         assert_eq!(mask, PortMask(0b1000), "access VLAN 20 scope");
     }

@@ -25,9 +25,9 @@ use netfpga_core::telemetry::{Event, EventKind, EventRing, StatRegistry};
 use netfpga_core::time::{BitRate, Time};
 use netfpga_core::SimRng;
 use netfpga_packet::fcs::crc32;
+use netfpga_pcie::DmaFaultGate;
 use netfpga_phy::mac::wire_bytes;
 use netfpga_phy::{PcsHandle, PortBond, Wire};
-use netfpga_pcie::DmaFaultGate;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -413,7 +413,14 @@ impl FaultInjector {
     /// order: the tester feeds `outer_in` and drains `outer_out`; the RX
     /// MAC drains `inner_in` and the TX MAC feeds `inner_out`. `rate` is
     /// the port's full line rate.
-    pub fn tap_port(&mut self, rate: BitRate, outer_in: Wire, inner_in: Wire, inner_out: Wire, outer_out: Wire) {
+    pub fn tap_port(
+        &mut self,
+        rate: BitRate,
+        outer_in: Wire,
+        inner_in: Wire,
+        inner_out: Wire,
+        outer_out: Wire,
+    ) {
         // The injector drains `outer_in` and `inner_out`; pushes onto them
         // are the only wire-side events that can un-idle it.
         outer_in.set_wake(self.wake.clone());
@@ -424,7 +431,10 @@ impl FaultInjector {
             .iter()
             .find(|(p, _)| *p == port)
             .map(|(_, b)| *b)
-            .unwrap_or(PortBond { lane: netfpga_phy::Lane::ten_gbe(), lanes: 1 });
+            .unwrap_or(PortBond {
+                lane: netfpga_phy::Lane::ten_gbe(),
+                lanes: 1,
+            });
         self.ports.push(PortTap {
             outer_in,
             inner_in,
@@ -471,7 +481,12 @@ impl FaultInjector {
 
     fn emit(&self, kind: EventKind, port: u8, data: u32, at: Time) {
         if let Some(ring) = &self.ring {
-            ring.push(Event { kind, port, data, at });
+            ring.push(Event {
+                kind,
+                port,
+                data,
+                at,
+            });
         }
     }
 
@@ -606,17 +621,28 @@ impl FaultInjector {
             }
         }
         self.counters.events_applied.incr();
-        self.shared.trace.borrow_mut().push(TraceEntry { at: now, kind });
+        self.shared
+            .trace
+            .borrow_mut()
+            .push(TraceEntry { at: now, kind });
     }
 
     /// Enter a Gilbert–Elliott state: draw the sojourn length (bits until
     /// the next transition) and the in-state error countdown.
     fn ge_enter(rng: &mut SimRng, p: &GeParams, bad: bool) -> GeState {
-        let (leave_p, ber) = if bad { (p.p_bg, p.bad_ber) } else { (p.p_gb, p.good_ber) };
+        let (leave_p, ber) = if bad {
+            (p.p_bg, p.bad_ber)
+        } else {
+            (p.p_gb, p.good_ber)
+        };
         GeState {
             bad,
             sojourn: rng.geometric(leave_p),
-            countdown: if ber > 0.0 { rng.geometric(ber) } else { u64::MAX },
+            countdown: if ber > 0.0 {
+                rng.geometric(ber)
+            } else {
+                u64::MAX
+            },
         }
     }
 
@@ -636,7 +662,11 @@ impl FaultInjector {
         while pos < bits {
             // Bits of this frame spent in the current state.
             let span = st.sojourn.min(bits - pos);
-            let ber = if st.bad { params.bad_ber } else { params.good_ber };
+            let ber = if st.bad {
+                params.bad_ber
+            } else {
+                params.good_ber
+            };
             let mut consumed = 0u64;
             while ber > 0.0 && st.countdown <= span - consumed {
                 let at = pos + consumed + st.countdown - 1;
@@ -674,7 +704,11 @@ impl FaultInjector {
                 continue;
             }
             if let Some(params) = port.ge {
-                let st = if inbound { &mut port.ge_in } else { &mut port.ge_out };
+                let st = if inbound {
+                    &mut port.ge_in
+                } else {
+                    &mut port.ge_out
+                };
                 let bits = (frame.data.len() * 8) as u64;
                 let flips = Self::ge_corrupt(rng, counters, bits, st, &params);
                 if !flips.is_empty() {
@@ -692,7 +726,11 @@ impl FaultInjector {
                 }
             } else if port.ber > 0.0 {
                 let bits = (frame.data.len() * 8) as u64;
-                let countdown = if inbound { &mut port.countdown_in } else { &mut port.countdown_out };
+                let countdown = if inbound {
+                    &mut port.countdown_in
+                } else {
+                    &mut port.countdown_out
+                };
                 let mut pos = 0u64;
                 let mut flips = Vec::new();
                 while *countdown <= bits - pos {
@@ -727,7 +765,11 @@ impl FaultInjector {
                 // cannot finish before its original arrival, nor while the
                 // slower wire is still busy with the previous frame.
                 let occupancy = degraded.time_for_bytes(wire_bytes(frame.data.len() as u64));
-                let busy = if inbound { &mut port.busy_in } else { &mut port.busy_out };
+                let busy = if inbound {
+                    &mut port.busy_in
+                } else {
+                    &mut port.busy_out
+                };
                 let ready_at = frame.ready_at.max(*busy).max(now) + occupancy;
                 *busy = ready_at;
                 frame.ready_at = ready_at;
@@ -796,14 +838,17 @@ impl Module for FaultInjector {
                 // next tick), and while it sits converged-Down only this
                 // module can observe the window expiring — so the window
                 // itself must keep the injector ticking.
-                let down =
-                    self.ports[i].down_at(ctx.now) || ctx.now < self.ports[i].down_until;
+                let down = self.ports[i].down_at(ctx.now) || ctx.now < self.ports[i].down_until;
                 self.ports[i].was_down = down;
             } else if self.ring.is_some() {
                 let down = self.ports[i].down_at(ctx.now);
                 if down != self.ports[i].was_down {
                     self.ports[i].was_down = down;
-                    let kind = if down { EventKind::LinkDown } else { EventKind::LinkUp };
+                    let kind = if down {
+                        EventKind::LinkDown
+                    } else {
+                        EventKind::LinkUp
+                    };
                     self.emit(kind, i as u8, 0, ctx.now);
                 }
             }
@@ -971,7 +1016,10 @@ mod tests {
     fn link_down_window_drops_and_counts() {
         let plan = FaultPlan::new(2).at(
             Time::ZERO,
-            FaultKind::LinkDown { port: 0, duration: Time::from_us(2) },
+            FaultKind::LinkDown {
+                port: 0,
+                duration: Time::from_us(2),
+            },
         );
         let (mut sim, handle, outer, inner) = harness(plan);
         outer.push(frame_at(100, Time::from_ns(100)));
@@ -1022,16 +1070,22 @@ mod tests {
 
     #[test]
     fn lane_loss_repaces_and_full_loss_is_down() {
-        let plan = FaultPlan::new(3)
-            .bond(0, PortBond::ethernet_40g())
-            .at(Time::ZERO, FaultKind::LaneLoss { port: 0, lanes_lost: 2 });
+        let plan = FaultPlan::new(3).bond(0, PortBond::ethernet_40g()).at(
+            Time::ZERO,
+            FaultKind::LaneLoss {
+                port: 0,
+                lanes_lost: 2,
+            },
+        );
         let (mut sim, handle, outer, inner) = harness(plan);
         // 1000 bytes at the tap at t=1ns: at the full 10G rate it has
         // already been paced by the sender; the degraded 2-of-4-lane wire
         // re-serializes it at 5G => +(1024B * 8 / 5G) = +1638.4ns.
         outer.push(frame_at(1000, Time::from_ns(1)));
         sim.run_until(Time::from_us(4));
-        let f = inner.take_ready(Time::from_us(4)).expect("degraded, not dropped");
+        let f = inner
+            .take_ready(Time::from_us(4))
+            .expect("degraded, not dropped");
         assert!(
             f.ready_at > Time::from_ns(1600),
             "re-paced at the degraded rate, got {:?}",
@@ -1039,7 +1093,10 @@ mod tests {
         );
         assert_eq!(handle.counters().lane_events.get(), 1);
         // Now lose everything: the port is down and drops.
-        handle.inject(FaultKind::LaneLoss { port: 0, lanes_lost: 4 });
+        handle.inject(FaultKind::LaneLoss {
+            port: 0,
+            lanes_lost: 4,
+        });
         outer.push(frame_at(100, Time::from_us(5)));
         sim.run_until(Time::from_us(6));
         assert!(inner.take_ready(Time::from_us(6)).is_none());
@@ -1056,15 +1113,24 @@ mod tests {
     fn stream_stall_holds_then_releases_without_loss() {
         let plan = FaultPlan::new(4).at(
             Time::ZERO,
-            FaultKind::StreamStall { port: 0, duration: Time::from_us(2) },
+            FaultKind::StreamStall {
+                port: 0,
+                duration: Time::from_us(2),
+            },
         );
         let (mut sim, handle, outer, inner) = harness(plan);
         outer.push(frame_at(100, Time::from_ns(100)));
         sim.run_until(Time::from_us(1));
-        assert!(inner.take_ready(Time::from_us(1)).is_none(), "held by the stall");
+        assert!(
+            inner.take_ready(Time::from_us(1)).is_none(),
+            "held by the stall"
+        );
         assert!(handle.counters().stream_stall_ticks.get() > 0);
         sim.run_until(Time::from_us(3));
-        assert!(inner.take_ready(Time::from_us(3)).is_some(), "released, not lost");
+        assert!(
+            inner.take_ready(Time::from_us(3)).is_some(),
+            "released, not lost"
+        );
         assert_eq!(handle.counters().link_down_drops.get(), 0);
     }
 
@@ -1074,8 +1140,16 @@ mod tests {
         let bram: Rc<RefCell<Bram<u64>>> = Rc::new(RefCell::new(Bram::new(8)));
         bram.borrow_mut().write(2, 0xff);
         handle.register_memory("lookup_bram", EccMode::Parity, bram.clone());
-        handle.inject(FaultKind::MemFlip { memory: "lookup_bram".into(), index: 2, bit: 0 });
-        handle.inject(FaultKind::MemFlip { memory: "nonexistent".into(), index: 0, bit: 0 });
+        handle.inject(FaultKind::MemFlip {
+            memory: "lookup_bram".into(),
+            index: 2,
+            bit: 0,
+        });
+        handle.inject(FaultKind::MemFlip {
+            memory: "nonexistent".into(),
+            index: 0,
+            bit: 0,
+        });
         sim.run_until(Time::from_ns(100));
         assert_eq!(*bram.borrow().peek(2), 0xfe);
         assert_eq!(handle.counters().mem_detected.get(), 1);
@@ -1087,12 +1161,25 @@ mod tests {
     fn pending_event_blocks_quiescence() {
         let plan = FaultPlan::new(6).at(
             Time::from_us(100),
-            FaultKind::LinkDown { port: 0, duration: Time::from_us(1) },
+            FaultKind::LinkDown {
+                port: 0,
+                duration: Time::from_us(1),
+            },
         );
         let (mut inj, _handle) = FaultInjector::new("faults", &plan);
-        inj.tap_port(BitRate::gbps(10), Wire::new(), Wire::new(), Wire::new(), Wire::new());
+        inj.tap_port(
+            BitRate::gbps(10),
+            Wire::new(),
+            Wire::new(),
+            Wire::new(),
+            Wire::new(),
+        );
         assert!(!inj.is_quiescent(), "scheduled fault is pending work");
-        inj.tick(&TickContext { now: Time::from_us(100), cycle: 0, period: Time::from_ns(5) });
+        inj.tick(&TickContext {
+            now: Time::from_us(100),
+            cycle: 0,
+            period: Time::from_ns(5),
+        });
         assert!(inj.is_quiescent(), "applied and idle");
     }
 
@@ -1100,11 +1187,24 @@ mod tests {
     fn reset_rearms_the_plan() {
         let plan = FaultPlan::new(7).at(
             Time::ZERO,
-            FaultKind::LinkDown { port: 0, duration: Time::from_ns(10) },
+            FaultKind::LinkDown {
+                port: 0,
+                duration: Time::from_ns(10),
+            },
         );
         let (mut inj, handle) = FaultInjector::new("faults", &plan);
-        inj.tap_port(BitRate::gbps(10), Wire::new(), Wire::new(), Wire::new(), Wire::new());
-        inj.tick(&TickContext { now: Time::ZERO, cycle: 0, period: Time::from_ns(5) });
+        inj.tap_port(
+            BitRate::gbps(10),
+            Wire::new(),
+            Wire::new(),
+            Wire::new(),
+            Wire::new(),
+        );
+        inj.tick(&TickContext {
+            now: Time::ZERO,
+            cycle: 0,
+            period: Time::from_ns(5),
+        });
         assert_eq!(handle.trace().len(), 1);
         assert!(inj.is_quiescent());
         inj.reset();
@@ -1136,7 +1236,10 @@ mod tests {
                 handle.counters().ber_flips.get(),
             )
         };
-        let (iid_frames, iid_flips) = run(FaultKind::SetBer { port: 0, ber: avg_ber });
+        let (iid_frames, iid_flips) = run(FaultKind::SetBer {
+            port: 0,
+            ber: avg_ber,
+        });
         let (ge_frames, ge_flips) = run(FaultKind::SetGilbertElliott {
             port: 0,
             good_ber: 0.0,
@@ -1146,7 +1249,10 @@ mod tests {
         });
         // Comparable total error mass (both processes at ~2e-4 avg BER
         // over 1.6M bits ⇒ ~320 flips each)…
-        assert!(iid_flips > 100 && ge_flips > 100, "iid {iid_flips} ge {ge_flips}");
+        assert!(
+            iid_flips > 100 && ge_flips > 100,
+            "iid {iid_flips} ge {ge_flips}"
+        );
         assert!(
             ge_flips * 3 > iid_flips && iid_flips * 3 > ge_flips,
             "matched average: iid {iid_flips} vs ge {ge_flips}"
@@ -1211,23 +1317,42 @@ mod tests {
         use netfpga_core::telemetry::{EventKind, EventRing};
         let plan = FaultPlan::new(11)
             .bond(0, netfpga_phy::PortBond::ethernet_40g())
-            .at(Time::from_ns(100), FaultKind::LinkDown { port: 0, duration: Time::from_us(1) });
+            .at(
+                Time::from_ns(100),
+                FaultKind::LinkDown {
+                    port: 0,
+                    duration: Time::from_us(1),
+                },
+            );
         let mut sim = Simulator::new();
         let clk = sim.add_clock("core", Frequency::mhz(200));
         let (mut inj, handle) = FaultInjector::new("faults", &plan);
-        inj.tap_port(BitRate::gbps(10), Wire::new(), Wire::new(), Wire::new(), Wire::new());
+        inj.tap_port(
+            BitRate::gbps(10),
+            Wire::new(),
+            Wire::new(),
+            Wire::new(),
+            Wire::new(),
+        );
         let ring = EventRing::new(16);
         inj.set_event_ring(ring.clone());
         sim.add_module(clk, inj);
 
         sim.run_until(Time::from_us(5));
         let kinds: Vec<EventKind> = ring.pending().iter().map(|e| e.kind).collect();
-        assert_eq!(kinds, [EventKind::LinkDown, EventKind::LinkUp], "one full flap");
+        assert_eq!(
+            kinds,
+            [EventKind::LinkDown, EventKind::LinkUp],
+            "one full flap"
+        );
         assert!(ring.pending()[0].at < ring.pending()[1].at);
         assert_eq!(handle.counters().flaps.get(), 1);
 
         // Partial lane loss retrains; restore is announced too.
-        handle.inject(FaultKind::LaneLoss { port: 0, lanes_lost: 2 });
+        handle.inject(FaultKind::LaneLoss {
+            port: 0,
+            lanes_lost: 2,
+        });
         handle.inject(FaultKind::LaneRestore { port: 0 });
         sim.run_until(Time::from_us(6));
         let kinds: Vec<EventKind> = ring.pending().iter().map(|e| e.kind).collect();

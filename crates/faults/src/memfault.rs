@@ -140,11 +140,20 @@ mod tests {
     fn bram_flip_outcomes_by_mode() {
         let mut b: Bram<u64> = Bram::new(8);
         b.write(3, 0xff);
-        assert_eq!(inject_flip(&mut b, EccMode::None, 3, 0), FlipOutcome::Silent);
+        assert_eq!(
+            inject_flip(&mut b, EccMode::None, 3, 0),
+            FlipOutcome::Silent
+        );
         assert_eq!(*b.peek(3), 0xfe, "silent flip landed");
-        assert_eq!(inject_flip(&mut b, EccMode::Parity, 3, 8), FlipOutcome::Detected);
+        assert_eq!(
+            inject_flip(&mut b, EccMode::Parity, 3, 8),
+            FlipOutcome::Detected
+        );
         assert_eq!(*b.peek(3), 0x1fe, "parity detects but does not repair");
-        assert_eq!(inject_flip(&mut b, EccMode::Secded, 3, 16), FlipOutcome::Corrected);
+        assert_eq!(
+            inject_flip(&mut b, EccMode::Secded, 3, 16),
+            FlipOutcome::Corrected
+        );
         assert_eq!(*b.peek(3), 0x1fe, "ECC corrected the upset");
         // Fault injection is not a port access.
         assert_eq!(b.access_counts(), (0, 1));
@@ -153,15 +162,24 @@ mod tests {
     #[test]
     fn out_of_range_upsets_are_missed() {
         let mut b: Bram<u64> = Bram::new(4);
-        assert_eq!(inject_flip(&mut b, EccMode::None, 9, 0), FlipOutcome::Missed);
-        assert_eq!(inject_flip(&mut b, EccMode::None, 0, 64), FlipOutcome::Missed);
+        assert_eq!(
+            inject_flip(&mut b, EccMode::None, 9, 0),
+            FlipOutcome::Missed
+        );
+        assert_eq!(
+            inject_flip(&mut b, EccMode::None, 0, 64),
+            FlipOutcome::Missed
+        );
     }
 
     #[test]
     fn sram_flip_lands_without_counting_an_access() {
         let mut s: Sram<u64> = Sram::new(SramConfig::default());
         s.init(5, 0b1010);
-        assert_eq!(inject_flip(&mut s, EccMode::None, 5, 0), FlipOutcome::Silent);
+        assert_eq!(
+            inject_flip(&mut s, EccMode::None, 5, 0),
+            FlipOutcome::Silent
+        );
         assert_eq!(*s.peek(5), 0b1011);
         assert_eq!(s.access_counts(), (0, 0));
     }
@@ -176,13 +194,26 @@ mod tests {
         });
         assert_eq!(t.lookup(&[0x12, 0x34]), Some(&7));
         // Silent upset in the value plane: the entry no longer matches.
-        assert_eq!(inject_flip(&mut t, EccMode::None, 0, 0), FlipOutcome::Silent);
+        assert_eq!(
+            inject_flip(&mut t, EccMode::None, 0, 0),
+            FlipOutcome::Silent
+        );
         assert_eq!(t.lookup(&[0x12, 0x34]), None, "TCAM mismatch after upset");
         // Repair by flipping back, then verify ECC leaves the entry intact.
         t.corrupt_key_bit(0, 0);
-        assert_eq!(inject_flip(&mut t, EccMode::Secded, 0, 5), FlipOutcome::Corrected);
-        assert_eq!(t.lookup(&[0x12, 0x34]), Some(&7), "corrected entry still matches");
+        assert_eq!(
+            inject_flip(&mut t, EccMode::Secded, 0, 5),
+            FlipOutcome::Corrected
+        );
+        assert_eq!(
+            t.lookup(&[0x12, 0x34]),
+            Some(&7),
+            "corrected entry still matches"
+        );
         // Empty slot: harmless.
-        assert_eq!(inject_flip(&mut t, EccMode::Parity, 2, 0), FlipOutcome::Missed);
+        assert_eq!(
+            inject_flip(&mut t, EccMode::Parity, 2, 0),
+            FlipOutcome::Missed
+        );
     }
 }

@@ -221,7 +221,9 @@ mod tests {
         assert!(!FaultPlan::new(7).is_inert());
         let scheduled = FaultPlan::none().at(
             Time::from_us(1),
-            FaultKind::DmaStall { duration: Time::from_us(1) },
+            FaultKind::DmaStall {
+                duration: Time::from_us(1),
+            },
         );
         assert!(!scheduled.is_inert());
     }

@@ -100,7 +100,9 @@ impl Module for EccScrubber {
     fn tick(&mut self, ctx: &TickContext) {
         let sizes: Vec<u64> = {
             let mems = self.shared.mems.borrow();
-            mems.iter().map(|m| m.mem.borrow().entries() as u64).collect()
+            mems.iter()
+                .map(|m| m.mem.borrow().entries() as u64)
+                .collect()
         };
         let total: u64 = sizes.iter().sum();
         if total == 0 {
@@ -109,8 +111,7 @@ impl Module for EccScrubber {
         // Cursor from absolute cycle count, not tick invocations: ticks
         // skipped while quiescent (nothing latent) visit nothing
         // observable, so resuming from cycle arithmetic is exact.
-        let start =
-            ((ctx.cycle as u128 * self.words_per_cycle as u128) % total as u128) as u64;
+        let start = ((ctx.cycle as u128 * self.words_per_cycle as u128) % total as u128) as u64;
         for k in 0..self.words_per_cycle.min(total) {
             let w = (start + k) % total;
             let (mut mi, mut off) = (0usize, w);
@@ -163,7 +164,11 @@ mod tests {
     #[test]
     fn single_upset_stays_latent_until_scrubbed_then_corrects() {
         let (mut sim, handle, bram) = harness(1);
-        handle.inject(FaultKind::MemFlip { memory: "mem".into(), index: 7, bit: 3 });
+        handle.inject(FaultKind::MemFlip {
+            memory: "mem".into(),
+            index: 7,
+            bit: 3,
+        });
         sim.run_for(Time::from_ns(10)); // flip lands, scrub not there yet
         assert_eq!(handle.counters().mem_injected.get(), 1);
         assert_eq!(handle.counters().mem_corrected.get(), 0, "not yet visited");
@@ -176,19 +181,35 @@ mod tests {
         assert_eq!(*bram.borrow().peek(7), 0xDEAD_BEEF, "corrected");
         let lat = handle.scrub_latencies();
         assert_eq!(lat.len(), 1);
-        assert!(lat[0] <= Time::from_ns(165), "within one sweep period: {:?}", lat[0]);
+        assert!(
+            lat[0] <= Time::from_ns(165),
+            "within one sweep period: {:?}",
+            lat[0]
+        );
     }
 
     #[test]
     fn two_flips_in_one_word_between_visits_is_a_double_upset() {
         let (mut sim, handle, bram) = harness(1);
-        handle.inject(FaultKind::MemFlip { memory: "mem".into(), index: 9, bit: 0 });
-        handle.inject(FaultKind::MemFlip { memory: "mem".into(), index: 9, bit: 5 });
+        handle.inject(FaultKind::MemFlip {
+            memory: "mem".into(),
+            index: 9,
+            bit: 0,
+        });
+        handle.inject(FaultKind::MemFlip {
+            memory: "mem".into(),
+            index: 9,
+            bit: 5,
+        });
         sim.run_for(Time::from_us(1));
         assert_eq!(handle.counters().mem_double.get(), 1);
         assert_eq!(handle.counters().mem_detected.get(), 1);
         assert_eq!(handle.counters().mem_corrected.get(), 0);
-        assert_ne!(*bram.borrow().peek(9), 0xDEAD_BEEF, "detected, NOT corrected");
+        assert_ne!(
+            *bram.borrow().peek(9),
+            0xDEAD_BEEF,
+            "detected, NOT corrected"
+        );
         assert_eq!(handle.pending_upsets(), 0, "word was visited and resolved");
     }
 
@@ -196,7 +217,11 @@ mod tests {
     fn faster_scrub_shortens_latency() {
         let run = |wpc: u32| {
             let (mut sim, handle, _bram) = harness(wpc);
-            handle.inject(FaultKind::MemFlip { memory: "mem".into(), index: 31, bit: 1 });
+            handle.inject(FaultKind::MemFlip {
+                memory: "mem".into(),
+                index: 31,
+                bit: 1,
+            });
             sim.run_for(Time::from_us(2));
             handle.scrub_latencies()[0]
         };
@@ -211,7 +236,11 @@ mod tests {
             let (mut sim, handle, bram) = harness(2);
             sim.set_idle_skip(idle_skip);
             sim.run_for(Time::from_us(3)); // long idle stretch first
-            handle.inject(FaultKind::MemFlip { memory: "mem".into(), index: 20, bit: 2 });
+            handle.inject(FaultKind::MemFlip {
+                memory: "mem".into(),
+                index: 20,
+                bit: 2,
+            });
             sim.run_for(Time::from_us(2));
             let word = *bram.borrow().peek(20);
             (handle.scrub_latencies(), word, sim.now())

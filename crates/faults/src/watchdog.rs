@@ -225,13 +225,10 @@ impl Module for Watchdog {
     /// always-correct (if unskippable) classification.
     fn is_quiescent(&self) -> bool {
         self.state == State::Monitoring
-            && self
-                .probes
-                .iter()
-                .all(|p| {
-                    let (prog, pending) = (p.read)();
-                    !pending && p.stuck == 0 && prog == p.last
-                })
+            && self.probes.iter().all(|p| {
+                let (prog, pending) = (p.read)();
+                !pending && p.stuck == 0 && prog == p.last
+            })
     }
 }
 

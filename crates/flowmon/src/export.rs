@@ -57,7 +57,12 @@ impl DeltaRing {
         assert!(capacity > 0, "empty delta ring");
         DeltaRing {
             slots: vec![
-                Delta { stat: 0, value: 0, delta: 0, at: Time::ZERO };
+                Delta {
+                    stat: 0,
+                    value: 0,
+                    delta: 0,
+                    at: Time::ZERO
+                };
                 capacity
             ],
             capacity,
@@ -404,8 +409,7 @@ impl Module for FlowExporter {
             let period = ctx.period.as_ps().max(1);
             self.interval_cycles = (self.interval.as_ps() / period).max(1);
             self.next_cycle = ctx.cycle + self.interval_cycles;
-            self.next_at =
-                ctx.now + Time::from_ps(self.interval_cycles * period);
+            self.next_at = ctx.now + Time::from_ps(self.interval_cycles * period);
             self.rebaseline();
             std::mem::swap(&mut self.prev, &mut self.scratch);
             self.inited = true;
@@ -426,8 +430,7 @@ impl Module for FlowExporter {
             }
             self.next_cycle += self.interval_cycles << self.quiet;
         }
-        self.next_at = ctx.now
-            + Time::from_ps((self.next_cycle - ctx.cycle) * ctx.period.as_ps());
+        self.next_at = ctx.now + Time::from_ps((self.next_cycle - ctx.cycle) * ctx.period.as_ps());
     }
 
     fn reset(&mut self) {
@@ -475,7 +478,12 @@ mod tests {
     #[test]
     fn ring_drops_on_full_without_overwriting() {
         let mut r = DeltaRing::new(2);
-        let d = |stat| Delta { stat, value: 1, delta: 1, at: Time::ZERO };
+        let d = |stat| Delta {
+            stat,
+            value: 1,
+            delta: 1,
+            at: Time::ZERO,
+        };
         assert!(r.push(d(0)));
         assert!(r.push(d(1)));
         assert!(!r.push(d(2)), "full ring drops");
@@ -489,7 +497,12 @@ mod tests {
     fn ring_tail_writes_clamp() {
         let mut r = DeltaRing::new(4);
         for i in 0..3 {
-            r.push(Delta { stat: i, value: 0, delta: 0, at: Time::ZERO });
+            r.push(Delta {
+                stat: i,
+                value: 0,
+                delta: 0,
+                at: Time::ZERO,
+            });
         }
         r.set_tail(100);
         assert_eq!(r.tail(), 3, "clamped to head");
@@ -499,7 +512,10 @@ mod tests {
 
     #[test]
     fn prometheus_text_sanitizes_paths() {
-        let snap = vec![("pipeline.lookup.hits".to_string(), 42), ("port0.q0.depth.p99".to_string(), 7)];
+        let snap = vec![
+            ("pipeline.lookup.hits".to_string(), 42),
+            ("port0.q0.depth.p99".to_string(), 7),
+        ];
         let text = prometheus_text(&snap);
         assert_eq!(
             text,
@@ -579,7 +595,10 @@ mod tests {
         sim.add_module(clk, exp);
         sim.run_until(Time::from_us(1));
         let idle = handle.snapshots();
-        assert!(idle < 20, "quiet sampling must back off: {idle} samples in 100 cycles");
+        assert!(
+            idle < 20,
+            "quiet sampling must back off: {idle} samples in 100 cycles"
+        );
         c.add(3);
         sim.run_until(Time::from_us(2));
         assert!(

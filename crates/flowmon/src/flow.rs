@@ -116,7 +116,17 @@ impl core::fmt::Display for FiveTuple {
         write!(
             f,
             "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{} proto {}",
-            s[0], s[1], s[2], s[3], self.src_port, d[0], d[1], d[2], d[3], self.dst_port, self.proto
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+            self.src_port,
+            d[0],
+            d[1],
+            d[2],
+            d[3],
+            self.dst_port,
+            self.proto
         )
     }
 }
@@ -146,14 +156,25 @@ mod tests {
         // even though the prefix fails total-length validation.
         let frame = PacketBuilder::new()
             .eth(mac(1), mac(2))
-            .ipv4(Ipv4Address::new(192, 168, 0, 1), Ipv4Address::new(192, 168, 0, 2))
+            .ipv4(
+                Ipv4Address::new(192, 168, 0, 1),
+                Ipv4Address::new(192, 168, 0, 2),
+            )
             .udp(1000, 53, &[0x5a; 900])
             .build();
         let full = FiveTuple::parse(&frame).expect("full frame parses");
         let prefix = FiveTuple::parse_prefix(&frame[..80]).expect("prefix parses");
         assert_eq!(full, prefix);
-        assert_eq!(FiveTuple::parse_prefix(&frame), Some(full), "whole frame is a prefix too");
-        assert_eq!(FiveTuple::parse_prefix(&frame[..30]), None, "too short for L3");
+        assert_eq!(
+            FiveTuple::parse_prefix(&frame),
+            Some(full),
+            "whole frame is a prefix too"
+        );
+        assert_eq!(
+            FiveTuple::parse_prefix(&frame[..30]),
+            None,
+            "too short for L3"
+        );
     }
 
     #[test]
@@ -168,7 +189,11 @@ mod tests {
         frag[14 + 6] = 0x00;
         frag[14 + 7] = 0x08;
         let ft = FiveTuple::parse_prefix(&frag).expect("fragment still keys on addresses");
-        assert_eq!((ft.src_port, ft.dst_port), (0, 0), "no L4 header in later fragments");
+        assert_eq!(
+            (ft.src_port, ft.dst_port),
+            (0, 0),
+            "no L4 header in later fragments"
+        );
         assert_eq!(ft.proto, 17);
     }
 
@@ -210,8 +235,20 @@ mod tests {
 
     #[test]
     fn key_bytes_are_stable_and_distinct() {
-        let a = FiveTuple { src_ip: 1, dst_ip: 2, src_port: 3, dst_port: 4, proto: 6 };
-        let b = FiveTuple { src_ip: 1, dst_ip: 2, src_port: 4, dst_port: 3, proto: 6 };
+        let a = FiveTuple {
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 3,
+            dst_port: 4,
+            proto: 6,
+        };
+        let b = FiveTuple {
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 4,
+            dst_port: 3,
+            proto: 6,
+        };
         assert_eq!(a.key_bytes(), a.key_bytes());
         assert_ne!(a.key_bytes(), b.key_bytes());
     }

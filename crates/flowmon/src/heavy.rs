@@ -36,7 +36,12 @@ impl FlowRecord {
     /// bytes, then the flow's total order — descending sort on this is
     /// replay-stable.
     pub fn rank_key(&self) -> (u64, u64, u64, core::cmp::Reverse<FiveTuple>) {
-        (self.estimate, self.packets, self.bytes, core::cmp::Reverse(self.flow))
+        (
+            self.estimate,
+            self.packets,
+            self.bytes,
+            core::cmp::Reverse(self.flow),
+        )
     }
 }
 
@@ -52,7 +57,11 @@ impl HeavyHitters {
     /// An empty table of `capacity` entries.
     pub fn new(capacity: usize) -> HeavyHitters {
         assert!(capacity > 0, "empty heavy-hitter table");
-        HeavyHitters { entries: Vec::with_capacity(capacity), capacity, evictions: 0 }
+        HeavyHitters {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            evictions: 0,
+        }
     }
 
     /// Account one packet of `bytes` for `flow`, whose sketch estimate
@@ -64,7 +73,12 @@ impl HeavyHitters {
             e.estimate = estimate;
             return;
         }
-        let fresh = FlowRecord { flow, packets: 1, bytes, estimate };
+        let fresh = FlowRecord {
+            flow,
+            packets: 1,
+            bytes,
+            estimate,
+        };
         if self.entries.len() < self.capacity {
             self.entries.push(fresh);
             return;
@@ -138,7 +152,13 @@ mod tests {
     use super::*;
 
     fn flow(i: u32) -> FiveTuple {
-        FiveTuple { src_ip: i, dst_ip: !i, src_port: 1, dst_port: 2, proto: 6 }
+        FiveTuple {
+            src_ip: i,
+            dst_ip: !i,
+            src_port: 1,
+            dst_port: 2,
+            proto: 6,
+        }
     }
 
     #[test]

@@ -137,9 +137,13 @@ pub fn register_quantile_gauges(
     hist: &Rc<RefCell<LogLinearHistogram>>,
 ) {
     let h = hist.clone();
-    registry.gauge(&format!("{path}.p50"), move || h.borrow_mut().quantiles_cached().0);
+    registry.gauge(&format!("{path}.p50"), move || {
+        h.borrow_mut().quantiles_cached().0
+    });
     let h = hist.clone();
-    registry.gauge(&format!("{path}.p99"), move || h.borrow_mut().quantiles_cached().1);
+    registry.gauge(&format!("{path}.p99"), move || {
+        h.borrow_mut().quantiles_cached().1
+    });
     let h = hist.clone();
     registry.gauge(&format!("{path}.max"), move || h.borrow().max());
 }

@@ -109,7 +109,9 @@ impl RegisterSpace for FlowmonRegisters {
             let slot = (rel / DELTA_SLOT_BYTES) as usize;
             let ring = self.exporter.ring();
             let ring = ring.borrow();
-            let Some(d) = ring.slot(slot) else { return UNMAPPED_READ };
+            let Some(d) = ring.slot(slot) else {
+                return UNMAPPED_READ;
+            };
             return match rel % DELTA_SLOT_BYTES {
                 0x0 => d.stat,
                 0x4 => d.value as u32,
@@ -173,8 +175,14 @@ mod tests {
 
     fn frame(last: u8, sport: u16) -> Vec<u8> {
         PacketBuilder::new()
-            .eth(EthernetAddress::new(2, 0, 0, 0, 0, 1), EthernetAddress::new(2, 0, 0, 0, 0, 2))
-            .ipv4(Ipv4Address::new(10, 0, 0, last), Ipv4Address::new(10, 0, 1, 1))
+            .eth(
+                EthernetAddress::new(2, 0, 0, 0, 0, 1),
+                EthernetAddress::new(2, 0, 0, 0, 0, 2),
+            )
+            .ipv4(
+                Ipv4Address::new(10, 0, 0, last),
+                Ipv4Address::new(10, 0, 1, 1),
+            )
             .udp(sport, 80, &[0; 24])
             .build()
     }
@@ -183,7 +191,11 @@ mod tests {
         let (_tx, rx) = Stream::new(4, 64);
         let (tx2, _rx2) = Stream::new(4, 64);
         let config = FlowmonConfig {
-            sketch: SketchConfig { width: 128, depth: 3, seed: 9 },
+            sketch: SketchConfig {
+                width: 128,
+                depth: 3,
+                seed: 9,
+            },
             table_capacity: 8,
             delta_capacity: 16,
             ..FlowmonConfig::default()

@@ -32,7 +32,11 @@ pub struct SketchConfig {
 
 impl Default for SketchConfig {
     fn default() -> SketchConfig {
-        SketchConfig { width: 1024, depth: 4, seed: 0xf10f_10f1 }
+        SketchConfig {
+            width: 1024,
+            depth: 4,
+            seed: 0xf10f_10f1,
+        }
     }
 }
 
@@ -96,8 +100,7 @@ impl CountMinSketch {
         let (h1, h2) = self.hash_pair(&flow.key_bytes());
         (0..self.config.depth)
             .map(|row| {
-                let col =
-                    h1.wrapping_add((row as u64).wrapping_mul(h2)) % self.config.width as u64;
+                let col = h1.wrapping_add((row as u64).wrapping_mul(h2)) % self.config.width as u64;
                 self.cells[row * self.config.width + col as usize]
             })
             .min()
@@ -155,7 +158,11 @@ mod tests {
 
     #[test]
     fn estimate_never_underestimates() {
-        let mut cm = CountMinSketch::new(SketchConfig { width: 32, depth: 3, seed: 7 });
+        let mut cm = CountMinSketch::new(SketchConfig {
+            width: 32,
+            depth: 3,
+            seed: 7,
+        });
         for i in 0..100u32 {
             cm.record(&flow(i % 10), 1 + u64::from(i % 3));
         }
@@ -171,7 +178,11 @@ mod tests {
 
     #[test]
     fn wide_sketch_is_exact_for_few_flows() {
-        let mut cm = CountMinSketch::new(SketchConfig { width: 4096, depth: 4, seed: 1 });
+        let mut cm = CountMinSketch::new(SketchConfig {
+            width: 4096,
+            depth: 4,
+            seed: 1,
+        });
         for i in 0..8u32 {
             for _ in 0..=i {
                 cm.record(&flow(i), 1);
@@ -185,20 +196,30 @@ mod tests {
 
     #[test]
     fn seeded_rebuild_is_bit_identical() {
-        let cfg = SketchConfig { width: 64, depth: 4, seed: 42 };
+        let cfg = SketchConfig {
+            width: 64,
+            depth: 4,
+            seed: 42,
+        };
         let run = || {
             let mut cm = CountMinSketch::new(cfg);
             for i in 0..200u32 {
                 cm.record(&flow(i % 17), 1);
             }
-            (0..17u32).map(|i| cm.estimate(&flow(i))).collect::<Vec<_>>()
+            (0..17u32)
+                .map(|i| cm.estimate(&flow(i)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }
 
     #[test]
     fn error_bound_tracks_total() {
-        let mut cm = CountMinSketch::new(SketchConfig { width: 272, depth: 4, seed: 3 });
+        let mut cm = CountMinSketch::new(SketchConfig {
+            width: 272,
+            depth: 4,
+            seed: 3,
+        });
         assert_eq!(cm.error_bound(), 0);
         for _ in 0..1000 {
             cm.record(&flow(1), 1);

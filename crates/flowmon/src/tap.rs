@@ -246,7 +246,9 @@ impl FlowTap {
 
     /// A shared handle onto this tap's flow state.
     pub fn handle(&self) -> FlowMonHandle {
-        FlowMonHandle { state: self.state.clone() }
+        FlowMonHandle {
+            state: self.state.clone(),
+        }
     }
 }
 
@@ -259,56 +261,58 @@ impl Module for FlowTap {
         let max = if self.burst { usize::MAX } else { 1 };
         let snoop = &mut self.snoop;
         let state = &self.state;
-        let (_, skip) = self.input.transfer_snoop(&self.output, max, self.skip, |w| {
-            if w.sop {
-                snoop.have = 0;
-                snoop.seen = 0;
-                snoop.len = w.meta.as_ref().map_or(0, |m| u64::from(m.len));
-                snoop.word_len = w.len() as u64;
-                snoop.words_seen = 0;
-                snoop.active = true;
-            }
-            if !snoop.active {
-                return 0;
-            }
-            snoop.words_seen += 1;
-            if snoop.have < HDR_MAX {
-                let bytes = w.bytes();
-                let take = (HDR_MAX - snoop.have).min(bytes.len());
-                snoop.hdr[snoop.have..snoop.have + take].copy_from_slice(&bytes[..take]);
-                snoop.have += take;
-                snoop.seen += bytes.len() as u64;
-                if !w.sop && !w.eop && w.len() as u64 != snoop.word_len {
-                    // Irregular segmentation: the frame's beat count
-                    // can't be derived from the sop word, so scan every
-                    // beat of this frame instead of skipping.
-                    snoop.word_len = 0;
+        let (_, skip) = self
+            .input
+            .transfer_snoop(&self.output, max, self.skip, |w| {
+                if w.sop {
+                    snoop.have = 0;
+                    snoop.seen = 0;
+                    snoop.len = w.meta.as_ref().map_or(0, |m| u64::from(m.len));
+                    snoop.word_len = w.len() as u64;
+                    snoop.words_seen = 0;
+                    snoop.active = true;
                 }
-            } else if snoop.len == 0 {
-                // Length fallback for meta-less frames only; frames
-                // with metadata don't visit payload beats at all.
-                snoop.seen += w.len() as u64;
-            }
-            if w.eop {
-                let len = if snoop.len > 0 { snoop.len } else { snoop.seen };
-                state.borrow_mut().observe(&snoop.hdr[..snoop.have], len);
-                snoop.active = false;
-                return 0;
-            }
-            // Header captured and the frame's beat count is derivable
-            // from `meta.len` (full-width beats up to the last): vouch
-            // for the payload run, leaving the eop beat inspected so a
-            // desync degrades to scanning rather than over-skipping.
-            if snoop.have >= HDR_MAX && snoop.len > 0 && snoop.word_len > 0 {
-                let total = snoop.len.div_ceil(snoop.word_len);
-                if total > snoop.words_seen + 1 {
-                    let run = total - snoop.words_seen - 1;
-                    snoop.words_seen += run;
-                    return run as usize;
+                if !snoop.active {
+                    return 0;
                 }
-            }
-            0
-        });
+                snoop.words_seen += 1;
+                if snoop.have < HDR_MAX {
+                    let bytes = w.bytes();
+                    let take = (HDR_MAX - snoop.have).min(bytes.len());
+                    snoop.hdr[snoop.have..snoop.have + take].copy_from_slice(&bytes[..take]);
+                    snoop.have += take;
+                    snoop.seen += bytes.len() as u64;
+                    if !w.sop && !w.eop && w.len() as u64 != snoop.word_len {
+                        // Irregular segmentation: the frame's beat count
+                        // can't be derived from the sop word, so scan every
+                        // beat of this frame instead of skipping.
+                        snoop.word_len = 0;
+                    }
+                } else if snoop.len == 0 {
+                    // Length fallback for meta-less frames only; frames
+                    // with metadata don't visit payload beats at all.
+                    snoop.seen += w.len() as u64;
+                }
+                if w.eop {
+                    let len = if snoop.len > 0 { snoop.len } else { snoop.seen };
+                    state.borrow_mut().observe(&snoop.hdr[..snoop.have], len);
+                    snoop.active = false;
+                    return 0;
+                }
+                // Header captured and the frame's beat count is derivable
+                // from `meta.len` (full-width beats up to the last): vouch
+                // for the payload run, leaving the eop beat inspected so a
+                // desync degrades to scanning rather than over-skipping.
+                if snoop.have >= HDR_MAX && snoop.len > 0 && snoop.word_len > 0 {
+                    let total = snoop.len.div_ceil(snoop.word_len);
+                    if total > snoop.words_seen + 1 {
+                        let run = total - snoop.words_seen - 1;
+                        snoop.words_seen += run;
+                        return run as usize;
+                    }
+                }
+                0
+            });
         self.skip = skip;
     }
 
@@ -345,7 +349,10 @@ mod tests {
     fn udp_frame(src_last: u8, sport: u16) -> Vec<u8> {
         PacketBuilder::new()
             .eth(mac(1), mac(2))
-            .ipv4(Ipv4Address::new(10, 0, 0, src_last), Ipv4Address::new(10, 0, 1, 1))
+            .ipv4(
+                Ipv4Address::new(10, 0, 0, src_last),
+                Ipv4Address::new(10, 0, 1, 1),
+            )
             .udp(sport, 80, &[0x55; 32])
             .build()
     }
@@ -428,7 +435,11 @@ mod tests {
         let (slow, d1) = run_tap(&frames, false);
         let (fast, d2) = run_tap(&frames, true);
         assert_eq!(d1, d2);
-        assert_eq!(slow.flows(), fast.flows(), "burst mode is functionally identical");
+        assert_eq!(
+            slow.flows(),
+            fast.flows(),
+            "burst mode is functionally identical"
+        );
     }
 
     #[test]

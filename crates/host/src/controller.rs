@@ -9,7 +9,7 @@
 //! experiment compares against).
 
 use netfpga_core::stream::PortMask;
-use netfpga_projects::blueswitch::{ActionKind, BlueSwitch, KEY_WIDTH, BLUESWITCH_BASE};
+use netfpga_projects::blueswitch::{ActionKind, BlueSwitch, BLUESWITCH_BASE, KEY_WIDTH};
 
 /// A controller-level rule: which table, what to match, what to do.
 #[derive(Debug, Clone)]
@@ -35,7 +35,13 @@ impl RuleSpec {
         key_mask: [u8; KEY_WIDTH],
         action: ActionKind,
     ) -> RuleSpec {
-        RuleSpec { table, priority, key_value, key_mask, action }
+        RuleSpec {
+            table,
+            priority,
+            key_value,
+            key_mask,
+            action,
+        }
     }
 
     /// A catch-all rule for `table` that outputs on `ports`.
@@ -85,8 +91,10 @@ impl BlueSwitchController {
             let mut m = [0u8; 4];
             v.copy_from_slice(&rule.key_value[i * 4..i * 4 + 4]);
             m.copy_from_slice(&rule.key_mask[i * 4..i * 4 + 4]);
-            sw.chassis.write32(b + (8 + i as u32) * 4, u32::from_be_bytes(v));
-            sw.chassis.write32(b + (16 + i as u32) * 4, u32::from_be_bytes(m));
+            sw.chassis
+                .write32(b + (8 + i as u32) * 4, u32::from_be_bytes(v));
+            sw.chassis
+                .write32(b + (16 + i as u32) * 4, u32::from_be_bytes(m));
         }
     }
 
@@ -178,11 +186,17 @@ mod tests {
     fn two_atomic_updates_swap_behaviour() {
         let mut sw = BlueSwitch::new(&BoardSpec::sume(), 4, 1, 64);
         let mut ctl = BlueSwitchController::new();
-        ctl.install_atomic(&mut sw, &[RuleSpec::wildcard_output(0, 1, PortMask::single(1))]);
+        ctl.install_atomic(
+            &mut sw,
+            &[RuleSpec::wildcard_output(0, 1, PortMask::single(1))],
+        );
         sw.chassis.send(0, frame());
         sw.chassis.run_for(Time::from_us(10));
         assert_eq!(sw.chassis.recv(1).len(), 1);
-        ctl.install_atomic(&mut sw, &[RuleSpec::wildcard_output(0, 1, PortMask::single(3))]);
+        ctl.install_atomic(
+            &mut sw,
+            &[RuleSpec::wildcard_output(0, 1, PortMask::single(3))],
+        );
         sw.chassis.send(0, frame());
         sw.chassis.run_for(Time::from_us(10));
         assert_eq!(sw.chassis.recv(3).len(), 1);

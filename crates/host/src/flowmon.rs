@@ -107,7 +107,10 @@ mod tests {
     fn udp(src: u8, dst: u8, sport: u16) -> Vec<u8> {
         PacketBuilder::new()
             .eth(mac(src), mac(dst))
-            .ipv4(Ipv4Address::new(10, 0, 0, src), Ipv4Address::new(10, 0, 0, dst))
+            .ipv4(
+                Ipv4Address::new(10, 0, 0, src),
+                Ipv4Address::new(10, 0, 0, dst),
+            )
             .udp(sport, 80, &[0xcd; 32])
             .build()
     }

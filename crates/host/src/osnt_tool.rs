@@ -90,7 +90,10 @@ impl OsntTool {
     /// The full measurement: start, wait, report.
     pub fn measure(osnt: &mut OsntTester, port: usize, run: ProbeRun) -> ProbeReport {
         Self::start(osnt, port, run);
-        assert!(Self::wait(osnt, port, &run, Time::from_us(200)), "run timed out");
+        assert!(
+            Self::wait(osnt, port, &run, Time::from_us(200)),
+            "run timed out"
+        );
         Self::report(osnt, port)
     }
 }
@@ -110,7 +113,10 @@ mod tests {
 
     #[test]
     fn register_driven_measurement() {
-        let mut o = looped(LinkConfig { delay: Time::from_us(7), ..LinkConfig::default() });
+        let mut o = looped(LinkConfig {
+            delay: Time::from_us(7),
+            ..LinkConfig::default()
+        });
         let run = ProbeRun {
             rate: BitRate::gbps(1),
             frame_len: 256,
@@ -168,8 +174,7 @@ mod tests {
             .map(|w| (w[1].tx_time - w[0].tx_time).as_ps() as f64)
             .collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        let cv = (gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64)
-            .sqrt()
+        let cv = (gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64).sqrt()
             / mean;
         assert!(cv > 0.5, "cv {cv}");
     }

@@ -115,7 +115,9 @@ impl Inner {
         // Per-tick fast path: no completions queued, nothing waiting for
         // window space and no retransmit timer due — this tick cannot
         // change channel state, so skip the window scan entirely.
-        if self.pending.is_empty() && now < self.next_deadline && self.dma.completions_pending() == 0
+        if self.pending.is_empty()
+            && now < self.next_deadline
+            && self.dma.completions_pending() == 0
         {
             return;
         }
@@ -148,7 +150,9 @@ impl Inner {
         }
         // 3. Refill the window from the pending queue.
         while self.in_flight.len() < self.config.window {
-            let Some((packet, meta)) = self.pending.pop_front() else { break };
+            let Some((packet, meta)) = self.pending.pop_front() else {
+                break;
+            };
             let seq = self.next_seq;
             match self.dma.send_sequenced(packet.clone(), meta, seq) {
                 Ok(()) => {
@@ -157,7 +161,13 @@ impl Inner {
                     let deadline = self.jittered_deadline(now, timeout);
                     self.in_flight.insert(
                         seq,
-                        Flight { packet, meta, timeout, deadline, attempts: 1 },
+                        Flight {
+                            packet,
+                            meta,
+                            timeout,
+                            deadline,
+                            attempts: 1,
+                        },
                     );
                 }
                 Err(_) => {
@@ -175,15 +185,21 @@ impl Inner {
         if self.in_flight.is_empty() && self.dma.tx_pending() == 0 {
             self.dma.advance_ack_floor(self.next_seq);
         }
-        self.next_deadline =
-            self.in_flight.values().map(|f| f.deadline).min().unwrap_or(NO_DEADLINE);
+        self.next_deadline = self
+            .in_flight
+            .values()
+            .map(|f| f.deadline)
+            .min()
+            .unwrap_or(NO_DEADLINE);
     }
 
     /// A `Dropped` completion for `seq`: schedule its retry one
     /// backed-off timeout from now (abandoning it if the attempt budget
     /// is spent).
     fn defer_retry(&mut self, seq: u64, now: Time) {
-        let Some(f) = self.in_flight.get(&seq) else { return };
+        let Some(f) = self.in_flight.get(&seq) else {
+            return;
+        };
         if f.attempts >= self.config.max_attempts {
             self.in_flight.remove(&seq);
             self.abandoned.incr();
@@ -200,7 +216,9 @@ impl Inner {
     /// Re-post `seq` (expired timer), with backoff; an exhausted flight
     /// is abandoned and counted.
     fn repost(&mut self, seq: u64, now: Time) {
-        let Some(f) = self.in_flight.get(&seq) else { return };
+        let Some(f) = self.in_flight.get(&seq) else {
+            return;
+        };
         if f.attempts >= self.config.max_attempts {
             self.in_flight.remove(&seq);
             self.abandoned.incr();
@@ -221,7 +239,10 @@ impl Inner {
                 // current timeout without burning an attempt — the packet
                 // never reached the ring.
                 let deadline = now + f.timeout;
-                self.in_flight.get_mut(&seq).expect("flight present").deadline = deadline;
+                self.in_flight
+                    .get_mut(&seq)
+                    .expect("flight present")
+                    .deadline = deadline;
             }
         }
     }
@@ -263,7 +284,10 @@ impl ReliableChannel {
             wake,
         }));
         (
-            ReliableDriver { label: name.to_string(), inner: inner.clone() },
+            ReliableDriver {
+                label: name.to_string(),
+                inner: inner.clone(),
+            },
             ReliableChannel { inner },
         )
     }
@@ -422,8 +446,7 @@ mod tests {
         let (h2c_tx, h2c_rx) = Stream::new(8, 32);
         let (c2h_tx, c2h_rx) = Stream::new(8, 32);
         let gate = DmaFaultGate::new();
-        let (engine, handle) =
-            DmaEngine::new("dma", PcieConfig::gen3_x8(), h2c_tx, c2h_rx, 8, 8);
+        let (engine, handle) = DmaEngine::new("dma", PcieConfig::gen3_x8(), h2c_tx, c2h_rx, 8, 8);
         let engine = engine.with_fault_gate(gate.clone());
         let (driver, chan) = ReliableChannel::new("reliable", handle.clone(), config, 7);
         let (sink, captured) = PacketSink::new("to_card_sink", h2c_rx);
@@ -449,7 +472,11 @@ mod tests {
 
     #[test]
     fn pending_overflow_sheds() {
-        let config = ReliableConfig { window: 2, pending_capacity: 4, ..Default::default() };
+        let config = ReliableConfig {
+            window: 2,
+            pending_capacity: 4,
+            ..Default::default()
+        };
         let (_sim, chan, _dma, _captured, gate) = setup(config);
         gate.wedge(); // nothing drains
         let mut accepted = 0;

@@ -23,9 +23,7 @@ use netfpga_core::telemetry::StatRegistry;
 use netfpga_core::time::Time;
 use netfpga_packet::icmpv4::{Icmpv4Packet, Icmpv4Repr, Message};
 use netfpga_packet::ipv4::Ipv4Packet;
-use netfpga_packet::{
-    EthernetAddress, EthernetFrame, Ipv4Address, Ipv4Cidr, PacketBuilder,
-};
+use netfpga_packet::{EthernetAddress, EthernetFrame, Ipv4Address, Ipv4Cidr, PacketBuilder};
 use netfpga_projects::reference_router::{exception, ReferenceRouter, ROUTER_BASE};
 use std::collections::BTreeMap;
 
@@ -404,7 +402,9 @@ impl RouterManager {
                 .eth(iface.mac, eth.src_addr())
                 .ipv4(ip.dst_addr(), ip.src_addr())
                 .icmp(
-                    Icmpv4Repr { message: Message::EchoReply { ident, seq } },
+                    Icmpv4Repr {
+                        message: Message::EchoReply { ident, seq },
+                    },
                     icmp.payload(),
                 )
                 .build();
@@ -416,10 +416,11 @@ impl RouterManager {
     }
 
     fn handle_arp_miss(&mut self, r: &mut ReferenceRouter, frame: PktBuf, meta: Meta) {
-        let Some(dst) = EthernetFrame::new_checked(&frame[..])
-            .ok()
-            .and_then(|e| Ipv4Packet::new_checked(e.payload()).ok().map(|ip| ip.dst_addr()))
-        else {
+        let Some(dst) = EthernetFrame::new_checked(&frame[..]).ok().and_then(|e| {
+            Ipv4Packet::new_checked(e.payload())
+                .ok()
+                .map(|ip| ip.dst_addr())
+        }) else {
             self.stats.unhandled.incr();
             return;
         };
@@ -432,7 +433,10 @@ impl RouterManager {
             return;
         };
         let first_for_hop = !self.pending.contains_key(&next_hop);
-        self.pending.entry(next_hop).or_default().push((frame, meta));
+        self.pending
+            .entry(next_hop)
+            .or_default()
+            .push((frame, meta));
         if first_for_hop {
             let request = PacketBuilder::arp_request(iface.mac, iface.ip, next_hop);
             self.inject(r, port, request);
@@ -451,7 +455,12 @@ impl RouterManager {
                 exception::LOCAL => self.handle_local(r, &frame, meta.src_port),
                 exception::TTL_EXPIRED => {
                     if self.take_icmp_token(now) {
-                        self.icmp_error(r, &frame, meta.src_port, Message::TimeExceeded { code: 0 });
+                        self.icmp_error(
+                            r,
+                            &frame,
+                            meta.src_port,
+                            Message::TimeExceeded { code: 0 },
+                        );
                         self.stats.icmp_ttl.incr();
                     }
                 }
@@ -551,7 +560,9 @@ mod tests {
             .eth(mac(0xa1), mac(0xe0))
             .ipv4(ip("10.0.0.2"), ip("10.0.0.1"))
             .icmp(
-                Icmpv4Repr { message: Message::EchoRequest { ident: 7, seq: 1 } },
+                Icmpv4Repr {
+                    message: Message::EchoRequest { ident: 7, seq: 1 },
+                },
                 b"ping data",
             )
             .build();
@@ -690,7 +701,10 @@ mod tests {
         let (mut r, mut mgr) = setup();
         mgr.add_static_route("0.0.0.0/0".parse().unwrap(), ip("10.0.1.254"), 1);
         mgr.configure(&mut r);
-        r.tables.borrow_mut().arp.insert(ip("10.0.1.254"), mac(0xfe));
+        r.tables
+            .borrow_mut()
+            .arp
+            .insert(ip("10.0.1.254"), mac(0xfe));
         let pkt = PacketBuilder::new()
             .eth(mac(0xa1), mac(0xe0))
             .ipv4(ip("10.0.0.2"), ip("8.8.8.8"))
@@ -700,6 +714,10 @@ mod tests {
         mgr.run(&mut r, Time::from_us(60), Time::from_us(10));
         let out = r.chassis.recv(1);
         assert_eq!(out.len(), 1);
-        assert_eq!(ParsedHeaders::parse(&out[0]).eth_dst, mac(0xfe), "to gateway");
+        assert_eq!(
+            ParsedHeaders::parse(&out[0]).eth_dst,
+            mac(0xfe),
+            "to gateway"
+        );
     }
 }

@@ -114,8 +114,7 @@ mod tests {
         assert_eq!(paths, sorted, "dump iterates sorted by path");
         // And it matches the stat block's own publication order, which
         // the delta-ring stat indices are defined against.
-        let entries =
-            decode_stat_block(TELEMETRY_BASE, |a| nic.chassis.read32(a)).expect("block");
+        let entries = decode_stat_block(TELEMETRY_BASE, |a| nic.chassis.read32(a)).expect("block");
         let block_order: Vec<&String> = entries.iter().map(|(p, _)| p).collect();
         assert_eq!(paths, block_order);
     }

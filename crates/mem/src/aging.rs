@@ -108,7 +108,11 @@ impl<K: Eq + Clone + std::hash::Hash, V: Clone> AgingTable<K, V> {
             let i = (base + p) & self.mask;
             match &self.slots[i] {
                 Some(slot) if slot.key == key => {
-                    self.slots[i] = Some(Slot { key, value, touched: now });
+                    self.slots[i] = Some(Slot {
+                        key,
+                        value,
+                        touched: now,
+                    });
                     return true;
                 }
                 Some(slot) if !self.live(slot, now) => {
@@ -126,7 +130,11 @@ impl<K: Eq + Clone + std::hash::Hash, V: Clone> AgingTable<K, V> {
         }
         match free {
             Some(i) => {
-                self.slots[i] = Some(Slot { key, value, touched: now });
+                self.slots[i] = Some(Slot {
+                    key,
+                    value,
+                    touched: now,
+                });
                 true
             }
             None => {

@@ -18,7 +18,11 @@ impl<K: Eq + Clone, V: Clone> Cam<K, V> {
     /// A CAM with `capacity` slots.
     pub fn new(capacity: usize) -> Cam<K, V> {
         assert!(capacity > 0, "zero-capacity CAM");
-        Cam { slots: vec![None; capacity], lookups: 0, hits: 0 }
+        Cam {
+            slots: vec![None; capacity],
+            lookups: 0,
+            hits: 0,
+        }
     }
 
     /// Total slots.
@@ -93,7 +97,9 @@ impl<K: Eq + Clone, V: Clone> Cam<K, V> {
 
     /// Iterate over occupied entries (slot order).
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.slots.iter().filter_map(|s| s.as_ref().map(|(k, v)| (k, v)))
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (k, v)))
     }
 }
 

@@ -137,12 +137,22 @@ impl Dram {
         assert_eq!(config.row_bytes % config.line_bytes, 0);
         assert!(config.queue_depth > 0);
         Dram {
-            banks: vec![Bank { open_row: None, ready_at: 0 }; config.banks],
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    ready_at: 0
+                };
+                config.banks
+            ],
             queue: VecDeque::new(),
             in_flight: Vec::new(),
             completed: VecDeque::new(),
             bus_free_at: 0,
-            next_refresh: if config.t_refi == 0 { u64::MAX } else { config.t_refi },
+            next_refresh: if config.t_refi == 0 {
+                u64::MAX
+            } else {
+                config.t_refi
+            },
             storage: BTreeMap::new(),
             stats: DramStats::default(),
             cycle: 0,
@@ -169,7 +179,14 @@ impl Dram {
         }
         let line = req.addr / self.config.line_bytes as u64;
         let (bank, row) = self.map(line);
-        self.queue.push_back(Queued { req, bank, row, line, arrived: self.cycle, activated: false });
+        self.queue.push_back(Queued {
+            req,
+            bank,
+            row,
+            line,
+            arrived: self.cycle,
+            activated: false,
+        });
         true
     }
 
@@ -242,7 +259,11 @@ impl Dram {
     }
 
     fn first_row_hit(&self) -> Option<usize> {
-        let scan = if self.config.fr_fcfs { self.queue.len() } else { 1 };
+        let scan = if self.config.fr_fcfs {
+            self.queue.len()
+        } else {
+            1
+        };
         self.queue.iter().take(scan).position(|q| {
             let b = &self.banks[q.bank];
             b.ready_at <= self.cycle && b.open_row == Some(q.row)
@@ -311,7 +332,10 @@ mod tests {
     use super::*;
 
     fn no_refresh() -> DramConfig {
-        DramConfig { t_refi: 0, ..DramConfig::default() }
+        DramConfig {
+            t_refi: 0,
+            ..DramConfig::default()
+        }
     }
 
     fn run_until_complete(d: &mut Dram, n: usize, max_cycles: u64) -> Vec<(u64, Option<Vec<u8>>)> {
@@ -332,8 +356,16 @@ mod tests {
     fn write_then_read_roundtrip() {
         let mut d = Dram::new(no_refresh());
         let line: Vec<u8> = (0..64).collect();
-        assert!(d.submit(DramRequest { tag: 1, addr: 0x1000, write: Some(line.clone()) }));
-        assert!(d.submit(DramRequest { tag: 2, addr: 0x1000, write: None }));
+        assert!(d.submit(DramRequest {
+            tag: 1,
+            addr: 0x1000,
+            write: Some(line.clone())
+        }));
+        assert!(d.submit(DramRequest {
+            tag: 2,
+            addr: 0x1000,
+            write: None
+        }));
         let done = run_until_complete(&mut d, 2, 1000);
         assert_eq!(done[0].0, 1);
         assert!(done[0].1.is_none());
@@ -344,7 +376,11 @@ mod tests {
     #[test]
     fn unwritten_reads_return_zeroes() {
         let mut d = Dram::new(no_refresh());
-        d.submit(DramRequest { tag: 9, addr: 0x8000, write: None });
+        d.submit(DramRequest {
+            tag: 9,
+            addr: 0x8000,
+            write: None,
+        });
         let done = run_until_complete(&mut d, 1, 1000);
         assert_eq!(done[0].1.as_deref(), Some(&[0u8; 64][..]));
     }
@@ -353,18 +389,29 @@ mod tests {
     fn row_hit_faster_than_miss() {
         // First access to a row: activate (tRCD) + CAS (tCL) + burst.
         let mut d = Dram::new(no_refresh());
-        d.submit(DramRequest { tag: 0, addr: 0, write: None });
+        d.submit(DramRequest {
+            tag: 0,
+            addr: 0,
+            write: None,
+        });
         let start = d.cycle();
         run_until_complete(&mut d, 1, 1000);
         let miss_latency = d.cycle() - start;
 
         // Second access, same row: CAS + burst only.
-        d.submit(DramRequest { tag: 1, addr: 64, write: None });
+        d.submit(DramRequest {
+            tag: 1,
+            addr: 64,
+            write: None,
+        });
         let start = d.cycle();
         run_until_complete(&mut d, 1, 1000);
         let hit_latency = d.cycle() - start;
 
-        assert!(hit_latency < miss_latency, "hit {hit_latency} !< miss {miss_latency}");
+        assert!(
+            hit_latency < miss_latency,
+            "hit {hit_latency} !< miss {miss_latency}"
+        );
         assert_eq!(d.stats().row_hits, 1);
         assert_eq!(d.stats().row_misses, 1);
         assert_eq!(d.stats().row_conflicts, 0);
@@ -375,9 +422,17 @@ mod tests {
         let cfg = no_refresh();
         let row_span = (cfg.row_bytes * cfg.banks) as u64; // same bank, next row
         let mut d = Dram::new(cfg);
-        d.submit(DramRequest { tag: 0, addr: 0, write: None });
+        d.submit(DramRequest {
+            tag: 0,
+            addr: 0,
+            write: None,
+        });
         run_until_complete(&mut d, 1, 1000);
-        d.submit(DramRequest { tag: 1, addr: row_span, write: None });
+        d.submit(DramRequest {
+            tag: 1,
+            addr: row_span,
+            write: None,
+        });
         run_until_complete(&mut d, 1, 1000);
         assert_eq!(d.stats().row_conflicts, 1);
     }
@@ -393,7 +448,11 @@ mod tests {
         let mut next = 0usize;
         while done < n {
             while next < n
-                && seq.submit(DramRequest { tag: next as u64, addr: (next * 64) as u64, write: None })
+                && seq.submit(DramRequest {
+                    tag: next as u64,
+                    addr: (next * 64) as u64,
+                    write: None,
+                })
             {
                 next += 1;
             }
@@ -436,38 +495,73 @@ mod tests {
 
     #[test]
     fn refresh_steals_cycles() {
-        let with = DramConfig { t_refi: 100, t_rfc: 50, ..DramConfig::default() };
+        let with = DramConfig {
+            t_refi: 100,
+            t_rfc: 50,
+            ..DramConfig::default()
+        };
         let mut d = Dram::new(with);
         for _ in 0..1000 {
             d.tick();
         }
-        assert_eq!(d.stats().refreshes, 10, "refresh at each of 100, 200, ..., 1000");
+        assert_eq!(
+            d.stats().refreshes,
+            10,
+            "refresh at each of 100, 200, ..., 1000"
+        );
     }
 
     #[test]
     fn queue_backpressure() {
-        let cfg = DramConfig { queue_depth: 2, ..no_refresh() };
+        let cfg = DramConfig {
+            queue_depth: 2,
+            ..no_refresh()
+        };
         let mut d = Dram::new(cfg);
-        assert!(d.submit(DramRequest { tag: 0, addr: 0, write: None }));
-        assert!(d.submit(DramRequest { tag: 1, addr: 64, write: None }));
-        assert!(!d.submit(DramRequest { tag: 2, addr: 128, write: None }));
+        assert!(d.submit(DramRequest {
+            tag: 0,
+            addr: 0,
+            write: None
+        }));
+        assert!(d.submit(DramRequest {
+            tag: 1,
+            addr: 64,
+            write: None
+        }));
+        assert!(!d.submit(DramRequest {
+            tag: 2,
+            addr: 128,
+            write: None
+        }));
         assert_eq!(d.free_slots(), 0);
         run_until_complete(&mut d, 2, 1000);
-        assert!(d.submit(DramRequest { tag: 2, addr: 128, write: None }));
+        assert!(d.submit(DramRequest {
+            tag: 2,
+            addr: 128,
+            write: None
+        }));
     }
 
     #[test]
     #[should_panic(expected = "one line")]
     fn wrong_write_size_rejected() {
         let mut d = Dram::new(no_refresh());
-        d.submit(DramRequest { tag: 0, addr: 0, write: Some(vec![0u8; 32]) });
+        d.submit(DramRequest {
+            tag: 0,
+            addr: 0,
+            write: Some(vec![0u8; 32]),
+        });
     }
 
     #[test]
     fn completions_in_fifo_order_for_same_row() {
         let mut d = Dram::new(no_refresh());
         for i in 0..8u64 {
-            d.submit(DramRequest { tag: i, addr: i * 64, write: None });
+            d.submit(DramRequest {
+                tag: i,
+                addr: i * 64,
+                write: None,
+            });
         }
         let done = run_until_complete(&mut d, 8, 10_000);
         let tags: Vec<u64> = done.iter().map(|c| c.0).collect();

@@ -20,7 +20,10 @@ pub struct SramConfig {
 
 impl Default for SramConfig {
     fn default() -> Self {
-        SramConfig { entries: 1 << 16, read_latency: 5 }
+        SramConfig {
+            entries: 1 << 16,
+            read_latency: 5,
+        }
     }
 }
 
@@ -137,7 +140,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn small() -> Sram<u32> {
-        Sram::new(SramConfig { entries: 64, read_latency: 5 })
+        Sram::new(SramConfig {
+            entries: 64,
+            read_latency: 5,
+        })
     }
 
     #[test]
@@ -207,7 +213,10 @@ mod tests {
     fn throughput_one_per_cycle_sustained() {
         // After the pipeline fills, one read completes per cycle: N reads
         // in N + latency cycles.
-        let mut s = Sram::<u32>::new(SramConfig { entries: 1024, read_latency: 5 });
+        let mut s = Sram::<u32>::new(SramConfig {
+            entries: 1024,
+            read_latency: 5,
+        });
         let n = 100u64;
         let mut issued = 0u64;
         let mut collected = 0u64;

@@ -15,17 +15,26 @@ impl TernaryKey {
     pub fn new(value: &[u8], mask: &[u8]) -> TernaryKey {
         assert_eq!(value.len(), mask.len(), "value/mask width mismatch");
         let norm: Vec<u8> = value.iter().zip(mask).map(|(v, m)| v & m).collect();
-        TernaryKey { value: norm, mask: mask.to_vec() }
+        TernaryKey {
+            value: norm,
+            mask: mask.to_vec(),
+        }
     }
 
     /// An exact-match key (all mask bits set).
     pub fn exact(value: &[u8]) -> TernaryKey {
-        TernaryKey { value: value.to_vec(), mask: vec![0xff; value.len()] }
+        TernaryKey {
+            value: value.to_vec(),
+            mask: vec![0xff; value.len()],
+        }
     }
 
     /// A fully wild key of `width` bytes (matches anything).
     pub fn wildcard(width: usize) -> TernaryKey {
-        TernaryKey { value: vec![0; width], mask: vec![0; width] }
+        TernaryKey {
+            value: vec![0; width],
+            mask: vec![0; width],
+        }
     }
 
     /// Key width in bytes.
@@ -109,7 +118,12 @@ impl<V: Clone> Tcam<V> {
     /// A TCAM with `capacity` slots of `width`-byte keys.
     pub fn new(capacity: usize, width: usize) -> Tcam<V> {
         assert!(capacity > 0 && width > 0);
-        Tcam { slots: vec![None; capacity], width, lookups: 0, hits: 0 }
+        Tcam {
+            slots: vec![None; capacity],
+            width,
+            lookups: 0,
+            hits: 0,
+        }
     }
 
     /// Key width in bytes.
@@ -252,8 +266,16 @@ mod tests {
     #[test]
     fn exact_and_wildcard() {
         let mut t: Tcam<u32> = Tcam::new(8, 2);
-        t.insert(TcamEntry { key: TernaryKey::exact(&[0x12, 0x34]), priority: 10, value: 1 });
-        t.insert(TcamEntry { key: TernaryKey::wildcard(2), priority: 0, value: 99 });
+        t.insert(TcamEntry {
+            key: TernaryKey::exact(&[0x12, 0x34]),
+            priority: 10,
+            value: 1,
+        });
+        t.insert(TcamEntry {
+            key: TernaryKey::wildcard(2),
+            priority: 0,
+            value: 99,
+        });
         assert_eq!(t.lookup(&[0x12, 0x34]), Some(&1));
         assert_eq!(t.lookup(&[0x00, 0x00]), Some(&99));
         assert_eq!(t.stats(), (2, 2));
@@ -263,8 +285,16 @@ mod tests {
     fn priority_wins_over_slot_order() {
         let mut t: Tcam<&str> = Tcam::new(4, 1);
         // Low priority installed first (lower slot).
-        t.insert(TcamEntry { key: TernaryKey::wildcard(1), priority: 1, value: "low" });
-        t.insert(TcamEntry { key: TernaryKey::exact(&[5]), priority: 7, value: "high" });
+        t.insert(TcamEntry {
+            key: TernaryKey::wildcard(1),
+            priority: 1,
+            value: "low",
+        });
+        t.insert(TcamEntry {
+            key: TernaryKey::exact(&[5]),
+            priority: 7,
+            value: "high",
+        });
         assert_eq!(t.lookup(&[5]), Some(&"high"));
         assert_eq!(t.lookup(&[6]), Some(&"low"));
     }
@@ -272,8 +302,22 @@ mod tests {
     #[test]
     fn tie_breaks_by_slot_index() {
         let mut t: Tcam<u8> = Tcam::new(4, 1);
-        t.write_slot(2, Some(TcamEntry { key: TernaryKey::wildcard(1), priority: 5, value: 2 }));
-        t.write_slot(0, Some(TcamEntry { key: TernaryKey::wildcard(1), priority: 5, value: 0 }));
+        t.write_slot(
+            2,
+            Some(TcamEntry {
+                key: TernaryKey::wildcard(1),
+                priority: 5,
+                value: 2,
+            }),
+        );
+        t.write_slot(
+            0,
+            Some(TcamEntry {
+                key: TernaryKey::wildcard(1),
+                priority: 5,
+                value: 0,
+            }),
+        );
         assert_eq!(t.lookup(&[0]), Some(&0));
     }
 
@@ -302,8 +346,22 @@ mod tests {
     fn replace_and_remove() {
         let mut t: Tcam<u8> = Tcam::new(2, 1);
         let k = TernaryKey::exact(&[1]);
-        assert_eq!(t.insert(TcamEntry { key: k.clone(), priority: 1, value: 1 }), Some(0));
-        assert_eq!(t.insert(TcamEntry { key: k.clone(), priority: 1, value: 2 }), Some(0));
+        assert_eq!(
+            t.insert(TcamEntry {
+                key: k.clone(),
+                priority: 1,
+                value: 1
+            }),
+            Some(0)
+        );
+        assert_eq!(
+            t.insert(TcamEntry {
+                key: k.clone(),
+                priority: 1,
+                value: 2
+            }),
+            Some(0)
+        );
         assert_eq!(t.len(), 1);
         assert_eq!(t.lookup(&[1]), Some(&2));
         assert!(t.remove(&k, 1));
@@ -314,17 +372,39 @@ mod tests {
     #[test]
     fn capacity_full() {
         let mut t: Tcam<u8> = Tcam::new(1, 1);
-        assert!(t.insert(TcamEntry { key: TernaryKey::exact(&[1]), priority: 0, value: 0 }).is_some());
-        assert!(t.insert(TcamEntry { key: TernaryKey::exact(&[2]), priority: 0, value: 0 }).is_none());
+        assert!(t
+            .insert(TcamEntry {
+                key: TernaryKey::exact(&[1]),
+                priority: 0,
+                value: 0
+            })
+            .is_some());
+        assert!(t
+            .insert(TcamEntry {
+                key: TernaryKey::exact(&[2]),
+                priority: 0,
+                value: 0
+            })
+            .is_none());
         t.clear();
-        assert!(t.insert(TcamEntry { key: TernaryKey::exact(&[2]), priority: 0, value: 0 }).is_some());
+        assert!(t
+            .insert(TcamEntry {
+                key: TernaryKey::exact(&[2]),
+                priority: 0,
+                value: 0
+            })
+            .is_some());
     }
 
     #[test]
     #[should_panic(expected = "width mismatch")]
     fn width_mismatch_rejected() {
         let mut t: Tcam<u8> = Tcam::new(1, 2);
-        t.insert(TcamEntry { key: TernaryKey::exact(&[1]), priority: 0, value: 0 });
+        t.insert(TcamEntry {
+            key: TernaryKey::exact(&[1]),
+            priority: 0,
+            value: 0,
+        });
     }
 
     proptest! {
@@ -366,7 +446,11 @@ mod tests {
     #[test]
     fn corrupt_key_bit_causes_mismatch() {
         let mut t: Tcam<u8> = Tcam::new(4, 2);
-        t.insert(TcamEntry { key: TernaryKey::exact(&[0x12, 0x34]), priority: 1, value: 9 });
+        t.insert(TcamEntry {
+            key: TernaryKey::exact(&[0x12, 0x34]),
+            priority: 1,
+            value: 9,
+        });
         assert_eq!(t.lookup(&[0x12, 0x34]), Some(&9));
         assert_eq!(t.key_bits_per_slot(), 32);
         // Flip a care value bit: the stored key now disagrees with the wire.

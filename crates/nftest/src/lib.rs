@@ -17,8 +17,8 @@
 use netfpga_core::stream::Meta;
 use netfpga_core::time::Time;
 use netfpga_faults::FaultKind;
-use netfpga_phy::LinkState;
 use netfpga_packet::hexdump::{hexdump, summarize};
+use netfpga_phy::LinkState;
 use netfpga_projects::harness::Chassis;
 use std::collections::VecDeque;
 
@@ -199,7 +199,10 @@ pub struct TestPlan {
 impl TestPlan {
     /// An empty plan.
     pub fn new(name: &str) -> TestPlan {
-        TestPlan { name: name.to_string(), steps: Vec::new() }
+        TestPlan {
+            name: name.to_string(),
+            steps: Vec::new(),
+        }
     }
 
     /// Append: send a frame into a port.
@@ -290,7 +293,11 @@ impl TestPlan {
     /// `port0.mac.rx.bad_fcs`) to read a value in `lo..=hi`, resolved by
     /// name through the auto-mounted stat block.
     pub fn expect_stat(mut self, path: &str, lo: u64, hi: u64) -> Self {
-        self.steps.push(Step::ExpectStat { path: path.to_string(), lo, hi });
+        self.steps.push(Step::ExpectStat {
+            path: path.to_string(),
+            lo,
+            hi,
+        });
         self
     }
 
@@ -304,7 +311,12 @@ impl TestPlan {
     /// Append: expect the quantile gauge `{path}.p{q}` (`{path}.max` when
     /// `q >= 100`) to read a value in `lo..=hi`.
     pub fn expect_quantile(mut self, path: &str, q: u32, lo: u64, hi: u64) -> Self {
-        self.steps.push(Step::ExpectQuantile { path: path.to_string(), q, lo, hi });
+        self.steps.push(Step::ExpectQuantile {
+            path: path.to_string(),
+            q,
+            lo,
+            hi,
+        });
         self
     }
 
@@ -447,7 +459,10 @@ pub fn run(plan: &TestPlan, chassis: &mut Chassis) -> TestReport {
                 state.expect_phy_unordered[*port].push(frame.clone());
             }
             Step::SendDma { frame, meta } => {
-                let dma = chassis.dma.clone().expect("plan uses DMA but chassis has none");
+                let dma = chassis
+                    .dma
+                    .clone()
+                    .expect("plan uses DMA but chassis has none");
                 if let Err(err) = dma.send_with_meta(frame.clone(), *meta) {
                     failures.push(format!("step {i}: DMA TX refused: {err}"));
                 }
@@ -517,8 +532,7 @@ pub fn run(plan: &TestPlan, chassis: &mut Chassis) -> TestReport {
                         let period = chassis.sim.period(chassis.clk);
                         let deadline =
                             chassis.sim.now() + Time::from_ps(period.as_ps() * max_cycles);
-                        let recovered =
-                            chassis.sim.run_while(deadline, move || !pcs.is_up());
+                        let recovered = chassis.sim.run_while(deadline, move || !pcs.is_up());
                         state.drain(chassis);
                         if !recovered {
                             failures.push(format!(
@@ -556,8 +570,7 @@ pub fn run(plan: &TestPlan, chassis: &mut Chassis) -> TestReport {
             }
             Step::ExpectFlow { flow, lo, hi } => {
                 checks += 1;
-                if chassis.read32(netfpga_flowmon::FLOWMON_BASE) != netfpga_flowmon::FLOWMON_MAGIC
-                {
+                if chassis.read32(netfpga_flowmon::FLOWMON_BASE) != netfpga_flowmon::FLOWMON_MAGIC {
                     failures.push(format!(
                         "step {i}: ExpectFlow on a chassis without a flow-monitor \
                          block (build it with_flowmon)"
@@ -591,8 +604,7 @@ pub fn run(plan: &TestPlan, chassis: &mut Chassis) -> TestReport {
                 } else {
                     let baseline = chassis.watchdog_bites();
                     let period = chassis.sim.period(chassis.clk);
-                    let deadline =
-                        chassis.sim.now() + Time::from_ps(period.as_ps() * max_cycles);
+                    let deadline = chassis.sim.now() + Time::from_ps(period.as_ps() * max_cycles);
                     while chassis.watchdog_bites() == baseline && chassis.sim.now() < deadline {
                         chassis.run_for(Time::from_us(1));
                     }
@@ -617,8 +629,9 @@ pub fn run(plan: &TestPlan, chassis: &mut Chassis) -> TestReport {
                             ));
                         }
                     }
-                    None => failures
-                        .push(format!("step {i}: ExpectExactlyOnce on a chassis without DMA")),
+                    None => failures.push(format!(
+                        "step {i}: ExpectExactlyOnce on a chassis without DMA"
+                    )),
                 }
             }
             Step::ExpectQuantile { path, q, lo, hi } => {
@@ -696,7 +709,10 @@ pub fn run(plan: &TestPlan, chassis: &mut Chassis) -> TestReport {
                     failures.push(d);
                 }
             }
-            None => failures.push(format!("DMA: missing expected frame {idx}: {}", summarize(&e))),
+            None => failures.push(format!(
+                "DMA: missing expected frame {idx}: {}",
+                summarize(&e)
+            )),
         }
         idx += 1;
     }
@@ -704,7 +720,11 @@ pub fn run(plan: &TestPlan, chassis: &mut Chassis) -> TestReport {
         failures.push(format!("DMA: unexpected frame: {}", summarize(&g)));
     }
 
-    TestReport { name: plan.name.clone(), checks, failures }
+    TestReport {
+        name: plan.name.clone(),
+        checks,
+        failures,
+    }
 }
 
 #[cfg(test)]
@@ -753,7 +773,10 @@ mod tests {
         assert!(!report.passed());
         // Diff + 2 unexpected flood copies on ports 2 and 3.
         assert!(report.failures.iter().any(|f| f.contains("mismatch")));
-        assert!(report.failures.iter().any(|f| f.contains("unexpected frame")));
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("unexpected frame")));
     }
 
     #[test]
@@ -795,7 +818,10 @@ mod tests {
             .expect_dma(up)
             .send_dma(
                 down.clone(),
-                Meta { dst_ports: PortMask::single(1), ..Default::default() },
+                Meta {
+                    dst_ports: PortMask::single(1),
+                    ..Default::default()
+                },
             )
             .expect_phy(1, down)
             .barrier(Time::from_us(50));
@@ -866,7 +892,10 @@ mod tests {
         let plan = TestPlan::new("fault_flap")
             // Take port 0's link down, send into it: the frame is dropped
             // and counted, never forwarded.
-            .inject_fault(FaultKind::LinkDown { port: 0, duration: Time::from_us(20) })
+            .inject_fault(FaultKind::LinkDown {
+                port: 0,
+                duration: Time::from_us(20),
+            })
             .run_for(Time::from_us(1))
             .send_phy(0, f.clone())
             .run_for(Time::from_us(10))
@@ -887,8 +916,10 @@ mod tests {
     #[test]
     fn inject_fault_without_fault_plane_fails_the_plan() {
         let mut sw = ReferenceSwitch::new(&BoardSpec::sume(), 4, 1024, Time::from_ms(100));
-        let plan = TestPlan::new("no_plane")
-            .inject_fault(FaultKind::LinkDown { port: 0, duration: Time::from_us(1) });
+        let plan = TestPlan::new("no_plane").inject_fault(FaultKind::LinkDown {
+            port: 0,
+            duration: Time::from_us(1),
+        });
         let report = run(&plan, &mut sw.chassis);
         assert!(!report.passed());
         assert!(report.failures[0].contains("without a fault plane"));
@@ -905,8 +936,11 @@ mod tests {
             false,
             FaultPlan::new(12),
         );
-        let plan = TestPlan::new("range")
-            .expect_counter_in_range(FAULTS_BASE + faultregs::LINK_DOWN_DROPS, 5, 9);
+        let plan = TestPlan::new("range").expect_counter_in_range(
+            FAULTS_BASE + faultregs::LINK_DOWN_DROPS,
+            5,
+            9,
+        );
         let report = run(&plan, &mut sw.chassis);
         assert!(!report.passed());
         assert!(report.failures[0].contains("expected 5..=9, got 0"));
@@ -966,7 +1000,10 @@ mod tests {
         // prove forwarding works again.
         let plan = TestPlan::new("autonomic_recovery")
             .expect_link_state(0, LinkState::Up)
-            .inject_fault(FaultKind::LinkDown { port: 0, duration: Time::from_us(10) })
+            .inject_fault(FaultKind::LinkDown {
+                port: 0,
+                duration: Time::from_us(10),
+            })
             .run_for(Time::from_us(1))
             .expect_link_state(0, LinkState::Down)
             // 10 us window + 0.5 us hold-down + 2 us retrain ≈ 2400 cycles.
@@ -996,7 +1033,10 @@ mod tests {
             FaultPlan::new(22).with_recovery(RecoveryPolicy::default()),
         );
         let plan = TestPlan::new("too_tight")
-            .inject_fault(FaultKind::LinkDown { port: 0, duration: Time::from_us(50) })
+            .inject_fault(FaultKind::LinkDown {
+                port: 0,
+                duration: Time::from_us(50),
+            })
             .run_for(Time::from_us(1))
             // The down window alone is 10 000 cycles; 100 cannot suffice.
             .await_recovery(0, 100);
@@ -1014,8 +1054,10 @@ mod tests {
         );
         assert!(!report.passed());
         assert!(report.failures[0].contains("without a recovery plane"));
-        let report =
-            run(&TestPlan::new("no_plane_await").await_recovery(0, 100), &mut sw.chassis);
+        let report = run(
+            &TestPlan::new("no_plane_await").await_recovery(0, 100),
+            &mut sw.chassis,
+        );
         assert!(!report.passed());
         assert!(report.failures[0].contains("without a recovery plane"));
     }
@@ -1046,7 +1088,10 @@ mod tests {
             dst_port: 80,
             proto: 17,
         };
-        let absent = FiveTuple { src_port: 9999, ..tracked };
+        let absent = FiveTuple {
+            src_port: 9999,
+            ..tracked
+        };
         let mut plan = TestPlan::new("flowmon_steps");
         for _ in 0..3 {
             plan = plan.send_phy(0, pkt(4000));

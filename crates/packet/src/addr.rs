@@ -222,7 +222,10 @@ impl Ipv4Cidr {
     /// Construct a CIDR block. Panics if `prefix_len > 32`.
     pub fn new(address: Ipv4Address, prefix_len: u8) -> Self {
         assert!(prefix_len <= 32, "prefix length out of range");
-        Ipv4Cidr { address, prefix_len }
+        Ipv4Cidr {
+            address,
+            prefix_len,
+        }
     }
 
     /// The (unmasked) address component.
@@ -276,7 +279,10 @@ impl FromStr for Ipv4Cidr {
         if prefix_len > 32 {
             return Err(AddrParseError);
         }
-        Ok(Ipv4Cidr { address, prefix_len })
+        Ok(Ipv4Cidr {
+            address,
+            prefix_len,
+        })
     }
 }
 

@@ -125,11 +125,7 @@ pub struct ArpRepr {
 
 impl ArpRepr {
     /// Build a who-has request for `target` sent by (`src_mac`, `src_ip`).
-    pub fn request(
-        src_mac: EthernetAddress,
-        src_ip: Ipv4Address,
-        target: Ipv4Address,
-    ) -> ArpRepr {
+    pub fn request(src_mac: EthernetAddress, src_ip: Ipv4Address, target: Ipv4Address) -> ArpRepr {
         ArpRepr {
             operation: Operation::Request,
             source_hardware_addr: src_mac,

@@ -126,7 +126,13 @@ impl PacketBuilder {
     /// Begin an IPv4 packet (TTL 64).
     pub fn ipv4(mut self, src: Ipv4Address, dst: Ipv4Address) -> Self {
         self.content = Some(Content::Ipv4(
-            Ipv4Meta { src, dst, ttl: 64, dscp: 0, ident: 0 },
+            Ipv4Meta {
+                src,
+                dst,
+                ttl: 64,
+                dscp: 0,
+                ident: 0,
+            },
             Transport::Raw(IpProtocol::Unknown(253), Vec::new()),
         ));
         self
@@ -349,7 +355,11 @@ mod tests {
     #[test]
     fn no_pad_keeps_exact_size() {
         let (s, d) = macs();
-        let frame = PacketBuilder::new().eth(s, d).raw(EtherType::Ipv4, &[1, 2, 3]).no_pad().build();
+        let frame = PacketBuilder::new()
+            .eth(s, d)
+            .raw(EtherType::Ipv4, &[1, 2, 3])
+            .no_pad()
+            .build();
         assert_eq!(frame.len(), 17);
     }
 
@@ -363,8 +373,7 @@ mod tests {
         let eth = EthernetFrame::new_checked(&reply[..]).unwrap();
         assert_eq!(eth.dst_addr(), s);
         assert_eq!(eth.src_addr(), d);
-        let arp =
-            ArpRepr::parse(&ArpPacket::new_checked(eth.payload()).unwrap()).unwrap();
+        let arp = ArpRepr::parse(&ArpPacket::new_checked(eth.payload()).unwrap()).unwrap();
         assert_eq!(arp.operation, crate::arp::Operation::Reply);
         assert_eq!(arp.source_hardware_addr, d);
         // Not-for-me requests are ignored.

@@ -211,7 +211,9 @@ impl EthernetRepr {
             src_addr: frame.src_addr(),
             dst_addr: frame.dst_addr(),
             ethertype: frame.ethertype(),
-            vlan: frame.vlan_id().map(|id| (id, frame.vlan_pcp().unwrap_or(0))),
+            vlan: frame
+                .vlan_id()
+                .map(|id| (id, frame.vlan_pcp().unwrap_or(0))),
         })
     }
 

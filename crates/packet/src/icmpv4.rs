@@ -173,7 +173,10 @@ mod tests {
     #[test]
     fn echo_roundtrip() {
         let repr = Icmpv4Repr {
-            message: Message::EchoRequest { ident: 0x1234, seq: 7 },
+            message: Message::EchoRequest {
+                ident: 0x1234,
+                seq: 7,
+            },
         };
         let payload = b"netfpga ping";
         let mut buf = vec![0u8; HEADER_LEN + payload.len()];
@@ -209,10 +212,7 @@ mod tests {
         repr.emit(&mut buf, &[1, 2, 3, 4]).unwrap();
         buf[9] ^= 0x40;
         let pkt = Icmpv4Packet::new_checked(&buf[..]).unwrap();
-        assert_eq!(
-            Icmpv4Repr::parse(&pkt, true).unwrap_err(),
-            Error::Checksum
-        );
+        assert_eq!(Icmpv4Repr::parse(&pkt, true).unwrap_err(), Error::Checksum);
     }
 
     #[test]
@@ -223,7 +223,10 @@ mod tests {
     #[test]
     fn unknown_type_preserved() {
         let repr = Icmpv4Repr {
-            message: Message::Other { icmp_type: 13, code: 0 },
+            message: Message::Other {
+                icmp_type: 13,
+                code: 0,
+            },
         };
         let mut buf = vec![0u8; HEADER_LEN];
         repr.emit(&mut buf, &[]).unwrap();

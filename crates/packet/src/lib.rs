@@ -41,7 +41,7 @@ pub mod udp;
 pub use addr::{EthernetAddress, Ipv4Address, Ipv4Cidr};
 pub use builder::PacketBuilder;
 pub use ethernet::{EtherType, EthernetFrame, EthernetRepr};
-pub use ipv4::{Ipv4Packet, Ipv4Repr, IpProtocol};
+pub use ipv4::{IpProtocol, Ipv4Packet, Ipv4Repr};
 
 /// Errors produced while parsing or emitting wire formats.
 ///

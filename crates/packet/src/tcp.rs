@@ -199,8 +199,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpPacket<T> {
         self.set_checksum_field(0);
         let csum = {
             let data = self.buffer.as_ref();
-            let pseudo =
-                checksum::pseudo_header_sum(src, dst, IpProtocol::Tcp, data.len() as u16);
+            let pseudo = checksum::pseudo_header_sum(src, dst, IpProtocol::Tcp, data.len() as u16);
             checksum::checksum_with_pseudo(pseudo, data)
         };
         self.set_checksum_field(csum);

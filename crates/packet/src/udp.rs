@@ -170,7 +170,10 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let repr = UdpRepr { src_port: 5353, dst_port: 53 };
+        let repr = UdpRepr {
+            src_port: 5353,
+            dst_port: 53,
+        };
         let payload = b"query";
         let mut buf = vec![0u8; HEADER_LEN + payload.len()];
         let n = repr.emit(&mut buf, payload, SRC, DST).unwrap();
@@ -182,7 +185,10 @@ mod tests {
 
     #[test]
     fn zero_checksum_accepted() {
-        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
         let mut buf = vec![0u8; HEADER_LEN + 2];
         repr.emit(&mut buf, &[0xaa, 0xbb], SRC, DST).unwrap();
         let mut pkt = UdpPacket::new_unchecked(&mut buf[..]);
@@ -193,9 +199,13 @@ mod tests {
 
     #[test]
     fn corruption_detected() {
-        let repr = UdpRepr { src_port: 1000, dst_port: 2000 };
+        let repr = UdpRepr {
+            src_port: 1000,
+            dst_port: 2000,
+        };
         let mut buf = vec![0u8; HEADER_LEN + 8];
-        repr.emit(&mut buf, &[1, 2, 3, 4, 5, 6, 7, 8], SRC, DST).unwrap();
+        repr.emit(&mut buf, &[1, 2, 3, 4, 5, 6, 7, 8], SRC, DST)
+            .unwrap();
         buf[10] ^= 0x01;
         let pkt = UdpPacket::new_checked(&buf[..]).unwrap();
         assert!(!pkt.verify_checksum(SRC, DST));

@@ -74,7 +74,8 @@ impl PcieConfig {
 
     /// Link occupancy time for a `len`-byte DMA transfer.
     pub fn transfer_time(&self, len: usize) -> Time {
-        self.effective_bandwidth().time_for_bytes(self.tlp_bytes(len))
+        self.effective_bandwidth()
+            .time_for_bytes(self.tlp_bytes(len))
     }
 
     /// Goodput fraction for `len`-byte transfers (payload / link bytes).

@@ -127,7 +127,8 @@ impl Rings {
             self.completion_drops += 1;
             return;
         }
-        self.tx_completions.push_back(TxCompletion { seq, status, at });
+        self.tx_completions
+            .push_back(TxCompletion { seq, status, at });
         if let Some(w) = &self.completion_wake {
             w.wake();
         }
@@ -247,9 +248,13 @@ impl DmaFaultGate {
             i.tx_dropped + i.rx_dropped
         });
         let inner = self.inner.clone();
-        registry.gauge(&format!("{prefix}.tx_dropped"), move || inner.borrow().tx_dropped);
+        registry.gauge(&format!("{prefix}.tx_dropped"), move || {
+            inner.borrow().tx_dropped
+        });
         let inner = self.inner.clone();
-        registry.gauge(&format!("{prefix}.rx_dropped"), move || inner.borrow().rx_dropped);
+        registry.gauge(&format!("{prefix}.rx_dropped"), move || {
+            inner.borrow().rx_dropped
+        });
     }
 }
 
@@ -270,7 +275,11 @@ impl DmaHandle {
     /// by a fault-plane stall or wedge.
     pub fn send(&self, packet: impl Into<PktBuf>, src_port: u8) -> Result<(), SendError> {
         let packet = packet.into();
-        let meta = Meta { len: packet.len() as u16, src_port, ..Meta::default() };
+        let meta = Meta {
+            len: packet.len() as u16,
+            src_port,
+            ..Meta::default()
+        };
         self.send_with_meta(packet, meta)
     }
 
@@ -279,11 +288,7 @@ impl DmaHandle {
     ///
     /// # Errors
     /// See [`DmaHandle::send`].
-    pub fn send_with_meta(
-        &self,
-        packet: impl Into<PktBuf>,
-        meta: Meta,
-    ) -> Result<(), SendError> {
+    pub fn send_with_meta(&self, packet: impl Into<PktBuf>, meta: Meta) -> Result<(), SendError> {
         self.post(packet.into(), meta, None)
     }
 
@@ -310,7 +315,11 @@ impl DmaHandle {
         assert!(!packet.is_empty(), "empty packet");
         let mut r = self.rings.borrow_mut();
         if r.tx.len() >= self.tx_capacity {
-            return Err(if r.stalled { SendError::Stalled } else { SendError::RingFull });
+            return Err(if r.stalled {
+                SendError::Stalled
+            } else {
+                SendError::RingFull
+            });
         }
         meta.len = packet.len() as u16;
         r.tx.push_back((packet, meta, seq));
@@ -509,7 +518,10 @@ impl DmaEngine {
         let from_card = self.from_card.clone();
         move || {
             let r = rings.borrow();
-            (r.work_done, !r.tx.is_empty() || r.injecting || from_card.can_pop())
+            (
+                r.work_done,
+                !r.tx.is_empty() || r.injecting || from_card.can_pop(),
+            )
         }
     }
 
@@ -567,8 +579,12 @@ impl Module for DmaEngine {
                         r.push_completion(s, TxStatus::Dropped, ctx.now, cap);
                     }
                     drop(r);
-                    self.fault.as_ref().expect("gate present").inner.borrow_mut().tx_dropped +=
-                        1;
+                    self.fault
+                        .as_ref()
+                        .expect("gate present")
+                        .inner
+                        .borrow_mut()
+                        .tx_dropped += 1;
                 } else {
                     self.h2c_free_at = ctx.now + self.config.transfer_time(packet.len());
                     meta.ingress_time = ctx.now;
@@ -605,8 +621,12 @@ impl Module for DmaEngine {
                 if let Some((packet, meta)) = self.reasm.push(word) {
                     self.c2h_free_at = ctx.now + self.config.transfer_time(packet.len());
                     if dropping {
-                        self.fault.as_ref().expect("gate present").inner.borrow_mut().rx_dropped +=
-                            1;
+                        self.fault
+                            .as_ref()
+                            .expect("gate present")
+                            .inner
+                            .borrow_mut()
+                            .rx_dropped += 1;
                         return;
                     }
                     let mut r = self.rings.borrow_mut();
@@ -673,9 +693,7 @@ impl Module for DmaEngine {
     /// `free_at` pacing marks are irrelevant then — with empty queues a
     /// tick is a no-op at any future instant too.
     fn is_quiescent(&self) -> bool {
-        self.inject.is_empty()
-            && !self.from_card.can_pop()
-            && self.rings.borrow().tx.is_empty()
+        self.inject.is_empty() && !self.from_card.can_pop() && self.rings.borrow().tx.is_empty()
     }
 
     /// External activity channels: host sends into the TX ring, card words
@@ -804,8 +822,7 @@ mod tests {
         let (h2c_tx, h2c_rx) = Stream::new(8, 32);
         let (c2h_tx, c2h_rx) = Stream::new(8, 32);
         let gate = DmaFaultGate::new();
-        let (engine, handle) =
-            DmaEngine::new("dma", PcieConfig::gen3_x8(), h2c_tx, c2h_rx, 8, 8);
+        let (engine, handle) = DmaEngine::new("dma", PcieConfig::gen3_x8(), h2c_tx, c2h_rx, 8, 8);
         let engine = engine.with_fault_gate(gate.clone());
         let (sink, captured) = PacketSink::new("to_card_sink", h2c_rx);
         let (source, inject) = PacketSource::new("from_card_src", c2h_tx);
@@ -870,7 +887,10 @@ mod tests {
     #[test]
     fn sequenced_send_acks_on_delivery() {
         let (mut sim, handle, _inject, captured) = setup(8, 8);
-        let meta = Meta { src_port: 3, ..Meta::default() };
+        let meta = Meta {
+            src_port: 3,
+            ..Meta::default()
+        };
         handle.send_sequenced(vec![0xaau8; 200], meta, 17).unwrap();
         assert_eq!(handle.completions_pending(), 0);
         sim.run_until(Time::from_us(5));
@@ -910,7 +930,9 @@ mod tests {
     fn drop_window_reports_dropped_completion() {
         let (mut sim, handle, _inject, captured, gate) = setup_with_gate();
         gate.drop_until(Time::from_us(5));
-        handle.send_sequenced(vec![7u8; 64], Meta::default(), 1).unwrap();
+        handle
+            .send_sequenced(vec![7u8; 64], Meta::default(), 1)
+            .unwrap();
         sim.run_until(Time::from_us(4));
         assert_eq!(captured.total_packets(), 0);
         let c = handle.pop_completion().expect("drop completion");
@@ -930,16 +952,19 @@ mod tests {
         let (h2c_tx, h2c_rx) = Stream::new(8, 32);
         let (c2h_tx, c2h_rx) = Stream::new(8, 32);
         let gate = DmaFaultGate::new();
-        let (engine, handle) =
-            DmaEngine::new("dma", PcieConfig::gen3_x8(), h2c_tx, c2h_rx, 2, 8);
+        let (engine, handle) = DmaEngine::new("dma", PcieConfig::gen3_x8(), h2c_tx, c2h_rx, 2, 8);
         let engine = engine.with_fault_gate(gate.clone());
         let (sink, captured) = PacketSink::new("to_card_sink", h2c_rx);
         let (_source, _inject) = PacketSource::new("from_card_src", c2h_tx);
         sim.add_module(clk, engine);
         sim.add_module(clk, sink);
         gate.wedge();
-        handle.send_sequenced(vec![1u8; 64], Meta::default(), 0).unwrap();
-        handle.send_sequenced(vec![2u8; 64], Meta::default(), 1).unwrap();
+        handle
+            .send_sequenced(vec![1u8; 64], Meta::default(), 0)
+            .unwrap();
+        handle
+            .send_sequenced(vec![2u8; 64], Meta::default(), 1)
+            .unwrap();
         sim.run_until(Time::from_us(3));
         assert_eq!(captured.total_packets(), 0, "wedged engine moves nothing");
         assert!(handle.is_stalled());
@@ -954,8 +979,12 @@ mod tests {
         assert_eq!(handle.tx_pending(), 0);
         assert_eq!(handle.acked(), 0);
         // Retry layer re-posts; now they deliver and ack exactly once.
-        handle.send_sequenced(vec![1u8; 64], Meta::default(), 0).unwrap();
-        handle.send_sequenced(vec![2u8; 64], Meta::default(), 1).unwrap();
+        handle
+            .send_sequenced(vec![1u8; 64], Meta::default(), 0)
+            .unwrap();
+        handle
+            .send_sequenced(vec![2u8; 64], Meta::default(), 1)
+            .unwrap();
         sim.run_until(Time::from_us(8));
         assert_eq!(captured.total_packets(), 2);
         assert_eq!(handle.acked(), 2);
@@ -970,8 +999,7 @@ mod tests {
         let (h2c_tx, h2c_rx) = Stream::new(8, 32);
         let (c2h_tx, c2h_rx) = Stream::new(8, 32);
         let gate = DmaFaultGate::new();
-        let (engine, handle) =
-            DmaEngine::new("dma", PcieConfig::gen3_x8(), h2c_tx, c2h_rx, 8, 8);
+        let (engine, handle) = DmaEngine::new("dma", PcieConfig::gen3_x8(), h2c_tx, c2h_rx, 8, 8);
         let engine = engine.with_fault_gate(gate.clone());
         let probe = engine.progress_probe();
         let (sink, _captured) = PacketSink::new("to_card_sink", h2c_rx);

@@ -41,7 +41,11 @@ impl MmioPort {
     /// after the write latency).
     pub fn post_write(&self, addr: u32, value: u32, now: Time) {
         let mut s = self.shared.borrow_mut();
-        s.requests.push_back(Request::Write { addr, value, issued: now });
+        s.requests.push_back(Request::Write {
+            addr,
+            value,
+            issued: now,
+        });
         if let Some(w) = &s.wake {
             w.wake();
         }
@@ -175,7 +179,12 @@ mod tests {
     use netfpga_core::sim::Simulator;
     use netfpga_core::time::Frequency;
 
-    fn setup() -> (Simulator, netfpga_core::sim::ClockId, MmioPort, Rc<AddressMap>) {
+    fn setup() -> (
+        Simulator,
+        netfpga_core::sim::ClockId,
+        MmioPort,
+        Rc<AddressMap>,
+    ) {
         let mut sim = Simulator::new();
         let clk = sim.add_clock("core", Frequency::mhz(200));
         let map = AddressMap::new();

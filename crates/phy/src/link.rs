@@ -91,8 +91,7 @@ impl Module for Link {
         // Move every frame that has finished serializing; a real link has
         // no per-cycle transfer limit of its own.
         while let Some(mut frame) = self.from.take_ready(ctx.now) {
-            if self.config.loss_probability > 0.0 && self.rng.chance(self.config.loss_probability)
-            {
+            if self.config.loss_probability > 0.0 && self.rng.chance(self.config.loss_probability) {
                 self.stats.dropped += 1;
                 continue;
             }
@@ -151,7 +150,10 @@ mod tests {
         let a = Wire::new();
         let b = Wire::new();
         for i in 0..n {
-            a.push(WireFrame::new(vec![i as u8; 64], Time::from_ns(i as u64 * 100)));
+            a.push(WireFrame::new(
+                vec![i as u8; 64],
+                Time::from_ns(i as u64 * 100),
+            ));
         }
         let link = Link::new("l", a, b.clone(), config);
         sim.add_module(clk, link);
@@ -165,7 +167,11 @@ mod tests {
             out.push(f);
         }
         (
-            LinkStats { forwarded, dropped: n as u64 - forwarded, corrupted: 0 },
+            LinkStats {
+                forwarded,
+                dropped: n as u64 - forwarded,
+                corrupted: 0,
+            },
             {
                 let w = Wire::new();
                 for f in out {
@@ -178,7 +184,10 @@ mod tests {
 
     #[test]
     fn ideal_link_forwards_all_with_delay() {
-        let cfg = LinkConfig { delay: Time::from_ns(50), ..LinkConfig::default() };
+        let cfg = LinkConfig {
+            delay: Time::from_ns(50),
+            ..LinkConfig::default()
+        };
         let (stats, out) = run_frames(cfg, 10);
         assert_eq!(stats.forwarded, 10);
         let first = out.take_ready(Time::from_ms(1)).unwrap();
@@ -206,7 +215,11 @@ mod tests {
         for i in 0..200 {
             a.push(WireFrame::new(vec![0u8; 64], Time::from_ns(i * 10)));
         }
-        let cfg = LinkConfig { corrupt_probability: 0.5, seed: 7, ..LinkConfig::default() };
+        let cfg = LinkConfig {
+            corrupt_probability: 0.5,
+            seed: 7,
+            ..LinkConfig::default()
+        };
         sim.add_module(clk, Link::new("l", a, b.clone(), cfg));
         sim.run_until(Time::from_us(10));
         let mut corrupted = 0;
@@ -223,7 +236,11 @@ mod tests {
 
     #[test]
     fn determinism_same_seed() {
-        let cfg = LinkConfig { loss_probability: 0.5, seed: 99, ..LinkConfig::default() };
+        let cfg = LinkConfig {
+            loss_probability: 0.5,
+            seed: 99,
+            ..LinkConfig::default()
+        };
         let (s1, _) = run_frames(cfg, 500);
         let (s2, _) = run_frames(cfg, 500);
         assert_eq!(s1.forwarded, s2.forwarded);
@@ -232,7 +249,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_probability_rejected() {
-        let cfg = LinkConfig { loss_probability: 1.5, ..LinkConfig::default() };
+        let cfg = LinkConfig {
+            loss_probability: 1.5,
+            ..LinkConfig::default()
+        };
         let _ = Link::new("l", Wire::new(), Wire::new(), cfg);
     }
 }

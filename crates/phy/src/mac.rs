@@ -66,12 +66,22 @@ pub struct WireFrame {
 impl WireFrame {
     /// A frame with no FCS recorded ("assume good", tester-injected).
     pub fn new(data: impl Into<PktBuf>, ready_at: Time) -> WireFrame {
-        WireFrame { data: data.into(), ready_at, fcs: None, fcs_fresh: false }
+        WireFrame {
+            data: data.into(),
+            ready_at,
+            fcs: None,
+            fcs_fresh: false,
+        }
     }
 
     /// A frame carrying the FCS computed over its current bytes.
     pub fn with_fcs(data: impl Into<PktBuf>, ready_at: Time, fcs: u32) -> WireFrame {
-        WireFrame { data: data.into(), ready_at, fcs: Some(fcs), fcs_fresh: true }
+        WireFrame {
+            data: data.into(),
+            ready_at,
+            fcs: Some(fcs),
+            fcs_fresh: true,
+        }
     }
 
     /// Mutable access to the frame bytes, copy-on-write: sibling references
@@ -218,7 +228,12 @@ pub struct EthMacTx {
 
 impl EthMacTx {
     /// Create a TX MAC at `rate` draining `input` onto `wire`.
-    pub fn new(name: &str, rate: BitRate, input: StreamRx, wire: Wire) -> (EthMacTx, SharedMacStats) {
+    pub fn new(
+        name: &str,
+        rate: BitRate,
+        input: StreamRx,
+        wire: Wire,
+    ) -> (EthMacTx, SharedMacStats) {
         let stats = SharedMacStats::default();
         let wake = WakeHandle::new();
         input.set_wake(wake.clone());
@@ -357,7 +372,12 @@ pub struct EthMacRx {
 impl EthMacRx {
     /// Create an RX MAC delivering frames from `wire` into `output` with
     /// `src_port` stamped in the metadata.
-    pub fn new(name: &str, wire: Wire, output: StreamTx, src_port: u8) -> (EthMacRx, SharedMacStats) {
+    pub fn new(
+        name: &str,
+        wire: Wire,
+        output: StreamTx,
+        src_port: u8,
+    ) -> (EthMacRx, SharedMacStats) {
         let stats = SharedMacStats::default();
         let wake = WakeHandle::new();
         wire.set_wake(wake.clone());
@@ -397,7 +417,9 @@ impl Module for EthMacRx {
             // Fetch the next fully-arrived frame once the previous is
             // segmented.
             if self.pending.is_empty() {
-                let Some(frame) = self.wire.take_ready(ctx.now) else { break };
+                let Some(frame) = self.wire.take_ready(ctx.now) else {
+                    break;
+                };
                 // FCS check: a frame whose recorded FCS no longer matches
                 // its bytes was corrupted in flight — drop it here, as the
                 // hardware MAC does, and count it. A *fresh* FCS needs no
@@ -624,10 +646,19 @@ mod tests {
         wire.push(corrupted);
         wire.push(WireFrame::new(vec![0x22; 64], Time::ZERO));
         // A stale-but-unmodified FCS still verifies by recomputation.
-        wire.push(WireFrame { data: good.clone().into(), ready_at: Time::ZERO, fcs: Some(fcs), fcs_fresh: false });
+        wire.push(WireFrame {
+            data: good.clone().into(),
+            ready_at: Time::ZERO,
+            fcs: Some(fcs),
+            fcs_fresh: false,
+        });
         sim.run_until(Time::from_us(1));
 
-        assert_eq!(capture.total_packets(), 3, "good + unchecked + stale-valid delivered");
+        assert_eq!(
+            capture.total_packets(),
+            3,
+            "good + unchecked + stale-valid delivered"
+        );
         assert_eq!(capture.pop().unwrap().data, good);
         assert_eq!(capture.pop().unwrap().data, vec![0x22; 64]);
         assert_eq!(capture.pop().unwrap().data, good);

@@ -71,7 +71,11 @@ pub struct PcsConfig {
 
 impl Default for PcsConfig {
     fn default() -> PcsConfig {
-        PcsConfig { retrain_cycles: 2000, holddown_cycles: 400, rejoin_cycles: 4000 }
+        PcsConfig {
+            retrain_cycles: 2000,
+            holddown_cycles: 400,
+            rejoin_cycles: 4000,
+        }
     }
 }
 
@@ -208,7 +212,10 @@ impl PcsPort {
             wake: WakeHandle::new(),
         }));
         let counters = PcsCounters::default();
-        let handle = PcsHandle { inner: inner.clone(), counters: counters.clone() };
+        let handle = PcsHandle {
+            inner: inner.clone(),
+            counters: counters.clone(),
+        };
         (
             PcsPort {
                 label: name.to_string(),
@@ -233,7 +240,12 @@ impl PcsPort {
 
     fn emit(&self, kind: EventKind, data: u32, at: netfpga_core::time::Time) {
         if let Some(ring) = &self.ring {
-            ring.push(Event { kind, port: self.port, data, at });
+            ring.push(Event {
+                kind,
+                port: self.port,
+                data,
+                at,
+            });
         }
     }
 }
@@ -357,13 +369,21 @@ mod tests {
     fn tick_n(pcs: &mut PcsPort, n: u64, start_cycle: u64) -> u64 {
         for i in 0..n {
             let c = start_cycle + i;
-            pcs.tick(&TickContext { now: Time::from_ns(5 * c), cycle: c, period: Time::from_ns(5) });
+            pcs.tick(&TickContext {
+                now: Time::from_ns(5 * c),
+                cycle: c,
+                period: Time::from_ns(5),
+            });
         }
         start_cycle + n
     }
 
     fn cfg() -> PcsConfig {
-        PcsConfig { retrain_cycles: 10, holddown_cycles: 4, rejoin_cycles: 6 }
+        PcsConfig {
+            retrain_cycles: 10,
+            holddown_cycles: 4,
+            rejoin_cycles: 6,
+        }
     }
 
     #[test]
@@ -426,7 +446,11 @@ mod tests {
             h.set_signal_lanes(3);
             c = tick_n(&mut pcs, 2, c);
         }
-        assert_eq!((h.state(), h.bonded_lanes()), (LinkState::Up, 3), "bond untouched");
+        assert_eq!(
+            (h.state(), h.bonded_lanes()),
+            (LinkState::Up, 3),
+            "bond untouched"
+        );
         assert_eq!(h.counters().rejoins.get(), 0);
         assert_eq!(h.counters().downs.get(), 1, "only the original loss");
     }
@@ -456,7 +480,10 @@ mod tests {
         h.set_signal_lanes(2);
         tick_n(&mut pcs, 1 + 4 + 10, 0);
         let kinds: Vec<EventKind> = ring.pending().iter().map(|e| e.kind).collect();
-        assert_eq!(kinds, [EventKind::LinkDown, EventKind::Retrain, EventKind::LinkUp]);
+        assert_eq!(
+            kinds,
+            [EventKind::LinkDown, EventKind::Retrain, EventKind::LinkUp]
+        );
         assert_eq!(ring.pending()[2].data, 2, "bond width on the up event");
     }
 

@@ -43,12 +43,18 @@ pub struct Lane {
 impl Lane {
     /// The standard 10 GbE lane: 10.3125 Gb/s at 64b/66b = 10.0 Gb/s.
     pub fn ten_gbe() -> Lane {
-        Lane { line_rate: BitRate::bps(10_312_500_000), encoding: Encoding::E64b66b }
+        Lane {
+            line_rate: BitRate::bps(10_312_500_000),
+            encoding: Encoding::E64b66b,
+        }
     }
 
     /// The 1 GbE lane: 1.25 Gb/s at 8b/10b = 1.0 Gb/s.
     pub fn one_gbe() -> Lane {
-        Lane { line_rate: BitRate::bps(1_250_000_000), encoding: Encoding::E8b10b }
+        Lane {
+            line_rate: BitRate::bps(1_250_000_000),
+            encoding: Encoding::E8b10b,
+        }
     }
 
     /// Effective payload rate after encoding.
@@ -69,7 +75,10 @@ pub struct PortBond {
 impl PortBond {
     /// 10GBASE-R: one lane.
     pub fn ethernet_10g() -> PortBond {
-        PortBond { lane: Lane::ten_gbe(), lanes: 1 }
+        PortBond {
+            lane: Lane::ten_gbe(),
+            lanes: 1,
+        }
     }
 
     /// XAUI: four 3.125 Gb/s lanes at 8b/10b = 10 Gb/s — how platforms
@@ -77,20 +86,29 @@ impl PortBond {
     /// through an external PHY.
     pub fn xaui() -> PortBond {
         PortBond {
-            lane: Lane { line_rate: BitRate::bps(3_125_000_000), encoding: Encoding::E8b10b },
+            lane: Lane {
+                line_rate: BitRate::bps(3_125_000_000),
+                encoding: Encoding::E8b10b,
+            },
             lanes: 4,
         }
     }
 
     /// 40GBASE-R4: four bonded 10.3125 G lanes.
     pub fn ethernet_40g() -> PortBond {
-        PortBond { lane: Lane::ten_gbe(), lanes: 4 }
+        PortBond {
+            lane: Lane::ten_gbe(),
+            lanes: 4,
+        }
     }
 
     /// 100GBASE-R10 (CAUI-10): ten bonded 10.3125 G lanes, the configuration
     /// the SUME expansion interface supports for 100 Gb/s operation.
     pub fn ethernet_100g() -> PortBond {
-        PortBond { lane: Lane::ten_gbe(), lanes: 10 }
+        PortBond {
+            lane: Lane::ten_gbe(),
+            lanes: 10,
+        }
     }
 
     /// Aggregate effective (post-encoding) rate.
@@ -142,7 +160,10 @@ mod tests {
         assert_eq!(PortBond::ethernet_10g().effective_rate(), BitRate::gbps(10));
         assert_eq!(PortBond::xaui().effective_rate(), BitRate::gbps(10));
         assert_eq!(PortBond::ethernet_40g().effective_rate(), BitRate::gbps(40));
-        assert_eq!(PortBond::ethernet_100g().effective_rate(), BitRate::gbps(100));
+        assert_eq!(
+            PortBond::ethernet_100g().effective_rate(),
+            BitRate::gbps(100)
+        );
         assert_eq!(
             PortBond::ethernet_100g().raw_rate(),
             BitRate::bps(103_125_000_000)

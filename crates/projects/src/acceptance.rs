@@ -66,7 +66,10 @@ impl AcceptanceTest {
     /// Build on `spec` with `nports` looped ports.
     pub fn new(spec: &BoardSpec, nports: usize) -> AcceptanceTest {
         let (mut chassis, io) = Chassis::new(spec, nports, AddressMap::new());
-        let ChassisIo { from_ports, to_ports } = io;
+        let ChassisIo {
+            from_ports,
+            to_ports,
+        } = io;
         let mut counters = Vec::new();
         for (i, (rx, tx)) in from_ports.into_iter().zip(to_ports).enumerate() {
             let c = PortCounters {

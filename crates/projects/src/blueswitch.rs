@@ -67,7 +67,10 @@ impl Default for FlowKeyBuilder {
 impl FlowKeyBuilder {
     /// Start from an all-wildcard key.
     pub fn new() -> FlowKeyBuilder {
-        FlowKeyBuilder { value: [0; KEY_WIDTH], mask: [0; KEY_WIDTH] }
+        FlowKeyBuilder {
+            value: [0; KEY_WIDTH],
+            mask: [0; KEY_WIDTH],
+        }
     }
 
     fn set(mut self, range: core::ops::Range<usize>, bytes: &[u8]) -> Self {
@@ -177,9 +180,16 @@ impl MatchActionPipeline {
         assert!(ntables >= 1);
         MatchActionPipeline {
             tables: (0..ntables)
-                .map(|_| [Tcam::new(capacity, KEY_WIDTH), Tcam::new(capacity, KEY_WIDTH)])
+                .map(|_| {
+                    [
+                        Tcam::new(capacity, KEY_WIDTH),
+                        Tcam::new(capacity, KEY_WIDTH),
+                    ]
+                })
                 .collect(),
-            hits: (0..ntables).map(|_| [vec![0; capacity], vec![0; capacity]]).collect(),
+            hits: (0..ntables)
+                .map(|_| [vec![0; capacity], vec![0; capacity]])
+                .collect(),
             active: 0,
             version: 0,
         }
@@ -217,7 +227,11 @@ impl MatchActionPipeline {
             .map(|a| a.kind)
             .unwrap_or(ActionKind::Controller);
         let mixed_tags = matched.windows(2).any(|w| w[0].tag != w[1].tag);
-        Classification { matched, action, mixed_tags }
+        Classification {
+            matched,
+            action,
+            mixed_tags,
+        }
     }
 
     /// Consistent path: write a rule into the **shadow** bank of `table`.
@@ -407,7 +421,10 @@ impl BlueSwitchRegisters {
         TcamEntry {
             key: TernaryKey::new(&value, &mask),
             priority: self.stage[2],
-            value: FlowAction { kind, tag: u64::from(self.stage[5]) },
+            value: FlowAction {
+                kind,
+                tag: u64::from(self.stage[5]),
+            },
         }
     }
 }
@@ -477,7 +494,13 @@ impl BlueSwitch {
     /// Build on `spec` with `nports` ports, `ntables` match tables of
     /// `capacity` rules.
     pub fn new(spec: &BoardSpec, nports: usize, ntables: usize, capacity: usize) -> BlueSwitch {
-        BlueSwitch::with_faults(spec, nports, ntables, capacity, netfpga_faults::FaultPlan::none())
+        BlueSwitch::with_faults(
+            spec,
+            nports,
+            ntables,
+            capacity,
+            netfpga_faults::FaultPlan::none(),
+        )
     }
 
     /// Same, with the fault-injection plane spliced in executing `plan`
@@ -493,7 +516,10 @@ impl BlueSwitch {
         plan: netfpga_faults::FaultPlan,
     ) -> BlueSwitch {
         let (mut chassis, io) = Chassis::with_faults(spec, nports, AddressMap::new(), false, plan);
-        let ChassisIo { from_ports, to_ports } = io;
+        let ChassisIo {
+            from_ports,
+            to_ports,
+        } = io;
         let w = chassis.bus_width();
         let cpu_port = nports as u8;
 
@@ -550,9 +576,11 @@ impl BlueSwitch {
             ];
             for (name, field) in fields {
                 let counters = counters.clone();
-                chassis.telemetry.gauge(&format!("blueswitch.{name}"), move || {
-                    field(&counters.borrow())
-                });
+                chassis
+                    .telemetry
+                    .gauge(&format!("blueswitch.{name}"), move || {
+                        field(&counters.borrow())
+                    });
             }
         }
         chassis.add_module(arbiter);
@@ -571,7 +599,12 @@ impl BlueSwitch {
         );
         chassis.attach_mmio();
 
-        BlueSwitch { chassis, pipeline, counters, cpu_port }
+        BlueSwitch {
+            chassis,
+            pipeline,
+            counters,
+            cpu_port,
+        }
     }
 
     /// Approximate FPGA cost (experiment E7).
@@ -615,13 +648,19 @@ mod tests {
     }
 
     fn output(ports: PortMask, tag: u64) -> FlowAction {
-        FlowAction { kind: ActionKind::Output(ports), tag }
+        FlowAction {
+            kind: ActionKind::Output(ports),
+            tag,
+        }
     }
 
     #[test]
     fn key_packing_roundtrip() {
         let frame = udp_frame(80);
-        let meta = Meta { src_port: 3, ..Default::default() };
+        let meta = Meta {
+            src_port: 3,
+            ..Default::default()
+        };
         let k = flow_key(&frame, &meta);
         assert_eq!(k[0], 3);
         assert_eq!(&k[1..7], mac(2).as_bytes());
@@ -634,11 +673,14 @@ mod tests {
     #[test]
     fn pipeline_match_and_default() {
         let mut p = MatchActionPipeline::new(2, 16);
-        p.write_direct(0, TcamEntry {
-            key: FlowKeyBuilder::new().l4_dst(80).ethertype(0x0800).build(),
-            priority: 1,
-            value: output(PortMask::single(1), 7),
-        });
+        p.write_direct(
+            0,
+            TcamEntry {
+                key: FlowKeyBuilder::new().l4_dst(80).ethertype(0x0800).build(),
+                priority: 1,
+                value: output(PortMask::single(1), 7),
+            },
+        );
         let frame = udp_frame(80);
         let key = flow_key(&frame, &Meta::default());
         let c = p.classify(&key);
@@ -652,16 +694,25 @@ mod tests {
     #[test]
     fn later_table_overrides() {
         let mut p = MatchActionPipeline::new(2, 16);
-        p.write_direct(0, TcamEntry {
-            key: TernaryKey::wildcard(KEY_WIDTH),
-            priority: 0,
-            value: output(PortMask::single(1), 1),
-        });
-        p.write_direct(1, TcamEntry {
-            key: FlowKeyBuilder::new().l4_dst(80).build(),
-            priority: 0,
-            value: FlowAction { kind: ActionKind::Drop, tag: 1 },
-        });
+        p.write_direct(
+            0,
+            TcamEntry {
+                key: TernaryKey::wildcard(KEY_WIDTH),
+                priority: 0,
+                value: output(PortMask::single(1), 1),
+            },
+        );
+        p.write_direct(
+            1,
+            TcamEntry {
+                key: FlowKeyBuilder::new().l4_dst(80).build(),
+                priority: 0,
+                value: FlowAction {
+                    kind: ActionKind::Drop,
+                    tag: 1,
+                },
+            },
+        );
         let c = p.classify(&flow_key(&udp_frame(80), &Meta::default()));
         assert_eq!(c.action, ActionKind::Drop);
         assert_eq!(c.matched.len(), 2);
@@ -672,13 +723,20 @@ mod tests {
     #[test]
     fn shadow_writes_invisible_until_commit() {
         let mut p = MatchActionPipeline::new(1, 16);
-        p.write_shadow(0, TcamEntry {
-            key: TernaryKey::wildcard(KEY_WIDTH),
-            priority: 0,
-            value: output(PortMask::single(2), 1),
-        });
+        p.write_shadow(
+            0,
+            TcamEntry {
+                key: TernaryKey::wildcard(KEY_WIDTH),
+                priority: 0,
+                value: output(PortMask::single(2), 1),
+            },
+        );
         let key = flow_key(&udp_frame(80), &Meta::default());
-        assert_eq!(p.classify(&key).action, ActionKind::Controller, "not visible");
+        assert_eq!(
+            p.classify(&key).action,
+            ActionKind::Controller,
+            "not visible"
+        );
         p.commit();
         assert_eq!(
             p.classify(&key).action,
@@ -697,22 +755,28 @@ mod tests {
         // rule-by-rule, classifying between every write.
         let mut p = MatchActionPipeline::new(2, 16);
         for t in 0..2 {
-            p.write_direct(t, TcamEntry {
-                key: TernaryKey::wildcard(KEY_WIDTH),
-                priority: 0,
-                value: output(PortMask::single(1), 1),
-            });
+            p.write_direct(
+                t,
+                TcamEntry {
+                    key: TernaryKey::wildcard(KEY_WIDTH),
+                    priority: 0,
+                    value: output(PortMask::single(1), 1),
+                },
+            );
         }
         let key = flow_key(&udp_frame(80), &Meta::default());
         let mut mixed = 0;
         for t in 0..2 {
-            p.clear_shadow ();
+            p.clear_shadow();
             // (clear_shadow only once; keep writing rules across steps)
-            p.write_shadow(t, TcamEntry {
-                key: TernaryKey::wildcard(KEY_WIDTH),
-                priority: 5,
-                value: output(PortMask::single(2), 2),
-            });
+            p.write_shadow(
+                t,
+                TcamEntry {
+                    key: TernaryKey::wildcard(KEY_WIDTH),
+                    priority: 5,
+                    value: output(PortMask::single(2), 2),
+                },
+            );
             if p.classify(&key).mixed_tags {
                 mixed += 1;
             }
@@ -722,11 +786,14 @@ mod tests {
         // both properly before commit.
         p.clear_shadow();
         for t in 0..2 {
-            p.write_shadow(t, TcamEntry {
-                key: TernaryKey::wildcard(KEY_WIDTH),
-                priority: 5,
-                value: output(PortMask::single(2), 2),
-            });
+            p.write_shadow(
+                t,
+                TcamEntry {
+                    key: TernaryKey::wildcard(KEY_WIDTH),
+                    priority: 5,
+                    value: output(PortMask::single(2), 2),
+                },
+            );
         }
         p.commit();
         let c = p.classify(&key);
@@ -738,32 +805,44 @@ mod tests {
     fn naive_updates_do_mix_tags() {
         let mut p = MatchActionPipeline::new(2, 16);
         for t in 0..2 {
-            p.write_direct(t, TcamEntry {
-                key: TernaryKey::wildcard(KEY_WIDTH),
-                priority: 0,
-                value: output(PortMask::single(1), 1),
-            });
+            p.write_direct(
+                t,
+                TcamEntry {
+                    key: TernaryKey::wildcard(KEY_WIDTH),
+                    priority: 0,
+                    value: output(PortMask::single(1), 1),
+                },
+            );
         }
         let key = flow_key(&udp_frame(80), &Meta::default());
         // Update table 0 to config 2, classify before table 1 is updated.
         p.clear_direct(0);
-        p.write_direct(0, TcamEntry {
-            key: TernaryKey::wildcard(KEY_WIDTH),
-            priority: 5,
-            value: output(PortMask::single(2), 2),
-        });
+        p.write_direct(
+            0,
+            TcamEntry {
+                key: TernaryKey::wildcard(KEY_WIDTH),
+                priority: 5,
+                value: output(PortMask::single(2), 2),
+            },
+        );
         let c = p.classify(&key);
-        assert!(c.mixed_tags, "packet saw config 2 in table 0, config 1 in table 1");
+        assert!(
+            c.mixed_tags,
+            "packet saw config 2 in table 0, config 1 in table 1"
+        );
     }
 
     #[test]
     fn end_to_end_forwarding() {
         let mut sw = BlueSwitch::new(&BoardSpec::sume(), 4, 2, 64);
-        sw.pipeline.borrow_mut().write_direct(0, TcamEntry {
-            key: FlowKeyBuilder::new().in_port(0).build(),
-            priority: 1,
-            value: output(PortMask::single(3), 1),
-        });
+        sw.pipeline.borrow_mut().write_direct(
+            0,
+            TcamEntry {
+                key: FlowKeyBuilder::new().in_port(0).build(),
+                priority: 1,
+                value: output(PortMask::single(3), 1),
+            },
+        );
         sw.chassis.send(0, udp_frame(80));
         sw.chassis.run_for(Time::from_us(10));
         assert_eq!(sw.chassis.recv(3).len(), 1);
@@ -791,7 +870,7 @@ mod tests {
         sw.chassis.write32(b + 12, 0); // action kind output
         sw.chassis.write32(b + 16, u32::from(PortMask::single(2).0));
         sw.chassis.write32(b + 20, 9); // tag
-        // key value/mask words left zero = full wildcard.
+                                       // key value/mask words left zero = full wildcard.
         sw.chassis.write32(b, 1); // WRITE_SHADOW
         sw.chassis.write32(b, 2); // COMMIT
         assert_eq!(sw.chassis.read32(b + 24 * 4), 1, "version");
@@ -804,17 +883,23 @@ mod tests {
     #[test]
     fn per_rule_hit_counters() {
         let mut p = MatchActionPipeline::new(1, 8);
-        let web = p.write_direct(0, TcamEntry {
-            key: FlowKeyBuilder::new().l4_dst(80).build(),
-            priority: 5,
-            value: output(PortMask::single(1), 1),
-        });
+        let web = p.write_direct(
+            0,
+            TcamEntry {
+                key: FlowKeyBuilder::new().l4_dst(80).build(),
+                priority: 5,
+                value: output(PortMask::single(1), 1),
+            },
+        );
         assert!(web);
-        p.write_direct(0, TcamEntry {
-            key: TernaryKey::wildcard(KEY_WIDTH),
-            priority: 0,
-            value: output(PortMask::single(2), 1),
-        });
+        p.write_direct(
+            0,
+            TcamEntry {
+                key: TernaryKey::wildcard(KEY_WIDTH),
+                priority: 0,
+                value: output(PortMask::single(2), 1),
+            },
+        );
         for _ in 0..3 {
             p.classify(&flow_key(&udp_frame(80), &Meta::default()));
         }
@@ -830,11 +915,14 @@ mod tests {
     #[test]
     fn flow_stats_via_registers() {
         let mut sw = BlueSwitch::new(&BoardSpec::sume(), 4, 1, 64);
-        sw.pipeline.borrow_mut().write_direct(0, TcamEntry {
-            key: TernaryKey::wildcard(KEY_WIDTH),
-            priority: 0,
-            value: output(PortMask::single(1), 1),
-        });
+        sw.pipeline.borrow_mut().write_direct(
+            0,
+            TcamEntry {
+                key: TernaryKey::wildcard(KEY_WIDTH),
+                priority: 0,
+                value: output(PortMask::single(1), 1),
+            },
+        );
         for _ in 0..4 {
             sw.chassis.send(0, udp_frame(80));
         }
@@ -862,11 +950,14 @@ mod tests {
         assert!(!p.flip_bit(0, 0));
         assert!(!p.flip_bit(2 * 2 * 16, 0));
         // Table 1, active bank (0), slot 0 is flat index (1*2 + 0)*16.
-        p.write_direct(1, TcamEntry {
-            key: FlowKeyBuilder::new().in_port(0).build(),
-            priority: 1,
-            value: output(PortMask::single(2), 1),
-        });
+        p.write_direct(
+            1,
+            TcamEntry {
+                key: FlowKeyBuilder::new().in_port(0).build(),
+                priority: 1,
+                value: output(PortMask::single(2), 1),
+            },
+        );
         let key = flow_key(&udp_frame(80), &Meta::default());
         assert_eq!(p.classify(&key).matched.len(), 1);
         // Bit 0 is value-plane byte 0 — the in_port match byte: the rule
@@ -876,11 +967,14 @@ mod tests {
         assert!(p.flip_bit(32, 0), "flip back repairs");
         assert_eq!(p.classify(&key).matched.len(), 1);
         // Shadow banks are reachable too: table 0 bank 1 is flat index 16.
-        p.write_shadow(0, TcamEntry {
-            key: TernaryKey::wildcard(KEY_WIDTH),
-            priority: 0,
-            value: output(PortMask::single(1), 2),
-        });
+        p.write_shadow(
+            0,
+            TcamEntry {
+                key: TernaryKey::wildcard(KEY_WIDTH),
+                priority: 0,
+                value: output(PortMask::single(1), 2),
+            },
+        );
         assert!(p.flip_bit(16, 0));
     }
 }

@@ -15,15 +15,15 @@ use netfpga_core::board::BoardSpec;
 use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::regs::AddressMap;
 use netfpga_core::sim::{ClockId, Module, Simulator};
+use netfpga_core::stats::Counter;
 use netfpga_core::stream::{Stream, StreamRx, StreamTx};
 use netfpga_core::telemetry::{
     EventRing, StatBlock, StatRegistry, EVENTS_BASE, EVENTS_SIZE, TELEMETRY_BASE, TELEMETRY_SIZE,
 };
 use netfpga_core::time::{BitRate, Time};
-use netfpga_core::stats::Counter;
 use netfpga_faults::{
-    FaultHandle, FaultInjector, FaultPlan, FaultRegisters, ProgressProbe, Watchdog,
-    WatchdogConfig, FAULTS_BASE,
+    FaultHandle, FaultInjector, FaultPlan, FaultRegisters, ProgressProbe, Watchdog, WatchdogConfig,
+    FAULTS_BASE,
 };
 use netfpga_pcie::{DmaEngine, DmaHandle, MmioBridge, MmioPort, PcieConfig};
 use netfpga_phy::mac::{wire_bytes, EthMacRx, EthMacTx, SharedMacStats, WireFrame};
@@ -137,8 +137,12 @@ impl Chassis {
         // flatline once the pool warms up), recycle hits, and the number of
         // copy-on-write materializations (shared buffers actually edited).
         telemetry.gauge("pool.allocs", || netfpga_core::pktbuf::pool_stats().allocs);
-        telemetry.gauge("pool.recycled", || netfpga_core::pktbuf::pool_stats().recycled);
-        telemetry.gauge("pool.cow_copies", || netfpga_core::pktbuf::pool_stats().cow_copies);
+        telemetry.gauge("pool.recycled", || {
+            netfpga_core::pktbuf::pool_stats().recycled
+        });
+        telemetry.gauge("pool.cow_copies", || {
+            netfpga_core::pktbuf::pool_stats().cow_copies
+        });
         let mut sim = Simulator::new();
         // Kernel self-observation: the fused dispatcher's own work
         // counters (edges executed, edges fast-forwarded, activity probes
@@ -205,7 +209,12 @@ impl Chassis {
             sim.add_module(clk, mac_tx.with_burst(fast_path));
             rstat.register_stats(&telemetry, &format!("port{i}.mac.rx"));
             tstat.register_stats(&telemetry, &format!("port{i}.mac.tx"));
-            ports.push(TesterPort { to_board, from_board, rate, next_free: Time::ZERO });
+            ports.push(TesterPort {
+                to_board,
+                from_board,
+                rate,
+                next_free: Time::ZERO,
+            });
             from_ports.push(rx_rx);
             to_ports.push(tx_tx);
             rx_stats.push(rstat);
@@ -234,10 +243,12 @@ impl Chassis {
                     let (mut port, ph) =
                         PcsPort::new(&format!("pcs{i}"), i as u8, lanes, policy.pcs_config());
                     port.set_event_ring(events.clone());
-                    ph.counters().register_stats(&telemetry, &format!("port{i}.pcs"));
+                    ph.counters()
+                        .register_stats(&telemetry, &format!("port{i}.pcs"));
                     let state_src = ph.clone();
-                    telemetry
-                        .gauge(&format!("port{i}.pcs.state"), move || state_src.state().code());
+                    telemetry.gauge(&format!("port{i}.pcs.state"), move || {
+                        state_src.state().code()
+                    });
                     inj.attach_pcs(i, ph.clone());
                     pcs_handles.push(ph);
                     pcs_modules.push(port);
@@ -289,7 +300,10 @@ impl Chassis {
                 recovery,
                 watchdog_bites: None,
             },
-            ChassisIo { from_ports, to_ports },
+            ChassisIo {
+                from_ports,
+                to_ports,
+            },
         )
     }
 
@@ -370,8 +384,12 @@ impl Chassis {
                 size <= TELEMETRY_SIZE,
                 "telemetry block overflows its window: {size:#x} > {TELEMETRY_SIZE:#x}"
             );
-            self.map
-                .mount("telemetry", TELEMETRY_BASE, size, netfpga_core::regs::shared(block));
+            self.map.mount(
+                "telemetry",
+                TELEMETRY_BASE,
+                size,
+                netfpga_core::regs::shared(block),
+            );
             self.map.mount(
                 "events",
                 EVENTS_BASE,

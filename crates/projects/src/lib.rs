@@ -27,6 +27,7 @@
 
 pub mod acceptance;
 pub mod blueswitch;
+pub mod fabric;
 pub mod harness;
 pub mod inventory;
 pub mod osnt;
@@ -37,11 +38,11 @@ pub mod reference_switch;
 pub mod switch_lite;
 
 pub use acceptance::AcceptanceTest;
+pub use blueswitch::BlueSwitch;
+pub use harness::{Chassis, ChassisIo};
 /// The flow-monitoring plane (re-exported so projects-level consumers
 /// reach `FlowmonConfig` and friends without a separate dependency).
 pub use netfpga_flowmon as flowmon;
-pub use blueswitch::BlueSwitch;
-pub use harness::{Chassis, ChassisIo};
 pub use osnt::OsntTester;
 pub use reference_nic::ReferenceNic;
 pub use reference_router::ReferenceRouter;

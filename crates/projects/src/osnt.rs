@@ -108,7 +108,10 @@ pub struct GeneratorHandle {
 impl GeneratorHandle {
     /// Arm the generator with a configuration and start it.
     pub fn start(&self, config: GeneratorConfig) {
-        assert!(config.frame_len >= MIN_PROBE_FRAME, "frame too short for probe header");
+        assert!(
+            config.frame_len >= MIN_PROBE_FRAME,
+            "frame too short for probe header"
+        );
         let mut s = self.shared.borrow_mut();
         s.config = Some(config);
         s.sent = 0;
@@ -205,7 +208,9 @@ impl Module for TrafficGenerator {
         }
         // Start the next frame when its departure time arrives.
         let mut s = self.shared.borrow_mut();
-        let Some(config) = s.config.clone() else { return };
+        let Some(config) = s.config.clone() else {
+            return;
+        };
         if !s.running || s.sent >= config.count || ctx.now < self.next_emit {
             return;
         }
@@ -241,7 +246,11 @@ impl Module for TrafficGenerator {
                 Time::from_ps(self.rng.exp(mean_gap.as_ps() as f64).round() as u64)
             }
         };
-        let base = if self.next_emit == Time::ZERO { ctx.now } else { self.next_emit };
+        let base = if self.next_emit == Time::ZERO {
+            ctx.now
+        } else {
+            self.next_emit
+        };
         self.next_emit = base + gap;
     }
 
@@ -356,7 +365,9 @@ impl CaptureHandle {
         let shared = self.shared.borrow();
         let mut out: Vec<FlowRecord> = Vec::new();
         for (_, f) in shared.frames.iter() {
-            let Some(ft) = FiveTuple::parse(f.bytes()) else { continue };
+            let Some(ft) = FiveTuple::parse(f.bytes()) else {
+                continue;
+            };
             let len = f.len() as u64;
             match out.iter_mut().find(|r| r.flow == ft) {
                 Some(r) => {
@@ -364,7 +375,12 @@ impl CaptureHandle {
                     r.bytes += len;
                     r.estimate += 1;
                 }
-                None => out.push(FlowRecord { flow: ft, packets: 1, bytes: len, estimate: 1 }),
+                None => out.push(FlowRecord {
+                    flow: ft,
+                    packets: 1,
+                    bytes: len,
+                    estimate: 1,
+                }),
             }
         }
         out
@@ -477,7 +493,12 @@ impl Module for CaptureEngine {
                         } else {
                             ctx.now
                         };
-                        s.records.push(ProbeRecord { stream_id, seq, tx_time, rx_time });
+                        s.records.push(ProbeRecord {
+                            stream_id,
+                            seq,
+                            tx_time,
+                            rx_time,
+                        });
                     }
                     None => s.non_probe += 1,
                 }
@@ -547,7 +568,9 @@ impl netfpga_core::regs::RegisterSpace for OsntRegisters {
                 let spacing = if self.stage[5] == 0 {
                     Spacing::Uniform
                 } else {
-                    Spacing::Poisson { seed: u64::from(self.stage[5]) }
+                    Spacing::Poisson {
+                        seed: u64::from(self.stage[5]),
+                    }
                 };
                 self.generator.start(GeneratorConfig {
                     spacing,
@@ -594,7 +617,10 @@ impl OsntTester {
         plan: netfpga_faults::FaultPlan,
     ) -> OsntTester {
         let (mut chassis, io) = Chassis::with_faults(spec, nports, AddressMap::new(), false, plan);
-        let ChassisIo { from_ports, to_ports } = io;
+        let ChassisIo {
+            from_ports,
+            to_ports,
+        } = io;
         let mut generators = Vec::new();
         let mut captures = Vec::new();
         for (i, (rx, tx)) in from_ports.into_iter().zip(to_ports).enumerate() {
@@ -613,16 +639,28 @@ impl OsntTester {
                 }),
             );
             let (g, c, c2) = (gh.clone(), ch.clone(), ch.clone());
-            chassis.telemetry.gauge(&format!("osnt.port{i}.gen.sent"), move || g.sent());
-            chassis.telemetry.gauge(&format!("osnt.port{i}.cap.probes"), move || c.count() as u64);
             chassis
                 .telemetry
-                .gauge(&format!("osnt.port{i}.cap.non_probe"), move || c2.non_probe());
+                .gauge(&format!("osnt.port{i}.gen.sent"), move || g.sent());
+            chassis
+                .telemetry
+                .gauge(&format!("osnt.port{i}.cap.probes"), move || {
+                    c.count() as u64
+                });
+            chassis
+                .telemetry
+                .gauge(&format!("osnt.port{i}.cap.non_probe"), move || {
+                    c2.non_probe()
+                });
             generators.push(gh);
             captures.push(ch);
         }
         chassis.attach_mmio();
-        OsntTester { chassis, generators, captures }
+        OsntTester {
+            chassis,
+            generators,
+            captures,
+        }
     }
 
     /// Approximate FPGA cost (experiment E7).
@@ -663,7 +701,10 @@ mod tests {
             "dut",
             from_board,
             to_board,
-            LinkConfig { delay, ..LinkConfig::default() },
+            LinkConfig {
+                delay,
+                ..LinkConfig::default()
+            },
         );
         o
     }
@@ -691,7 +732,10 @@ mod tests {
                     EthernetAddress::new(2, 0, 0, 0, 0, 1),
                     EthernetAddress::new(2, 0, 0, 0, 0, 2),
                 )
-                .ipv4(Ipv4Address::new(10, 0, 0, last), Ipv4Address::new(10, 0, 1, 1))
+                .ipv4(
+                    Ipv4Address::new(10, 0, 0, last),
+                    Ipv4Address::new(10, 0, 1, 1),
+                )
                 .udp(sport, 80, &[0; 30])
                 .build()
         };
@@ -756,7 +800,11 @@ mod tests {
             "lossy_dut",
             from_board,
             to_board,
-            LinkConfig { loss_probability: 0.25, seed: 42, ..LinkConfig::default() },
+            LinkConfig {
+                loss_probability: 0.25,
+                seed: 42,
+                ..LinkConfig::default()
+            },
         );
         let n = 400;
         o.generators[0].start(GeneratorConfig::probe(3, BitRate::gbps(5), 200, n));
@@ -791,11 +839,7 @@ mod tests {
             .map(|w| (w[1].tx_time - w[0].tx_time).as_ps())
             .collect();
         let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
-        let var = gaps
-            .iter()
-            .map(|&g| (g as f64 - mean).powi(2))
-            .sum::<f64>()
-            / gaps.len() as f64;
+        let var = gaps.iter().map(|&g| (g as f64 - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
         let cv = var.sqrt() / mean;
         // Exponential gaps: coefficient of variation ~ 1; uniform would be ~0.
         assert!(cv > 0.5, "cv {cv} too regular for Poisson");
@@ -832,8 +876,16 @@ mod tests {
         assert!(o2
             .chassis
             .run_while(Time::from_ms(20), move || (cap2.count() as u64) < n));
-        let sizes1: Vec<usize> = o.captures[0].frames().iter().map(|(_, f)| f.len()).collect();
-        let sizes2: Vec<usize> = o2.captures[0].frames().iter().map(|(_, f)| f.len()).collect();
+        let sizes1: Vec<usize> = o.captures[0]
+            .frames()
+            .iter()
+            .map(|(_, f)| f.len())
+            .collect();
+        let sizes2: Vec<usize> = o2.captures[0]
+            .frames()
+            .iter()
+            .map(|(_, f)| f.len())
+            .collect();
         assert_eq!(sizes1, sizes2);
     }
 
@@ -842,7 +894,9 @@ mod tests {
         let mut o = looped(Time::from_ns(50));
         o.generators[0].start(GeneratorConfig::probe(1, BitRate::gbps(1), 128, 5));
         let cap = o.captures[0].clone();
-        assert!(o.chassis.run_while(Time::from_ms(5), move || cap.count() < 5));
+        assert!(o
+            .chassis
+            .run_while(Time::from_ms(5), move || cap.count() < 5));
         let mut buf = Vec::new();
         let n = o.captures[0].export_pcap(&mut buf).unwrap();
         assert_eq!(n, 5);
@@ -868,15 +922,17 @@ mod tests {
     fn bit_errors_never_produce_bogus_latency_samples() {
         use netfpga_faults::{FaultKind, FaultPlan};
         let delay = Time::from_us(5);
-        let plan =
-            FaultPlan::new(11).at(Time::ZERO, FaultKind::SetBer { port: 0, ber: 2e-5 });
+        let plan = FaultPlan::new(11).at(Time::ZERO, FaultKind::SetBer { port: 0, ber: 2e-5 });
         let mut o = OsntTester::with_faults(&BoardSpec::sume(), 2, plan);
         let (to_board, from_board) = o.chassis.port_wires(0);
         o.chassis.add_link(
             "dut",
             from_board,
             to_board,
-            LinkConfig { delay, ..LinkConfig::default() },
+            LinkConfig {
+                delay,
+                ..LinkConfig::default()
+            },
         );
         let n = 300;
         o.generators[0].start(GeneratorConfig::probe(1, BitRate::gbps(2), 400, n));
@@ -890,11 +946,18 @@ mod tests {
         // Every corrupted probe died at the RX MAC's FCS check (a frame
         // can be hit in both directions, hence at-most-equal) ...
         let bad_fcs = o.chassis.rx_mac_stats(0).bad_fcs;
-        assert!(bad_fcs > 0 && bad_fcs <= corrupted, "bad_fcs {bad_fcs} of {corrupted}");
+        assert!(
+            bad_fcs > 0 && bad_fcs <= corrupted,
+            "bad_fcs {bad_fcs} of {corrupted}"
+        );
         // ... so the capture ledger balances: every probe was either
         // cleanly captured or honestly lost, and every loss is an FCS drop.
         let lost = o.captures[0].losses(1, n);
-        assert_eq!(o.captures[0].count() as u64 + lost, n, "captured + lost = sent");
+        assert_eq!(
+            o.captures[0].count() as u64 + lost,
+            n,
+            "captured + lost = sent"
+        );
         assert_eq!(lost, bad_fcs, "every loss is a pre-timestamp FCS drop");
         assert_eq!(o.captures[0].non_probe(), 0, "no garbled probe decodes");
         // The pinned property: no bogus samples. Every record is a valid
@@ -904,7 +967,11 @@ mod tests {
         for r in &records {
             assert_eq!(r.stream_id, 1);
             assert!(r.seq < n, "seq {} out of range", r.seq);
-            assert!(r.latency() >= delay, "latency {} below ground truth", r.latency());
+            assert!(
+                r.latency() >= delay,
+                "latency {} below ground truth",
+                r.latency()
+            );
             assert!(
                 r.latency() < delay + Time::from_us(2),
                 "bogus latency sample {} from a corrupted probe",

@@ -53,13 +53,15 @@ impl ReferenceNic {
     ) -> ReferenceNic {
         let map = AddressMap::new();
         let (mut chassis, io) = Chassis::with_faults(spec, nports, map, fast_path, plan);
-        let ChassisIo { from_ports, to_ports } = io;
+        let ChassisIo {
+            from_ports,
+            to_ports,
+        } = io;
         let w = chassis.bus_width();
 
         // RX path: ports -> arbiter -> stats -> DMA(c2h).
         let (arb_tx, arb_rx) = Stream::new(64, w);
-        let arbiter =
-            InputArbiter::new("input_arbiter", from_ports, arb_tx).with_burst(fast_path);
+        let arbiter = InputArbiter::new("input_arbiter", from_ports, arb_tx).with_burst(fast_path);
         let (stats_tx, stats_rx) = Stream::new(64, w);
         let (stats_stage, rx_stats) = StatsStage::new("rx_stats", arb_rx, stats_tx, nports);
         let stats_stage = stats_stage.with_burst(fast_path);

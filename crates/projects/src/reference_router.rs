@@ -12,9 +12,9 @@
 
 use crate::harness::{Chassis, ChassisIo};
 use netfpga_core::board::BoardSpec;
+use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::regs::{shared, AddressMap, RegisterSpace};
 use netfpga_core::resources::ResourceCost;
-use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::stream::{Meta, PortMask, Stream};
 use netfpga_core::time::Time;
 use netfpga_datapath::blocks;
@@ -321,7 +321,10 @@ impl ReferenceRouter {
         plan: netfpga_faults::FaultPlan,
     ) -> ReferenceRouter {
         let (mut chassis, io) = Chassis::with_faults(spec, nports, AddressMap::new(), false, plan);
-        let ChassisIo { from_ports, to_ports } = io;
+        let ChassisIo {
+            from_ports,
+            to_ports,
+        } = io;
         let w = chassis.bus_width();
         let cpu_port = nports as u8;
 
@@ -352,7 +355,13 @@ impl ReferenceRouter {
         let (c2h_tx, c2h_rx) = Stream::new(64, w);
         let mut outputs = to_ports;
         outputs.push(c2h_tx);
-        let oq = OutputQueues::new("output_queues", lookup_rx, outputs, make_config(), make_scheduler);
+        let oq = OutputQueues::new(
+            "output_queues",
+            lookup_rx,
+            outputs,
+            make_config(),
+            make_scheduler,
+        );
 
         lookup.register_stats(&chassis.telemetry, "pipeline.lookup");
         oq.register_stats(&chassis.telemetry, "oq");
@@ -366,9 +375,9 @@ impl ReferenceRouter {
             ];
             for (name, field) in fields {
                 let counters = counters.clone();
-                chassis.telemetry.gauge(&format!("router.{name}"), move || {
-                    field(&counters.borrow())
-                });
+                chassis
+                    .telemetry
+                    .gauge(&format!("router.{name}"), move || field(&counters.borrow()));
             }
         }
         chassis.add_module(arbiter);
@@ -388,7 +397,12 @@ impl ReferenceRouter {
         );
         chassis.attach_mmio();
 
-        ReferenceRouter { chassis, tables, counters, cpu_port }
+        ReferenceRouter {
+            chassis,
+            tables,
+            counters,
+            cpu_port,
+        }
     }
 
     /// Approximate FPGA cost (experiment E7).
@@ -437,11 +451,17 @@ mod tests {
             t.local_ips = vec![ip("10.0.0.1"), ip("10.0.1.1")];
             t.lpm.insert(
                 "10.0.0.0/24".parse().unwrap(),
-                RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: 0 },
+                RouteEntry {
+                    next_hop: Ipv4Address::UNSPECIFIED,
+                    port: 0,
+                },
             );
             t.lpm.insert(
                 "10.0.1.0/24".parse().unwrap(),
-                RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: 1 },
+                RouteEntry {
+                    next_hop: Ipv4Address::UNSPECIFIED,
+                    port: 1,
+                },
             );
             t.arp.insert(ip("10.0.0.2"), mac(0xa2));
             t.arp.insert(ip("10.0.1.2"), mac(0xb2));
@@ -552,23 +572,22 @@ mod tests {
         let mut r = ReferenceRouter::new(&BoardSpec::sume(), 4);
         let base = ROUTER_BASE;
         // ADD_ROUTE 10.0.1.0/24 -> port 1, direct.
-        r.chassis.write32(base + 4, u32::from_be_bytes([10, 0, 1, 0]));
+        r.chassis
+            .write32(base + 4, u32::from_be_bytes([10, 0, 1, 0]));
         r.chassis.write32(base + 8, 24);
         r.chassis.write32(base + 12, 0);
         r.chassis.write32(base + 16, 1);
         r.chassis.write32(base, 1);
         assert_eq!(r.chassis.read32(base + 19 * 4), 1, "route count");
         // ADD_ARP 10.0.1.2 -> 02:..:b2
-        r.chassis.write32(base + 4, u32::from_be_bytes([10, 0, 1, 2]));
+        r.chassis
+            .write32(base + 4, u32::from_be_bytes([10, 0, 1, 2]));
         let m = mac(0xb2).to_u64();
         r.chassis.write32(base + 20, (m >> 32) as u32);
         r.chassis.write32(base + 24, m as u32);
         r.chassis.write32(base, 3);
         assert_eq!(r.chassis.read32(base + 20 * 4), 1, "arp count");
-        assert_eq!(
-            r.tables.borrow().arp.get(&ip("10.0.1.2")),
-            Some(&mac(0xb2))
-        );
+        assert_eq!(r.tables.borrow().arp.get(&ip("10.0.1.2")), Some(&mac(0xb2)));
         // SET_PORT_MAC port 1.
         r.chassis.write32(base + 16, 1);
         let pm = mac(0xe1).to_u64();
@@ -577,8 +596,7 @@ mod tests {
         r.chassis.write32(base, 6);
         assert_eq!(r.tables.borrow().port_macs[1], mac(0xe1));
         // Now hardware forwarding works end-to-end.
-        r.chassis
-            .send(0, ip_frame("10.0.0.2", "10.0.1.2", 64));
+        r.chassis.send(0, ip_frame("10.0.0.2", "10.0.1.2", 64));
         r.chassis.run_for(Time::from_us(10));
         assert_eq!(r.chassis.recv(1).len(), 1);
         // CLEAR_TABLES removes everything.

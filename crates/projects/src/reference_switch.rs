@@ -8,9 +8,9 @@
 
 use crate::harness::{Chassis, ChassisIo};
 use netfpga_core::board::BoardSpec;
+use netfpga_core::pktbuf::{pool_stats, PktBuf};
 use netfpga_core::regs::{shared, AddressMap, RegisterSpace};
 use netfpga_core::resources::ResourceCost;
-use netfpga_core::pktbuf::{pool_stats, PktBuf};
 use netfpga_core::stream::{Meta, Stream};
 use netfpga_core::time::Time;
 use netfpga_datapath::blocks;
@@ -143,7 +143,15 @@ impl ReferenceSwitch {
         fast_path: bool,
         plan: netfpga_faults::FaultPlan,
     ) -> ReferenceSwitch {
-        ReferenceSwitch::build(spec, nports, table_capacity, age_limit, fast_path, plan, None)
+        ReferenceSwitch::build(
+            spec,
+            nports,
+            table_capacity,
+            age_limit,
+            fast_path,
+            plan,
+            None,
+        )
     }
 
     /// Like [`ReferenceSwitch::with_fast_path`], with the flow-monitoring
@@ -182,7 +190,10 @@ impl ReferenceSwitch {
     ) -> ReferenceSwitch {
         let (mut chassis, io) =
             Chassis::with_faults(spec, nports, AddressMap::new(), fast_path, plan);
-        let ChassisIo { from_ports, to_ports } = io;
+        let ChassisIo {
+            from_ports,
+            to_ports,
+        } = io;
         let w = chassis.bus_width();
 
         let core = Rc::new(RefCell::new(LearningSwitchCore::new(
@@ -192,8 +203,7 @@ impl ReferenceSwitch {
         )));
 
         let (arb_tx, arb_rx) = Stream::new(64, w);
-        let arbiter =
-            InputArbiter::new("input_arbiter", from_ports, arb_tx).with_burst(fast_path);
+        let arbiter = InputArbiter::new("input_arbiter", from_ports, arb_tx).with_burst(fast_path);
         let (stats_tx, stats_rx) = Stream::new(64, w);
         let (stats_stage, rx_stats) = StatsStage::new("rx_stats", arb_rx, stats_tx, nports);
         let stats_stage = stats_stage.with_burst(fast_path);
@@ -298,7 +308,13 @@ impl ReferenceSwitch {
         LearningSwitchCore::register_stats(&core, &chassis.telemetry, "lookup");
         chassis.attach_mmio();
 
-        ReferenceSwitch { chassis, core, rx_stats, flowmon: mon, exporter: exporter_handle }
+        ReferenceSwitch {
+            chassis,
+            core,
+            rx_stats,
+            flowmon: mon,
+            exporter: exporter_handle,
+        }
     }
 
     /// Approximate FPGA cost (experiment E7).
@@ -467,7 +483,10 @@ mod tests {
         use netfpga_packet::Ipv4Address;
         PacketBuilder::new()
             .eth(mac(src), mac(dst))
-            .ipv4(Ipv4Address::new(10, 0, 0, src), Ipv4Address::new(10, 0, 0, dst))
+            .ipv4(
+                Ipv4Address::new(10, 0, 0, src),
+                Ipv4Address::new(10, 0, 0, dst),
+            )
             .udp(sport, 80, &[0xab; 40])
             .build()
     }
@@ -500,7 +519,10 @@ mod tests {
         assert_eq!(top[0].packets, 6);
         assert_eq!((top[0].flow.src_port, top[1].flow.src_port), (1000, 2000));
         // The MMIO block self-describes and matches the handle.
-        assert_eq!(sw.chassis.read32(FLOWMON_BASE), netfpga_flowmon::FLOWMON_MAGIC);
+        assert_eq!(
+            sw.chassis.read32(FLOWMON_BASE),
+            netfpga_flowmon::FLOWMON_MAGIC
+        );
         assert_eq!(sw.chassis.read32(FLOWMON_BASE + 0x10), 3, "flows tracked");
         assert_eq!(sw.chassis.read32(FLOWMON_BASE + 0x14), 10, "packets");
         // Quantile gauges exist and the exporter has sampled.

@@ -7,10 +7,10 @@
 
 use crate::harness::{Chassis, ChassisIo};
 use netfpga_core::board::BoardSpec;
+use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::regs::AddressMap;
 use netfpga_core::resources::ResourceCost;
 use netfpga_core::sim::{Module, TickContext};
-use netfpga_core::pktbuf::PktBuf;
 use netfpga_core::stream::{segment_buf, Meta, Reassembler, Stream, StreamRx, StreamTx, Word};
 use netfpga_core::time::Time;
 use netfpga_datapath::blocks;
@@ -135,7 +135,10 @@ impl SwitchLite {
     /// Build on `spec` with `nports` ports.
     pub fn new(spec: &BoardSpec, nports: usize, table_capacity: usize, age: Time) -> SwitchLite {
         let (mut chassis, io) = Chassis::new(spec, nports, AddressMap::new());
-        let ChassisIo { from_ports, to_ports } = io;
+        let ChassisIo {
+            from_ports,
+            to_ports,
+        } = io;
         let w = chassis.bus_width();
         let core = Rc::new(RefCell::new(LearningSwitchCore::new(
             nports as u8,
@@ -145,8 +148,13 @@ impl SwitchLite {
         let (arb_tx, arb_rx) = Stream::new(32, w);
         let arbiter = InputArbiter::new("input_arbiter", from_ports, arb_tx);
         let (lk_tx, lk_rx) = Stream::new(32, w);
-        let lookup =
-            PacketStage::new("lite_lookup", arb_rx, lk_tx, 4, LiteLookup { core: core.clone() });
+        let lookup = PacketStage::new(
+            "lite_lookup",
+            arb_rx,
+            lk_tx,
+            4,
+            LiteLookup { core: core.clone() },
+        );
         let splitter = LiteSplitter::new("lite_splitter", lk_rx, to_ports);
         lookup.register_stats(&chassis.telemetry, "pipeline.lookup");
         LearningSwitchCore::register_stats(&core, &chassis.telemetry, "lookup");
@@ -163,12 +171,22 @@ impl SwitchLite {
             + blocks::REG_INTERCONNECT
             + blocks::INPUT_ARBITER
             + blocks::SWITCH_LOOKUP
-            + ResourceCost { luts: 400, ffs: 500, bram_kbits: 72, dsps: 0 } // splitter
+            + ResourceCost {
+                luts: 400,
+                ffs: 500,
+                bram_kbits: 72,
+                dsps: 0,
+            } // splitter
     }
 
     /// Blocks this project instantiates (E7 reuse matrix row).
     pub fn block_names() -> &'static [&'static str] {
-        &["mac_10g", "reg_interconnect", "input_arbiter", "switch_lookup"]
+        &[
+            "mac_10g",
+            "reg_interconnect",
+            "input_arbiter",
+            "switch_lookup",
+        ]
     }
 }
 
@@ -244,8 +262,13 @@ mod tests {
         let mut sw = lite();
         // Broadcast burst: every frame must reach 3 ports.
         for _ in 0..10 {
-            sw.chassis
-                .send(0, PacketBuilder::new().eth(mac(1), EthernetAddress::BROADCAST).raw(netfpga_packet::EtherType::Arp, &[0; 46]).build());
+            sw.chassis.send(
+                0,
+                PacketBuilder::new()
+                    .eth(mac(1), EthernetAddress::BROADCAST)
+                    .raw(netfpga_packet::EtherType::Arp, &[0; 46])
+                    .build(),
+            );
         }
         sw.chassis.run_for(Time::from_ms(1));
         for p in 1..4 {

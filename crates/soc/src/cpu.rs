@@ -209,9 +209,7 @@ impl SoftCore {
             Instr::Or { rd, ra, rb } => self.write_reg(rd, r(ra) | r(rb)),
             Instr::Xor { rd, ra, rb } => self.write_reg(rd, r(ra) ^ r(rb)),
             Instr::Sltu { rd, ra, rb } => self.write_reg(rd, u32::from(r(ra) < r(rb))),
-            Instr::Addi { rd, ra, imm } => {
-                self.write_reg(rd, r(ra).wrapping_add(imm as u32))
-            }
+            Instr::Addi { rd, ra, imm } => self.write_reg(rd, r(ra).wrapping_add(imm as u32)),
             Instr::Slli { rd, ra, sh } => self.write_reg(rd, r(ra) << sh),
             Instr::Srli { rd, ra, sh } => self.write_reg(rd, r(ra) >> sh),
             Instr::Li { rd, imm } => self.write_reg(rd, imm),
@@ -427,7 +425,12 @@ mod tests {
     #[test]
     fn mmio_window_reads_and_writes_registers() {
         let map = AddressMap::new();
-        map.mount("scratchregs", 0x100, 0x100, shared(RamRegisters::new(0x100)));
+        map.mount(
+            "scratchregs",
+            0x100,
+            0x100,
+            shared(RamRegisters::new(0x100)),
+        );
         let map = Rc::new(map);
         map.write(0x110, 7);
         let program = assemble(
@@ -450,7 +453,11 @@ mod tests {
     #[test]
     fn ipc_scales_per_tick() {
         use netfpga_core::sim::{Simulator, TickContext};
-        let _ = TickContext { now: netfpga_core::time::Time::ZERO, cycle: 0, period: netfpga_core::time::Time::from_ns(5) };
+        let _ = TickContext {
+            now: netfpga_core::time::Time::ZERO,
+            cycle: 0,
+            period: netfpga_core::time::Time::from_ns(5),
+        };
         let program = assemble("loop: addi r1, r1, 1\nj loop").unwrap();
         let mut sim = Simulator::new();
         let clk = sim.add_clock("c", netfpga_core::time::Frequency::mhz(100));

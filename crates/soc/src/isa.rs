@@ -195,7 +195,10 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<u8, AsmError> {
@@ -236,7 +239,11 @@ fn parse_mem(tok: &str, line: usize) -> Result<(i32, u8), AsmError> {
     if !t.ends_with(')') {
         return Err(err(line, format!("expected off(reg), got '{t}'")));
     }
-    let off = if open == 0 { 0 } else { parse_imm(&t[..open], line)? };
+    let off = if open == 0 {
+        0
+    } else {
+        parse_imm(&t[..open], line)?
+    };
     let reg = parse_reg(&t[open + 1..t.len() - 1], line)?;
     Ok((off as i32, reg))
 }
@@ -326,9 +333,17 @@ pub fn assemble(source: &str) -> Result<Vec<Instr>, AsmError> {
                     return Err(err(line, "shift out of range"));
                 }
                 if op == "slli" {
-                    Instr::Slli { rd, ra, sh: sh as u8 }
+                    Instr::Slli {
+                        rd,
+                        ra,
+                        sh: sh as u8,
+                    }
                 } else {
-                    Instr::Srli { rd, ra, sh: sh as u8 }
+                    Instr::Srli {
+                        rd,
+                        ra,
+                        sh: sh as u8,
+                    }
                 }
             }
             "li" => Instr::Li {
@@ -364,8 +379,13 @@ pub fn assemble(source: &str) -> Result<Vec<Instr>, AsmError> {
                 rd: parse_reg(arg(1)?, line)?,
                 target: resolve(arg(2)?, line)?,
             },
-            "j" => Instr::Jal { rd: 0, target: resolve(arg(1)?, line)? },
-            "jr" => Instr::Jr { ra: parse_reg(arg(1)?, line)? },
+            "j" => Instr::Jal {
+                rd: 0,
+                target: resolve(arg(1)?, line)?,
+            },
+            "jr" => Instr::Jr {
+                ra: parse_reg(arg(1)?, line)?,
+            },
             "halt" => Instr::Halt,
             "nop" => Instr::Nop,
             other => return Err(err(line, format!("unknown opcode '{other}'"))),
@@ -383,7 +403,10 @@ pub fn assemble(source: &str) -> Result<Vec<Instr>, AsmError> {
         };
         if let Some(t) = target {
             if t > program.len() {
-                return Err(err(0, format!("instruction {i}: branch target {t} out of range")));
+                return Err(err(
+                    0,
+                    format!("instruction {i}: branch target {t} out of range"),
+                ));
             }
         }
     }
@@ -408,7 +431,14 @@ mod tests {
         .unwrap();
         assert_eq!(p.len(), 4);
         assert_eq!(p[0], Instr::Li { rd: 1, imm: 0x40 });
-        assert_eq!(p[1], Instr::Addi { rd: 2, ra: 1, imm: -4 });
+        assert_eq!(
+            p[1],
+            Instr::Addi {
+                rd: 2,
+                ra: 1,
+                imm: -4
+            }
+        );
         assert_eq!(p[3], Instr::Halt);
     }
 
@@ -424,16 +454,44 @@ mod tests {
         ",
         )
         .unwrap();
-        assert_eq!(p[0], Instr::Bne { ra: 1, rb: 0, target: 2 });
+        assert_eq!(
+            p[0],
+            Instr::Bne {
+                ra: 1,
+                rb: 0,
+                target: 2
+            }
+        );
         assert_eq!(p[1], Instr::Jal { rd: 0, target: 0 });
     }
 
     #[test]
     fn memory_syntax() {
         let p = assemble("lw r2, 8(r1)\nsw r2, (r3)\nlw r4, -4(r5)").unwrap();
-        assert_eq!(p[0], Instr::Lw { rd: 2, ra: 1, off: 8 });
-        assert_eq!(p[1], Instr::Sw { rs: 2, ra: 3, off: 0 });
-        assert_eq!(p[2], Instr::Lw { rd: 4, ra: 5, off: -4 });
+        assert_eq!(
+            p[0],
+            Instr::Lw {
+                rd: 2,
+                ra: 1,
+                off: 8
+            }
+        );
+        assert_eq!(
+            p[1],
+            Instr::Sw {
+                rs: 2,
+                ra: 3,
+                off: 0
+            }
+        );
+        assert_eq!(
+            p[2],
+            Instr::Lw {
+                rd: 4,
+                ra: 5,
+                off: -4
+            }
+        );
     }
 
     #[test]
@@ -493,6 +551,13 @@ mod tests {
     fn hex_and_negative_immediates() {
         let p = assemble("li r1, 0xdead\naddi r2, r0, -32768").unwrap();
         assert_eq!(p[0], Instr::Li { rd: 1, imm: 0xdead });
-        assert_eq!(p[1], Instr::Addi { rd: 2, ra: 0, imm: -32768 });
+        assert_eq!(
+            p[1],
+            Instr::Addi {
+                rd: 2,
+                ra: 0,
+                imm: -32768
+            }
+        );
     }
 }

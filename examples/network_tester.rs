@@ -21,7 +21,12 @@ fn measure(delay: Time, loss: f64, rate: BitRate, frames: u64) {
         "dut",
         from_board,
         to_board,
-        LinkConfig { delay, loss_probability: loss, seed: 7, ..LinkConfig::default() },
+        LinkConfig {
+            delay,
+            loss_probability: loss,
+            seed: 7,
+            ..LinkConfig::default()
+        },
     );
 
     osnt.generators[0].start(GeneratorConfig {
@@ -73,7 +78,10 @@ fn main() {
         "dut",
         from_board,
         to_board,
-        LinkConfig { delay: Time::from_us(5), ..LinkConfig::default() },
+        LinkConfig {
+            delay: Time::from_us(5),
+            ..LinkConfig::default()
+        },
     );
     osnt.generators[0].start(GeneratorConfig {
         spacing: Spacing::Poisson { seed: 3 },
@@ -89,8 +97,8 @@ fn main() {
         .map(|w| (w[1].tx_time - w[0].tx_time).as_ps() as f64)
         .collect();
     let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-    let cv = (gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64).sqrt()
-        / mean;
+    let cv =
+        (gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64).sqrt() / mean;
     println!(
         "  {} probes, inter-departure CV = {cv:.2} (≈1.0 for Poisson, 0 for CBR)",
         recs.len()

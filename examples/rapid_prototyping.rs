@@ -76,7 +76,11 @@ fn build_dedup_box(spec: &BoardSpec, window: Time) -> (Chassis, Probe) {
         arb_rx,
         stage_tx,
         8,
-        DedupLogic { seen: AgingTable::new(4096, window), window, duplicates: 0 },
+        DedupLogic {
+            seen: AgingTable::new(4096, window),
+            window,
+            duplicates: 0,
+        },
     ));
     chassis.add_module(OutputQueues::new(
         "output_queues",
@@ -116,7 +120,10 @@ fn main() {
     device.run_for(Time::from_us(50));
     let out = device.recv(1);
     println!("in:  9 frames on port 0 (3 unique x 3 copies)");
-    println!("out: {} frames on port 1 (duplicates suppressed)", out.len());
+    println!(
+        "out: {} frames on port 1 (duplicates suppressed)",
+        out.len()
+    );
     assert_eq!(out.len(), 3, "exactly the unique packets must survive");
 
     // The window ages out: the same packet sent much later passes again.
@@ -124,7 +131,10 @@ fn main() {
     device.send(0, frame(0));
     device.run_for(Time::from_us(50));
     let late = device.recv(1);
-    println!("after the 1 ms window: the old packet forwards again ({} frame)", late.len());
+    println!(
+        "after the 1 ms window: the old packet forwards again ({} frame)",
+        late.len()
+    );
     assert_eq!(late.len(), 1);
 
     // Export the waveform of the internal FIFO, as the real simulation

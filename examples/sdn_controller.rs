@@ -23,7 +23,10 @@ fn traffic_frame(flow: u8) -> Vec<u8> {
             EthernetAddress::new(2, 0, 0, 0, 0, flow),
             EthernetAddress::new(2, 0, 0, 0, 0, 0xff),
         )
-        .ipv4(Ipv4Address::new(10, 1, 0, flow), Ipv4Address::new(10, 2, 0, 1))
+        .ipv4(
+            Ipv4Address::new(10, 1, 0, flow),
+            Ipv4Address::new(10, 2, 0, 1),
+        )
         .udp(1000 + u16::from(flow), 80, b"payload")
         .build()
 }
@@ -74,7 +77,13 @@ fn main() {
     web_key[26..28].copy_from_slice(&80u16.to_be_bytes());
     web_mask[26..28].copy_from_slice(&[0xff, 0xff]);
     let rules = vec![
-        RuleSpec::from_parts(0, 10, web_key, web_mask, ActionKind::Output(PortMask::single(2))),
+        RuleSpec::from_parts(
+            0,
+            10,
+            web_key,
+            web_mask,
+            ActionKind::Output(PortMask::single(2)),
+        ),
         RuleSpec::wildcard_output(0, 1, PortMask::single(1)),
     ];
     ctl.install_atomic(&mut sw, &rules);
@@ -93,11 +102,16 @@ fn main() {
 
     let (n_naive, mixed_naive, b1, b2) = reroute(false);
     println!("naive reroute under load:");
-    println!("  classified={n_naive}  mixed-config packets={mixed_naive}  egress port1={b1} port2={b2}");
+    println!(
+        "  classified={n_naive}  mixed-config packets={mixed_naive}  egress port1={b1} port2={b2}"
+    );
 
     println!(
         "\n=> BlueSwitch's atomic commit: {mixed_atomic} packets saw a mixed configuration; \
          the naive baseline exposed {mixed_naive}."
     );
-    assert_eq!(mixed_atomic, 0, "atomic update must never mix configurations");
+    assert_eq!(
+        mixed_atomic, 0,
+        "atomic update must never mix configurations"
+    );
 }

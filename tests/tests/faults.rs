@@ -37,7 +37,10 @@ type TimedCaptures = Vec<(usize, Vec<(Vec<u8>, Time)>)>;
 /// timestamps.
 fn switch_traffic(sw: &mut ReferenceSwitch) -> TimedCaptures {
     for i in 0..12u8 {
-        sw.chassis.send(usize::from(i % 4), frame(i % 4, (i + 1) % 4, 80 + usize::from(i) * 40));
+        sw.chassis.send(
+            usize::from(i % 4),
+            frame(i % 4, (i + 1) % 4, 80 + usize::from(i) * 40),
+        );
     }
     sw.chassis.run_for(Time::from_us(200));
     (0..4).map(|p| (p, sw.chassis.recv_timed(p))).collect()
@@ -47,22 +50,25 @@ fn switch_traffic(sw: &mut ReferenceSwitch) -> TimedCaptures {
 fn inert_plan_is_bit_for_bit_identical_on_the_switch() {
     let spec = BoardSpec::sume();
     let mut plain = ReferenceSwitch::new(&spec, 4, 1024, Time::from_ms(100));
-    let mut faulted = ReferenceSwitch::with_faults(
-        &spec,
-        4,
-        1024,
-        Time::from_ms(100),
-        false,
-        FaultPlan::none(),
+    let mut faulted =
+        ReferenceSwitch::with_faults(&spec, 4, 1024, Time::from_ms(100), false, FaultPlan::none());
+    assert!(
+        faulted.chassis.faults.is_none(),
+        "inert plan splices nothing"
     );
-    assert!(faulted.chassis.faults.is_none(), "inert plan splices nothing");
 
     let a = switch_traffic(&mut plain);
     let b = switch_traffic(&mut faulted);
     assert_eq!(a, b, "frames, ports and wire timestamps must match exactly");
     for p in 0..4 {
-        assert_eq!(plain.chassis.rx_mac_stats(p), faulted.chassis.rx_mac_stats(p));
-        assert_eq!(plain.chassis.tx_mac_stats(p), faulted.chassis.tx_mac_stats(p));
+        assert_eq!(
+            plain.chassis.rx_mac_stats(p),
+            faulted.chassis.rx_mac_stats(p)
+        );
+        assert_eq!(
+            plain.chassis.tx_mac_stats(p),
+            faulted.chassis.tx_mac_stats(p)
+        );
     }
     assert_eq!(
         plain.chassis.read32(LOOKUP_BASE + 8),
@@ -79,7 +85,10 @@ fn inert_plan_is_bit_for_bit_identical_on_the_nic() {
         nic.chassis.send(2, frame(5, 6, 200));
         let _ = dma.send_with_meta(
             frame(7, 8, 150),
-            Meta { dst_ports: PortMask::single(1), ..Default::default() },
+            Meta {
+                dst_ports: PortMask::single(1),
+                ..Default::default()
+            },
         );
         nic.chassis.run_for(Time::from_us(100));
         let up = dma.recv();
@@ -87,7 +96,12 @@ fn inert_plan_is_bit_for_bit_identical_on_the_nic() {
         (up, down, dma.stats())
     };
     let a = run_nic(ReferenceNic::new(&spec, 4));
-    let b = run_nic(ReferenceNic::with_faults(&spec, 4, false, FaultPlan::none()));
+    let b = run_nic(ReferenceNic::with_faults(
+        &spec,
+        4,
+        false,
+        FaultPlan::none(),
+    ));
     assert_eq!(a.0, b.0, "host-bound packet identical");
     assert_eq!(a.1, b.1, "wire-bound frame and timestamp identical");
     assert_eq!(a.2, b.2, "DMA statistics identical");
@@ -98,8 +112,20 @@ fn seeded_plan_replays_identically() {
     let build = |seed| {
         let plan = FaultPlan::new(seed)
             .at(Time::ZERO, FaultKind::SetBer { port: 0, ber: 2e-5 })
-            .at(Time::from_us(30), FaultKind::LinkDown { port: 1, duration: Time::from_us(25) })
-            .at(Time::from_us(80), FaultKind::StreamStall { port: 2, duration: Time::from_us(10) });
+            .at(
+                Time::from_us(30),
+                FaultKind::LinkDown {
+                    port: 1,
+                    duration: Time::from_us(25),
+                },
+            )
+            .at(
+                Time::from_us(80),
+                FaultKind::StreamStall {
+                    port: 2,
+                    duration: Time::from_us(10),
+                },
+            );
         ReferenceSwitch::with_faults(&BoardSpec::sume(), 4, 1024, Time::from_ms(100), false, plan)
     };
     let run_once = |seed: u64| {
@@ -116,7 +142,9 @@ fn seeded_plan_replays_identically() {
                 c.link_down_drops.get(),
                 c.stream_stall_ticks.get(),
             ),
-            (0..4).map(|p| sw.chassis.rx_mac_stats(p)).collect::<Vec<_>>(),
+            (0..4)
+                .map(|p| sw.chassis.rx_mac_stats(p))
+                .collect::<Vec<_>>(),
         )
     };
     let a = run_once(2024);
@@ -127,7 +155,10 @@ fn seeded_plan_replays_identically() {
     assert_eq!(a.3, b.3, "same seed: same MAC counters");
 
     let c = run_once(2025);
-    assert!(a.1 == c.1, "trace holds only scheduled events, seed-independent");
+    assert!(
+        a.1 == c.1,
+        "trace holds only scheduled events, seed-independent"
+    );
     assert_ne!(a.0, c.0, "different seed: different corruption pattern");
 }
 
@@ -151,7 +182,10 @@ fn nftest_plan_shows_graceful_degradation_and_recovery() {
         .expect_phy_unordered(3, learn)
         .barrier(Time::from_us(50))
         // Flap the egress link and offer traffic: dropped, counted, no hang.
-        .inject_fault(FaultKind::LinkDown { port: 1, duration: Time::from_us(30) })
+        .inject_fault(FaultKind::LinkDown {
+            port: 1,
+            duration: Time::from_us(30),
+        })
         .run_for(Time::from_us(1))
         .send_phy(0, f.clone())
         .send_phy(0, f.clone())
@@ -183,11 +217,26 @@ fn recovery_plane_heals_flap_and_lane_loss_without_restore_events() {
     };
     let plan = FaultPlan::new(13)
         .bond(2, PortBond::ethernet_40g())
-        .at(Time::from_us(20), FaultKind::LinkDown { port: 1, duration: Time::from_us(10) })
-        .at(Time::from_us(20), FaultKind::LaneLoss { port: 2, lanes_lost: 2 })
+        .at(
+            Time::from_us(20),
+            FaultKind::LinkDown {
+                port: 1,
+                duration: Time::from_us(10),
+            },
+        )
+        .at(
+            Time::from_us(20),
+            FaultKind::LaneLoss {
+                port: 2,
+                lanes_lost: 2,
+            },
+        )
         .with_recovery(policy);
     assert!(
-        !plan.events.iter().any(|e| matches!(e.kind, FaultKind::LaneRestore { .. })),
+        !plan
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::LaneRestore { .. })),
         "the schedule must not help: no restore events"
     );
     let mut sw =
@@ -204,10 +253,18 @@ fn recovery_plane_heals_flap_and_lane_loss_without_restore_events() {
 
     // Into the fault window: unicast toward both wounded ports.
     sw.chassis.run_for(Time::from_us(15)); // now at 25 us
-    assert_eq!(sw.chassis.link_state(1), Some(LinkState::Down), "flap seen by the PCS");
+    assert_eq!(
+        sw.chassis.link_state(1),
+        Some(LinkState::Down),
+        "flap seen by the PCS"
+    );
     // Port 2's loss landed 5 us ago: hold-down (0.5 us) + retrain (2 us)
     // have already run, so it is *back up* — on the surviving lanes.
-    assert_eq!(sw.chassis.link_state(2), Some(LinkState::Up), "already re-bonded");
+    assert_eq!(
+        sw.chassis.link_state(2),
+        Some(LinkState::Up),
+        "already re-bonded"
+    );
     sw.chassis.send(0, frame(0, 1, 200));
     sw.chassis.run_for(Time::from_us(2));
     assert!(sw.chassis.recv(1).is_empty(), "dropped while down");
@@ -217,7 +274,11 @@ fn recovery_plane_heals_flap_and_lane_loss_without_restore_events() {
     // Give the window time to close and the PCS time to hold down and
     // retrain (signal back at 30 us; +0.5 us hold-down +2 us alignment).
     sw.chassis.run_for(Time::from_us(20)); // now at 47 us
-    assert_eq!(sw.chassis.link_state(1), Some(LinkState::Up), "flap healed by retrain");
+    assert_eq!(
+        sw.chassis.link_state(1),
+        Some(LinkState::Up),
+        "flap healed by retrain"
+    );
     assert_eq!(sw.chassis.link_state(2), Some(LinkState::Up), "re-bonded");
     let pcs2 = sw.chassis.pcs_handle(2).expect("recovery plane");
     assert_eq!(pcs2.bonded_lanes(), 2, "running on the surviving lanes");
@@ -227,16 +288,36 @@ fn recovery_plane_heals_flap_and_lane_loss_without_restore_events() {
     sw.chassis.send(0, frame(0, 1, 300));
     sw.chassis.send(0, frame(0, 2, 300));
     sw.chassis.run_for(Time::from_us(20));
-    assert_eq!(sw.chassis.recv(1), vec![frame(0, 1, 300)], "flapped port forwards");
-    assert_eq!(sw.chassis.recv(2), vec![frame(0, 2, 300)], "degraded port forwards");
+    assert_eq!(
+        sw.chassis.recv(1),
+        vec![frame(0, 1, 300)],
+        "flapped port forwards"
+    );
+    assert_eq!(
+        sw.chassis.recv(2),
+        vec![frame(0, 2, 300)],
+        "degraded port forwards"
+    );
 
     // The transitions all reached the chassis event ring, stamped by port.
     let evs = sw.chassis.events.pending();
     let p1: Vec<EventKind> = evs.iter().filter(|e| e.port == 1).map(|e| e.kind).collect();
     let p2: Vec<EventKind> = evs.iter().filter(|e| e.port == 2).map(|e| e.kind).collect();
-    assert_eq!(p1, [EventKind::LinkDown, EventKind::Retrain, EventKind::LinkUp]);
-    assert_eq!(p2, [EventKind::LinkDown, EventKind::Retrain, EventKind::LinkUp]);
-    assert_eq!(evs.iter().find(|e| e.port == 2 && e.kind == EventKind::LinkUp).unwrap().data, 2);
+    assert_eq!(
+        p1,
+        [EventKind::LinkDown, EventKind::Retrain, EventKind::LinkUp]
+    );
+    assert_eq!(
+        p2,
+        [EventKind::LinkDown, EventKind::Retrain, EventKind::LinkUp]
+    );
+    assert_eq!(
+        evs.iter()
+            .find(|e| e.port == 2 && e.kind == EventKind::LinkUp)
+            .unwrap()
+            .data,
+        2
+    );
 
     // And the registry carries the per-port PCS statistics.
     let stats = netfpga_host::dump_stats(&mut sw.chassis);
@@ -284,7 +365,9 @@ fn event_ring_overflow_is_counted_in_telemetry() {
 #[test]
 fn blueswitch_tcam_upsets_never_mix_configurations() {
     use netfpga_mem::{TcamEntry, TernaryKey};
-    use netfpga_projects::blueswitch::{ActionKind, BlueSwitch, FlowAction, FlowKeyBuilder, KEY_WIDTH};
+    use netfpga_projects::blueswitch::{
+        ActionKind, BlueSwitch, FlowAction, FlowKeyBuilder, KEY_WIDTH,
+    };
 
     // Flat upset index space: (table * 2 + bank) * capacity + slot.
     // Index 32 = table 1, active bank 0, slot 0; index 40 is an empty slot
@@ -292,27 +375,44 @@ fn blueswitch_tcam_upsets_never_mix_configurations() {
     let plan = FaultPlan::new(7)
         .at(
             Time::from_us(30),
-            FaultKind::MemFlip { memory: "flow_tcam".into(), index: 32, bit: 0 },
+            FaultKind::MemFlip {
+                memory: "flow_tcam".into(),
+                index: 32,
+                bit: 0,
+            },
         )
         .at(
             Time::from_us(30),
-            FaultKind::MemFlip { memory: "flow_tcam".into(), index: 40, bit: 3 },
+            FaultKind::MemFlip {
+                memory: "flow_tcam".into(),
+                index: 40,
+                bit: 3,
+            },
         );
     let mut sw = BlueSwitch::with_faults(&BoardSpec::sume(), 4, 2, 16, plan);
 
     // Config v1 (tag 1): table 0 catches everything to port 1; table 1
     // steers port-0 ingress to port 2 (last matching table wins).
-    let out = |p: u8, tag: u64| FlowAction { kind: ActionKind::Output(PortMask::single(p)), tag };
-    sw.pipeline.borrow_mut().write_direct(0, TcamEntry {
-        key: TernaryKey::wildcard(KEY_WIDTH),
-        priority: 0,
-        value: out(1, 1),
-    });
-    sw.pipeline.borrow_mut().write_direct(1, TcamEntry {
-        key: FlowKeyBuilder::new().in_port(0).build(),
-        priority: 1,
-        value: out(2, 1),
-    });
+    let out = |p: u8, tag: u64| FlowAction {
+        kind: ActionKind::Output(PortMask::single(p)),
+        tag,
+    };
+    sw.pipeline.borrow_mut().write_direct(
+        0,
+        TcamEntry {
+            key: TernaryKey::wildcard(KEY_WIDTH),
+            priority: 0,
+            value: out(1, 1),
+        },
+    );
+    sw.pipeline.borrow_mut().write_direct(
+        1,
+        TcamEntry {
+            key: FlowKeyBuilder::new().in_port(0).build(),
+            priority: 1,
+            value: out(2, 1),
+        },
+    );
 
     // Before the upset: the table-1 rule wins.
     sw.chassis.send(0, frame(1, 2, 100));
@@ -325,7 +425,10 @@ fn blueswitch_tcam_upsets_never_mix_configurations() {
     sw.chassis.run_for(Time::from_us(25)); // past the 30 us upsets
     sw.chassis.send(0, frame(1, 2, 100));
     sw.chassis.run_for(Time::from_us(10));
-    assert!(sw.chassis.recv(2).is_empty(), "corrupted rule no longer matches");
+    assert!(
+        sw.chassis.recv(2).is_empty(),
+        "corrupted rule no longer matches"
+    );
     assert_eq!(sw.chassis.recv(1).len(), 1, "fell through to the catch-all");
 
     // An atomic update still lands cleanly after the upset: shadow-write
@@ -334,11 +437,14 @@ fn blueswitch_tcam_upsets_never_mix_configurations() {
         let mut p = sw.pipeline.borrow_mut();
         p.clear_shadow();
         for t in 0..2 {
-            p.write_shadow(t, TcamEntry {
-                key: TernaryKey::wildcard(KEY_WIDTH),
-                priority: 0,
-                value: out(3, 2),
-            });
+            p.write_shadow(
+                t,
+                TcamEntry {
+                    key: TernaryKey::wildcard(KEY_WIDTH),
+                    priority: 0,
+                    value: out(3, 2),
+                },
+            );
         }
         p.commit();
     }
@@ -352,7 +458,10 @@ fn blueswitch_tcam_upsets_never_mix_configurations() {
     let c = *sw.counters.borrow();
     assert_eq!(c.packets, 3);
     assert_eq!(c.matched, 3);
-    assert_eq!(c.mixed_tag_packets, 0, "atomic semantics survive TCAM upsets");
+    assert_eq!(
+        c.mixed_tag_packets, 0,
+        "atomic semantics survive TCAM upsets"
+    );
     let stats = netfpga_host::dump_stats(&mut sw.chassis);
     assert_eq!(stats["faults.mem.detected"], 1);
     assert_eq!(stats["faults.mem.missed"], 1);
@@ -361,8 +470,12 @@ fn blueswitch_tcam_upsets_never_mix_configurations() {
 
 #[test]
 fn dma_windows_gate_the_nic_host_path() {
-    let plan = FaultPlan::new(5)
-        .at(Time::from_us(10), FaultKind::DmaDrop { duration: Time::from_us(40) });
+    let plan = FaultPlan::new(5).at(
+        Time::from_us(10),
+        FaultKind::DmaDrop {
+            duration: Time::from_us(40),
+        },
+    );
     let mut nic = ReferenceNic::with_faults(&BoardSpec::sume(), 4, false, plan);
     let dma = nic.chassis.dma.clone().expect("NIC has DMA");
     let faults = nic.chassis.faults.clone().expect("armed");
@@ -393,7 +506,10 @@ fn fault_registers_visible_over_mmio_on_plain_chassis() {
         false,
         FaultPlan::new(1).at(
             Time::ZERO,
-            FaultKind::LinkDown { port: 0, duration: Time::from_us(5) },
+            FaultKind::LinkDown {
+                port: 0,
+                duration: Time::from_us(5),
+            },
         ),
     );
     chassis.attach_mmio();

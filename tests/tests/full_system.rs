@@ -17,7 +17,10 @@ fn mac(x: u8) -> EthernetAddress {
 fn frame(src: u8, dst: u8, len: usize) -> Vec<u8> {
     PacketBuilder::new()
         .eth(mac(src), mac(dst))
-        .ipv4(Ipv4Address::new(10, 0, 0, src), Ipv4Address::new(10, 0, 0, dst))
+        .ipv4(
+            Ipv4Address::new(10, 0, 0, src),
+            Ipv4Address::new(10, 0, 0, dst),
+        )
         .udp(1000, 2000, &[])
         .pad_to(len)
         .build()
@@ -26,7 +29,11 @@ fn frame(src: u8, dst: u8, len: usize) -> Vec<u8> {
 /// Every project builds and passes a smoke frame on every platform spec.
 #[test]
 fn all_projects_on_all_platforms() {
-    for spec in [BoardSpec::sume(), BoardSpec::netfpga_10g(), BoardSpec::netfpga_1g_cml()] {
+    for spec in [
+        BoardSpec::sume(),
+        BoardSpec::netfpga_10g(),
+        BoardSpec::netfpga_1g_cml(),
+    ] {
         // Acceptance: loopback.
         let mut a = AcceptanceTest::new(&spec, 4);
         a.chassis.send(0, frame(1, 2, 100));
@@ -62,8 +69,12 @@ fn all_projects_on_all_platforms() {
         // OSNT: self-loop a probe.
         let mut o = OsntTester::new(&spec, 2);
         let (to_board, from_board) = o.chassis.port_wires(0);
-        o.chassis
-            .add_link("lo", from_board, to_board, netfpga_phy::LinkConfig::default());
+        o.chassis.add_link(
+            "lo",
+            from_board,
+            to_board,
+            netfpga_phy::LinkConfig::default(),
+        );
         o.generators[0].start(netfpga_projects::osnt::GeneratorConfig::probe(
             1,
             netfpga_core::time::BitRate::mbps(500),
@@ -72,7 +83,8 @@ fn all_projects_on_all_platforms() {
         ));
         let cap = o.captures[0].clone();
         assert!(
-            o.chassis.run_while(Time::from_ms(5), move || cap.count() < 3),
+            o.chassis
+                .run_while(Time::from_ms(5), move || cap.count() < 3),
             "{:?} osnt",
             spec.platform
         );
@@ -82,14 +94,21 @@ fn all_projects_on_all_platforms() {
 /// A fully configured router forwards on all platforms.
 #[test]
 fn router_forwards_on_all_platforms() {
-    for spec in [BoardSpec::sume(), BoardSpec::netfpga_10g(), BoardSpec::netfpga_1g_cml()] {
+    for spec in [
+        BoardSpec::sume(),
+        BoardSpec::netfpga_10g(),
+        BoardSpec::netfpga_1g_cml(),
+    ] {
         let r = ReferenceRouter::new(&spec, 4);
         {
             let mut t = r.tables.borrow_mut();
             t.port_macs = (0..4).map(|i| mac(0xe0 + i)).collect();
             t.lpm.insert(
                 "10.0.0.0/24".parse().unwrap(),
-                RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: 2 },
+                RouteEntry {
+                    next_hop: Ipv4Address::UNSPECIFIED,
+                    port: 2,
+                },
             );
             t.arp.insert(Ipv4Address::new(10, 0, 0, 7), mac(0x77));
         }

@@ -42,7 +42,13 @@ fn nic_conformance() {
         .expect_dma(up3)
         .barrier(Time::from_us(50))
         // TX: host to each port.
-        .send_dma(down.clone(), Meta { dst_ports: PortMask::single(2), ..Default::default() })
+        .send_dma(
+            down.clone(),
+            Meta {
+                dst_ports: PortMask::single(2),
+                ..Default::default()
+            },
+        )
         .expect_phy(2, down)
         .barrier(Time::from_us(50))
         // Registers: two RX packets counted.
@@ -231,7 +237,10 @@ fn reliability_conformance() {
     for f in &frames {
         assert!(channel.send(
             f.clone(),
-            Meta { dst_ports: PortMask::single(1), ..Default::default() },
+            Meta {
+                dst_ports: PortMask::single(1),
+                ..Default::default()
+            },
         ));
     }
 

@@ -643,7 +643,10 @@ fn conservation_under_congestion() {
         t.port_macs = (0..4).map(|i| mac(0xe0 + i)).collect();
         t.lpm.insert(
             "10.9.0.0/16".parse().unwrap(),
-            RouteEntry { next_hop: Ipv4Address::UNSPECIFIED, port: 3 },
+            RouteEntry {
+                next_hop: Ipv4Address::UNSPECIFIED,
+                port: 3,
+            },
         );
         t.arp.insert(Ipv4Address::new(10, 9, 0, 1), mac(0x91));
     }
@@ -675,7 +678,10 @@ fn conservation_under_congestion() {
     assert!(egressed > 0);
     // The router's MAC counters account for the rest as queue drops; the
     // key invariant is no duplication:
-    assert!(egressed + 10 < 3 * n_per_port, "congestion must drop (sanity)");
+    assert!(
+        egressed + 10 < 3 * n_per_port,
+        "congestion must drop (sanity)"
+    );
 }
 
 proptest! {

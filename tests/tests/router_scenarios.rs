@@ -23,9 +23,24 @@ fn ip(s: &str) -> Ipv4Address {
 fn setup() -> (ReferenceRouter, RouterManager) {
     let mut r = ReferenceRouter::new(&BoardSpec::sume(), 4);
     let interfaces = vec![
-        Interface { port: 0, mac: mac(0xe0), ip: ip("10.0.0.1"), subnet: "10.0.0.0/24".parse().unwrap() },
-        Interface { port: 1, mac: mac(0xe1), ip: ip("10.0.1.1"), subnet: "10.0.1.0/24".parse().unwrap() },
-        Interface { port: 2, mac: mac(0xe2), ip: ip("10.0.2.1"), subnet: "10.0.2.0/24".parse().unwrap() },
+        Interface {
+            port: 0,
+            mac: mac(0xe0),
+            ip: ip("10.0.0.1"),
+            subnet: "10.0.0.0/24".parse().unwrap(),
+        },
+        Interface {
+            port: 1,
+            mac: mac(0xe1),
+            ip: ip("10.0.1.1"),
+            subnet: "10.0.1.0/24".parse().unwrap(),
+        },
+        Interface {
+            port: 2,
+            mac: mac(0xe2),
+            ip: ip("10.0.2.1"),
+            subnet: "10.0.2.0/24".parse().unwrap(),
+        },
     ];
     let mut mgr = RouterManager::new(interfaces, r.cpu_port);
     mgr.configure(&mut r);
@@ -41,8 +56,10 @@ fn host_to_host_through_router() {
     let host_b = (mac(0xb1), ip("10.0.1.2"));
 
     // 1. A resolves the gateway.
-    r.chassis
-        .send(0, PacketBuilder::arp_request(host_a.0, host_a.1, ip("10.0.0.1")));
+    r.chassis.send(
+        0,
+        PacketBuilder::arp_request(host_a.0, host_a.1, ip("10.0.0.1")),
+    );
     mgr.run(&mut r, Time::from_us(50), Time::from_us(10));
     let replies = r.chassis.recv(0);
     assert_eq!(replies.len(), 1);
@@ -53,7 +70,12 @@ fn host_to_host_through_router() {
     let ping = PacketBuilder::new()
         .eth(host_a.0, mac(0xe0))
         .ipv4(host_a.1, ip("10.0.0.1"))
-        .icmp(Icmpv4Repr { message: Message::EchoRequest { ident: 1, seq: 1 } }, b"abc")
+        .icmp(
+            Icmpv4Repr {
+                message: Message::EchoRequest { ident: 1, seq: 1 },
+            },
+            b"abc",
+        )
         .build();
     r.chassis.send(0, ping);
     mgr.run(&mut r, Time::from_us(50), Time::from_us(10));
@@ -168,8 +190,13 @@ fn malformed_traffic_does_not_wedge() {
     r.tables.borrow_mut().arp.insert(ip("10.0.1.2"), mac(0xb2));
     // Garbage mixtures.
     r.chassis.send(0, vec![0xff; 32]); // short, meaningless
-    r.chassis
-        .send(0, PacketBuilder::new().eth(mac(1), mac(2)).raw(netfpga_packet::EtherType::Unknown(0x88cc), &[0; 60]).build());
+    r.chassis.send(
+        0,
+        PacketBuilder::new()
+            .eth(mac(1), mac(2))
+            .raw(netfpga_packet::EtherType::Unknown(0x88cc), &[0; 60])
+            .build(),
+    );
     let mut bad_csum = PacketBuilder::new()
         .eth(mac(0xa1), mac(0xe0))
         .ipv4(ip("10.0.0.2"), ip("10.0.1.2"))
@@ -186,6 +213,10 @@ fn malformed_traffic_does_not_wedge() {
     r.chassis.send(0, good);
     mgr.run(&mut r, Time::from_us(100), Time::from_us(20));
     let out = r.chassis.recv(1);
-    assert_eq!(out.len(), 1, "good frame forwarded despite garbage before it");
+    assert_eq!(
+        out.len(),
+        1,
+        "good frame forwarded despite garbage before it"
+    );
     assert_eq!(r.counters.borrow().dropped, 1, "bad checksum dropped");
 }

@@ -54,9 +54,12 @@ fn watchdog_firmware(threshold: u32) -> Vec<netfpga_soc::Instr> {
 #[test]
 fn flood_watchdog_flushes_table() {
     let mut sw = ReferenceSwitch::new(&BoardSpec::sume(), 4, 1024, Time::from_ms(100));
-    sw.chassis
-        .map
-        .mount("mailbox", MAILBOX_BASE, 0x100, shared(RamRegisters::new(0x100)));
+    sw.chassis.map.mount(
+        "mailbox",
+        MAILBOX_BASE,
+        0x100,
+        shared(RamRegisters::new(0x100)),
+    );
     let cpu = SoftCore::new(
         "watchdog",
         watchdog_firmware(3),
@@ -70,9 +73,17 @@ fn flood_watchdog_flushes_table() {
     sw.chassis.send(0, frame(1, 0x21));
     sw.chassis.send(0, frame(1, 0x22));
     sw.chassis.run_for(Time::from_us(30));
-    assert_eq!(sw.chassis.map.read(MAILBOX_BASE), 2, "mailbox mirrors floods");
+    assert_eq!(
+        sw.chassis.map.read(MAILBOX_BASE),
+        2,
+        "mailbox mirrors floods"
+    );
     assert_eq!(sw.chassis.map.read(MAILBOX_BASE + 4), 0, "not flushed yet");
-    assert_eq!(sw.core.borrow().table_size(Time::from_us(30)), 1, "learned src");
+    assert_eq!(
+        sw.core.borrow().table_size(Time::from_us(30)),
+        1,
+        "learned src"
+    );
 
     // Third flood crosses the threshold: firmware flushes autonomously.
     sw.chassis.send(0, frame(1, 0x23));
@@ -93,9 +104,12 @@ fn flood_watchdog_flushes_table() {
 #[test]
 fn firmware_polls_faster_than_host_could() {
     let mut sw = ReferenceSwitch::new(&BoardSpec::sume(), 4, 1024, Time::from_ms(100));
-    sw.chassis
-        .map
-        .mount("mailbox", MAILBOX_BASE, 0x100, shared(RamRegisters::new(0x100)));
+    sw.chassis.map.mount(
+        "mailbox",
+        MAILBOX_BASE,
+        0x100,
+        shared(RamRegisters::new(0x100)),
+    );
     let cpu = SoftCore::new(
         "watchdog",
         watchdog_firmware(1_000_000), // never flush: pure monitor
@@ -117,9 +131,12 @@ fn firmware_polls_faster_than_host_could() {
 #[test]
 fn host_reads_firmware_mailbox_over_pcie() {
     let mut sw = ReferenceSwitch::new(&BoardSpec::sume(), 4, 1024, Time::from_ms(100));
-    sw.chassis
-        .map
-        .mount("mailbox", MAILBOX_BASE, 0x100, shared(RamRegisters::new(0x100)));
+    sw.chassis.map.mount(
+        "mailbox",
+        MAILBOX_BASE,
+        0x100,
+        shared(RamRegisters::new(0x100)),
+    );
     let cpu = SoftCore::new(
         "watchdog",
         watchdog_firmware(2),
@@ -133,5 +150,9 @@ fn host_reads_firmware_mailbox_over_pcie() {
     sw.chassis.run_for(Time::from_us(40));
     // Host-side view through the PCIe MMIO path.
     assert_eq!(sw.chassis.read32(MAILBOX_BASE), 2);
-    assert_eq!(sw.chassis.read32(MAILBOX_BASE + 4), 1, "host sees the flush flag");
+    assert_eq!(
+        sw.chassis.read32(MAILBOX_BASE + 4),
+        1,
+        "host sees the flush flag"
+    );
 }

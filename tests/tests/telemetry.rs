@@ -46,7 +46,10 @@ fn registry_paths_equal_legacy_counters_bit_for_bit() {
     let reg = sw.chassis.telemetry.clone();
 
     // Legacy stats registers vs registry paths (same cells, so exact).
-    assert_eq!(reg.get("rx_stats.total_packets"), Some(u64::from(sw.chassis.read32(STATS_BASE))));
+    assert_eq!(
+        reg.get("rx_stats.total_packets"),
+        Some(u64::from(sw.chassis.read32(STATS_BASE)))
+    );
     assert_eq!(
         reg.get("rx_stats.total_bytes"),
         Some(u64::from(sw.chassis.read32(STATS_BASE + 0x4)))
@@ -65,10 +68,22 @@ fn registry_paths_equal_legacy_counters_bit_for_bit() {
     }
 
     // Legacy lookup registers vs registry paths.
-    assert_eq!(reg.get("lookup.hits"), Some(u64::from(sw.chassis.read32(LOOKUP_BASE))));
-    assert_eq!(reg.get("lookup.floods"), Some(u64::from(sw.chassis.read32(LOOKUP_BASE + 4))));
-    assert_eq!(reg.get("lookup.learned"), Some(u64::from(sw.chassis.read32(LOOKUP_BASE + 8))));
-    assert!(reg.get("lookup.hits").unwrap() >= 2, "workload exercised the fast path");
+    assert_eq!(
+        reg.get("lookup.hits"),
+        Some(u64::from(sw.chassis.read32(LOOKUP_BASE)))
+    );
+    assert_eq!(
+        reg.get("lookup.floods"),
+        Some(u64::from(sw.chassis.read32(LOOKUP_BASE + 4)))
+    );
+    assert_eq!(
+        reg.get("lookup.learned"),
+        Some(u64::from(sw.chassis.read32(LOOKUP_BASE + 8)))
+    );
+    assert!(
+        reg.get("lookup.hits").unwrap() >= 2,
+        "workload exercised the fast path"
+    );
 
     // Per-port MAC stats vs registry paths.
     for port in 0..4 {
@@ -111,7 +126,11 @@ fn clears_are_visible_both_ways() {
     sw.chassis.run_for(Time::from_us(10));
     assert!(sw.chassis.read32(STATS_BASE) > 0);
     assert!(sw.chassis.telemetry.clear("rx_stats.total_packets"));
-    assert_eq!(sw.chassis.read32(STATS_BASE), 0, "registry clear seen by legacy block");
+    assert_eq!(
+        sw.chassis.read32(STATS_BASE),
+        0,
+        "registry clear seen by legacy block"
+    );
     assert!(
         sw.chassis.read32(STATS_BASE + 0x8) > 0,
         "per-offset semantics: siblings survive"
@@ -131,7 +150,10 @@ fn clears_are_visible_both_ways() {
 fn poll_events_observes_injected_link_flap() {
     let plan = FaultPlan::new(0x7E1E).at(
         Time::from_us(10),
-        FaultKind::LinkDown { port: 2, duration: Time::from_us(15) },
+        FaultKind::LinkDown {
+            port: 2,
+            duration: Time::from_us(15),
+        },
     );
     let mut sw =
         ReferenceSwitch::with_faults(&BoardSpec::sume(), 4, 1024, Time::from_ms(100), false, plan);
@@ -144,7 +166,11 @@ fn poll_events_observes_injected_link_flap() {
     sw.chassis.run_for(Time::from_us(40));
     let events = poll_events(&mut sw.chassis);
     let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
-    assert_eq!(kinds, vec![EventKind::LinkDown, EventKind::LinkUp], "{events:?}");
+    assert_eq!(
+        kinds,
+        vec![EventKind::LinkDown, EventKind::LinkUp],
+        "{events:?}"
+    );
     assert!(events.iter().all(|e| e.port == 2));
     assert!(events[0].at < events[1].at, "timestamps ordered");
 
@@ -157,7 +183,10 @@ fn poll_events_observes_injected_link_flap() {
         .faults
         .clone()
         .expect("fault plane")
-        .inject(FaultKind::LinkDown { port: 0, duration: Time::from_us(5) });
+        .inject(FaultKind::LinkDown {
+            port: 0,
+            duration: Time::from_us(5),
+        });
     sw.chassis.run_for(Time::from_us(20));
     let events = poll_events(&mut sw.chassis);
     assert_eq!(events.len(), 2);

@@ -34,7 +34,10 @@ fn routing_loop_contained_by_ttl() {
         t.port_macs = (0..4).map(|i| mac(0xe0 + i)).collect();
         t.lpm.insert(
             "10.7.0.0/16".parse().unwrap(),
-            RouteEntry { next_hop: ip("10.7.255.1"), port: 2 },
+            RouteEntry {
+                next_hop: ip("10.7.255.1"),
+                port: 2,
+            },
         );
         // The "next hop" is reachable via... the other looped port, so the
         // packet comes straight back in.
@@ -44,8 +47,10 @@ fn routing_loop_contained_by_ttl() {
     // Splice: port 2 out -> port 3 in, port 3 out -> port 2 in.
     let (to2, from2) = r.chassis.port_wires(2);
     let (to3, from3) = r.chassis.port_wires(3);
-    r.chassis.add_link("loop_a", from2, to3, LinkConfig::default());
-    r.chassis.add_link("loop_b", from3, to2, LinkConfig::default());
+    r.chassis
+        .add_link("loop_a", from2, to3, LinkConfig::default());
+    r.chassis
+        .add_link("loop_b", from3, to2, LinkConfig::default());
 
     let ttl0 = 9u8;
     let pkt = PacketBuilder::new()
@@ -82,8 +87,10 @@ fn l2_broadcast_storm_in_a_loop() {
     let (to3, _from3) = sw.chassis.port_wires(3);
     let (to2b, _) = sw.chassis.port_wires(2);
     let (_, from3b) = sw.chassis.port_wires(3);
-    sw.chassis.add_link("loop_a", from2, to3, LinkConfig::default());
-    sw.chassis.add_link("loop_b", from3b, to2b, LinkConfig::default());
+    sw.chassis
+        .add_link("loop_a", from2, to3, LinkConfig::default());
+    sw.chassis
+        .add_link("loop_b", from3b, to2b, LinkConfig::default());
 
     let bcast = PacketBuilder::new()
         .eth(mac(1), EthernetAddress::BROADCAST)
@@ -111,7 +118,10 @@ fn lossy_splice_conserves_packets() {
         t.port_macs = (0..4).map(|i| mac(0xe0 + i)).collect();
         t.lpm.insert(
             "10.9.0.0/16".parse().unwrap(),
-            RouteEntry { next_hop: ip("10.2.0.1"), port: 2 },
+            RouteEntry {
+                next_hop: ip("10.2.0.1"),
+                port: 2,
+            },
         );
         t.arp.insert(ip("10.2.0.1"), mac(0xe3));
     }
@@ -122,7 +132,11 @@ fn lossy_splice_conserves_packets() {
         "lossy_splice",
         from2,
         to3,
-        LinkConfig { loss_probability: 0.4, seed: 3, ..LinkConfig::default() },
+        LinkConfig {
+            loss_probability: 0.4,
+            seed: 3,
+            ..LinkConfig::default()
+        },
     );
     let n = 200u64;
     for i in 0..n {
@@ -143,5 +157,9 @@ fn lossy_splice_conserves_packets() {
     }
     let rate = expired as f64 / n as f64;
     assert!((rate - 0.6).abs() < 0.1, "survival rate {rate}");
-    assert_eq!(r.counters.borrow().forwarded, n, "each packet forwarded once");
+    assert_eq!(
+        r.counters.borrow().forwarded,
+        n,
+        "each packet forwarded once"
+    );
 }

@@ -76,7 +76,11 @@ impl Criterion {
 
     /// Start (or continue) a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     /// Benchmark a single function outside any group.
@@ -193,7 +197,10 @@ where
         }
     }
     if c.test_mode {
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         println!("bench: {id} ... ok (test mode)");
         return;
@@ -204,7 +211,10 @@ where
     let mut iters: u64 = 1;
     let per_batch = c.measurement_time.as_nanos() as u64 / 10;
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         let ns = b.elapsed.as_nanos() as u64;
         if ns >= per_batch || iters >= 1 << 30 {
@@ -219,7 +229,10 @@ where
 
     let mut samples_ns: Vec<f64> = Vec::with_capacity(c.sample_size);
     for _ in 0..c.sample_size {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
     }
@@ -280,7 +293,10 @@ mod tests {
     #[test]
     fn bencher_counts_iterations() {
         let mut count = 0u64;
-        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
         b.iter(|| count += 1);
         assert_eq!(count, 10);
         assert!(b.elapsed >= Duration::ZERO);
@@ -288,7 +304,9 @@ mod tests {
 
     #[test]
     fn group_api_compiles_and_runs() {
-        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(1));
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(1));
         let mut g = c.benchmark_group("shim");
         g.throughput(Throughput::Elements(1));
         g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
@@ -298,8 +316,13 @@ mod tests {
 
     #[test]
     fn filter_skips_nonmatching() {
-        let mut c = Criterion { filter: Some("nope".into()), ..Criterion::default() };
+        let mut c = Criterion {
+            filter: Some("nope".into()),
+            ..Criterion::default()
+        };
         // Would spin for a long time if not filtered out.
-        c.bench_function("other", |b| b.iter(|| std::thread::sleep(Duration::from_millis(50))));
+        c.bench_function("other", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_millis(50)))
+        });
     }
 }

@@ -30,7 +30,10 @@ impl From<usize> for SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> SizeRange {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { min: r.start, max: r.end - 1 }
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
     }
 }
 
@@ -43,7 +46,10 @@ pub struct VecStrategy<S> {
 
 /// Generate a vector of values from `element`, sized per `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -72,7 +78,11 @@ pub fn btree_map<K: Strategy, V: Strategy>(
 where
     K::Value: Ord,
 {
-    BTreeMapStrategy { key, value, size: size.into() }
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
 }
 
 impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
@@ -104,7 +114,10 @@ pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSe
 where
     S::Value: Ord,
 {
-    BTreeSetStrategy { element, size: size.into() }
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 impl<S: Strategy> Strategy for BTreeSetStrategy<S>

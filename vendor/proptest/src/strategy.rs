@@ -222,7 +222,9 @@ mod tests {
     #[test]
     fn any_option_mixes_variants() {
         let mut r = rng();
-        let vals: Vec<Option<u16>> = (0..200).map(|_| any::<Option<u16>>().generate(&mut r)).collect();
+        let vals: Vec<Option<u16>> = (0..200)
+            .map(|_| any::<Option<u16>>().generate(&mut r))
+            .collect();
         assert!(vals.iter().any(|v| v.is_none()));
         assert!(vals.iter().any(|v| v.is_some()));
     }

@@ -13,7 +13,10 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
     }
 }
 
@@ -43,7 +46,9 @@ impl TestRng {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100000001b3);
         }
-        TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9e3779b97f4a7c15)) }
+        TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9e3779b97f4a7c15)),
+        }
     }
 
     /// Next raw 64-bit value (splitmix64).
@@ -95,7 +100,11 @@ pub struct CaseGuard {
 impl CaseGuard {
     /// Arm a guard for one case.
     pub fn new(path: &'static str, case: u32) -> CaseGuard {
-        CaseGuard { path, case, armed: true }
+        CaseGuard {
+            path,
+            case,
+            armed: true,
+        }
     }
 
     /// The case finished cleanly; stand down.
